@@ -1,0 +1,61 @@
+"""E10 — construction size law and build-time scaling.
+
+The paper states that ``R_G`` and ``φ_G`` are constructible in time polynomial
+in the size of ``G``, with ``|R_G| = 7m + 1`` tuples and
+``m + n + m(m−1)/2 + 1`` columns.  The benchmark sweeps the clause count,
+checks the size law exactly, and times the construction to confirm the
+polynomial (quadratic-in-m, from the pair columns) growth of the build cost.
+"""
+
+from repro.analysis import format_table
+from repro.reductions import RGConstruction
+from repro.sat import planted_satisfiable
+
+
+def _formula(clauses):
+    formula, _ = planted_satisfiable(max(4, min(3 * clauses, 10)), clauses, seed=clauses)
+    return formula
+
+
+def _size_rows(clause_counts):
+    rows = []
+    for clauses in clause_counts:
+        formula = _formula(clauses)
+        construction = RGConstruction(formula)
+        rows.append(
+            {
+                "m": construction.formula.num_clauses,
+                "n": construction.formula.num_variables,
+                "|R_G|": len(construction.relation),
+                "predicted 7m+1": construction.predicted_relation_size(),
+                "columns": len(construction.scheme),
+                "predicted m+n+m(m-1)/2+1": construction.predicted_column_count(),
+                "expression factors": len(construction.expression.parts),
+            }
+        )
+    return rows
+
+
+def test_e10_size_law(benchmark, emit_result):
+    rows = benchmark.pedantic(
+        lambda: _size_rows((3, 4, 6, 8, 12, 16, 24, 32)), rounds=1, iterations=1
+    )
+    emit_result("E10", "construction size law (|R_G| = 7m+1, column count)", format_table(rows))
+    for row in rows:
+        assert row["|R_G|"] == row["predicted 7m+1"]
+        assert row["columns"] == row["predicted m+n+m(m-1)/2+1"]
+        assert row["expression factors"] == row["m"] + 1
+
+
+def test_e10_build_time_small(benchmark):
+    """Construction time at m = 8."""
+    formula = _formula(8)
+    construction = benchmark(RGConstruction, formula)
+    assert len(construction.relation) == 7 * construction.formula.num_clauses + 1
+
+
+def test_e10_build_time_large(benchmark):
+    """Construction time at m = 32 (quadratically more columns than m = 8)."""
+    formula = _formula(32)
+    construction = benchmark(RGConstruction, formula)
+    assert len(construction.relation) == 7 * construction.formula.num_clauses + 1

@@ -1,0 +1,60 @@
+"""E2 — Lemma 1 / Proposition 1 across formula families.
+
+For satisfiable and unsatisfiable 3CNF formulas of growing size, the benchmark
+checks that ``φ_G(R_G) = R_G ∪ R̃_G`` (one extra tuple per satisfying
+assignment) and that the pair-column projection gains exactly the single tuple
+``u_G`` iff the formula is satisfiable, and times the construction + evaluation
+pipeline.
+"""
+
+from repro.analysis import format_table
+from repro.expressions import evaluate
+from repro.reductions import RGConstruction
+from repro.sat import count_models, is_satisfiable
+from repro.workloads import satisfiable_family, unsatisfiable_family
+
+
+def _cases():
+    return satisfiable_family(clause_counts=(3, 4, 5)) + unsatisfiable_family(
+        extra_clause_counts=(0, 2)
+    )
+
+
+def _check_case(case):
+    construction = RGConstruction(case.formula)
+    result = evaluate(construction.expression, construction.relation)
+    projection = evaluate(construction.pair_projection_expression(), construction.relation)
+    satisfiable = is_satisfiable(construction.formula)
+    models = count_models(construction.formula)
+    return {
+        "case": case.label,
+        "m": construction.formula.num_clauses,
+        "n": construction.formula.num_variables,
+        "|R_G| (=7m+1)": len(construction.relation),
+        "|phi(R_G)|": len(result),
+        "predicted (7m+1+#SAT)": construction.predicted_result_size(models),
+        "lemma1": result == construction.expected_result(),
+        "prop1 (+u_G iff SAT)": projection
+        == construction.expected_pair_projection(satisfiable),
+    }
+
+
+def test_e2_lemma1_family(benchmark, emit_result):
+    rows = benchmark.pedantic(
+        lambda: [_check_case(case) for case in _cases()], rounds=1, iterations=1
+    )
+    emit_result("E2", "Lemma 1 / Proposition 1 across formula families", format_table(rows))
+    assert all(row["lemma1"] and row["prop1 (+u_G iff SAT)"] for row in rows)
+    assert all(row["|phi(R_G)|"] == row["predicted (7m+1+#SAT)"] for row in rows)
+
+
+def test_e2_single_evaluation(benchmark):
+    """Time one representative construction + evaluation (m=5, satisfiable)."""
+    case = satisfiable_family(clause_counts=(5,))[0]
+
+    def run():
+        construction = RGConstruction(case.formula)
+        return evaluate(construction.expression, construction.relation)
+
+    result = benchmark(run)
+    assert len(result) >= 7 * case.formula.num_clauses + 1

@@ -1,0 +1,95 @@
+"""E8 — the NP / co-NP side results: tuple membership and the project-join fixpoint.
+
+For satisfiable and unsatisfiable formulas, checks that ``u_G ∈ π_Y(φ_G(R_G))``
+iff ``G`` is satisfiable (Yannakakis / Proposition 1) and that
+``*_i π_{Y_i}(R_G) = R_G`` iff ``G`` is unsatisfiable (Maier–Sagiv–Yannakakis),
+and compares three membership deciders (evaluation, certificate search,
+SAT-backed) on the same instances.
+"""
+
+from repro.analysis import format_table
+from repro.decision import (
+    CertificateMembershipDecider,
+    ProjectJoinFixpointDecider,
+    SatBackedMembershipDecider,
+    tuple_in_result,
+)
+from repro.reductions import FixpointReduction, MembershipReduction
+from repro.sat import is_satisfiable
+from repro.workloads import satisfiable_family, unsatisfiable_family
+
+
+def _cases():
+    return satisfiable_family(clause_counts=(3, 4)) + unsatisfiable_family(
+        extra_clause_counts=(0,)
+    )
+
+
+def _check(case):
+    membership = MembershipReduction(case.formula)
+    fixpoint = FixpointReduction(case.formula)
+    membership_instance = membership.instance()
+    fixpoint_instance = fixpoint.instance()
+
+    by_evaluation = tuple_in_result(
+        membership_instance.tuple, membership.expression(), membership_instance.relation
+    )
+    by_certificate = (
+        CertificateMembershipDecider().decide(
+            membership_instance.tuple, membership.expression(), membership_instance.relation
+        )
+        is not None
+    )
+    by_sat = SatBackedMembershipDecider().decide(
+        membership_instance.tuple, membership.expression(), membership_instance.relation
+    )
+    fixpoint_holds = ProjectJoinFixpointDecider().holds(
+        fixpoint_instance.relation, fixpoint_instance.projection_schemes
+    )
+    ground_truth = is_satisfiable(membership.construction.formula)
+    return {
+        "formula": case.label,
+        "u_G member (evaluation)": by_evaluation,
+        "u_G member (certificate)": by_certificate,
+        "u_G member (SAT-backed)": by_sat,
+        "*pi(R)=R (fixpoint)": fixpoint_holds,
+        "G satisfiable": ground_truth,
+        "agree": by_evaluation == by_certificate == by_sat == ground_truth
+        and fixpoint_holds == (not ground_truth),
+    }
+
+
+def test_e8_membership_and_fixpoint(benchmark, emit_result):
+    rows = benchmark.pedantic(
+        lambda: [_check(case) for case in _cases()], rounds=1, iterations=1
+    )
+    emit_result(
+        "E8",
+        "NP membership (u_G ∈ π_Y φ_G(R_G)) and co-NP fixpoint (φ_G(R_G) = R_G)",
+        format_table(rows),
+    )
+    assert all(row["agree"] for row in rows)
+
+
+def test_e8_certificate_decider_time(benchmark):
+    """Time the certificate search on a satisfiable instance."""
+    case = satisfiable_family(clause_counts=(4,))[0]
+    reduction = MembershipReduction(case.formula)
+    instance = reduction.instance()
+    decider = CertificateMembershipDecider()
+    witness = benchmark(
+        decider.decide, instance.tuple, reduction.expression(), instance.relation
+    )
+    assert witness is not None
+
+
+def test_e8_sat_backed_decider_time(benchmark):
+    """Time the SAT-backed decider on the same instance."""
+    case = satisfiable_family(clause_counts=(4,))[0]
+    reduction = MembershipReduction(case.formula)
+    instance = reduction.instance()
+    decider = SatBackedMembershipDecider()
+    answer = benchmark(
+        decider.decide, instance.tuple, reduction.expression(), instance.relation
+    )
+    assert answer

@@ -1,0 +1,48 @@
+"""E3 — Theorem 1: query-result equality (DP-completeness reduction).
+
+Runs the 3SAT-3UNSAT reduction on all four satisfiable/unsatisfiable pair
+combinations, reports which side of the "iff" each lands on, and times the
+equality decision on the produced instances.
+"""
+
+from repro.analysis import format_table
+from repro.decision import QueryResultEqualityDecider
+from repro.reductions import Theorem1Reduction
+from repro.workloads import sat_unsat_pairs
+
+
+def _check_pair(label, pair):
+    reduction = Theorem1Reduction(pair)
+    relation, expression, conjectured = reduction.instance()
+    verdict = QueryResultEqualityDecider().decide(expression, relation, conjectured)
+    return {
+        "pair": label,
+        "|R|": len(relation),
+        "|r| (conjectured)": len(conjectured),
+        "|phi(R)|": verdict.result_cardinality,
+        "phi(R)=r": verdict.equal,
+        "expected (G sat & G' unsat)": reduction.expected_equal(),
+        "agree": verdict.equal == reduction.expected_equal(),
+    }
+
+
+def test_e3_equality_reduction(benchmark, emit_result):
+    pairs = sat_unsat_pairs()
+    rows = benchmark.pedantic(
+        lambda: [_check_pair(label, pair) for label, pair in pairs],
+        rounds=1,
+        iterations=1,
+    )
+    emit_result("E3", "Theorem 1: phi(R) = r iff G satisfiable and G' unsatisfiable", format_table(rows))
+    assert all(row["agree"] for row in rows)
+    assert sum(row["phi(R)=r"] for row in rows) == 1
+
+
+def test_e3_equality_decision_time(benchmark):
+    """Time only the equality decision on the yes-instance."""
+    label, pair = sat_unsat_pairs()[0]
+    reduction = Theorem1Reduction(pair)
+    relation, expression, conjectured = reduction.instance()
+    decider = QueryResultEqualityDecider()
+    verdict = benchmark(decider.decide, expression, relation, conjectured)
+    assert verdict.equal

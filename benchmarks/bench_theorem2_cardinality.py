@@ -1,0 +1,80 @@
+"""E4 — Theorem 2: cardinality bounds (DP / NP / co-NP reductions).
+
+Reports, for every satisfiable/unsatisfiable pair combination, the exact
+cardinality of the product instance against the ``(β+1)β'`` target and the
+``[β(β'+1)+1, β(β'+1)+β']`` window, plus the one-sided bounds on single
+formulas, and times the bound decisions.
+"""
+
+from repro.analysis import format_table
+from repro.decision import CardinalityDecider
+from repro.reductions import (
+    Theorem2LowerBoundReduction,
+    Theorem2TwoSidedReduction,
+    Theorem2UpperBoundReduction,
+)
+from repro.workloads import sat_unsat_pairs, satisfiable_family, unsatisfiable_family
+
+
+def _two_sided_row(label, pair):
+    reduction = Theorem2TwoSidedReduction(pair)
+    decider = CardinalityDecider()
+    exact = reduction.exact_instance()
+    window = reduction.window_instance()
+    cardinality = decider.cardinality(exact.expression, exact.relation)
+    return {
+        "pair": label,
+        "beta": reduction.beta,
+        "beta'": reduction.beta_prime,
+        "|phi(R)|": cardinality,
+        "target (beta+1)*beta'": exact.lower,
+        "window": f"[{window.lower}, {window.upper}]",
+        "exact holds": exact.holds_for(cardinality),
+        "window holds": window.holds_for(cardinality),
+        "expected": reduction.expected_yes(),
+    }
+
+
+def _one_sided_rows():
+    rows = []
+    decider = CardinalityDecider()
+    for case in satisfiable_family(clause_counts=(3,)) + unsatisfiable_family(
+        extra_clause_counts=(0,)
+    ):
+        lower = Theorem2LowerBoundReduction(case.formula)
+        upper = Theorem2UpperBoundReduction(case.formula)
+        lower_instance = lower.instance()
+        upper_instance = upper.instance()
+        cardinality = decider.cardinality(lower_instance.expression, lower_instance.relation)
+        rows.append(
+            {
+                "formula": case.label,
+                "|phi(R_G)|": cardinality,
+                "lower bound 7m+2 holds (NP side)": cardinality >= lower_instance.lower,
+                "expected sat": lower.expected_yes(),
+                "upper bound 7m+1 holds (co-NP side)": cardinality <= upper_instance.upper,
+                "expected unsat": upper.expected_yes(),
+            }
+        )
+    return rows
+
+
+def test_e4_two_sided(benchmark, emit_result):
+    pairs = sat_unsat_pairs()
+    rows = benchmark.pedantic(
+        lambda: [_two_sided_row(label, pair) for label, pair in pairs],
+        rounds=1,
+        iterations=1,
+    )
+    emit_result("E4", "Theorem 2: two-sided cardinality bounds (DP)", format_table(rows))
+    for row in rows:
+        assert row["exact holds"] == row["expected"]
+        assert row["window holds"] == row["expected"]
+
+
+def test_e4_one_sided(benchmark, emit_result):
+    rows = benchmark.pedantic(_one_sided_rows, rounds=1, iterations=1)
+    emit_result("E4-one-sided", "Theorem 2: one-sided bounds (NP / co-NP)", format_table(rows))
+    for row in rows:
+        assert row["lower bound 7m+2 holds (NP side)"] == row["expected sat"]
+        assert row["upper bound 7m+1 holds (co-NP side)"] == row["expected unsat"]

@@ -1,0 +1,66 @@
+"""E6 — Theorem 4: query containment/equivalence w.r.t. a fixed relation (Π₂ᵖ).
+
+For planted true and false Q-3SAT instances, builds the fixed relation
+``R'_G`` and the two queries ``π_X(φ¹)``, ``π_X(φ²)``, decides containment and
+equivalence by evaluation, and checks both against the independent ∀∃
+evaluator.  Timing covers the full reduction + decision pipeline.
+"""
+
+from repro.analysis import format_table
+from repro.decision import ContainmentDecider
+from repro.qbf import evaluate_by_expansion
+from repro.reductions import Theorem4Reduction
+from repro.workloads import qbf_family
+
+
+def _check(label, instance, planted_truth):
+    reduction = Theorem4Reduction(instance)
+    comparison = reduction.containment_instance()
+    verdict = ContainmentDecider().compare_queries(
+        comparison.first, comparison.second, comparison.relation
+    )
+    qbf_truth = evaluate_by_expansion(reduction.qbf_instance)
+    return {
+        "instance": label,
+        "|R'_G|": len(comparison.relation),
+        "|Q1(R)|": verdict.left_cardinality,
+        "|Q2(R)|": verdict.right_cardinality,
+        "Q1 subset Q2": verdict.left_in_right,
+        "Q1 = Q2": verdict.equivalent,
+        "forall-exists truth": qbf_truth,
+        "planted": planted_truth,
+        "agree": verdict.left_in_right == qbf_truth == planted_truth
+        and verdict.equivalent == qbf_truth,
+    }
+
+
+def test_e6_containment_reduction(benchmark, emit_result):
+    # |X| is kept small: the fixed relation R'_G grows with the clause count
+    # and the naive evaluation of φ¹ enumerates every assignment of the
+    # formula's variables, so larger universal sets move the benchmark from
+    # seconds into minutes without changing the shape of the result.
+    cases = qbf_family(universal_counts=(2, 3))
+    rows = benchmark.pedantic(
+        lambda: [_check(label, inst, truth) for label, inst, truth in cases],
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(
+        "E6",
+        "Theorem 4: Q1(R'_G) ⊆ Q2(R'_G) iff forall X exists X' G",
+        format_table(rows),
+    )
+    assert all(row["agree"] for row in rows)
+
+
+def test_e6_decision_time(benchmark):
+    """Time the containment decision alone on the canonical false gadget."""
+    from repro.qbf import canonical_false_q3sat
+
+    reduction = Theorem4Reduction(canonical_false_q3sat())
+    comparison = reduction.containment_instance()
+    decider = ContainmentDecider()
+    verdict = benchmark(
+        decider.compare_queries, comparison.first, comparison.second, comparison.relation
+    )
+    assert not verdict.left_in_right

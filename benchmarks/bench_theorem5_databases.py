@@ -1,0 +1,68 @@
+"""E7 — Theorem 5: comparing databases under a fixed query (Π₂ᵖ).
+
+Same Q-3SAT workload as E6, but now the query ``π_X(φ_G)`` is fixed and the
+two compared objects are the databases ``R''_G`` (with falsifying tuples) and
+``R_G``.  The benchmark checks the containment/equivalence verdicts against
+the ∀∃ evaluator and times the pipeline.
+"""
+
+from repro.analysis import format_table
+from repro.decision import ContainmentDecider
+from repro.qbf import evaluate_by_expansion
+from repro.reductions import Theorem5Reduction
+from repro.workloads import qbf_family
+
+
+def _check(label, instance, planted_truth):
+    reduction = Theorem5Reduction(instance)
+    comparison = reduction.containment_instance()
+    verdict = ContainmentDecider().compare_databases(
+        comparison.expression, comparison.first, comparison.second
+    )
+    qbf_truth = evaluate_by_expansion(reduction.qbf_instance)
+    return {
+        "instance": label,
+        "|R''_G|": len(comparison.first),
+        "|R_G|": len(comparison.second),
+        "|Q(R''_G)|": verdict.left_cardinality,
+        "|Q(R_G)|": verdict.right_cardinality,
+        "Q(R''_G) subset Q(R_G)": verdict.left_in_right,
+        "equal": verdict.equivalent,
+        "forall-exists truth": qbf_truth,
+        "planted": planted_truth,
+        "agree": verdict.left_in_right == qbf_truth == planted_truth
+        and verdict.equivalent == qbf_truth,
+    }
+
+
+def test_e7_database_comparison(benchmark, emit_result):
+    # Same workload sizing note as E6: small universal sets keep the naive
+    # evaluation (intentionally exponential) within a few seconds.
+    cases = qbf_family(universal_counts=(2, 3))
+    rows = benchmark.pedantic(
+        lambda: [_check(label, inst, truth) for label, inst, truth in cases],
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(
+        "E7",
+        "Theorem 5: Q(R''_G) ⊆ Q(R_G) iff forall X exists X' G",
+        format_table(rows),
+    )
+    assert all(row["agree"] for row in rows)
+
+
+def test_e7_decision_time(benchmark):
+    """Time the database-comparison decision on the canonical false gadget."""
+    from repro.qbf import canonical_false_q3sat
+
+    reduction = Theorem5Reduction(canonical_false_q3sat())
+    comparison = reduction.containment_instance()
+    decider = ContainmentDecider()
+    verdict = benchmark(
+        decider.compare_databases,
+        comparison.expression,
+        comparison.first,
+        comparison.second,
+    )
+    assert not verdict.left_in_right

@@ -1,0 +1,91 @@
+"""Query containment and equivalence: fixed database vs all databases.
+
+Run with ``python examples/query_equivalence.py``.
+
+Theorems 4 and 5 concern comparing queries *with respect to a fixed database*
+(Π₂ᵖ-complete) — a different, and harder-to-place, question than the classical
+Chandra–Merlin containment over *all* databases (NP-complete).  The example:
+
+1. runs the Theorem 4 reduction on a true and a false ∀∃ instance and shows
+   that the containment of the two constructed queries on the constructed
+   relation tracks the quantified formula's truth value;
+2. runs the Theorem 5 reduction, where the query is fixed and the two
+   *databases* differ;
+3. contrasts with tableau-homomorphism containment of the same query pair,
+   which ignores the database entirely.
+"""
+
+from __future__ import annotations
+
+from repro.decision import ContainmentDecider, contained_over_all_databases
+from repro.qbf import (
+    QThreeSatInstance,
+    canonical_false_q3sat,
+    evaluate_by_expansion,
+    planted_true_q3sat,
+)
+from repro.reductions import Theorem4Reduction, Theorem5Reduction
+
+
+def show_theorem4(instance: QThreeSatInstance, label: str) -> None:
+    """Fixed relation, two queries (Theorem 4)."""
+    reduction = Theorem4Reduction(instance)
+    comparison = reduction.containment_instance()
+    verdict = ContainmentDecider().compare_queries(
+        comparison.first, comparison.second, comparison.relation
+    )
+    truth = evaluate_by_expansion(reduction.qbf_instance)
+    print(f"[Theorem 4] {label}: forall-exists formula is {truth}")
+    print(
+        f"  Q1(R'_G) subset of Q2(R'_G): {verdict.left_in_right}  "
+        f"(|Q1| = {verdict.left_cardinality}, |Q2| = {verdict.right_cardinality})"
+    )
+    if verdict.left_only_witness is not None:
+        print(f"  counterexample tuple: {dict(verdict.left_only_witness)}")
+    assert verdict.left_in_right == truth
+    assert verdict.equivalent == truth
+
+    # The same two queries compared over ALL databases (Chandra-Merlin):
+    # Q2 keeps strictly more attributes in its factors, so Q2 ⊆ Q1 always,
+    # while Q1 ⊆ Q2 fails in general even when it holds on this database.
+    print(
+        "  over all databases: Q1 ⊆ Q2 is",
+        contained_over_all_databases(comparison.first, comparison.second),
+        "| Q2 ⊆ Q1 is",
+        contained_over_all_databases(comparison.second, comparison.first),
+    )
+    print()
+
+
+def show_theorem5(instance: QThreeSatInstance, label: str) -> None:
+    """Fixed query, two databases (Theorem 5)."""
+    reduction = Theorem5Reduction(instance)
+    comparison = reduction.containment_instance()
+    verdict = ContainmentDecider().compare_databases(
+        comparison.expression, comparison.first, comparison.second
+    )
+    truth = evaluate_by_expansion(reduction.qbf_instance)
+    print(f"[Theorem 5] {label}: forall-exists formula is {truth}")
+    print(
+        f"  Q(R''_G) subset of Q(R_G): {verdict.left_in_right}  "
+        f"(|left| = {verdict.left_cardinality}, |right| = {verdict.right_cardinality})"
+    )
+    assert verdict.left_in_right == truth
+    assert verdict.equivalent == truth
+    print()
+
+
+def main() -> None:
+    true_instance = planted_true_q3sat(2, seed=0)
+    false_instance = canonical_false_q3sat()
+    print("true instance:", true_instance.describe())
+    print("false instance:", false_instance.describe())
+    print()
+    show_theorem4(true_instance, "planted true")
+    show_theorem4(false_instance, "canonical false")
+    show_theorem5(true_instance, "planted true")
+    show_theorem5(false_instance, "canonical false")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+The offline environment used for this reproduction has no ``wheel`` package,
+so editable installs go through the legacy ``setup.py develop`` path; keeping
+an explicit ``setup.py`` (and no ``[build-system]`` table in pyproject.toml)
+makes ``pip install -e .`` work without network access.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Cosmadakis (1983): The Complexity of Evaluating Relational Queries"
+    ),
+    author="Reproduction Team",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

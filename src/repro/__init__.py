@@ -1,0 +1,35 @@
+"""repro — reproduction of Cosmadakis (1983), "The Complexity of Evaluating Relational Queries".
+
+The package implements the relational-algebra substrate (projection/join
+queries over finite relations), the Boolean-satisfiability substrate, the
+paper's R_G / φ_G constructions and every reduction of Theorems 1-5, plus the
+decision procedures, analysis tooling and workload generators used by the
+benchmark harness.
+
+Subpackages
+-----------
+``repro.algebra``
+    Relational model: schemes, tuples, relations, databases, operations.
+``repro.expressions``
+    Projection-join expression AST, parser, evaluators, optimiser.
+``repro.tableaux``
+    Tableaux, homomorphisms, conjunctive-query containment (Proposition 2).
+``repro.sat``
+    CNF formulas, DPLL solving, model counting, generators.
+``repro.qbf``
+    Q-3SAT (∀∃) instances and evaluators (Theorems 4-5).
+``repro.reductions``
+    The paper's constructions: R_G, φ_G, Theorems 1-5 reductions.
+``repro.decision``
+    Decision procedures and certificate verifiers for the studied problems.
+``repro.complexity``
+    Problem/reduction framework and complexity-class registry.
+``repro.analysis``
+    Instrumentation and intermediate-result blow-up analysis.
+``repro.workloads``
+    Benchmark workload generators, including the paper's worked example.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,89 @@
+"""Relational-model substrate: attributes, schemes, tuples, relations, databases.
+
+This subpackage implements the relational model of Section 2.1 of the paper —
+relation schemes as finite attribute sets, relations as finite sets of tuples,
+and the operations of projection and natural join (plus the remaining
+classical operations for completeness).
+"""
+
+from .attributes import Attribute, Domain, as_attribute, attribute_names
+from .database import Database
+from .dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    chase_lossless_join,
+    closure,
+    implies_fd,
+    project_join_satisfies,
+)
+from .errors import (
+    AlgebraError,
+    DatabaseSchemeError,
+    DomainError,
+    JoinError,
+    ProjectionError,
+    RenameError,
+    SchemeError,
+    SelectionError,
+    TupleSchemeMismatch,
+    UnionCompatibilityError,
+)
+from .operations import (
+    cartesian_product,
+    difference,
+    divide,
+    intersection,
+    join_all,
+    natural_join,
+    project,
+    project_join,
+    rename,
+    select,
+    semijoin,
+    union,
+)
+from .relation import Relation
+from .schema import DatabaseScheme, RelationScheme, as_scheme
+from .tuples import RelationTuple, as_tuple
+
+__all__ = [
+    "Attribute",
+    "Domain",
+    "FunctionalDependency",
+    "JoinDependency",
+    "closure",
+    "implies_fd",
+    "chase_lossless_join",
+    "project_join_satisfies",
+    "as_attribute",
+    "attribute_names",
+    "Database",
+    "DatabaseScheme",
+    "RelationScheme",
+    "as_scheme",
+    "RelationTuple",
+    "as_tuple",
+    "Relation",
+    "project",
+    "natural_join",
+    "join_all",
+    "project_join",
+    "select",
+    "union",
+    "difference",
+    "intersection",
+    "rename",
+    "cartesian_product",
+    "semijoin",
+    "divide",
+    "AlgebraError",
+    "SchemeError",
+    "DomainError",
+    "TupleSchemeMismatch",
+    "ProjectionError",
+    "JoinError",
+    "DatabaseSchemeError",
+    "RenameError",
+    "SelectionError",
+    "UnionCompatibilityError",
+]

@@ -1,0 +1,124 @@
+"""Attributes and domains of the relational model.
+
+The paper (Section 2.1) assumes every attribute ``A`` has an associated domain
+``Dom(A)`` and that domains of distinct attributes are disjoint.  In this
+implementation domains are optional: when a relation is built without explicit
+domains, any hashable Python value is accepted.  When a :class:`Domain` is
+attached to an :class:`Attribute`, tuple construction validates membership.
+
+Attributes compare by name only.  This keeps schemes cheap (plain tuples of
+attributes) while still letting the construction modules attach descriptive
+domains for documentation and validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Iterable, Optional
+
+from .errors import DomainError
+
+__all__ = ["Attribute", "Domain", "as_attribute", "attribute_names"]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A finite (or open) set of admissible values for an attribute.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label, e.g. ``"bool"`` or ``"clause-marker"``.
+    values:
+        The admissible values.  ``None`` means the domain is open: any
+        hashable value is accepted.
+    """
+
+    name: str
+    values: Optional[FrozenSet[Hashable]] = None
+
+    @classmethod
+    def of(cls, name: str, values: Iterable[Hashable]) -> "Domain":
+        """Build a closed domain from an iterable of values."""
+        return cls(name=name, values=frozenset(values))
+
+    @classmethod
+    def open(cls, name: str = "any") -> "Domain":
+        """Build an open domain that accepts every hashable value."""
+        return cls(name=name, values=None)
+
+    @property
+    def is_open(self) -> bool:
+        """Return ``True`` when the domain places no restriction on values."""
+        return self.values is None
+
+    def __contains__(self, value: Hashable) -> bool:
+        if self.values is None:
+            return True
+        return value in self.values
+
+    def check(self, value: Hashable, attribute_name: str = "?") -> None:
+        """Raise :class:`DomainError` if ``value`` is not in the domain."""
+        if value not in self:
+            raise DomainError(
+                f"value {value!r} is not in domain {self.name!r} "
+                f"of attribute {attribute_name!r}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if self.values is None:
+            return f"{self.name}(*)"
+        return f"{self.name}({{{', '.join(sorted(map(repr, self.values)))}}})"
+
+
+@dataclass(frozen=True, order=True)
+class Attribute:
+    """A named column of a relation scheme.
+
+    Two attributes are equal exactly when their names are equal; the optional
+    domain is metadata and does not take part in equality or hashing, mirroring
+    the paper's convention that an attribute is identified by its label.
+    """
+
+    name: str
+    domain: Optional[Domain] = field(default=None, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be a non-empty string")
+
+    def with_domain(self, domain: Domain) -> "Attribute":
+        """Return a copy of this attribute carrying ``domain``."""
+        return Attribute(self.name, domain)
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """Return an attribute with a new name but the same domain."""
+        return Attribute(new_name, self.domain)
+
+    def accepts(self, value: Hashable) -> bool:
+        """Return whether ``value`` is admissible for this attribute."""
+        if self.domain is None:
+            return True
+        return value in self.domain
+
+    def check_value(self, value: Hashable) -> None:
+        """Raise :class:`DomainError` if ``value`` violates the domain."""
+        if self.domain is not None:
+            self.domain.check(value, self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def as_attribute(item: "str | Attribute") -> Attribute:
+    """Coerce a string or attribute into an :class:`Attribute`."""
+    if isinstance(item, Attribute):
+        return item
+    if isinstance(item, str):
+        return Attribute(item)
+    raise TypeError(f"cannot interpret {item!r} as an attribute")
+
+
+def attribute_names(items: Iterable["str | Attribute"]) -> "tuple[str, ...]":
+    """Return the names of a sequence of attributes or strings."""
+    return tuple(as_attribute(item).name for item in items)

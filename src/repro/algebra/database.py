@@ -1,0 +1,119 @@
+"""Databases: named collections of relations over a database scheme.
+
+The paper works with databases that "can be constrained to consist of a single
+relation", but the general notion (one relation per relation scheme of a
+database scheme) is implemented here so queries over multi-relation databases
+are expressible as well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from .errors import DatabaseSchemeError
+from .relation import Relation
+from .schema import DatabaseScheme, RelationScheme
+
+__all__ = ["Database"]
+
+
+class Database(Mapping[str, Relation]):
+    """An immutable mapping from relation name to relation.
+
+    A database optionally carries a :class:`DatabaseScheme`; when present,
+    the relations are validated against it (exactly one relation per relation
+    scheme, with matching schemes).
+    """
+
+    __slots__ = ("_relations", "_scheme")
+
+    def __init__(
+        self,
+        relations: Mapping[str, Relation],
+        scheme: Optional[DatabaseScheme] = None,
+    ):
+        self._relations: Dict[str, Relation] = {
+            name: rel if rel.name == name else rel.with_name(name)
+            for name, rel in relations.items()
+        }
+        if scheme is not None:
+            self._validate_against(scheme)
+        self._scheme = scheme
+
+    def _validate_against(self, scheme: DatabaseScheme) -> None:
+        expected = set(scheme.relation_names)
+        provided = set(self._relations)
+        if expected != provided:
+            raise DatabaseSchemeError(
+                f"database relations {sorted(provided)} do not match "
+                f"database scheme relations {sorted(expected)}"
+            )
+        for name in expected:
+            declared = scheme.scheme_of(name)
+            actual = self._relations[name].scheme
+            if declared != actual:
+                raise DatabaseSchemeError(
+                    f"relation {name!r} has scheme {actual}, expected {declared}"
+                )
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def single(cls, relation: Relation, name: str = "R") -> "Database":
+        """Build a single-relation database, as the paper's reductions use."""
+        return cls({name: relation})
+
+    # -- mapping protocol ---------------------------------------------
+
+    @property
+    def scheme(self) -> Optional[DatabaseScheme]:
+        """The declared database scheme, if any."""
+        if self._scheme is not None:
+            return self._scheme
+        return DatabaseScheme({name: rel.scheme for name, rel in self._relations.items()})
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            # KeyError keeps the Mapping protocol intact (``in``, ``.get()``);
+            # callers wanting the library's exception hierarchy can catch
+            # LookupError / KeyError alongside AlgebraError.
+            raise KeyError(f"no relation named {name!r} in database") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Database):
+            return self._relations == other._relations
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}[{len(rel)} tuples]" for name, rel in self._relations.items()
+        )
+        return f"Database({inner})"
+
+    # -- convenience ---------------------------------------------------
+
+    def relation_schemes(self) -> Dict[str, RelationScheme]:
+        """Return the scheme of every relation, keyed by relation name."""
+        return {name: rel.scheme for name, rel in self._relations.items()}
+
+    def with_relation(self, name: str, relation: Relation) -> "Database":
+        """Return a new database with ``name`` bound to ``relation``."""
+        updated = dict(self._relations)
+        updated[name] = relation
+        return Database(updated)
+
+    def total_tuples(self) -> int:
+        """Return the total number of tuples across all relations."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def items_sorted(self) -> Tuple[Tuple[str, Relation], ...]:
+        """Return (name, relation) pairs sorted by relation name."""
+        return tuple(sorted(self._relations.items()))

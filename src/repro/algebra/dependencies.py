@@ -1,0 +1,199 @@
+"""Functional and join dependencies, and the chase.
+
+The paper's co-NP side result (``*_i π_{Y_i}(R) = R``) is exactly the question
+of whether a specific instance satisfies the join dependency ``*[Y_1 ... Y_k]``,
+and its hardness discussion leans on Maier–Sagiv–Yannakakis's work on testing
+implications of functional and join dependencies.  This module provides that
+vocabulary as a first-class part of the algebra substrate:
+
+* :class:`FunctionalDependency` and :class:`JoinDependency` with instance
+  satisfaction tests;
+* :func:`closure` / :func:`implies_fd` — Armstrong closure of an attribute set
+  under a set of FDs, and FD implication;
+* :func:`chase_lossless_join` — the classical chase test for whether a
+  decomposition is a lossless join under a set of FDs (the tableau chase with
+  distinguished/nondistinguished symbols);
+* :func:`project_join_satisfies` — the instance-level join-dependency test,
+  re-exported in terms of :mod:`repro.decision.fixpoint`'s semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from .operations import project_join
+from .relation import Relation
+from .schema import RelationScheme, SchemeLike, as_scheme
+
+__all__ = [
+    "FunctionalDependency",
+    "JoinDependency",
+    "closure",
+    "implies_fd",
+    "chase_lossless_join",
+    "project_join_satisfies",
+]
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A functional dependency ``X -> Y`` over attribute names."""
+
+    determinant: FrozenSet[str]
+    dependent: FrozenSet[str]
+
+    @classmethod
+    def of(cls, determinant: SchemeLike, dependent: SchemeLike) -> "FunctionalDependency":
+        """Build an FD from scheme-like operands: ``FunctionalDependency.of("A B", "C")``."""
+        return cls(
+            frozenset(as_scheme(determinant).names),
+            frozenset(as_scheme(dependent).names),
+        )
+
+    def attributes(self) -> FrozenSet[str]:
+        """Every attribute mentioned by the dependency."""
+        return self.determinant | self.dependent
+
+    def holds_in(self, relation: Relation) -> bool:
+        """Instance satisfaction: no two tuples agree on X but differ on Y."""
+        witnessed: Dict[Tuple, Tuple] = {}
+        determinant = sorted(self.determinant)
+        dependent = sorted(self.dependent)
+        for tup in relation:
+            key = tuple(tup[a] for a in determinant)
+            value = tuple(tup[a] for a in dependent)
+            if key in witnessed and witnessed[key] != value:
+                return False
+            witnessed[key] = value
+        return True
+
+    def __str__(self) -> str:
+        return f"{' '.join(sorted(self.determinant))} -> {' '.join(sorted(self.dependent))}"
+
+
+@dataclass(frozen=True)
+class JoinDependency:
+    """A join dependency ``*[Y_1, ..., Y_k]`` over a relation scheme."""
+
+    components: Tuple[RelationScheme, ...]
+
+    @classmethod
+    def of(cls, *components: SchemeLike) -> "JoinDependency":
+        """Build a join dependency from scheme-like components."""
+        return cls(tuple(as_scheme(c) for c in components))
+
+    def scheme(self) -> RelationScheme:
+        """The union of the components (the scheme the dependency speaks about)."""
+        union = self.components[0]
+        for component in self.components[1:]:
+            union = union.union(component)
+        return union
+
+    def holds_in(self, relation: Relation) -> bool:
+        """Instance satisfaction: ``R = *_i π_{Y_i}(R)``.
+
+        This is exactly the co-NP-complete fixpoint question of the paper when
+        the components cover the relation's scheme.
+        """
+        if self.scheme() != relation.scheme:
+            return False
+        return project_join(relation, self.components) == relation
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(component) for component in self.components)
+        return f"*[{inner}]"
+
+
+def closure(attributes: SchemeLike, dependencies: Iterable[FunctionalDependency]) -> FrozenSet[str]:
+    """The Armstrong closure ``X+`` of an attribute set under a set of FDs."""
+    closed: Set[str] = set(as_scheme(attributes).names)
+    dependencies = list(dependencies)
+    changed = True
+    while changed:
+        changed = False
+        for dependency in dependencies:
+            if dependency.determinant <= closed and not dependency.dependent <= closed:
+                closed |= dependency.dependent
+                changed = True
+    return frozenset(closed)
+
+
+def implies_fd(
+    dependencies: Iterable[FunctionalDependency], candidate: FunctionalDependency
+) -> bool:
+    """Whether a set of FDs logically implies ``candidate`` (via closure)."""
+    return candidate.dependent <= closure(candidate.determinant, dependencies)
+
+
+def chase_lossless_join(
+    scheme: SchemeLike,
+    components: Sequence[SchemeLike],
+    dependencies: Iterable[FunctionalDependency] = (),
+) -> bool:
+    """The chase test for lossless-join decompositions.
+
+    Builds the classical tableau with one row per component (distinguished
+    symbol ``a_j`` in column ``j`` when the component contains attribute
+    ``j``, otherwise a row-specific symbol ``b_{i,j}``), chases it with the
+    functional dependencies by equating symbols, and reports whether some row
+    becomes all-distinguished — the textbook criterion for the decomposition
+    ``R = *_i π_{Y_i}(R)`` holding on every instance satisfying the FDs.
+
+    With an empty dependency set the test succeeds only when some component
+    already covers the whole scheme, matching the fact that a proper
+    decomposition need not be lossless without constraints (which is the
+    paper's point: on a *given* instance the question is co-NP-complete).
+    """
+    scheme = as_scheme(scheme)
+    component_schemes = [as_scheme(c) for c in components]
+    attributes = list(scheme.names)
+
+    # symbol: ("a", attribute) distinguished, ("b", row, attribute) otherwise.
+    tableau: List[Dict[str, Tuple]] = []
+    for row_index, component in enumerate(component_schemes):
+        row: Dict[str, Tuple] = {}
+        for attribute in attributes:
+            if attribute in component:
+                row[attribute] = ("a", attribute)
+            else:
+                row[attribute] = ("b", row_index, attribute)
+        tableau.append(row)
+
+    dependencies = list(dependencies)
+    changed = True
+    while changed:
+        changed = False
+        for dependency in dependencies:
+            determinant = sorted(dependency.determinant & set(attributes))
+            dependent = sorted(dependency.dependent & set(attributes))
+            if not determinant or not dependent:
+                continue
+            for first_index in range(len(tableau)):
+                for second_index in range(first_index + 1, len(tableau)):
+                    first, second = tableau[first_index], tableau[second_index]
+                    if all(first[a] == second[a] for a in determinant):
+                        for attribute in dependent:
+                            if first[attribute] == second[attribute]:
+                                continue
+                            # Prefer the distinguished symbol; otherwise pick
+                            # the first row's symbol.  Equate globally.
+                            preferred = first[attribute]
+                            other = second[attribute]
+                            if other[0] == "a":
+                                preferred, other = other, preferred
+                            for row in tableau:
+                                for name in attributes:
+                                    if row[name] == other:
+                                        row[name] = preferred
+                            changed = True
+
+    return any(
+        all(row[attribute] == ("a", attribute) for attribute in attributes)
+        for row in tableau
+    )
+
+
+def project_join_satisfies(relation: Relation, components: Sequence[SchemeLike]) -> bool:
+    """Instance-level join-dependency satisfaction (``R = *_i π_{Y_i}(R)``)."""
+    return JoinDependency.of(*components).holds_in(relation)

@@ -1,0 +1,49 @@
+"""Exceptions raised by the relational-algebra substrate.
+
+The hierarchy is intentionally shallow: everything derives from
+:class:`AlgebraError`, so callers that do not care about the precise failure
+mode can catch a single type, while the test-suite can assert on the specific
+subclasses.
+"""
+
+from __future__ import annotations
+
+
+class AlgebraError(Exception):
+    """Base class for every error raised by :mod:`repro.algebra`."""
+
+
+class SchemeError(AlgebraError):
+    """A relation scheme was constructed or used inconsistently."""
+
+
+class DomainError(AlgebraError):
+    """A value was used outside the domain of its attribute."""
+
+
+class TupleSchemeMismatch(AlgebraError):
+    """A tuple was used with a relation or operation over a different scheme."""
+
+
+class ProjectionError(AlgebraError):
+    """A projection referenced attributes not present in the source scheme."""
+
+
+class JoinError(AlgebraError):
+    """A natural join was attempted between incompatible operands."""
+
+
+class DatabaseSchemeError(AlgebraError):
+    """A database does not match its database scheme."""
+
+
+class RenameError(AlgebraError):
+    """An attribute rename was ill-formed (missing source or clashing target)."""
+
+
+class SelectionError(AlgebraError):
+    """A selection predicate referenced attributes outside the scheme."""
+
+
+class UnionCompatibilityError(AlgebraError):
+    """A set operation was applied to relations over different schemes."""

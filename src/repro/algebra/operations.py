@@ -1,0 +1,141 @@
+"""Free-function forms of the relational operations.
+
+The paper uses the operator notation ``π_Y(R)`` for projection and ``R1 * R2``
+for natural join.  These functions provide the same vocabulary over
+:class:`~repro.algebra.relation.Relation` objects, including the n-ary join
+``*π_{Y_i}(R)`` that shows up throughout Section 3, together with the
+remaining classical set operations.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Callable, Dict, Hashable, Iterable, List, Sequence
+
+from .errors import JoinError
+from .relation import Relation
+from .schema import RelationScheme, SchemeLike, as_scheme
+from .tuples import RelationTuple
+
+__all__ = [
+    "project",
+    "natural_join",
+    "join_all",
+    "project_join",
+    "select",
+    "union",
+    "difference",
+    "intersection",
+    "rename",
+    "cartesian_product",
+    "divide",
+    "semijoin",
+]
+
+
+def project(relation: Relation, target: SchemeLike) -> Relation:
+    """Projection ``π_Y(R)``."""
+    return relation.project(target)
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """Natural join ``R1 * R2``."""
+    return left.natural_join(right)
+
+
+def join_all(relations: Sequence[Relation]) -> Relation:
+    """n-ary natural join ``R1 * R2 * ... * Rk`` (left-associated).
+
+    The natural join is associative and commutative, so the association order
+    only affects intermediate sizes, not the result.
+    """
+    relations = list(relations)
+    if not relations:
+        raise JoinError("join_all requires at least one relation")
+    return reduce(natural_join, relations)
+
+
+def project_join(relation: Relation, targets: Iterable[SchemeLike]) -> Relation:
+    """The paper's recurring query shape ``*π_{Y_i}(R)``.
+
+    Projects ``relation`` onto each scheme in ``targets`` and joins all the
+    projections.  This is exactly the "project-join mapping" of the universal
+    relation literature cited in the paper.
+    """
+    schemes = [as_scheme(t) for t in targets]
+    if not schemes:
+        raise JoinError("project_join requires at least one projection scheme")
+    return join_all([relation.project(s) for s in schemes])
+
+
+def select(relation: Relation, predicate: Callable[[RelationTuple], bool]) -> Relation:
+    """Selection ``σ_p(R)``."""
+    return relation.select(predicate)
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union of relations over the same scheme."""
+    return left.union(right)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Set difference of relations over the same scheme."""
+    return left.difference(right)
+
+
+def intersection(left: Relation, right: Relation) -> Relation:
+    """Set intersection of relations over the same scheme."""
+    return left.intersection(right)
+
+
+def rename(relation: Relation, mapping: Dict[str, str]) -> Relation:
+    """Attribute renaming ``ρ``."""
+    return relation.rename(mapping)
+
+
+def cartesian_product(left: Relation, right: Relation) -> Relation:
+    """Cartesian product of relations over disjoint schemes.
+
+    The natural join of relations with disjoint schemes *is* their cartesian
+    product; this wrapper simply checks the disjointness precondition so the
+    intent is explicit at call sites (the Theorem 1 construction relies on it).
+    """
+    if not left.scheme.is_disjoint_from(right.scheme):
+        shared = sorted(left.scheme.name_set & right.scheme.name_set)
+        raise JoinError(
+            f"cartesian_product requires disjoint schemes; shared attributes: {shared}"
+        )
+    return left.natural_join(right)
+
+
+def semijoin(left: Relation, right: Relation) -> Relation:
+    """Semijoin ``R1 ⋉ R2``: tuples of ``left`` that join with some tuple of ``right``."""
+    common = left.scheme.intersection(right.scheme)
+    if len(common) == 0:
+        return left if not right.is_empty() else Relation.empty(left.scheme)
+    right_keys = {t.project(common) for t in right}
+    return left.select(lambda t: t.project(common) in right_keys)
+
+
+def divide(dividend: Relation, divisor: Relation) -> Relation:
+    """Relational division ``R ÷ S``.
+
+    Returns the tuples ``t`` over the scheme ``scheme(R) - scheme(S)`` such
+    that ``{t} x S ⊆ R``.  Included for completeness of the algebra substrate;
+    the paper itself only needs projection and join.
+    """
+    quotient_scheme = dividend.scheme.difference(divisor.scheme)
+    if len(quotient_scheme) == len(dividend.scheme):
+        raise JoinError("divisor scheme must share attributes with the dividend")
+    candidates = dividend.project(quotient_scheme)
+    if divisor.is_empty():
+        return candidates
+    divisor_part = divisor.project(dividend.scheme.intersection(divisor.scheme))
+    kept: List[RelationTuple] = []
+    for candidate in candidates:
+        needed = {candidate.joined(d) for d in divisor_part}
+        required_scheme = quotient_scheme.union(divisor_part.scheme)
+        present = {t.project(required_scheme) for t in dividend}
+        if needed <= present:
+            kept.append(candidate)
+    return Relation(quotient_scheme, kept)

@@ -1,0 +1,306 @@
+"""Relations: finite sets of tuples over a relation scheme.
+
+:class:`Relation` is the central data structure of the substrate.  It is an
+immutable set of :class:`~repro.algebra.tuples.RelationTuple` objects, all over
+the same scheme, with the relational operations exposed both as methods and as
+free functions in :mod:`repro.algebra.operations`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .errors import (
+    JoinError,
+    ProjectionError,
+    SelectionError,
+    TupleSchemeMismatch,
+    UnionCompatibilityError,
+)
+from .schema import RelationScheme, SchemeLike, as_scheme
+from .tuples import RelationTuple, as_tuple
+
+__all__ = ["Relation"]
+
+TupleLike = Union[RelationTuple, Mapping[str, Hashable], Iterable[Hashable]]
+
+
+class Relation:
+    """A finite relation over a relation scheme.
+
+    Relations are immutable; every operation returns a new relation.  Tuples
+    can be supplied as :class:`RelationTuple` objects, as mappings from
+    attribute name to value, or as plain value sequences in scheme order.
+    """
+
+    __slots__ = ("_scheme", "_tuples", "_name")
+
+    def __init__(
+        self,
+        scheme: SchemeLike,
+        tuples: Iterable[TupleLike] = (),
+        name: Optional[str] = None,
+    ):
+        self._scheme = as_scheme(scheme)
+        self._tuples: FrozenSet[RelationTuple] = frozenset(
+            as_tuple(self._scheme, t) for t in tuples
+        )
+        self._name = name
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def empty(cls, scheme: SchemeLike, name: Optional[str] = None) -> "Relation":
+        """Return the empty relation over ``scheme``."""
+        return cls(scheme, (), name=name)
+
+    @classmethod
+    def from_rows(
+        cls,
+        scheme: SchemeLike,
+        rows: Iterable[Sequence[Hashable]],
+        name: Optional[str] = None,
+    ) -> "Relation":
+        """Build a relation from value rows listed in scheme order."""
+        scheme = as_scheme(scheme)
+        return cls(scheme, (RelationTuple.from_values(scheme, row) for row in rows), name=name)
+
+    @classmethod
+    def single(cls, scheme: SchemeLike, values: TupleLike, name: Optional[str] = None) -> "Relation":
+        """Build a relation holding a single tuple."""
+        return cls(scheme, [values], name=name)
+
+    # -- basic protocol -----------------------------------------------
+
+    @property
+    def scheme(self) -> RelationScheme:
+        """The relation scheme of this relation."""
+        return self._scheme
+
+    @property
+    def name(self) -> Optional[str]:
+        """An optional display name (used by pretty-printing and databases)."""
+        return self._name
+
+    @property
+    def tuples(self) -> FrozenSet[RelationTuple]:
+        """The underlying frozen set of tuples."""
+        return self._tuples
+
+    def with_name(self, name: str) -> "Relation":
+        """Return the same relation carrying a display name."""
+        relation = Relation.__new__(Relation)
+        relation._scheme = self._scheme
+        relation._tuples = self._tuples
+        relation._name = name
+        return relation
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[RelationTuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, item: TupleLike) -> bool:
+        try:
+            candidate = as_tuple(self._scheme, item)
+        except TupleSchemeMismatch:
+            return False
+        return candidate in self._tuples
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Relation):
+            return self._scheme == other._scheme and self._tuples == other._tuples
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._scheme, self._tuples))
+
+    def __repr__(self) -> str:
+        label = self._name or "Relation"
+        return f"<{label} over {self._scheme} with {len(self)} tuples>"
+
+    def is_empty(self) -> bool:
+        """Return whether the relation has no tuples."""
+        return not self._tuples
+
+    def cardinality(self) -> int:
+        """Return the number of tuples (``|R|`` in the paper)."""
+        return len(self._tuples)
+
+    def sorted_rows(self, names: Optional[Sequence[str]] = None) -> List[Tuple[Hashable, ...]]:
+        """Return rows as value tuples, deterministically sorted.
+
+        Useful for printing and for comparing relations in tests without
+        depending on set iteration order.
+        """
+        names = tuple(names) if names is not None else self._scheme.names
+        rows = [t.values_in_order(names) for t in self._tuples]
+        return sorted(rows, key=lambda row: tuple(map(repr, row)))
+
+    def to_table(self, max_rows: Optional[int] = None) -> str:
+        """Render the relation as an aligned text table."""
+        names = self._scheme.names
+        rows = self.sorted_rows()
+        if max_rows is not None and len(rows) > max_rows:
+            shown = rows[:max_rows]
+            truncated = len(rows) - max_rows
+        else:
+            shown = rows
+            truncated = 0
+        cells = [[str(n) for n in names]] + [[str(v) for v in row] for row in shown]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(names))]
+        lines = []
+        header = "  ".join(cell.ljust(width) for cell, width in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if truncated:
+            lines.append(f"... ({truncated} more tuples)")
+        return "\n".join(lines)
+
+    # -- relational algebra -------------------------------------------
+
+    def project(self, target: SchemeLike) -> "Relation":
+        """Projection ``π_Y(R)``: restrict every tuple to the attributes in ``target``."""
+        target_scheme = as_scheme(target)
+        if not target_scheme.is_subscheme_of(self._scheme):
+            missing = sorted(target_scheme.name_set - self._scheme.name_set)
+            raise ProjectionError(
+                f"cannot project relation over {self._scheme} onto {target_scheme}: "
+                f"missing attributes {missing}"
+            )
+        projected_scheme = self._scheme.restrict(target_scheme.names)
+        return Relation(projected_scheme, (t.project(projected_scheme) for t in self._tuples))
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """Natural join ``R1 * R2`` via a hash join on the common attributes.
+
+        The result scheme is the union of the operand schemes; a result tuple
+        restricts to a tuple of each operand (paper, Section 2.1).  When the
+        operand schemes are disjoint this degenerates to a cartesian product.
+        """
+        if not isinstance(other, Relation):
+            raise JoinError(f"cannot join a relation with {type(other).__name__}")
+        common = tuple(
+            name for name in self._scheme.names if name in other._scheme.name_set
+        )
+        joined_scheme = self._scheme.union(other._scheme)
+
+        # Build the hash table on the smaller operand to bound memory.
+        build, probe = (self, other) if len(self) <= len(other) else (other, self)
+        buckets: Dict[Tuple[Hashable, ...], List[RelationTuple]] = {}
+        for tup in build:
+            key = tuple(tup[name] for name in common)
+            buckets.setdefault(key, []).append(tup)
+
+        result: List[RelationTuple] = []
+        for tup in probe:
+            key = tuple(tup[name] for name in common)
+            for match in buckets.get(key, ()):
+                merged = match.as_dict()
+                merged.update(tup.as_dict())
+                result.append(RelationTuple(joined_scheme, merged))
+        return Relation(joined_scheme, result)
+
+    def select(self, predicate: Callable[[RelationTuple], bool]) -> "Relation":
+        """Selection ``σ_p(R)`` with an arbitrary tuple predicate."""
+        try:
+            kept = [t for t in self._tuples if predicate(t)]
+        except KeyError as exc:
+            raise SelectionError(f"selection predicate referenced missing attribute {exc}") from exc
+        return Relation(self._scheme, kept)
+
+    def select_eq(self, **conditions: Hashable) -> "Relation":
+        """Selection on attribute = constant conditions, e.g. ``r.select_eq(S="a")``."""
+        missing = [name for name in conditions if name not in self._scheme]
+        if missing:
+            raise SelectionError(
+                f"selection referenced attributes {missing} not in scheme {self._scheme}"
+            )
+        return self.select(
+            lambda t: all(t[name] == value for name, value in conditions.items())
+        )
+
+    def _check_compatible(self, other: "Relation", operation: str) -> None:
+        if not isinstance(other, Relation):
+            raise UnionCompatibilityError(
+                f"{operation} requires a relation operand, got {type(other).__name__}"
+            )
+        if self._scheme != other._scheme:
+            raise UnionCompatibilityError(
+                f"{operation} requires identical schemes: {self._scheme} vs {other._scheme}"
+            )
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union of two relations over the same scheme."""
+        self._check_compatible(other, "union")
+        return Relation(self._scheme, self._tuples | other._tuples)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference of two relations over the same scheme."""
+        self._check_compatible(other, "difference")
+        return Relation(self._scheme, self._tuples - other._tuples)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection of two relations over the same scheme."""
+        self._check_compatible(other, "intersection")
+        return Relation(self._scheme, self._tuples & other._tuples)
+
+    def rename(self, mapping: Dict[str, str]) -> "Relation":
+        """Rename attributes according to ``mapping`` (old name -> new name)."""
+        renamed_scheme = self._scheme.renamed(mapping)
+        return Relation(renamed_scheme, (t.renamed(mapping) for t in self._tuples))
+
+    def add_constant_column(self, attribute: str, value: Hashable) -> "Relation":
+        """Return the relation extended with a constant-valued column."""
+        new_scheme = self._scheme.union(RelationScheme([attribute]))
+        return Relation(new_scheme, (t.extended({attribute: value}) for t in self._tuples))
+
+    def insert(self, *rows: TupleLike) -> "Relation":
+        """Return a new relation with the given tuples added."""
+        return Relation(self._scheme, list(self._tuples) + list(rows), name=self._name)
+
+    def remove(self, *rows: TupleLike) -> "Relation":
+        """Return a new relation with the given tuples removed (if present)."""
+        to_remove = {as_tuple(self._scheme, row) for row in rows}
+        return Relation(self._scheme, self._tuples - to_remove, name=self._name)
+
+    # -- containment helpers ------------------------------------------
+
+    def is_subset_of(self, other: "Relation") -> bool:
+        """Return whether every tuple of this relation occurs in ``other``."""
+        self._check_compatible(other, "subset test")
+        return self._tuples <= other._tuples
+
+    def is_proper_subset_of(self, other: "Relation") -> bool:
+        """Return whether this relation is strictly contained in ``other``."""
+        self._check_compatible(other, "subset test")
+        return self._tuples < other._tuples
+
+    def active_domain(self) -> FrozenSet[Hashable]:
+        """Return the set of all values occurring anywhere in the relation."""
+        values: set = set()
+        for tup in self._tuples:
+            values.update(tup.values_in_order())
+        return frozenset(values)
+
+    def column_values(self, attribute: str) -> FrozenSet[Hashable]:
+        """Return the set of values occurring in one column."""
+        if attribute not in self._scheme:
+            raise ProjectionError(f"attribute {attribute!r} not in scheme {self._scheme}")
+        return frozenset(t[attribute] for t in self._tuples)

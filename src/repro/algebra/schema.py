@@ -1,0 +1,227 @@
+"""Relation schemes and database schemes.
+
+A *relation scheme* is a finite set of attributes labelling the columns of a
+table (paper, Section 2.1).  The paper writes schemes as strings of attributes;
+here a :class:`RelationScheme` keeps an explicit attribute order for stable
+printing, but equality, hashing, and all algebraic operations treat it as a
+set, exactly as the model requires.
+
+A *database scheme* is a finite set of relation schemes, and a database over it
+contains exactly one relation per scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+from .attributes import Attribute, as_attribute
+from .errors import SchemeError
+
+__all__ = ["RelationScheme", "DatabaseScheme", "as_scheme"]
+
+AttributeLike = Union[str, Attribute]
+SchemeLike = Union["RelationScheme", Iterable[AttributeLike], str]
+
+
+class RelationScheme:
+    """An ordered presentation of a finite set of attributes.
+
+    The order is purely cosmetic (it controls column order when printing a
+    relation); two schemes with the same attribute *set* are equal and
+    interchangeable everywhere in the library.
+    """
+
+    __slots__ = ("_attributes", "_names", "_name_set", "_by_name")
+
+    def __init__(self, attributes: Iterable[AttributeLike]):
+        attrs = tuple(as_attribute(a) for a in attributes)
+        names = tuple(a.name for a in attrs)
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemeError(f"duplicate attributes in scheme: {duplicates}")
+        self._attributes: Tuple[Attribute, ...] = attrs
+        self._names: Tuple[str, ...] = names
+        self._name_set: FrozenSet[str] = frozenset(names)
+        self._by_name: Dict[str, Attribute] = {a.name: a for a in attrs}
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def of(cls, *attributes: AttributeLike) -> "RelationScheme":
+        """Build a scheme from attribute arguments: ``RelationScheme.of("A", "B")``."""
+        return cls(attributes)
+
+    @classmethod
+    def from_string(cls, text: str, separator: Optional[str] = None) -> "RelationScheme":
+        """Parse a scheme written as a string of attribute names.
+
+        With the default ``separator=None`` the string is split on
+        whitespace and commas, e.g. ``"A B C"`` or ``"A, B, C"``.
+        """
+        if separator is not None:
+            parts = [p.strip() for p in text.split(separator)]
+        else:
+            parts = text.replace(",", " ").split()
+        parts = [p for p in parts if p]
+        if not parts:
+            raise SchemeError(f"cannot parse an empty scheme from {text!r}")
+        return cls(parts)
+
+    # -- basic protocol -----------------------------------------------
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        """The attributes in presentation order."""
+        return self._attributes
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """The attribute names in presentation order."""
+        return self._names
+
+    @property
+    def name_set(self) -> FrozenSet[str]:
+        """The attribute names as a frozen set (the scheme's identity)."""
+        return self._name_set
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute object with the given name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemeError(f"attribute {name!r} not in scheme {self}") from None
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, item: AttributeLike) -> bool:
+        name = item.name if isinstance(item, Attribute) else item
+        return name in self._name_set
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RelationScheme):
+            return self._name_set == other._name_set
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._name_set)
+
+    def __repr__(self) -> str:
+        return f"RelationScheme({list(self._names)!r})"
+
+    def __str__(self) -> str:
+        return " ".join(self._names)
+
+    # -- set algebra ---------------------------------------------------
+
+    def is_subscheme_of(self, other: "SchemeLike") -> bool:
+        """Return whether every attribute of this scheme occurs in ``other``."""
+        return self._name_set <= as_scheme(other).name_set
+
+    def union(self, other: SchemeLike) -> "RelationScheme":
+        """Scheme union, preserving this scheme's order then new attributes."""
+        other_scheme = as_scheme(other)
+        extra = [a for a in other_scheme.attributes if a.name not in self._name_set]
+        return RelationScheme(list(self._attributes) + extra)
+
+    def intersection(self, other: SchemeLike) -> "RelationScheme":
+        """Scheme intersection, in this scheme's order."""
+        other_names = as_scheme(other).name_set
+        return RelationScheme(a for a in self._attributes if a.name in other_names)
+
+    def difference(self, other: SchemeLike) -> "RelationScheme":
+        """Attributes of this scheme not present in ``other``."""
+        other_names = as_scheme(other).name_set
+        return RelationScheme(a for a in self._attributes if a.name not in other_names)
+
+    def restrict(self, names: Iterable[AttributeLike]) -> "RelationScheme":
+        """Return the sub-scheme containing exactly ``names``, in the given order."""
+        wanted = [as_attribute(n).name for n in names]
+        missing = [n for n in wanted if n not in self._name_set]
+        if missing:
+            raise SchemeError(f"attributes {missing} not in scheme {self}")
+        return RelationScheme(self._by_name[n] for n in wanted)
+
+    def renamed(self, mapping: Dict[str, str]) -> "RelationScheme":
+        """Return a scheme with attributes renamed according to ``mapping``."""
+        missing = [old for old in mapping if old not in self._name_set]
+        if missing:
+            raise SchemeError(f"cannot rename missing attributes {missing} of {self}")
+        return RelationScheme(
+            a.renamed(mapping[a.name]) if a.name in mapping else a
+            for a in self._attributes
+        )
+
+    def is_disjoint_from(self, other: SchemeLike) -> bool:
+        """Return whether this scheme shares no attribute with ``other``."""
+        return self._name_set.isdisjoint(as_scheme(other).name_set)
+
+
+def as_scheme(value: SchemeLike) -> RelationScheme:
+    """Coerce a scheme-like value into a :class:`RelationScheme`.
+
+    Accepts an existing scheme, an iterable of attributes/names, or a string
+    of whitespace/comma separated attribute names.
+    """
+    if isinstance(value, RelationScheme):
+        return value
+    if isinstance(value, str):
+        return RelationScheme.from_string(value)
+    return RelationScheme(value)
+
+
+class DatabaseScheme:
+    """A finite set of relation schemes, addressed by relation name."""
+
+    __slots__ = ("_schemes",)
+
+    def __init__(self, schemes: Dict[str, SchemeLike]):
+        self._schemes: Dict[str, RelationScheme] = {
+            name: as_scheme(s) for name, s in schemes.items()
+        }
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """The relation names, in insertion order."""
+        return tuple(self._schemes)
+
+    def scheme_of(self, name: str) -> RelationScheme:
+        """Return the scheme of the named relation."""
+        try:
+            return self._schemes[name]
+        except KeyError:
+            raise SchemeError(f"no relation named {name!r} in database scheme") from None
+
+    def __len__(self) -> int:
+        return len(self._schemes)
+
+    def __iter__(self) -> Iterator[Tuple[str, RelationScheme]]:
+        return iter(self._schemes.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemes
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DatabaseScheme):
+            return self._schemes == other._schemes
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}: {s}" for n, s in self._schemes.items())
+        return f"DatabaseScheme({{{inner}}})"
+
+    def all_attributes(self) -> RelationScheme:
+        """Union of all relation schemes (the universe of attributes)."""
+        universe: Sequence[Attribute] = []
+        seen = set()
+        collected = []
+        for scheme in self._schemes.values():
+            for attr in scheme:
+                if attr.name not in seen:
+                    seen.add(attr.name)
+                    collected.append(attr)
+        universe = collected
+        return RelationScheme(universe)

@@ -1,0 +1,183 @@
+"""Tuples of the relational model.
+
+An ``X``-tuple is a mapping from the attributes of a scheme ``X`` to values
+(paper, Section 2.1).  :class:`RelationTuple` is an immutable, hashable mapping
+whose keys are exactly the attribute names of its scheme.  Projection of a
+tuple onto a sub-scheme (``t[Y]`` in the paper) is :meth:`RelationTuple.project`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple, Union
+
+from .attributes import Attribute
+from .errors import ProjectionError, TupleSchemeMismatch
+from .schema import RelationScheme, SchemeLike, as_scheme
+
+__all__ = ["RelationTuple", "as_tuple"]
+
+AttributeLike = Union[str, Attribute]
+
+
+class RelationTuple(Mapping[str, Hashable]):
+    """An immutable tuple over a relation scheme.
+
+    The tuple behaves as a read-only mapping from attribute name to value and
+    is hashable, so relations can store tuples in plain Python sets.
+    """
+
+    __slots__ = ("_scheme", "_values", "_hash")
+
+    def __init__(self, scheme: SchemeLike, values: Mapping[str, Hashable]):
+        scheme = as_scheme(scheme)
+        provided = set(values)
+        expected = set(scheme.name_set)
+        if provided != expected:
+            missing = sorted(expected - provided)
+            extra = sorted(provided - expected)
+            raise TupleSchemeMismatch(
+                f"tuple values do not match scheme {scheme}: "
+                f"missing={missing} extra={extra}"
+            )
+        for attr in scheme:
+            attr.check_value(values[attr.name])
+        self._scheme = scheme
+        self._values: Tuple[Hashable, ...] = tuple(values[name] for name in scheme.names)
+        self._hash = hash((scheme.name_set, frozenset(values.items())))
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_values(cls, scheme: SchemeLike, values: Iterable[Hashable]) -> "RelationTuple":
+        """Build a tuple from values listed in the scheme's presentation order."""
+        scheme = as_scheme(scheme)
+        values = tuple(values)
+        if len(values) != len(scheme):
+            raise TupleSchemeMismatch(
+                f"expected {len(scheme)} values for scheme {scheme}, got {len(values)}"
+            )
+        return cls(scheme, dict(zip(scheme.names, values)))
+
+    # -- mapping protocol ---------------------------------------------
+
+    @property
+    def scheme(self) -> RelationScheme:
+        """The relation scheme this tuple is defined over."""
+        return self._scheme
+
+    def __getitem__(self, key: AttributeLike) -> Hashable:
+        name = key.name if isinstance(key, Attribute) else key
+        try:
+            index = self._scheme.names.index(name)
+        except ValueError:
+            raise KeyError(name) from None
+        return self._values[index]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._scheme.names)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: object) -> bool:
+        name = key.name if isinstance(key, Attribute) else key
+        return name in self._scheme
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RelationTuple):
+            return (
+                self._scheme.name_set == other._scheme.name_set
+                and dict(self) == dict(other)
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={self[n]!r}" for n in self._scheme.names)
+        return f"RelationTuple({inner})"
+
+    # -- relational operations ----------------------------------------
+
+    def as_dict(self) -> Dict[str, Hashable]:
+        """Return a plain mutable dict copy of the tuple."""
+        return dict(zip(self._scheme.names, self._values))
+
+    def values_in_order(self, names: Iterable[str] = None) -> Tuple[Hashable, ...]:
+        """Return values in the order of ``names`` (default: scheme order)."""
+        if names is None:
+            return self._values
+        return tuple(self[name] for name in names)
+
+    def project(self, target: SchemeLike) -> "RelationTuple":
+        """Project (restrict) this tuple onto the sub-scheme ``target``.
+
+        This is ``t[Y]`` in the paper's notation.  Raises
+        :class:`ProjectionError` if ``target`` is not a subset of the tuple's
+        scheme.
+        """
+        target_scheme = as_scheme(target)
+        if not target_scheme.is_subscheme_of(self._scheme):
+            missing = sorted(target_scheme.name_set - self._scheme.name_set)
+            raise ProjectionError(
+                f"cannot project tuple over {self._scheme} onto {target_scheme}: "
+                f"missing attributes {missing}"
+            )
+        restricted = self._scheme.restrict(target_scheme.names)
+        return RelationTuple(restricted, {n: self[n] for n in restricted.names})
+
+    def joins_with(self, other: "RelationTuple") -> bool:
+        """Return whether this tuple agrees with ``other`` on common attributes."""
+        common = self._scheme.name_set & other._scheme.name_set
+        return all(self[name] == other[name] for name in common)
+
+    def joined(self, other: "RelationTuple") -> "RelationTuple":
+        """Return the natural join of two joinable tuples.
+
+        Raises :class:`TupleSchemeMismatch` if the tuples disagree on a common
+        attribute.
+        """
+        if not self.joins_with(other):
+            raise TupleSchemeMismatch(
+                f"tuples disagree on common attributes: {self!r} vs {other!r}"
+            )
+        joined_scheme = self._scheme.union(other._scheme)
+        values = self.as_dict()
+        values.update(other.as_dict())
+        return RelationTuple(joined_scheme, values)
+
+    def extended(self, extra: Mapping[str, Hashable]) -> "RelationTuple":
+        """Return a new tuple with additional attribute/value pairs appended."""
+        overlapping = set(extra) & set(self._scheme.name_set)
+        if overlapping:
+            raise TupleSchemeMismatch(
+                f"cannot extend tuple with already-present attributes {sorted(overlapping)}"
+            )
+        new_scheme = self._scheme.union(RelationScheme(extra.keys()))
+        values = self.as_dict()
+        values.update(extra)
+        return RelationTuple(new_scheme, values)
+
+    def renamed(self, mapping: Dict[str, str]) -> "RelationTuple":
+        """Return a tuple over the renamed scheme with the same values."""
+        new_scheme = self._scheme.renamed(mapping)
+        values = {}
+        for attr in self._scheme:
+            new_name = mapping.get(attr.name, attr.name)
+            values[new_name] = self[attr.name]
+        return RelationTuple(new_scheme, values)
+
+
+def as_tuple(scheme: SchemeLike, value: Union[RelationTuple, Mapping[str, Hashable], Iterable[Hashable]]) -> RelationTuple:
+    """Coerce mappings or value sequences into a :class:`RelationTuple`."""
+    scheme = as_scheme(scheme)
+    if isinstance(value, RelationTuple):
+        if value.scheme != scheme:
+            raise TupleSchemeMismatch(
+                f"tuple over {value.scheme} used where scheme {scheme} expected"
+            )
+        return value
+    if isinstance(value, Mapping):
+        return RelationTuple(scheme, value)
+    return RelationTuple.from_values(scheme, value)

@@ -1,0 +1,14 @@
+"""Measurement and analysis tooling used by the benchmark harness."""
+
+from .blowup import BlowupMeasurement, analyze_blowup, blowup_sweep
+from .statistics import GrowthFit, fit_exponential_growth, format_table, geometric_mean
+
+__all__ = [
+    "BlowupMeasurement",
+    "analyze_blowup",
+    "blowup_sweep",
+    "GrowthFit",
+    "fit_exponential_growth",
+    "format_table",
+    "geometric_mean",
+]

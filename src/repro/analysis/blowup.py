@@ -1,0 +1,114 @@
+"""Intermediate-result blow-up analysis (the introduction's headline claim).
+
+The paper's framing result is that, unlike ordinary integer algebra,
+relational algebra admits expressions whose *intermediate* results are
+inherently much larger than both the input and the (polynomially bounded)
+output.  :func:`analyze_blowup` measures exactly that on a concrete
+relation/expression pair by running the naive instrumented evaluator, and
+optionally the optimising evaluator for comparison; :func:`blowup_sweep`
+repeats the measurement over a family and tabulates growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..algebra.relation import Relation
+from ..expressions.ast import Expression
+from ..expressions.evaluator import ArgumentLike, EvaluationTrace, InstrumentedEvaluator
+from ..expressions.optimizer import OptimizedEvaluator
+
+__all__ = ["BlowupMeasurement", "analyze_blowup", "blowup_sweep"]
+
+
+@dataclass(frozen=True)
+class BlowupMeasurement:
+    """Peak intermediate sizes of one evaluation, naive vs optimised.
+
+    ``label`` identifies the instance (e.g. "m=4, n=6"); the remaining fields
+    are tuple counts.
+    """
+
+    label: str
+    input_cardinality: int
+    output_cardinality: int
+    naive_peak: int
+    naive_total: int
+    optimized_peak: Optional[int]
+    optimized_total: Optional[int]
+
+    @property
+    def naive_blowup_vs_input(self) -> float:
+        """Peak naive intermediate size divided by input size."""
+        return self.naive_peak / self.input_cardinality if self.input_cardinality else 0.0
+
+    @property
+    def naive_blowup_vs_output(self) -> float:
+        """Peak naive intermediate size divided by output size."""
+        return self.naive_peak / self.output_cardinality if self.output_cardinality else 0.0
+
+    @property
+    def optimizer_gain(self) -> Optional[float]:
+        """How much smaller the optimised peak is (naive_peak / optimized_peak)."""
+        if self.optimized_peak in (None, 0):
+            return None
+        return self.naive_peak / self.optimized_peak
+
+    def as_row(self) -> Dict[str, float]:
+        """A flat dict for tabular output."""
+        row: Dict[str, float] = {
+            "input": float(self.input_cardinality),
+            "output": float(self.output_cardinality),
+            "naive_peak": float(self.naive_peak),
+            "naive_total": float(self.naive_total),
+            "blowup_vs_input": self.naive_blowup_vs_input,
+            "blowup_vs_output": self.naive_blowup_vs_output,
+        }
+        if self.optimized_peak is not None:
+            row["optimized_peak"] = float(self.optimized_peak)
+            row["optimizer_gain"] = float(self.optimizer_gain or 0.0)
+        return row
+
+
+def analyze_blowup(
+    expression: Expression,
+    arguments: ArgumentLike,
+    label: str = "",
+    compare_optimizer: bool = True,
+) -> BlowupMeasurement:
+    """Measure peak intermediate sizes for one evaluation."""
+    naive_result, naive_trace = InstrumentedEvaluator().evaluate(expression, arguments)
+    optimized_peak: Optional[int] = None
+    optimized_total: Optional[int] = None
+    if compare_optimizer:
+        optimized_result, optimized_trace = OptimizedEvaluator().evaluate(
+            expression, arguments
+        )
+        if optimized_result != naive_result:
+            raise AssertionError(
+                "optimised evaluation disagreed with naive evaluation; "
+                "this indicates a bug in the optimiser rewrites"
+            )
+        optimized_peak = optimized_trace.peak_intermediate_cardinality
+        optimized_total = optimized_trace.total_intermediate_tuples
+    return BlowupMeasurement(
+        label=label,
+        input_cardinality=naive_trace.input_cardinality,
+        output_cardinality=naive_trace.result_cardinality,
+        naive_peak=naive_trace.peak_intermediate_cardinality,
+        naive_total=naive_trace.total_intermediate_tuples,
+        optimized_peak=optimized_peak,
+        optimized_total=optimized_total,
+    )
+
+
+def blowup_sweep(
+    instances: Sequence[Tuple[str, Expression, ArgumentLike]],
+    compare_optimizer: bool = True,
+) -> List[BlowupMeasurement]:
+    """Measure a family of (label, expression, arguments) instances."""
+    return [
+        analyze_blowup(expression, arguments, label=label, compare_optimizer=compare_optimizer)
+        for label, expression, arguments in instances
+    ]

@@ -1,0 +1,93 @@
+"""Small statistics helpers for the benchmark harness.
+
+Pure-Python (no numpy dependency in the library itself) implementations of the
+few aggregates the harness reports: geometric means, simple linear regression
+in log space to fit exponential growth laws, and a fixed-width table renderer
+so every benchmark prints its rows the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["geometric_mean", "fit_exponential_growth", "GrowthFit", "format_table"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """The geometric mean of positive values (0.0 for an empty sequence)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """The result of fitting ``y ≈ a * base**x`` by least squares in log space."""
+
+    base: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """The fitted value at ``x``."""
+        return self.prefactor * (self.base ** x)
+
+
+def fit_exponential_growth(points: Sequence[Tuple[float, float]]) -> Optional[GrowthFit]:
+    """Fit ``y ≈ a * b**x`` to (x, y) points with y > 0.
+
+    Returns ``None`` when fewer than two usable points exist.  Used by the
+    blow-up benchmark to report the measured growth base of peak intermediate
+    sizes as the construction scales.
+    """
+    usable = [(x, math.log(y)) for x, y in points if y > 0]
+    if len(usable) < 2:
+        return None
+    n = len(usable)
+    mean_x = sum(x for x, _ in usable) / n
+    mean_log_y = sum(log_y for _, log_y in usable) / n
+    ss_xx = sum((x - mean_x) ** 2 for x, _ in usable)
+    if ss_xx == 0:
+        return None
+    ss_xy = sum((x - mean_x) * (log_y - mean_log_y) for x, log_y in usable)
+    slope = ss_xy / ss_xx
+    intercept = mean_log_y - slope * mean_x
+    ss_total = sum((log_y - mean_log_y) ** 2 for _, log_y in usable)
+    ss_residual = sum(
+        (log_y - (slope * x + intercept)) ** 2 for x, log_y in usable
+    )
+    r_squared = 1.0 if ss_total == 0 else 1.0 - ss_residual / ss_total
+    return GrowthFit(base=math.exp(slope), prefactor=math.exp(intercept), r_squared=r_squared)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Render a list of dict rows as an aligned text table.
+
+    Column order follows ``columns`` when given, otherwise the key order of the
+    first row.  Floats are shown with three decimals; other values with
+    ``str``.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    cells = [[str(c) for c in columns]]
+    for row in rows:
+        cells.append([render(row.get(c, "")) for c in columns])
+    widths = [max(len(line[i]) for line in cells) for i in range(len(columns))]
+    lines = ["  ".join(cell.ljust(width) for cell, width in zip(cells[0], widths))]
+    lines.append("  ".join("-" * width for width in widths))
+    for line in cells[1:]:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)

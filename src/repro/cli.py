@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI exposes the paper's pipeline for quick experimentation without writing
+Python:
+
+``python -m repro example``
+    Print the paper's worked example table (R_G for the p. 106 formula) and
+    the expression φ_G.
+
+``python -m repro sat "(x1|x2|x3) & (~x1|~x2|x3)"``
+    Decide satisfiability of a CNF formula through the relational reduction
+    and cross-check with the DPLL solver.
+
+``python -m repro count "(x1|x2|x3) & (~x1|~x2|x3)"``
+    Count satisfying assignments via the Theorem 3 identity and via the SAT
+    counter.
+
+``python -m repro construct "(x1|x2|x3) & ..." [--show-relation]``
+    Build R_G / φ_G for a formula and print its dimensions (optionally the
+    full table).
+
+``python -m repro blowup --clauses 3 4 5``
+    Print the intermediate-result blow-up table for the R_G family.
+
+Formulas are written in the textual syntax of
+:func:`repro.sat.parse_formula` (``|`` or ``+`` inside clauses, ``&`` between
+clauses, ``~`` for negation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import analyze_blowup, format_table
+from .decision import TupleCounter, tuple_in_result
+from .expressions import Projection, evaluate
+from .reductions import RGConstruction, Theorem3Reduction
+from .sat import count_models, is_satisfiable, parse_formula, to_strict_three_cnf
+from .sat.transforms import ensure_minimum_clauses
+from .workloads import paper_example_construction
+
+__all__ = ["main", "build_parser"]
+
+
+def _prepare(text: str):
+    """Parse a formula and normalise it to the construction's requirements."""
+    formula = parse_formula(text)
+    formula = to_strict_three_cnf(formula)
+    return ensure_minimum_clauses(formula, 3)
+
+
+def _command_example(_arguments: argparse.Namespace) -> int:
+    construction = paper_example_construction()
+    print("G =", construction.formula)
+    print()
+    print(construction.relation.to_table())
+    print()
+    print("phi_G =", construction.expression.to_text())
+    result = evaluate(construction.expression, construction.relation)
+    print(f"|phi_G(R_G)| = {len(result)}  (= 22 + #SAT(G) = 22 + 20)")
+    return 0
+
+
+def _command_sat(arguments: argparse.Namespace) -> int:
+    formula = _prepare(arguments.formula)
+    construction = RGConstruction(formula)
+    member = tuple_in_result(
+        construction.u_g_tuple(),
+        construction.pair_projection_expression(),
+        construction.relation,
+    )
+    solver_answer = is_satisfiable(formula)
+    print(f"formula (normalised): {formula}")
+    print(f"relational answer (u_G in pi_Y phi_G(R_G)): {'SAT' if member else 'UNSAT'}")
+    print(f"DPLL answer:                                {'SAT' if solver_answer else 'UNSAT'}")
+    if member != solver_answer:
+        print("MISMATCH — this indicates a bug; please report it.", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _command_count(arguments: argparse.Namespace) -> int:
+    formula = _prepare(arguments.formula)
+    reduction = Theorem3Reduction(formula)
+    instance = reduction.instance()
+    tuple_count = TupleCounter().count(instance.expression, instance.relation)
+    via_query = reduction.models_from_tuple_count(tuple_count)
+    via_sat = count_models(reduction.construction.formula)
+    print(f"formula (normalised): {formula}")
+    print(f"|phi_G(R_G)| = {tuple_count}  (offset 7m+1 = {reduction.offset()})")
+    print(f"#SAT via Theorem 3 identity: {via_query}")
+    print(f"#SAT via DPLL counter:       {via_sat}")
+    return 0 if via_query == via_sat else 1
+
+
+def _command_construct(arguments: argparse.Namespace) -> int:
+    formula = _prepare(arguments.formula)
+    construction = RGConstruction(formula)
+    print(f"formula (normalised): {formula}")
+    print(
+        f"R_G: {len(construction.relation)} tuples x {len(construction.scheme)} columns "
+        f"(7m+1 = {construction.predicted_relation_size()}, "
+        f"m+n+m(m-1)/2+1 = {construction.predicted_column_count()})"
+    )
+    print(f"phi_G: {construction.expression.to_text()}")
+    if arguments.show_relation:
+        print()
+        print(construction.relation.to_table(max_rows=arguments.max_rows))
+    return 0
+
+
+def _command_blowup(arguments: argparse.Namespace) -> int:
+    from .workloads import growing_construction_family
+
+    rows = []
+    for case in growing_construction_family(clause_counts=tuple(arguments.clauses)):
+        construction = RGConstruction(case.formula)
+        query = Projection([construction.s_attribute], construction.expression)
+        measurement = analyze_blowup(query, construction.relation, label=case.label)
+        rows.append({"case": case.label, **measurement.as_row()})
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Cosmadakis (1983): the complexity of evaluating relational queries.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("example", help="print the paper's worked example").set_defaults(
+        handler=_command_example
+    )
+
+    sat_parser = subparsers.add_parser(
+        "sat", help="decide satisfiability through the relational reduction"
+    )
+    sat_parser.add_argument("formula", help="CNF formula, e.g. '(x|y|z) & (~x|y|~z)'")
+    sat_parser.set_defaults(handler=_command_sat)
+
+    count_parser = subparsers.add_parser(
+        "count", help="count satisfying assignments via the Theorem 3 identity"
+    )
+    count_parser.add_argument("formula", help="CNF formula")
+    count_parser.set_defaults(handler=_command_count)
+
+    construct_parser = subparsers.add_parser(
+        "construct", help="build R_G / phi_G for a formula and print its dimensions"
+    )
+    construct_parser.add_argument("formula", help="CNF formula")
+    construct_parser.add_argument(
+        "--show-relation", action="store_true", help="print the full R_G table"
+    )
+    construct_parser.add_argument(
+        "--max-rows", type=int, default=60, help="row cap when printing R_G"
+    )
+    construct_parser.set_defaults(handler=_command_construct)
+
+    blowup_parser = subparsers.add_parser(
+        "blowup", help="print the intermediate-result blow-up table for the R_G family"
+    )
+    blowup_parser.add_argument(
+        "--clauses", type=int, nargs="+", default=[3, 4, 5], help="clause counts to sweep"
+    )
+    blowup_parser.set_defaults(handler=_command_blowup)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Complexity-theoretic framing: class registry, problem catalogue, reduction checks."""
+
+from .classes import CLASSES, ComplexityClass, class_named, is_contained_in
+from .problems import PROBLEMS, Problem, problem_named
+from .reductions import ReductionCheck, ReductionReport, verify_reduction
+
+__all__ = [
+    "ComplexityClass",
+    "CLASSES",
+    "class_named",
+    "is_contained_in",
+    "Problem",
+    "PROBLEMS",
+    "problem_named",
+    "ReductionCheck",
+    "ReductionReport",
+    "verify_reduction",
+]

@@ -1,0 +1,123 @@
+"""A registry of the complexity classes named in the paper.
+
+The registry serves two purposes: it documents where each of the paper's
+problems sits (every :class:`~repro.complexity.problems.Problem` refers to one
+of these classes), and it records the inclusion structure the paper leans on
+(NP ∪ co-NP ⊆ DP ⊆ Δ₂ᵖ ⊆ Σ₂ᵖ ∩ Π₂ᵖ, informally) so the test-suite can sanity
+check the annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+__all__ = ["ComplexityClass", "CLASSES", "class_named", "is_contained_in"]
+
+
+@dataclass(frozen=True)
+class ComplexityClass:
+    """A named complexity class with its description and known inclusions.
+
+    ``contained_in`` lists classes this one is (unconditionally) included in —
+    only the inclusions the paper uses are recorded, not a complete zoo.
+    """
+
+    name: str
+    kind: str  # "decision" or "counting"
+    description: str
+    contained_in: Tuple[str, ...] = ()
+
+
+CLASSES: Dict[str, ComplexityClass] = {
+    cls.name: cls
+    for cls in [
+        ComplexityClass(
+            name="P",
+            kind="decision",
+            description="Problems decidable in deterministic polynomial time.",
+            contained_in=("NP", "co-NP"),
+        ),
+        ComplexityClass(
+            name="NP",
+            kind="decision",
+            description=(
+                "Problems decidable by a nondeterministic polynomial-time machine; "
+                "equivalently, problems with polynomial-size certificates checkable "
+                "in polynomial time."
+            ),
+            contained_in=("DP", "Sigma2P"),
+        ),
+        ComplexityClass(
+            name="co-NP",
+            kind="decision",
+            description="Complements of NP problems (polynomial certificates of 'no').",
+            contained_in=("DP", "Pi2P"),
+        ),
+        ComplexityClass(
+            name="DP",
+            kind="decision",
+            description=(
+                "Languages expressible as the intersection of a language in NP and a "
+                "language in co-NP (Papadimitriou & Yannakakis 1982); contains both "
+                "NP and co-NP."
+            ),
+            contained_in=("Sigma2P", "Pi2P"),
+        ),
+        ComplexityClass(
+            name="Sigma2P",
+            kind="decision",
+            description=(
+                "Σ₂ᵖ: problems decidable by a nondeterministic polynomial-time machine "
+                "with an NP oracle."
+            ),
+            contained_in=("PSPACE",),
+        ),
+        ComplexityClass(
+            name="Pi2P",
+            kind="decision",
+            description="Π₂ᵖ: the complements of Σ₂ᵖ problems (∀∃ alternation).",
+            contained_in=("PSPACE",),
+        ),
+        ComplexityClass(
+            name="PSPACE",
+            kind="decision",
+            description="Problems decidable in polynomial space.",
+        ),
+        ComplexityClass(
+            name="#P",
+            kind="counting",
+            description=(
+                "Counting problems: the number of accepting computations of a "
+                "nondeterministic polynomial-time machine (Valiant 1979)."
+            ),
+        ),
+    ]
+}
+
+
+def class_named(name: str) -> ComplexityClass:
+    """Look up a class by name (raises ``KeyError`` with the known names listed)."""
+    try:
+        return CLASSES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown complexity class {name!r}; known classes: {sorted(CLASSES)}"
+        ) from None
+
+
+def is_contained_in(inner: str, outer: str) -> bool:
+    """Whether the registry records (transitively) that ``inner ⊆ outer``."""
+    if inner == outer:
+        return True
+    seen = set()
+    frontier = [inner]
+    while frontier:
+        current = frontier.pop()
+        if current == outer:
+            return True
+        if current in seen:
+            continue
+        seen.add(current)
+        frontier.extend(class_named(current).contained_in)
+    return False

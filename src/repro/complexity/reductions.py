@@ -1,0 +1,91 @@
+"""A small framework for *checking* reductions empirically.
+
+A many-one reduction is correct when the source instance is a yes instance
+exactly when the produced target instance is.  The paper proves this once and
+for all; this repository additionally *executes* both sides on concrete
+instances and compares.  :class:`ReductionCheck` packages one such executable
+check, and :func:`verify_reduction` runs it over a batch of instances and
+reports the agreement — which is what the reduction benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Iterable, List, Sequence, Tuple, TypeVar
+
+__all__ = ["ReductionCheck", "ReductionReport", "verify_reduction"]
+
+SourceInstance = TypeVar("SourceInstance")
+
+
+@dataclass(frozen=True)
+class ReductionCheck(Generic[SourceInstance]):
+    """An executable correctness check for one reduction.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name, e.g. ``"Theorem 1: 3SAT-3UNSAT -> equality"``.
+    source_answer:
+        Decides the source instance with an independent procedure (e.g. the
+        DPLL solver / the QBF expander).
+    target_answer:
+        Builds the target instance from the source instance and decides it
+        with the relational machinery.
+    """
+
+    name: str
+    source_answer: Callable[[SourceInstance], bool]
+    target_answer: Callable[[SourceInstance], bool]
+
+    def agrees_on(self, instance: SourceInstance) -> bool:
+        """Whether both sides give the same answer for one instance."""
+        return bool(self.source_answer(instance)) == bool(self.target_answer(instance))
+
+
+@dataclass
+class ReductionReport:
+    """The outcome of checking a reduction on a batch of instances."""
+
+    name: str
+    total: int = 0
+    agreements: int = 0
+    yes_instances: int = 0
+    disagreements: List[int] = field(default_factory=list)
+
+    @property
+    def all_agree(self) -> bool:
+        """Whether every checked instance agreed."""
+        return self.agreements == self.total
+
+    @property
+    def agreement_rate(self) -> float:
+        """Fraction of instances on which both sides agreed."""
+        if self.total == 0:
+            return 1.0
+        return self.agreements / self.total
+
+    def summary(self) -> str:
+        """A one-line summary suitable for benchmark output."""
+        return (
+            f"{self.name}: {self.agreements}/{self.total} agree "
+            f"({self.yes_instances} yes instances)"
+        )
+
+
+def verify_reduction(
+    check: ReductionCheck, instances: Sequence
+) -> ReductionReport:
+    """Run a reduction check over a batch of instances and report agreement."""
+    report = ReductionReport(name=check.name)
+    for index, instance in enumerate(instances):
+        report.total += 1
+        source = bool(check.source_answer(instance))
+        target = bool(check.target_answer(instance))
+        if source:
+            report.yes_instances += 1
+        if source == target:
+            report.agreements += 1
+        else:
+            report.disagreements.append(index)
+    return report

@@ -1,0 +1,43 @@
+"""Decision procedures for the problems the paper studies.
+
+Each decider answers one of the paper's questions on concrete instances,
+reporting witnesses where the complexity class of the problem promises them
+(NP certificates, co-NP violations, the DP pair, Π₂ᵖ counterexamples).
+"""
+
+from .alternation import AlternationContainmentDecider, AlternationVerdict
+from .cardinality import CardinalityDecider, CardinalityVerdict
+from .containment import (
+    ContainmentDecider,
+    ContainmentVerdict,
+    contained_over_all_databases,
+)
+from .counting import TupleCounter, count_models_via_query
+from .equality import EqualityVerdict, QueryResultEqualityDecider
+from .fixpoint import FixpointVerdict, ProjectJoinFixpointDecider
+from .membership import (
+    CertificateMembershipDecider,
+    MembershipWitness,
+    SatBackedMembershipDecider,
+    tuple_in_result,
+)
+
+__all__ = [
+    "AlternationContainmentDecider",
+    "AlternationVerdict",
+    "tuple_in_result",
+    "MembershipWitness",
+    "CertificateMembershipDecider",
+    "SatBackedMembershipDecider",
+    "EqualityVerdict",
+    "QueryResultEqualityDecider",
+    "CardinalityVerdict",
+    "CardinalityDecider",
+    "TupleCounter",
+    "count_models_via_query",
+    "ContainmentVerdict",
+    "ContainmentDecider",
+    "contained_over_all_databases",
+    "FixpointVerdict",
+    "ProjectJoinFixpointDecider",
+]

@@ -1,0 +1,128 @@
+"""Π₂ᵖ-style deciders that mirror the paper's membership proofs (Proposition 3).
+
+Proposition 3 places the containment problems of Theorems 4 and 5 in Π₂ᵖ by
+the following Σ₂ᵖ procedure for the *complement*: nondeterministically guess a
+tuple ``t`` and check, with an NP oracle, that ``t ∈ φ1(R1)`` and
+``t ∉ φ2(R2)``.  :class:`AlternationContainmentDecider` is that procedure made
+deterministic: the "guess" becomes an enumeration of candidate tuples over the
+active domain of the target scheme, and the NP oracle is the Proposition 2
+certificate search of
+:class:`~repro.decision.membership.CertificateMembershipDecider`.
+
+Unlike :class:`~repro.decision.containment.ContainmentDecider`, this decider
+never materialises ``φ1(R1)`` or ``φ2(R2)``; its working memory is one
+candidate tuple plus one certificate, exactly as the complexity-theoretic
+argument requires (polynomial space, exponential time in the worst case).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from ..algebra.relation import Relation
+from ..algebra.schema import RelationScheme
+from ..algebra.tuples import RelationTuple
+from ..expressions.ast import Expression
+from ..expressions.evaluator import ArgumentLike, bind_arguments
+from .membership import CertificateMembershipDecider
+
+__all__ = ["AlternationVerdict", "AlternationContainmentDecider"]
+
+
+@dataclass(frozen=True)
+class AlternationVerdict:
+    """Outcome of the guess-and-verify containment check.
+
+    ``counterexample`` is the first tuple found in the left result but not in
+    the right one (the Σ₂ᵖ witness for non-containment), and
+    ``candidates_checked`` counts how many guesses were examined before the
+    answer was reached.
+    """
+
+    contained: bool
+    counterexample: Optional[RelationTuple]
+    candidates_checked: int
+
+
+class AlternationContainmentDecider:
+    """Decide ``φ1(R1) ⊆ φ2(R2)`` by candidate enumeration plus NP-oracle calls."""
+
+    def __init__(self) -> None:
+        self._membership = CertificateMembershipDecider()
+
+    def decide(
+        self,
+        first: Expression,
+        second: Expression,
+        arguments: ArgumentLike,
+        second_arguments: Optional[ArgumentLike] = None,
+    ) -> AlternationVerdict:
+        """Run the Proposition 3 procedure.
+
+        The candidate space is the cross product of, per attribute of the
+        target scheme, the values occurring in that attribute's column among
+        the relations bound to the *first* expression — any tuple of
+        ``φ1(R1)`` can only use those values, so the enumeration is complete.
+        """
+        if second_arguments is None:
+            second_arguments = arguments
+        target = first.target_scheme()
+        if target != second.target_scheme():
+            return AlternationVerdict(contained=False, counterexample=None, candidates_checked=0)
+
+        checked = 0
+        for candidate in self._candidates(first, arguments, target):
+            checked += 1
+            in_first = self._membership.decide(candidate, first, arguments) is not None
+            if not in_first:
+                continue
+            in_second = (
+                self._membership.decide(candidate, second, second_arguments) is not None
+            )
+            if not in_second:
+                return AlternationVerdict(
+                    contained=False, counterexample=candidate, candidates_checked=checked
+                )
+        return AlternationVerdict(contained=True, counterexample=None, candidates_checked=checked)
+
+    def contained(
+        self,
+        first: Expression,
+        second: Expression,
+        arguments: ArgumentLike,
+        second_arguments: Optional[ArgumentLike] = None,
+    ) -> bool:
+        """Boolean wrapper around :meth:`decide`."""
+        return self.decide(first, second, arguments, second_arguments).contained
+
+    def equivalent(
+        self,
+        first: Expression,
+        second: Expression,
+        arguments: ArgumentLike,
+        second_arguments: Optional[ArgumentLike] = None,
+    ) -> bool:
+        """Decide equivalence as containment in both directions."""
+        return self.contained(first, second, arguments, second_arguments) and self.contained(
+            second, first, second_arguments if second_arguments is not None else arguments, arguments
+        )
+
+    # -- internals -------------------------------------------------------
+
+    @staticmethod
+    def _candidates(
+        expression: Expression, arguments: ArgumentLike, target: RelationScheme
+    ) -> Iterator[RelationTuple]:
+        bound = bind_arguments(expression, arguments)
+        per_attribute: Dict[str, List[Hashable]] = {}
+        for attribute in target.names:
+            values: set = set()
+            for relation in bound.values():
+                if attribute in relation.scheme:
+                    values |= set(relation.column_values(attribute))
+            per_attribute[attribute] = sorted(values, key=repr)
+        names = list(target.names)
+        for combination in itertools.product(*(per_attribute[name] for name in names)):
+            yield RelationTuple(target, dict(zip(names, combination)))

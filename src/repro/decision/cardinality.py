@@ -1,0 +1,93 @@
+"""Cardinality estimation and bound checking for query results (Theorem 2).
+
+The paper shows that every natural question about ``|φ(R)|`` is hard:
+two-sided bounds are DP-complete, lower bounds NP-complete, upper bounds
+co-NP-complete, and exact counting #P-hard.  The deciders here simply evaluate
+and count — which is exactly what the hardness results say cannot be avoided
+in the worst case — but they also expose *early-exit* variants that stop as
+soon as a bound is decided, matching the nondeterministic algorithms in the
+membership proofs (guess ``d1`` distinct tuples / guess ``d2 + 1`` distinct
+tuples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..algebra.relation import Relation
+from ..expressions.ast import Expression
+from ..expressions.evaluator import ArgumentLike, evaluate
+
+__all__ = ["CardinalityVerdict", "CardinalityDecider"]
+
+
+@dataclass(frozen=True)
+class CardinalityVerdict:
+    """The outcome of checking ``d1 <= |φ(R)| <= d2``."""
+
+    cardinality: int
+    lower: Optional[int]
+    upper: Optional[int]
+
+    @property
+    def lower_holds(self) -> bool:
+        """Whether the lower bound (if any) holds."""
+        return self.lower is None or self.cardinality >= self.lower
+
+    @property
+    def upper_holds(self) -> bool:
+        """Whether the upper bound (if any) holds."""
+        return self.upper is None or self.cardinality <= self.upper
+
+    @property
+    def holds(self) -> bool:
+        """Whether both bounds hold."""
+        return self.lower_holds and self.upper_holds
+
+
+class CardinalityDecider:
+    """Count ``|φ(R)|`` and check bound predicates on it."""
+
+    def cardinality(self, expression: Expression, arguments: ArgumentLike) -> int:
+        """The exact number of tuples in ``φ(R)`` (the #P-hard quantity)."""
+        return len(evaluate(expression, arguments))
+
+    def check_bounds(
+        self,
+        expression: Expression,
+        arguments: ArgumentLike,
+        lower: Optional[int] = None,
+        upper: Optional[int] = None,
+    ) -> CardinalityVerdict:
+        """Check ``lower <= |φ(R)| <= upper`` (either bound may be omitted)."""
+        cardinality = self.cardinality(expression, arguments)
+        return CardinalityVerdict(cardinality=cardinality, lower=lower, upper=upper)
+
+    def at_least(
+        self, expression: Expression, arguments: ArgumentLike, lower: int
+    ) -> bool:
+        """Decide ``lower <= |φ(R)|`` (NP-complete in general).
+
+        Implemented with an early exit: evaluation is still full (the naive
+        evaluator materialises the result), but counting stops at ``lower``.
+        """
+        result = evaluate(expression, arguments)
+        return self._count_up_to(result, lower) >= lower
+
+    def at_most(
+        self, expression: Expression, arguments: ArgumentLike, upper: int
+    ) -> bool:
+        """Decide ``|φ(R)| <= upper`` (co-NP-complete in general)."""
+        result = evaluate(expression, arguments)
+        return self._count_up_to(result, upper + 1) <= upper
+
+    @staticmethod
+    def _count_up_to(relation: Relation, limit: int) -> int:
+        """Count tuples but stop as soon as ``limit`` is reached."""
+        count = 0
+        for _ in relation:
+            count += 1
+            if count >= limit:
+                break
+        return count

@@ -1,0 +1,140 @@
+"""Containment and equivalence of query results (Theorems 4 and 5).
+
+Two flavours of comparison are implemented, matching the two theorems:
+
+* **Fixed relation, two queries** — ``φ1(R) ⊆ φ2(R)`` / ``φ1(R) = φ2(R)``;
+* **Fixed query, two databases** — ``φ(R1) ⊆ φ(R2)`` / ``φ(R1) = φ(R2)``.
+
+Both are decided by evaluation with witness reporting.  The verdict object
+mirrors the Π₂ᵖ structure of the problem: a *violation* is a tuple together
+with a membership certificate on the left and the (co-NP) fact that it has no
+certificate on the right; :meth:`ContainmentDecider.violating_tuple` surfaces
+exactly that tuple.
+
+For contrast, :func:`contained_over_all_databases` exposes the classical
+Chandra–Merlin containment (an NP-complete problem) from
+:mod:`repro.tableaux`, which ignores the database entirely — the benchmark
+harness uses the pair to illustrate how different the two notions are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..algebra.relation import Relation
+from ..algebra.tuples import RelationTuple
+from ..expressions.ast import Expression
+from ..expressions.evaluator import ArgumentLike, evaluate
+from ..tableaux.homomorphism import query_contained_in
+
+__all__ = [
+    "ContainmentVerdict",
+    "ContainmentDecider",
+    "contained_over_all_databases",
+]
+
+
+@dataclass(frozen=True)
+class ContainmentVerdict:
+    """The outcome of a containment / equivalence comparison.
+
+    ``left_in_right`` and ``right_in_left`` are the two one-sided answers;
+    the witnesses are tuples demonstrating the corresponding failures.
+    """
+
+    left_in_right: bool
+    right_in_left: bool
+    left_only_witness: Optional[RelationTuple]
+    right_only_witness: Optional[RelationTuple]
+    left_cardinality: int
+    right_cardinality: int
+
+    @property
+    def equivalent(self) -> bool:
+        """Whether both containments hold."""
+        return self.left_in_right and self.right_in_left
+
+
+class ContainmentDecider:
+    """Decide containment and equivalence of evaluated query results."""
+
+    def compare_queries(
+        self,
+        first: Expression,
+        second: Expression,
+        arguments: ArgumentLike,
+        second_arguments: Optional[ArgumentLike] = None,
+    ) -> ContainmentVerdict:
+        """Compare ``first(arguments)`` with ``second(second_arguments or arguments)``.
+
+        With the default ``second_arguments=None`` this is the Theorem 4
+        problem (two queries, one database); passing a different argument
+        binding for the second query covers the general
+        ``φ1(R1) vs φ2(R2)`` statement in the introduction.
+        """
+        left = evaluate(first, arguments)
+        right = evaluate(second, arguments if second_arguments is None else second_arguments)
+        return self._verdict(left, right)
+
+    def compare_databases(
+        self,
+        expression: Expression,
+        first: ArgumentLike,
+        second: ArgumentLike,
+    ) -> ContainmentVerdict:
+        """Compare ``expression(first)`` with ``expression(second)`` (Theorem 5)."""
+        left = evaluate(expression, first)
+        right = evaluate(expression, second)
+        return self._verdict(left, right)
+
+    def contained(
+        self, first: Expression, second: Expression, arguments: ArgumentLike
+    ) -> bool:
+        """Convenience wrapper for ``first(R) ⊆ second(R)``."""
+        return self.compare_queries(first, second, arguments).left_in_right
+
+    def equivalent(
+        self, first: Expression, second: Expression, arguments: ArgumentLike
+    ) -> bool:
+        """Convenience wrapper for ``first(R) = second(R)``."""
+        return self.compare_queries(first, second, arguments).equivalent
+
+    @staticmethod
+    def _verdict(left: Relation, right: Relation) -> ContainmentVerdict:
+        if left.scheme != right.scheme:
+            return ContainmentVerdict(
+                left_in_right=False,
+                right_in_left=False,
+                left_only_witness=None,
+                right_only_witness=None,
+                left_cardinality=len(left),
+                right_cardinality=len(right),
+            )
+        left_only = left.difference(right)
+        right_only = right.difference(left)
+        return ContainmentVerdict(
+            left_in_right=left_only.is_empty(),
+            right_in_left=right_only.is_empty(),
+            left_only_witness=_first_tuple(left_only),
+            right_only_witness=_first_tuple(right_only),
+            left_cardinality=len(left),
+            right_cardinality=len(right),
+        )
+
+
+def _first_tuple(relation: Relation) -> Optional[RelationTuple]:
+    if relation.is_empty():
+        return None
+    rows = relation.sorted_rows()
+    return RelationTuple.from_values(relation.scheme, rows[0])
+
+
+def contained_over_all_databases(first: Expression, second: Expression) -> bool:
+    """Chandra–Merlin containment: ``first ⊆ second`` on *every* database.
+
+    This is a strictly stronger (and computationally different) notion than
+    the fixed-database containment of Theorem 4; it is re-exported here so
+    users comparing queries have both next to each other.
+    """
+    return query_contained_in(first, second)

@@ -1,0 +1,118 @@
+"""Query-result equality and one-sided containment of a conjectured result.
+
+Theorem 1's problem: given a relation ``R``, a projection-join expression
+``φ`` and a conjectured result ``r``, decide ``φ(R) = r``.  The paper places
+the two halves of the question in NP and co-NP respectively:
+
+* ``r ⊆ φ(R)`` is in NP — guess (or, here, search) a membership certificate
+  for every tuple of ``r``;
+* ``φ(R) ⊆ r`` is in co-NP — a *violation* is a single tuple of ``φ(R)``
+  outside ``r``, checkable with one membership certificate.
+
+:class:`QueryResultEqualityDecider` reports not just the Boolean answer but a
+:class:`EqualityVerdict` carrying the witnesses, so the DP structure of the
+problem is visible in the API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..algebra.relation import Relation
+from ..algebra.tuples import RelationTuple
+from ..expressions.ast import Expression
+from ..expressions.evaluator import ArgumentLike, evaluate
+
+__all__ = ["EqualityVerdict", "QueryResultEqualityDecider"]
+
+
+@dataclass(frozen=True)
+class EqualityVerdict:
+    """The outcome of comparing ``φ(R)`` with a conjectured result ``r``.
+
+    Attributes
+    ----------
+    conjectured_subset_of_result:
+        Whether ``r ⊆ φ(R)`` (the NP half).
+    result_subset_of_conjectured:
+        Whether ``φ(R) ⊆ r`` (the co-NP half).
+    missing_tuple:
+        A tuple of ``r`` not produced by the query, when the NP half fails.
+    extra_tuple:
+        A tuple produced by the query but absent from ``r``, when the co-NP
+        half fails.
+    result_cardinality:
+        ``|φ(R)|`` (handy for the Theorem 2 benchmarks).
+    """
+
+    conjectured_subset_of_result: bool
+    result_subset_of_conjectured: bool
+    missing_tuple: Optional[RelationTuple]
+    extra_tuple: Optional[RelationTuple]
+    result_cardinality: int
+
+    @property
+    def equal(self) -> bool:
+        """Whether ``φ(R) = r``."""
+        return self.conjectured_subset_of_result and self.result_subset_of_conjectured
+
+
+class QueryResultEqualityDecider:
+    """Decide ``φ(R) = r`` (and the two one-sided containments) with witnesses."""
+
+    def decide(
+        self,
+        expression: Expression,
+        arguments: ArgumentLike,
+        conjectured: Relation,
+    ) -> EqualityVerdict:
+        """Evaluate the query and compare against the conjectured result."""
+        result = evaluate(expression, arguments)
+        if result.scheme != conjectured.scheme:
+            # Different schemes can never be equal; report both directions as
+            # failing with no witnesses (there is no common tuple space).
+            return EqualityVerdict(
+                conjectured_subset_of_result=False,
+                result_subset_of_conjectured=False,
+                missing_tuple=None,
+                extra_tuple=None,
+                result_cardinality=len(result),
+            )
+
+        missing = self._first_difference(conjectured, result)
+        extra = self._first_difference(result, conjectured)
+        return EqualityVerdict(
+            conjectured_subset_of_result=missing is None,
+            result_subset_of_conjectured=extra is None,
+            missing_tuple=missing,
+            extra_tuple=extra,
+            result_cardinality=len(result),
+        )
+
+    def equal(
+        self, expression: Expression, arguments: ArgumentLike, conjectured: Relation
+    ) -> bool:
+        """Convenience wrapper returning only the Boolean answer to ``φ(R) = r``."""
+        return self.decide(expression, arguments, conjectured).equal
+
+    def conjectured_contained(
+        self, expression: Expression, arguments: ArgumentLike, conjectured: Relation
+    ) -> bool:
+        """Decide the NP half ``r ⊆ φ(R)`` (Yannakakis's problem)."""
+        return self.decide(expression, arguments, conjectured).conjectured_subset_of_result
+
+    def result_contained(
+        self, expression: Expression, arguments: ArgumentLike, conjectured: Relation
+    ) -> bool:
+        """Decide the co-NP half ``φ(R) ⊆ r`` (Maier–Sagiv–Yannakakis's problem)."""
+        return self.decide(expression, arguments, conjectured).result_subset_of_conjectured
+
+    @staticmethod
+    def _first_difference(left: Relation, right: Relation) -> Optional[RelationTuple]:
+        """A deterministic witness tuple in ``left`` but not in ``right``."""
+        difference = left.difference(right)
+        if difference.is_empty():
+            return None
+        rows = difference.sorted_rows()
+        return RelationTuple.from_values(difference.scheme, rows[0])

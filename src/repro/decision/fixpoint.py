@@ -1,0 +1,68 @@
+"""The project-join fixpoint test ``*_i π_{Y_i}(R) = R`` (co-NP-complete).
+
+This is the Maier–Sagiv–Yannakakis problem the paper re-proves via its
+construction (``G`` unsatisfiable iff ``φ_G(R_G) = R_G``).  In database terms
+the question is whether ``R`` is the *universal-relation* join of its own
+projections — i.e. whether the decomposition onto the schemes ``Y_i`` is
+lossless for this particular instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..algebra.operations import project_join
+from ..algebra.relation import Relation
+from ..algebra.schema import RelationScheme, SchemeLike, as_scheme
+from ..algebra.tuples import RelationTuple
+
+__all__ = ["FixpointVerdict", "ProjectJoinFixpointDecider"]
+
+
+@dataclass(frozen=True)
+class FixpointVerdict:
+    """The outcome of testing ``*_i π_{Y_i}(R) = R``.
+
+    ``extra_tuple`` is a witness in the join but not in ``R`` (the join of
+    projections always contains ``R`` when the schemes cover ``R``'s scheme,
+    so only this direction can fail).
+    """
+
+    holds: bool
+    join_cardinality: int
+    relation_cardinality: int
+    extra_tuple: Optional[RelationTuple]
+
+
+class ProjectJoinFixpointDecider:
+    """Decide whether a relation equals the join of its projections."""
+
+    def decide(
+        self, relation: Relation, projection_schemes: Sequence[SchemeLike]
+    ) -> FixpointVerdict:
+        """Evaluate ``*_i π_{Y_i}(R)`` and compare with ``R``."""
+        schemes = [as_scheme(s) for s in projection_schemes]
+        joined = project_join(relation, schemes)
+        if joined.scheme != relation.scheme:
+            # The schemes do not cover R's attributes; the fixpoint cannot hold.
+            return FixpointVerdict(
+                holds=False,
+                join_cardinality=len(joined),
+                relation_cardinality=len(relation),
+                extra_tuple=None,
+            )
+        extra = joined.difference(relation)
+        witness = None
+        if not extra.is_empty():
+            witness = RelationTuple.from_values(extra.scheme, extra.sorted_rows()[0])
+        return FixpointVerdict(
+            holds=extra.is_empty() and relation.difference(joined).is_empty(),
+            join_cardinality=len(joined),
+            relation_cardinality=len(relation),
+            extra_tuple=witness,
+        )
+
+    def holds(self, relation: Relation, projection_schemes: Sequence[SchemeLike]) -> bool:
+        """Convenience wrapper returning only the Boolean answer."""
+        return self.decide(relation, projection_schemes).holds

@@ -1,0 +1,35 @@
+"""Projection-join relational expressions: AST, parsing, evaluation, optimisation."""
+
+from .ast import Expression, ExpressionError, Join, Operand, Projection
+from .builder import join, operand, operand_for, project, project_join_query
+from .evaluator import (
+    EvaluationTrace,
+    InstrumentedEvaluator,
+    TraceStep,
+    bind_arguments,
+    evaluate,
+)
+from .optimizer import OptimizedEvaluator, push_down_projections
+from .parser import ParseError, parse_expression
+
+__all__ = [
+    "Expression",
+    "ExpressionError",
+    "Operand",
+    "Projection",
+    "Join",
+    "operand",
+    "operand_for",
+    "project",
+    "join",
+    "project_join_query",
+    "evaluate",
+    "bind_arguments",
+    "EvaluationTrace",
+    "TraceStep",
+    "InstrumentedEvaluator",
+    "OptimizedEvaluator",
+    "push_down_projections",
+    "parse_expression",
+    "ParseError",
+]

@@ -1,0 +1,63 @@
+"""Convenience constructors for projection-join expressions.
+
+These helpers keep the reduction modules readable: the paper writes
+``π_F(T) * *_j π_{T_j}(T)`` and the corresponding Python should read almost
+the same.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Union
+
+from ..algebra.relation import Relation
+from ..algebra.schema import RelationScheme, SchemeLike, as_scheme
+from .ast import Expression, Join, Operand, Projection
+
+__all__ = ["operand", "project", "join", "project_join_query", "operand_for"]
+
+
+def operand(name: str, scheme: SchemeLike) -> Operand:
+    """Create an operand node over the given scheme."""
+    return Operand(name, scheme)
+
+
+def operand_for(relation: Relation, name: str = "R") -> Operand:
+    """Create an operand whose scheme is taken from an existing relation."""
+    return Operand(name, relation.scheme)
+
+
+def project(target: SchemeLike, child: Expression) -> Projection:
+    """Create ``π_target(child)``."""
+    return Projection(as_scheme(target), child)
+
+
+def join(*parts: Expression) -> Expression:
+    """Create the natural join of the given expressions (flattened, n-ary).
+
+    With a single argument the argument itself is returned, which lets
+    callers join a dynamically built list without special-casing length one.
+    """
+    flattened: List[Expression] = list(parts)
+    if not flattened:
+        raise ValueError("join requires at least one expression")
+    if len(flattened) == 1:
+        return flattened[0]
+    return Join(flattened)
+
+
+def project_join_query(
+    operand_name: str,
+    operand_scheme: SchemeLike,
+    projection_schemes: Sequence[SchemeLike],
+) -> Expression:
+    """Build the paper's recurring query shape ``*_i π_{Y_i}(R)``.
+
+    A single projection scheme yields just ``π_{Y_1}(R)`` (no join node).
+    """
+    base = Operand(operand_name, operand_scheme)
+    projections: List[Expression] = [
+        Projection(as_scheme(scheme), base) for scheme in projection_schemes
+    ]
+    if not projections:
+        raise ValueError("project_join_query requires at least one projection scheme")
+    return join(*projections)

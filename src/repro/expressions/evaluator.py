@@ -1,0 +1,204 @@
+"""Evaluation of projection-join expressions over databases.
+
+The *naive* evaluator materialises every intermediate relation exactly as the
+expression is written — which is precisely the regime the paper analyses:
+intermediate results can be exponentially larger than both the input and the
+output.  The *instrumented* evaluator additionally records the size of every
+intermediate relation, so the blow-up experiment (E9 in DESIGN.md) can report
+the peak.
+
+Both evaluators accept either a :class:`~repro.algebra.database.Database` or a
+plain mapping from operand name to relation; the common single-relation case
+can also pass a bare relation, which is bound to every operand name whose
+scheme it matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..algebra.database import Database
+from ..algebra.operations import join_all
+from ..algebra.relation import Relation
+from .ast import Expression, ExpressionError, Join, Operand, Projection
+
+__all__ = ["evaluate", "bind_arguments", "EvaluationTrace", "InstrumentedEvaluator", "TraceStep"]
+
+ArgumentLike = Union[Relation, Mapping[str, Relation], Database]
+
+
+def bind_arguments(expression: Expression, arguments: ArgumentLike) -> Dict[str, Relation]:
+    """Resolve the operand relations an expression needs from ``arguments``.
+
+    * A mapping / :class:`Database` must provide every operand name, with a
+      matching scheme.
+    * A bare :class:`Relation` is bound to every operand whose declared scheme
+      equals the relation's scheme (the paper's single-relation databases).
+    """
+    schemes = expression.operand_schemes()
+    bound: Dict[str, Relation] = {}
+    if isinstance(arguments, Relation):
+        for name, scheme in schemes.items():
+            if arguments.scheme != scheme:
+                raise ExpressionError(
+                    f"single relation over {arguments.scheme} cannot serve operand "
+                    f"{name!r} which requires scheme {scheme}"
+                )
+            bound[name] = arguments
+        return bound
+
+    mapping: Mapping[str, Relation]
+    if isinstance(arguments, Database):
+        mapping = arguments
+    else:
+        mapping = arguments
+    for name, scheme in schemes.items():
+        if name not in mapping:
+            raise ExpressionError(f"no relation bound for operand {name!r}")
+        relation = mapping[name]
+        if relation.scheme != scheme:
+            raise ExpressionError(
+                f"operand {name!r} requires scheme {scheme}, "
+                f"got a relation over {relation.scheme}"
+            )
+        bound[name] = relation
+    return bound
+
+
+def evaluate(expression: Expression, arguments: ArgumentLike) -> Relation:
+    """Evaluate ``expression`` on ``arguments``, materialising intermediates naively."""
+    bound = bind_arguments(expression, arguments)
+    return _evaluate_node(expression, bound)
+
+
+def _evaluate_node(node: Expression, bound: Mapping[str, Relation]) -> Relation:
+    if isinstance(node, Operand):
+        return bound[node.name]
+    if isinstance(node, Projection):
+        return _evaluate_node(node.child, bound).project(node.target)
+    if isinstance(node, Join):
+        parts = [_evaluate_node(part, bound) for part in node.parts]
+        return join_all(parts)
+    raise ExpressionError(f"unknown expression node {node!r}")
+
+
+@dataclass
+class TraceStep:
+    """One materialised intermediate relation during evaluation."""
+
+    description: str
+    node_kind: str
+    cardinality: int
+    scheme_width: int
+    cell_count: int
+
+    @classmethod
+    def from_relation(cls, description: str, node_kind: str, relation: Relation) -> "TraceStep":
+        width = len(relation.scheme)
+        return cls(
+            description=description,
+            node_kind=node_kind,
+            cardinality=len(relation),
+            scheme_width=width,
+            cell_count=len(relation) * width,
+        )
+
+
+@dataclass
+class EvaluationTrace:
+    """A record of every intermediate relation materialised by an evaluation."""
+
+    steps: List[TraceStep] = field(default_factory=list)
+    result_cardinality: int = 0
+    input_cardinality: int = 0
+
+    def record(self, step: TraceStep) -> None:
+        """Append one step to the trace."""
+        self.steps.append(step)
+
+    @property
+    def peak_intermediate_cardinality(self) -> int:
+        """The largest number of tuples in any intermediate relation."""
+        if not self.steps:
+            return 0
+        return max(step.cardinality for step in self.steps)
+
+    @property
+    def peak_intermediate_cells(self) -> int:
+        """The largest tuple-count x width product of any intermediate relation."""
+        if not self.steps:
+            return 0
+        return max(step.cell_count for step in self.steps)
+
+    @property
+    def total_intermediate_tuples(self) -> int:
+        """Total tuples materialised across all steps (a proxy for total work)."""
+        return sum(step.cardinality for step in self.steps)
+
+    def blowup_versus_input(self) -> float:
+        """Peak intermediate size relative to the input size."""
+        if self.input_cardinality == 0:
+            return float("inf") if self.peak_intermediate_cardinality else 0.0
+        return self.peak_intermediate_cardinality / self.input_cardinality
+
+    def blowup_versus_output(self) -> float:
+        """Peak intermediate size relative to the final result size."""
+        if self.result_cardinality == 0:
+            return float("inf") if self.peak_intermediate_cardinality else 0.0
+        return self.peak_intermediate_cardinality / self.result_cardinality
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary of the headline statistics (used by benchmarks)."""
+        return {
+            "steps": float(len(self.steps)),
+            "input_cardinality": float(self.input_cardinality),
+            "result_cardinality": float(self.result_cardinality),
+            "peak_intermediate_cardinality": float(self.peak_intermediate_cardinality),
+            "peak_intermediate_cells": float(self.peak_intermediate_cells),
+            "total_intermediate_tuples": float(self.total_intermediate_tuples),
+            "blowup_vs_input": self.blowup_versus_input(),
+            "blowup_vs_output": self.blowup_versus_output(),
+        }
+
+
+class InstrumentedEvaluator:
+    """Naive evaluator that records every intermediate relation's size."""
+
+    def evaluate(self, expression: Expression, arguments: ArgumentLike) -> Tuple[Relation, EvaluationTrace]:
+        """Evaluate and return ``(result, trace)``."""
+        bound = bind_arguments(expression, arguments)
+        trace = EvaluationTrace()
+        trace.input_cardinality = sum(len(rel) for rel in bound.values())
+        result = self._evaluate(expression, bound, trace)
+        trace.result_cardinality = len(result)
+        return result, trace
+
+    def _evaluate(
+        self, node: Expression, bound: Mapping[str, Relation], trace: EvaluationTrace
+    ) -> Relation:
+        if isinstance(node, Operand):
+            relation = bound[node.name]
+            trace.record(TraceStep.from_relation(f"operand {node.name}", "operand", relation))
+            return relation
+        if isinstance(node, Projection):
+            child = self._evaluate(node.child, bound, trace)
+            projected = child.project(node.target)
+            trace.record(
+                TraceStep.from_relation(
+                    f"project[{', '.join(node.target.names)}]", "projection", projected
+                )
+            )
+            return projected
+        if isinstance(node, Join):
+            parts = [self._evaluate(part, bound, trace) for part in node.parts]
+            accumulated = parts[0]
+            for index, part in enumerate(parts[1:], start=2):
+                accumulated = accumulated.natural_join(part)
+                trace.record(
+                    TraceStep.from_relation(
+                        f"join of first {index} operands", "join", accumulated
+                    )
+                )
+            return accumulated
+        raise ExpressionError(f"unknown expression node {node!r}")

@@ -1,0 +1,162 @@
+"""Heuristic optimisation of projection-join expressions.
+
+The paper's central observation is that *naive* evaluation of projection-join
+expressions can materialise intermediates exponentially larger than both the
+input and the output, and that this blow-up is inherent in the worst case
+(because the decision problems are DP-/Π₂ᵖ-complete).  In practice, however,
+two standard rewrites mitigate the blow-up on benign instances, and the
+ablation benchmark compares them against the naive evaluator:
+
+* **Projection push-down** — only the attributes needed above a join need to
+  be carried through it, so a projection can be pushed onto each join operand
+  (keeping the join attributes).
+* **Greedy join ordering** — joining the pair with the smallest estimated
+  result first.
+
+These rewrites never change the result (classical algebraic identities of the
+relational algebra); the tests verify this equivalence on random instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..algebra.relation import Relation
+from ..algebra.schema import RelationScheme
+from .ast import Expression, ExpressionError, Join, Operand, Projection
+from .evaluator import ArgumentLike, EvaluationTrace, TraceStep, bind_arguments
+
+__all__ = ["push_down_projections", "OptimizedEvaluator"]
+
+
+def push_down_projections(expression: Expression) -> Expression:
+    """Rewrite the expression so projections are applied as early as possible.
+
+    The rewrite preserves the target scheme and the value of the expression on
+    every database.  The top-level scheme is used as the initial set of
+    "needed" attributes.
+    """
+    return _push(expression, expression.target_scheme())
+
+
+def _push(node: Expression, needed: RelationScheme) -> Expression:
+    node_scheme = node.target_scheme()
+    needed = node_scheme.intersection(needed)
+
+    if isinstance(node, Operand):
+        if needed == node_scheme:
+            return node
+        return Projection(needed, node)
+
+    if isinstance(node, Projection):
+        # Collapse nested projections: only the outermost needed set matters.
+        inner_needed = node.target.intersection(needed)
+        return _push(node.child, inner_needed)
+
+    if isinstance(node, Join):
+        # An attribute must be kept below the join if it is needed above, or
+        # if it is a join attribute (appears in more than one operand).
+        appearance_count: Dict[str, int] = {}
+        for part in node.parts:
+            for name in part.target_scheme().names:
+                appearance_count[name] = appearance_count.get(name, 0) + 1
+        join_attributes = {name for name, count in appearance_count.items() if count > 1}
+        keep = set(needed.names) | join_attributes
+
+        new_parts: List[Expression] = []
+        for part in node.parts:
+            part_scheme = part.target_scheme()
+            part_keep = RelationScheme(
+                [a for a in part_scheme.attributes if a.name in keep]
+            )
+            new_parts.append(_push(part, part_keep))
+        joined: Expression = Join(new_parts)
+        if joined.target_scheme() == needed:
+            return joined
+        return Projection(needed, joined)
+
+    raise ExpressionError(f"unknown expression node {node!r}")
+
+
+class OptimizedEvaluator:
+    """Evaluate with projection push-down and greedy join ordering.
+
+    The evaluator first rewrites the expression with
+    :func:`push_down_projections`, then evaluates it, ordering each n-ary join
+    greedily by estimated intermediate cardinality.  An
+    :class:`~repro.expressions.evaluator.EvaluationTrace` is returned so the
+    blow-up benchmark can compare peak intermediate sizes against the naive
+    evaluator.
+    """
+
+    def evaluate(
+        self, expression: Expression, arguments: ArgumentLike
+    ) -> Tuple[Relation, EvaluationTrace]:
+        """Evaluate and return ``(result, trace)``."""
+        rewritten = push_down_projections(expression)
+        bound = bind_arguments(expression, arguments)
+        trace = EvaluationTrace()
+        trace.input_cardinality = sum(len(rel) for rel in bound.values())
+        result = self._evaluate(rewritten, bound, trace)
+        trace.result_cardinality = len(result)
+        return result, trace
+
+    def _evaluate(
+        self, node: Expression, bound: Mapping[str, Relation], trace: EvaluationTrace
+    ) -> Relation:
+        if isinstance(node, Operand):
+            relation = bound[node.name]
+            trace.record(TraceStep.from_relation(f"operand {node.name}", "operand", relation))
+            return relation
+        if isinstance(node, Projection):
+            child = self._evaluate(node.child, bound, trace)
+            projected = child.project(node.target)
+            trace.record(
+                TraceStep.from_relation(
+                    f"project[{', '.join(node.target.names)}]", "projection", projected
+                )
+            )
+            return projected
+        if isinstance(node, Join):
+            parts = [self._evaluate(part, bound, trace) for part in node.parts]
+            return self._join_greedily(parts, trace)
+        raise ExpressionError(f"unknown expression node {node!r}")
+
+    def _join_greedily(self, parts: List[Relation], trace: EvaluationTrace) -> Relation:
+        """Join relations pairwise, picking the cheapest estimated pair each time."""
+        working = list(parts)
+        while len(working) > 1:
+            best_pair: Optional[Tuple[int, int]] = None
+            best_estimate = None
+            for i in range(len(working)):
+                for j in range(i + 1, len(working)):
+                    estimate = self._estimate_join_size(working[i], working[j])
+                    if best_estimate is None or estimate < best_estimate:
+                        best_estimate = estimate
+                        best_pair = (i, j)
+            i, j = best_pair  # type: ignore[misc]
+            joined = working[i].natural_join(working[j])
+            trace.record(
+                TraceStep.from_relation(
+                    f"greedy join ({len(working)} operands remaining)", "join", joined
+                )
+            )
+            working = [
+                rel for index, rel in enumerate(working) if index not in (i, j)
+            ] + [joined]
+        return working[0]
+
+    @staticmethod
+    def _estimate_join_size(left: Relation, right: Relation) -> float:
+        """A crude cardinality estimate: product shrunk by shared-attribute selectivity."""
+        common = left.scheme.intersection(right.scheme)
+        size = len(left) * len(right)
+        if len(common) == 0 or size == 0:
+            return float(size)
+        # Use distinct-value counts on the join attributes as a selectivity proxy.
+        selectivity = 1.0
+        for attribute in common.names:
+            left_distinct = max(len(left.column_values(attribute)), 1)
+            right_distinct = max(len(right.column_values(attribute)), 1)
+            selectivity /= max(left_distinct, right_distinct)
+        return size * selectivity

@@ -1,0 +1,149 @@
+"""A small textual syntax for projection-join expressions.
+
+Grammar (whitespace-insensitive)::
+
+    expression  := join
+    join        := term ( "*" term )*
+    term        := projection | operand | "(" expression ")"
+    projection  := "project" "[" attribute ("," attribute)* "]" "(" expression ")"
+    operand     := identifier
+
+Because an operand is just a name, the parser must be told which relation
+scheme each operand is over; pass a mapping from operand name to scheme (or
+scheme string).  The rendering produced by :meth:`Expression.to_text` parses
+back to an equal expression, which the property tests rely on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Tuple, Union
+
+from ..algebra.schema import RelationScheme, SchemeLike, as_scheme
+from .ast import Expression, ExpressionError, Join, Operand, Projection
+
+__all__ = ["parse_expression", "ParseError"]
+
+
+class ParseError(ExpressionError):
+    """Raised when expression text cannot be parsed."""
+
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<project>project\b|π|pi\b)|(?P<name>[A-Za-z_][A-Za-z_0-9']*)"
+    r"|(?P<punct>[\[\](),*]))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected input at {remainder[:20]!r}")
+        if match.lastgroup == "project":
+            tokens.append(("PROJECT", match.group()))
+        elif match.lastgroup == "name":
+            tokens.append(("NAME", match.group("name")))
+        else:
+            tokens.append(("PUNCT", match.group("punct")))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]], schemes: Mapping[str, RelationScheme]):
+        self._tokens = tokens
+        self._position = 0
+        self._schemes = schemes
+
+    def parse(self) -> Expression:
+        expression = self._parse_join()
+        if self._position != len(self._tokens):
+            kind, value = self._tokens[self._position]
+            raise ParseError(f"unexpected trailing token {value!r}")
+        return expression
+
+    # -- helpers --------------------------------------------------------
+
+    def _peek(self) -> Tuple[str, str]:
+        if self._position >= len(self._tokens):
+            return ("EOF", "")
+        return self._tokens[self._position]
+
+    def _advance(self) -> Tuple[str, str]:
+        token = self._peek()
+        self._position += 1
+        return token
+
+    def _expect_punct(self, symbol: str) -> None:
+        kind, value = self._advance()
+        if kind != "PUNCT" or value != symbol:
+            raise ParseError(f"expected {symbol!r}, got {value!r}")
+
+    # -- grammar --------------------------------------------------------
+
+    def _parse_join(self) -> Expression:
+        parts = [self._parse_term()]
+        while self._peek() == ("PUNCT", "*"):
+            self._advance()
+            parts.append(self._parse_term())
+        if len(parts) == 1:
+            return parts[0]
+        return Join(parts)
+
+    def _parse_term(self) -> Expression:
+        kind, value = self._peek()
+        if kind == "PROJECT":
+            return self._parse_projection()
+        if kind == "PUNCT" and value == "(":
+            self._advance()
+            inner = self._parse_join()
+            self._expect_punct(")")
+            return inner
+        if kind == "NAME":
+            self._advance()
+            if value not in self._schemes:
+                raise ParseError(
+                    f"operand {value!r} has no declared scheme; "
+                    f"known operands: {sorted(self._schemes)}"
+                )
+            return Operand(value, self._schemes[value])
+        raise ParseError(f"unexpected token {value!r} where a term was expected")
+
+    def _parse_projection(self) -> Expression:
+        self._advance()  # consume 'project'
+        self._expect_punct("[")
+        attributes: List[str] = []
+        while True:
+            kind, value = self._advance()
+            if kind != "NAME":
+                raise ParseError(f"expected attribute name inside projection, got {value!r}")
+            attributes.append(value)
+            kind, value = self._advance()
+            if kind == "PUNCT" and value == ",":
+                continue
+            if kind == "PUNCT" and value == "]":
+                break
+            raise ParseError(f"expected ',' or ']' in projection list, got {value!r}")
+        self._expect_punct("(")
+        child = self._parse_join()
+        self._expect_punct(")")
+        return Projection(RelationScheme(attributes), child)
+
+
+def parse_expression(
+    text: str, operand_schemes: Mapping[str, SchemeLike]
+) -> Expression:
+    """Parse expression text, resolving operand names against ``operand_schemes``."""
+    schemes: Dict[str, RelationScheme] = {
+        name: as_scheme(scheme) for name, scheme in operand_schemes.items()
+    }
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("cannot parse an empty expression")
+    return _Parser(tokens, schemes).parse()

@@ -1,0 +1,30 @@
+"""Q-3SAT (∀X ∃X′ G) instances, evaluators, and generators.
+
+This is the Π₂ᵖ-complete source problem of Theorems 4 and 5.
+"""
+
+from .evaluator import (
+    evaluate_by_expansion,
+    evaluate_with_pruning,
+    find_universal_counterexample,
+)
+from .generators import (
+    canonical_false_q3sat,
+    paper_style_partition,
+    planted_false_q3sat,
+    planted_true_q3sat,
+    random_q3sat,
+)
+from .instances import QThreeSatInstance
+
+__all__ = [
+    "QThreeSatInstance",
+    "evaluate_by_expansion",
+    "evaluate_with_pruning",
+    "find_universal_counterexample",
+    "random_q3sat",
+    "planted_true_q3sat",
+    "planted_false_q3sat",
+    "canonical_false_q3sat",
+    "paper_style_partition",
+]

@@ -1,0 +1,74 @@
+"""Evaluators for ∀∃ (Q-3SAT) instances.
+
+Two evaluators are provided and cross-checked by the test-suite:
+
+* :func:`evaluate_by_expansion` — enumerate every assignment of the universal
+  variables and call the DPLL solver on the restricted formula.  Simple,
+  obviously correct, exponential only in ``|X|``.
+* :func:`evaluate_with_pruning` — the same ∀-loop but with two short-cuts: an
+  unsatisfiable matrix fails immediately, and universal variables that do not
+  occur in the formula are skipped.
+
+Both return the truth value of ``∀X ∃X' G``, which Theorems 4 and 5 equate
+with the containment / equivalence questions on the constructed relations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..sat.assignments import Assignment, all_assignments
+from ..sat.solver import DPLLSolver
+from .instances import QThreeSatInstance
+
+__all__ = [
+    "evaluate_by_expansion",
+    "evaluate_with_pruning",
+    "find_universal_counterexample",
+]
+
+
+def evaluate_by_expansion(instance: QThreeSatInstance) -> bool:
+    """Decide ∀X ∃X' G by brute-force expansion over the universal variables."""
+    return find_universal_counterexample(instance) is None
+
+
+def find_universal_counterexample(instance: QThreeSatInstance) -> Optional[Assignment]:
+    """Return an assignment of X under which G is unsatisfiable, or ``None``.
+
+    A counterexample witnesses that ∀X ∃X' G is false; ``None`` means the
+    formula is satisfiable under every universal assignment.
+    """
+    solver = DPLLSolver()
+    for universal_assignment in all_assignments(instance.universal):
+        restricted = instance.formula.restrict(universal_assignment)
+        if not solver.solve(restricted).satisfiable:
+            return universal_assignment
+    return None
+
+
+def evaluate_with_pruning(instance: QThreeSatInstance) -> bool:
+    """Decide ∀X ∃X' G with cheap pruning around the expansion loop."""
+    solver = DPLLSolver()
+
+    # If the matrix itself is unsatisfiable, some (indeed every) universal
+    # assignment has no completion.
+    if not solver.solve(instance.formula).satisfiable:
+        return False
+
+    # Universal variables that never occur in the formula cannot affect it.
+    occurring = set(instance.formula.variable_set)
+    relevant_universal = [v for v in instance.universal if v in occurring]
+
+    # If the universal set contains all variables of some clause, the clause's
+    # falsifying assignment extends to a universal counterexample.
+    universal_set = set(relevant_universal)
+    for clause in instance.formula.clauses:
+        if clause.variables <= universal_set:
+            return False
+
+    for universal_assignment in all_assignments(relevant_universal):
+        restricted = instance.formula.restrict(universal_assignment)
+        if not solver.solve(restricted).satisfiable:
+            return False
+    return True

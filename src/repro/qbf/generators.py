@@ -1,0 +1,174 @@
+"""Generators for Q-3SAT workloads.
+
+The Theorem 4/5 benchmarks need families of ∀∃ instances with *known* truth
+values.  Random instances are easy to make but their truth value requires
+evaluation; the planted generators below construct instances that are true or
+false by design, so the reduction benchmarks can report agreement without
+trusting a single evaluator.  The gadgets are kept as small as possible
+(clauses and variables both cost dearly on the relational side of the
+reductions, where evaluation is intentionally naive).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..sat.cnf import CNFFormula
+from ..sat.generators import RandomLike, _rng, random_three_cnf
+from ..sat.literals import Clause, Literal
+from .instances import QThreeSatInstance
+
+__all__ = [
+    "random_q3sat",
+    "planted_true_q3sat",
+    "planted_false_q3sat",
+    "canonical_false_q3sat",
+    "paper_style_partition",
+]
+
+
+def random_q3sat(
+    num_variables: int,
+    num_clauses: int,
+    num_universal: int,
+    seed: RandomLike = None,
+) -> QThreeSatInstance:
+    """A uniformly random 3CNF with a random choice of universal variables."""
+    rng = _rng(seed)
+    formula = random_three_cnf(num_variables, num_clauses, seed=rng)
+    if num_universal > num_variables:
+        raise ValueError("cannot have more universal variables than variables")
+    universal = tuple(rng.sample(list(formula.variables), num_universal))
+    return QThreeSatInstance(formula, universal)
+
+
+def _mirror_pair(index: int) -> Tuple[List[Clause], str]:
+    """Two clauses stating "the existential e_i can copy the universal u_i".
+
+    Whatever value ``u_i`` takes, setting ``e_i`` equal to it satisfies both
+    clauses (the slack ``t_i`` is never needed), so these pairs never make a
+    ∀∃ instance false, and they let the planted generators scale the number
+    of universal variables without changing the instance's truth value.
+    """
+    u, e, t = f"u{index}", f"e{index}", f"t{index}"
+    clauses = [
+        Clause([Literal(u, False), Literal(e), Literal(t)]),
+        Clause([Literal(u), Literal(e, False), Literal(t)]),
+    ]
+    return clauses, u
+
+
+def planted_true_q3sat(
+    num_universal: int,
+    extra_clauses: int = 0,
+    seed: RandomLike = None,
+) -> QThreeSatInstance:
+    """A Q-3SAT instance that is true by construction.
+
+    Every universal variable gets a "mirror pair" of clauses (see
+    :func:`_mirror_pair`); the existential mirror can always copy the
+    universal value, so ∀X ∃X' G holds.  ``extra_clauses`` appends additional
+    always-satisfiable clauses over fresh existential variables, which scales
+    the clause count without affecting the truth value.  The instance
+    satisfies both Proposition 4 restrictions as long as ``num_universal >= 1``
+    (no clause's variables are all universal, and no clause contains every
+    universal variable once there are two or more mirror pairs or one pair
+    plus padding).
+    """
+    if num_universal < 1:
+        raise ValueError("need at least one universal variable")
+    rng = _rng(seed)
+    clauses: List[Clause] = []
+    universal: List[str] = []
+    for index in range(1, num_universal + 1):
+        pair, u = _mirror_pair(index)
+        clauses.extend(pair)
+        universal.append(u)
+    for pad_index in range(extra_clauses):
+        clauses.append(
+            Clause(
+                [
+                    Literal(f"pad{pad_index}a"),
+                    Literal(f"pad{pad_index}b"),
+                    Literal(f"pad{pad_index}c"),
+                ]
+            )
+        )
+    # Ensure the paper's minimum of three clauses even for num_universal == 1.
+    while len(clauses) < 3:
+        clauses.append(
+            Clause([Literal("fill_a"), Literal("fill_b"), Literal("fill_c")])
+        )
+    rng.shuffle(clauses)
+    return QThreeSatInstance(CNFFormula(clauses), tuple(universal))
+
+
+def canonical_false_q3sat() -> QThreeSatInstance:
+    """The minimal planted-false gadget: 4 clauses, 4 variables, 3 universal.
+
+    With ``X = {u1, u2, w}`` and the matrix
+
+        (¬u1 ∨ z ∨ w) (u1 ∨ ¬z ∨ w) (¬u2 ∨ ¬z ∨ w) (u2 ∨ z ∨ w)
+
+    the universal assignment ``u1 = u2 = 1, w = 0`` forces both ``z`` and
+    ``¬z``, so ∀X ∃X' G is false.  The instance satisfies both Proposition 4
+    restrictions (every clause mentions ``z ∉ X``; no clause contains both
+    ``u1`` and ``u2``), so no guard clauses are needed.
+    """
+    clauses = [
+        Clause([Literal("u1", False), Literal("z"), Literal("w")]),
+        Clause([Literal("u1"), Literal("z", False), Literal("w")]),
+        Clause([Literal("u2", False), Literal("z", False), Literal("w")]),
+        Clause([Literal("u2"), Literal("z"), Literal("w")]),
+    ]
+    return QThreeSatInstance(CNFFormula(clauses), ("u1", "u2", "w"))
+
+
+def planted_false_q3sat(
+    num_universal: int = 3,
+    extra_clauses: int = 0,
+    seed: RandomLike = None,
+) -> QThreeSatInstance:
+    """A Q-3SAT instance that is false by construction.
+
+    The core is :func:`canonical_false_q3sat` (3 universal variables);
+    additional universal variables beyond the first three get harmless mirror
+    pairs, and ``extra_clauses`` appends always-satisfiable padding clauses.
+    Neither addition can repair the planted universal counterexample, so the
+    instance stays false.
+    """
+    if num_universal < 3:
+        raise ValueError("the planted-false gadget uses three universal variables")
+    rng = _rng(seed)
+    core = canonical_false_q3sat()
+    clauses: List[Clause] = list(core.formula.clauses)
+    universal: List[str] = list(core.universal)
+    for index in range(4, num_universal + 1):
+        pair, u = _mirror_pair(index)
+        clauses.extend(pair)
+        universal.append(u)
+    for pad_index in range(extra_clauses):
+        clauses.append(
+            Clause(
+                [
+                    Literal(f"pad{pad_index}a"),
+                    Literal(f"pad{pad_index}b"),
+                    Literal(f"pad{pad_index}c"),
+                ]
+            )
+        )
+    rng.shuffle(clauses)
+    return QThreeSatInstance(CNFFormula(clauses), tuple(universal))
+
+
+def paper_style_partition(
+    formula: CNFFormula, num_universal: int, seed: RandomLike = None
+) -> QThreeSatInstance:
+    """Partition an existing formula's variables into (X, X') with |X| = num_universal."""
+    rng = _rng(seed)
+    variables = list(formula.variables)
+    if num_universal > len(variables):
+        raise ValueError("cannot quantify more variables than the formula has")
+    universal = tuple(rng.sample(variables, num_universal))
+    return QThreeSatInstance(formula, universal)

@@ -1,0 +1,106 @@
+"""Q-3SAT instances: ∀X ∃X′ G with G in 3CNF.
+
+The Π₂ᵖ-complete problem the paper reduces from (Theorems 4 and 5) is:
+
+    Q-3SAT: given a 3CNF expression G and a partition of its variables into
+    X = {x_1, ..., x_r} and X' = {x_{r+1}, ..., x_n}, decide whether for all
+    assignments of truth values to X, G is satisfiable, i.e. whether
+    ∀X ∃X' (G(X, X') = 1).
+
+:class:`QThreeSatInstance` packages the formula with the partition and checks
+the partition is well-formed.  Proposition 4's technical restrictions (the
+universal set is not contained in any clause's variable set and contains no
+clause's variable set) are available as predicates and as the transformation
+:meth:`QThreeSatInstance.with_guard_clauses`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+from ..sat.cnf import CNFFormula
+from ..sat.transforms import add_universal_guard_clauses
+
+__all__ = ["QThreeSatInstance"]
+
+
+@dataclass(frozen=True)
+class QThreeSatInstance:
+    """A ∀∃ quantified 3CNF instance.
+
+    Attributes
+    ----------
+    formula:
+        The 3CNF matrix ``G``.
+    universal:
+        The universally quantified variables ``X`` (order preserved).
+    """
+
+    formula: CNFFormula
+    universal: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        universal = tuple(self.universal)
+        object.__setattr__(self, "universal", universal)
+        unknown = set(universal) - set(self.formula.variables)
+        if unknown:
+            raise ValueError(
+                f"universal variables {sorted(unknown)} do not occur in the formula"
+            )
+        if len(set(universal)) != len(universal):
+            raise ValueError("universal variable list contains duplicates")
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def existential(self) -> Tuple[str, ...]:
+        """The existentially quantified variables ``X'`` (formula order)."""
+        universal = set(self.universal)
+        return tuple(v for v in self.formula.variables if v not in universal)
+
+    @property
+    def universal_set(self) -> FrozenSet[str]:
+        """The universal variables as a set."""
+        return frozenset(self.universal)
+
+    def describe(self) -> str:
+        """A one-line description, e.g. ``∀x1 x2 ∃x3 x4 (G)``."""
+        return (
+            "forall " + " ".join(self.universal)
+            + " exists " + " ".join(self.existential)
+            + " . " + str(self.formula)
+        )
+
+    # -- Proposition 4 restrictions ---------------------------------------
+
+    def universal_contains_some_clause(self) -> bool:
+        """Whether X contains the variable set of some clause.
+
+        If it does, Q-3SAT is trivially false for that instance (the paper's
+        Proposition 4): the assignment falsifying that clause is universal.
+        """
+        universal = self.universal_set
+        return any(clause.variables <= universal for clause in self.formula.clauses)
+
+    def universal_inside_some_clause(self) -> bool:
+        """Whether X is contained in the variable set of some clause."""
+        universal = self.universal_set
+        return any(universal <= clause.variables for clause in self.formula.clauses)
+
+    def satisfies_proposition4_restrictions(self) -> bool:
+        """Whether both technical restrictions of Proposition 4 hold."""
+        return (
+            not self.universal_contains_some_clause()
+            and not self.universal_inside_some_clause()
+        )
+
+    def with_guard_clauses(self) -> "QThreeSatInstance":
+        """Apply Proposition 4's guard-clause transformation.
+
+        Returns an instance with the same truth value that satisfies both
+        technical restrictions (two fresh satisfiable clauses are added and
+        one fresh variable from each joins the universal set).
+        """
+        formula, universal = add_universal_guard_clauses(self.formula, self.universal)
+        return QThreeSatInstance(formula, tuple(universal))

@@ -1,0 +1,76 @@
+"""The paper's constructions and reductions (Section 3 and 4).
+
+* :class:`RGConstruction` — the relation ``R_G`` and expression ``φ_G``.
+* :class:`Theorem1Reduction` — 3SAT-3UNSAT -> query-result equality (DP).
+* :class:`Theorem2TwoSidedReduction` and friends — cardinality bounds (DP / NP / co-NP).
+* :class:`Theorem3Reduction` — #3SAT -> tuple counting (#P).
+* :class:`Theorem4Reduction` — Q-3SAT -> query comparison w.r.t. a fixed relation (Π₂ᵖ).
+* :class:`Theorem5Reduction` — Q-3SAT -> database comparison under a fixed query (Π₂ᵖ).
+* :class:`MembershipReduction` / :class:`FixpointReduction` — the NP / co-NP side results.
+"""
+
+from .membership import (
+    FixpointReduction,
+    MembershipReduction,
+    ProjectJoinFixpointInstance,
+    TupleMembershipInstance,
+)
+from .rg import RGConstruction
+from .symbols import (
+    BLANK,
+    COMMON_U,
+    EXTRA_TAG,
+    FALSE,
+    MARK,
+    SAT_TAG,
+    S_ATTRIBUTE,
+    TRUE,
+    U_ATTRIBUTE,
+    clause_attribute,
+    clause_u_value,
+    pair_attribute,
+    variable_attribute,
+)
+from .theorem1 import SatUnsatPair, Theorem1Reduction
+from .theorem2 import (
+    CardinalityBoundInstance,
+    Theorem2LowerBoundReduction,
+    Theorem2TwoSidedReduction,
+    Theorem2UpperBoundReduction,
+)
+from .theorem3 import CountingInstance, Theorem3Reduction
+from .theorem4 import FixedRelationComparisonInstance, Theorem4Reduction
+from .theorem5 import FixedQueryComparisonInstance, Theorem5Reduction
+
+__all__ = [
+    "RGConstruction",
+    "SatUnsatPair",
+    "Theorem1Reduction",
+    "CardinalityBoundInstance",
+    "Theorem2TwoSidedReduction",
+    "Theorem2LowerBoundReduction",
+    "Theorem2UpperBoundReduction",
+    "CountingInstance",
+    "Theorem3Reduction",
+    "FixedRelationComparisonInstance",
+    "Theorem4Reduction",
+    "FixedQueryComparisonInstance",
+    "Theorem5Reduction",
+    "MembershipReduction",
+    "FixpointReduction",
+    "TupleMembershipInstance",
+    "ProjectJoinFixpointInstance",
+    "TRUE",
+    "FALSE",
+    "BLANK",
+    "MARK",
+    "SAT_TAG",
+    "EXTRA_TAG",
+    "COMMON_U",
+    "S_ATTRIBUTE",
+    "U_ATTRIBUTE",
+    "clause_attribute",
+    "variable_attribute",
+    "pair_attribute",
+    "clause_u_value",
+]

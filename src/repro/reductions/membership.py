@@ -1,0 +1,107 @@
+"""The NP / co-NP side results re-proved directly by the paper.
+
+Both follow immediately from Lemma 1 / Proposition 1 and Proposition 2:
+
+* **Tuple membership (Yannakakis 1981).**  Given a relation ``R``, a tuple
+  ``t`` and relation schemes ``X, Y_i``, testing ``t ∈ π_X(*_i π_{Y_i}(R))``
+  is NP-complete.  The reduction from 3SAT: ``G`` is satisfiable iff
+  ``u_G ∈ π_Y(φ_G(R_G))`` — and ``φ_G`` is itself of the ``*_i π_{Y_i}`` form.
+
+* **Project-join fixpoint (Maier–Sagiv–Yannakakis 1981).**  Given ``R`` and
+  schemes ``Y_i``, testing ``*_i π_{Y_i}(R) = R`` is co-NP-complete.  The
+  reduction from 3UNSAT: ``G`` is unsatisfiable iff ``φ_G(R_G) = R_G``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..algebra.relation import Relation
+from ..algebra.schema import RelationScheme
+from ..algebra.tuples import RelationTuple
+from ..expressions.ast import Expression, Projection
+from ..sat.cnf import CNFFormula
+from ..sat.solver import is_satisfiable
+from .rg import RGConstruction
+
+__all__ = [
+    "TupleMembershipInstance",
+    "ProjectJoinFixpointInstance",
+    "MembershipReduction",
+    "FixpointReduction",
+]
+
+
+@dataclass(frozen=True)
+class TupleMembershipInstance:
+    """An instance of the tuple-membership problem ``t ∈ π_X(*_i π_{Y_i}(R))``."""
+
+    relation: Relation
+    target_scheme: RelationScheme
+    projection_schemes: Tuple[RelationScheme, ...]
+    tuple: RelationTuple
+
+
+@dataclass(frozen=True)
+class ProjectJoinFixpointInstance:
+    """An instance of the fixpoint problem ``*_i π_{Y_i}(R) = R``."""
+
+    relation: Relation
+    projection_schemes: Tuple[RelationScheme, ...]
+
+
+class MembershipReduction:
+    """3SAT -> tuple membership: ``G`` satisfiable iff ``u_G ∈ π_Y(φ_G(R_G))``."""
+
+    def __init__(self, formula: CNFFormula, operand_name: str = "R"):
+        self._construction = RGConstruction(formula, operand_name=operand_name)
+
+    @property
+    def construction(self) -> RGConstruction:
+        """The underlying R_G construction."""
+        return self._construction
+
+    def instance(self) -> TupleMembershipInstance:
+        """The produced membership instance."""
+        return TupleMembershipInstance(
+            relation=self._construction.relation,
+            target_scheme=self._construction.pair_scheme,
+            projection_schemes=tuple(self._construction.projection_schemes()),
+            tuple=self._construction.u_g_tuple(),
+        )
+
+    def expression(self) -> Expression:
+        """The membership query as an expression: ``π_Y(φ_G)``."""
+        return self._construction.pair_projection_expression()
+
+    def expected_yes(self) -> bool:
+        """Ground truth from the SAT solver."""
+        return is_satisfiable(self._construction.formula)
+
+
+class FixpointReduction:
+    """3UNSAT -> project-join fixpoint: ``G`` unsatisfiable iff ``φ_G(R_G) = R_G``."""
+
+    def __init__(self, formula: CNFFormula, operand_name: str = "R"):
+        self._construction = RGConstruction(formula, operand_name=operand_name)
+
+    @property
+    def construction(self) -> RGConstruction:
+        """The underlying R_G construction."""
+        return self._construction
+
+    def instance(self) -> ProjectJoinFixpointInstance:
+        """The produced fixpoint instance."""
+        return ProjectJoinFixpointInstance(
+            relation=self._construction.relation,
+            projection_schemes=tuple(self._construction.projection_schemes()),
+        )
+
+    def expression(self) -> Expression:
+        """The project-join mapping as an expression (``φ_G`` itself)."""
+        return self._construction.expression
+
+    def expected_yes(self) -> bool:
+        """Ground truth: the fixpoint holds iff the formula is unsatisfiable."""
+        return not is_satisfiable(self._construction.formula)

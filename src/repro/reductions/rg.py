@@ -1,0 +1,455 @@
+"""The Section 3 construction: the relation R_G and the expression φ_G.
+
+Given a 3CNF formula ``G`` with clauses ``F_1 ... F_m`` over variables
+``x_1 ... x_n`` (each clause over three distinct variables, ``m >= 3``), the
+paper builds:
+
+* a relation ``R_G`` over the scheme
+  ``T = F_1 ... F_m  X_1 ... X_n  Y_{1,2} ... Y_{m-1,m}  S``
+  containing, for every clause ``F_j``, one tuple per satisfying assignment of
+  that clause (7 tuples), plus one special tuple ``v``;
+* the projection-join expression
+  ``φ_G = π_F(T) * π_{T_1}(T) * ... * π_{T_m}(T)`` where
+  ``T_j = F_j X_{j1} X_{j2} X_{j3} Y_{{j,1}} ... Y_{{j,m}} S``.
+
+**Lemma 1** then states ``φ_G(R_G) = R_G ∪ R̃_G`` where ``R̃_G`` has one tuple
+per satisfying truth assignment of ``G`` (all clause columns 1, all pair
+columns x, S = a, and the variable columns spelling out the assignment), and
+**Proposition 1** that the projection onto the pair columns gains exactly the
+single tuple ``u_G`` iff ``G`` is satisfiable.
+
+:class:`RGConstruction` materialises all of this, plus the helpers every later
+reduction needs (the scheme pieces, the expected results, the ``u_G`` tuple,
+and the Theorem 4/5 variants with the extra falsifying tuples and the ``U``
+column).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..algebra.relation import Relation
+from ..algebra.schema import RelationScheme
+from ..algebra.tuples import RelationTuple
+from ..expressions.ast import Expression, Join, Operand, Projection
+from ..sat.assignments import Assignment
+from ..sat.cnf import CNFFormula
+from ..sat.counting import enumerate_models
+from .symbols import (
+    BLANK,
+    COMMON_U,
+    EXTRA_TAG,
+    MARK,
+    SAT_TAG,
+    S_ATTRIBUTE,
+    U_ATTRIBUTE,
+    clause_attribute,
+    clause_u_value,
+    pair_attribute,
+    variable_attribute,
+)
+
+__all__ = ["RGConstruction"]
+
+
+class RGConstruction:
+    """The R_G / φ_G construction for one 3CNF formula.
+
+    Parameters
+    ----------
+    formula:
+        A strict 3CNF formula (three distinct variables per clause) with at
+        least ``minimum_clauses`` clauses.  Use
+        :func:`repro.sat.transforms.to_strict_three_cnf` and
+        :func:`repro.sat.transforms.ensure_minimum_clauses` to normalise
+        arbitrary CNF inputs first.
+    suffix:
+        Appended to every attribute name.  The Theorem 1 product construction
+        builds two copies over *disjoint* schemes by giving the second copy a
+        non-empty suffix (the paper's primed attributes).
+    operand_name:
+        The operand name used in the generated expressions (default ``"R"``).
+    minimum_clauses:
+        The paper assumes at least three clauses; lowering this is only useful
+        in unit tests of degenerate cases.
+    """
+
+    def __init__(
+        self,
+        formula: CNFFormula,
+        suffix: str = "",
+        operand_name: str = "R",
+        minimum_clauses: int = 3,
+    ):
+        formula.require_three_cnf(minimum_clauses=minimum_clauses)
+        # The paper's construction is over "the variables appearing in the
+        # expression": a declared variable that occurs in no clause would get
+        # an X column that no projection of φ_G covers (breaking Lemma 1's
+        # scheme bookkeeping) and would silently skew the Theorem 3 count, so
+        # the formula is normalised to its occurring variables here.
+        occurring = CNFFormula(formula.clauses)
+        if set(occurring.variables) != set(formula.variables):
+            formula = occurring
+        self._formula = formula
+        self._suffix = suffix
+        self._operand_name = operand_name
+        self._num_clauses = formula.num_clauses
+        self._num_variables = formula.num_variables
+
+        self._variable_index: Dict[str, int] = {
+            variable: position + 1 for position, variable in enumerate(formula.variables)
+        }
+
+        self._clause_attributes = [
+            clause_attribute(j, suffix) for j in range(1, self._num_clauses + 1)
+        ]
+        self._variable_attributes = [
+            variable_attribute(i, suffix) for i in range(1, self._num_variables + 1)
+        ]
+        self._pair_attributes = [
+            pair_attribute(i, l, suffix)
+            for i in range(1, self._num_clauses + 1)
+            for l in range(i + 1, self._num_clauses + 1)
+        ]
+        self._s_attribute = S_ATTRIBUTE + suffix
+        self._u_attribute = U_ATTRIBUTE + suffix
+
+        self._scheme = RelationScheme(
+            self._clause_attributes
+            + self._variable_attributes
+            + self._pair_attributes
+            + [self._s_attribute]
+        )
+        self._relation = self._build_relation()
+        self._expression = self._build_expression()
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def formula(self) -> CNFFormula:
+        """The source 3CNF formula ``G``."""
+        return self._formula
+
+    @property
+    def suffix(self) -> str:
+        """The attribute-name suffix (empty for the unprimed copy)."""
+        return self._suffix
+
+    @property
+    def operand_name(self) -> str:
+        """The operand name used in the generated expressions."""
+        return self._operand_name
+
+    @property
+    def scheme(self) -> RelationScheme:
+        """The full relation scheme ``T`` of ``R_G``."""
+        return self._scheme
+
+    @property
+    def relation(self) -> Relation:
+        """The constructed relation ``R_G`` (``7m + 1`` tuples)."""
+        return self._relation
+
+    @property
+    def expression(self) -> Expression:
+        """The expression ``φ_G = π_F(T) * *_j π_{T_j}(T)``."""
+        return self._expression
+
+    @property
+    def clause_scheme(self) -> RelationScheme:
+        """The scheme ``F = F_1 ... F_m``."""
+        return RelationScheme(self._clause_attributes)
+
+    @property
+    def variable_scheme(self) -> RelationScheme:
+        """The scheme ``X_1 ... X_n`` of the variable columns."""
+        return RelationScheme(self._variable_attributes)
+
+    @property
+    def pair_scheme(self) -> RelationScheme:
+        """The scheme ``Y = Y_{1,2} ... Y_{m-1,m}`` of the pair columns."""
+        return RelationScheme(self._pair_attributes)
+
+    @property
+    def s_attribute(self) -> str:
+        """The name of the ``S`` column."""
+        return self._s_attribute
+
+    @property
+    def u_attribute(self) -> str:
+        """The name of the ``U`` column used by the Theorem 4 variant."""
+        return self._u_attribute
+
+    def variable_column(self, variable: str) -> str:
+        """The ``X_i`` attribute name carrying ``variable``."""
+        return variable_attribute(self._variable_index[variable], self._suffix)
+
+    def column_variable(self, attribute: str) -> str:
+        """The formula variable carried by the ``X_i`` attribute ``attribute``."""
+        for variable, index in self._variable_index.items():
+            if variable_attribute(index, self._suffix) == attribute:
+                return variable
+        raise KeyError(attribute)
+
+    def columns_for_variables(self, variables: Sequence[str]) -> RelationScheme:
+        """The sub-scheme of variable columns carrying ``variables`` (given order)."""
+        return RelationScheme([self.variable_column(v) for v in variables])
+
+    def clause_projection_scheme(self, clause_index: int) -> RelationScheme:
+        """The scheme ``T_j`` projected by the j-th factor of ``φ_G`` (1-based j).
+
+        ``T_j = F_j  X_{j1} X_{j2} X_{j3}  Y_{{j,l}} for all l != j  S``.
+        """
+        clause = self._formula.clauses[clause_index - 1]
+        attributes: List[str] = [clause_attribute(clause_index, self._suffix)]
+        attributes.extend(
+            self.variable_column(variable) for variable in clause.variable_tuple()
+        )
+        attributes.extend(
+            pair_attribute(clause_index, other, self._suffix)
+            for other in range(1, self._num_clauses + 1)
+            if other != clause_index
+        )
+        attributes.append(self._s_attribute)
+        return RelationScheme(attributes)
+
+    # -- construction of R_G -----------------------------------------------
+
+    def _blank_row(self) -> Dict[str, Hashable]:
+        row: Dict[str, Hashable] = {name: BLANK for name in self._scheme.names}
+        return row
+
+    def _clause_tuples(self, clause_index: int) -> List[RelationTuple]:
+        """The seven tuples μ_{jk} for clause ``F_j`` (1-based ``clause_index``)."""
+        clause = self._formula.clauses[clause_index - 1]
+        tuples: List[RelationTuple] = []
+        for satisfying in clause.satisfying_assignments():
+            row = self._blank_row()
+            row[clause_attribute(clause_index, self._suffix)] = 1
+            for variable, value in satisfying.items():
+                row[self.variable_column(variable)] = int(value)
+            for other in range(1, self._num_clauses + 1):
+                if other != clause_index:
+                    row[pair_attribute(clause_index, other, self._suffix)] = MARK
+            row[self._s_attribute] = SAT_TAG
+            tuples.append(RelationTuple(self._scheme, row))
+        return tuples
+
+    def _special_tuple(self) -> RelationTuple:
+        """The tuple ``v``: all clause columns 1, S = b, everything else e."""
+        row = self._blank_row()
+        for attribute in self._clause_attributes:
+            row[attribute] = 1
+        row[self._s_attribute] = EXTRA_TAG
+        return RelationTuple(self._scheme, row)
+
+    def _build_relation(self) -> Relation:
+        tuples: List[RelationTuple] = []
+        for clause_index in range(1, self._num_clauses + 1):
+            tuples.extend(self._clause_tuples(clause_index))
+        tuples.append(self._special_tuple())
+        return Relation(self._scheme, tuples, name=f"R_G{self._suffix}")
+
+    # -- construction of φ_G -------------------------------------------------
+
+    def _build_expression(self) -> Expression:
+        base = Operand(self._operand_name, self._scheme)
+        factors: List[Expression] = [Projection(self.clause_scheme, base)]
+        for clause_index in range(1, self._num_clauses + 1):
+            factors.append(
+                Projection(self.clause_projection_scheme(clause_index), base)
+            )
+        return Join(factors)
+
+    def projection_schemes(self) -> List[RelationScheme]:
+        """The schemes projected by ``φ_G``, in order: ``F, T_1, ..., T_m``.
+
+        ``φ_G`` is exactly the project-join mapping ``*_i π_{Y_i}(R)`` over
+        these schemes, which is the form used by the NP / co-NP / #P side
+        results.
+        """
+        schemes = [self.clause_scheme]
+        schemes.extend(
+            self.clause_projection_scheme(j) for j in range(1, self._num_clauses + 1)
+        )
+        return schemes
+
+    def pair_projection_expression(self) -> Expression:
+        """The expression ``π_Y(φ_G)`` of Proposition 1."""
+        return Projection(self.pair_scheme, self._expression)
+
+    # -- the Lemma 1 / Proposition 1 predictions -----------------------------
+
+    def satisfying_assignment_tuple(self, assignment: Mapping[str, bool]) -> RelationTuple:
+        """The R̃_G tuple encoding one satisfying truth assignment of ``G``.
+
+        All clause columns carry 1, all pair columns carry x, ``S`` carries a,
+        and the variable columns carry the assignment as 0/1.  The assignment
+        must cover every variable of the formula (extra variables are ignored).
+        """
+        row = self._blank_row()
+        for attribute in self._clause_attributes:
+            row[attribute] = 1
+        for attribute in self._pair_attributes:
+            row[attribute] = MARK
+        row[self._s_attribute] = SAT_TAG
+        for variable in self._formula.variables:
+            row[self.variable_column(variable)] = int(bool(assignment[variable]))
+        return RelationTuple(self._scheme, row)
+
+    def assignment_of_tuple(self, tup: RelationTuple) -> Optional[Assignment]:
+        """Decode an R̃_G-shaped tuple back into a truth assignment.
+
+        Returns ``None`` if any variable column does not carry 0 or 1 (i.e.
+        the tuple is not of the satisfying-assignment shape of Lemma 1).
+        """
+        values: Dict[str, bool] = {}
+        for variable in self._formula.variables:
+            cell = tup[self.variable_column(variable)]
+            if cell not in (0, 1):
+                return None
+            values[variable] = bool(cell)
+        return Assignment(values)
+
+    def satisfying_assignment_relation(self) -> Relation:
+        """The relation R̃_G: one tuple per satisfying assignment of ``G``.
+
+        Computed by enumerating the formula's models with the SAT substrate;
+        Lemma 1 predicts ``φ_G(R_G) = R_G ∪ R̃_G``, which the test-suite checks
+        by actually evaluating ``φ_G``.
+        """
+        tuples = [
+            self.satisfying_assignment_tuple(model)
+            for model in enumerate_models(self._formula)
+        ]
+        return Relation(self._scheme, tuples, name=f"R~_G{self._suffix}")
+
+    def expected_result(self) -> Relation:
+        """Lemma 1's prediction for ``φ_G(R_G)``: ``R_G ∪ R̃_G``."""
+        return self._relation.union(self.satisfying_assignment_relation())
+
+    def u_g_tuple(self) -> RelationTuple:
+        """The Y-tuple ``u_G`` with every pair column equal to x (Proposition 1)."""
+        return RelationTuple(
+            self.pair_scheme, {name: MARK for name in self._pair_attributes}
+        )
+
+    def expected_pair_projection(self, satisfiable: bool) -> Relation:
+        """Proposition 1's prediction for ``π_Y(φ_G(R_G))``.
+
+        ``π_Y(R_G)`` when ``G`` is unsatisfiable; ``π_Y(R_G) ∪ {u_G}`` when it
+        is satisfiable.
+        """
+        base = self._relation.project(self.pair_scheme)
+        if not satisfiable:
+            return base
+        return base.insert(self.u_g_tuple())
+
+    # -- size bookkeeping ------------------------------------------------------
+
+    def predicted_relation_size(self) -> int:
+        """``|R_G| = 7m + 1``."""
+        return 7 * self._num_clauses + 1
+
+    def predicted_column_count(self) -> int:
+        """``m + n + m(m-1)/2 + 1`` columns (the paper's count)."""
+        m, n = self._num_clauses, self._num_variables
+        return m + n + m * (m - 1) // 2 + 1
+
+    def predicted_result_size(self, model_count: int) -> int:
+        """``|φ_G(R_G)| = 7m + 1 + #SAT(G)`` (Lemma 1 / Theorem 3)."""
+        return self.predicted_relation_size() + model_count
+
+    def pair_projection_size(self) -> int:
+        """``|π_Y(R_G)|``: the number of distinct pair-column projections of R_G.
+
+        For ``m >= 2`` this is ``m + 1`` (one Y-pattern per clause plus the
+        all-blank pattern of the special tuple ``v``); the Theorem 2 reduction
+        uses this as its β.
+        """
+        return len(self._relation.project(self.pair_scheme))
+
+    # -- Theorem 4 / 5 variants --------------------------------------------------
+
+    def falsifying_tuple(self, clause_index: int) -> RelationTuple:
+        """The Theorem 4 tuple ξ_j for clause ``F_j`` over the base scheme ``T``.
+
+        It encodes the unique truth assignment of the clause's variables that
+        does *not* satisfy the clause, with the same clause / pair / S pattern
+        as the ordinary clause tuples.
+        """
+        clause = self._formula.clauses[clause_index - 1]
+        row = self._blank_row()
+        row[clause_attribute(clause_index, self._suffix)] = 1
+        for variable, value in clause.falsifying_assignment().items():
+            row[self.variable_column(variable)] = int(value)
+        for other in range(1, self._num_clauses + 1):
+            if other != clause_index:
+                row[pair_attribute(clause_index, other, self._suffix)] = MARK
+        row[self._s_attribute] = SAT_TAG
+        return RelationTuple(self._scheme, row)
+
+    def relation_with_falsifying_tuples(self) -> Relation:
+        """The Theorem 5 relation ``R''_G``: ``R_G`` plus every ξ_j (no U column)."""
+        extra = [
+            self.falsifying_tuple(clause_index)
+            for clause_index in range(1, self._num_clauses + 1)
+        ]
+        return self._relation.insert(*extra).with_name(f"R''_G{self._suffix}")
+
+    def extended_scheme_with_u(self) -> RelationScheme:
+        """The Theorem 4 scheme ``T' = T ∪ {U}``."""
+        return self._scheme.union(RelationScheme([self._u_attribute]))
+
+    def relation_with_u_column(self) -> Relation:
+        """The Theorem 4 relation ``R'_G``.
+
+        ``R_G`` plus the falsifying tuples ξ_j, extended with a ``U`` column in
+        which every ordinary tuple carries the common constant ``c`` and each
+        ξ_j carries its own constant ``c_j``.
+        """
+        scheme = self.extended_scheme_with_u()
+        tuples: List[RelationTuple] = [
+            tup.extended({self._u_attribute: COMMON_U}) for tup in self._relation
+        ]
+        for clause_index in range(1, self._num_clauses + 1):
+            tuples.append(
+                self.falsifying_tuple(clause_index).extended(
+                    {self._u_attribute: clause_u_value(clause_index)}
+                )
+            )
+        return Relation(scheme, tuples, name=f"R'_G{self._suffix}")
+
+    def phi_one_expression(self) -> Expression:
+        """Theorem 4's ``φ¹_G`` over the extended scheme ``T'`` (ignores ``U``).
+
+        ``φ¹_G = π_F(T') * *_j π_{T_j}(T')`` — structurally the same as
+        ``φ_G`` but with the operand declared over ``T'``, so it never looks at
+        the ``U`` column and therefore "considers G as a tautology" once the
+        falsifying tuples are present.
+        """
+        base = Operand(self._operand_name, self.extended_scheme_with_u())
+        factors: List[Expression] = [Projection(self.clause_scheme, base)]
+        for clause_index in range(1, self._num_clauses + 1):
+            factors.append(
+                Projection(self.clause_projection_scheme(clause_index), base)
+            )
+        return Join(factors)
+
+    def phi_two_expression(self) -> Expression:
+        """Theorem 4's ``φ²_G``: like ``φ¹_G`` but each factor also keeps ``U``.
+
+        Keeping ``U`` forces every per-clause choice to agree on the ``U``
+        value, which rules out mixing the falsifying tuples ξ_j (each has its
+        own ``c_j``), so the expression "picks out the satisfying truth
+        assignments" exactly as ``φ_G`` does on ``R_G``.
+        """
+        base = Operand(self._operand_name, self.extended_scheme_with_u())
+        factors: List[Expression] = [Projection(self.clause_scheme, base)]
+        for clause_index in range(1, self._num_clauses + 1):
+            scheme_with_u = self.clause_projection_scheme(clause_index).union(
+                RelationScheme([self._u_attribute])
+            )
+            factors.append(Projection(scheme_with_u, base))
+        return Join(factors)

@@ -1,0 +1,88 @@
+"""The value symbols and attribute-naming conventions of the R_G construction.
+
+The paper builds its relations from the symbols ``0, 1, e, x, a, b`` (plus the
+``c, c_j`` constants of Theorem 4) and remarks that reusing the same symbol in
+different columns is irrelevant — one could rename per column.  This module
+fixes the concrete Python values used for those symbols and the attribute
+names used for the columns:
+
+* clause columns ``F_j``            -> ``"F1", "F2", ...``
+* variable columns ``X_i``          -> ``"X1", "X2", ...`` (by position of the
+  variable in the formula's variable order)
+* pair columns ``Y_{i,l}`` (i < l)  -> ``"Y_1_2", "Y_1_3", ...``
+* the ``S`` column                  -> ``"S"``
+* the ``U`` column of Theorem 4     -> ``"U"``
+
+Attribute names avoid ``{}`` and commas so the textual expression syntax of
+:mod:`repro.expressions.parser` can round-trip every constructed expression.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "TRUE",
+    "FALSE",
+    "BLANK",
+    "MARK",
+    "SAT_TAG",
+    "EXTRA_TAG",
+    "COMMON_U",
+    "clause_attribute",
+    "variable_attribute",
+    "pair_attribute",
+    "clause_u_value",
+    "S_ATTRIBUTE",
+    "U_ATTRIBUTE",
+]
+
+#: The truth value 1 in variable columns.
+TRUE = 1
+
+#: The truth value 0 in variable columns.
+FALSE = 0
+
+#: The paper's "e" symbol: a column not constrained by this tuple.
+BLANK = "e"
+
+#: The paper's "x" symbol used in the Y_{i,l} columns.
+MARK = "x"
+
+#: The paper's "a" symbol in the S column (ordinary tuples).
+SAT_TAG = "a"
+
+#: The paper's "b" symbol in the S column (the special tuple v).
+EXTRA_TAG = "b"
+
+#: The paper's "c" symbol in the U column (Theorem 4) for ordinary tuples.
+COMMON_U = "c"
+
+#: The attribute name of the S column.
+S_ATTRIBUTE = "S"
+
+#: The attribute name of the U column added by the Theorem 4 construction.
+U_ATTRIBUTE = "U"
+
+
+def clause_attribute(clause_index: int, suffix: str = "") -> str:
+    """The attribute name for clause column ``F_j`` (1-based ``clause_index``)."""
+    return f"F{clause_index}{suffix}"
+
+
+def variable_attribute(variable_index: int, suffix: str = "") -> str:
+    """The attribute name for variable column ``X_i`` (1-based ``variable_index``)."""
+    return f"X{variable_index}{suffix}"
+
+
+def pair_attribute(first: int, second: int, suffix: str = "") -> str:
+    """The attribute name for the pair column ``Y_{i,l}``, ``i < l`` (1-based)."""
+    low, high = (first, second) if first < second else (second, first)
+    if low == high:
+        raise ValueError("pair attributes need two distinct clause indices")
+    return f"Y_{low}_{high}{suffix}"
+
+
+def clause_u_value(clause_index: int) -> str:
+    """The distinct ``c_j`` constant placed in the U column of the tuple ξ_j."""
+    return f"c{clause_index}"

@@ -1,0 +1,133 @@
+"""Theorem 1: query-result equality testing is DP-complete.
+
+Reduction from 3SAT-3UNSAT.  Given two 3CNF formulas ``G`` and ``G'``:
+
+* build ``R_G`` over scheme ``T`` and ``R_{G'}`` over a disjoint (primed)
+  scheme ``T'``;
+* the instance relation is ``R_{G,G'} = R_G * R_{G'}`` (a cartesian product,
+  since the schemes are disjoint);
+* the instance query is ``φ_{G,G'} = π_Y(φ_G) * π_{Y'}(φ_{G'})`` — each copy's
+  expression projected onto its pair columns, joined (again a product);
+* the conjectured result is ``r_{G,G'} = (π_Y(R_G) ∪ {u_G}) * π_{Y'}(R_{G'})``.
+
+Then ``φ_{G,G'}(R_{G,G'}) = r_{G,G'}`` **iff** ``G`` is satisfiable and ``G'``
+is unsatisfiable — i.e. iff the 3SAT-3UNSAT instance is a *yes* instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..algebra.operations import cartesian_product
+from ..algebra.relation import Relation
+from ..expressions.ast import Expression, Join, Projection
+from ..sat.cnf import CNFFormula
+from ..sat.solver import is_satisfiable
+from .rg import RGConstruction
+
+__all__ = ["SatUnsatPair", "Theorem1Reduction"]
+
+#: Attribute-name suffix used for the primed (G') copy of the construction.
+PRIME_SUFFIX = "p"
+
+
+@dataclass(frozen=True)
+class SatUnsatPair:
+    """A 3SAT-3UNSAT instance: is ``first`` satisfiable and ``second`` unsatisfiable?"""
+
+    first: CNFFormula
+    second: CNFFormula
+
+    def is_yes_instance(self) -> bool:
+        """Ground truth via the DPLL solver (used to verify the reduction)."""
+        return is_satisfiable(self.first) and not is_satisfiable(self.second)
+
+
+class Theorem1Reduction:
+    """Materialises the Theorem 1 reduction for one 3SAT-3UNSAT instance."""
+
+    def __init__(self, pair: SatUnsatPair, operand_name: str = "R"):
+        self._pair = pair
+        self._first = RGConstruction(pair.first, suffix="", operand_name=operand_name)
+        self._second = RGConstruction(
+            pair.second, suffix=PRIME_SUFFIX, operand_name=operand_name
+        )
+        self._operand_name = operand_name
+
+    # -- the three components of the produced instance ----------------------
+
+    @property
+    def pair(self) -> SatUnsatPair:
+        """The source 3SAT-3UNSAT instance."""
+        return self._pair
+
+    @property
+    def first_construction(self) -> RGConstruction:
+        """The unprimed construction (for ``G``)."""
+        return self._first
+
+    @property
+    def second_construction(self) -> RGConstruction:
+        """The primed construction (for ``G'``)."""
+        return self._second
+
+    def relation(self) -> Relation:
+        """The combined relation ``R_{G,G'} = R_G * R_{G'}`` over ``T ∪ T'``."""
+        return cartesian_product(self._first.relation, self._second.relation).with_name(
+            "R_G_Gp"
+        )
+
+    def expression(self) -> Expression:
+        """The combined query ``φ_{G,G'} = π_Y(φ_G) * π_{Y'}(φ_{G'})``.
+
+        The operand of both sub-expressions is re-declared over the combined
+        scheme ``T ∪ T'`` (as the paper specifies: the expression "takes as
+        argument the relation scheme T ∪ T'"), which is achieved by rebuilding
+        each φ over the combined operand and projecting every factor onto the
+        same schemes as before — projections from ``T ∪ T'`` onto subsets of
+        ``T`` see exactly ``R_G``'s columns.
+        """
+        combined_scheme = self.relation().scheme
+        first = self._rebuild_over(self._first, combined_scheme)
+        second = self._rebuild_over(self._second, combined_scheme)
+        return Join(
+            [
+                Projection(self._first.pair_scheme, first),
+                Projection(self._second.pair_scheme, second),
+            ]
+        )
+
+    def conjectured_result(self) -> Relation:
+        """The conjectured result ``r_{G,G'} = (π_Y(R_G) ∪ {u_G}) * π_{Y'}(R_{G'})``."""
+        left = self._first.relation.project(self._first.pair_scheme).insert(
+            self._first.u_g_tuple()
+        )
+        right = self._second.relation.project(self._second.pair_scheme)
+        return cartesian_product(left, right).with_name("r_G_Gp")
+
+    def _rebuild_over(self, construction: RGConstruction, scheme) -> Expression:
+        """Rebuild ``φ_G`` with its operand declared over the combined scheme."""
+        from ..expressions.ast import Operand  # local import to avoid cycle noise
+
+        base = Operand(self._operand_name, scheme)
+        factors = [Projection(construction.clause_scheme, base)]
+        for clause_index in range(1, construction.formula.num_clauses + 1):
+            factors.append(
+                Projection(construction.clause_projection_scheme(clause_index), base)
+            )
+        return Join(factors)
+
+    # -- ground truth ----------------------------------------------------------
+
+    def expected_equal(self) -> bool:
+        """Whether the produced equality instance should be a *yes* instance.
+
+        By Theorem 1 this is exactly ``pair.is_yes_instance()``; exposed
+        separately so benchmarks can record both sides of the iff.
+        """
+        return self._pair.is_yes_instance()
+
+    def instance(self) -> Tuple[Relation, Expression, Relation]:
+        """The produced instance ``(R, φ, r)`` of the equality problem."""
+        return self.relation(), self.expression(), self.conjectured_result()

@@ -1,0 +1,177 @@
+"""Theorem 2: cardinality-bound testing is DP-complete (NP / co-NP for one-sided bounds).
+
+Three reductions are packaged here:
+
+* **Two-sided (DP-hard).**  For a 3SAT-3UNSAT pair ``(G, G')`` the Theorem 1
+  product instance satisfies
+  ``|φ_{G,G'}(R_{G,G'})| = |π_Y φ_G(R_G)| · |π_{Y'} φ_{G'}(R_{G'})|``, and by
+  Proposition 1 each factor is ``β`` (unsatisfiable) or ``β + 1``
+  (satisfiable), where ``β = |π_Y(R_G)|``.  After padding ``G'`` so that
+  ``β < β'``, the pair is a yes instance **iff**
+  ``|φ_{G,G'}(R_{G,G'})| = (β + 1)·β'`` **iff**
+  ``β(β'+1) + 1 <= |φ_{G,G'}(R_{G,G'})| <= β(β'+1) + β'`` — giving both the
+  ``d1 = d2`` and the ``d1 < d2`` forms of the theorem.
+
+* **Lower bound (NP-hard).**  ``G`` is satisfiable iff
+  ``7m + 2 <= |φ_G(R_G)|`` (Lemma 1).
+
+* **Upper bound (co-NP-hard).**  ``G`` is unsatisfiable iff
+  ``|φ_G(R_G)| <= 7m + 1``.
+
+A note on the paper's β: the journal text sets ``β = 7m + 1`` once and uses it
+both for the product bound and for the one-sided bounds.  The one-sided bounds
+indeed need ``7m + 1``; the product bound, which the paper derives from
+Proposition 1 (the *pair-column projection* gains exactly one tuple), needs
+``β = |π_Y(R_G)| = m + 1``.  This module therefore computes β directly from the
+construction (``RGConstruction.pair_projection_size``), which preserves the
+intended behaviour of the reduction for every input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..algebra.relation import Relation
+from ..expressions.ast import Expression
+from ..sat.cnf import CNFFormula
+from ..sat.solver import is_satisfiable
+from ..sat.transforms import pad_with_duplicate_clauses
+from .rg import RGConstruction
+from .theorem1 import SatUnsatPair, Theorem1Reduction
+
+__all__ = [
+    "CardinalityBoundInstance",
+    "Theorem2TwoSidedReduction",
+    "Theorem2LowerBoundReduction",
+    "Theorem2UpperBoundReduction",
+]
+
+
+@dataclass(frozen=True)
+class CardinalityBoundInstance:
+    """An instance of the cardinality-bound problem ``d1 <= |φ(R)| <= d2``.
+
+    Either bound may be ``None`` to express the one-sided variants.
+    """
+
+    relation: Relation
+    expression: Expression
+    lower: "int | None"
+    upper: "int | None"
+
+    def holds_for(self, cardinality: int) -> bool:
+        """Whether a concrete result cardinality satisfies the bounds."""
+        if self.lower is not None and cardinality < self.lower:
+            return False
+        if self.upper is not None and cardinality > self.upper:
+            return False
+        return True
+
+
+class Theorem2TwoSidedReduction:
+    """The DP-hard two-sided reduction from 3SAT-3UNSAT."""
+
+    def __init__(self, pair: SatUnsatPair, operand_name: str = "R"):
+        first, second = pair.first, pair.second
+        # Pad G' until β < β'.  Duplicating an existing clause raises the
+        # clause count (and hence β' = |π_{Y'}(R_{G'})|) without changing
+        # satisfiability or the model count, so the padded instance stays the
+        # same size on the relational side.
+        beta_first = RGConstruction(first).pair_projection_size()
+        padded_second = second
+        while RGConstruction(padded_second).pair_projection_size() <= beta_first:
+            deficit = beta_first - RGConstruction(padded_second).pair_projection_size() + 1
+            padded_second = pad_with_duplicate_clauses(padded_second, deficit)
+        self._pair = SatUnsatPair(first, padded_second)
+        self._theorem1 = Theorem1Reduction(self._pair, operand_name=operand_name)
+        self._beta = self._theorem1.first_construction.pair_projection_size()
+        self._beta_prime = self._theorem1.second_construction.pair_projection_size()
+
+    @property
+    def pair(self) -> SatUnsatPair:
+        """The (padded) 3SAT-3UNSAT instance actually encoded."""
+        return self._pair
+
+    @property
+    def beta(self) -> int:
+        """``β = |π_Y(R_G)|`` for the first formula."""
+        return self._beta
+
+    @property
+    def beta_prime(self) -> int:
+        """``β' = |π_{Y'}(R_{G'})|`` for the (padded) second formula."""
+        return self._beta_prime
+
+    def exact_instance(self) -> CardinalityBoundInstance:
+        """The ``d1 = d2`` instance: is ``|φ(R)|`` exactly ``(β + 1)·β'``?"""
+        relation, expression, _ = self._theorem1.instance()
+        target = (self._beta + 1) * self._beta_prime
+        return CardinalityBoundInstance(relation, expression, target, target)
+
+    def window_instance(self) -> CardinalityBoundInstance:
+        """The ``d1 < d2`` instance: ``β(β'+1)+1 <= |φ(R)| <= β(β'+1)+β'``."""
+        relation, expression, _ = self._theorem1.instance()
+        lower = self._beta * (self._beta_prime + 1) + 1
+        upper = self._beta * (self._beta_prime + 1) + self._beta_prime
+        return CardinalityBoundInstance(relation, expression, lower, upper)
+
+    def predicted_cardinality(self) -> int:
+        """The exact product cardinality predicted from SAT ground truth."""
+        left = self._beta + (1 if is_satisfiable(self._pair.first) else 0)
+        right = self._beta_prime + (1 if is_satisfiable(self._pair.second) else 0)
+        return left * right
+
+    def expected_yes(self) -> bool:
+        """Whether the produced bound instances should hold (the DP ground truth)."""
+        return self._pair.is_yes_instance()
+
+
+class Theorem2LowerBoundReduction:
+    """The NP-hard lower-bound reduction: ``G`` satisfiable iff ``7m + 2 <= |φ_G(R_G)|``."""
+
+    def __init__(self, formula: CNFFormula, operand_name: str = "R"):
+        self._construction = RGConstruction(formula, operand_name=operand_name)
+
+    @property
+    def construction(self) -> RGConstruction:
+        """The underlying R_G construction."""
+        return self._construction
+
+    def instance(self) -> CardinalityBoundInstance:
+        """The produced lower-bound instance."""
+        return CardinalityBoundInstance(
+            self._construction.relation,
+            self._construction.expression,
+            self._construction.predicted_relation_size() + 1,
+            None,
+        )
+
+    def expected_yes(self) -> bool:
+        """Ground truth: the bound holds iff the formula is satisfiable."""
+        return is_satisfiable(self._construction.formula)
+
+
+class Theorem2UpperBoundReduction:
+    """The co-NP-hard upper-bound reduction: ``G`` unsatisfiable iff ``|φ_G(R_G)| <= 7m + 1``."""
+
+    def __init__(self, formula: CNFFormula, operand_name: str = "R"):
+        self._construction = RGConstruction(formula, operand_name=operand_name)
+
+    @property
+    def construction(self) -> RGConstruction:
+        """The underlying R_G construction."""
+        return self._construction
+
+    def instance(self) -> CardinalityBoundInstance:
+        """The produced upper-bound instance."""
+        return CardinalityBoundInstance(
+            self._construction.relation,
+            self._construction.expression,
+            None,
+            self._construction.predicted_relation_size(),
+        )
+
+    def expected_yes(self) -> bool:
+        """Ground truth: the bound holds iff the formula is unsatisfiable."""
+        return not is_satisfiable(self._construction.formula)

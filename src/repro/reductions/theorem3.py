@@ -1,0 +1,77 @@
+"""Theorem 3 and its corollary: counting result tuples is #P-hard / #P-complete.
+
+The reduction from #3SAT is the identity on the construction: by Lemma 1,
+
+    ``#SAT(G) = |φ_G(R_G)| − (7m + 1)``.
+
+So counting the tuples of a projection-join query answers #3SAT, making the
+counting problem #P-hard; and since ``φ_G`` is itself of the form
+``*_i π_{Y_i}(R)``, the corollary's restricted counting problem (tuples of a
+join of projections of a single relation) is #P-complete — membership comes
+from the "counting Turing machine" that guesses a tuple and checks each
+projection, mirrored here by :class:`repro.decision.counting.TupleCounter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..algebra.relation import Relation
+from ..algebra.schema import RelationScheme
+from ..expressions.ast import Expression
+from ..sat.cnf import CNFFormula
+from ..sat.counting import count_models
+from .rg import RGConstruction
+
+__all__ = ["Theorem3Reduction", "CountingInstance"]
+
+
+@dataclass(frozen=True)
+class CountingInstance:
+    """An instance of the tuple-counting problem: how many tuples has ``φ(R)``?"""
+
+    relation: Relation
+    expression: Expression
+
+
+class Theorem3Reduction:
+    """Materialises the #3SAT -> tuple-counting reduction for one formula."""
+
+    def __init__(self, formula: CNFFormula, operand_name: str = "R"):
+        self._construction = RGConstruction(formula, operand_name=operand_name)
+
+    @property
+    def construction(self) -> RGConstruction:
+        """The underlying R_G construction."""
+        return self._construction
+
+    def instance(self) -> CountingInstance:
+        """The produced counting instance ``(R_G, φ_G)``."""
+        return CountingInstance(self._construction.relation, self._construction.expression)
+
+    def projection_schemes(self) -> List[RelationScheme]:
+        """The schemes ``Y_i`` of the corollary's restricted form ``*_i π_{Y_i}(R)``."""
+        return self._construction.projection_schemes()
+
+    def offset(self) -> int:
+        """The additive offset ``7m + 1`` relating the two counts."""
+        return self._construction.predicted_relation_size()
+
+    def models_from_tuple_count(self, tuple_count: int) -> int:
+        """Recover ``#SAT(G)`` from a measured ``|φ_G(R_G)|``."""
+        models = tuple_count - self.offset()
+        if models < 0:
+            raise ValueError(
+                f"tuple count {tuple_count} is below the construction size {self.offset()}; "
+                "the relation/expression pair does not come from this reduction"
+            )
+        return models
+
+    def expected_tuple_count(self) -> int:
+        """Ground truth ``|φ_G(R_G)|`` computed from the SAT-side model counter."""
+        return self.offset() + count_models(self._construction.formula)
+
+    def expected_model_count(self) -> int:
+        """Ground truth ``#SAT(G)`` from the SAT-side model counter."""
+        return count_models(self._construction.formula)

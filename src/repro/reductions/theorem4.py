@@ -1,0 +1,164 @@
+"""Theorem 4: query containment / equivalence w.r.t. a fixed relation is Π₂ᵖ-complete.
+
+Reduction from Q-3SAT.  Given ``∀X ∃X' G`` (with the Proposition 4
+restrictions in force — the construction applies the guard-clause
+transformation automatically when they are not):
+
+* build ``R'_G``: the relation ``R_G`` plus, for every clause, the tuple ξ_j
+  encoding the clause's unique *falsifying* assignment, all extended with a
+  ``U`` column (ordinary tuples carry the common constant ``c``, each ξ_j its
+  own constant ``c_j``);
+* build the two queries
+
+  - ``Q1 = π_X(φ¹_G)`` where ``φ¹_G`` ignores ``U`` — because of the extra
+    tuples it "considers G as a tautology", so ``Q1(R'_G)`` contains *every*
+    truth assignment of the universal variables (plus blank-containing rows);
+  - ``Q2 = π_X(φ²_G)`` where ``φ²_G`` keeps ``U`` in every factor — the
+    distinct ``c_j`` values prevent the falsifying tuples from combining, so
+    ``Q2(R'_G)`` contains exactly the restrictions of *satisfying* assignments
+    (plus the same blank-containing rows).
+
+Then ``∀X ∃X' G`` is true **iff** ``Q1(R'_G) ⊆ Q2(R'_G)`` **iff**
+``Q1(R'_G) = Q2(R'_G)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..algebra.relation import Relation
+from ..algebra.schema import RelationScheme
+from ..expressions.ast import Expression, Projection
+from ..qbf.evaluator import evaluate_by_expansion
+from ..qbf.instances import QThreeSatInstance
+from .rg import RGConstruction
+
+__all__ = ["Theorem4Reduction", "FixedRelationComparisonInstance"]
+
+
+@dataclass(frozen=True)
+class FixedRelationComparisonInstance:
+    """An instance of the fixed-relation query-comparison problem.
+
+    The question is whether ``first(relation) ⊆ second(relation)`` (or ``=``,
+    for the equivalence variant).
+    """
+
+    relation: Relation
+    first: Expression
+    second: Expression
+
+
+class Theorem4Reduction:
+    """Materialises the Q-3SAT -> fixed-relation comparison reduction.
+
+    Instances violating the *first* Proposition 4 restriction (the universal
+    set is contained in some clause's variable set) are repaired with the
+    guard-clause transformation, which preserves the truth value.  Instances
+    violating the *second* restriction (the universal set contains some
+    clause's variable set) are trivially false — the assignment falsifying
+    that clause is universal — so, as a polynomial-time reduction must, they
+    are mapped to a fixed no-instance (the canonical false gadget).
+    """
+
+    def __init__(self, instance: QThreeSatInstance, operand_name: str = "R"):
+        self._source_instance = instance
+        self._trivially_false = instance.universal_contains_some_clause()
+        if self._trivially_false:
+            from ..qbf.generators import canonical_false_q3sat
+
+            instance = canonical_false_q3sat()
+        elif not instance.satisfies_proposition4_restrictions():
+            instance = instance.with_guard_clauses()
+        self._instance = instance
+        self._construction = RGConstruction(instance.formula, operand_name=operand_name)
+        self._universal_scheme = self._construction.columns_for_variables(
+            instance.universal
+        )
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def qbf_instance(self) -> QThreeSatInstance:
+        """The (possibly repaired) Q-3SAT instance actually encoded."""
+        return self._instance
+
+    @property
+    def source_instance(self) -> QThreeSatInstance:
+        """The Q-3SAT instance the reduction was asked to encode."""
+        return self._source_instance
+
+    @property
+    def construction(self) -> RGConstruction:
+        """The underlying R_G construction (over the encoded formula)."""
+        return self._construction
+
+    @property
+    def universal_scheme(self) -> RelationScheme:
+        """The scheme of variable columns carrying the universal variables ``X``."""
+        return self._universal_scheme
+
+    def relation(self) -> Relation:
+        """The fixed relation ``R'_G`` (with falsifying tuples and the U column)."""
+        return self._construction.relation_with_u_column()
+
+    def first_expression(self) -> Expression:
+        """``Q1 = π_X(φ¹_G)`` — treats G as a tautology."""
+        return Projection(self._universal_scheme, self._construction.phi_one_expression())
+
+    def second_expression(self) -> Expression:
+        """``Q2 = π_X(φ²_G)`` — picks out satisfying assignments only."""
+        return Projection(self._universal_scheme, self._construction.phi_two_expression())
+
+    def containment_instance(self) -> FixedRelationComparisonInstance:
+        """The produced instance of ``Q1(R) ⊆ Q2(R)``."""
+        return FixedRelationComparisonInstance(
+            self.relation(), self.first_expression(), self.second_expression()
+        )
+
+    # -- ground truth ------------------------------------------------------------
+
+    def expected_yes(self) -> bool:
+        """Whether containment (equivalently, equality) should hold.
+
+        By Theorem 4 this is exactly the truth value of ``∀X ∃X' G``, computed
+        here with the independent QBF evaluator.
+        """
+        return evaluate_by_expansion(self._instance)
+
+    def all_universal_assignments_relation(self) -> Relation:
+        """The relation ``R_X`` of all 0/1 assignments to the universal columns.
+
+        Used by tests to check the intermediate claim of the proof:
+        ``π_X φ¹_G(R'_G) = π_X(R'_G) ∪ R_X``.
+        """
+        from ..sat.assignments import all_assignments
+
+        columns = self._universal_scheme
+        tuples = []
+        for assignment in all_assignments(list(self._instance.universal)):
+            values = {
+                self._construction.variable_column(variable): int(assignment[variable])
+                for variable in self._instance.universal
+            }
+            tuples.append(values)
+        return Relation(columns, tuples, name="R_X")
+
+    def satisfying_restrictions_relation(self) -> Relation:
+        """The relation ``R_{X,G}``: satisfying assignments restricted to ``X``.
+
+        Used by tests to check the other intermediate claim:
+        ``π_X φ²_G(R'_G) = π_X(R'_G) ∪ R_{X,G}``.
+        """
+        from ..sat.counting import enumerate_models
+
+        columns = self._universal_scheme
+        tuples = []
+        for model in enumerate_models(self._instance.formula):
+            values = {
+                self._construction.variable_column(variable): int(model[variable])
+                for variable in self._instance.universal
+            }
+            tuples.append(values)
+        return Relation(columns, tuples, name="R_X_G")

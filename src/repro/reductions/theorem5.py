@@ -1,0 +1,119 @@
+"""Theorem 5: comparing databases under a fixed query is Π₂ᵖ-complete.
+
+Reduction from Q-3SAT, sharing the Theorem 4 machinery but swapping the roles
+of "fixed" and "varying":
+
+* the fixed *query* is ``Q = π_X(φ_G)`` (the original expression of the
+  Section 3 construction, projected onto the universal-variable columns);
+* the two *databases* compared are
+
+  - ``R''_G`` — ``R_G`` plus the falsifying tuples ξ_j (no ``U`` column), and
+  - ``R_G`` itself.
+
+Because the falsifying tuples make ``Q`` treat G as a tautology on ``R''_G``
+while on ``R_G`` it picks out satisfying assignments, and because (by the
+second Proposition 4 restriction) ``π_X(R''_G) = π_X(R_G)``, we get:
+
+    ``∀X ∃X' G``  iff  ``Q(R''_G) ⊆ Q(R_G)``  iff  ``Q(R''_G) = Q(R_G)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..algebra.relation import Relation
+from ..algebra.schema import RelationScheme
+from ..expressions.ast import Expression, Projection
+from ..qbf.evaluator import evaluate_by_expansion
+from ..qbf.instances import QThreeSatInstance
+from .rg import RGConstruction
+
+__all__ = ["Theorem5Reduction", "FixedQueryComparisonInstance"]
+
+
+@dataclass(frozen=True)
+class FixedQueryComparisonInstance:
+    """An instance of the fixed-query database-comparison problem.
+
+    The question is whether ``expression(first) ⊆ expression(second)`` (or
+    ``=``, for the equivalence variant).
+    """
+
+    expression: Expression
+    first: Relation
+    second: Relation
+
+
+class Theorem5Reduction:
+    """Materialises the Q-3SAT -> fixed-query comparison reduction.
+
+    The same instance repair as :class:`repro.reductions.theorem4.Theorem4Reduction`
+    is applied: guard clauses fix violations of the first Proposition 4
+    restriction, and instances that are trivially false because the universal
+    set covers a whole clause are mapped to the canonical false gadget.
+    """
+
+    def __init__(self, instance: QThreeSatInstance, operand_name: str = "R"):
+        self._source_instance = instance
+        self._trivially_false = instance.universal_contains_some_clause()
+        if self._trivially_false:
+            from ..qbf.generators import canonical_false_q3sat
+
+            instance = canonical_false_q3sat()
+        elif not instance.satisfies_proposition4_restrictions():
+            instance = instance.with_guard_clauses()
+        self._instance = instance
+        self._construction = RGConstruction(instance.formula, operand_name=operand_name)
+        self._universal_scheme = self._construction.columns_for_variables(
+            instance.universal
+        )
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def qbf_instance(self) -> QThreeSatInstance:
+        """The (possibly repaired) Q-3SAT instance actually encoded."""
+        return self._instance
+
+    @property
+    def source_instance(self) -> QThreeSatInstance:
+        """The Q-3SAT instance the reduction was asked to encode."""
+        return self._source_instance
+
+    @property
+    def construction(self) -> RGConstruction:
+        """The underlying R_G construction."""
+        return self._construction
+
+    @property
+    def universal_scheme(self) -> RelationScheme:
+        """The scheme of variable columns carrying the universal variables ``X``."""
+        return self._universal_scheme
+
+    def expression(self) -> Expression:
+        """The fixed query ``Q = π_X(φ_G)``."""
+        return Projection(self._universal_scheme, self._construction.expression)
+
+    def first_relation(self) -> Relation:
+        """The database ``R''_G`` (with the falsifying tuples)."""
+        return self._construction.relation_with_falsifying_tuples()
+
+    def second_relation(self) -> Relation:
+        """The database ``R_G`` (the plain construction)."""
+        return self._construction.relation
+
+    def containment_instance(self) -> FixedQueryComparisonInstance:
+        """The produced instance of ``Q(R''_G) ⊆ Q(R_G)``."""
+        return FixedQueryComparisonInstance(
+            self.expression(), self.first_relation(), self.second_relation()
+        )
+
+    # -- ground truth ------------------------------------------------------------
+
+    def expected_yes(self) -> bool:
+        """Whether containment (equivalently, equality) should hold.
+
+        By Theorem 5 this is exactly the truth value of ``∀X ∃X' G``.
+        """
+        return evaluate_by_expansion(self._instance)

@@ -1,0 +1,65 @@
+"""Boolean satisfiability substrate.
+
+Everything the paper's reductions need on the propositional side: literals,
+clauses, CNF formulas, the strict-3CNF normalisation, a DPLL solver used as
+ground truth, exact model counting for Theorem 3, DIMACS I/O, and the workload
+generators driven by the benchmark harness.
+"""
+
+from .assignments import Assignment, all_assignments
+from .cnf import CNFFormula, is_three_cnf, parse_formula
+from .counting import (
+    ModelCounter,
+    count_models,
+    count_models_bruteforce,
+    enumerate_models,
+)
+from .dimacs import parse_dimacs, to_dimacs
+from .generators import (
+    forced_unsatisfiable,
+    paper_example_formula,
+    pigeonhole_formula,
+    planted_satisfiable,
+    random_three_cnf,
+)
+from .literals import Clause, Literal
+from .solver import DPLLSolver, SolverResult, find_model, is_satisfiable
+from .transforms import (
+    add_universal_guard_clauses,
+    ensure_minimum_clauses,
+    fresh_variable,
+    pad_with_duplicate_clauses,
+    pad_with_trivial_clauses,
+    to_strict_three_cnf,
+)
+
+__all__ = [
+    "Assignment",
+    "all_assignments",
+    "CNFFormula",
+    "is_three_cnf",
+    "parse_formula",
+    "Clause",
+    "Literal",
+    "DPLLSolver",
+    "SolverResult",
+    "find_model",
+    "is_satisfiable",
+    "ModelCounter",
+    "count_models",
+    "count_models_bruteforce",
+    "enumerate_models",
+    "parse_dimacs",
+    "to_dimacs",
+    "random_three_cnf",
+    "planted_satisfiable",
+    "forced_unsatisfiable",
+    "pigeonhole_formula",
+    "paper_example_formula",
+    "to_strict_three_cnf",
+    "pad_with_trivial_clauses",
+    "pad_with_duplicate_clauses",
+    "add_universal_guard_clauses",
+    "ensure_minimum_clauses",
+    "fresh_variable",
+]

@@ -1,0 +1,115 @@
+"""Truth assignments.
+
+Assignments show up in two roles in the reproduction: as SAT witnesses and as
+the objects encoded by the ``X_1 ... X_n`` columns of the paper's ``R_G``
+construction.  :class:`Assignment` is a small immutable mapping with helpers
+for both roles (enumeration, restriction, extension, conversion to 0/1 rows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple
+
+__all__ = ["Assignment", "all_assignments"]
+
+
+class Assignment(Mapping[str, bool]):
+    """An immutable partial or total truth assignment."""
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(self, values: Mapping[str, bool]):
+        self._values: Dict[str, bool] = {k: bool(v) for k, v in values.items()}
+        self._hash = hash(frozenset(self._values.items()))
+
+    @classmethod
+    def of(cls, **values: bool) -> "Assignment":
+        """Build an assignment from keyword arguments: ``Assignment.of(x1=True)``."""
+        return cls(values)
+
+    @classmethod
+    def from_bits(cls, variables: Sequence[str], bits: Iterable[int]) -> "Assignment":
+        """Build an assignment from a 0/1 row aligned with ``variables``."""
+        bits = list(bits)
+        if len(bits) != len(variables):
+            raise ValueError(
+                f"expected {len(variables)} bits for variables {list(variables)}, got {len(bits)}"
+            )
+        return cls({variable: bool(bit) for variable, bit in zip(variables, bits)})
+
+    # -- mapping protocol ---------------------------------------------
+
+    def __getitem__(self, key: str) -> bool:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Assignment):
+            return self._values == other._values
+        if isinstance(other, Mapping):
+            return self._values == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={int(v)}" for k, v in sorted(self._values.items()))
+        return f"Assignment({inner})"
+
+    # -- helpers --------------------------------------------------------
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        """The assigned variables."""
+        return frozenset(self._values)
+
+    def restrict(self, variables: Iterable[str]) -> "Assignment":
+        """Restrict the assignment to the listed variables (which must be assigned)."""
+        return Assignment({v: self._values[v] for v in variables})
+
+    def extend(self, other: Mapping[str, bool]) -> "Assignment":
+        """Return the union of two compatible assignments.
+
+        Raises ``ValueError`` if both assign a variable to different values.
+        """
+        merged = dict(self._values)
+        for variable, value in other.items():
+            if variable in merged and merged[variable] != bool(value):
+                raise ValueError(f"conflicting values for variable {variable!r}")
+            merged[variable] = bool(value)
+        return Assignment(merged)
+
+    def is_total_for(self, variables: Iterable[str]) -> bool:
+        """Return whether every listed variable is assigned."""
+        return set(variables) <= set(self._values)
+
+    def as_bits(self, variables: Sequence[str]) -> Tuple[int, ...]:
+        """Return the 0/1 row for ``variables`` (the paper's tuple encoding)."""
+        return tuple(int(self._values[v]) for v in variables)
+
+    def flipped(self, variable: str) -> "Assignment":
+        """Return the assignment with one variable's value negated."""
+        if variable not in self._values:
+            raise KeyError(variable)
+        values = dict(self._values)
+        values[variable] = not values[variable]
+        return Assignment(values)
+
+
+def all_assignments(variables: Sequence[str]) -> Iterator[Assignment]:
+    """Yield every total assignment of ``variables`` in lexicographic bit order.
+
+    The enumeration order treats the first variable as the most significant
+    bit, so ``all_assignments(["x", "y"])`` yields 00, 01, 10, 11 on (x, y).
+    """
+    variables = list(variables)
+    width = len(variables)
+    for mask in range(2 ** width):
+        bits = [(mask >> (width - 1 - position)) & 1 for position in range(width)]
+        yield Assignment.from_bits(variables, bits)

@@ -1,0 +1,240 @@
+"""CNF formulas, with the 3CNF restrictions the paper relies on.
+
+The Section 3 construction assumes the input formula:
+
+* is in conjunctive normal form with exactly three literals per clause,
+* has pairwise distinct variables inside each clause, and
+* consists of at least three clauses.
+
+:class:`CNFFormula` represents an arbitrary CNF; :func:`is_three_cnf` and
+:meth:`CNFFormula.require_three_cnf` check the paper's preconditions, and
+:mod:`repro.sat.transforms` provides the normalisation that enforces them
+without changing satisfiability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .literals import Clause, Literal
+
+__all__ = ["CNFFormula", "is_three_cnf", "parse_formula"]
+
+
+class CNFFormula:
+    """A conjunction of clauses.
+
+    The clause order is preserved (clause ``j`` of the paper is
+    ``formula.clauses[j]``), and variables are presented in first-occurrence
+    order unless an explicit variable order is supplied.
+    """
+
+    __slots__ = ("_clauses", "_variables")
+
+    def __init__(self, clauses: Iterable[Clause], variables: Optional[Sequence[str]] = None):
+        self._clauses: Tuple[Clause, ...] = tuple(clauses)
+        if variables is None:
+            ordered: List[str] = []
+            for clause in self._clauses:
+                for variable in clause.variable_tuple():
+                    if variable not in ordered:
+                        ordered.append(variable)
+            self._variables: Tuple[str, ...] = tuple(ordered)
+        else:
+            declared = tuple(variables)
+            mentioned = {v for clause in self._clauses for v in clause.variables}
+            missing = mentioned - set(declared)
+            if missing:
+                raise ValueError(
+                    f"explicit variable order omits variables {sorted(missing)}"
+                )
+            if len(set(declared)) != len(declared):
+                raise ValueError("explicit variable order contains duplicates")
+            self._variables = declared
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def of(cls, *clauses: "Clause | str") -> "CNFFormula":
+        """Build a formula from clause objects or clause strings."""
+        return cls(
+            clause if isinstance(clause, Clause) else Clause.parse(clause)
+            for clause in clauses
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "CNFFormula":
+        """Parse ``"(x1 | x2 | x3) & (~x2 | x3 | ~x4)"`` into a formula.
+
+        Clauses may be separated by ``&``, ``∧``, or newlines; parentheses are
+        optional.
+        """
+        return parse_formula(text)
+
+    # -- container protocol -------------------------------------------
+
+    @property
+    def clauses(self) -> Tuple[Clause, ...]:
+        """The clauses in input order."""
+        return self._clauses
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """The variables in presentation order (``x_1 ... x_n`` of the paper)."""
+        return self._variables
+
+    @property
+    def variable_set(self) -> FrozenSet[str]:
+        """The variables as a frozen set."""
+        return frozenset(self._variables)
+
+    @property
+    def num_clauses(self) -> int:
+        """``m`` in the paper's notation."""
+        return len(self._clauses)
+
+    @property
+    def num_variables(self) -> int:
+        """``n`` in the paper's notation."""
+        return len(self._variables)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CNFFormula):
+            return self._clauses == other._clauses and self._variables == other._variables
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._clauses, self._variables))
+
+    def __repr__(self) -> str:
+        return f"CNFFormula({len(self._clauses)} clauses, {len(self._variables)} variables)"
+
+    def __str__(self) -> str:
+        return " & ".join(str(clause) for clause in self._clauses)
+
+    # -- logic ----------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate the formula under a total assignment of its variables."""
+        return all(clause.evaluate(assignment) for clause in self._clauses)
+
+    def status(self, assignment: Mapping[str, bool]) -> Optional[bool]:
+        """Three-valued evaluation under a partial assignment."""
+        undecided = False
+        for clause in self._clauses:
+            value = clause.status(assignment)
+            if value is False:
+                return False
+            if value is None:
+                undecided = True
+        return None if undecided else True
+
+    def with_variables(self, variables: Sequence[str]) -> "CNFFormula":
+        """Return the same formula with an explicit variable presentation order."""
+        return CNFFormula(self._clauses, variables)
+
+    def extended(self, clauses: Iterable[Clause], variables: Optional[Sequence[str]] = None) -> "CNFFormula":
+        """Return the formula with extra clauses appended."""
+        new_clauses = list(self._clauses) + list(clauses)
+        if variables is None:
+            return CNFFormula(new_clauses)
+        return CNFFormula(new_clauses, variables)
+
+    def restrict(self, assignment: Mapping[str, bool]) -> "CNFFormula":
+        """Return the formula simplified under a partial assignment.
+
+        Satisfied clauses are dropped; falsified literals are removed.  An
+        empty clause (unsatisfiable remainder) is kept as an empty
+        :class:`Clause` so callers can detect the conflict.
+        """
+        remaining: List[Clause] = []
+        for clause in self._clauses:
+            status = clause.status(assignment)
+            if status is True:
+                continue
+            kept = [
+                literal
+                for literal in clause
+                if literal.variable not in assignment
+            ]
+            remaining.append(Clause(kept))
+        free_variables = [v for v in self._variables if v not in assignment]
+        return CNFFormula(remaining, free_variables)
+
+    def clause_variables(self, index: int) -> Tuple[str, ...]:
+        """Return the variables of clause ``index`` in literal order."""
+        return self._clauses[index].variable_tuple()
+
+    def variable_occurrences(self) -> Dict[str, int]:
+        """Return how many clauses mention each variable."""
+        counts: Dict[str, int] = {variable: 0 for variable in self._variables}
+        for clause in self._clauses:
+            for variable in clause.variables:
+                counts[variable] += 1
+        return counts
+
+    def is_three_cnf(self) -> bool:
+        """Return whether every clause has exactly three distinct variables."""
+        return all(
+            len(clause) == 3 and clause.has_distinct_variables() for clause in self._clauses
+        )
+
+    def require_three_cnf(self, minimum_clauses: int = 1) -> None:
+        """Raise ``ValueError`` unless the formula meets the paper's 3CNF assumptions."""
+        if not self.is_three_cnf():
+            raise ValueError(
+                "formula is not in 3CNF with distinct variables per clause; "
+                "use repro.sat.transforms.to_strict_three_cnf first"
+            )
+        if self.num_clauses < minimum_clauses:
+            raise ValueError(
+                f"formula has {self.num_clauses} clauses, "
+                f"the construction requires at least {minimum_clauses}"
+            )
+
+
+def is_three_cnf(formula: CNFFormula) -> bool:
+    """Return whether ``formula`` is in strict 3CNF (three distinct variables per clause)."""
+    return formula.is_three_cnf()
+
+
+def parse_formula(text: str) -> CNFFormula:
+    """Parse a human-readable CNF string into a :class:`CNFFormula`.
+
+    Accepted clause separators: ``&``, ``∧``, ``and`` (word), and newlines.
+    Inside clauses, literals are separated by ``|``, ``∨``, ``+`` or ``v``.
+    """
+    normalized = text.replace("∧", "&").replace(" and ", "&").replace("\n", "&")
+    pieces = []
+    depth = 0
+    current = []
+    for char in normalized:
+        if char == "(":
+            depth += 1
+            current.append(char)
+        elif char == ")":
+            depth -= 1
+            current.append(char)
+        elif char == "&" and depth == 0:
+            pieces.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    pieces.append("".join(current))
+    clauses = []
+    for piece in pieces:
+        piece = piece.strip()
+        if not piece:
+            continue
+        if piece.startswith("(") and piece.endswith(")"):
+            piece = piece[1:-1]
+        clauses.append(Clause.parse(piece))
+    if not clauses:
+        raise ValueError(f"cannot parse any clause from {text!r}")
+    return CNFFormula(clauses)

@@ -1,0 +1,185 @@
+"""Model counting and enumeration (#SAT).
+
+Theorem 3 of the paper relates ``#SAT(G)`` to the cardinality of the query
+result: ``a(G) = |φ_G(R_G)| − 7m − 1``.  The benchmark harness cross-checks
+the relational count against the counters implemented here.
+
+Two counters are provided: a brute-force enumerator (simple, used as the
+oracle in property tests for small formulas) and a DPLL-style counter with
+component splitting on disjoint variable sets (fast enough for the benchmark
+sweeps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .assignments import Assignment, all_assignments
+from .cnf import CNFFormula
+from .literals import Clause, Literal
+
+__all__ = [
+    "count_models_bruteforce",
+    "count_models",
+    "enumerate_models",
+    "ModelCounter",
+]
+
+
+def count_models_bruteforce(formula: CNFFormula) -> int:
+    """Count satisfying assignments by enumerating all 2^n total assignments."""
+    return sum(
+        1 for assignment in all_assignments(formula.variables) if formula.evaluate(assignment)
+    )
+
+
+def enumerate_models(formula: CNFFormula) -> Iterator[Assignment]:
+    """Yield every satisfying total assignment of ``formula``.
+
+    Enumeration is by exhaustive search over total assignments; use only for
+    formulas with a modest number of variables (the R_G constructions in the
+    test-suite stay well below 20 variables).
+    """
+    for assignment in all_assignments(formula.variables):
+        if formula.evaluate(assignment):
+            yield assignment
+
+
+class ModelCounter:
+    """DPLL-style exact model counter with connected-component decomposition."""
+
+    def count(self, formula: CNFFormula) -> int:
+        """Return the number of satisfying total assignments of ``formula``."""
+        clauses = [list(clause.literals) for clause in formula.clauses]
+        return self._count(clauses, frozenset(formula.variables))
+
+    # -- internals -------------------------------------------------------
+
+    def _count(self, clauses: List[List[Literal]], free_variables: frozenset) -> int:
+        clauses, assignment, conflict = self._propagate(clauses)
+        if conflict:
+            return 0
+        free_variables = free_variables - set(assignment)
+        if not clauses:
+            return 2 ** len(free_variables)
+
+        components = self._split_components(clauses)
+        if len(components) > 1:
+            total = 1
+            covered: Set[str] = set()
+            for component in components:
+                component_variables = frozenset(
+                    literal.variable for clause in component for literal in clause
+                )
+                covered |= component_variables
+                total *= self._count(component, component_variables)
+            # Variables not mentioned by any remaining clause are free.
+            unconstrained = free_variables - covered
+            return total * (2 ** len(unconstrained))
+
+        branch_variable = self._choose_variable(clauses)
+        total = 0
+        for value in (True, False):
+            reduced = self._assign(clauses, branch_variable, value)
+            if reduced is None:
+                continue
+            total += self._count(reduced, free_variables - {branch_variable})
+        return total
+
+    @staticmethod
+    def _propagate(
+        clauses: List[List[Literal]],
+    ) -> Tuple[List[List[Literal]], Dict[str, bool], bool]:
+        """Apply unit propagation; returns (clauses, forced assignment, conflict)."""
+        assignment: Dict[str, bool] = {}
+        changed = True
+        current = clauses
+        while changed:
+            changed = False
+            next_clauses: List[List[Literal]] = []
+            for clause in current:
+                satisfied = False
+                remaining: List[Literal] = []
+                for literal in clause:
+                    if literal.variable in assignment:
+                        if literal.evaluate(assignment):
+                            satisfied = True
+                            break
+                    else:
+                        remaining.append(literal)
+                if satisfied:
+                    continue
+                if not remaining:
+                    return current, assignment, True
+                if len(remaining) == 1:
+                    unit = remaining[0]
+                    assignment[unit.variable] = unit.positive
+                    changed = True
+                else:
+                    next_clauses.append(remaining)
+            current = next_clauses
+        return current, assignment, False
+
+    @staticmethod
+    def _assign(
+        clauses: List[List[Literal]], variable: str, value: bool
+    ) -> Optional[List[List[Literal]]]:
+        result: List[List[Literal]] = []
+        for clause in clauses:
+            satisfied = False
+            remaining: List[Literal] = []
+            for literal in clause:
+                if literal.variable == variable:
+                    if literal.positive == value:
+                        satisfied = True
+                        break
+                else:
+                    remaining.append(literal)
+            if satisfied:
+                continue
+            if not remaining:
+                return None
+            result.append(remaining)
+        return result
+
+    @staticmethod
+    def _choose_variable(clauses: List[List[Literal]]) -> str:
+        counts: Dict[str, int] = {}
+        for clause in clauses:
+            for literal in clause:
+                counts[literal.variable] = counts.get(literal.variable, 0) + 1
+        return max(counts, key=lambda variable: (counts[variable], variable))
+
+    @staticmethod
+    def _split_components(clauses: List[List[Literal]]) -> List[List[List[Literal]]]:
+        """Partition clauses into connected components by shared variables."""
+        parent: Dict[str, str] = {}
+
+        def find(item: str) -> str:
+            while parent[item] != item:
+                parent[item] = parent[parent[item]]
+                item = parent[item]
+            return item
+
+        def unite(a: str, b: str) -> None:
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent[root_a] = root_b
+
+        for clause in clauses:
+            variables = [literal.variable for literal in clause]
+            for variable in variables:
+                parent.setdefault(variable, variable)
+            for other in variables[1:]:
+                unite(variables[0], other)
+
+        groups: Dict[str, List[List[Literal]]] = {}
+        for clause in clauses:
+            root = find(clause[0].variable)
+            groups.setdefault(root, []).append(clause)
+        return list(groups.values())
+
+
+def count_models(formula: CNFFormula) -> int:
+    """Count satisfying assignments using the component-splitting DPLL counter."""
+    return ModelCounter().count(formula)

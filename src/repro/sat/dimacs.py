@@ -1,0 +1,81 @@
+"""DIMACS CNF parsing and serialisation.
+
+The benchmark harness stores generated workloads in DIMACS format so they can
+be re-run and inspected with standard SAT tooling.  Variables are named
+``x1 ... xn`` on parse; on emit, any variable naming is accepted and an index
+mapping is included in comment lines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .cnf import CNFFormula
+from .literals import Clause, Literal
+
+__all__ = ["parse_dimacs", "to_dimacs"]
+
+
+def parse_dimacs(text: str, variable_prefix: str = "x") -> CNFFormula:
+    """Parse DIMACS CNF text into a :class:`CNFFormula`.
+
+    Comment lines (``c ...``) and the problem line (``p cnf <vars> <clauses>``)
+    are skipped; clause lines are sequences of non-zero integers terminated by
+    ``0`` and may span multiple lines.
+    """
+    tokens: List[str] = []
+    declared_variables = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("c") or line.startswith("%"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "cnf":
+                declared_variables = int(parts[2])
+            continue
+        tokens.extend(line.split())
+
+    clauses: List[Clause] = []
+    current: List[Literal] = []
+    max_index = 0
+    for token in tokens:
+        value = int(token)
+        if value == 0:
+            if current:
+                clauses.append(Clause(current))
+                current = []
+            continue
+        index = abs(value)
+        max_index = max(max_index, index)
+        current.append(Literal(f"{variable_prefix}{index}", positive=value > 0))
+    if current:
+        clauses.append(Clause(current))
+
+    total_variables = max(declared_variables, max_index)
+    variables = [f"{variable_prefix}{i}" for i in range(1, total_variables + 1)]
+    return CNFFormula(clauses, variables)
+
+
+def to_dimacs(formula: CNFFormula, comments: Iterable[str] = ()) -> str:
+    """Serialise a formula to DIMACS CNF text.
+
+    Variables are numbered by their position in ``formula.variables``; the
+    mapping is recorded in comment lines so the original names survive a
+    round-trip through external tools.
+    """
+    index_of: Dict[str, int] = {
+        variable: position + 1 for position, variable in enumerate(formula.variables)
+    }
+    lines: List[str] = [f"c {comment}" for comment in comments]
+    lines.extend(
+        f"c var {position} = {variable}" for variable, position in index_of.items()
+    )
+    lines.append(f"p cnf {formula.num_variables} {formula.num_clauses}")
+    for clause in formula.clauses:
+        encoded = [
+            str(index_of[literal.variable] if literal.positive else -index_of[literal.variable])
+            for literal in clause
+        ]
+        lines.append(" ".join(encoded + ["0"]))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,172 @@
+"""Workload generators for 3CNF formulas.
+
+The benchmark harness sweeps families of formulas with known properties:
+
+* :func:`random_three_cnf` — uniformly random 3CNF at a chosen clause/variable
+  ratio (the classic hard-instance knob).
+* :func:`planted_satisfiable` — random 3CNF guaranteed satisfiable by a
+  planted assignment.
+* :func:`forced_unsatisfiable` — an unsatisfiable 3CNF built by enumerating
+  all eight sign patterns over a variable triple (the complete "contradiction
+  block"), optionally padded with random satisfiable clauses.
+* :func:`pigeonhole_formula` — the classic PHP(n+1, n) family, converted to
+  3CNF; unsatisfiable and resolution-hard, useful as a stress family.
+
+Every generator takes an explicit :class:`random.Random` instance or seed so
+the benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from .assignments import Assignment
+from .cnf import CNFFormula
+from .literals import Clause, Literal
+from .transforms import to_strict_three_cnf
+
+__all__ = [
+    "random_three_cnf",
+    "planted_satisfiable",
+    "forced_unsatisfiable",
+    "pigeonhole_formula",
+    "paper_example_formula",
+]
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def _variable_names(num_variables: int, prefix: str = "x") -> List[str]:
+    return [f"{prefix}{i}" for i in range(1, num_variables + 1)]
+
+
+def _random_clause(variables: Sequence[str], rng: random.Random) -> Clause:
+    chosen = rng.sample(list(variables), 3)
+    return Clause(Literal(v, positive=rng.random() < 0.5) for v in chosen)
+
+
+def random_three_cnf(
+    num_variables: int,
+    num_clauses: int,
+    seed: RandomLike = None,
+    prefix: str = "x",
+) -> CNFFormula:
+    """Generate a uniformly random 3CNF over ``num_variables`` variables.
+
+    Each clause picks three distinct variables uniformly and negates each with
+    probability 1/2, matching the standard random 3-SAT model.
+    """
+    if num_variables < 3:
+        raise ValueError("random 3CNF needs at least three variables")
+    rng = _rng(seed)
+    variables = _variable_names(num_variables, prefix)
+    clauses = [_random_clause(variables, rng) for _ in range(num_clauses)]
+    return CNFFormula(clauses, variables)
+
+
+def planted_satisfiable(
+    num_variables: int,
+    num_clauses: int,
+    seed: RandomLike = None,
+    prefix: str = "x",
+) -> Tuple[CNFFormula, Assignment]:
+    """Generate a random 3CNF guaranteed satisfiable by a planted assignment.
+
+    Returns the formula and the planted model.  Clauses are sampled uniformly
+    among those satisfied by the planted assignment.
+    """
+    if num_variables < 3:
+        raise ValueError("planted 3CNF needs at least three variables")
+    rng = _rng(seed)
+    variables = _variable_names(num_variables, prefix)
+    planted = Assignment({v: rng.random() < 0.5 for v in variables})
+    clauses: List[Clause] = []
+    while len(clauses) < num_clauses:
+        clause = _random_clause(variables, rng)
+        if clause.evaluate(planted):
+            clauses.append(clause)
+    return CNFFormula(clauses, variables), planted
+
+
+def forced_unsatisfiable(
+    num_variables: int = 3,
+    extra_random_clauses: int = 0,
+    seed: RandomLike = None,
+    prefix: str = "x",
+) -> CNFFormula:
+    """Generate an unsatisfiable 3CNF.
+
+    The core is the complete "contradiction block" over the first three
+    variables: all eight clauses with every sign pattern, which no assignment
+    can satisfy.  ``extra_random_clauses`` additional random clauses over the
+    full variable set may be appended (they cannot make it satisfiable).
+    """
+    if num_variables < 3:
+        raise ValueError("need at least three variables")
+    rng = _rng(seed)
+    variables = _variable_names(num_variables, prefix)
+    core_variables = variables[:3]
+    clauses: List[Clause] = []
+    for signs in itertools.product((True, False), repeat=3):
+        clauses.append(
+            Clause(Literal(v, positive=s) for v, s in zip(core_variables, signs))
+        )
+    for _ in range(extra_random_clauses):
+        clauses.append(_random_clause(variables, rng))
+    return CNFFormula(clauses, variables)
+
+
+def pigeonhole_formula(holes: int, as_three_cnf: bool = True) -> CNFFormula:
+    """The pigeonhole principle PHP(holes+1, holes) as a CNF formula.
+
+    Variables ``p_{i}_{j}`` mean "pigeon i sits in hole j".  The formula says
+    every pigeon sits somewhere and no two pigeons share a hole; with one more
+    pigeon than holes it is unsatisfiable.  With ``as_three_cnf`` the at-least-
+    one clauses are chained into 3CNF (the at-most-one clauses are binary and
+    padded by the conversion too).
+    """
+    if holes < 1:
+        raise ValueError("need at least one hole")
+    pigeons = holes + 1
+    clauses: List[Clause] = []
+    for pigeon in range(1, pigeons + 1):
+        clauses.append(
+            Clause(Literal(f"p_{pigeon}_{hole}") for hole in range(1, holes + 1))
+        )
+    for hole in range(1, holes + 1):
+        for first in range(1, pigeons + 1):
+            for second in range(first + 1, pigeons + 1):
+                clauses.append(
+                    Clause(
+                        [
+                            Literal(f"p_{first}_{hole}", positive=False),
+                            Literal(f"p_{second}_{hole}", positive=False),
+                        ]
+                    )
+                )
+    formula = CNFFormula(clauses)
+    if as_three_cnf:
+        return to_strict_three_cnf(formula)
+    return formula
+
+
+def paper_example_formula() -> CNFFormula:
+    """The worked example of the paper (p. 106).
+
+    ``G = (x1 ∨ x2 ∨ x3)(¬x2 ∨ x3 ∨ ¬x4)(¬x3 ∨ ¬x4 ∨ ¬x5)`` over
+    variables x1..x5.
+    """
+    clauses = [
+        Clause([Literal("x1"), Literal("x2"), Literal("x3")]),
+        Clause([Literal("x2", False), Literal("x3"), Literal("x4", False)]),
+        Clause([Literal("x3", False), Literal("x4", False), Literal("x5", False)]),
+    ]
+    return CNFFormula(clauses, ["x1", "x2", "x3", "x4", "x5"])

@@ -1,0 +1,200 @@
+"""Literals and clauses of propositional logic.
+
+The paper's reductions all start from Boolean expressions in 3-conjunctive
+normal form.  A :class:`Literal` is a variable name with a polarity; a
+:class:`Clause` is a disjunction of literals.  Both are immutable and hashable
+so formulas can be deduplicated and used as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
+
+__all__ = ["Literal", "Clause"]
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A propositional literal: a variable or its negation."""
+
+    variable: str
+    positive: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.variable:
+            raise ValueError("literal variable name must be non-empty")
+
+    def __neg__(self) -> "Literal":
+        return Literal(self.variable, not self.positive)
+
+    def negated(self) -> "Literal":
+        """Return the complementary literal."""
+        return -self
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate the literal under a (total or partial) assignment.
+
+        Raises ``KeyError`` if the variable is unassigned.
+        """
+        value = assignment[self.variable]
+        return value if self.positive else not value
+
+    def satisfied_by(self, assignment: Mapping[str, bool]) -> Optional[bool]:
+        """Three-valued evaluation: ``None`` when the variable is unassigned."""
+        if self.variable not in assignment:
+            return None
+        return self.evaluate(assignment)
+
+    def __str__(self) -> str:
+        return self.variable if self.positive else f"~{self.variable}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Literal":
+        """Parse ``"x1"``, ``"~x1"``, ``"-x1"`` or ``"¬x1"`` into a literal."""
+        text = text.strip()
+        if not text:
+            raise ValueError("cannot parse an empty literal")
+        if text[0] in "~-¬!":
+            return cls(text[1:].strip(), positive=False)
+        return cls(text, positive=True)
+
+
+class Clause:
+    """A disjunction of literals.
+
+    Clauses behave as immutable ordered containers; duplicate literals are
+    removed but the first-seen order is preserved for readable printing.
+    """
+
+    __slots__ = ("_literals", "_by_variable")
+
+    def __init__(self, literals: Iterable[Literal]):
+        seen = []
+        for literal in literals:
+            if not isinstance(literal, Literal):
+                raise TypeError(f"clause literals must be Literal, got {literal!r}")
+            if literal not in seen:
+                seen.append(literal)
+        self._literals: Tuple[Literal, ...] = tuple(seen)
+        self._by_variable: Dict[str, Tuple[Literal, ...]] = {}
+        for literal in self._literals:
+            existing = self._by_variable.get(literal.variable, ())
+            self._by_variable[literal.variable] = existing + (literal,)
+
+    @classmethod
+    def of(cls, *literals: "Literal | str") -> "Clause":
+        """Build a clause from literal objects or literal strings."""
+        return cls(
+            literal if isinstance(literal, Literal) else Literal.parse(literal)
+            for literal in literals
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "Clause":
+        """Parse a clause like ``"x1 | ~x2 | x3"`` or ``"x1 v -x2 v x3"``."""
+        normalized = text.replace("∨", "|").replace(" v ", "|").replace(" V ", "|")
+        normalized = normalized.replace("+", "|")
+        parts = [p for p in (piece.strip() for piece in normalized.split("|")) if p]
+        if not parts:
+            raise ValueError(f"cannot parse clause from {text!r}")
+        return cls(Literal.parse(p) for p in parts)
+
+    # -- container protocol -------------------------------------------
+
+    @property
+    def literals(self) -> Tuple[Literal, ...]:
+        """The literals in first-seen order."""
+        return self._literals
+
+    def __len__(self) -> int:
+        return len(self._literals)
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(self._literals)
+
+    def __contains__(self, literal: Literal) -> bool:
+        return literal in self._literals
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Clause):
+            return frozenset(self._literals) == frozenset(other._literals)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._literals))
+
+    def __repr__(self) -> str:
+        return f"Clause({' | '.join(map(str, self._literals))})"
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(map(str, self._literals)) + ")"
+
+    # -- logic ----------------------------------------------------------
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        """The set of variables mentioned by the clause."""
+        return frozenset(self._by_variable)
+
+    def variable_tuple(self) -> Tuple[str, ...]:
+        """The distinct variables in first-occurrence order."""
+        ordered = []
+        for literal in self._literals:
+            if literal.variable not in ordered:
+                ordered.append(literal.variable)
+        return tuple(ordered)
+
+    def is_tautological(self) -> bool:
+        """Return whether the clause contains a variable and its negation."""
+        return any(len(lits) > 1 for lits in self._by_variable.values())
+
+    def has_distinct_variables(self) -> bool:
+        """Return whether all literals are over pairwise distinct variables."""
+        return len(self._by_variable) == len(self._literals)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate under a total assignment of the clause's variables."""
+        return any(literal.evaluate(assignment) for literal in self._literals)
+
+    def status(self, assignment: Mapping[str, bool]) -> Optional[bool]:
+        """Three-valued evaluation under a partial assignment.
+
+        Returns ``True`` if some literal is satisfied, ``False`` if all
+        literals are falsified, and ``None`` otherwise.
+        """
+        undecided = False
+        for literal in self._literals:
+            value = literal.satisfied_by(assignment)
+            if value:
+                return True
+            if value is None:
+                undecided = True
+        return None if undecided else False
+
+    def satisfying_assignments(self) -> Tuple[Dict[str, bool], ...]:
+        """Enumerate the assignments to the clause's own variables that satisfy it.
+
+        For a 3-literal clause over distinct variables this yields exactly the
+        seven assignments used by the paper's ``R_G`` construction.
+        """
+        variables = self.variable_tuple()
+        results = []
+        for mask in range(2 ** len(variables)):
+            assignment = {
+                variable: bool((mask >> position) & 1)
+                for position, variable in enumerate(variables)
+            }
+            if self.evaluate(assignment):
+                results.append(assignment)
+        return tuple(results)
+
+    def falsifying_assignment(self) -> Dict[str, bool]:
+        """Return the unique assignment to the clause's variables that falsifies it.
+
+        Only meaningful for clauses with pairwise distinct variables (as the
+        paper assumes); the falsifying assignment sets every literal false.
+        """
+        if not self.has_distinct_variables():
+            raise ValueError("falsifying assignment requires distinct clause variables")
+        return {literal.variable: not literal.positive for literal in self._literals}

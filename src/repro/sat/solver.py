@@ -1,0 +1,179 @@
+"""A DPLL satisfiability solver.
+
+The reproduction needs an *independent* ground truth for satisfiability: every
+reduction of the paper is verified in both directions by comparing the
+relational-query side against this solver.  The implementation is a classic
+recursive DPLL with unit propagation, pure-literal elimination, and a
+most-occurrences branching heuristic — entirely adequate for the formula sizes
+the benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .assignments import Assignment
+from .cnf import CNFFormula
+from .literals import Clause, Literal
+
+__all__ = ["DPLLSolver", "SolverResult", "is_satisfiable", "find_model"]
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a satisfiability call.
+
+    Attributes
+    ----------
+    satisfiable:
+        Whether the formula has a model.
+    model:
+        A satisfying total assignment when ``satisfiable`` is true, otherwise
+        ``None``.
+    decisions:
+        Number of branching decisions made (a rough work measure used by the
+        benchmark harness).
+    propagations:
+        Number of unit propagations performed.
+    """
+
+    satisfiable: bool
+    model: Optional[Assignment] = None
+    decisions: int = 0
+    propagations: int = 0
+
+
+@dataclass
+class _SearchState:
+    """Mutable counters shared across the recursive search."""
+
+    decisions: int = 0
+    propagations: int = 0
+
+
+class DPLLSolver:
+    """Davis–Putnam–Logemann–Loveland solver over :class:`CNFFormula`."""
+
+    def __init__(self, use_pure_literal_rule: bool = True):
+        self._use_pure_literal_rule = use_pure_literal_rule
+
+    def solve(self, formula: CNFFormula) -> SolverResult:
+        """Decide satisfiability and return a model when one exists."""
+        state = _SearchState()
+        clauses = [list(clause.literals) for clause in formula.clauses]
+        model = self._search(clauses, {}, state)
+        if model is None:
+            return SolverResult(
+                satisfiable=False,
+                model=None,
+                decisions=state.decisions,
+                propagations=state.propagations,
+            )
+        # Complete the model over all variables (unconstrained variables -> False).
+        complete = {variable: model.get(variable, False) for variable in formula.variables}
+        return SolverResult(
+            satisfiable=True,
+            model=Assignment(complete),
+            decisions=state.decisions,
+            propagations=state.propagations,
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _search(
+        self,
+        clauses: List[List[Literal]],
+        assignment: Dict[str, bool],
+        state: _SearchState,
+    ) -> Optional[Dict[str, bool]]:
+        simplified = self._simplify(clauses, assignment, state)
+        if simplified is None:
+            return None
+        clauses = simplified
+        if not clauses:
+            return dict(assignment)
+
+        if self._use_pure_literal_rule:
+            pure = self._find_pure_literal(clauses)
+            if pure is not None:
+                assignment = dict(assignment)
+                assignment[pure.variable] = pure.positive
+                return self._search(clauses, assignment, state)
+
+        branch_variable = self._choose_variable(clauses)
+        state.decisions += 1
+        for value in (True, False):
+            candidate = dict(assignment)
+            candidate[branch_variable] = value
+            result = self._search(clauses, candidate, state)
+            if result is not None:
+                return result
+        return None
+
+    @staticmethod
+    def _simplify(
+        clauses: List[List[Literal]],
+        assignment: Dict[str, bool],
+        state: _SearchState,
+    ) -> Optional[List[List[Literal]]]:
+        """Apply the current assignment and unit propagation; None on conflict."""
+        assignment = assignment  # mutated in place by unit propagation below
+        changed = True
+        current = clauses
+        while changed:
+            changed = False
+            next_clauses: List[List[Literal]] = []
+            for clause in current:
+                satisfied = False
+                remaining: List[Literal] = []
+                for literal in clause:
+                    if literal.variable in assignment:
+                        if literal.evaluate(assignment):
+                            satisfied = True
+                            break
+                    else:
+                        remaining.append(literal)
+                if satisfied:
+                    continue
+                if not remaining:
+                    return None
+                if len(remaining) == 1:
+                    unit = remaining[0]
+                    assignment[unit.variable] = unit.positive
+                    state.propagations += 1
+                    changed = True
+                else:
+                    next_clauses.append(remaining)
+            current = next_clauses
+        return current
+
+    @staticmethod
+    def _find_pure_literal(clauses: List[List[Literal]]) -> Optional[Literal]:
+        polarity: Dict[str, set] = {}
+        for clause in clauses:
+            for literal in clause:
+                polarity.setdefault(literal.variable, set()).add(literal.positive)
+        for variable, signs in polarity.items():
+            if len(signs) == 1:
+                return Literal(variable, positive=next(iter(signs)))
+        return None
+
+    @staticmethod
+    def _choose_variable(clauses: List[List[Literal]]) -> str:
+        counts: Dict[str, int] = {}
+        for clause in clauses:
+            for literal in clause:
+                counts[literal.variable] = counts.get(literal.variable, 0) + 1
+        return max(counts, key=lambda variable: (counts[variable], variable))
+
+
+def is_satisfiable(formula: CNFFormula) -> bool:
+    """Return whether ``formula`` has a satisfying assignment."""
+    return DPLLSolver().solve(formula).satisfiable
+
+
+def find_model(formula: CNFFormula) -> Optional[Assignment]:
+    """Return a satisfying assignment of ``formula`` or ``None``."""
+    result = DPLLSolver().solve(formula)
+    return result.model if result.satisfiable else None

@@ -1,0 +1,196 @@
+"""Formula transformations used by the paper's reductions.
+
+Three normalisation / padding steps are needed:
+
+* :func:`to_strict_three_cnf` — convert an arbitrary CNF into an
+  equisatisfiable 3CNF in which every clause has three *distinct* variables
+  (the paper assumes this "with no loss of generality").
+* :func:`pad_with_trivial_clauses` — Theorem 2's padding: append satisfiable
+  filler clauses over fresh variables so that ``7m + 1`` exceeds a target,
+  without affecting satisfiability.
+* :func:`add_universal_guard_clauses` — Proposition 4's trick: add the clauses
+  ``(v1 ∨ v2 ∨ v3)`` and ``(v4 ∨ v5 ∨ v6)`` over fresh variables and put
+  ``v1, v4`` into the universally-quantified set, so that the universal set is
+  not contained in any clause's variable set and contains no clause's
+  variable set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from .cnf import CNFFormula
+from .literals import Clause, Literal
+
+__all__ = [
+    "fresh_variable",
+    "to_strict_three_cnf",
+    "pad_with_trivial_clauses",
+    "pad_with_duplicate_clauses",
+    "add_universal_guard_clauses",
+    "ensure_minimum_clauses",
+]
+
+
+def fresh_variable(used: Set[str], prefix: str = "aux") -> str:
+    """Return a variable name with the given prefix not present in ``used``.
+
+    The returned name is also added to ``used`` so repeated calls keep
+    producing distinct names.
+    """
+    index = len(used)
+    while True:
+        candidate = f"{prefix}{index}"
+        if candidate not in used:
+            used.add(candidate)
+            return candidate
+        index += 1
+
+
+def _expand_clause(clause: Clause, used: Set[str]) -> List[Clause]:
+    """Rewrite one clause into 3-literal clauses over distinct variables.
+
+    The standard textbook expansion is used:
+
+    * a tautological clause (it contains ``x`` and ``¬x``) is always true and
+      is simply dropped;
+    * a unit clause ``(l)`` becomes the four clauses ``(l ∨ ±y ∨ ±z)`` over
+      two fresh variables — every combination of the fresh variables still
+      requires ``l``;
+    * a binary clause ``(l1 ∨ l2)`` becomes ``(l1 ∨ l2 ∨ y)`` and
+      ``(l1 ∨ l2 ∨ ¬y)`` over one fresh variable;
+    * a clause with more than three literals is chained through fresh link
+      variables: ``(l1 ∨ l2 ∨ s1)``, ``(¬s1 ∨ l3 ∨ s2)``, ...,
+      ``(¬s_{k-3} ∨ l_{k-1} ∨ l_k)``.
+
+    All cases preserve satisfiability (and, projected to the original
+    variables, the set of satisfying assignments).
+    """
+    if clause.is_tautological():
+        return []
+
+    literals = list(clause.literals)
+
+    if len(literals) == 3:
+        return [clause]
+
+    if len(literals) == 1:
+        first = Literal(fresh_variable(used))
+        second = Literal(fresh_variable(used))
+        return [
+            Clause([literals[0], first, second]),
+            Clause([literals[0], -first, second]),
+            Clause([literals[0], first, -second]),
+            Clause([literals[0], -first, -second]),
+        ]
+
+    if len(literals) == 2:
+        filler = Literal(fresh_variable(used))
+        return [
+            Clause(literals + [filler]),
+            Clause(literals + [-filler]),
+        ]
+
+    # More than three literals: chain with fresh linking variables.
+    result: List[Clause] = []
+    link = Literal(fresh_variable(used))
+    result.append(Clause([literals[0], literals[1], link]))
+    remaining = literals[2:]
+    while len(remaining) > 2:
+        next_link = Literal(fresh_variable(used))
+        result.append(Clause([-link, remaining[0], next_link]))
+        remaining = remaining[1:]
+        link = next_link
+    result.append(Clause([-link, remaining[0], remaining[1]]))
+    return result
+
+
+def to_strict_three_cnf(formula: CNFFormula) -> CNFFormula:
+    """Return an equisatisfiable formula in strict 3CNF.
+
+    Every clause of the result has exactly three literals over pairwise
+    distinct variables, as the Section 3 construction assumes.  The number of
+    satisfying assignments is *not* preserved in general (fresh variables are
+    introduced); satisfiability is.
+    """
+    used: Set[str] = set(formula.variables)
+    clauses: List[Clause] = []
+    for clause in formula.clauses:
+        clauses.extend(_expand_clause(clause, used))
+    return CNFFormula(clauses)
+
+
+def ensure_minimum_clauses(formula: CNFFormula, minimum: int = 3) -> CNFFormula:
+    """Append always-satisfiable fresh clauses until at least ``minimum`` clauses exist.
+
+    The paper assumes "the expression consists of at least three clauses";
+    this padding preserves both satisfiability and the satisfying assignments
+    projected to the original variables (each filler clause is over fresh
+    variables and is satisfiable).
+    """
+    if formula.num_clauses >= minimum:
+        return formula
+    used: Set[str] = set(formula.variables)
+    extra: List[Clause] = []
+    while formula.num_clauses + len(extra) < minimum:
+        a, b, c = (fresh_variable(used) for _ in range(3))
+        extra.append(Clause([Literal(a), Literal(b), Literal(c)]))
+    return formula.extended(extra)
+
+
+def pad_with_trivial_clauses(formula: CNFFormula, extra_clauses: int) -> CNFFormula:
+    """Theorem 2's padding: append ``extra_clauses`` satisfiable filler clauses.
+
+    Each filler clause is a positive clause over three fresh variables, so it
+    never affects satisfiability and each one multiplies the model count by
+    ``2^3 − 1 = 7`` over its fresh variables (exactly the behaviour the
+    cardinality argument of Theorem 2 budgets for).
+    """
+    if extra_clauses < 0:
+        raise ValueError("extra_clauses must be non-negative")
+    used: Set[str] = set(formula.variables)
+    extra: List[Clause] = []
+    for _ in range(extra_clauses):
+        a, b, c = (fresh_variable(used, prefix="pad") for _ in range(3))
+        extra.append(Clause([Literal(a), Literal(b), Literal(c)]))
+    return formula.extended(extra)
+
+
+def pad_with_duplicate_clauses(formula: CNFFormula, extra_clauses: int) -> CNFFormula:
+    """Append ``extra_clauses`` copies of the formula's last clause.
+
+    Duplicating an existing clause changes neither satisfiability nor the set
+    of satisfying assignments, but it does increase the clause count ``m`` —
+    which is exactly what the Theorem 2 padding argument needs (it only cares
+    about ``β' = m' + 1`` exceeding ``β``).  Unlike
+    :func:`pad_with_trivial_clauses` it introduces no fresh variables, so the
+    model count (and hence the size of ``φ_{G'}(R_{G'})``) does not blow up.
+    """
+    if extra_clauses < 0:
+        raise ValueError("extra_clauses must be non-negative")
+    if not formula.clauses:
+        raise ValueError("cannot duplicate a clause of an empty formula")
+    last = formula.clauses[-1]
+    return formula.extended([last] * extra_clauses)
+
+
+def add_universal_guard_clauses(
+    formula: CNFFormula, universal: Sequence[str]
+) -> Tuple[CNFFormula, Tuple[str, ...]]:
+    """Apply the Proposition 4 restriction to a Q-3SAT instance.
+
+    Adds the clauses ``(v1 | v2 | v3)`` and ``(v4 | v5 | v6)`` over six fresh
+    variables and returns the extended formula together with the universal set
+    extended by ``v1`` and ``v4``.  After this transformation the universal
+    set is not contained in any clause's variable set, and no clause's
+    variable set is contained in the universal set — the two technical
+    restrictions Theorems 4 and 5 rely on — while the truth of
+    ``∀X ∃X' G`` is unchanged.
+    """
+    used: Set[str] = set(formula.variables)
+    guards = [fresh_variable(used, prefix="v") for _ in range(6)]
+    clause_one = Clause([Literal(guards[0]), Literal(guards[1]), Literal(guards[2])])
+    clause_two = Clause([Literal(guards[3]), Literal(guards[4]), Literal(guards[5])])
+    extended = formula.extended([clause_one, clause_two])
+    new_universal = tuple(universal) + (guards[0], guards[3])
+    return extended, new_universal

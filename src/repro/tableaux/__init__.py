@@ -1,0 +1,36 @@
+"""Tableaux for projection-join expressions and Chandra–Merlin containment.
+
+Implements the certificate machinery behind Proposition 2 (tuple membership is
+in NP) and the query-containment-over-all-databases test that contrasts with
+the paper's fixed-database Π₂ᵖ-complete containment problems.
+"""
+
+from .homomorphism import (
+    find_homomorphism,
+    minimize_tableau,
+    query_contained_in,
+    query_equivalent,
+)
+from .tableau import (
+    Constant,
+    DistinguishedVariable,
+    NondistinguishedVariable,
+    Tableau,
+    TableauCell,
+    TableauRow,
+    tableau_of_expression,
+)
+
+__all__ = [
+    "Tableau",
+    "TableauRow",
+    "TableauCell",
+    "DistinguishedVariable",
+    "NondistinguishedVariable",
+    "Constant",
+    "tableau_of_expression",
+    "find_homomorphism",
+    "query_contained_in",
+    "query_equivalent",
+    "minimize_tableau",
+]

@@ -1,0 +1,163 @@
+"""Homomorphisms between tableaux and Chandra–Merlin containment.
+
+A homomorphism from tableau ``T2`` to tableau ``T1`` is a mapping of the
+variables of ``T2`` to cells of ``T1`` that (i) maps every summary cell of
+``T2`` to the corresponding summary cell of ``T1`` and (ii) maps every row of
+``T2`` onto some row of ``T1`` targeting the same operand.  The classical
+Chandra–Merlin theorem then gives *query* containment: ``φ1 ⊆ φ2`` (as
+mappings over all databases) iff such a homomorphism exists.
+
+Note the direction and the distinction from the paper's Theorems 4-5: the
+paper studies containment *with respect to a fixed database*
+(``φ1(R) ⊆ φ2(R)`` for a given R), which is a Π₂ᵖ-complete problem; the
+homomorphism test here decides containment over *all* databases, an
+NP-complete problem.  Both are implemented so the benchmark harness can
+contrast them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Tuple
+
+from ..expressions.ast import Expression
+from .tableau import (
+    Constant,
+    DistinguishedVariable,
+    Tableau,
+    TableauCell,
+    TableauRow,
+    tableau_of_expression,
+)
+
+__all__ = [
+    "find_homomorphism",
+    "query_contained_in",
+    "query_equivalent",
+    "minimize_tableau",
+]
+
+
+def _cells_compatible(source: TableauCell, target: TableauCell) -> bool:
+    """Whether a source cell may map to a target cell."""
+    if isinstance(source, Constant):
+        return isinstance(target, Constant) and source.value == target.value
+    # Variables can map to anything (constant or variable).
+    return True
+
+
+def find_homomorphism(source: Tableau, target: Tableau) -> Optional[Dict[TableauCell, TableauCell]]:
+    """Find a homomorphism from ``source`` into ``target``.
+
+    Returns the cell mapping, or ``None`` when no homomorphism exists.  The
+    summary rows must be over the same target scheme; distinguished cells of
+    the source are required to map to the target's summary cells of the same
+    attribute (the standard "summary is preserved" condition).
+    """
+    if source.target_scheme != target.target_scheme:
+        return None
+
+    mapping: Dict[TableauCell, TableauCell] = {}
+    for attribute in source.target_scheme.names:
+        source_cell = source.summary[attribute]
+        target_cell = target.summary[attribute]
+        if isinstance(source_cell, Constant):
+            if not _cells_compatible(source_cell, target_cell):
+                return None
+            continue
+        if source_cell in mapping and mapping[source_cell] != target_cell:
+            return None
+        mapping[source_cell] = target_cell
+
+    return _extend_homomorphism(list(source.rows), 0, mapping, target)
+
+
+def _row_match(
+    source_row: TableauRow,
+    target_row: TableauRow,
+    mapping: Dict[TableauCell, TableauCell],
+) -> Optional[Dict[TableauCell, TableauCell]]:
+    """Try to map one source row onto one target row, extending ``mapping``."""
+    if source_row.operand != target_row.operand:
+        return None
+    if source_row.attributes != target_row.attributes:
+        # Rows over the same operand always cover the operand's full scheme,
+        # but the attribute order is fixed by the scheme so this mismatch only
+        # occurs for genuinely different operands.
+        source_names = set(source_row.attributes)
+        if source_names != set(target_row.attributes):
+            return None
+    extended = dict(mapping)
+    for attribute in source_row.attributes:
+        source_cell = source_row.cell(attribute)
+        target_cell = target_row.cell(attribute)
+        if isinstance(source_cell, Constant):
+            if not _cells_compatible(source_cell, target_cell):
+                return None
+            continue
+        if source_cell in extended:
+            if extended[source_cell] != target_cell:
+                return None
+        else:
+            extended[source_cell] = target_cell
+    return extended
+
+
+def _extend_homomorphism(
+    rows: List[TableauRow],
+    index: int,
+    mapping: Dict[TableauCell, TableauCell],
+    target: Tableau,
+) -> Optional[Dict[TableauCell, TableauCell]]:
+    if index == len(rows):
+        return mapping
+    source_row = rows[index]
+    for target_row in target.rows:
+        extended = _row_match(source_row, target_row, mapping)
+        if extended is None:
+            continue
+        result = _extend_homomorphism(rows, index + 1, extended, target)
+        if result is not None:
+            return result
+    return None
+
+
+def query_contained_in(first: Expression, second: Expression) -> bool:
+    """Decide ``first ⊆ second`` as query mappings (over *all* databases).
+
+    By Chandra–Merlin, this holds iff there is a homomorphism from the tableau
+    of ``second`` into the tableau of ``first``.
+    """
+    source = tableau_of_expression(second)
+    target = tableau_of_expression(first)
+    return find_homomorphism(source, target) is not None
+
+
+def query_equivalent(first: Expression, second: Expression) -> bool:
+    """Decide query equivalence over all databases (containment both ways)."""
+    return query_contained_in(first, second) and query_contained_in(second, first)
+
+
+def minimize_tableau(tableau: Tableau) -> Tableau:
+    """Return an equivalent tableau with a minimal set of rows.
+
+    Repeatedly tries to drop a row: a row may be removed when the reduced
+    tableau still admits a homomorphism from the original restricted to... more
+    precisely, when there is a homomorphism from the full tableau into the
+    reduced one (folding the dropped row onto the remaining rows).  This is
+    the classical tableau-minimisation procedure; the result is unique up to
+    isomorphism for conjunctive queries.
+    """
+    current_rows = list(tableau.rows)
+    changed = True
+    while changed and len(current_rows) > 1:
+        changed = False
+        for index in range(len(current_rows)):
+            candidate_rows = current_rows[:index] + current_rows[index + 1:]
+            candidate = Tableau(tableau.summary, candidate_rows, tableau.target_scheme)
+            full = Tableau(tableau.summary, current_rows, tableau.target_scheme)
+            if find_homomorphism(full, candidate) is not None:
+                current_rows = candidate_rows
+                changed = True
+                break
+    return Tableau(tableau.summary, current_rows, tableau.target_scheme)

@@ -1,0 +1,96 @@
+"""The paper's worked example (p. 106), transcribed verbatim.
+
+The only explicit table in the paper is the relation ``R_G`` for
+
+    ``G = (x1 ∨ x2 ∨ x3)(¬x2 ∨ x3 ∨ ¬x4)(¬x3 ∨ ¬x4 ∨ ¬x5)``
+
+— 22 tuples over the 12 columns
+``F1 F2 F3 X1 X2 X3 X4 X5 Y_{1,2} Y_{1,3} Y_{2,3} S``.  This module stores the
+printed rows literally (experiment E1) so the test-suite and the
+``bench_paper_example`` benchmark can check that :class:`RGConstruction`
+reproduces the table exactly, and that the accompanying expression matches the
+printed ``φ_G``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..algebra.relation import Relation
+from ..algebra.schema import RelationScheme
+from ..reductions.rg import RGConstruction
+from ..sat.cnf import CNFFormula
+from ..sat.generators import paper_example_formula
+
+__all__ = [
+    "paper_example_formula",
+    "paper_example_construction",
+    "paper_example_scheme",
+    "paper_example_relation",
+    "PAPER_EXAMPLE_ROWS",
+    "PAPER_EXAMPLE_EXPRESSION_TEXT",
+]
+
+#: Column order exactly as printed in the paper (with this repository's
+#: attribute naming: ``Y_{i,l}`` becomes ``Y_i_l``).
+PAPER_EXAMPLE_COLUMNS: Tuple[str, ...] = (
+    "F1", "F2", "F3",
+    "X1", "X2", "X3", "X4", "X5",
+    "Y_1_2", "Y_1_3", "Y_2_3",
+    "S",
+)
+
+#: The 22 rows of the printed table, in the paper's row order.  ``0``/``1``
+#: are truth values; ``"e"``, ``"x"``, ``"a"``, ``"b"`` are the paper's symbols.
+PAPER_EXAMPLE_ROWS: Tuple[Tuple[object, ...], ...] = (
+    (1, "e", "e", 0, 0, 1, "e", "e", "x", "x", "e", "a"),
+    (1, "e", "e", 0, 1, 0, "e", "e", "x", "x", "e", "a"),
+    (1, "e", "e", 0, 1, 1, "e", "e", "x", "x", "e", "a"),
+    (1, "e", "e", 1, 0, 0, "e", "e", "x", "x", "e", "a"),
+    (1, "e", "e", 1, 0, 1, "e", "e", "x", "x", "e", "a"),
+    (1, "e", "e", 1, 1, 0, "e", "e", "x", "x", "e", "a"),
+    (1, "e", "e", 1, 1, 1, "e", "e", "x", "x", "e", "a"),
+    ("e", 1, "e", "e", 0, 0, 0, "e", "x", "e", "x", "a"),
+    ("e", 1, "e", "e", 0, 0, 1, "e", "x", "e", "x", "a"),
+    ("e", 1, "e", "e", 0, 1, 0, "e", "x", "e", "x", "a"),
+    ("e", 1, "e", "e", 0, 1, 1, "e", "x", "e", "x", "a"),
+    ("e", 1, "e", "e", 1, 0, 0, "e", "x", "e", "x", "a"),
+    ("e", 1, "e", "e", 1, 1, 0, "e", "x", "e", "x", "a"),
+    ("e", 1, "e", "e", 1, 1, 1, "e", "x", "e", "x", "a"),
+    ("e", "e", 1, "e", "e", 0, 0, 0, "e", "x", "x", "a"),
+    ("e", "e", 1, "e", "e", 0, 0, 1, "e", "x", "x", "a"),
+    ("e", "e", 1, "e", "e", 0, 1, 0, "e", "x", "x", "a"),
+    ("e", "e", 1, "e", "e", 0, 1, 1, "e", "x", "x", "a"),
+    ("e", "e", 1, "e", "e", 1, 0, 0, "e", "x", "x", "a"),
+    ("e", "e", 1, "e", "e", 1, 0, 1, "e", "x", "x", "a"),
+    ("e", "e", 1, "e", "e", 1, 1, 0, "e", "x", "x", "a"),
+    (1, 1, 1, "e", "e", "e", "e", "e", "e", "e", "e", "b"),
+)
+
+#: The expression φ_G exactly as printed, in this repository's textual syntax.
+PAPER_EXAMPLE_EXPRESSION_TEXT: str = (
+    "project[F1, F2, F3](R)"
+    " * project[F1, X1, X2, X3, Y_1_2, Y_1_3, S](R)"
+    " * project[F2, X2, X3, X4, Y_1_2, Y_2_3, S](R)"
+    " * project[F3, X3, X4, X5, Y_1_3, Y_2_3, S](R)"
+)
+
+
+def paper_example_scheme() -> RelationScheme:
+    """The 12-column scheme of the printed table."""
+    return RelationScheme(PAPER_EXAMPLE_COLUMNS)
+
+
+def paper_example_relation() -> Relation:
+    """The printed 22-tuple relation, as transcribed from the paper."""
+    return Relation.from_rows(paper_example_scheme(), PAPER_EXAMPLE_ROWS, name="R_G(paper)")
+
+
+def paper_example_construction() -> RGConstruction:
+    """The :class:`RGConstruction` for the example formula.
+
+    Tests compare ``paper_example_construction().relation`` against
+    :func:`paper_example_relation` (they must be equal as relations) and the
+    generated expression against :data:`PAPER_EXAMPLE_EXPRESSION_TEXT`.
+    """
+    return RGConstruction(paper_example_formula())

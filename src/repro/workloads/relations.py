@@ -1,0 +1,114 @@
+"""Random relations and random projection-join queries.
+
+Used by the property-based tests (equivalence of the three evaluators, the
+expression/tableau correspondence) and by the "benign instance" side of the
+blow-up benchmark: random project-join queries over random relations rarely
+exhibit the worst-case blow-up, which is exactly the contrast the paper's
+introduction draws.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..algebra.relation import Relation
+from ..algebra.schema import RelationScheme
+from ..expressions.ast import Expression, Join, Operand, Projection
+
+__all__ = ["random_relation", "random_project_join_query", "random_instance"]
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_relation(
+    num_attributes: int = 4,
+    num_tuples: int = 12,
+    domain_size: int = 4,
+    seed: RandomLike = None,
+    name: str = "R",
+    attribute_prefix: str = "A",
+) -> Relation:
+    """A random relation with small integer values.
+
+    Attribute names are ``A1 ... Ak``; values are drawn uniformly from
+    ``0 .. domain_size - 1``.  Duplicate rows are allowed in the draw (the
+    relation deduplicates), so the actual cardinality may be below
+    ``num_tuples``.
+    """
+    if num_attributes < 1:
+        raise ValueError("a relation needs at least one attribute")
+    rng = _rng(seed)
+    scheme = RelationScheme(
+        [f"{attribute_prefix}{i}" for i in range(1, num_attributes + 1)]
+    )
+    rows = [
+        tuple(rng.randrange(domain_size) for _ in range(num_attributes))
+        for _ in range(num_tuples)
+    ]
+    return Relation.from_rows(scheme, rows, name=name)
+
+
+def random_project_join_query(
+    scheme: RelationScheme,
+    num_factors: int = 3,
+    attributes_per_factor: int = 2,
+    operand_name: str = "R",
+    seed: RandomLike = None,
+    outer_projection: bool = True,
+) -> Expression:
+    """A random query of the form ``π_Z(π_{Y_1}(R) * ... * π_{Y_k}(R))``.
+
+    Each ``Y_i`` is a random subset of the scheme of the given size (clamped
+    to the scheme width); the optional outer projection keeps a random subset
+    of the union of the ``Y_i``.
+    """
+    rng = _rng(seed)
+    names = list(scheme.names)
+    size = min(attributes_per_factor, len(names))
+    base = Operand(operand_name, scheme)
+    factors: List[Expression] = []
+    covered: List[str] = []
+    for _ in range(max(1, num_factors)):
+        chosen = rng.sample(names, size)
+        for attribute in chosen:
+            if attribute not in covered:
+                covered.append(attribute)
+        factors.append(Projection(RelationScheme(chosen), base))
+    query: Expression = factors[0] if len(factors) == 1 else Join(factors)
+    if outer_projection and len(covered) > 1:
+        keep = rng.sample(covered, rng.randint(1, len(covered)))
+        ordered = [a for a in covered if a in keep]
+        query = Projection(RelationScheme(ordered), query)
+    return query
+
+
+def random_instance(
+    num_attributes: int = 4,
+    num_tuples: int = 12,
+    domain_size: int = 4,
+    num_factors: int = 3,
+    attributes_per_factor: int = 2,
+    seed: RandomLike = None,
+) -> Tuple[Relation, Expression]:
+    """A random relation together with a random project-join query over it."""
+    rng = _rng(seed)
+    relation = random_relation(
+        num_attributes=num_attributes,
+        num_tuples=num_tuples,
+        domain_size=domain_size,
+        seed=rng,
+    )
+    query = random_project_join_query(
+        relation.scheme,
+        num_factors=num_factors,
+        attributes_per_factor=attributes_per_factor,
+        seed=rng,
+    )
+    return relation, query

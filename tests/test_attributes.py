@@ -1,0 +1,93 @@
+"""Unit tests for repro.algebra.attributes."""
+
+import pytest
+
+from repro.algebra import Attribute, Domain, DomainError, as_attribute, attribute_names
+
+
+class TestDomain:
+    def test_closed_domain_membership(self):
+        domain = Domain.of("bool", [0, 1])
+        assert 0 in domain
+        assert 1 in domain
+        assert 2 not in domain
+
+    def test_open_domain_accepts_everything(self):
+        domain = Domain.open()
+        assert "anything" in domain
+        assert 42 in domain
+        assert domain.is_open
+
+    def test_closed_domain_is_not_open(self):
+        assert not Domain.of("bool", [0, 1]).is_open
+
+    def test_check_raises_on_violation(self):
+        domain = Domain.of("bool", [0, 1])
+        with pytest.raises(DomainError):
+            domain.check("e", "X1")
+
+    def test_check_passes_on_member(self):
+        Domain.of("bool", [0, 1]).check(1, "X1")
+
+    def test_str_of_open_domain(self):
+        assert "*" in str(Domain.open("any"))
+
+
+class TestAttribute:
+    def test_equality_is_by_name_only(self):
+        plain = Attribute("A")
+        with_domain = Attribute("A", Domain.of("bool", [0, 1]))
+        assert plain == with_domain
+        assert hash(plain) == hash(with_domain)
+
+    def test_different_names_are_unequal(self):
+        assert Attribute("A") != Attribute("B")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute("")
+
+    def test_with_domain_returns_new_attribute(self):
+        attribute = Attribute("A")
+        enriched = attribute.with_domain(Domain.of("bool", [0, 1]))
+        assert enriched.domain is not None
+        assert attribute.domain is None
+
+    def test_renamed_preserves_domain(self):
+        attribute = Attribute("A", Domain.of("bool", [0, 1]))
+        renamed = attribute.renamed("B")
+        assert renamed.name == "B"
+        assert renamed.domain == attribute.domain
+
+    def test_accepts_with_and_without_domain(self):
+        assert Attribute("A").accepts("anything")
+        constrained = Attribute("A", Domain.of("bool", [0, 1]))
+        assert constrained.accepts(0)
+        assert not constrained.accepts("e")
+
+    def test_check_value_raises(self):
+        constrained = Attribute("A", Domain.of("bool", [0, 1]))
+        with pytest.raises(DomainError):
+            constrained.check_value(7)
+
+    def test_ordering_by_name(self):
+        assert Attribute("A") < Attribute("B")
+
+    def test_str_is_name(self):
+        assert str(Attribute("Student")) == "Student"
+
+
+class TestCoercions:
+    def test_as_attribute_passthrough(self):
+        attribute = Attribute("A")
+        assert as_attribute(attribute) is attribute
+
+    def test_as_attribute_from_string(self):
+        assert as_attribute("A") == Attribute("A")
+
+    def test_as_attribute_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_attribute(42)
+
+    def test_attribute_names(self):
+        assert attribute_names(["A", Attribute("B")]) == ("A", "B")

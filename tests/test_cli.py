@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+SAT_FORMULA = "(x1 | x2 | x3) & (~x1 | x2 | ~x3) & (x1 | ~x2 | x3)"
+UNSAT_FORMULA = (
+    "(p | q | r) & (p | q | ~r) & (p | ~q | r) & (p | ~q | ~r) & "
+    "(~p | q | r) & (~p | q | ~r) & (~p | ~q | r) & (~p | ~q | ~r)"
+)
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["example"],
+            ["sat", SAT_FORMULA],
+            ["count", SAT_FORMULA],
+            ["construct", SAT_FORMULA, "--show-relation"],
+            ["blowup", "--clauses", "3", "4"],
+        ):
+            arguments = parser.parse_args(argv)
+            assert callable(arguments.handler)
+
+
+class TestCommands:
+    def test_example_prints_the_table(self, capsys):
+        assert main(["example"]) == 0
+        output = capsys.readouterr().out
+        assert "phi_G" in output
+        assert "|phi_G(R_G)| = 42" in output
+
+    def test_sat_command_on_satisfiable_formula(self, capsys):
+        assert main(["sat", SAT_FORMULA]) == 0
+        output = capsys.readouterr().out
+        assert output.count("SAT") >= 2
+        assert "UNSAT" not in output.replace("UNSAT", "", 0) or "SAT" in output
+
+    def test_sat_command_on_unsatisfiable_formula(self, capsys):
+        assert main(["sat", UNSAT_FORMULA]) == 0
+        output = capsys.readouterr().out
+        assert "UNSAT" in output
+
+    def test_count_command_matches_both_counters(self, capsys):
+        assert main(["count", SAT_FORMULA]) == 0
+        output = capsys.readouterr().out
+        assert "#SAT via Theorem 3 identity" in output
+        assert "#SAT via DPLL counter" in output
+
+    def test_construct_command_reports_dimensions(self, capsys):
+        assert main(["construct", SAT_FORMULA]) == 0
+        output = capsys.readouterr().out
+        assert "tuples" in output and "phi_G:" in output
+
+    def test_construct_command_can_print_relation(self, capsys):
+        assert main(["construct", SAT_FORMULA, "--show-relation", "--max-rows", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "more tuples" in output
+
+    def test_blowup_command_prints_table(self, capsys):
+        assert main(["blowup", "--clauses", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "naive_peak" in output
+
+    def test_short_formula_is_normalised_not_rejected(self, capsys):
+        # A 2-literal clause and fewer than 3 clauses: the CLI normalises via
+        # the strict-3CNF conversion and minimum-clause padding.
+        assert main(["count", "(a | b)"]) == 0
+        output = capsys.readouterr().out
+        assert "#SAT" in output

@@ -1,0 +1,112 @@
+"""Tests for the complexity-class registry, problem catalogue, and reduction checks."""
+
+import pytest
+
+from repro.complexity import (
+    CLASSES,
+    PROBLEMS,
+    ReductionCheck,
+    class_named,
+    is_contained_in,
+    problem_named,
+    verify_reduction,
+)
+
+
+class TestClassRegistry:
+    def test_all_paper_classes_present(self):
+        for name in ("NP", "co-NP", "DP", "Sigma2P", "Pi2P", "#P"):
+            assert name in CLASSES
+
+    def test_lookup_by_name(self):
+        assert class_named("DP").name == "DP"
+        with pytest.raises(KeyError):
+            class_named("EXP")
+
+    def test_counting_vs_decision_kinds(self):
+        assert class_named("#P").kind == "counting"
+        assert class_named("NP").kind == "decision"
+
+    def test_paper_inclusions(self):
+        assert is_contained_in("NP", "DP")
+        assert is_contained_in("co-NP", "DP")
+        assert is_contained_in("DP", "Pi2P")
+        assert is_contained_in("NP", "PSPACE")
+        assert is_contained_in("NP", "NP")
+
+    def test_non_inclusions_not_claimed(self):
+        assert not is_contained_in("Pi2P", "NP")
+        assert not is_contained_in("DP", "P")
+
+
+class TestProblemCatalogue:
+    def test_every_theorem_has_a_problem(self):
+        references = {problem.paper_reference for problem in PROBLEMS.values()}
+        assert any("Theorem 1" in ref for ref in references)
+        assert any("Theorem 2" in ref for ref in references)
+        assert any("Theorem 3" in ref for ref in references)
+        assert any("Theorem 4" in ref for ref in references)
+        assert any("Theorem 5" in ref for ref in references)
+
+    def test_problem_lookup(self):
+        problem = problem_named("query-result-equality")
+        assert problem.completeness == "DP"
+        with pytest.raises(KeyError):
+            problem_named("unknown-problem")
+
+    def test_every_problem_references_a_known_class(self):
+        for problem in PROBLEMS.values():
+            assert problem.complexity_class().name == problem.completeness
+
+    def test_reduction_and_decider_modules_are_importable(self):
+        import importlib
+
+        for problem in PROBLEMS.values():
+            module_path = problem.decider_module
+            importlib.import_module(module_path)
+            reduction_module = problem.reduction_module.rsplit(".", 1)[0]
+            module = importlib.import_module(reduction_module)
+            class_name = problem.reduction_module.rsplit(".", 1)[1]
+            assert hasattr(module, class_name)
+
+    def test_experiment_ids_match_design_document(self):
+        experiment_ids = {problem.experiment_id for problem in PROBLEMS.values()}
+        assert experiment_ids <= {f"E{i}" for i in range(1, 11)}
+
+
+class TestReductionCheckFramework:
+    def test_agreeing_reduction_reports_full_agreement(self):
+        check = ReductionCheck(
+            name="parity (identity reduction)",
+            source_answer=lambda n: n % 2 == 0,
+            target_answer=lambda n: (n + 2) % 2 == 0,
+        )
+        report = verify_reduction(check, list(range(10)))
+        assert report.all_agree
+        assert report.total == 10
+        assert report.yes_instances == 5
+        assert report.agreement_rate == 1.0
+        assert "10/10" in report.summary()
+
+    def test_disagreeing_reduction_reports_indices(self):
+        check = ReductionCheck(
+            name="broken",
+            source_answer=lambda n: n % 2 == 0,
+            target_answer=lambda n: True,
+        )
+        report = verify_reduction(check, [0, 1, 2, 3])
+        assert not report.all_agree
+        assert report.disagreements == [1, 3]
+        assert report.agreement_rate == pytest.approx(0.5)
+
+    def test_agrees_on_single_instance(self):
+        check = ReductionCheck(
+            name="id", source_answer=bool, target_answer=lambda x: bool(x)
+        )
+        assert check.agrees_on(1)
+        assert check.agrees_on(0)
+
+    def test_empty_batch(self):
+        check = ReductionCheck(name="id", source_answer=bool, target_answer=bool)
+        report = verify_reduction(check, [])
+        assert report.all_agree and report.agreement_rate == 1.0

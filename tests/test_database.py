@@ -1,0 +1,68 @@
+"""Unit tests for repro.algebra.database."""
+
+import pytest
+
+from repro.algebra import Database, DatabaseScheme, DatabaseSchemeError, Relation
+
+
+@pytest.fixture
+def relations():
+    return {
+        "R": Relation.from_rows("A B", [(1, 2), (3, 4)]),
+        "S": Relation.from_rows("B C", [(2, "x")]),
+    }
+
+
+class TestDatabase:
+    def test_mapping_protocol(self, relations):
+        database = Database(relations)
+        assert len(database) == 2
+        assert set(database) == {"R", "S"}
+        assert database["R"].cardinality() == 2
+
+    def test_missing_relation_raises(self, relations):
+        with pytest.raises(KeyError):
+            Database(relations)["T"]
+
+    def test_relations_get_their_names(self, relations):
+        database = Database(relations)
+        assert database["R"].name == "R"
+
+    def test_single(self):
+        database = Database.single(Relation.from_rows("A", [(1,)]), name="Only")
+        assert set(database) == {"Only"}
+
+    def test_scheme_is_derived_when_absent(self, relations):
+        database = Database(relations)
+        assert database.scheme.scheme_of("R") == relations["R"].scheme
+
+    def test_validation_against_declared_scheme(self, relations):
+        declared = DatabaseScheme({"R": "A B", "S": "B C"})
+        Database(relations, scheme=declared)  # must not raise
+
+    def test_validation_missing_relation(self, relations):
+        declared = DatabaseScheme({"R": "A B", "S": "B C", "T": "C D"})
+        with pytest.raises(DatabaseSchemeError):
+            Database(relations, scheme=declared)
+
+    def test_validation_wrong_scheme(self, relations):
+        declared = DatabaseScheme({"R": "A B", "S": "B D"})
+        with pytest.raises(DatabaseSchemeError):
+            Database(relations, scheme=declared)
+
+    def test_with_relation_returns_new_database(self, relations):
+        database = Database(relations)
+        updated = database.with_relation("T", Relation.from_rows("C D", [(1, 2)]))
+        assert "T" in updated and "T" not in database
+
+    def test_total_tuples(self, relations):
+        assert Database(relations).total_tuples() == 3
+
+    def test_equality_and_items_sorted(self, relations):
+        assert Database(relations) == Database(dict(relations))
+        names = [name for name, _ in Database(relations).items_sorted()]
+        assert names == sorted(names)
+
+    def test_relation_schemes(self, relations):
+        schemes = Database(relations).relation_schemes()
+        assert set(schemes) == {"R", "S"}

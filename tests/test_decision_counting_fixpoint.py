@@ -1,0 +1,76 @@
+"""Tests for the tuple counter and the project-join fixpoint decider."""
+
+import pytest
+
+from repro.algebra import Relation, project_join
+from repro.decision import ProjectJoinFixpointDecider, TupleCounter
+from repro.expressions import Join, Operand, Projection, evaluate
+from repro.workloads import random_relation
+
+R = Relation.from_rows("A B C", [(1, 2, 3), (1, 2, 4), (2, 5, 3)], name="R")
+BASE = Operand("R", "A B C")
+QUERY = Join([Projection("A B", BASE), Projection("B C", BASE)])
+
+
+class TestTupleCounter:
+    def test_count_matches_evaluation(self):
+        counter = TupleCounter()
+        assert counter.count(QUERY, R) == len(evaluate(QUERY, R))
+
+    def test_count_project_join_matches_materialised_join(self):
+        counter = TupleCounter()
+        schemes = ["A B", "B C"]
+        assert counter.count_project_join(R, schemes) == len(project_join(R, schemes))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_count_project_join_on_random_relations(self, seed):
+        relation = random_relation(num_attributes=4, num_tuples=12, seed=seed)
+        schemes = ["A1 A2", "A2 A3", "A3 A4"]
+        counter = TupleCounter()
+        assert counter.count_project_join(relation, schemes) == len(
+            project_join(relation, schemes)
+        )
+
+    def test_count_project_join_single_scheme(self):
+        counter = TupleCounter()
+        assert counter.count_project_join(R, ["A B"]) == len(R.project("A B"))
+
+    def test_count_project_join_disjoint_schemes_multiplies(self):
+        counter = TupleCounter()
+        expected = len(R.project("A")) * len(R.project("C"))
+        assert counter.count_project_join(R, ["A", "C"]) == expected
+
+
+class TestFixpointDecider:
+    def test_lossless_decomposition(self):
+        relation = Relation.from_rows("A B C", [(1, 2, 3), (4, 2, 3)])
+        verdict = ProjectJoinFixpointDecider().decide(relation, ["A B", "B C"])
+        assert verdict.holds
+        assert verdict.extra_tuple is None
+        assert verdict.join_cardinality == verdict.relation_cardinality
+
+    def test_lossy_decomposition(self):
+        relation = Relation.from_rows("A B C", [(1, 2, 3), (4, 2, 5)])
+        verdict = ProjectJoinFixpointDecider().decide(relation, ["A B", "B C"])
+        assert not verdict.holds
+        assert verdict.extra_tuple is not None
+        assert verdict.extra_tuple not in relation
+        assert verdict.join_cardinality > verdict.relation_cardinality
+
+    def test_schemes_not_covering_relation_fail(self):
+        verdict = ProjectJoinFixpointDecider().decide(R, ["A B"])
+        assert not verdict.holds
+
+    def test_single_full_scheme_always_holds(self):
+        assert ProjectJoinFixpointDecider().holds(R, ["A B C"])
+
+    def test_empty_relation_always_holds(self):
+        empty = Relation.empty(R.scheme)
+        assert ProjectJoinFixpointDecider().holds(empty, ["A B", "B C"])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_verdict_matches_direct_comparison(self, seed):
+        relation = random_relation(num_attributes=3, num_tuples=10, seed=seed)
+        schemes = ["A1 A2", "A2 A3"]
+        verdict = ProjectJoinFixpointDecider().decide(relation, schemes)
+        assert verdict.holds == (project_join(relation, schemes) == relation)

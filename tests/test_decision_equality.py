@@ -1,0 +1,85 @@
+"""Tests for the query-result equality decider."""
+
+import pytest
+
+from repro.algebra import Relation
+from repro.decision import QueryResultEqualityDecider
+from repro.expressions import Join, Operand, Projection, evaluate
+
+R = Relation.from_rows("A B C", [(1, 2, 3), (1, 2, 4), (2, 5, 3)], name="R")
+BASE = Operand("R", "A B C")
+QUERY = Join([Projection("A B", BASE), Projection("B C", BASE)])
+DECIDER = QueryResultEqualityDecider()
+
+
+class TestEqualityVerdict:
+    def test_correct_conjecture_is_equal(self):
+        correct = evaluate(QUERY, R)
+        verdict = DECIDER.decide(QUERY, R, correct)
+        assert verdict.equal
+        assert verdict.conjectured_subset_of_result
+        assert verdict.result_subset_of_conjectured
+        assert verdict.missing_tuple is None and verdict.extra_tuple is None
+        assert verdict.result_cardinality == len(correct)
+
+    def test_conjecture_missing_a_tuple_fails_conp_half(self):
+        correct = evaluate(QUERY, R)
+        dropped = next(iter(correct))
+        verdict = DECIDER.decide(QUERY, R, correct.remove(dropped))
+        assert not verdict.equal
+        assert verdict.conjectured_subset_of_result
+        assert not verdict.result_subset_of_conjectured
+        assert verdict.extra_tuple is not None
+        assert verdict.extra_tuple in correct
+
+    def test_conjecture_with_extra_tuple_fails_np_half(self):
+        correct = evaluate(QUERY, R)
+        inflated = correct.insert({"A": 99, "B": 99, "C": 99})
+        verdict = DECIDER.decide(QUERY, R, inflated)
+        assert not verdict.equal
+        assert not verdict.conjectured_subset_of_result
+        assert verdict.result_subset_of_conjectured
+        assert verdict.missing_tuple is not None
+        assert verdict.missing_tuple not in correct
+
+    def test_conjecture_wrong_in_both_directions(self):
+        correct = evaluate(QUERY, R)
+        dropped = next(iter(correct))
+        mangled = correct.remove(dropped).insert({"A": 99, "B": 99, "C": 99})
+        verdict = DECIDER.decide(QUERY, R, mangled)
+        assert not verdict.conjectured_subset_of_result
+        assert not verdict.result_subset_of_conjectured
+
+    def test_wrong_scheme_conjecture_is_never_equal(self):
+        wrong_scheme = Relation.from_rows("A B", [(1, 2)])
+        verdict = DECIDER.decide(QUERY, R, wrong_scheme)
+        assert not verdict.equal
+        assert not verdict.conjectured_subset_of_result
+        assert not verdict.result_subset_of_conjectured
+
+    def test_empty_conjecture_against_empty_result(self):
+        empty_relation = Relation.empty(R.scheme)
+        empty_conjecture = Relation.empty(QUERY.target_scheme())
+        verdict = DECIDER.decide(QUERY, empty_relation, empty_conjecture)
+        assert verdict.equal
+        assert verdict.result_cardinality == 0
+
+
+class TestConvenienceWrappers:
+    def test_equal_wrapper(self):
+        correct = evaluate(QUERY, R)
+        assert DECIDER.equal(QUERY, R, correct)
+        assert not DECIDER.equal(QUERY, R, correct.remove(next(iter(correct))))
+
+    def test_one_sided_wrappers_match_verdict(self):
+        correct = evaluate(QUERY, R)
+        subset = correct.remove(next(iter(correct)))
+        assert DECIDER.conjectured_contained(QUERY, R, subset)
+        assert not DECIDER.result_contained(QUERY, R, subset)
+
+    def test_witnesses_are_deterministic(self):
+        correct = evaluate(QUERY, R)
+        subset = correct.remove(next(iter(correct)))
+        first = DECIDER.decide(QUERY, R, subset).extra_tuple
+        second = DECIDER.decide(QUERY, R, subset).extra_tuple
+        assert first == second

@@ -1,0 +1,138 @@
+"""Tests for the membership deciders (evaluation, certificate, SAT-backed)."""
+
+import pytest
+
+from repro.algebra import Relation, RelationTuple
+from repro.decision import (
+    CertificateMembershipDecider,
+    SatBackedMembershipDecider,
+    tuple_in_result,
+)
+from repro.expressions import Join, Operand, Projection, evaluate
+from repro.workloads import random_instance
+
+R = Relation.from_rows("A B C", [(1, 2, 3), (1, 2, 4), (2, 5, 3)], name="R")
+BASE = Operand("R", "A B C")
+QUERY = Projection("A C", Join([Projection("A B", BASE), Projection("B C", BASE)]))
+
+
+def members_and_non_members(query, relation):
+    result = evaluate(query, relation)
+    members = list(result)[:3]
+    scheme = query.target_scheme()
+    non_member = RelationTuple(scheme, {name: "zz" for name in scheme.names})
+    return members, non_member
+
+
+class TestEvaluationDecider:
+    def test_member_is_found(self):
+        members, _ = members_and_non_members(QUERY, R)
+        for member in members:
+            assert tuple_in_result(member, QUERY, R)
+
+    def test_non_member_is_rejected(self):
+        _, non_member = members_and_non_members(QUERY, R)
+        assert not tuple_in_result(non_member, QUERY, R)
+
+
+class TestCertificateDecider:
+    def test_witness_found_for_every_member(self):
+        decider = CertificateMembershipDecider()
+        members, _ = members_and_non_members(QUERY, R)
+        for member in members:
+            witness = decider.decide(member, QUERY, R)
+            assert witness is not None
+            assert decider.verify(member, QUERY, R, witness)
+
+    def test_no_witness_for_non_member(self):
+        _, non_member = members_and_non_members(QUERY, R)
+        assert CertificateMembershipDecider().decide(non_member, QUERY, R) is None
+
+    def test_witness_rows_come_from_the_relation(self):
+        decider = CertificateMembershipDecider()
+        members, _ = members_and_non_members(QUERY, R)
+        witness = decider.decide(members[0], QUERY, R)
+        for source in witness.row_sources:
+            assert source in R
+
+    def test_verify_rejects_tampered_witness(self):
+        from repro.decision.membership import MembershipWitness
+
+        decider = CertificateMembershipDecider()
+        members, _ = members_and_non_members(QUERY, R)
+        witness = decider.decide(members[0], QUERY, R)
+        fake_source = RelationTuple(R.scheme, {"A": 9, "B": 9, "C": 9})
+        tampered = MembershipWitness(
+            valuation=witness.valuation,
+            row_sources=(fake_source,) * len(witness.row_sources),
+        )
+        assert not decider.verify(members[0], QUERY, R, tampered)
+
+    def test_verify_rejects_wrong_length_witness(self):
+        from repro.decision.membership import MembershipWitness
+
+        decider = CertificateMembershipDecider()
+        members, _ = members_and_non_members(QUERY, R)
+        witness = decider.decide(members[0], QUERY, R)
+        short = MembershipWitness(valuation=witness.valuation, row_sources=())
+        assert not decider.verify(members[0], QUERY, R, short)
+
+    def test_agreement_with_evaluation_on_random_instances(self):
+        decider = CertificateMembershipDecider()
+        for seed in range(5):
+            relation, query = random_instance(seed=400 + seed, num_tuples=8)
+            result = evaluate(query, relation)
+            scheme = query.target_scheme()
+            # Check every produced tuple plus one synthetic outsider.
+            for tup in list(result)[:5]:
+                assert decider.decide(tup, query, relation) is not None
+            outsider = RelationTuple(scheme, {name: "none" for name in scheme.names})
+            assert (outsider in result) == (
+                decider.decide(outsider, query, relation) is not None
+            )
+
+
+class TestSatBackedDecider:
+    def test_members_are_satisfiable_encodings(self):
+        decider = SatBackedMembershipDecider()
+        members, non_member = members_and_non_members(QUERY, R)
+        for member in members:
+            assert decider.decide(member, QUERY, R)
+        assert not decider.decide(non_member, QUERY, R)
+
+    def test_agreement_with_evaluation_on_random_instances(self):
+        decider = SatBackedMembershipDecider()
+        for seed in range(4):
+            relation, query = random_instance(seed=500 + seed, num_tuples=6)
+            result = evaluate(query, relation)
+            scheme = query.target_scheme()
+            candidates = list(result)[:3]
+            candidates.append(
+                RelationTuple(scheme, {name: "outside" for name in scheme.names})
+            )
+            for candidate in candidates:
+                assert decider.decide(candidate, query, relation) == (
+                    candidate in result
+                )
+
+    def test_encoding_of_impossible_candidate_is_unsatisfiable_formula(self):
+        from repro.sat import is_satisfiable
+
+        decider = SatBackedMembershipDecider()
+        _, non_member = members_and_non_members(QUERY, R)
+        formula = decider.encode(non_member, QUERY, R)
+        assert not is_satisfiable(formula)
+
+    def test_paper_reduction_round_trip(self):
+        # 3SAT -> membership -> SAT: the composition must agree with DPLL.
+        from repro.reductions import MembershipReduction
+        from repro.sat import is_satisfiable, paper_example_formula, forced_unsatisfiable
+
+        decider = SatBackedMembershipDecider()
+        for formula in (paper_example_formula(), forced_unsatisfiable(3)):
+            reduction = MembershipReduction(formula)
+            instance = reduction.instance()
+            answer = decider.decide(
+                instance.tuple, reduction.expression(), instance.relation
+            )
+            assert answer == is_satisfiable(formula)

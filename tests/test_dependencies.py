@@ -1,0 +1,125 @@
+"""Tests for functional / join dependencies and the chase."""
+
+import pytest
+
+from repro.algebra import (
+    FunctionalDependency,
+    JoinDependency,
+    Relation,
+    chase_lossless_join,
+    closure,
+    implies_fd,
+    project_join_satisfies,
+)
+
+
+FD = FunctionalDependency.of
+
+
+class TestFunctionalDependency:
+    def test_holds_in_satisfying_instance(self):
+        relation = Relation.from_rows("A B C", [(1, 2, 3), (1, 2, 4), (2, 5, 6)])
+        assert FD("A", "B").holds_in(relation)
+
+    def test_violated_in_conflicting_instance(self):
+        relation = Relation.from_rows("A B C", [(1, 2, 3), (1, 9, 4)])
+        assert not FD("A", "B").holds_in(relation)
+
+    def test_composite_determinant(self):
+        relation = Relation.from_rows("A B C", [(1, 2, 3), (1, 5, 4)])
+        assert FD("A B", "C").holds_in(relation)
+        assert not FD("A", "C").holds_in(relation)
+
+    def test_trivial_dependency_always_holds(self):
+        relation = Relation.from_rows("A B", [(1, 2), (1, 3)])
+        assert FD("A B", "A").holds_in(relation)
+
+    def test_attributes_and_str(self):
+        dependency = FD("A B", "C")
+        assert dependency.attributes() == frozenset({"A", "B", "C"})
+        assert "->" in str(dependency)
+
+
+class TestClosureAndImplication:
+    def test_closure_reaches_transitively(self):
+        dependencies = [FD("A", "B"), FD("B", "C")]
+        assert closure("A", dependencies) == frozenset({"A", "B", "C"})
+
+    def test_closure_respects_composite_determinants(self):
+        dependencies = [FD("A B", "C")]
+        assert closure("A", dependencies) == frozenset({"A"})
+        assert closure("A B", dependencies) == frozenset({"A", "B", "C"})
+
+    def test_implies_fd(self):
+        dependencies = [FD("A", "B"), FD("B", "C")]
+        assert implies_fd(dependencies, FD("A", "C"))
+        assert not implies_fd(dependencies, FD("C", "A"))
+
+    def test_reflexive_fd_always_implied(self):
+        assert implies_fd([], FD("A B", "A"))
+
+
+class TestJoinDependency:
+    def test_satisfied_on_lossless_instance(self):
+        relation = Relation.from_rows("A B C", [(1, 2, 3), (4, 2, 3)])
+        assert JoinDependency.of("A B", "B C").holds_in(relation)
+        assert project_join_satisfies(relation, ["A B", "B C"])
+
+    def test_violated_on_lossy_instance(self):
+        relation = Relation.from_rows("A B C", [(1, 2, 3), (4, 2, 5)])
+        assert not JoinDependency.of("A B", "B C").holds_in(relation)
+
+    def test_components_must_cover_scheme(self):
+        relation = Relation.from_rows("A B C", [(1, 2, 3)])
+        assert not JoinDependency.of("A B").holds_in(relation)
+
+    def test_scheme_and_str(self):
+        dependency = JoinDependency.of("A B", "B C")
+        assert set(dependency.scheme().names) == {"A", "B", "C"}
+        assert str(dependency).startswith("*[")
+
+    def test_matches_paper_fixpoint_semantics(self):
+        # On the R_G construction the join dependency over the projection
+        # schemes holds exactly when the formula is unsatisfiable.
+        from repro.reductions import RGConstruction
+        from repro.sat import forced_unsatisfiable, paper_example_formula
+
+        satisfiable = RGConstruction(paper_example_formula())
+        unsatisfiable = RGConstruction(forced_unsatisfiable(3))
+        assert not JoinDependency.of(*satisfiable.projection_schemes()).holds_in(
+            satisfiable.relation
+        )
+        assert JoinDependency.of(*unsatisfiable.projection_schemes()).holds_in(
+            unsatisfiable.relation
+        )
+
+
+class TestChase:
+    def test_classic_lossless_decomposition(self):
+        # R(A, B, C) with A -> B decomposed into (A B) and (A C) is lossless.
+        assert chase_lossless_join("A B C", ["A B", "A C"], [FD("A", "B")])
+
+    def test_lossy_without_dependencies(self):
+        assert not chase_lossless_join("A B C", ["A B", "B C"], [])
+
+    def test_becomes_lossless_with_key_dependency(self):
+        # With B -> C, the decomposition (A B), (B C) is lossless.
+        assert chase_lossless_join("A B C", ["A B", "B C"], [FD("B", "C")])
+
+    def test_component_covering_scheme_is_trivially_lossless(self):
+        assert chase_lossless_join("A B C", ["A B C", "A B"], [])
+
+    def test_chain_of_dependencies(self):
+        # R(A,B,C,D): A->B, B->C, C->D; decomposition (A B), (B C), (C D).
+        dependencies = [FD("A", "B"), FD("B", "C"), FD("C", "D")]
+        assert chase_lossless_join("A B C D", ["A B", "B C", "C D"], dependencies)
+
+    def test_chase_soundness_against_instances(self):
+        # If the chase certifies losslessness under the FDs, then every
+        # instance satisfying the FDs satisfies the join dependency.
+        dependencies = [FD("B", "C")]
+        components = ["A B", "B C"]
+        relation = Relation.from_rows("A B C", [(1, 2, 3), (4, 2, 3), (5, 6, 7)])
+        assert all(dep.holds_in(relation) for dep in dependencies)
+        assert chase_lossless_join("A B C", components, dependencies)
+        assert project_join_satisfies(relation, components)

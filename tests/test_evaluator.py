@@ -1,0 +1,123 @@
+"""Unit tests for expression evaluation (naive and instrumented)."""
+
+import pytest
+
+from repro.algebra import Database, Relation
+from repro.expressions import (
+    ExpressionError,
+    InstrumentedEvaluator,
+    Join,
+    Operand,
+    Projection,
+    bind_arguments,
+    evaluate,
+)
+
+R_SCHEME = "A B C"
+R = Relation.from_rows(R_SCHEME, [(1, 2, 3), (1, 2, 4), (2, 5, 3)], name="R")
+S = Relation.from_rows("C D", [(3, "x"), (4, "y")], name="S")
+
+BASE = Operand("R", R_SCHEME)
+OTHER = Operand("S", "C D")
+
+
+class TestBinding:
+    def test_bind_bare_relation_to_matching_operands(self):
+        bound = bind_arguments(Projection("A", BASE), R)
+        assert bound == {"R": R}
+
+    def test_bind_bare_relation_scheme_mismatch_rejected(self):
+        with pytest.raises(ExpressionError):
+            bind_arguments(Projection("C", OTHER), R)
+
+    def test_bind_mapping(self):
+        bound = bind_arguments(Join([BASE, OTHER]), {"R": R, "S": S})
+        assert set(bound) == {"R", "S"}
+
+    def test_bind_database(self):
+        database = Database({"R": R, "S": S})
+        bound = bind_arguments(Join([BASE, OTHER]), database)
+        assert bound["S"] == S
+
+    def test_bind_missing_operand_rejected(self):
+        with pytest.raises(ExpressionError):
+            bind_arguments(Join([BASE, OTHER]), {"R": R})
+
+    def test_bind_wrong_scheme_rejected(self):
+        with pytest.raises(ExpressionError):
+            bind_arguments(Projection("A", BASE), {"R": S})
+
+
+class TestEvaluate:
+    def test_operand_evaluates_to_bound_relation(self):
+        assert evaluate(BASE, R) == R
+
+    def test_projection(self):
+        assert evaluate(Projection("A B", BASE), R) == R.project("A B")
+
+    def test_join_of_two_operands(self):
+        expression = Join([BASE, OTHER])
+        assert evaluate(expression, {"R": R, "S": S}) == R.natural_join(S)
+
+    def test_paper_style_project_join(self):
+        expression = Join([Projection("A B", BASE), Projection("B C", BASE)])
+        expected = R.project("A B").natural_join(R.project("B C"))
+        assert evaluate(expression, R) == expected
+
+    def test_nary_join_matches_pairwise(self):
+        expression = Join([Projection("A B", BASE), Projection("B C", BASE), OTHER])
+        expected = (
+            R.project("A B").natural_join(R.project("B C")).natural_join(S)
+        )
+        assert evaluate(expression, {"R": R, "S": S}) == expected
+
+    def test_result_scheme_matches_target_scheme(self):
+        expression = Projection("A C", Join([BASE, OTHER]))
+        result = evaluate(expression, {"R": R, "S": S})
+        assert result.scheme == expression.target_scheme()
+
+
+class TestInstrumentedEvaluator:
+    def test_same_result_as_naive(self):
+        expression = Projection("A D", Join([BASE, OTHER]))
+        result, trace = InstrumentedEvaluator().evaluate(expression, {"R": R, "S": S})
+        assert result == evaluate(expression, {"R": R, "S": S})
+        assert trace.result_cardinality == len(result)
+
+    def test_trace_records_every_operand_and_operator(self):
+        expression = Projection("A", Join([Projection("A B", BASE), Projection("B C", BASE)]))
+        _, trace = InstrumentedEvaluator().evaluate(expression, R)
+        kinds = [step.node_kind for step in trace.steps]
+        assert kinds.count("operand") == 2
+        assert kinds.count("projection") == 3
+        assert kinds.count("join") == 1
+
+    def test_peak_is_max_of_steps(self):
+        expression = Join([Projection("A B", BASE), Projection("B C", BASE)])
+        _, trace = InstrumentedEvaluator().evaluate(expression, R)
+        assert trace.peak_intermediate_cardinality == max(
+            step.cardinality for step in trace.steps
+        )
+
+    def test_input_cardinality_counts_bound_relations(self):
+        expression = Join([BASE, OTHER])
+        _, trace = InstrumentedEvaluator().evaluate(expression, {"R": R, "S": S})
+        assert trace.input_cardinality == len(R) + len(S)
+
+    def test_blowup_ratios(self):
+        expression = Join([Projection("A", BASE), Projection("B", BASE)])
+        _, trace = InstrumentedEvaluator().evaluate(expression, R)
+        assert trace.blowup_versus_input() == pytest.approx(
+            trace.peak_intermediate_cardinality / trace.input_cardinality
+        )
+        summary = trace.summary()
+        assert summary["peak_intermediate_cardinality"] == float(
+            trace.peak_intermediate_cardinality
+        )
+
+    def test_empty_result_blowup_is_infinite_marker(self):
+        empty = Relation.empty(R.scheme)
+        expression = Join([Projection("A B", BASE), Projection("B C", BASE)])
+        _, trace = InstrumentedEvaluator().evaluate(expression, empty)
+        assert trace.result_cardinality == 0
+        assert trace.blowup_versus_output() in (0.0, float("inf"))

@@ -1,0 +1,49 @@
+"""Smoke tests for the example scripts.
+
+The faster examples are executed end-to-end in a subprocess (they contain
+their own assertions); the heavier ones are only checked for importability of
+the functions they use, keeping the unit-test suite quick.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "satisfiability_via_queries.py",
+    "query_equivalence.py",
+]
+
+ALL_EXAMPLES = FAST_EXAMPLES + ["counting_assignments.py", "intermediate_blowup.py"]
+
+
+class TestExampleScripts:
+    def test_all_examples_exist(self):
+        for name in ALL_EXAMPLES:
+            assert (EXAMPLES_DIR / name).is_file(), name
+
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_fast_examples_run_cleanly(self, name):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name)],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip(), "example produced no output"
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_examples_compile(self, name):
+        source = (EXAMPLES_DIR / name).read_text()
+        compile(source, name, "exec")
+
+    def test_examples_have_module_docstrings(self):
+        for name in ALL_EXAMPLES:
+            source = (EXAMPLES_DIR / name).read_text()
+            assert source.lstrip().startswith('"""'), f"{name} lacks a docstring"

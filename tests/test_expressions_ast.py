@@ -1,0 +1,121 @@
+"""Unit tests for the projection-join expression AST."""
+
+import pytest
+
+from repro.algebra import RelationScheme
+from repro.expressions import (
+    ExpressionError,
+    Join,
+    Operand,
+    Projection,
+    join,
+    operand,
+    project,
+    project_join_query,
+)
+
+R = Operand("R", "A B C")
+S = Operand("S", "C D")
+
+
+class TestOperand:
+    def test_target_scheme(self):
+        assert R.target_scheme() == RelationScheme.of("A", "B", "C")
+
+    def test_operand_names_and_schemes(self):
+        assert R.operand_names() == frozenset({"R"})
+        assert R.operand_schemes() == {"R": RelationScheme.of("A", "B", "C")}
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ExpressionError):
+            Operand("", "A")
+
+    def test_equality(self):
+        assert R == Operand("R", "C B A")
+        assert R != Operand("R", "A B")
+        assert R != S
+
+
+class TestProjection:
+    def test_target_scheme_is_projection_scheme(self):
+        node = Projection("A B", R)
+        assert node.target_scheme() == RelationScheme.of("A", "B")
+
+    def test_projection_outside_child_scheme_rejected(self):
+        with pytest.raises(ExpressionError):
+            Projection("A Z", R)
+
+    def test_nested_projection(self):
+        node = Projection("A", Projection("A B", R))
+        assert node.target_scheme() == RelationScheme.of("A")
+
+    def test_to_text(self):
+        assert Projection("A B", R).to_text() == "project[A, B](R)"
+
+    def test_equality(self):
+        assert Projection("A B", R) == Projection("A B", R)
+        assert Projection("A B", R) != Projection("A", R)
+
+
+class TestJoin:
+    def test_flattening(self):
+        nested = Join([Join([R, S]), Operand("T", "D E")])
+        assert len(nested.parts) == 3
+
+    def test_target_scheme_is_union(self):
+        assert Join([R, S]).target_scheme() == RelationScheme.of("A", "B", "C", "D")
+
+    def test_needs_two_operands(self):
+        with pytest.raises(ExpressionError):
+            Join([R])
+
+    def test_conflicting_operand_schemes_rejected(self):
+        with pytest.raises(ExpressionError):
+            Join([R, Operand("R", "A B")])
+
+    def test_operand_names_union(self):
+        assert Join([R, S]).operand_names() == frozenset({"R", "S"})
+
+    def test_mul_operator(self):
+        assert (R * S) == Join([R, S])
+
+    def test_to_text_with_nested_projection(self):
+        expression = Join([Projection("A B", R), Projection("C D", S)])
+        assert expression.to_text() == "project[A, B](R) * project[C, D](S)"
+
+
+class TestStructuralHelpers:
+    def test_walk_and_size(self):
+        expression = Projection("A", Join([Projection("A B", R), S]))
+        kinds = [type(node).__name__ for node in expression.walk()]
+        assert kinds[0] == "Projection"
+        assert expression.size() == 5
+
+    def test_depth(self):
+        expression = Projection("A", Join([Projection("A B", R), S]))
+        assert expression.depth() == 4
+
+    def test_counts(self):
+        expression = Projection("A", Join([Projection("A B", R), S]))
+        assert expression.count_joins() == 1
+        assert expression.count_projections() == 2
+
+    def test_fluent_builders(self):
+        via_fluent = R.project("A B").join(S.project("C D"))
+        via_functions = join(project("A B", operand("R", "A B C")), project("C D", operand("S", "C D")))
+        assert via_fluent == via_functions
+
+
+class TestProjectJoinQuery:
+    def test_multi_factor(self):
+        query = project_join_query("R", "A B C", ["A B", "B C"])
+        assert isinstance(query, Join)
+        assert query.target_scheme() == RelationScheme.of("A", "B", "C")
+
+    def test_single_factor_has_no_join(self):
+        query = project_join_query("R", "A B C", ["A B"])
+        assert isinstance(query, Projection)
+
+    def test_no_factor_rejected(self):
+        with pytest.raises(ValueError):
+            project_join_query("R", "A B C", [])

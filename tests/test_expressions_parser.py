@@ -1,0 +1,98 @@
+"""Unit tests for the textual expression syntax."""
+
+import pytest
+
+from repro.expressions import (
+    Join,
+    Operand,
+    ParseError,
+    Projection,
+    parse_expression,
+)
+
+SCHEMES = {"R": "A B C", "S": "C D"}
+
+
+class TestParsing:
+    def test_bare_operand(self):
+        assert parse_expression("R", SCHEMES) == Operand("R", "A B C")
+
+    def test_projection(self):
+        parsed = parse_expression("project[A, B](R)", SCHEMES)
+        assert parsed == Projection("A B", Operand("R", "A B C"))
+
+    def test_join(self):
+        parsed = parse_expression("R * S", SCHEMES)
+        assert parsed == Join([Operand("R", "A B C"), Operand("S", "C D")])
+
+    def test_nested(self):
+        text = "project[A, D](project[A, C](R) * S)"
+        parsed = parse_expression(text, SCHEMES)
+        assert isinstance(parsed, Projection)
+        assert parsed.target.names == ("A", "D")
+
+    def test_parentheses(self):
+        parsed = parse_expression("(R * S)", SCHEMES)
+        assert isinstance(parsed, Join)
+
+    def test_whitespace_insensitivity(self):
+        compact = parse_expression("project[A,B](R)*S", SCHEMES)
+        spaced = parse_expression("  project[ A , B ] ( R )  *  S ", SCHEMES)
+        assert compact == spaced
+
+    def test_pi_keyword_alias(self):
+        assert parse_expression("pi[A](R)", SCHEMES) == Projection("A", Operand("R", "A B C"))
+
+
+class TestRoundTrip:
+    def test_operand_round_trip(self):
+        expression = Operand("R", "A B C")
+        assert parse_expression(expression.to_text(), SCHEMES) == expression
+
+    def test_projection_join_round_trip(self):
+        expression = Join(
+            [
+                Projection("A B", Operand("R", "A B C")),
+                Projection("C D", Operand("S", "C D")),
+            ]
+        )
+        assert parse_expression(expression.to_text(), SCHEMES) == expression
+
+    def test_outer_projection_round_trip(self):
+        expression = Projection(
+            "A D",
+            Join([Operand("R", "A B C"), Operand("S", "C D")]),
+        )
+        assert parse_expression(expression.to_text(), SCHEMES) == expression
+
+
+class TestErrors:
+    def test_unknown_operand(self):
+        with pytest.raises(ParseError):
+            parse_expression("T", SCHEMES)
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_expression("   ", SCHEMES)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expression("R )", SCHEMES)
+
+    def test_unclosed_projection(self):
+        with pytest.raises(ParseError):
+            parse_expression("project[A](R", SCHEMES)
+
+    def test_bad_projection_list(self):
+        with pytest.raises(ParseError):
+            parse_expression("project[A,](R)", SCHEMES)
+
+    def test_projection_of_missing_attribute(self):
+        # Parsing succeeds syntactically but the AST constructor rejects the
+        # out-of-scheme attribute.
+        with pytest.raises(Exception):
+            parse_expression("project[Z](R)", SCHEMES)
+
+    def test_unexpected_symbol(self):
+        with pytest.raises(ParseError):
+            parse_expression("R @ S", SCHEMES)

@@ -1,0 +1,112 @@
+"""Unit tests for tableau homomorphisms and Chandra-Merlin containment."""
+
+import pytest
+
+from repro.algebra import Relation
+from repro.expressions import Join, Operand, Projection, evaluate
+from repro.tableaux import (
+    find_homomorphism,
+    minimize_tableau,
+    query_contained_in,
+    query_equivalent,
+    tableau_of_expression,
+)
+from repro.workloads import random_instance, random_relation
+
+BASE = Operand("R", "A B C")
+
+
+class TestHomomorphism:
+    def test_identity_homomorphism_exists(self):
+        expression = Join([Projection("A B", BASE), Projection("B C", BASE)])
+        tableau = tableau_of_expression(expression)
+        assert find_homomorphism(tableau, tableau) is not None
+
+    def test_no_homomorphism_across_different_target_schemes(self):
+        first = tableau_of_expression(Projection("A", BASE))
+        second = tableau_of_expression(Projection("A B", BASE))
+        assert find_homomorphism(first, second) is None
+
+    def test_homomorphism_from_more_constrained_to_less(self):
+        # project[A,C](R) has a single row covering A and C together, while the
+        # join of the two binary projections splits them: the split query is
+        # less constrained, so the single-row tableau maps into it... and not
+        # conversely.
+        tight = Projection("A C", BASE)
+        loose = Projection("A C", Join([Projection("A B", BASE), Projection("B C", BASE)]))
+        tight_tableau = tableau_of_expression(tight)
+        loose_tableau = tableau_of_expression(loose)
+        assert find_homomorphism(tight_tableau, loose_tableau) is None
+        assert find_homomorphism(loose_tableau, tight_tableau) is not None
+
+
+class TestChandraMerlinContainment:
+    def test_tight_query_contained_in_loose(self):
+        tight = Projection("A C", BASE)
+        loose = Projection("A C", Join([Projection("A B", BASE), Projection("B C", BASE)]))
+        assert query_contained_in(tight, loose)
+        assert not query_contained_in(loose, tight)
+        assert not query_equivalent(tight, loose)
+
+    def test_equivalent_reorderings(self):
+        one = Join([Projection("A B", BASE), Projection("B C", BASE)])
+        other = Join([Projection("B C", BASE), Projection("A B", BASE)])
+        assert query_equivalent(one, other)
+
+    def test_redundant_factor_is_equivalent(self):
+        # Adding a copy of an existing factor never changes the query.
+        lean = Join([Projection("A B", BASE), Projection("B C", BASE)])
+        redundant = Join(
+            [Projection("A B", BASE), Projection("B C", BASE), Projection("A B", BASE)]
+        )
+        assert query_equivalent(lean, redundant)
+
+    def test_containment_is_sound_on_data(self):
+        # Whenever the homomorphism test says contained, evaluation must agree
+        # on every database we try.
+        tight = Projection("A C", BASE)
+        loose = Projection("A C", Join([Projection("A B", BASE), Projection("B C", BASE)]))
+        assert query_contained_in(tight, loose)
+        for seed in range(5):
+            relation = random_relation(num_attributes=3, num_tuples=10, seed=seed, attribute_prefix="")
+            relation = relation.rename({"1": "A", "2": "B", "3": "C"})
+            left = evaluate(tight, relation)
+            right = evaluate(loose, relation)
+            assert left.is_subset_of(right)
+
+    def test_fixed_database_containment_does_not_imply_general_containment(self):
+        # On an empty database every query is contained in every other; the
+        # homomorphism test correctly refuses the general claim.
+        loose = Projection("A C", Join([Projection("A B", BASE), Projection("B C", BASE)]))
+        tight = Projection("A C", BASE)
+        empty = Relation.empty(BASE.scheme)
+        assert evaluate(loose, empty).is_subset_of(evaluate(tight, empty))
+        assert not query_contained_in(loose, tight)
+
+
+class TestMinimization:
+    def test_redundant_row_is_removed(self):
+        redundant = Join(
+            [Projection("A B", BASE), Projection("B C", BASE), Projection("A B", BASE)]
+        )
+        tableau = tableau_of_expression(redundant)
+        minimized = minimize_tableau(tableau)
+        assert len(minimized.rows) == 2
+
+    def test_minimal_tableau_unchanged(self):
+        lean = Join([Projection("A B", BASE), Projection("B C", BASE)])
+        tableau = tableau_of_expression(lean)
+        assert len(minimize_tableau(tableau).rows) == 2
+
+    def test_minimization_preserves_semantics(self):
+        redundant = Join(
+            [Projection("A B", BASE), Projection("B C", BASE), Projection("A B", BASE)]
+        )
+        tableau = tableau_of_expression(redundant)
+        minimized = minimize_tableau(tableau)
+        for seed in range(4):
+            relation, _ = random_instance(num_attributes=3, seed=300 + seed)
+            relation = relation.rename(
+                {name: new for name, new in zip(relation.scheme.names, ["A", "B", "C"])}
+            )
+            assert tableau.evaluate({"R": relation}) == minimized.evaluate({"R": relation})

@@ -1,0 +1,106 @@
+"""Tests for the NP / co-NP side reductions (tuple membership and the fixpoint test)."""
+
+import pytest
+
+from repro.decision import (
+    CertificateMembershipDecider,
+    ProjectJoinFixpointDecider,
+    tuple_in_result,
+)
+from repro.reductions import FixpointReduction, MembershipReduction
+from repro.sat import forced_unsatisfiable, paper_example_formula, planted_satisfiable
+
+
+@pytest.fixture(scope="module")
+def satisfiable():
+    formula, _ = planted_satisfiable(4, 3, seed=31)
+    return formula
+
+
+@pytest.fixture(scope="module")
+def unsatisfiable():
+    return forced_unsatisfiable(4, seed=31)
+
+
+class TestMembershipReduction:
+    def test_instance_shape(self, satisfiable):
+        reduction = MembershipReduction(satisfiable)
+        instance = reduction.instance()
+        assert instance.tuple.scheme == instance.target_scheme
+        assert len(instance.projection_schemes) == satisfiable.num_clauses + 1
+
+    def test_membership_holds_iff_satisfiable(self, satisfiable, unsatisfiable):
+        for formula in (satisfiable, unsatisfiable):
+            reduction = MembershipReduction(formula)
+            instance = reduction.instance()
+            member = tuple_in_result(
+                instance.tuple, reduction.expression(), instance.relation
+            )
+            assert member == reduction.expected_yes()
+
+    def test_certificate_decider_agrees(self, satisfiable, unsatisfiable):
+        decider = CertificateMembershipDecider()
+        for formula in (satisfiable, unsatisfiable):
+            reduction = MembershipReduction(formula)
+            instance = reduction.instance()
+            witness = decider.decide(
+                instance.tuple, reduction.expression(), instance.relation
+            )
+            assert (witness is not None) == reduction.expected_yes()
+
+    def test_certificate_verifies_in_polynomial_time_path(self, satisfiable):
+        decider = CertificateMembershipDecider()
+        reduction = MembershipReduction(satisfiable)
+        instance = reduction.instance()
+        expression = reduction.expression()
+        witness = decider.decide(instance.tuple, expression, instance.relation)
+        assert witness is not None
+        assert decider.verify(instance.tuple, expression, instance.relation, witness)
+
+    def test_paper_example_membership(self):
+        reduction = MembershipReduction(paper_example_formula())
+        instance = reduction.instance()
+        assert tuple_in_result(
+            instance.tuple, reduction.expression(), instance.relation
+        )
+
+
+class TestFixpointReduction:
+    def test_fixpoint_holds_iff_unsatisfiable(self, satisfiable, unsatisfiable):
+        decider = ProjectJoinFixpointDecider()
+        for formula in (satisfiable, unsatisfiable):
+            reduction = FixpointReduction(formula)
+            instance = reduction.instance()
+            holds = decider.holds(instance.relation, instance.projection_schemes)
+            assert holds == reduction.expected_yes()
+
+    def test_violation_witness_is_a_satisfying_assignment_tuple(self, satisfiable):
+        reduction = FixpointReduction(satisfiable)
+        instance = reduction.instance()
+        verdict = ProjectJoinFixpointDecider().decide(
+            instance.relation, instance.projection_schemes
+        )
+        assert not verdict.holds
+        assert verdict.extra_tuple is not None
+        assignment = reduction.construction.assignment_of_tuple(verdict.extra_tuple)
+        assert assignment is not None
+        assert satisfiable.evaluate(assignment)
+
+    def test_join_never_loses_tuples(self, satisfiable, unsatisfiable):
+        for formula in (satisfiable, unsatisfiable):
+            reduction = FixpointReduction(formula)
+            instance = reduction.instance()
+            verdict = ProjectJoinFixpointDecider().decide(
+                instance.relation, instance.projection_schemes
+            )
+            assert verdict.join_cardinality >= verdict.relation_cardinality
+
+    def test_expression_matches_projection_schemes(self, satisfiable):
+        from repro.expressions import evaluate
+        from repro.algebra import project_join
+
+        reduction = FixpointReduction(satisfiable)
+        instance = reduction.instance()
+        via_expression = evaluate(reduction.expression(), instance.relation)
+        via_operations = project_join(instance.relation, instance.projection_schemes)
+        assert via_expression == via_operations

@@ -1,0 +1,146 @@
+"""Unit tests for repro.algebra.operations (free-function algebra)."""
+
+import pytest
+
+from repro.algebra import (
+    JoinError,
+    Relation,
+    RelationScheme,
+    cartesian_product,
+    difference,
+    divide,
+    intersection,
+    join_all,
+    natural_join,
+    project,
+    project_join,
+    rename,
+    select,
+    semijoin,
+    union,
+)
+
+
+@pytest.fixture
+def enrollment():
+    return Relation.from_rows(
+        "Student Course Teacher",
+        [
+            ("ann", "db", "codd"),
+            ("bob", "db", "codd"),
+            ("ann", "logic", "tarski"),
+        ],
+    )
+
+
+class TestBasicWrappers:
+    def test_project(self, enrollment):
+        assert project(enrollment, "Student").cardinality() == 2
+
+    def test_natural_join_matches_method(self, enrollment):
+        left = project(enrollment, "Student Course")
+        right = project(enrollment, "Course Teacher")
+        assert natural_join(left, right) == left.natural_join(right)
+
+    def test_select(self, enrollment):
+        picked = select(enrollment, lambda t: t["Course"] == "db")
+        assert len(picked) == 2
+
+    def test_set_operations(self):
+        left = Relation.from_rows("A", [(1,), (2,)])
+        right = Relation.from_rows("A", [(2,), (3,)])
+        assert len(union(left, right)) == 3
+        assert len(difference(left, right)) == 1
+        assert len(intersection(left, right)) == 1
+
+    def test_rename(self, enrollment):
+        renamed = rename(enrollment, {"Student": "Person"})
+        assert "Person" in renamed.scheme
+
+
+class TestJoinAll:
+    def test_join_all_left_associated(self):
+        r1 = Relation.from_rows("A B", [(1, 2)])
+        r2 = Relation.from_rows("B C", [(2, 3)])
+        r3 = Relation.from_rows("C D", [(3, 4)])
+        joined = join_all([r1, r2, r3])
+        assert joined == Relation.from_rows("A B C D", [(1, 2, 3, 4)])
+
+    def test_join_all_single(self):
+        relation = Relation.from_rows("A", [(1,)])
+        assert join_all([relation]) == relation
+
+    def test_join_all_empty_rejected(self):
+        with pytest.raises(JoinError):
+            join_all([])
+
+    def test_join_all_order_invariant_result(self):
+        r1 = Relation.from_rows("A B", [(1, 2), (5, 6)])
+        r2 = Relation.from_rows("B C", [(2, 3), (6, 7)])
+        r3 = Relation.from_rows("A C", [(1, 3)])
+        assert join_all([r1, r2, r3]) == join_all([r3, r1, r2])
+
+
+class TestProjectJoin:
+    def test_lossless_decomposition_recovers_relation(self):
+        # A relation satisfying the join dependency *(AB, BC): projecting and
+        # re-joining gives back exactly the original.
+        relation = Relation.from_rows("A B C", [(1, 2, 3), (4, 2, 3)])
+        assert project_join(relation, ["A B", "B C"]) == relation
+
+    def test_lossy_decomposition_adds_tuples(self):
+        relation = Relation.from_rows("A B C", [(1, 2, 3), (4, 2, 5)])
+        joined = project_join(relation, ["A B", "B C"])
+        assert relation.is_proper_subset_of(joined)
+        assert (1, 2, 5) in joined
+
+    def test_requires_at_least_one_scheme(self):
+        with pytest.raises(JoinError):
+            project_join(Relation.from_rows("A", [(1,)]), [])
+
+
+class TestCartesianProduct:
+    def test_product_of_disjoint_schemes(self):
+        left = Relation.from_rows("A", [(1,), (2,)])
+        right = Relation.from_rows("B", [(3,)])
+        assert len(cartesian_product(left, right)) == 2
+
+    def test_shared_attribute_rejected(self):
+        left = Relation.from_rows("A B", [(1, 2)])
+        right = Relation.from_rows("B C", [(2, 3)])
+        with pytest.raises(JoinError):
+            cartesian_product(left, right)
+
+
+class TestSemijoinAndDivide:
+    def test_semijoin_filters_left(self):
+        left = Relation.from_rows("A B", [(1, 2), (3, 4)])
+        right = Relation.from_rows("B C", [(2, "x")])
+        assert semijoin(left, right) == Relation.from_rows("A B", [(1, 2)])
+
+    def test_semijoin_disjoint_schemes(self):
+        left = Relation.from_rows("A", [(1,)])
+        non_empty = Relation.from_rows("B", [(2,)])
+        empty = Relation.empty(RelationScheme.of("B"))
+        assert semijoin(left, non_empty) == left
+        assert semijoin(left, empty).is_empty()
+
+    def test_divide_basic(self):
+        # Students who take every course listed in the divisor.
+        takes = Relation.from_rows(
+            "Student Course",
+            [("ann", "db"), ("ann", "logic"), ("bob", "db")],
+        )
+        courses = Relation.from_rows("Course", [("db",), ("logic",)])
+        assert divide(takes, courses) == Relation.from_rows("Student", [("ann",)])
+
+    def test_divide_by_empty_returns_all_candidates(self):
+        takes = Relation.from_rows("Student Course", [("ann", "db")])
+        empty = Relation.empty(RelationScheme.of("Course"))
+        assert divide(takes, empty) == Relation.from_rows("Student", [("ann",)])
+
+    def test_divide_requires_shared_attributes(self):
+        takes = Relation.from_rows("Student Course", [("ann", "db")])
+        unrelated = Relation.from_rows("Room", [("r1",)])
+        with pytest.raises(JoinError):
+            divide(takes, unrelated)

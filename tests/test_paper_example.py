@@ -1,0 +1,66 @@
+"""Experiment E1: the worked example of the paper (p. 106), reproduced exactly."""
+
+import pytest
+
+from repro.expressions import evaluate, parse_expression
+from repro.workloads import (
+    PAPER_EXAMPLE_EXPRESSION_TEXT,
+    PAPER_EXAMPLE_ROWS,
+    paper_example_construction,
+    paper_example_formula,
+    paper_example_relation,
+    paper_example_scheme,
+)
+
+
+class TestPrintedTable:
+    def test_has_22_rows_and_12_columns(self):
+        relation = paper_example_relation()
+        assert len(relation) == 22
+        assert len(relation.scheme) == 12
+
+    def test_transcription_has_no_duplicate_rows(self):
+        assert len(set(PAPER_EXAMPLE_ROWS)) == len(PAPER_EXAMPLE_ROWS)
+
+    def test_column_order_matches_paper(self):
+        assert paper_example_scheme().names == (
+            "F1", "F2", "F3",
+            "X1", "X2", "X3", "X4", "X5",
+            "Y_1_2", "Y_1_3", "Y_2_3",
+            "S",
+        )
+
+    def test_construction_reproduces_the_printed_table(self):
+        construction = paper_example_construction()
+        assert construction.relation == paper_example_relation()
+
+    def test_constructed_scheme_matches_printed_scheme(self):
+        construction = paper_example_construction()
+        assert construction.scheme == paper_example_scheme()
+
+
+class TestPrintedExpression:
+    def test_generated_expression_text_matches_paper(self):
+        construction = paper_example_construction()
+        assert construction.expression.to_text() == PAPER_EXAMPLE_EXPRESSION_TEXT
+
+    def test_printed_expression_parses_back_to_the_construction(self):
+        construction = paper_example_construction()
+        parsed = parse_expression(
+            PAPER_EXAMPLE_EXPRESSION_TEXT, {"R": construction.scheme}
+        )
+        assert parsed == construction.expression
+
+
+class TestExampleSemantics:
+    def test_formula_matches_paper(self):
+        formula = paper_example_formula()
+        assert str(formula.clauses[0]) == "(x1 | x2 | x3)"
+        assert formula.num_clauses == 3 and formula.num_variables == 5
+
+    def test_evaluation_on_printed_table_matches_lemma1(self):
+        construction = paper_example_construction()
+        result = evaluate(construction.expression, paper_example_relation())
+        assert result == construction.expected_result()
+        # The example formula has 20 satisfying assignments.
+        assert len(result) == 42

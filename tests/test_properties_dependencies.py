@@ -1,0 +1,125 @@
+"""Property-based tests for dependencies, DIMACS round-trips, and scheme algebra."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    FunctionalDependency,
+    Relation,
+    RelationScheme,
+    closure,
+    implies_fd,
+    project_join_satisfies,
+)
+from repro.sat import CNFFormula, count_models_bruteforce, parse_dimacs, to_dimacs
+from repro.sat.literals import Clause, Literal
+
+ATTRIBUTES = ("A", "B", "C", "D")
+
+COMMON_SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def functional_dependencies(draw):
+    determinant = draw(
+        st.lists(st.sampled_from(ATTRIBUTES), min_size=1, max_size=3, unique=True)
+    )
+    dependent = draw(
+        st.lists(st.sampled_from(ATTRIBUTES), min_size=1, max_size=3, unique=True)
+    )
+    return FunctionalDependency.of(determinant, dependent)
+
+
+@st.composite
+def attribute_subsets(draw, min_size=1):
+    return draw(
+        st.lists(st.sampled_from(ATTRIBUTES), min_size=min_size, max_size=4, unique=True)
+    )
+
+
+@st.composite
+def small_relations(draw):
+    rows = draw(
+        st.lists(
+            st.tuples(*[st.integers(0, 2) for _ in ATTRIBUTES]), min_size=0, max_size=8
+        )
+    )
+    return Relation.from_rows(RelationScheme(ATTRIBUTES), rows)
+
+
+class TestClosureProperties:
+    @COMMON_SETTINGS
+    @given(attribute_subsets(), st.lists(functional_dependencies(), max_size=5))
+    def test_closure_is_extensive(self, attributes, dependencies):
+        assert set(attributes) <= closure(attributes, dependencies)
+
+    @COMMON_SETTINGS
+    @given(attribute_subsets(), st.lists(functional_dependencies(), max_size=5))
+    def test_closure_is_idempotent(self, attributes, dependencies):
+        once = closure(attributes, dependencies)
+        assert closure(sorted(once), dependencies) == once
+
+    @COMMON_SETTINGS
+    @given(attribute_subsets(), attribute_subsets(), st.lists(functional_dependencies(), max_size=5))
+    def test_closure_is_monotone(self, smaller, larger, dependencies):
+        union = sorted(set(smaller) | set(larger))
+        assert closure(smaller, dependencies) <= closure(union, dependencies)
+
+    @COMMON_SETTINGS
+    @given(st.lists(functional_dependencies(), max_size=5), functional_dependencies())
+    def test_implied_fds_hold_in_every_satisfying_instance(self, dependencies, candidate):
+        # Soundness of the closure-based implication test, checked on a fixed
+        # small instance that satisfies the premise dependencies.
+        relation = Relation.from_rows(RelationScheme(ATTRIBUTES), [(0, 0, 0, 0), (1, 1, 1, 1)])
+        if not all(dep.holds_in(relation) for dep in dependencies):
+            return
+        if implies_fd(dependencies, candidate):
+            assert candidate.holds_in(relation)
+
+
+class TestJoinDependencyProperties:
+    @COMMON_SETTINGS
+    @given(small_relations())
+    def test_full_scheme_component_always_satisfied(self, relation):
+        assert project_join_satisfies(relation, [RelationScheme(ATTRIBUTES)])
+
+    @COMMON_SETTINGS
+    @given(small_relations(), attribute_subsets(), attribute_subsets())
+    def test_satisfaction_matches_direct_definition(self, relation, first, second):
+        from repro.algebra import project_join
+
+        components = [RelationScheme(first), RelationScheme(second)]
+        union = components[0].union(components[1])
+        expected = (
+            union == relation.scheme
+            and project_join(relation, components) == relation
+        )
+        assert project_join_satisfies(relation, components) == expected
+
+
+class TestDimacsRoundTripProperties:
+    @COMMON_SETTINGS
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(1, 5), st.booleans()), min_size=1, max_size=4
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_model_count_survives_round_trip(self, raw_clauses):
+        clauses = [
+            Clause(Literal(f"x{index}", positive) for index, positive in raw)
+            for raw in raw_clauses
+        ]
+        formula = CNFFormula(clauses)
+        # Present the formula over x1..x5 so unused variables are preserved by
+        # the DIMACS header and the model counts stay comparable.
+        formula = formula.with_variables([f"x{i}" for i in range(1, 6)])
+        recovered = parse_dimacs(to_dimacs(formula))
+        assert recovered.num_variables == formula.num_variables
+        assert count_models_bruteforce(recovered) == count_models_bruteforce(formula)

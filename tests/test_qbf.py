@@ -1,0 +1,132 @@
+"""Unit tests for Q-3SAT instances, evaluators, and generators."""
+
+import pytest
+
+from repro.qbf import (
+    QThreeSatInstance,
+    canonical_false_q3sat,
+    evaluate_by_expansion,
+    evaluate_with_pruning,
+    find_universal_counterexample,
+    paper_style_partition,
+    planted_false_q3sat,
+    planted_true_q3sat,
+    random_q3sat,
+)
+from repro.sat import CNFFormula, forced_unsatisfiable, paper_example_formula
+
+
+class TestInstance:
+    def test_partition(self):
+        instance = QThreeSatInstance(paper_example_formula(), ("x1", "x2"))
+        assert instance.universal == ("x1", "x2")
+        assert instance.existential == ("x3", "x4", "x5")
+
+    def test_unknown_universal_variable_rejected(self):
+        with pytest.raises(ValueError):
+            QThreeSatInstance(paper_example_formula(), ("zzz",))
+
+    def test_duplicate_universal_rejected(self):
+        with pytest.raises(ValueError):
+            QThreeSatInstance(paper_example_formula(), ("x1", "x1"))
+
+    def test_describe_mentions_both_blocks(self):
+        text = QThreeSatInstance(paper_example_formula(), ("x1",)).describe()
+        assert "forall" in text and "exists" in text
+
+    def test_restriction_predicates(self):
+        formula = paper_example_formula()
+        inside_clause = QThreeSatInstance(formula, ("x1",))
+        assert inside_clause.universal_inside_some_clause()
+        covers_clause = QThreeSatInstance(formula, ("x1", "x2", "x3", "x5"))
+        assert covers_clause.universal_contains_some_clause()
+        good = canonical_false_q3sat()
+        assert good.satisfies_proposition4_restrictions()
+
+    def test_guard_clauses_fix_first_restriction(self):
+        instance = QThreeSatInstance(paper_example_formula(), ("x1",))
+        repaired = instance.with_guard_clauses()
+        assert not repaired.universal_inside_some_clause()
+        assert evaluate_by_expansion(instance) == evaluate_by_expansion(repaired)
+
+
+class TestEvaluators:
+    def test_empty_universal_set_reduces_to_sat(self):
+        satisfiable = QThreeSatInstance(paper_example_formula(), ())
+        assert evaluate_by_expansion(satisfiable)
+        unsatisfiable = QThreeSatInstance(forced_unsatisfiable(3), ())
+        assert not evaluate_by_expansion(unsatisfiable)
+
+    def test_all_variables_universal_means_tautology_check(self):
+        formula = CNFFormula.of("x | y | z")
+        instance = QThreeSatInstance(formula, tuple(formula.variables))
+        assert not evaluate_by_expansion(instance)  # all-false falsifies it
+
+    def test_counterexample_is_a_real_counterexample(self):
+        instance = canonical_false_q3sat()
+        counterexample = find_universal_counterexample(instance)
+        assert counterexample is not None
+        from repro.sat import is_satisfiable
+
+        assert not is_satisfiable(instance.formula.restrict(counterexample))
+
+    def test_true_instance_has_no_counterexample(self):
+        assert find_universal_counterexample(planted_true_q3sat(2, seed=1)) is None
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pruning_evaluator_agrees_with_expansion(self, seed):
+        instance = random_q3sat(5, 8, 2, seed=seed)
+        assert evaluate_with_pruning(instance) == evaluate_by_expansion(instance)
+
+    def test_pruning_evaluator_on_planted_instances(self):
+        assert evaluate_with_pruning(planted_true_q3sat(3, seed=2))
+        assert not evaluate_with_pruning(planted_false_q3sat(3, seed=2))
+
+
+class TestGenerators:
+    def test_planted_true_is_true(self):
+        for universal in (1, 2, 4):
+            instance = planted_true_q3sat(universal, seed=universal)
+            assert evaluate_by_expansion(instance)
+            assert len(instance.universal) == universal
+
+    def test_planted_false_is_false(self):
+        for universal in (3, 4, 5):
+            instance = planted_false_q3sat(universal, seed=universal)
+            assert not evaluate_by_expansion(instance)
+            assert len(instance.universal) == universal
+
+    def test_planted_false_needs_three_universal(self):
+        with pytest.raises(ValueError):
+            planted_false_q3sat(2)
+
+    def test_planted_true_needs_one_universal(self):
+        with pytest.raises(ValueError):
+            planted_true_q3sat(0)
+
+    def test_canonical_false_shape(self):
+        instance = canonical_false_q3sat()
+        assert instance.formula.num_clauses == 4
+        assert instance.formula.num_variables == 4
+        assert not evaluate_by_expansion(instance)
+        assert instance.satisfies_proposition4_restrictions()
+
+    def test_extra_clauses_do_not_change_truth(self):
+        assert evaluate_by_expansion(planted_true_q3sat(2, extra_clauses=3, seed=0))
+        assert not evaluate_by_expansion(planted_false_q3sat(3, extra_clauses=3, seed=0))
+
+    def test_random_q3sat_shape(self):
+        instance = random_q3sat(6, 9, 3, seed=5)
+        assert instance.formula.num_clauses == 9
+        assert len(instance.universal) == 3
+
+    def test_random_q3sat_too_many_universal_rejected(self):
+        with pytest.raises(ValueError):
+            random_q3sat(4, 5, 6)
+
+    def test_paper_style_partition(self):
+        instance = paper_style_partition(paper_example_formula(), 2, seed=3)
+        assert len(instance.universal) == 2
+        assert set(instance.universal) <= set(paper_example_formula().variables)
+        with pytest.raises(ValueError):
+            paper_style_partition(paper_example_formula(), 99)

@@ -1,0 +1,62 @@
+"""Tests for the attribute-naming and symbol conventions of the construction."""
+
+import pytest
+
+from repro.reductions import (
+    BLANK,
+    COMMON_U,
+    EXTRA_TAG,
+    MARK,
+    SAT_TAG,
+    clause_attribute,
+    clause_u_value,
+    pair_attribute,
+    variable_attribute,
+)
+
+
+class TestSymbols:
+    def test_symbols_are_pairwise_distinct(self):
+        symbols = {BLANK, MARK, SAT_TAG, EXTRA_TAG, COMMON_U, 0, 1}
+        assert len(symbols) == 7
+
+    def test_truth_values_are_ints(self):
+        # The paper's 0/1 entries are represented as integers so variable
+        # columns read naturally as bits.
+        from repro.reductions import FALSE, TRUE
+
+        assert TRUE == 1 and FALSE == 0
+
+
+class TestAttributeNaming:
+    def test_clause_and_variable_attributes(self):
+        assert clause_attribute(3) == "F3"
+        assert variable_attribute(5) == "X5"
+        assert clause_attribute(3, suffix="p") == "F3p"
+
+    def test_pair_attribute_normalises_order(self):
+        assert pair_attribute(1, 2) == pair_attribute(2, 1) == "Y_1_2"
+
+    def test_pair_attribute_rejects_equal_indices(self):
+        with pytest.raises(ValueError):
+            pair_attribute(2, 2)
+
+    def test_clause_u_values_are_distinct_per_clause(self):
+        values = {clause_u_value(i) for i in range(1, 6)}
+        assert len(values) == 5
+        assert COMMON_U not in values
+
+    def test_attribute_names_are_parseable_by_the_expression_syntax(self):
+        # The names avoid braces/commas so every generated expression can be
+        # re-parsed; this is relied on by the textual round-trip tests.
+        import re
+
+        token = re.compile(r"^[A-Za-z_][A-Za-z_0-9']*$")
+        for name in (
+            clause_attribute(12),
+            variable_attribute(7),
+            pair_attribute(3, 11),
+            clause_attribute(2, suffix="p"),
+            pair_attribute(1, 2, suffix="p"),
+        ):
+            assert token.match(name), name

@@ -1,0 +1,219 @@
+"""Unit tests for the Section 3 construction (R_G and φ_G), Lemma 1, Proposition 1."""
+
+import pytest
+
+from repro.expressions import Join, Projection, evaluate
+from repro.reductions import (
+    BLANK,
+    EXTRA_TAG,
+    MARK,
+    RGConstruction,
+    SAT_TAG,
+)
+from repro.sat import (
+    CNFFormula,
+    count_models,
+    enumerate_models,
+    forced_unsatisfiable,
+    is_satisfiable,
+    paper_example_formula,
+    planted_satisfiable,
+    random_three_cnf,
+)
+
+
+@pytest.fixture(scope="module")
+def example():
+    return RGConstruction(paper_example_formula())
+
+
+class TestShape:
+    def test_relation_size_is_7m_plus_1(self, example):
+        assert len(example.relation) == 22 == example.predicted_relation_size()
+
+    def test_column_count_matches_formula(self, example):
+        assert len(example.scheme) == 12 == example.predicted_column_count()
+
+    def test_scheme_pieces(self, example):
+        assert example.clause_scheme.names == ("F1", "F2", "F3")
+        assert example.variable_scheme.names == ("X1", "X2", "X3", "X4", "X5")
+        assert example.pair_scheme.names == ("Y_1_2", "Y_1_3", "Y_2_3")
+        assert example.s_attribute == "S"
+
+    def test_clause_projection_schemes(self, example):
+        assert set(example.clause_projection_scheme(1).names) == {
+            "F1", "X1", "X2", "X3", "Y_1_2", "Y_1_3", "S",
+        }
+        assert set(example.clause_projection_scheme(2).names) == {
+            "F2", "X2", "X3", "X4", "Y_1_2", "Y_2_3", "S",
+        }
+
+    def test_expression_is_join_of_projections(self, example):
+        assert isinstance(example.expression, Join)
+        assert len(example.expression.parts) == 4
+        assert all(isinstance(part, Projection) for part in example.expression.parts)
+
+    def test_projection_schemes_cover_everything(self, example):
+        union = example.projection_schemes()[0]
+        for scheme in example.projection_schemes()[1:]:
+            union = union.union(scheme)
+        assert union == example.scheme
+
+    def test_variable_column_round_trip(self, example):
+        assert example.variable_column("x3") == "X3"
+        assert example.column_variable("X3") == "x3"
+        with pytest.raises(KeyError):
+            example.column_variable("nope")
+
+    def test_requires_strict_three_cnf(self):
+        with pytest.raises(ValueError):
+            RGConstruction(CNFFormula.of("x1 | x2"))
+
+    def test_requires_minimum_clauses(self):
+        with pytest.raises(ValueError):
+            RGConstruction(CNFFormula.of("x1 | x2 | x3"))
+
+    def test_suffix_makes_schemes_disjoint(self):
+        plain = RGConstruction(paper_example_formula())
+        primed = RGConstruction(paper_example_formula(), suffix="p")
+        assert plain.scheme.is_disjoint_from(primed.scheme)
+
+
+class TestTupleStructure:
+    def test_special_tuple_present(self, example):
+        special = [t for t in example.relation if t["S"] == EXTRA_TAG]
+        assert len(special) == 1
+        tup = special[0]
+        assert all(tup[f] == 1 for f in example.clause_scheme.names)
+        assert all(tup[x] == BLANK for x in example.variable_scheme.names)
+        assert all(tup[y] == BLANK for y in example.pair_scheme.names)
+
+    def test_seven_tuples_per_clause(self, example):
+        for clause_attribute in example.clause_scheme.names:
+            owned = [
+                t
+                for t in example.relation
+                if t[clause_attribute] == 1 and t["S"] == SAT_TAG
+            ]
+            assert len(owned) == 7
+
+    def test_clause_tuples_mark_pair_columns(self, example):
+        for tup in example.relation:
+            if tup["S"] != SAT_TAG:
+                continue
+            owner = [f for f in example.clause_scheme.names if tup[f] == 1]
+            assert len(owner) == 1
+            clause_index = int(owner[0][1:])
+            for pair in example.pair_scheme.names:
+                _, first, second = pair.split("_")
+                expected = MARK if clause_index in (int(first), int(second)) else BLANK
+                assert tup[pair] == expected
+
+    def test_clause_tuples_encode_satisfying_clause_assignments(self, example):
+        formula = example.formula
+        for clause_index, clause in enumerate(formula.clauses, start=1):
+            attribute = f"F{clause_index}"
+            for tup in example.relation:
+                if tup[attribute] != 1 or tup["S"] != SAT_TAG:
+                    continue
+                assignment = {
+                    variable: bool(tup[example.variable_column(variable)])
+                    for variable in clause.variable_tuple()
+                }
+                assert clause.evaluate(assignment)
+
+    def test_falsifying_tuple_encodes_the_one_bad_assignment(self, example):
+        falsifying = example.falsifying_tuple(1)
+        clause = example.formula.clauses[0]
+        assignment = {
+            variable: bool(falsifying[example.variable_column(variable)])
+            for variable in clause.variable_tuple()
+        }
+        assert not clause.evaluate(assignment)
+        assert falsifying not in example.relation
+
+
+class TestLemma1:
+    def test_paper_example(self, example):
+        result = evaluate(example.expression, example.relation)
+        assert result == example.expected_result()
+        assert len(result) == 22 + 20
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_satisfiable_formulas(self, seed):
+        formula, _ = planted_satisfiable(5, 4, seed=seed)
+        construction = RGConstruction(formula)
+        result = evaluate(construction.expression, construction.relation)
+        assert result == construction.expected_result()
+        # Model counting must use the construction's own (occurring-variable)
+        # formula presentation, which is what Lemma 1 is stated over.
+        assert len(result) == construction.predicted_result_size(
+            count_models(construction.formula)
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_unsatisfiable_formulas(self, seed):
+        formula = forced_unsatisfiable(4, extra_random_clauses=seed, seed=seed)
+        construction = RGConstruction(formula)
+        result = evaluate(construction.expression, construction.relation)
+        assert result == construction.relation
+        assert result == construction.expected_result()
+
+    def test_assignment_decoding_round_trip(self, example):
+        for model in enumerate_models(example.formula):
+            tup = example.satisfying_assignment_tuple(model)
+            assert example.assignment_of_tuple(tup) == model
+
+    def test_non_assignment_tuple_decodes_to_none(self, example):
+        special = next(t for t in example.relation if t["S"] == EXTRA_TAG)
+        assert example.assignment_of_tuple(special) is None
+
+
+class TestProposition1:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pair_projection_gains_u_g_iff_satisfiable(self, seed):
+        satisfiable, _ = planted_satisfiable(5, 4, seed=seed)
+        unsatisfiable = forced_unsatisfiable(4, seed=seed)
+        for formula in (satisfiable, unsatisfiable):
+            construction = RGConstruction(formula)
+            projection = evaluate(
+                construction.pair_projection_expression(), construction.relation
+            )
+            expected = construction.expected_pair_projection(is_satisfiable(formula))
+            assert projection == expected
+            gained_u_g = construction.u_g_tuple() in projection
+            assert gained_u_g == is_satisfiable(formula)
+
+    def test_pair_projection_size_is_m_plus_1(self, example):
+        assert example.pair_projection_size() == example.formula.num_clauses + 1
+
+
+class TestTheorem45Variants:
+    def test_relation_with_falsifying_tuples_size(self, example):
+        extended = example.relation_with_falsifying_tuples()
+        assert len(extended) == len(example.relation) + example.formula.num_clauses
+
+    def test_relation_with_u_column(self, example):
+        extended = example.relation_with_u_column()
+        assert example.u_attribute in extended.scheme
+        assert len(extended) == len(example.relation) + example.formula.num_clauses
+        u_values = extended.column_values(example.u_attribute)
+        # One shared constant plus one distinct constant per clause.
+        assert len(u_values) == example.formula.num_clauses + 1
+
+    def test_phi_two_keeps_u_in_every_clause_factor(self, example):
+        phi_two = example.phi_two_expression()
+        clause_factors = phi_two.parts[1:]
+        assert all(example.u_attribute in part.target_scheme() for part in clause_factors)
+        phi_one = example.phi_one_expression()
+        assert all(
+            example.u_attribute not in part.target_scheme() for part in phi_one.parts
+        )
+
+    def test_phi_one_on_plain_relation_scheme_rejected(self, example):
+        # φ¹ expects the extended scheme T′ (with U); binding the plain R_G
+        # must be rejected by the evaluator's scheme check.
+        from repro.expressions import ExpressionError
+
+        with pytest.raises(ExpressionError):
+            evaluate(example.phi_one_expression(), example.relation)

@@ -1,0 +1,76 @@
+"""Unit tests for truth assignments."""
+
+import pytest
+
+from repro.sat import Assignment, all_assignments
+
+
+class TestAssignment:
+    def test_of_and_getitem(self):
+        assignment = Assignment.of(x1=True, x2=False)
+        assert assignment["x1"] is True
+        assert assignment["x2"] is False
+
+    def test_values_coerced_to_bool(self):
+        assignment = Assignment({"x": 1, "y": 0})
+        assert assignment["x"] is True and assignment["y"] is False
+
+    def test_from_bits(self):
+        assignment = Assignment.from_bits(["a", "b", "c"], [1, 0, 1])
+        assert assignment.as_bits(["a", "b", "c"]) == (1, 0, 1)
+
+    def test_from_bits_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Assignment.from_bits(["a", "b"], [1])
+
+    def test_equality_with_plain_mapping(self):
+        assert Assignment.of(x=True) == {"x": True}
+        assert Assignment.of(x=True) == Assignment({"x": 1})
+
+    def test_hashable(self):
+        assert len({Assignment.of(x=True), Assignment.of(x=True)}) == 1
+
+    def test_restrict(self):
+        assignment = Assignment.of(x=True, y=False, z=True)
+        assert dict(assignment.restrict(["x", "z"])) == {"x": True, "z": True}
+
+    def test_extend_compatible(self):
+        merged = Assignment.of(x=True).extend({"y": False})
+        assert dict(merged) == {"x": True, "y": False}
+
+    def test_extend_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            Assignment.of(x=True).extend({"x": False})
+
+    def test_is_total_for(self):
+        assignment = Assignment.of(x=True, y=False)
+        assert assignment.is_total_for(["x", "y"])
+        assert not assignment.is_total_for(["x", "z"])
+
+    def test_flipped(self):
+        assignment = Assignment.of(x=True)
+        assert assignment.flipped("x")["x"] is False
+        with pytest.raises(KeyError):
+            assignment.flipped("missing")
+
+    def test_variables(self):
+        assert Assignment.of(x=True, y=False).variables == frozenset({"x", "y"})
+
+
+class TestAllAssignments:
+    def test_count_is_power_of_two(self):
+        assert len(list(all_assignments(["a", "b", "c"]))) == 8
+
+    def test_all_distinct(self):
+        assignments = list(all_assignments(["a", "b", "c"]))
+        assert len(set(assignments)) == 8
+
+    def test_order_most_significant_first(self):
+        assignments = list(all_assignments(["a", "b"]))
+        bits = [assignment.as_bits(["a", "b"]) for assignment in assignments]
+        assert bits == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_empty_variable_list_yields_single_empty_assignment(self):
+        assignments = list(all_assignments([]))
+        assert len(assignments) == 1
+        assert len(assignments[0]) == 0

@@ -1,0 +1,119 @@
+"""Unit tests for CNF formulas and parsing."""
+
+import pytest
+
+from repro.sat import Clause, CNFFormula, Literal, is_three_cnf, parse_formula
+
+
+EXAMPLE = CNFFormula.of("x1 | x2 | x3", "~x2 | x3 | ~x4", "~x3 | ~x4 | ~x5")
+
+
+class TestConstruction:
+    def test_of_from_strings(self):
+        assert EXAMPLE.num_clauses == 3
+        assert EXAMPLE.num_variables == 5
+
+    def test_variables_in_first_occurrence_order(self):
+        assert EXAMPLE.variables == ("x1", "x2", "x3", "x4", "x5")
+
+    def test_explicit_variable_order(self):
+        formula = CNFFormula.of("x2 | x1 | x3").with_variables(["x1", "x2", "x3"])
+        assert formula.variables == ("x1", "x2", "x3")
+
+    def test_explicit_order_must_cover_all_variables(self):
+        with pytest.raises(ValueError):
+            CNFFormula(EXAMPLE.clauses, ["x1", "x2"])
+
+    def test_explicit_order_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            CNFFormula(EXAMPLE.clauses, ["x1", "x1", "x2", "x3", "x4", "x5"])
+
+    def test_extra_declared_variables_allowed(self):
+        formula = CNFFormula.of("x1 | x2 | x3").with_variables(["x1", "x2", "x3", "x9"])
+        assert "x9" in formula.variables
+        assert formula.num_variables == 4
+
+
+class TestParsing:
+    def test_parse_with_parentheses_and_ampersand(self):
+        parsed = parse_formula("(x1 | x2 | x3) & (~x2 | x3 | ~x4) & (~x3 | ~x4 | ~x5)")
+        assert parsed == EXAMPLE
+
+    def test_parse_newline_separated(self):
+        parsed = CNFFormula.parse("x1 | x2 | x3\n~x2 | x3 | ~x4\n~x3 | ~x4 | ~x5")
+        assert parsed.num_clauses == 3
+
+    def test_parse_plus_notation_like_paper(self):
+        parsed = parse_formula("(x1 + x2 + x3) & (~x2 + x3 + ~x4)")
+        assert parsed.num_clauses == 2
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_formula("   ")
+
+
+class TestLogic:
+    def test_evaluate(self):
+        model = {"x1": True, "x2": False, "x3": False, "x4": False, "x5": False}
+        assert EXAMPLE.evaluate(model)
+        falsifier = {"x1": False, "x2": False, "x3": False, "x4": False, "x5": False}
+        assert not EXAMPLE.evaluate(falsifier)
+
+    def test_status_three_valued(self):
+        assert EXAMPLE.status({}) is None
+        assert EXAMPLE.status({"x1": False, "x2": False, "x3": False}) is False
+        assert (
+            EXAMPLE.status({"x1": True, "x2": False, "x3": False, "x4": False, "x5": False})
+            is True
+        )
+
+    def test_restrict_drops_satisfied_clauses(self):
+        restricted = EXAMPLE.restrict({"x1": True})
+        assert restricted.num_clauses == 2
+        assert "x1" not in restricted.variables
+
+    def test_restrict_keeps_conflict_as_empty_clause(self):
+        formula = CNFFormula.of("x1 | x2 | x3")
+        restricted = formula.restrict({"x1": False, "x2": False, "x3": False})
+        assert restricted.num_clauses == 1
+        assert len(restricted.clauses[0]) == 0
+
+    def test_clause_variables_lookup(self):
+        assert EXAMPLE.clause_variables(1) == ("x2", "x3", "x4")
+
+    def test_variable_occurrences(self):
+        occurrences = EXAMPLE.variable_occurrences()
+        assert occurrences["x3"] == 3
+        assert occurrences["x1"] == 1
+
+    def test_extended(self):
+        extended = EXAMPLE.extended([Clause.of("x6", "x7", "x8")])
+        assert extended.num_clauses == 4
+        assert "x8" in extended.variables
+
+
+class TestThreeCnfChecks:
+    def test_strict_three_cnf_accepted(self):
+        assert is_three_cnf(EXAMPLE)
+        EXAMPLE.require_three_cnf(minimum_clauses=3)
+
+    def test_wrong_width_rejected(self):
+        formula = CNFFormula.of("x1 | x2")
+        assert not is_three_cnf(formula)
+        with pytest.raises(ValueError):
+            formula.require_three_cnf()
+
+    def test_repeated_variable_rejected(self):
+        formula = CNFFormula.of("x1 | ~x1 | x2")
+        assert not is_three_cnf(formula)
+
+    def test_minimum_clause_count_enforced(self):
+        formula = CNFFormula.of("x1 | x2 | x3")
+        with pytest.raises(ValueError):
+            formula.require_three_cnf(minimum_clauses=3)
+
+    def test_equality_and_hash(self):
+        assert EXAMPLE == CNFFormula.of("x1 | x2 | x3", "~x2 | x3 | ~x4", "~x3 | ~x4 | ~x5")
+        assert hash(EXAMPLE) == hash(
+            CNFFormula.of("x1 | x2 | x3", "~x2 | x3 | ~x4", "~x3 | ~x4 | ~x5")
+        )

@@ -1,0 +1,63 @@
+"""Unit tests for model counting and enumeration."""
+
+import pytest
+
+from repro.sat import (
+    CNFFormula,
+    count_models,
+    count_models_bruteforce,
+    enumerate_models,
+    forced_unsatisfiable,
+    paper_example_formula,
+    random_three_cnf,
+)
+
+
+class TestBruteForceAndEnumeration:
+    def test_paper_example_has_twenty_models(self):
+        assert count_models_bruteforce(paper_example_formula()) == 20
+
+    def test_enumeration_yields_only_models(self):
+        formula = paper_example_formula()
+        models = list(enumerate_models(formula))
+        assert len(models) == 20
+        assert all(formula.evaluate(model) for model in models)
+
+    def test_enumeration_is_duplicate_free(self):
+        models = list(enumerate_models(paper_example_formula()))
+        assert len(set(models)) == len(models)
+
+    def test_single_clause_count(self):
+        assert count_models_bruteforce(CNFFormula.of("x | y | z")) == 7
+
+    def test_unsatisfiable_count_is_zero(self):
+        assert count_models_bruteforce(forced_unsatisfiable(3)) == 0
+
+
+class TestComponentCounter:
+    def test_matches_bruteforce_on_paper_example(self):
+        assert count_models(paper_example_formula()) == 20
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_bruteforce_on_random_formulas(self, seed):
+        formula = random_three_cnf(7, 14, seed=seed)
+        assert count_models(formula) == count_models_bruteforce(formula)
+
+    def test_unconstrained_variables_double_the_count(self):
+        base = CNFFormula.of("x | y | z")
+        padded = base.with_variables(["x", "y", "z", "free1", "free2"])
+        assert count_models(padded) == 7 * 4
+
+    def test_disjoint_components_multiply(self):
+        formula = CNFFormula.of("a | b | c", "p | q | r")
+        assert count_models(formula) == 49
+
+    def test_unsatisfiable_component_zeroes_everything(self):
+        formula = forced_unsatisfiable(3).extended(
+            CNFFormula.of("p | q | r").clauses
+        )
+        assert count_models(formula) == 0
+
+    def test_unit_clause_halves_space(self):
+        formula = CNFFormula.of("x").with_variables(["x", "y"])
+        assert count_models(formula) == 2

@@ -1,0 +1,71 @@
+"""Unit tests for DIMACS parsing and serialisation."""
+
+import pytest
+
+from repro.sat import (
+    CNFFormula,
+    count_models_bruteforce,
+    parse_dimacs,
+    random_three_cnf,
+    to_dimacs,
+)
+
+
+SAMPLE = """c a comment
+p cnf 3 2
+1 -2 3 0
+-1 2 -3 0
+"""
+
+
+class TestParse:
+    def test_basic_parse(self):
+        formula = parse_dimacs(SAMPLE)
+        assert formula.num_clauses == 2
+        assert formula.num_variables == 3
+        assert formula.variables == ("x1", "x2", "x3")
+
+    def test_polarity(self):
+        formula = parse_dimacs(SAMPLE)
+        first = formula.clauses[0]
+        literals = {(l.variable, l.positive) for l in first}
+        assert ("x2", False) in literals and ("x1", True) in literals
+
+    def test_clause_spanning_multiple_lines(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        formula = parse_dimacs(text)
+        assert formula.num_clauses == 1
+        assert len(formula.clauses[0]) == 3
+
+    def test_declared_variables_beyond_used(self):
+        text = "p cnf 5 1\n1 2 3 0\n"
+        assert parse_dimacs(text).num_variables == 5
+
+    def test_comments_and_percent_lines_ignored(self):
+        text = "c hi\n% ignored\np cnf 3 1\n1 2 3 0\n%\n0\n"
+        assert parse_dimacs(text).num_clauses == 1
+
+    def test_custom_prefix(self):
+        formula = parse_dimacs(SAMPLE, variable_prefix="v")
+        assert formula.variables == ("v1", "v2", "v3")
+
+
+class TestRoundTrip:
+    def test_emit_contains_problem_line(self):
+        formula = parse_dimacs(SAMPLE)
+        text = to_dimacs(formula, comments=["round trip"])
+        assert "p cnf 3 2" in text
+        assert "c round trip" in text
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_round_trip_preserves_model_count(self, seed):
+        formula = random_three_cnf(5, 8, seed=seed)
+        recovered = parse_dimacs(to_dimacs(formula))
+        assert recovered.num_clauses == formula.num_clauses
+        assert count_models_bruteforce(recovered) == count_models_bruteforce(formula)
+
+    def test_round_trip_preserves_clause_structure(self):
+        formula = CNFFormula.of("a | ~b | c", "~a | b | ~c")
+        recovered = parse_dimacs(to_dimacs(formula))
+        # Variable names change (x1, x2, ...) but widths and signs survive.
+        assert [len(c) for c in recovered.clauses] == [3, 3]

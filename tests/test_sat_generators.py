@@ -1,0 +1,93 @@
+"""Unit tests for the formula generators."""
+
+import pytest
+
+from repro.sat import (
+    count_models_bruteforce,
+    forced_unsatisfiable,
+    is_satisfiable,
+    paper_example_formula,
+    pigeonhole_formula,
+    planted_satisfiable,
+    random_three_cnf,
+)
+
+
+class TestRandomThreeCnf:
+    def test_shape(self):
+        formula = random_three_cnf(6, 10, seed=0)
+        assert formula.num_clauses == 10
+        assert formula.num_variables == 6
+        assert formula.is_three_cnf()
+
+    def test_deterministic_for_fixed_seed(self):
+        assert random_three_cnf(6, 10, seed=42) == random_three_cnf(6, 10, seed=42)
+
+    def test_different_seeds_differ(self):
+        assert random_three_cnf(6, 10, seed=1) != random_three_cnf(6, 10, seed=2)
+
+    def test_needs_three_variables(self):
+        with pytest.raises(ValueError):
+            random_three_cnf(2, 5)
+
+    def test_custom_prefix(self):
+        formula = random_three_cnf(4, 3, seed=0, prefix="v")
+        assert all(v.startswith("v") for v in formula.variables)
+
+
+class TestPlantedSatisfiable:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_planted_model_satisfies(self, seed):
+        formula, model = planted_satisfiable(6, 20, seed=seed)
+        assert formula.evaluate(model)
+        assert formula.num_clauses == 20
+        assert formula.is_three_cnf()
+
+    def test_needs_three_variables(self):
+        with pytest.raises(ValueError):
+            planted_satisfiable(2, 5)
+
+
+class TestForcedUnsatisfiable:
+    def test_core_block_is_unsatisfiable(self):
+        formula = forced_unsatisfiable(3)
+        assert formula.num_clauses == 8
+        assert not is_satisfiable(formula)
+        assert formula.is_three_cnf()
+
+    def test_extra_clauses_keep_it_unsatisfiable(self):
+        formula = forced_unsatisfiable(6, extra_random_clauses=5, seed=1)
+        assert formula.num_clauses == 13
+        assert not is_satisfiable(formula)
+
+    def test_needs_three_variables(self):
+        with pytest.raises(ValueError):
+            forced_unsatisfiable(2)
+
+
+class TestPigeonhole:
+    def test_unsatisfiable_and_three_cnf(self):
+        formula = pigeonhole_formula(2)
+        assert formula.is_three_cnf()
+        assert not is_satisfiable(formula)
+
+    def test_raw_form_keeps_binary_clauses(self):
+        raw = pigeonhole_formula(2, as_three_cnf=False)
+        assert any(len(clause) == 2 for clause in raw.clauses)
+        assert not is_satisfiable(raw)
+
+    def test_needs_a_hole(self):
+        with pytest.raises(ValueError):
+            pigeonhole_formula(0)
+
+
+class TestPaperExample:
+    def test_shape_matches_paper(self):
+        formula = paper_example_formula()
+        assert formula.num_clauses == 3
+        assert formula.num_variables == 5
+        assert formula.variables == ("x1", "x2", "x3", "x4", "x5")
+
+    def test_model_count_is_twenty(self):
+        # Twenty satisfying assignments; the Lemma 1 tests rely on it.
+        assert count_models_bruteforce(paper_example_formula()) == 20

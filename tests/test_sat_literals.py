@@ -1,0 +1,106 @@
+"""Unit tests for literals and clauses."""
+
+import pytest
+
+from repro.sat import Clause, Literal
+
+
+class TestLiteral:
+    def test_negation(self):
+        literal = Literal("x1")
+        assert (-literal).positive is False
+        assert -(-literal) == literal
+        assert literal.negated() == -literal
+
+    def test_empty_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Literal("")
+
+    def test_evaluate(self):
+        assert Literal("x").evaluate({"x": True})
+        assert not Literal("x", False).evaluate({"x": True})
+        with pytest.raises(KeyError):
+            Literal("x").evaluate({})
+
+    def test_satisfied_by_partial(self):
+        assert Literal("x").satisfied_by({}) is None
+        assert Literal("x").satisfied_by({"x": True}) is True
+        assert Literal("x", False).satisfied_by({"x": True}) is False
+
+    def test_parse(self):
+        assert Literal.parse("x1") == Literal("x1")
+        assert Literal.parse("~x1") == Literal("x1", False)
+        assert Literal.parse("-x1") == Literal("x1", False)
+        assert Literal.parse("¬x1") == Literal("x1", False)
+        with pytest.raises(ValueError):
+            Literal.parse("  ")
+
+    def test_str(self):
+        assert str(Literal("x")) == "x"
+        assert str(Literal("x", False)) == "~x"
+
+    def test_ordering_is_stable(self):
+        assert sorted([Literal("y"), Literal("x")])[0].variable == "x"
+
+
+class TestClause:
+    def test_of_and_parse(self):
+        via_of = Clause.of("x1", "~x2", "x3")
+        via_parse = Clause.parse("x1 | ~x2 | x3")
+        assert via_of == via_parse
+
+    def test_parse_alternative_separators(self):
+        assert Clause.parse("x1 + ~x2 + x3") == Clause.of("x1", "~x2", "x3")
+        assert Clause.parse("x1 v x2 v x3") == Clause.of("x1", "x2", "x3")
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Clause.parse("  ")
+
+    def test_duplicate_literals_removed(self):
+        clause = Clause.of("x1", "x1", "x2")
+        assert len(clause) == 2
+
+    def test_equality_ignores_order(self):
+        assert Clause.of("x1", "x2") == Clause.of("x2", "x1")
+        assert hash(Clause.of("x1", "x2")) == hash(Clause.of("x2", "x1"))
+
+    def test_non_literal_rejected(self):
+        with pytest.raises(TypeError):
+            Clause(["x1"])
+
+    def test_variables_and_variable_tuple(self):
+        clause = Clause.of("x2", "~x1", "x3")
+        assert clause.variables == frozenset({"x1", "x2", "x3"})
+        assert clause.variable_tuple() == ("x2", "x1", "x3")
+
+    def test_tautology_and_distinct_variables(self):
+        assert Clause.of("x1", "~x1").is_tautological()
+        assert not Clause.of("x1", "x2").is_tautological()
+        assert Clause.of("x1", "x2", "x3").has_distinct_variables()
+        assert not Clause.of("x1", "~x1", "x2").has_distinct_variables()
+
+    def test_evaluate_and_status(self):
+        clause = Clause.of("x1", "~x2")
+        assert clause.evaluate({"x1": False, "x2": False})
+        assert not clause.evaluate({"x1": False, "x2": True})
+        assert clause.status({}) is None
+        assert clause.status({"x1": True}) is True
+        assert clause.status({"x1": False, "x2": True}) is False
+
+    def test_seven_satisfying_assignments_for_three_distinct_variables(self):
+        clause = Clause.of("x1", "~x2", "x3")
+        satisfying = clause.satisfying_assignments()
+        assert len(satisfying) == 7
+        for assignment in satisfying:
+            assert clause.evaluate(assignment)
+
+    def test_falsifying_assignment_is_unique_complement(self):
+        clause = Clause.of("x1", "~x2", "x3")
+        falsifying = clause.falsifying_assignment()
+        assert falsifying == {"x1": False, "x2": True, "x3": False}
+        assert not clause.evaluate(falsifying)
+
+    def test_falsifying_assignment_needs_distinct_variables(self):
+        with pytest.raises(ValueError):
+            Clause.of("x1", "~x1", "x2").falsifying_assignment()

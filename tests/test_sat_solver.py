@@ -1,0 +1,85 @@
+"""Unit tests for the DPLL solver."""
+
+import pytest
+
+from repro.sat import (
+    CNFFormula,
+    DPLLSolver,
+    count_models_bruteforce,
+    find_model,
+    forced_unsatisfiable,
+    is_satisfiable,
+    paper_example_formula,
+    pigeonhole_formula,
+    planted_satisfiable,
+    random_three_cnf,
+)
+
+
+class TestBasicDecisions:
+    def test_paper_example_is_satisfiable(self):
+        result = DPLLSolver().solve(paper_example_formula())
+        assert result.satisfiable
+        assert result.model is not None
+        assert paper_example_formula().evaluate(result.model)
+
+    def test_single_clause(self):
+        assert is_satisfiable(CNFFormula.of("x | y | z"))
+
+    def test_contradiction_block_unsatisfiable(self):
+        assert not is_satisfiable(forced_unsatisfiable(3))
+
+    def test_unsatisfiable_has_no_model(self):
+        assert find_model(forced_unsatisfiable(3)) is None
+
+    def test_model_covers_all_variables(self):
+        formula = CNFFormula.of("x1 | x2 | x3").with_variables(
+            ["x1", "x2", "x3", "unused"]
+        )
+        model = find_model(formula)
+        assert model is not None
+        assert set(model.variables) == set(formula.variables)
+
+    def test_unit_propagation_chain(self):
+        # x1 forced true, which forces x2, which forces x3.
+        formula = CNFFormula.of("x1", "~x1 | x2", "~x2 | x3")
+        model = find_model(formula)
+        assert model == {"x1": True, "x2": True, "x3": True}
+
+    def test_conflict_through_propagation(self):
+        formula = CNFFormula.of("x1", "~x1 | x2", "~x2", )
+        assert not is_satisfiable(formula)
+
+    def test_pure_literal_rule_optional(self):
+        formula = random_three_cnf(6, 10, seed=4)
+        with_rule = DPLLSolver(use_pure_literal_rule=True).solve(formula)
+        without_rule = DPLLSolver(use_pure_literal_rule=False).solve(formula)
+        assert with_rule.satisfiable == without_rule.satisfiable
+
+    def test_statistics_are_reported(self):
+        result = DPLLSolver().solve(random_three_cnf(8, 30, seed=9))
+        assert result.decisions >= 0
+        assert result.propagations >= 0
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_formulas_agree_with_bruteforce(self, seed):
+        formula = random_three_cnf(6, 4 * 6, seed=seed)
+        assert is_satisfiable(formula) == (count_models_bruteforce(formula) > 0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_planted_formulas_are_satisfied_by_their_model(self, seed):
+        formula, planted = planted_satisfiable(7, 20, seed=seed)
+        assert formula.evaluate(planted)
+        assert is_satisfiable(formula)
+
+    def test_pigeonhole_is_unsatisfiable(self):
+        assert not is_satisfiable(pigeonhole_formula(2))
+
+    def test_returned_model_always_satisfies(self):
+        for seed in range(10):
+            formula = random_three_cnf(6, 18, seed=100 + seed)
+            model = find_model(formula)
+            if model is not None:
+                assert formula.evaluate(model)

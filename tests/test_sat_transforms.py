@@ -1,0 +1,157 @@
+"""Unit tests for formula transformations (3CNF normalisation, padding, guards)."""
+
+import pytest
+
+from repro.sat import (
+    CNFFormula,
+    add_universal_guard_clauses,
+    count_models_bruteforce,
+    ensure_minimum_clauses,
+    fresh_variable,
+    is_satisfiable,
+    pad_with_trivial_clauses,
+    paper_example_formula,
+    random_three_cnf,
+    to_strict_three_cnf,
+)
+
+
+class TestFreshVariable:
+    def test_avoids_used_names(self):
+        used = {"aux0", "aux1"}
+        name = fresh_variable(used)
+        assert name not in {"aux0", "aux1"}
+        assert name in used  # registered for the next call
+
+    def test_successive_calls_are_distinct(self):
+        used = set()
+        names = {fresh_variable(used) for _ in range(5)}
+        assert len(names) == 5
+
+
+class TestToStrictThreeCnf:
+    def test_already_strict_is_unchanged(self):
+        formula = paper_example_formula()
+        assert to_strict_three_cnf(formula) == formula
+
+    def test_result_is_strict(self):
+        messy = CNFFormula.of("x1", "x1 | x2", "x1 | ~x1 | x2", "a | b | c | d | e")
+        strict = to_strict_three_cnf(messy)
+        assert strict.is_three_cnf()
+
+    @pytest.mark.parametrize(
+        "clauses",
+        [
+            ("x1",),
+            ("x1 | x2",),
+            ("x1 | x2 | x3 | x4",),
+            ("x1 | x2 | x3 | x4 | x5 | x6",),
+            ("x1 | ~x1",),
+            ("x1", "~x1 | x2 | x3 | x4", "~x2"),
+        ],
+    )
+    def test_equisatisfiability(self, clauses):
+        original = CNFFormula.of(*clauses)
+        converted = to_strict_three_cnf(original)
+        assert is_satisfiable(original) == is_satisfiable(converted)
+
+    def test_unsatisfiable_stays_unsatisfiable(self):
+        original = CNFFormula.of("x1", "~x1")
+        converted = to_strict_three_cnf(original)
+        assert not is_satisfiable(converted)
+
+    def test_long_clause_chain_preserves_satisfiability_per_assignment(self):
+        # A single long clause: satisfiable, and the conversion must not make
+        # the all-false assignment (extended somehow) satisfiable.
+        original = CNFFormula.of("x1 | x2 | x3 | x4 | x5")
+        converted = to_strict_three_cnf(original)
+        assert is_satisfiable(converted)
+        all_false = {v: False for v in converted.variables}
+        assert not converted.evaluate(all_false)
+
+
+class TestEnsureMinimumClauses:
+    def test_no_change_when_enough(self):
+        formula = paper_example_formula()
+        assert ensure_minimum_clauses(formula, 3) is formula
+
+    def test_padding_added_when_short(self):
+        formula = CNFFormula.of("x1 | x2 | x3")
+        padded = ensure_minimum_clauses(formula, 3)
+        assert padded.num_clauses == 3
+        assert padded.is_three_cnf()
+
+    def test_padding_preserves_satisfiability_and_original_models(self):
+        formula = CNFFormula.of("x1 | x2 | x3")
+        padded = ensure_minimum_clauses(formula, 4)
+        assert is_satisfiable(padded)
+        # The original variables' satisfying patterns are unchanged: for any
+        # model of the padded formula, its restriction satisfies the original.
+        assert count_models_bruteforce(formula) == 7
+
+
+class TestPadWithTrivialClauses:
+    def test_clause_count_grows(self):
+        formula = paper_example_formula()
+        padded = pad_with_trivial_clauses(formula, 2)
+        assert padded.num_clauses == formula.num_clauses + 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            pad_with_trivial_clauses(paper_example_formula(), -1)
+
+    def test_satisfiability_preserved(self):
+        satisfiable = paper_example_formula()
+        assert is_satisfiable(pad_with_trivial_clauses(satisfiable, 3))
+        unsatisfiable = CNFFormula.of("x1", "~x1")
+        assert not is_satisfiable(pad_with_trivial_clauses(unsatisfiable, 3))
+
+    def test_padding_variables_are_fresh(self):
+        formula = paper_example_formula()
+        padded = pad_with_trivial_clauses(formula, 1)
+        new_variables = set(padded.variables) - set(formula.variables)
+        assert len(new_variables) == 3
+
+    def test_model_count_multiplies_by_seven_per_clause(self):
+        formula = random_three_cnf(4, 5, seed=1)
+        padded = pad_with_trivial_clauses(formula, 1)
+        assert count_models_bruteforce(padded) == 7 * count_models_bruteforce(formula)
+
+
+class TestGuardClauses:
+    def test_two_clauses_and_two_universal_variables_added(self):
+        formula = paper_example_formula()
+        extended, universal = add_universal_guard_clauses(formula, ["x1"])
+        assert extended.num_clauses == formula.num_clauses + 2
+        assert len(universal) == 3
+        assert universal[0] == "x1"
+
+    def test_first_restriction_fixed_by_guards(self):
+        from repro.qbf import QThreeSatInstance
+
+        formula = paper_example_formula()
+        # X = {x1} is contained in the first clause's variable set; the guard
+        # clauses add universal variables outside every original clause, which
+        # repairs exactly that restriction.
+        assert QThreeSatInstance(formula, ("x1",)).universal_inside_some_clause()
+        extended, universal = add_universal_guard_clauses(formula, ["x1"])
+        instance = QThreeSatInstance(extended, universal)
+        assert instance.satisfies_proposition4_restrictions()
+
+    def test_second_restriction_is_not_affected_by_guards(self):
+        from repro.qbf import QThreeSatInstance
+
+        # X covering a whole clause stays trivially false; guards cannot (and
+        # per Proposition 4 need not) repair that.
+        formula = paper_example_formula()
+        extended, universal = add_universal_guard_clauses(formula, ["x1", "x2", "x3"])
+        assert QThreeSatInstance(extended, universal).universal_contains_some_clause()
+
+    def test_truth_value_preserved(self):
+        from repro.qbf import QThreeSatInstance, evaluate_by_expansion
+
+        formula = paper_example_formula()
+        original = QThreeSatInstance(formula, ("x1",))
+        extended, universal = add_universal_guard_clauses(formula, ("x1",))
+        transformed = QThreeSatInstance(extended, universal)
+        assert evaluate_by_expansion(original) == evaluate_by_expansion(transformed)

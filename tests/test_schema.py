@@ -1,0 +1,130 @@
+"""Unit tests for repro.algebra.schema."""
+
+import pytest
+
+from repro.algebra import (
+    Attribute,
+    DatabaseScheme,
+    RelationScheme,
+    SchemeError,
+    as_scheme,
+)
+
+
+class TestRelationSchemeConstruction:
+    def test_of_builds_ordered_scheme(self):
+        scheme = RelationScheme.of("A", "B", "C")
+        assert scheme.names == ("A", "B", "C")
+
+    def test_from_string_whitespace(self):
+        assert RelationScheme.from_string("A B C").names == ("A", "B", "C")
+
+    def test_from_string_commas(self):
+        assert RelationScheme.from_string("A, B, C").names == ("A", "B", "C")
+
+    def test_from_string_custom_separator(self):
+        assert RelationScheme.from_string("A;B;C", separator=";").names == ("A", "B", "C")
+
+    def test_from_string_empty_rejected(self):
+        with pytest.raises(SchemeError):
+            RelationScheme.from_string("   ")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemeError):
+            RelationScheme.of("A", "B", "A")
+
+    def test_accepts_attribute_objects(self):
+        scheme = RelationScheme([Attribute("A"), "B"])
+        assert scheme.names == ("A", "B")
+
+
+class TestRelationSchemeSetSemantics:
+    def test_equality_ignores_order(self):
+        assert RelationScheme.of("A", "B") == RelationScheme.of("B", "A")
+
+    def test_hash_ignores_order(self):
+        assert hash(RelationScheme.of("A", "B")) == hash(RelationScheme.of("B", "A"))
+
+    def test_len_and_iteration(self):
+        scheme = RelationScheme.of("A", "B", "C")
+        assert len(scheme) == 3
+        assert [a.name for a in scheme] == ["A", "B", "C"]
+
+    def test_contains_string_and_attribute(self):
+        scheme = RelationScheme.of("A", "B")
+        assert "A" in scheme
+        assert Attribute("B") in scheme
+        assert "C" not in scheme
+
+    def test_attribute_lookup(self):
+        scheme = RelationScheme.of("A", "B")
+        assert scheme.attribute("A").name == "A"
+        with pytest.raises(SchemeError):
+            scheme.attribute("Z")
+
+
+class TestRelationSchemeAlgebra:
+    def test_union_preserves_left_order(self):
+        union = RelationScheme.of("A", "B").union(RelationScheme.of("B", "C"))
+        assert union.names == ("A", "B", "C")
+
+    def test_intersection(self):
+        left = RelationScheme.of("A", "B", "C")
+        assert left.intersection(RelationScheme.of("B", "C", "D")).names == ("B", "C")
+
+    def test_difference(self):
+        left = RelationScheme.of("A", "B", "C")
+        assert left.difference(RelationScheme.of("B")).names == ("A", "C")
+
+    def test_is_subscheme_of(self):
+        assert RelationScheme.of("A").is_subscheme_of(RelationScheme.of("A", "B"))
+        assert not RelationScheme.of("A", "Z").is_subscheme_of(RelationScheme.of("A", "B"))
+
+    def test_restrict_keeps_requested_order(self):
+        scheme = RelationScheme.of("A", "B", "C")
+        assert scheme.restrict(["C", "A"]).names == ("C", "A")
+
+    def test_restrict_missing_attribute_rejected(self):
+        with pytest.raises(SchemeError):
+            RelationScheme.of("A").restrict(["B"])
+
+    def test_renamed(self):
+        scheme = RelationScheme.of("A", "B").renamed({"A": "Z"})
+        assert scheme.names == ("Z", "B")
+
+    def test_renamed_missing_source_rejected(self):
+        with pytest.raises(SchemeError):
+            RelationScheme.of("A").renamed({"Q": "Z"})
+
+    def test_is_disjoint_from(self):
+        assert RelationScheme.of("A").is_disjoint_from(RelationScheme.of("B"))
+        assert not RelationScheme.of("A", "B").is_disjoint_from(RelationScheme.of("B"))
+
+    def test_as_scheme_coercions(self):
+        scheme = RelationScheme.of("A", "B")
+        assert as_scheme(scheme) is scheme
+        assert as_scheme("A B") == scheme
+        assert as_scheme(["A", "B"]) == scheme
+
+
+class TestDatabaseScheme:
+    def test_lookup_and_len(self):
+        database_scheme = DatabaseScheme({"R": "A B", "S": "B C"})
+        assert len(database_scheme) == 2
+        assert database_scheme.scheme_of("R") == RelationScheme.of("A", "B")
+
+    def test_missing_relation_rejected(self):
+        with pytest.raises(SchemeError):
+            DatabaseScheme({"R": "A B"}).scheme_of("T")
+
+    def test_contains_and_names(self):
+        database_scheme = DatabaseScheme({"R": "A B", "S": "B C"})
+        assert "R" in database_scheme
+        assert database_scheme.relation_names == ("R", "S")
+
+    def test_all_attributes_union(self):
+        database_scheme = DatabaseScheme({"R": "A B", "S": "B C"})
+        assert database_scheme.all_attributes() == RelationScheme.of("A", "B", "C")
+
+    def test_equality(self):
+        assert DatabaseScheme({"R": "A B"}) == DatabaseScheme({"R": "B A"})

@@ -1,0 +1,122 @@
+"""Unit tests for tableau construction and semantics."""
+
+import pytest
+
+from repro.algebra import Relation, RelationTuple
+from repro.expressions import Join, Operand, Projection, evaluate
+from repro.tableaux import (
+    Constant,
+    DistinguishedVariable,
+    NondistinguishedVariable,
+    Tableau,
+    TableauRow,
+    tableau_of_expression,
+)
+from repro.workloads import random_instance
+
+R = Relation.from_rows("A B C", [(1, 2, 3), (1, 2, 4), (2, 5, 3)], name="R")
+BASE = Operand("R", "A B C")
+
+
+class TestTranslation:
+    def test_operand_tableau_has_one_row(self):
+        tableau = tableau_of_expression(BASE)
+        assert len(tableau.rows) == 1
+        assert tableau.rows[0].operand == "R"
+
+    def test_distinguished_cells_follow_target_scheme(self):
+        expression = Projection("A B", BASE)
+        tableau = tableau_of_expression(expression)
+        assert set(tableau.summary) == {"A", "B"}
+        assert all(
+            isinstance(cell, DistinguishedVariable) for cell in tableau.summary.values()
+        )
+
+    def test_projected_away_attributes_become_nondistinguished(self):
+        expression = Projection("A", BASE)
+        tableau = tableau_of_expression(expression)
+        row = tableau.rows[0]
+        assert isinstance(row.cell("A"), DistinguishedVariable)
+        assert isinstance(row.cell("B"), NondistinguishedVariable)
+        assert isinstance(row.cell("C"), NondistinguishedVariable)
+
+    def test_join_produces_one_row_per_operand_occurrence(self):
+        expression = Join([Projection("A B", BASE), Projection("B C", BASE)])
+        tableau = tableau_of_expression(expression)
+        assert len(tableau.rows) == 2
+
+    def test_shared_visible_attribute_uses_same_cell(self):
+        expression = Join([Projection("A B", BASE), Projection("B C", BASE)])
+        tableau = tableau_of_expression(expression)
+        first, second = tableau.rows
+        assert first.cell("B") == second.cell("B")
+
+    def test_shared_hidden_attribute_still_identified(self):
+        # B is shared by the two factors but projected away above the join:
+        # both rows must still use the same (nondistinguished) variable for it.
+        expression = Projection("A C", Join([Projection("A B", BASE), Projection("B C", BASE)]))
+        tableau = tableau_of_expression(expression)
+        first, second = tableau.rows
+        assert first.cell("B") == second.cell("B")
+        assert isinstance(first.cell("B"), NondistinguishedVariable)
+
+    def test_row_count_equals_operand_occurrences(self):
+        expression = Join(
+            [Projection("A B", BASE), Projection("B C", BASE), Projection("A C", BASE)]
+        )
+        assert len(tableau_of_expression(expression).rows) == 3
+
+    def test_to_text_mentions_rows(self):
+        text = tableau_of_expression(Projection("A", BASE)).to_text()
+        assert "summary" in text and "row 0" in text
+
+
+class TestSemantics:
+    def test_tableau_evaluation_matches_expression_evaluation(self):
+        expression = Projection("A C", Join([Projection("A B", BASE), Projection("B C", BASE)]))
+        tableau = tableau_of_expression(expression)
+        assert tableau.evaluate({"R": R}) == evaluate(expression, R)
+
+    def test_tableau_evaluation_matches_on_random_instances(self):
+        for seed in range(6):
+            relation, query = random_instance(seed=200 + seed, num_tuples=8)
+            tableau = tableau_of_expression(query)
+            assert tableau.evaluate({"R": relation}) == evaluate(query, relation)
+
+    def test_produces_tuple_finds_witness_for_member(self):
+        expression = Join([Projection("A B", BASE), Projection("B C", BASE)])
+        tableau = tableau_of_expression(expression)
+        result = evaluate(expression, R)
+        member = next(iter(result))
+        assert tableau.produces_tuple(member, {"R": R}) is not None
+
+    def test_produces_tuple_rejects_non_member(self):
+        expression = Join([Projection("A B", BASE), Projection("B C", BASE)])
+        tableau = tableau_of_expression(expression)
+        outsider = RelationTuple(expression.target_scheme(), {"A": 99, "B": 99, "C": 99})
+        assert tableau.produces_tuple(outsider, {"R": R}) is None
+
+    def test_produces_tuple_rejects_wrong_scheme(self):
+        expression = Projection("A", BASE)
+        tableau = tableau_of_expression(expression)
+        wrong = RelationTuple("A B", {"A": 1, "B": 2})
+        assert tableau.produces_tuple(wrong, {"R": R}) is None
+
+    def test_constant_cells_respected(self):
+        scheme = BASE.scheme
+        summary = {"A": Constant(1), "B": DistinguishedVariable("B"), "C": DistinguishedVariable("C")}
+        row = TableauRow(
+            "R",
+            (("A", Constant(1)), ("B", summary["B"]), ("C", summary["C"])),
+        )
+        tableau = Tableau(summary, [row], scheme)
+        result = tableau.evaluate({"R": R})
+        assert all(t["A"] == 1 for t in result)
+        assert len(result) == 2
+
+    def test_all_variables_collects_summary_and_rows(self):
+        expression = Projection("A", Join([Projection("A B", BASE), Projection("B C", BASE)]))
+        tableau = tableau_of_expression(expression)
+        variables = tableau.all_variables()
+        assert tableau.summary["A"] in variables
+        assert len(variables) >= 3

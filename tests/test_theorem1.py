@@ -1,0 +1,107 @@
+"""Tests for the Theorem 1 reduction (query-result equality is DP-complete)."""
+
+import pytest
+
+from repro.decision import QueryResultEqualityDecider
+from repro.expressions import evaluate
+from repro.reductions import SatUnsatPair, Theorem1Reduction
+from repro.sat import forced_unsatisfiable, paper_example_formula, planted_satisfiable
+
+
+@pytest.fixture(scope="module")
+def formulas():
+    satisfiable, _ = planted_satisfiable(4, 3, seed=8)
+    unsatisfiable = forced_unsatisfiable(4, seed=8)
+    return satisfiable, unsatisfiable
+
+
+@pytest.fixture(scope="module")
+def pairs(formulas):
+    satisfiable, unsatisfiable = formulas
+    return {
+        "yes": SatUnsatPair(satisfiable, unsatisfiable),
+        "both-sat": SatUnsatPair(satisfiable, satisfiable),
+        "both-unsat": SatUnsatPair(unsatisfiable, unsatisfiable),
+        "swapped": SatUnsatPair(unsatisfiable, satisfiable),
+    }
+
+
+class TestInstanceStructure:
+    def test_combined_relation_is_product(self, pairs):
+        reduction = Theorem1Reduction(pairs["yes"])
+        relation = reduction.relation()
+        first = reduction.first_construction.relation
+        second = reduction.second_construction.relation
+        assert len(relation) == len(first) * len(second)
+        assert relation.scheme == first.scheme.union(second.scheme)
+
+    def test_schemes_are_disjoint(self, pairs):
+        reduction = Theorem1Reduction(pairs["yes"])
+        assert reduction.first_construction.scheme.is_disjoint_from(
+            reduction.second_construction.scheme
+        )
+
+    def test_expression_operand_is_combined_scheme(self, pairs):
+        reduction = Theorem1Reduction(pairs["yes"])
+        expression = reduction.expression()
+        schemes = expression.operand_schemes()
+        assert schemes["R"] == reduction.relation().scheme
+
+    def test_expression_target_is_pair_columns_of_both_copies(self, pairs):
+        reduction = Theorem1Reduction(pairs["yes"])
+        target = reduction.expression().target_scheme()
+        expected = reduction.first_construction.pair_scheme.union(
+            reduction.second_construction.pair_scheme
+        )
+        assert target == expected
+
+    def test_conjectured_result_scheme_matches_query(self, pairs):
+        reduction = Theorem1Reduction(pairs["yes"])
+        assert (
+            reduction.conjectured_result().scheme
+            == reduction.expression().target_scheme()
+        )
+
+    def test_paper_example_as_first_component(self):
+        pair = SatUnsatPair(paper_example_formula(), forced_unsatisfiable(3))
+        reduction = Theorem1Reduction(pair)
+        relation, expression, conjectured = reduction.instance()
+        assert len(relation) == 22 * 57  # 22 x (7*8+1)
+        assert reduction.expected_equal()
+
+
+class TestReductionCorrectness:
+    @pytest.mark.parametrize("name", ["yes", "both-sat", "both-unsat", "swapped"])
+    def test_equality_holds_iff_yes_instance(self, pairs, name):
+        pair = pairs[name]
+        reduction = Theorem1Reduction(pair)
+        relation, expression, conjectured = reduction.instance()
+        equal = evaluate(expression, relation) == conjectured
+        assert equal == pair.is_yes_instance() == reduction.expected_equal()
+
+    @pytest.mark.parametrize("name", ["yes", "both-sat", "both-unsat", "swapped"])
+    def test_decider_agrees_with_direct_evaluation(self, pairs, name):
+        reduction = Theorem1Reduction(pairs[name])
+        relation, expression, conjectured = reduction.instance()
+        verdict = QueryResultEqualityDecider().decide(expression, relation, conjectured)
+        assert verdict.equal == reduction.expected_equal()
+
+    def test_no_instance_direction_of_failure(self, pairs):
+        # When both formulas are satisfiable the conjectured result misses the
+        # extra u_G' tuple combinations: the query produces tuples outside r.
+        reduction = Theorem1Reduction(pairs["both-sat"])
+        relation, expression, conjectured = reduction.instance()
+        verdict = QueryResultEqualityDecider().decide(expression, relation, conjectured)
+        assert not verdict.equal
+        assert verdict.conjectured_subset_of_result
+        assert not verdict.result_subset_of_conjectured
+        assert verdict.extra_tuple is not None
+
+    def test_swapped_instance_fails_the_np_half(self, pairs):
+        # First formula unsatisfiable: the conjectured result contains u_G
+        # which the query never produces, so r ⊄ φ(R).
+        reduction = Theorem1Reduction(pairs["swapped"])
+        relation, expression, conjectured = reduction.instance()
+        verdict = QueryResultEqualityDecider().decide(expression, relation, conjectured)
+        assert not verdict.conjectured_subset_of_result
+        assert verdict.missing_tuple is not None

@@ -1,0 +1,129 @@
+"""Tests for the Theorem 2 reductions (cardinality bounds)."""
+
+import pytest
+
+from repro.decision import CardinalityDecider
+from repro.expressions import evaluate
+from repro.reductions import (
+    SatUnsatPair,
+    Theorem2LowerBoundReduction,
+    Theorem2TwoSidedReduction,
+    Theorem2UpperBoundReduction,
+)
+from repro.sat import count_models, forced_unsatisfiable, planted_satisfiable
+
+
+@pytest.fixture(scope="module")
+def formulas():
+    satisfiable, _ = planted_satisfiable(4, 3, seed=21)
+    unsatisfiable = forced_unsatisfiable(4, seed=21)
+    return satisfiable, unsatisfiable
+
+
+class TestTwoSided:
+    def test_padding_establishes_beta_strictly_less_than_beta_prime(self, formulas):
+        satisfiable, unsatisfiable = formulas
+        reduction = Theorem2TwoSidedReduction(SatUnsatPair(satisfiable, unsatisfiable))
+        assert reduction.beta < reduction.beta_prime
+
+    def test_padding_preserves_second_formula_satisfiability(self, formulas):
+        satisfiable, _ = formulas
+        reduction = Theorem2TwoSidedReduction(SatUnsatPair(satisfiable, satisfiable))
+        from repro.sat import is_satisfiable
+
+        assert is_satisfiable(reduction.pair.second)
+
+    @pytest.mark.parametrize(
+        "combo", ["sat-unsat", "sat-sat", "unsat-unsat", "unsat-sat"]
+    )
+    def test_cardinality_matches_prediction_and_bounds(self, formulas, combo):
+        satisfiable, unsatisfiable = formulas
+        first = satisfiable if combo.startswith("sat") else unsatisfiable
+        second = unsatisfiable if combo.endswith("unsat") else satisfiable
+        reduction = Theorem2TwoSidedReduction(SatUnsatPair(first, second))
+
+        exact = reduction.exact_instance()
+        window = reduction.window_instance()
+        cardinality = len(evaluate(exact.expression, exact.relation))
+
+        assert cardinality == reduction.predicted_cardinality()
+        assert exact.holds_for(cardinality) == reduction.expected_yes()
+        assert window.holds_for(cardinality) == reduction.expected_yes()
+
+    def test_exact_instance_has_equal_bounds(self, formulas):
+        satisfiable, unsatisfiable = formulas
+        reduction = Theorem2TwoSidedReduction(SatUnsatPair(satisfiable, unsatisfiable))
+        exact = reduction.exact_instance()
+        assert exact.lower == exact.upper == (reduction.beta + 1) * reduction.beta_prime
+
+    def test_window_instance_has_strictly_ordered_bounds(self, formulas):
+        satisfiable, unsatisfiable = formulas
+        reduction = Theorem2TwoSidedReduction(SatUnsatPair(satisfiable, unsatisfiable))
+        window = reduction.window_instance()
+        assert window.lower < window.upper
+
+    def test_decider_verdict_agrees(self, formulas):
+        satisfiable, unsatisfiable = formulas
+        reduction = Theorem2TwoSidedReduction(SatUnsatPair(satisfiable, unsatisfiable))
+        instance = reduction.exact_instance()
+        verdict = CardinalityDecider().check_bounds(
+            instance.expression, instance.relation, instance.lower, instance.upper
+        )
+        assert verdict.holds == reduction.expected_yes()
+
+
+class TestOneSided:
+    def test_lower_bound_holds_iff_satisfiable(self, formulas):
+        satisfiable, unsatisfiable = formulas
+        for formula in (satisfiable, unsatisfiable):
+            reduction = Theorem2LowerBoundReduction(formula)
+            instance = reduction.instance()
+            cardinality = len(evaluate(instance.expression, instance.relation))
+            assert instance.holds_for(cardinality) == reduction.expected_yes()
+
+    def test_upper_bound_holds_iff_unsatisfiable(self, formulas):
+        satisfiable, unsatisfiable = formulas
+        for formula in (satisfiable, unsatisfiable):
+            reduction = Theorem2UpperBoundReduction(formula)
+            instance = reduction.instance()
+            cardinality = len(evaluate(instance.expression, instance.relation))
+            assert instance.holds_for(cardinality) == reduction.expected_yes()
+
+    def test_lower_bound_threshold_is_7m_plus_2(self, formulas):
+        satisfiable, _ = formulas
+        reduction = Theorem2LowerBoundReduction(satisfiable)
+        assert reduction.instance().lower == 7 * satisfiable.num_clauses + 2
+
+    def test_upper_bound_threshold_is_7m_plus_1(self, formulas):
+        _, unsatisfiable = formulas
+        reduction = Theorem2UpperBoundReduction(unsatisfiable)
+        assert reduction.instance().upper == 7 * unsatisfiable.num_clauses + 1
+
+    def test_exact_cardinality_identity(self, formulas):
+        satisfiable, _ = formulas
+        reduction = Theorem2LowerBoundReduction(satisfiable)
+        instance = reduction.instance()
+        cardinality = len(evaluate(instance.expression, instance.relation))
+        assert cardinality == 7 * satisfiable.num_clauses + 1 + count_models(satisfiable)
+
+    def test_early_exit_deciders_agree(self, formulas):
+        satisfiable, _ = formulas
+        reduction = Theorem2LowerBoundReduction(satisfiable)
+        instance = reduction.instance()
+        decider = CardinalityDecider()
+        assert decider.at_least(instance.expression, instance.relation, instance.lower)
+        assert not decider.at_most(
+            instance.expression, instance.relation, instance.lower - 1
+        )
+
+
+class TestCardinalityBoundInstanceHelper:
+    def test_holds_for_with_one_sided_bounds(self, formulas):
+        satisfiable, _ = formulas
+        lower_only = Theorem2LowerBoundReduction(satisfiable).instance()
+        assert lower_only.upper is None
+        assert lower_only.holds_for(10**9)
+        assert not lower_only.holds_for(0)
+        upper_only = Theorem2UpperBoundReduction(satisfiable).instance()
+        assert upper_only.lower is None
+        assert upper_only.holds_for(0)

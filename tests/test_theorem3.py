@@ -1,0 +1,101 @@
+"""Tests for the Theorem 3 reduction (#P-hardness of tuple counting)."""
+
+import pytest
+
+from repro.decision import TupleCounter, count_models_via_query
+from repro.reductions import Theorem3Reduction
+from repro.sat import (
+    count_models,
+    count_models_bruteforce,
+    forced_unsatisfiable,
+    paper_example_formula,
+    planted_satisfiable,
+    random_three_cnf,
+)
+
+
+class TestIdentity:
+    def test_paper_example(self):
+        reduction = Theorem3Reduction(paper_example_formula())
+        instance = reduction.instance()
+        tuple_count = TupleCounter().count(instance.expression, instance.relation)
+        assert tuple_count == 42
+        assert reduction.models_from_tuple_count(tuple_count) == 20
+        assert reduction.expected_tuple_count() == 42
+        assert reduction.expected_model_count() == 20
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_formulas(self, seed):
+        formula = random_three_cnf(5, 6, seed=seed)
+        reduction = Theorem3Reduction(formula)
+        instance = reduction.instance()
+        tuple_count = TupleCounter().count(instance.expression, instance.relation)
+        # The identity is stated over the variables occurring in the clauses
+        # (the construction's own formula presentation).
+        assert reduction.models_from_tuple_count(tuple_count) == count_models_bruteforce(
+            reduction.construction.formula
+        )
+
+    def test_unsatisfiable_formula_counts_zero(self):
+        formula = forced_unsatisfiable(4, seed=0)
+        reduction = Theorem3Reduction(formula)
+        instance = reduction.instance()
+        tuple_count = TupleCounter().count(instance.expression, instance.relation)
+        assert reduction.models_from_tuple_count(tuple_count) == 0
+
+    def test_offset_is_relation_size(self):
+        reduction = Theorem3Reduction(paper_example_formula())
+        assert reduction.offset() == 22
+
+    def test_count_below_offset_rejected(self):
+        reduction = Theorem3Reduction(paper_example_formula())
+        with pytest.raises(ValueError):
+            reduction.models_from_tuple_count(3)
+
+
+class TestCorollaryCounter:
+    def test_corollary_counter_matches_evaluation(self):
+        formula = paper_example_formula()
+        reduction = Theorem3Reduction(formula)
+        instance = reduction.instance()
+        counter = TupleCounter()
+        via_eval = counter.count(instance.expression, instance.relation)
+        via_corollary = counter.count_project_join(
+            instance.relation, reduction.projection_schemes()
+        )
+        assert via_eval == via_corollary
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_corollary_counter_on_random_formulas(self, seed):
+        formula, _ = planted_satisfiable(5, 4, seed=seed)
+        reduction = Theorem3Reduction(formula)
+        instance = reduction.instance()
+        counter = TupleCounter()
+        assert counter.count_project_join(
+            instance.relation, reduction.projection_schemes()
+        ) == counter.count(instance.expression, instance.relation)
+
+    def test_corollary_counter_on_plain_relations(self):
+        from repro.workloads import random_relation
+
+        relation = random_relation(num_attributes=4, num_tuples=15, seed=2)
+        schemes = ["A1 A2", "A2 A3", "A3 A4"]
+        from repro.algebra import project_join
+
+        counter = TupleCounter()
+        assert counter.count_project_join(relation, schemes) == len(
+            project_join(relation, schemes)
+        )
+
+
+class TestHighLevelHelper:
+    def test_count_models_via_query_matches_sat_counters(self):
+        from repro.sat import CNFFormula
+
+        for seed in range(3):
+            formula = random_three_cnf(5, 7, seed=50 + seed)
+            occurring = CNFFormula(formula.clauses)
+            assert count_models_via_query(formula) == count_models(occurring)
+
+    def test_count_models_via_query_on_paper_example(self):
+        assert count_models_via_query(paper_example_formula()) == 20

@@ -1,0 +1,144 @@
+"""Tests for the Theorem 4 reduction (fixed-relation query comparison, Π₂ᵖ)."""
+
+import pytest
+
+from repro.decision import ContainmentDecider
+from repro.expressions import evaluate
+from repro.qbf import (
+    QThreeSatInstance,
+    canonical_false_q3sat,
+    evaluate_by_expansion,
+    planted_false_q3sat,
+    planted_true_q3sat,
+)
+from repro.reductions import Theorem4Reduction
+from repro.sat import paper_example_formula
+
+
+@pytest.fixture(scope="module")
+def true_reduction():
+    return Theorem4Reduction(planted_true_q3sat(2, seed=3))
+
+
+@pytest.fixture(scope="module")
+def false_reduction():
+    return Theorem4Reduction(canonical_false_q3sat())
+
+
+class TestInstanceStructure:
+    def test_relation_carries_u_column(self, true_reduction):
+        relation = true_reduction.relation()
+        assert true_reduction.construction.u_attribute in relation.scheme
+
+    def test_queries_project_onto_universal_columns(self, true_reduction):
+        instance = true_reduction.containment_instance()
+        assert instance.first.target_scheme() == true_reduction.universal_scheme
+        assert instance.second.target_scheme() == true_reduction.universal_scheme
+
+    def test_guard_clauses_applied_when_restriction_one_violated(self):
+        # X inside a single clause's variables: the reduction must repair it.
+        instance = QThreeSatInstance(paper_example_formula(), ("x1",))
+        reduction = Theorem4Reduction(instance)
+        assert reduction.qbf_instance.satisfies_proposition4_restrictions()
+        assert reduction.source_instance is instance
+
+    def test_trivially_false_instances_map_to_canonical_gadget(self):
+        instance = QThreeSatInstance(paper_example_formula(), ("x1", "x2", "x3", "x4"))
+        assert instance.universal_contains_some_clause()
+        reduction = Theorem4Reduction(instance)
+        assert not reduction.expected_yes()
+        comparison = reduction.containment_instance()
+        verdict = ContainmentDecider().compare_queries(
+            comparison.first, comparison.second, comparison.relation
+        )
+        assert not verdict.left_in_right
+
+
+class TestReductionCorrectness:
+    def test_true_instance_gives_containment_and_equality(self, true_reduction):
+        comparison = true_reduction.containment_instance()
+        verdict = ContainmentDecider().compare_queries(
+            comparison.first, comparison.second, comparison.relation
+        )
+        assert true_reduction.expected_yes()
+        assert verdict.left_in_right
+        assert verdict.equivalent
+
+    def test_false_instance_gives_non_containment(self, false_reduction):
+        comparison = false_reduction.containment_instance()
+        verdict = ContainmentDecider().compare_queries(
+            comparison.first, comparison.second, comparison.relation
+        )
+        assert not false_reduction.expected_yes()
+        assert not verdict.left_in_right
+        assert not verdict.equivalent
+        assert verdict.left_only_witness is not None
+
+    def test_counterexample_tuple_encodes_a_bad_universal_assignment(self, false_reduction):
+        comparison = false_reduction.containment_instance()
+        verdict = ContainmentDecider().compare_queries(
+            comparison.first, comparison.second, comparison.relation
+        )
+        witness = verdict.left_only_witness
+        construction = false_reduction.construction
+        instance = false_reduction.qbf_instance
+        # The witness is a 0/1 assignment of the universal columns under which
+        # the matrix has no satisfying completion.
+        assignment = {
+            variable: bool(witness[construction.variable_column(variable)])
+            for variable in instance.universal
+        }
+        from repro.sat import is_satisfiable
+
+        assert not is_satisfiable(instance.formula.restrict(assignment))
+
+    def test_second_query_never_exceeds_first(self, true_reduction, false_reduction):
+        # π_X φ² ⊆ π_X φ¹ always (φ² is φ¹ with extra join constraints).
+        for reduction in (true_reduction, false_reduction):
+            comparison = reduction.containment_instance()
+            q1 = evaluate(comparison.first, comparison.relation)
+            q2 = evaluate(comparison.second, comparison.relation)
+            assert q2.is_subset_of(q1)
+
+    @pytest.mark.parametrize("universal", [2, 3])
+    def test_agreement_with_qbf_evaluator_on_planted_instances(self, universal):
+        for instance, label in [
+            (planted_true_q3sat(universal, seed=universal), "true"),
+            (planted_false_q3sat(max(universal, 3), seed=universal), "false"),
+        ]:
+            reduction = Theorem4Reduction(instance)
+            comparison = reduction.containment_instance()
+            verdict = ContainmentDecider().compare_queries(
+                comparison.first, comparison.second, comparison.relation
+            )
+            expected = evaluate_by_expansion(reduction.qbf_instance)
+            assert verdict.left_in_right == expected, label
+            assert verdict.equivalent == expected, label
+
+
+class TestProofIntermediateClaims:
+    def test_phi_one_projection_is_all_assignments(self, true_reduction, false_reduction):
+        for reduction in (true_reduction, false_reduction):
+            comparison = reduction.containment_instance()
+            q1 = evaluate(comparison.first, comparison.relation)
+            base = comparison.relation.project(reduction.universal_scheme)
+            assert q1 == base.union(reduction.all_universal_assignments_relation())
+
+    def test_phi_two_projection_is_satisfying_restrictions(
+        self, true_reduction, false_reduction
+    ):
+        for reduction in (true_reduction, false_reduction):
+            comparison = reduction.containment_instance()
+            q2 = evaluate(comparison.second, comparison.relation)
+            base = comparison.relation.project(reduction.universal_scheme)
+            assert q2 == base.union(reduction.satisfying_restrictions_relation())
+
+    def test_base_projection_tuples_contain_a_blank(self, true_reduction):
+        # The first Proposition 4 restriction guarantees no single tuple of
+        # R'_G restricted to X looks like a full truth assignment.
+        from repro.reductions import BLANK
+
+        base = true_reduction.relation().project(true_reduction.universal_scheme)
+        assert all(
+            any(value == BLANK for value in tup.values_in_order()) for tup in base
+        )

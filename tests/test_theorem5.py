@@ -1,0 +1,120 @@
+"""Tests for the Theorem 5 reduction (fixed-query database comparison, Π₂ᵖ)."""
+
+import pytest
+
+from repro.decision import ContainmentDecider
+from repro.expressions import evaluate
+from repro.qbf import (
+    QThreeSatInstance,
+    canonical_false_q3sat,
+    evaluate_by_expansion,
+    planted_false_q3sat,
+    planted_true_q3sat,
+)
+from repro.reductions import Theorem5Reduction
+from repro.sat import paper_example_formula
+
+
+@pytest.fixture(scope="module")
+def true_reduction():
+    return Theorem5Reduction(planted_true_q3sat(2, seed=4))
+
+
+@pytest.fixture(scope="module")
+def false_reduction():
+    return Theorem5Reduction(canonical_false_q3sat())
+
+
+class TestInstanceStructure:
+    def test_relations_share_the_plain_scheme(self, true_reduction):
+        comparison = true_reduction.containment_instance()
+        assert comparison.first.scheme == comparison.second.scheme
+        assert true_reduction.construction.u_attribute not in comparison.first.scheme
+
+    def test_first_relation_extends_second_by_falsifying_tuples(self, true_reduction):
+        comparison = true_reduction.containment_instance()
+        assert comparison.second.is_subset_of(comparison.first)
+        extra = len(comparison.first) - len(comparison.second)
+        assert extra == true_reduction.construction.formula.num_clauses
+
+    def test_fixed_query_projects_onto_universal_columns(self, true_reduction):
+        comparison = true_reduction.containment_instance()
+        assert comparison.expression.target_scheme() == true_reduction.universal_scheme
+
+    def test_second_restriction_makes_base_projections_equal(self, true_reduction):
+        # π_X(R''_G) = π_X(R_G): the extra falsifying tuples add no new
+        # X-projections (each agrees with some satisfying clause tuple on the
+        # universal columns, because no clause is fully universal).
+        comparison = true_reduction.containment_instance()
+        scheme = true_reduction.universal_scheme
+        assert comparison.first.project(scheme) == comparison.second.project(scheme)
+
+    def test_trivially_false_instances_map_to_canonical_gadget(self):
+        instance = QThreeSatInstance(paper_example_formula(), ("x1", "x2", "x3", "x4"))
+        reduction = Theorem5Reduction(instance)
+        assert not reduction.expected_yes()
+        comparison = reduction.containment_instance()
+        verdict = ContainmentDecider().compare_databases(
+            comparison.expression, comparison.first, comparison.second
+        )
+        assert not verdict.left_in_right
+
+
+class TestReductionCorrectness:
+    def test_true_instance_gives_containment_and_equality(self, true_reduction):
+        comparison = true_reduction.containment_instance()
+        verdict = ContainmentDecider().compare_databases(
+            comparison.expression, comparison.first, comparison.second
+        )
+        assert true_reduction.expected_yes()
+        assert verdict.left_in_right and verdict.equivalent
+
+    def test_false_instance_gives_non_containment(self, false_reduction):
+        comparison = false_reduction.containment_instance()
+        verdict = ContainmentDecider().compare_databases(
+            comparison.expression, comparison.first, comparison.second
+        )
+        assert not false_reduction.expected_yes()
+        assert not verdict.left_in_right
+        assert verdict.left_only_witness is not None
+
+    def test_right_side_always_contained_in_left(self, true_reduction, false_reduction):
+        # Q(R_G) ⊆ Q(R''_G) always, since R_G ⊆ R''_G and the query is monotone.
+        for reduction in (true_reduction, false_reduction):
+            comparison = reduction.containment_instance()
+            left = evaluate(comparison.expression, comparison.first)
+            right = evaluate(comparison.expression, comparison.second)
+            assert right.is_subset_of(left)
+
+    @pytest.mark.parametrize("universal", [2, 3])
+    def test_agreement_with_qbf_evaluator_on_planted_instances(self, universal):
+        for instance in (
+            planted_true_q3sat(universal, seed=10 + universal),
+            planted_false_q3sat(max(universal, 3), seed=10 + universal),
+        ):
+            reduction = Theorem5Reduction(instance)
+            comparison = reduction.containment_instance()
+            verdict = ContainmentDecider().compare_databases(
+                comparison.expression, comparison.first, comparison.second
+            )
+            expected = evaluate_by_expansion(reduction.qbf_instance)
+            assert verdict.left_in_right == expected
+            assert verdict.equivalent == expected
+
+    def test_theorem4_and_theorem5_agree_on_the_same_instance(self):
+        from repro.reductions import Theorem4Reduction
+        from repro.decision import ContainmentDecider
+
+        for instance in (planted_true_q3sat(2, seed=9), canonical_false_q3sat()):
+            four = Theorem4Reduction(instance)
+            five = Theorem5Reduction(instance)
+            comparison4 = four.containment_instance()
+            comparison5 = five.containment_instance()
+            decider = ContainmentDecider()
+            answer4 = decider.compare_queries(
+                comparison4.first, comparison4.second, comparison4.relation
+            ).left_in_right
+            answer5 = decider.compare_databases(
+                comparison5.expression, comparison5.first, comparison5.second
+            ).left_in_right
+            assert answer4 == answer5 == four.expected_yes() == five.expected_yes()

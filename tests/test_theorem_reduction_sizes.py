@@ -1,0 +1,92 @@
+"""Polynomial-size checks for every reduction (the "polynomial time" half of each proof).
+
+Hardness proofs require the produced instance to be polynomial in the source
+instance.  These tests pin the exact size formulas of each reduction's output,
+so an accidental change that blows the construction up (or shrinks it into
+incorrectness) is caught immediately.
+"""
+
+import pytest
+
+from repro.qbf import canonical_false_q3sat, planted_true_q3sat
+from repro.reductions import (
+    MembershipReduction,
+    RGConstruction,
+    SatUnsatPair,
+    Theorem1Reduction,
+    Theorem3Reduction,
+    Theorem4Reduction,
+    Theorem5Reduction,
+)
+from repro.sat import forced_unsatisfiable, planted_satisfiable
+
+
+@pytest.fixture(scope="module")
+def formulas():
+    satisfiable, _ = planted_satisfiable(5, 4, seed=3)
+    unsatisfiable = forced_unsatisfiable(4, seed=3)
+    return satisfiable, unsatisfiable
+
+
+def columns_of(formula):
+    m, n = formula.num_clauses, formula.num_variables
+    return m + n + m * (m - 1) // 2 + 1
+
+
+class TestConstructionSizes:
+    def test_rg_sizes(self, formulas):
+        for formula in formulas:
+            construction = RGConstruction(formula)
+            m = construction.formula.num_clauses
+            assert len(construction.relation) == 7 * m + 1
+            assert len(construction.scheme) == columns_of(construction.formula)
+            assert construction.expression.size() == 2 * (m + 1) + 1
+
+    def test_theorem1_instance_sizes(self, formulas):
+        satisfiable, unsatisfiable = formulas
+        reduction = Theorem1Reduction(SatUnsatPair(satisfiable, unsatisfiable))
+        relation, expression, conjectured = reduction.instance()
+        first, second = reduction.first_construction, reduction.second_construction
+        assert len(relation) == len(first.relation) * len(second.relation)
+        assert len(relation.scheme) == len(first.scheme) + len(second.scheme)
+        # The conjectured result is (m+2) x (m'+1) pair-pattern combinations.
+        assert len(conjectured) == (first.pair_projection_size() + 1) * (
+            second.pair_projection_size()
+        )
+        # The combined expression contains both copies' factors.
+        assert expression.count_projections() == (
+            first.formula.num_clauses + 1 + second.formula.num_clauses + 1 + 2
+        )
+
+    def test_theorem3_instance_is_just_the_construction(self, formulas):
+        satisfiable, _ = formulas
+        reduction = Theorem3Reduction(satisfiable)
+        instance = reduction.instance()
+        assert len(instance.relation) == 7 * reduction.construction.formula.num_clauses + 1
+
+    def test_theorem4_relation_sizes(self):
+        for instance in (planted_true_q3sat(2, seed=1), canonical_false_q3sat()):
+            reduction = Theorem4Reduction(instance)
+            m = reduction.construction.formula.num_clauses
+            relation = reduction.relation()
+            # R'_G = R_G plus one falsifying tuple per clause, one extra column (U).
+            assert len(relation) == 7 * m + 1 + m
+            assert len(relation.scheme) == columns_of(reduction.construction.formula) + 1
+
+    def test_theorem5_relation_sizes(self):
+        for instance in (planted_true_q3sat(2, seed=2), canonical_false_q3sat()):
+            reduction = Theorem5Reduction(instance)
+            m = reduction.construction.formula.num_clauses
+            comparison = reduction.containment_instance()
+            assert len(comparison.first) == 7 * m + 1 + m
+            assert len(comparison.second) == 7 * m + 1
+            assert comparison.first.scheme == comparison.second.scheme
+
+    def test_membership_instance_sizes(self, formulas):
+        satisfiable, _ = formulas
+        reduction = MembershipReduction(satisfiable)
+        instance = reduction.instance()
+        m = reduction.construction.formula.num_clauses
+        assert len(instance.projection_schemes) == m + 1
+        # The target tuple ranges over the m(m-1)/2 pair columns.
+        assert len(instance.tuple) == m * (m - 1) // 2

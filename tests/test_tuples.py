@@ -1,0 +1,127 @@
+"""Unit tests for repro.algebra.tuples."""
+
+import pytest
+
+from repro.algebra import (
+    Attribute,
+    Domain,
+    DomainError,
+    ProjectionError,
+    RelationScheme,
+    RelationTuple,
+    TupleSchemeMismatch,
+    as_tuple,
+)
+
+SCHEME = RelationScheme.of("A", "B", "C")
+
+
+def make(a=1, b=2, c=3):
+    return RelationTuple(SCHEME, {"A": a, "B": b, "C": c})
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        tup = make()
+        assert tup["A"] == 1 and tup["C"] == 3
+
+    def test_from_values_follows_scheme_order(self):
+        tup = RelationTuple.from_values(SCHEME, (10, 20, 30))
+        assert tup["B"] == 20
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(TupleSchemeMismatch):
+            RelationTuple(SCHEME, {"A": 1, "B": 2})
+
+    def test_extra_attribute_rejected(self):
+        with pytest.raises(TupleSchemeMismatch):
+            RelationTuple(SCHEME, {"A": 1, "B": 2, "C": 3, "D": 4})
+
+    def test_wrong_value_count_rejected(self):
+        with pytest.raises(TupleSchemeMismatch):
+            RelationTuple.from_values(SCHEME, (1, 2))
+
+    def test_domain_validation(self):
+        constrained = RelationScheme([Attribute("A", Domain.of("bool", [0, 1]))])
+        with pytest.raises(DomainError):
+            RelationTuple(constrained, {"A": 7})
+
+
+class TestMappingProtocol:
+    def test_len_iter_contains(self):
+        tup = make()
+        assert len(tup) == 3
+        assert list(tup) == ["A", "B", "C"]
+        assert "A" in tup and "Z" not in tup
+
+    def test_getitem_by_attribute_object(self):
+        assert make()[Attribute("B")] == 2
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            make()["Z"]
+
+    def test_equality_and_hash(self):
+        assert make() == make()
+        assert hash(make()) == hash(make())
+        assert make(a=9) != make()
+
+    def test_equality_ignores_scheme_presentation_order(self):
+        reordered = RelationScheme.of("C", "B", "A")
+        assert make() == RelationTuple(reordered, {"A": 1, "B": 2, "C": 3})
+
+    def test_as_dict_round_trip(self):
+        assert make().as_dict() == {"A": 1, "B": 2, "C": 3}
+
+    def test_values_in_order(self):
+        assert make().values_in_order() == (1, 2, 3)
+        assert make().values_in_order(["C", "A"]) == (3, 1)
+
+
+class TestRelationalOperations:
+    def test_project_is_restriction(self):
+        projected = make().project("A C")
+        assert dict(projected) == {"A": 1, "C": 3}
+
+    def test_project_outside_scheme_rejected(self):
+        with pytest.raises(ProjectionError):
+            make().project("A Z")
+
+    def test_joins_with_agreement(self):
+        other_scheme = RelationScheme.of("B", "D")
+        other = RelationTuple(other_scheme, {"B": 2, "D": 9})
+        assert make().joins_with(other)
+        joined = make().joined(other)
+        assert dict(joined) == {"A": 1, "B": 2, "C": 3, "D": 9}
+
+    def test_joins_with_disagreement(self):
+        other = RelationTuple(RelationScheme.of("B", "D"), {"B": 99, "D": 9})
+        assert not make().joins_with(other)
+        with pytest.raises(TupleSchemeMismatch):
+            make().joined(other)
+
+    def test_join_with_disjoint_scheme_is_concatenation(self):
+        other = RelationTuple(RelationScheme.of("D"), {"D": 4})
+        assert dict(make().joined(other)) == {"A": 1, "B": 2, "C": 3, "D": 4}
+
+    def test_extended(self):
+        extended = make().extended({"D": 4})
+        assert extended["D"] == 4
+        with pytest.raises(TupleSchemeMismatch):
+            make().extended({"A": 9})
+
+    def test_renamed(self):
+        renamed = make().renamed({"A": "Z"})
+        assert renamed["Z"] == 1
+        assert "A" not in renamed
+
+
+class TestCoercion:
+    def test_as_tuple_from_mapping_and_sequence(self):
+        assert as_tuple(SCHEME, {"A": 1, "B": 2, "C": 3}) == make()
+        assert as_tuple(SCHEME, (1, 2, 3)) == make()
+
+    def test_as_tuple_passthrough_checks_scheme(self):
+        assert as_tuple(SCHEME, make()) == make()
+        with pytest.raises(TupleSchemeMismatch):
+            as_tuple(RelationScheme.of("A", "B"), make())

@@ -1,0 +1,93 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.qbf import evaluate_by_expansion
+from repro.sat import is_satisfiable
+from repro.workloads import (
+    growing_construction_family,
+    mixed_family,
+    qbf_family,
+    random_instance,
+    random_project_join_query,
+    random_relation,
+    sat_unsat_pairs,
+    satisfiable_family,
+    unsatisfiable_family,
+)
+
+
+class TestFormulaFamilies:
+    def test_satisfiable_family_is_satisfiable(self):
+        for case in satisfiable_family(clause_counts=(3, 4)):
+            assert case.satisfiable_by_construction is True
+            assert is_satisfiable(case.formula)
+            assert case.formula.is_three_cnf()
+            assert case.num_clauses in (3, 4)
+
+    def test_unsatisfiable_family_is_unsatisfiable(self):
+        for case in unsatisfiable_family(extra_clause_counts=(0, 1)):
+            assert case.satisfiable_by_construction is False
+            assert not is_satisfiable(case.formula)
+
+    def test_mixed_family_shape(self):
+        cases = mixed_family(count=3, num_variables=5)
+        assert len(cases) == 3
+        for case in cases:
+            assert case.satisfiable_by_construction is None
+            assert case.formula.is_three_cnf()
+
+    def test_families_are_deterministic(self):
+        first = satisfiable_family(clause_counts=(3, 4), seed=7)
+        second = satisfiable_family(clause_counts=(3, 4), seed=7)
+        assert [c.formula for c in first] == [c.formula for c in second]
+
+    def test_growing_family_monotone_clause_counts(self):
+        cases = growing_construction_family(clause_counts=(3, 5, 8))
+        clause_counts = [case.num_clauses for case in cases]
+        assert clause_counts == sorted(clause_counts)
+
+    def test_labels_are_informative(self):
+        case = satisfiable_family(clause_counts=(3,))[0]
+        assert "m=3" in case.label
+
+
+class TestPairAndQbfFamilies:
+    def test_sat_unsat_pairs_cover_all_combinations(self):
+        pairs = dict(sat_unsat_pairs())
+        assert len(pairs) == 4
+        yes = [label for label, pair in pairs.items() if pair.is_yes_instance()]
+        assert yes == ["sat+unsat (yes)"]
+
+    def test_qbf_family_truth_values_match_planting(self):
+        for label, instance, planted_truth in qbf_family(universal_counts=(3,)):
+            assert evaluate_by_expansion(instance) == planted_truth
+            assert ("true" in label) == planted_truth
+
+
+class TestRandomRelationsAndQueries:
+    def test_random_relation_shape(self):
+        relation = random_relation(num_attributes=3, num_tuples=10, seed=1)
+        assert len(relation.scheme) == 3
+        assert 0 < len(relation) <= 10
+
+    def test_random_relation_deterministic(self):
+        assert random_relation(seed=5) == random_relation(seed=5)
+
+    def test_random_relation_needs_an_attribute(self):
+        with pytest.raises(ValueError):
+            random_relation(num_attributes=0)
+
+    def test_random_query_is_well_formed(self):
+        relation = random_relation(num_attributes=4, seed=2)
+        query = random_project_join_query(relation.scheme, seed=2)
+        assert query.operand_names() == frozenset({"R"})
+        assert query.target_scheme().is_subscheme_of(relation.scheme)
+
+    def test_random_instance_is_evaluable(self):
+        from repro.expressions import evaluate
+
+        for seed in range(4):
+            relation, query = random_instance(seed=seed)
+            result = evaluate(query, relation)
+            assert result.scheme == query.target_scheme()
