@@ -1,0 +1,163 @@
+"""Microbenchmark of the positional algebra kernel vs the seed implementation.
+
+Measures ops/sec for ``natural_join`` and ``project`` across scheme widths
+2–16 and cardinalities 10^2–10^4, for both the compiled-plan positional
+kernel (:class:`repro.algebra.Relation`) and the retained dict-based seed
+reference (:mod:`repro.algebra.reference`), and writes the numbers to
+``benchmarks/results/BENCH_algebra.json`` so future PRs have a machine-
+readable perf trajectory.  The headline metric is the geometric-mean speedup
+of the kernel over the reference on the combined join+project workload; the
+kernel is expected to stay >= 5x.
+
+Run standalone for the full sweep::
+
+    PYTHONPATH=src python benchmarks/bench_algebra_kernel.py
+
+Under pytest a reduced grid runs (cardinalities 10^2-10^3) to keep the tier-1
+suite fast; the standalone sweep adds the 10^4 points.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from repro.algebra import Relation, naive_natural_join, naive_project
+from repro.perf import kernel_counters, plan_cache_stats
+
+RESULTS_DIRECTORY = Path(__file__).parent / "results"
+OUTPUT_PATH = RESULTS_DIRECTORY / "BENCH_algebra.json"
+
+WIDTHS = (2, 4, 8, 16)
+QUICK_CARDINALITIES = (100, 1000)
+FULL_CARDINALITIES = (100, 1000, 10000)
+MIN_EXPECTED_SPEEDUP = 5.0
+
+
+def _attribute_names(width: int, offset: int = 0) -> List[str]:
+    return [f"A{i}" for i in range(offset, offset + width)]
+
+
+def _join_operands(width: int, cardinality: int):
+    """Two width-``width`` relations sharing one near-unique key column.
+
+    The shared column makes the join output size ~``cardinality`` so the
+    benchmark measures per-tuple kernel cost, not output blow-up.
+    """
+    half = max(width // 2, 1)
+    left_scheme = ["K"] + _attribute_names(half)
+    right_scheme = ["K"] + _attribute_names(half, offset=half)
+    left = Relation.from_rows(
+        left_scheme,
+        [(i,) + tuple((i + j) % 7 for j in range(half)) for i in range(cardinality)],
+    )
+    right = Relation.from_rows(
+        right_scheme,
+        [(i,) + tuple((i * 3 + j) % 5 for j in range(half)) for i in range(cardinality)],
+    )
+    return left, right
+
+
+def _project_operand(width: int, cardinality: int):
+    scheme = _attribute_names(width)
+    relation = Relation.from_rows(
+        scheme,
+        [tuple((i + j) % (cardinality // 2 + 1) for j in range(width)) for i in range(cardinality)],
+    )
+    target = scheme[: max(width // 2, 1)]
+    return relation, target
+
+
+def _time_op(op: Callable[[], object], min_seconds: float = 0.2, min_rounds: int = 3) -> float:
+    """Return ops/sec for ``op``, timing enough rounds to fill ``min_seconds``."""
+    # One warmup round (also compiles/caches plans, matching steady state).
+    op()
+    rounds = 0
+    elapsed = 0.0
+    while elapsed < min_seconds or rounds < min_rounds:
+        start = time.perf_counter()
+        op()
+        elapsed += time.perf_counter() - start
+        rounds += 1
+        if rounds >= 200:
+            break
+    return rounds / elapsed
+
+
+def run_benchmark(cardinalities=QUICK_CARDINALITIES, widths=WIDTHS) -> Dict:
+    """Run the sweep and return the result document (also written to disk)."""
+    cases = []
+    speedups = []
+    for width in widths:
+        for cardinality in cardinalities:
+            left, right = _join_operands(width, cardinality)
+            kernel_join = _time_op(lambda: left.natural_join(right))
+            naive_join = _time_op(lambda: naive_natural_join(left, right))
+
+            relation, target = _project_operand(width, cardinality)
+            kernel_project = _time_op(lambda: relation.project(target))
+            naive_project_ops = _time_op(lambda: naive_project(relation, target))
+
+            join_speedup = kernel_join / naive_join
+            project_speedup = kernel_project / naive_project_ops
+            speedups.extend([join_speedup, project_speedup])
+            cases.append(
+                {
+                    "width": width,
+                    "cardinality": cardinality,
+                    "join_kernel_ops_per_sec": round(kernel_join, 3),
+                    "join_seed_ops_per_sec": round(naive_join, 3),
+                    "join_speedup": round(join_speedup, 2),
+                    "project_kernel_ops_per_sec": round(kernel_project, 3),
+                    "project_seed_ops_per_sec": round(naive_project_ops, 3),
+                    "project_speedup": round(project_speedup, 2),
+                }
+            )
+            print(
+                f"width={width:>2} n={cardinality:>5}  "
+                f"join {kernel_join:>9.1f}/s vs {naive_join:>8.1f}/s ({join_speedup:>5.1f}x)  "
+                f"project {kernel_project:>9.1f}/s vs {naive_project_ops:>8.1f}/s ({project_speedup:>5.1f}x)"
+            )
+
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    document = {
+        "benchmark": "algebra_kernel",
+        "description": "positional kernel vs dict-based seed implementation (ops/sec)",
+        "widths": list(widths),
+        "cardinalities": list(cardinalities),
+        "cases": cases,
+        "geomean_speedup": round(geomean, 2),
+        "min_expected_speedup": MIN_EXPECTED_SPEEDUP,
+        "plan_cache": plan_cache_stats(),
+        "kernel_counters": kernel_counters().snapshot(),
+    }
+    RESULTS_DIRECTORY.mkdir(exist_ok=True)
+    OUTPUT_PATH.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"geomean speedup: {geomean:.2f}x  ->  {OUTPUT_PATH}")
+    return document
+
+
+def test_kernel_speedup_over_seed(emit_result):
+    """The compiled kernel must beat the seed implementation by >= 5x overall."""
+    document = run_benchmark()
+    lines = [
+        f"width={case['width']:>2} n={case['cardinality']:>5}  "
+        f"join {case['join_speedup']:>6.1f}x  project {case['project_speedup']:>6.1f}x"
+        for case in document["cases"]
+    ]
+    lines.append(f"geomean speedup: {document['geomean_speedup']}x")
+    emit_result(
+        "BENCH-algebra",
+        "positional kernel vs seed implementation (join+project ops/sec)",
+        "\n".join(lines),
+    )
+    assert document["geomean_speedup"] >= MIN_EXPECTED_SPEEDUP
+
+
+if __name__ == "__main__":
+    result = run_benchmark(cardinalities=FULL_CARDINALITIES)
+    sys.exit(0 if result["geomean_speedup"] >= MIN_EXPECTED_SPEEDUP else 1)

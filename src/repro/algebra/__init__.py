@@ -32,6 +32,8 @@ from .operations import (
     cartesian_product,
     difference,
     divide,
+    estimate_join_size,
+    greedy_join,
     intersection,
     join_all,
     natural_join,
@@ -42,6 +44,7 @@ from .operations import (
     semijoin,
     union,
 )
+from .reference import naive_natural_join, naive_project, naive_rename
 from .relation import Relation
 from .schema import DatabaseScheme, RelationScheme, as_scheme
 from .tuples import RelationTuple, as_tuple
@@ -76,6 +79,11 @@ __all__ = [
     "cartesian_product",
     "semijoin",
     "divide",
+    "estimate_join_size",
+    "greedy_join",
+    "naive_project",
+    "naive_natural_join",
+    "naive_rename",
     "AlgebraError",
     "SchemeError",
     "DomainError",

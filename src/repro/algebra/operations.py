@@ -10,7 +10,7 @@ remaining classical set operations.
 from __future__ import annotations
 
 from functools import reduce
-from typing import Callable, Dict, Hashable, Iterable, List, Sequence
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from .errors import JoinError
 from .relation import Relation
@@ -30,7 +30,11 @@ __all__ = [
     "cartesian_product",
     "divide",
     "semijoin",
+    "estimate_join_size",
+    "greedy_join",
 ]
+
+SizeEstimator = Callable[[Relation, Relation], float]
 
 
 def project(relation: Relation, target: SchemeLike) -> Relation:
@@ -43,16 +47,87 @@ def natural_join(left: Relation, right: Relation) -> Relation:
     return left.natural_join(right)
 
 
-def join_all(relations: Sequence[Relation]) -> Relation:
-    """n-ary natural join ``R1 * R2 * ... * Rk`` (left-associated).
+def estimate_join_size(left: Relation, right: Relation) -> float:
+    """Estimate ``|left * right|``: the size product shrunk by key selectivity.
+
+    Uses distinct-value counts on each shared attribute as a selectivity
+    proxy (the classical System-R independence assumption).  Disjoint schemes
+    estimate as the full cartesian product.
+    """
+    common = left.scheme.intersection(right.scheme)
+    size = len(left) * len(right)
+    if len(common) == 0 or size == 0:
+        return float(size)
+    selectivity = 1.0
+    for attribute in common.names:
+        left_distinct = max(len(left.column_values(attribute)), 1)
+        right_distinct = max(len(right.column_values(attribute)), 1)
+        selectivity /= max(left_distinct, right_distinct)
+    return size * selectivity
+
+
+def greedy_join(
+    relations: Sequence[Relation],
+    estimator: Optional[SizeEstimator] = None,
+    observe: Optional[Callable[[Relation, int], None]] = None,
+) -> Relation:
+    """Join relations pairwise, picking the cheapest estimated pair each time.
+
+    ``observe(joined, remaining)`` is called after each pairwise join with the
+    new intermediate and the number of operands that remained before it (the
+    optimiser uses this to record its evaluation trace).
+    """
+    if not relations:
+        raise JoinError("greedy_join requires at least one relation")
+    estimate = estimator or estimate_join_size
+    working = list(relations)
+    while len(working) > 1:
+        best_pair: Optional[Tuple[int, int]] = None
+        best_estimate: Optional[float] = None
+        for i in range(len(working)):
+            for j in range(i + 1, len(working)):
+                candidate = estimate(working[i], working[j])
+                if best_estimate is None or candidate < best_estimate:
+                    best_estimate = candidate
+                    best_pair = (i, j)
+        i, j = best_pair  # type: ignore[misc]
+        joined = working[i].natural_join(working[j])
+        if observe is not None:
+            observe(joined, len(working))
+        working = [
+            rel for index, rel in enumerate(working) if index not in (i, j)
+        ] + [joined]
+    return working[0]
+
+
+def join_all(
+    relations: Sequence[Relation],
+    order: str = "as-given",
+    estimator: Optional[SizeEstimator] = None,
+) -> Relation:
+    """n-ary natural join ``R1 * R2 * ... * Rk``.
 
     The natural join is associative and commutative, so the association order
-    only affects intermediate sizes, not the result.
+    only affects intermediate sizes, not the result.  ``order`` selects it:
+
+    * ``"as-given"`` (default) — left-associated in input order, exactly the
+      naive regime the paper analyses;
+    * ``"greedy"`` — repeatedly join the pair with the smallest estimated
+      result (per ``estimator``, default :func:`estimate_join_size`), the
+      ordering the optimiser uses to dodge the intermediate blow-up.
+
+    Every pairwise join reuses the compiled plan cached for its scheme pair,
+    so an expression's repeated sub-joins compile their scheme-level work
+    only once.
     """
     relations = list(relations)
     if not relations:
         raise JoinError("join_all requires at least one relation")
-    return reduce(natural_join, relations)
+    if order == "as-given":
+        return reduce(natural_join, relations)
+    if order == "greedy":
+        return greedy_join(relations, estimator)
+    raise JoinError(f"unknown join order {order!r}; expected 'as-given' or 'greedy'")
 
 
 def project_join(relation: Relation, targets: Iterable[SchemeLike]) -> Relation:
@@ -109,12 +184,22 @@ def cartesian_product(left: Relation, right: Relation) -> Relation:
 
 
 def semijoin(left: Relation, right: Relation) -> Relation:
-    """Semijoin ``R1 ⋉ R2``: tuples of ``left`` that join with some tuple of ``right``."""
+    """Semijoin ``R1 ⋉ R2``: tuples of ``left`` that join with some tuple of ``right``.
+
+    Runs positionally: the shared-attribute key positions are read off each
+    operand's scheme index once, and membership is tested on plain value
+    tuples rather than materialised projected tuples.
+    """
     common = left.scheme.intersection(right.scheme)
     if len(common) == 0:
         return left if not right.is_empty() else Relation.empty(left.scheme)
-    right_keys = {t.project(common) for t in right}
-    return left.select(lambda t: t.project(common) in right_keys)
+    left_picks = tuple(left.scheme.index[name] for name in common.names)
+    right_picks = tuple(right.scheme.index[name] for name in common.names)
+    right_keys = {tuple(row[i] for i in right_picks) for row in right.rows}
+    kept = frozenset(
+        row for row in left.rows if tuple(row[i] for i in left_picks) in right_keys
+    )
+    return Relation._from_trusted(left.scheme, kept)
 
 
 def divide(dividend: Relation, divisor: Relation) -> Relation:

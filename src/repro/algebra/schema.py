@@ -12,8 +12,9 @@ contains exactly one relation per scheme.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
+from ..perf.plancache import make_row_picker
 from .attributes import Attribute, as_attribute
 from .errors import SchemeError
 
@@ -21,6 +22,16 @@ __all__ = ["RelationScheme", "DatabaseScheme", "as_scheme"]
 
 AttributeLike = Union[str, Attribute]
 SchemeLike = Union["RelationScheme", Iterable[AttributeLike], str]
+
+
+def _identity(row: Tuple) -> Tuple:
+    return row
+
+
+# Per-instance scheme memos are cleared wholesale past this size so a
+# long-lived scheme meeting unboundedly many distinct partners cannot leak
+# (mirrors the bounded LRU plan caches in repro.perf.plancache).
+_MEMO_LIMIT = 512
 
 
 class RelationScheme:
@@ -31,7 +42,20 @@ class RelationScheme:
     interchangeable everywhere in the library.
     """
 
-    __slots__ = ("_attributes", "_names", "_name_set", "_by_name")
+    __slots__ = (
+        "_attributes",
+        "_names",
+        "_name_set",
+        "_by_name",
+        "_index",
+        "_canonical_positions",
+        "_canonical_pick",
+        "_domain_attributes",
+        "_fingerprint",
+        "_union_memo",
+        "_restrict_memo",
+        "_subscheme_memo",
+    )
 
     def __init__(self, attributes: Iterable[AttributeLike]):
         attrs = tuple(as_attribute(a) for a in attributes)
@@ -43,6 +67,33 @@ class RelationScheme:
         self._names: Tuple[str, ...] = names
         self._name_set: FrozenSet[str] = frozenset(names)
         self._by_name: Dict[str, Attribute] = {a.name: a for a in attrs}
+        # Positional kernel support: O(1) name -> position lookup, plus the
+        # permutation that lists positions in sorted-name order so tuples can
+        # hash and compare independently of the scheme's presentation order.
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        self._canonical_positions: Tuple[int, ...] = tuple(
+            self._index[name] for name in sorted(names)
+        )
+        if self._canonical_positions == tuple(range(len(names))):
+            # Already in sorted-name order: the canonical view is the row itself.
+            self._canonical_pick: Callable[[Tuple], Tuple] = _identity
+        else:
+            self._canonical_pick = make_row_picker(self._canonical_positions)
+        # Only attributes with attached domains need value validation; most
+        # schemes have none, letting tuple constructors skip the check loop.
+        self._domain_attributes: Tuple[Tuple[int, Attribute], ...] = tuple(
+            (i, a) for i, a in enumerate(attrs) if a.domain is not None
+        )
+        # Cache/memo key.  Attribute equality deliberately ignores domains, so
+        # keys must include them explicitly or cached plans would hand one
+        # scheme's domain metadata to a same-named scheme without it.
+        self._fingerprint: Tuple = (names, tuple(a.domain for a in attrs))
+        # Memoised scheme algebra.  Union results depend on the partner's
+        # attributes *and domains* (its fingerprint); restrict depends only on
+        # the wanted names; subscheme tests only on the partner's name set.
+        self._union_memo: Dict[Tuple, "RelationScheme"] = {}
+        self._restrict_memo: Dict[Tuple[str, ...], "RelationScheme"] = {}
+        self._subscheme_memo: Dict[FrozenSet[str], bool] = {}
 
     # -- constructors -------------------------------------------------
 
@@ -84,6 +135,33 @@ class RelationScheme:
         """The attribute names as a frozen set (the scheme's identity)."""
         return self._name_set
 
+    @property
+    def index(self) -> Dict[str, int]:
+        """The cached attribute name -> column position map (do not mutate)."""
+        return self._index
+
+    @property
+    def canonical_positions(self) -> Tuple[int, ...]:
+        """Positions listed in sorted-name order (order-independent identity)."""
+        return self._canonical_positions
+
+    @property
+    def canonical_pick(self) -> Callable[[Tuple], Tuple]:
+        """Compiled picker rearranging a row into sorted-name order."""
+        return self._canonical_pick
+
+    @property
+    def fingerprint(self) -> Tuple:
+        """Hashable identity for plan caches: attribute names plus domains."""
+        return self._fingerprint
+
+    def index_of(self, name: str) -> int:
+        """Return the column position of ``name`` in presentation order."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemeError(f"attribute {name!r} not in scheme {self}") from None
+
     def attribute(self, name: str) -> Attribute:
         """Return the attribute object with the given name."""
         try:
@@ -119,13 +197,28 @@ class RelationScheme:
 
     def is_subscheme_of(self, other: "SchemeLike") -> bool:
         """Return whether every attribute of this scheme occurs in ``other``."""
-        return self._name_set <= as_scheme(other).name_set
+        other_names = as_scheme(other).name_set
+        memo = self._subscheme_memo
+        cached = memo.get(other_names)
+        if cached is None:
+            if len(memo) >= _MEMO_LIMIT:
+                memo.clear()
+            cached = memo[other_names] = self._name_set <= other_names
+        return cached
 
     def union(self, other: SchemeLike) -> "RelationScheme":
         """Scheme union, preserving this scheme's order then new attributes."""
         other_scheme = as_scheme(other)
+        memo = self._union_memo
+        cached = memo.get(other_scheme._fingerprint)
+        if cached is not None:
+            return cached
         extra = [a for a in other_scheme.attributes if a.name not in self._name_set]
-        return RelationScheme(list(self._attributes) + extra)
+        result = RelationScheme(list(self._attributes) + extra) if extra else self
+        if len(memo) >= _MEMO_LIMIT:
+            memo.clear()
+        memo[other_scheme._fingerprint] = result
+        return result
 
     def intersection(self, other: SchemeLike) -> "RelationScheme":
         """Scheme intersection, in this scheme's order."""
@@ -139,11 +232,21 @@ class RelationScheme:
 
     def restrict(self, names: Iterable[AttributeLike]) -> "RelationScheme":
         """Return the sub-scheme containing exactly ``names``, in the given order."""
-        wanted = [as_attribute(n).name for n in names]
+        wanted = tuple(as_attribute(n).name for n in names)
+        memo = self._restrict_memo
+        cached = memo.get(wanted)
+        if cached is not None:
+            return cached
         missing = [n for n in wanted if n not in self._name_set]
         if missing:
             raise SchemeError(f"attributes {missing} not in scheme {self}")
-        return RelationScheme(self._by_name[n] for n in wanted)
+        result = self if wanted == self._names else RelationScheme(
+            self._by_name[n] for n in wanted
+        )
+        if len(memo) >= _MEMO_LIMIT:
+            memo.clear()
+        memo[wanted] = result
+        return result
 
     def renamed(self, mapping: Dict[str, str]) -> "RelationScheme":
         """Return a scheme with attributes renamed according to ``mapping``."""

@@ -11,6 +11,12 @@ Both evaluators accept either a :class:`~repro.algebra.database.Database` or a
 plain mapping from operand name to relation; the common single-relation case
 can also pass a bare relation, which is bound to every operand name whose
 scheme it matches.
+
+Every pairwise join inside an expression goes through the positional kernel's
+plan cache (:mod:`repro.perf`), so the scheme-level work of an expression's
+repeated sub-joins — key positions, output permutations, output schemes — is
+compiled once and reused across all of its intermediates; the instrumented
+evaluator reports the cache traffic in ``trace.kernel_activity``.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 from ..algebra.database import Database
 from ..algebra.operations import join_all
 from ..algebra.relation import Relation
+from ..perf.counters import kernel_counters
 from .ast import Expression, ExpressionError, Join, Operand, Projection
 
 __all__ = ["evaluate", "bind_arguments", "EvaluationTrace", "InstrumentedEvaluator", "TraceStep"]
@@ -112,6 +119,10 @@ class EvaluationTrace:
     steps: List[TraceStep] = field(default_factory=list)
     result_cardinality: int = 0
     input_cardinality: int = 0
+    #: Kernel counter deltas accumulated during the evaluation (plan cache
+    #: hits/misses, trusted tuples built, join probes) — populated by the
+    #: instrumented evaluators, empty when not measured.
+    kernel_activity: Dict[str, int] = field(default_factory=dict)
 
     def record(self, step: TraceStep) -> None:
         """Append one step to the trace."""
@@ -170,7 +181,10 @@ class InstrumentedEvaluator:
         bound = bind_arguments(expression, arguments)
         trace = EvaluationTrace()
         trace.input_cardinality = sum(len(rel) for rel in bound.values())
+        counters = kernel_counters()
+        before = counters.snapshot()
         result = self._evaluate(expression, bound, trace)
+        trace.kernel_activity = counters.delta_since(before)
         trace.result_cardinality = len(result)
         return result, trace
 

@@ -19,14 +19,18 @@ relational algebra); the tests verify this equivalence on random instances.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..algebra.operations import estimate_join_size, greedy_join
 from ..algebra.relation import Relation
+from ..perf.counters import kernel_counters
 from ..algebra.schema import RelationScheme
 from .ast import Expression, ExpressionError, Join, Operand, Projection
 from .evaluator import ArgumentLike, EvaluationTrace, TraceStep, bind_arguments
 
 __all__ = ["push_down_projections", "OptimizedEvaluator"]
+
+SizeEstimator = Callable[[Relation, Relation], float]
 
 
 def push_down_projections(expression: Expression) -> Expression:
@@ -87,7 +91,19 @@ class OptimizedEvaluator:
     :class:`~repro.expressions.evaluator.EvaluationTrace` is returned so the
     blow-up benchmark can compare peak intermediate sizes against the naive
     evaluator.
+
+    The join ordering is driven by a pluggable *size estimator*: a callable
+    ``(left, right) -> float`` scoring candidate pairwise joins.  The default
+    is :func:`repro.algebra.operations.estimate_join_size`; benchmarks pass
+    alternative estimators (e.g. a constant) to contrast orderings while
+    keeping every other part of the pipeline identical.
     """
+
+    def __init__(self, estimator: Optional[SizeEstimator] = None):
+        """Create an evaluator, optionally overriding the join size estimator."""
+        # Default through the method (not the module function) so subclasses
+        # overriding _estimate_join_size keep driving the join ordering.
+        self._estimator: SizeEstimator = estimator or self._estimate_join_size
 
     def evaluate(
         self, expression: Expression, arguments: ArgumentLike
@@ -97,7 +113,10 @@ class OptimizedEvaluator:
         bound = bind_arguments(expression, arguments)
         trace = EvaluationTrace()
         trace.input_cardinality = sum(len(rel) for rel in bound.values())
+        counters = kernel_counters()
+        before = counters.snapshot()
         result = self._evaluate(rewritten, bound, trace)
+        trace.kernel_activity = counters.delta_since(before)
         trace.result_cardinality = len(result)
         return result, trace
 
@@ -124,39 +143,17 @@ class OptimizedEvaluator:
 
     def _join_greedily(self, parts: List[Relation], trace: EvaluationTrace) -> Relation:
         """Join relations pairwise, picking the cheapest estimated pair each time."""
-        working = list(parts)
-        while len(working) > 1:
-            best_pair: Optional[Tuple[int, int]] = None
-            best_estimate = None
-            for i in range(len(working)):
-                for j in range(i + 1, len(working)):
-                    estimate = self._estimate_join_size(working[i], working[j])
-                    if best_estimate is None or estimate < best_estimate:
-                        best_estimate = estimate
-                        best_pair = (i, j)
-            i, j = best_pair  # type: ignore[misc]
-            joined = working[i].natural_join(working[j])
+
+        def record(joined: Relation, remaining: int) -> None:
             trace.record(
                 TraceStep.from_relation(
-                    f"greedy join ({len(working)} operands remaining)", "join", joined
+                    f"greedy join ({remaining} operands remaining)", "join", joined
                 )
             )
-            working = [
-                rel for index, rel in enumerate(working) if index not in (i, j)
-            ] + [joined]
-        return working[0]
+
+        return greedy_join(parts, self._estimator, observe=record)
 
     @staticmethod
     def _estimate_join_size(left: Relation, right: Relation) -> float:
-        """A crude cardinality estimate: product shrunk by shared-attribute selectivity."""
-        common = left.scheme.intersection(right.scheme)
-        size = len(left) * len(right)
-        if len(common) == 0 or size == 0:
-            return float(size)
-        # Use distinct-value counts on the join attributes as a selectivity proxy.
-        selectivity = 1.0
-        for attribute in common.names:
-            left_distinct = max(len(left.column_values(attribute)), 1)
-            right_distinct = max(len(right.column_values(attribute)), 1)
-            selectivity /= max(left_distinct, right_distinct)
-        return size * selectivity
+        """Backwards-compatible alias for :func:`repro.algebra.operations.estimate_join_size`."""
+        return estimate_join_size(left, right)

@@ -1,0 +1,59 @@
+"""Lightweight counters instrumenting the positional algebra kernel.
+
+The kernel (see :mod:`repro.algebra.relation` and ``docs/PERFORMANCE.md``)
+compiles per-scheme-pair join plans and per-projection pick lists, then runs a
+pure tuple-indexing inner loop.  These counters record how often plans are
+compiled versus reused and how many tuples the trusted constructor produces,
+so benchmarks and the instrumented evaluator can report kernel activity
+alongside cardinalities.
+
+Counters are process-global and intentionally not thread-safe: they are a
+measurement aid, not a correctness mechanism, and the hot path must not pay
+for locking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+__all__ = ["KernelCounters", "kernel_counters", "reset_kernel_counters"]
+
+
+@dataclass
+class KernelCounters:
+    """Running totals of kernel activity since the last reset."""
+
+    join_plan_hits: int = 0
+    join_plan_misses: int = 0
+    project_plan_hits: int = 0
+    project_plan_misses: int = 0
+    trusted_tuples_built: int = 0
+    join_probes: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return the counters as a plain dict (for traces and JSON output)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def delta_since(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Return the per-counter increase since an earlier :meth:`snapshot`."""
+        current = self.snapshot()
+        return {name: current[name] - earlier.get(name, 0) for name in current}
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+_COUNTERS = KernelCounters()
+
+
+def kernel_counters() -> KernelCounters:
+    """Return the process-global kernel counters."""
+    return _COUNTERS
+
+
+def reset_kernel_counters() -> None:
+    """Zero the process-global kernel counters."""
+    _COUNTERS.reset()

@@ -80,13 +80,15 @@ def _row_match(
     """Try to map one source row onto one target row, extending ``mapping``."""
     if source_row.operand != target_row.operand:
         return None
-    if source_row.attributes != target_row.attributes:
-        # Rows over the same operand always cover the operand's full scheme,
-        # but the attribute order is fixed by the scheme so this mismatch only
-        # occurs for genuinely different operands.
-        source_names = set(source_row.attributes)
-        if source_names != set(target_row.attributes):
-            return None
+    # Rows built by tableau_of_expression always cover the operand's full
+    # scheme in the scheme's fixed attribute order, but Tableau/TableauRow are
+    # public, so hand-built rows may disagree: differing attribute *sets* are
+    # a graceful no-match (a mere order difference is fine — cells are looked
+    # up by name below).
+    if source_row.attributes != target_row.attributes and set(
+        source_row.attributes
+    ) != set(target_row.attributes):
+        return None
     extended = dict(mapping)
     for attribute in source_row.attributes:
         source_cell = source_row.cell(attribute)
@@ -152,10 +154,10 @@ def minimize_tableau(tableau: Tableau) -> Tableau:
     changed = True
     while changed and len(current_rows) > 1:
         changed = False
+        full = Tableau(tableau.summary, current_rows, tableau.target_scheme)
         for index in range(len(current_rows)):
             candidate_rows = current_rows[:index] + current_rows[index + 1:]
             candidate = Tableau(tableau.summary, candidate_rows, tableau.target_scheme)
-            full = Tableau(tableau.summary, current_rows, tableau.target_scheme)
             if find_homomorphism(full, candidate) is not None:
                 current_rows = candidate_rows
                 changed = True

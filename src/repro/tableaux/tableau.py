@@ -182,25 +182,49 @@ class Tableau:
         A valuation maps each variable to a value such that every row, once
         its cells are replaced by their values, is a tuple of the relation the
         row targets.  Enumeration proceeds row by row with backtracking —
-        worst-case exponential, as the NP-hardness results promise.
+        worst-case exponential, as the NP-hardness results promise.  The row
+        to branch on is chosen dynamically: always the remaining row with the
+        most cells already pinned (constants or bound variables), which prunes
+        hopeless branches early and makes the search order deterministic
+        instead of a set-iteration-order lottery.
         """
-        yield from self._extend({}, 0, relations)
+        yield from self._extend({}, list(self._rows), relations)
+
+    @staticmethod
+    def _most_constrained(
+        rows: List[TableauRow], valuation: Dict[TableauCell, Hashable]
+    ) -> int:
+        """Index of the row with the most constant/already-bound cells."""
+        best_index = 0
+        best_score = -1
+        for index, row in enumerate(rows):
+            score = sum(
+                1
+                for _, cell in row.cells
+                if isinstance(cell, Constant) or cell in valuation
+            )
+            if score > best_score:
+                best_score = score
+                best_index = index
+        return best_index
 
     def _extend(
         self,
         valuation: Dict[TableauCell, Hashable],
-        row_index: int,
+        remaining: List[TableauRow],
         relations: Mapping[str, Relation],
     ) -> Iterator[Dict[TableauCell, Hashable]]:
-        if row_index == len(self._rows):
+        if not remaining:
             yield dict(valuation)
             return
-        row = self._rows[row_index]
+        choice = self._most_constrained(remaining, valuation)
+        row = remaining[choice]
+        rest = remaining[:choice] + remaining[choice + 1:]
         relation = relations[row.operand]
         for tup in relation:
             extended = self._match_row(row, tup, valuation)
             if extended is not None:
-                yield from self._extend(extended, row_index + 1, relations)
+                yield from self._extend(extended, rest, relations)
 
     @staticmethod
     def _match_row(
@@ -244,7 +268,7 @@ class Tableau:
                 return None
             else:
                 pinned[cell] = value
-        for valuation in self._extend(pinned, 0, relations):
+        for valuation in self._extend(pinned, list(self._rows), relations):
             return valuation
         return None
 

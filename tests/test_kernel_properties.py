@@ -1,0 +1,184 @@
+"""Randomized property tests: positional kernel vs the naive reference.
+
+The kernel rewrite (compiled join/projection plans, trusted tuple
+constructor) must be observationally identical to the seed's dict-based
+implementation, which is retained verbatim in :mod:`repro.algebra.reference`.
+These tests generate random schemes and relations and assert set-equality of
+the two implementations' results for ``natural_join``, ``project``, and
+``rename``, plus the tuple-level invariants the kernel relies on.
+"""
+
+import random
+
+from hypothesis import assume, given, settings, strategies as st
+
+import pytest
+
+from repro.algebra import (
+    Attribute,
+    Domain,
+    DomainError,
+    Relation,
+    RelationScheme,
+    RelationTuple,
+    naive_natural_join,
+    naive_project,
+    naive_rename,
+)
+from repro.perf import join_plan_cache, kernel_counters, project_plan_cache
+
+NAME_POOL = tuple("ABCDEFGHIJ")
+VALUE_POOL = st.one_of(st.integers(min_value=0, max_value=4), st.sampled_from("xyz"))
+
+
+@st.composite
+def schemes(draw, min_width=1, max_width=5):
+    width = draw(st.integers(min_value=min_width, max_value=max_width))
+    names = draw(
+        st.permutations(NAME_POOL).map(lambda p: tuple(p[:width]))
+    )
+    return RelationScheme(names)
+
+
+@st.composite
+def relations(draw, scheme=None, max_rows=12):
+    if scheme is None:
+        scheme = draw(schemes())
+    n_rows = draw(st.integers(min_value=0, max_value=max_rows))
+    rows = draw(
+        st.lists(
+            st.tuples(*([VALUE_POOL] * len(scheme))),
+            min_size=n_rows,
+            max_size=n_rows,
+        )
+    )
+    return Relation.from_rows(scheme, rows)
+
+
+@st.composite
+def joinable_pairs(draw):
+    """Two relations whose schemes overlap on a random (possibly empty) set."""
+    left_scheme = draw(schemes(max_width=4))
+    overlap = draw(
+        st.lists(st.sampled_from(left_scheme.names), unique=True, max_size=2)
+    )
+    fresh = [n for n in NAME_POOL if n not in left_scheme.name_set]
+    extra_width = draw(st.integers(min_value=0, max_value=2))
+    right_names = tuple(overlap) + tuple(fresh[:extra_width])
+    if not right_names:
+        right_names = (fresh[0],)
+    right_scheme = RelationScheme(right_names)
+    return draw(relations(scheme=left_scheme)), draw(relations(scheme=right_scheme))
+
+
+class TestKernelEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(joinable_pairs())
+    def test_natural_join_matches_reference(self, pair):
+        left, right = pair
+        kernel = left.natural_join(right)
+        reference = naive_natural_join(left, right)
+        assert kernel.scheme == reference.scheme
+        assert kernel.tuples == reference.tuples
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations(), st.randoms(use_true_random=False))
+    def test_project_matches_reference(self, relation, rng):
+        width = rng.randint(1, len(relation.scheme))
+        target = rng.sample(relation.scheme.names, width)
+        kernel = relation.project(target)
+        reference = naive_project(relation, target)
+        assert kernel.scheme == reference.scheme
+        assert kernel.tuples == reference.tuples
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations(), st.randoms(use_true_random=False))
+    def test_rename_matches_reference(self, relation, rng):
+        fresh = [n for n in "PQRSTUVW"]
+        mapping = {
+            name: fresh.pop()
+            for name in relation.scheme.names
+            if rng.random() < 0.5
+        }
+        kernel = relation.rename(mapping)
+        reference = naive_rename(relation, mapping)
+        assert kernel.scheme == reference.scheme
+        assert kernel.tuples == reference.tuples
+
+    @settings(max_examples=40, deadline=None)
+    @given(joinable_pairs())
+    def test_join_commutes(self, pair):
+        left, right = pair
+        assert left.natural_join(right) == right.natural_join(left)
+
+    @settings(max_examples=40, deadline=None)
+    @given(relations())
+    def test_project_join_restrictions(self, relation):
+        # Every joined tuple restricts to a tuple of each operand (paper, 2.1).
+        assume(len(relation.scheme) >= 2)
+        half = len(relation.scheme) // 2
+        left = relation.project(relation.scheme.names[:half])
+        right = relation.project(relation.scheme.names[half:])
+        joined = left.natural_join(right)
+        for tup in joined:
+            assert tup.project(left.scheme) in left
+            assert tup.project(right.scheme) in right
+
+
+class TestTupleInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(relations())
+    def test_reordered_scheme_presentation_is_equal(self, relation):
+        names = list(relation.scheme.names)
+        random.Random(0).shuffle(names)
+        reordered = RelationScheme(names)
+        for tup in relation:
+            twin = RelationTuple(reordered, tup.as_dict())
+            assert twin == tup
+            assert hash(twin) == hash(tup)
+
+    @settings(max_examples=40, deadline=None)
+    @given(relations())
+    def test_trusted_constructor_agrees_with_validating(self, relation):
+        for tup in relation:
+            rebuilt = RelationTuple(tup.scheme, tup.as_dict())
+            assert rebuilt == tup
+            assert hash(rebuilt) == hash(tup)
+            assert rebuilt.values_in_order() == tup.values_in_order()
+
+
+class TestPlanCacheBehaviour:
+    def test_repeated_joins_hit_the_plan_cache(self):
+        left = Relation.from_rows("A B", [(i, i + 1) for i in range(20)])
+        right = Relation.from_rows("B C", [(i, i % 3) for i in range(20)])
+        counters = kernel_counters()
+        left.natural_join(right)
+        before = counters.snapshot()
+        left.natural_join(right)
+        delta = counters.delta_since(before)
+        assert delta["join_plan_misses"] == 0
+        assert delta["join_plan_hits"] == 1
+
+    def test_plan_caches_stay_bounded(self):
+        cache = join_plan_cache()
+        assert len(cache) <= cache.maxsize
+        cache = project_plan_cache()
+        assert len(cache) <= cache.maxsize
+
+    def test_plans_do_not_leak_domains_across_same_named_schemes(self):
+        # Attribute equality ignores domains, so the plan caches must key on
+        # domains too: warming the cache with an undomained "A B" scheme must
+        # not strip the domain from a later same-named scheme's results.
+        plain = RelationScheme.of("A", "B")
+        Relation.from_rows(plain, [(1, 2)]).project("A")
+        constrained = RelationScheme(
+            [Attribute("A", Domain.of("small", [1, 2])), Attribute("B")]
+        )
+        projected = Relation.from_rows(constrained, [(1, 2)]).project("A")
+        with pytest.raises(DomainError):
+            projected.insert({"A": 999})
+        joined = Relation.from_rows(constrained, [(1, 2)]).natural_join(
+            Relation.from_rows("B C", [(2, 3)])
+        )
+        with pytest.raises(DomainError):
+            joined.insert({"A": 999, "B": 2, "C": 3})
