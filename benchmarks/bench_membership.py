@@ -3,13 +3,14 @@
 For satisfiable and unsatisfiable formulas, checks that ``u_G ∈ π_Y(φ_G(R_G))``
 iff ``G`` is satisfiable (Yannakakis / Proposition 1) and that
 ``*_i π_{Y_i}(R_G) = R_G`` iff ``G`` is unsatisfiable (Maier–Sagiv–Yannakakis),
-and compares three membership deciders (evaluation, certificate search,
-SAT-backed) on the same instances.
+and compares four membership deciders (evaluation, streaming-engine with
+early exit, certificate search, SAT-backed) on the same instances.
 """
 
 from repro.analysis import format_table
 from repro.decision import (
     CertificateMembershipDecider,
+    EngineMembershipDecider,
     ProjectJoinFixpointDecider,
     SatBackedMembershipDecider,
     tuple_in_result,
@@ -34,6 +35,9 @@ def _check(case):
     by_evaluation = tuple_in_result(
         membership_instance.tuple, membership.expression(), membership_instance.relation
     )
+    by_engine = EngineMembershipDecider().decide(
+        membership_instance.tuple, membership.expression(), membership_instance.relation
+    )
     by_certificate = (
         CertificateMembershipDecider().decide(
             membership_instance.tuple, membership.expression(), membership_instance.relation
@@ -50,11 +54,12 @@ def _check(case):
     return {
         "formula": case.label,
         "u_G member (evaluation)": by_evaluation,
+        "u_G member (engine)": by_engine,
         "u_G member (certificate)": by_certificate,
         "u_G member (SAT-backed)": by_sat,
         "*pi(R)=R (fixpoint)": fixpoint_holds,
         "G satisfiable": ground_truth,
-        "agree": by_evaluation == by_certificate == by_sat == ground_truth
+        "agree": by_evaluation == by_engine == by_certificate == by_sat == ground_truth
         and fixpoint_holds == (not ground_truth),
     }
 

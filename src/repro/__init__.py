@@ -12,6 +12,9 @@ Subpackages
     Relational model: schemes, tuples, relations, databases, operations.
 ``repro.expressions``
     Projection-join expression AST, parser, evaluators, optimiser.
+``repro.engine``
+    Streaming query-execution engine: statistics catalog, physical
+    operators, cost-based planner, ``EngineEvaluator``.
 ``repro.tableaux``
     Tableaux, homomorphisms, conjunctive-query containment (Proposition 2).
 ``repro.sat``

@@ -52,17 +52,23 @@ def estimate_join_size(left: Relation, right: Relation) -> float:
 
     Uses distinct-value counts on each shared attribute as a selectivity
     proxy (the classical System-R independence assumption).  Disjoint schemes
-    estimate as the full cartesian product.
+    estimate as the full cartesian product.  The distinct counts come from
+    the statistics catalog cached on each relation
+    (:meth:`~repro.algebra.relation.Relation.stats`), so repeated estimates
+    against the same relation — the greedy-ordering regime — never re-scan a
+    column.
     """
     common = left.scheme.intersection(right.scheme)
     size = len(left) * len(right)
     if len(common) == 0 or size == 0:
         return float(size)
+    left_stats = left.stats()
+    right_stats = right.stats()
     selectivity = 1.0
     for attribute in common.names:
-        left_distinct = max(len(left.column_values(attribute)), 1)
-        right_distinct = max(len(right.column_values(attribute)), 1)
-        selectivity /= max(left_distinct, right_distinct)
+        selectivity /= max(
+            left_stats.distinct(attribute), right_stats.distinct(attribute), 1
+        )
     return size * selectivity
 
 
@@ -73,6 +79,13 @@ def greedy_join(
 ) -> Relation:
     """Join relations pairwise, picking the cheapest estimated pair each time.
 
+    Pairwise estimates are memoised across iterations: the first step scores
+    all ``k(k-1)/2`` pairs, and each later step only scores the pairs
+    involving the previous step's result — an O(k) refresh instead of the
+    former O(k²) full recomputation per step.  The estimator stays pluggable
+    (``(left, right) -> float``); the default reads the statistics catalog
+    via :func:`estimate_join_size`.
+
     ``observe(joined, remaining)`` is called after each pairwise join with the
     new intermediate and the number of operands that remained before it (the
     optimiser uses this to record its evaluation trace).
@@ -80,24 +93,38 @@ def greedy_join(
     if not relations:
         raise JoinError("greedy_join requires at least one relation")
     estimate = estimator or estimate_join_size
-    working = list(relations)
-    while len(working) > 1:
+    nodes: List[Optional[Relation]] = list(relations)
+    alive: List[int] = list(range(len(nodes)))
+    estimates: Dict[Tuple[int, int], float] = {}
+
+    def pairwise(a: int, b: int) -> float:
+        key = (a, b) if a < b else (b, a)
+        cached = estimates.get(key)
+        if cached is None:
+            cached = estimates[key] = estimate(nodes[a], nodes[b])
+        return cached
+
+    while len(alive) > 1:
         best_pair: Optional[Tuple[int, int]] = None
         best_estimate: Optional[float] = None
-        for i in range(len(working)):
-            for j in range(i + 1, len(working)):
-                candidate = estimate(working[i], working[j])
+        for position, a in enumerate(alive):
+            for b in alive[position + 1 :]:
+                candidate = pairwise(a, b)
                 if best_estimate is None or candidate < best_estimate:
                     best_estimate = candidate
-                    best_pair = (i, j)
-        i, j = best_pair  # type: ignore[misc]
-        joined = working[i].natural_join(working[j])
+                    best_pair = (a, b)
+        a, b = best_pair  # type: ignore[misc]
+        joined = nodes[a].natural_join(nodes[b])
         if observe is not None:
-            observe(joined, len(working))
-        working = [
-            rel for index, rel in enumerate(working) if index not in (i, j)
-        ] + [joined]
-    return working[0]
+            observe(joined, len(alive))
+        alive = [index for index in alive if index not in (a, b)]
+        # Drop the consumed relations (indices stay stable for the memo
+        # keys); retaining them would keep every intermediate alive for the
+        # whole join — a real memory cost on exactly the blow-up workloads.
+        nodes[a] = nodes[b] = None  # type: ignore[call-overload]
+        nodes.append(joined)
+        alive.append(len(nodes) - 1)
+    return nodes[alive[0]]
 
 
 def join_all(

@@ -95,7 +95,7 @@ class Relation:
     attribute name to value, or as plain value sequences in scheme order.
     """
 
-    __slots__ = ("_scheme", "_rows", "_name", "_materialized", "_hash")
+    __slots__ = ("_scheme", "_rows", "_name", "_materialized", "_hash", "_stats")
 
     def __init__(
         self,
@@ -112,6 +112,7 @@ class Relation:
         self._name = name
         self._materialized: Optional[FrozenSet[RelationTuple]] = None
         self._hash: Optional[int] = None
+        self._stats = None
 
     # -- constructors -------------------------------------------------
 
@@ -155,6 +156,7 @@ class Relation:
         relation._name = name
         relation._materialized = None
         relation._hash = None
+        relation._stats = None
         return relation
 
     # -- basic protocol -----------------------------------------------
@@ -194,6 +196,7 @@ class Relation:
         relation = Relation._from_trusted(self._scheme, self._rows, name)
         relation._materialized = self._materialized
         relation._hash = self._hash
+        relation._stats = self._stats
         return relation
 
     def __len__(self) -> int:
@@ -252,6 +255,23 @@ class Relation:
     def cardinality(self) -> int:
         """Return the number of tuples (``|R|`` in the paper)."""
         return len(self._rows)
+
+    def stats(self):
+        """The relation's statistics catalog entry, computed lazily and cached.
+
+        Returns a :class:`repro.engine.stats.RelationStats` with the
+        cardinality plus per-column distinct counts and min/max bounds.
+        Relations are immutable, so the entry is computed at most once —
+        every operation returns a fresh relation whose slot starts empty
+        (construction *is* invalidation).  The cost-based planner and
+        :func:`~repro.algebra.operations.estimate_join_size` read from here.
+        """
+        cached = self._stats
+        if cached is None:
+            from ..engine.stats import RelationStats
+
+            cached = self._stats = RelationStats.from_relation(self)
+        return cached
 
     def sorted_rows(self, names: Optional[Sequence[str]] = None) -> List[Row]:
         """Return rows as value tuples, deterministically sorted.

@@ -37,6 +37,10 @@ class BlowupMeasurement:
     naive_total: int
     optimized_peak: Optional[int]
     optimized_total: Optional[int]
+    #: Peak rows simultaneously resident in the streaming engine's state
+    #: (hash tables, dedup sets, result accumulator) — ``None`` when the
+    #: engine comparison was not requested.
+    engine_peak_live: Optional[int] = None
 
     @property
     def naive_blowup_vs_input(self) -> float:
@@ -55,6 +59,13 @@ class BlowupMeasurement:
             return None
         return self.naive_peak / self.optimized_peak
 
+    @property
+    def engine_gain(self) -> Optional[float]:
+        """How much smaller the engine's live peak is (naive_peak / engine_peak_live)."""
+        if self.engine_peak_live in (None, 0):
+            return None
+        return self.naive_peak / self.engine_peak_live
+
     def as_row(self) -> Dict[str, float]:
         """A flat dict for tabular output."""
         row: Dict[str, float] = {
@@ -68,6 +79,9 @@ class BlowupMeasurement:
         if self.optimized_peak is not None:
             row["optimized_peak"] = float(self.optimized_peak)
             row["optimizer_gain"] = float(self.optimizer_gain or 0.0)
+        if self.engine_peak_live is not None:
+            row["engine_peak_live"] = float(self.engine_peak_live)
+            row["engine_gain"] = float(self.engine_gain or 0.0)
         return row
 
 
@@ -76,8 +90,16 @@ def analyze_blowup(
     arguments: ArgumentLike,
     label: str = "",
     compare_optimizer: bool = True,
+    compare_engine: bool = False,
 ) -> BlowupMeasurement:
-    """Measure peak intermediate sizes for one evaluation."""
+    """Measure peak intermediate sizes for one evaluation.
+
+    With ``compare_engine`` the streaming engine
+    (:class:`~repro.engine.evaluator.EngineEvaluator`) also runs the query;
+    its result is checked against the naive evaluation and its peak *live*
+    row count — the streaming analogue of peak materialised cardinality —
+    is recorded in :attr:`BlowupMeasurement.engine_peak_live`.
+    """
     naive_result, naive_trace = InstrumentedEvaluator().evaluate(expression, arguments)
     optimized_peak: Optional[int] = None
     optimized_total: Optional[int] = None
@@ -92,6 +114,17 @@ def analyze_blowup(
             )
         optimized_peak = optimized_trace.peak_intermediate_cardinality
         optimized_total = optimized_trace.total_intermediate_tuples
+    engine_peak_live: Optional[int] = None
+    if compare_engine:
+        from ..engine.evaluator import EngineEvaluator
+
+        engine_result, engine_trace = EngineEvaluator().evaluate(expression, arguments)
+        if engine_result != naive_result:
+            raise AssertionError(
+                "engine evaluation disagreed with naive evaluation; "
+                "this indicates a bug in the streaming operators or planner"
+            )
+        engine_peak_live = engine_trace.peak_live_rows
     return BlowupMeasurement(
         label=label,
         input_cardinality=naive_trace.input_cardinality,
@@ -100,15 +133,23 @@ def analyze_blowup(
         naive_total=naive_trace.total_intermediate_tuples,
         optimized_peak=optimized_peak,
         optimized_total=optimized_total,
+        engine_peak_live=engine_peak_live,
     )
 
 
 def blowup_sweep(
     instances: Sequence[Tuple[str, Expression, ArgumentLike]],
     compare_optimizer: bool = True,
+    compare_engine: bool = False,
 ) -> List[BlowupMeasurement]:
     """Measure a family of (label, expression, arguments) instances."""
     return [
-        analyze_blowup(expression, arguments, label=label, compare_optimizer=compare_optimizer)
+        analyze_blowup(
+            expression,
+            arguments,
+            label=label,
+            compare_optimizer=compare_optimizer,
+            compare_engine=compare_engine,
+        )
         for label, expression, arguments in instances
     ]

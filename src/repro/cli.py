@@ -20,7 +20,16 @@ Python:
     full table).
 
 ``python -m repro blowup --clauses 3 4 5``
-    Print the intermediate-result blow-up table for the R_G family.
+    Print the intermediate-result blow-up table for the R_G family,
+    including the streaming engine's peak live-row count (``--no-engine``
+    to skip it).
+
+``python -m repro engine-explain "project[A](R * S)" --scheme "R=A B" --scheme "S=B C"``
+    Lower an expression through the cost-based planner and print the chosen
+    physical plan with per-node cardinality/cost estimates.  Statistics are
+    assumed from ``--cardinality NAME=N`` declarations (default 100 rows per
+    operand); ``--paper`` explains and runs the paper's worked example on
+    its real relation instead.
 
 Formulas are written in the textual syntax of
 :func:`repro.sat.parse_formula` (``|`` or ``+`` inside clauses, ``&`` between
@@ -118,9 +127,99 @@ def _command_blowup(arguments: argparse.Namespace) -> int:
     for case in growing_construction_family(clause_counts=tuple(arguments.clauses)):
         construction = RGConstruction(case.formula)
         query = Projection([construction.s_attribute], construction.expression)
-        measurement = analyze_blowup(query, construction.relation, label=case.label)
+        measurement = analyze_blowup(
+            query,
+            construction.relation,
+            label=case.label,
+            compare_engine=not arguments.no_engine,
+        )
         rows.append({"case": case.label, **measurement.as_row()})
     print(format_table(rows))
+    return 0
+
+
+def _parse_named_values(pairs: List[str], option: str) -> dict:
+    values = {}
+    for pair in pairs:
+        name, separator, value = pair.partition("=")
+        if not separator or not name or not value:
+            raise SystemExit(f"{option} expects NAME=VALUE, got {pair!r}")
+        values[name] = value
+    return values
+
+
+def _validated_cardinality(value, option: str) -> int:
+    try:
+        cardinality = int(value)
+    except ValueError:
+        raise SystemExit(f"{option}={value!r}: not an integer")
+    if not 0 <= cardinality <= 10**15:
+        raise SystemExit(f"{option}={value}: must be between 0 and 10^15")
+    return cardinality
+
+
+def _command_engine_explain(arguments: argparse.Namespace) -> int:
+    from .engine import EngineEvaluator, PlannerConfig, RelationStats, plan_expression
+    from .expressions import parse_expression
+
+    config = PlannerConfig(prefer_merge=arguments.prefer_merge)
+    if arguments.paper:
+        if arguments.expression or arguments.scheme or arguments.cardinality:
+            raise SystemExit(
+                "--paper explains the worked example and cannot be combined "
+                "with an expression, --scheme, or --cardinality"
+            )
+        construction = paper_example_construction()
+        expression = Projection([construction.s_attribute], construction.expression)
+        relation = construction.relation
+        evaluator = EngineEvaluator(config)
+        bound = {name: relation for name in expression.operand_names()}
+        plan = evaluator.plan_for(expression, bound)
+        print("phi_G =", expression.to_text())
+        print()
+        print(plan.explain())
+        result, trace = evaluator.evaluate(expression, bound)
+        print()
+        print(
+            f"executed: {trace.result_cardinality} result tuples, "
+            f"peak live rows {trace.peak_live_rows} "
+            f"(input {trace.input_cardinality})"
+        )
+        return 0
+    if not arguments.expression:
+        raise SystemExit("an expression is required unless --paper is given")
+    schemes = _parse_named_values(arguments.scheme, "--scheme")
+    if not schemes:
+        raise SystemExit("engine-explain needs at least one --scheme NAME=\"A B ...\"")
+    expression = parse_expression(arguments.expression, schemes)
+    default_cardinality = _validated_cardinality(
+        arguments.default_cardinality, "--default-cardinality"
+    )
+    cardinalities = {
+        name: _validated_cardinality(value, f"--cardinality {name}")
+        for name, value in _parse_named_values(
+            arguments.cardinality, "--cardinality"
+        ).items()
+    }
+    operand_schemes = expression.operand_schemes()
+    # A typo'd name would otherwise silently fall back to the default
+    # cardinality and explain a plan for the wrong statistics.
+    for option, names in (("--scheme", schemes), ("--cardinality", cardinalities)):
+        unknown = sorted(set(names) - set(operand_schemes))
+        if unknown:
+            raise SystemExit(
+                f"{option} names {unknown} do not appear in the expression "
+                f"(operands: {sorted(operand_schemes)})"
+            )
+    stats = {}
+    for name, operand_scheme in operand_schemes.items():
+        cardinality = cardinalities.get(name, default_cardinality)
+        stats[name] = RelationStats.assumed(operand_scheme.names, cardinality)
+    plan = plan_expression(expression, stats, config)
+    print(f"expression: {expression.to_text()}")
+    print(f"estimated result rows: {plan.est_rows:.1f}   estimated cost: {plan.est_cost:.1f}")
+    print()
+    print(plan.explain())
     return 0
 
 
@@ -166,7 +265,53 @@ def build_parser() -> argparse.ArgumentParser:
     blowup_parser.add_argument(
         "--clauses", type=int, nargs="+", default=[3, 4, 5], help="clause counts to sweep"
     )
+    blowup_parser.add_argument(
+        "--no-engine",
+        action="store_true",
+        help="skip the streaming engine's peak-live-rows comparison",
+    )
     blowup_parser.set_defaults(handler=_command_blowup)
+
+    explain_parser = subparsers.add_parser(
+        "engine-explain",
+        help="print the cost-based physical plan the streaming engine would run",
+    )
+    explain_parser.add_argument(
+        "expression",
+        nargs="?",
+        help="expression text, e.g. 'project[A](R * S)' (omit with --paper)",
+    )
+    explain_parser.add_argument(
+        "--scheme",
+        action="append",
+        default=[],
+        metavar="NAME=ATTRS",
+        help="operand scheme, e.g. --scheme 'R=A B C' (repeatable)",
+    )
+    explain_parser.add_argument(
+        "--cardinality",
+        action="append",
+        default=[],
+        metavar="NAME=N",
+        help="assumed operand cardinality for the cost model (repeatable)",
+    )
+    explain_parser.add_argument(
+        "--default-cardinality",
+        type=int,
+        default=100,
+        help="assumed cardinality for operands without --cardinality (default 100)",
+    )
+    explain_parser.add_argument(
+        "--prefer-merge",
+        action="store_true",
+        help="force sort-merge joins instead of hash joins",
+    )
+    explain_parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="explain and execute the paper's worked example on its real relation",
+    )
+    explain_parser.set_defaults(handler=_command_engine_explain)
 
     return parser
 

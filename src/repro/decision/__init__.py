@@ -17,6 +17,7 @@ from .equality import EqualityVerdict, QueryResultEqualityDecider
 from .fixpoint import FixpointVerdict, ProjectJoinFixpointDecider
 from .membership import (
     CertificateMembershipDecider,
+    EngineMembershipDecider,
     MembershipWitness,
     SatBackedMembershipDecider,
     tuple_in_result,
@@ -29,6 +30,7 @@ __all__ = [
     "MembershipWitness",
     "CertificateMembershipDecider",
     "SatBackedMembershipDecider",
+    "EngineMembershipDecider",
     "EqualityVerdict",
     "QueryResultEqualityDecider",
     "CardinalityVerdict",

@@ -9,7 +9,11 @@ Three deciders are provided and cross-checked by the test-suite:
   space, exponential time in the worst case);
 * :class:`SatBackedMembershipDecider` — encode the valuation search as a CNF
   formula and run the DPLL solver, demonstrating the NP-membership direction
-  of the paper's results as an executable reduction *into* SAT.
+  of the paper's results as an executable reduction *into* SAT;
+* :class:`EngineMembershipDecider` — stream the expression through the
+  query-execution engine (:mod:`repro.engine`) and short-circuit on the
+  first occurrence of the candidate, so neither the result nor any
+  intermediate is ever materialised.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ __all__ = [
     "MembershipWitness",
     "CertificateMembershipDecider",
     "SatBackedMembershipDecider",
+    "EngineMembershipDecider",
 ]
 
 
@@ -39,6 +44,57 @@ def tuple_in_result(
 ) -> bool:
     """Decide ``candidate ∈ expression(arguments)`` by full evaluation."""
     return candidate in evaluate(expression, arguments)
+
+
+class EngineMembershipDecider:
+    """Decide membership by streaming evaluation with early exit.
+
+    The streaming engine yields result rows incrementally, so the decider
+    can stop at the candidate's first occurrence — on satisfiable blow-up
+    instances this touches a fraction of the result and never materialises
+    any intermediate.  Plans are pinned on the wrapped
+    :class:`~repro.engine.evaluator.EngineEvaluator`, so deciding many
+    tuples against one expression re-plans nothing.
+    """
+
+    def __init__(self, evaluator=None):
+        if evaluator is None:
+            from ..engine.evaluator import EngineEvaluator
+
+            evaluator = EngineEvaluator()
+        self._evaluator = evaluator
+
+    def decide(
+        self,
+        candidate: RelationTuple,
+        expression: Expression,
+        arguments: ArgumentLike,
+    ) -> bool:
+        """Return whether ``candidate ∈ expression(arguments)``, streaming."""
+        from ..algebra.errors import TupleSchemeMismatch
+        from ..algebra.tuples import as_tuple
+        from ..engine.physical import MemoryMeter
+
+        bound = bind_arguments(expression, arguments)
+        plan = self._evaluator.plan_for(expression, bound)
+        root = plan.executor(bound, MemoryMeter())
+        try:
+            # Interpret the candidate against the *expression's* result
+            # scheme (the order every other decider uses — a plain value
+            # sequence means that order), then realign to the physical
+            # plan's output order, which follows the greedy join order.
+            canonical = as_tuple(expression.target_scheme(), candidate)
+            target = as_tuple(root.scheme, canonical)._values
+        except TupleSchemeMismatch:
+            return False
+        blocks = root.blocks()
+        try:
+            for block in blocks:
+                if target in block:
+                    return True
+            return False
+        finally:
+            blocks.close()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,71 @@
+"""Streaming query-execution engine: statistics, physical operators, planner.
+
+The engine is the production-facing execution layer on top of the positional
+algebra kernel (PR 1):
+
+``repro.engine.stats``
+    Per-relation statistics catalog (cardinality, per-column distinct counts
+    and bounds), cached on :meth:`repro.algebra.relation.Relation.stats`.
+``repro.engine.physical``
+    Iterator/generator physical operators — table scan, streaming projection
+    with dedup, hash join with stats-chosen build side, blocked merge join
+    for sorted inputs, union/difference — that stream blocks of raw
+    positional rows without materialising intermediates, metering the rows
+    resident in engine state.
+``repro.engine.planner``
+    A cost model lowering :mod:`repro.expressions.ast` trees into physical
+    plans: memoised greedy join ordering, hash-vs-merge selection, build-side
+    choice, with every compiled scheme-level artifact resolved at plan time.
+``repro.engine.evaluator``
+    :class:`EngineEvaluator` — the streaming counterpart of
+    :class:`~repro.expressions.optimizer.OptimizedEvaluator`, pinning one
+    plan per expression and reporting ``peak_live_rows`` in its trace.
+
+See ``docs/ENGINE.md`` for the operator contract and invariants.
+"""
+
+from .evaluator import EngineEvaluator
+from .physical import (
+    BLOCK_ROWS,
+    HashJoin,
+    MemoryMeter,
+    MergeJoin,
+    PhysicalOperator,
+    Sort,
+    StreamingDifference,
+    StreamingProject,
+    StreamingUnion,
+    TableScan,
+)
+from .planner import PhysicalPlan, PlanNode, Planner, PlannerConfig, plan_expression
+from .stats import (
+    ColumnStats,
+    RelationStats,
+    estimate_join_cardinality,
+    join_stats,
+    project_stats,
+)
+
+__all__ = [
+    "EngineEvaluator",
+    "BLOCK_ROWS",
+    "MemoryMeter",
+    "PhysicalOperator",
+    "TableScan",
+    "StreamingProject",
+    "HashJoin",
+    "MergeJoin",
+    "Sort",
+    "StreamingUnion",
+    "StreamingDifference",
+    "Planner",
+    "PlannerConfig",
+    "PlanNode",
+    "PhysicalPlan",
+    "plan_expression",
+    "ColumnStats",
+    "RelationStats",
+    "estimate_join_cardinality",
+    "join_stats",
+    "project_stats",
+]

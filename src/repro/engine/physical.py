@@ -1,0 +1,661 @@
+"""Streaming physical operators: block iterators over raw positional rows.
+
+Every operator consumes and produces *blocks* — plain Python lists of raw
+value tuples aligned with the operator's output scheme — rather than single
+rows, so the per-row cost stays a tight inner loop (the same discipline as
+the materialising kernel in :mod:`repro.algebra.relation`) while only
+operator *state* (hash tables, dedup sets, sort buffers) is ever resident.
+Intermediate join results are never materialised: a probe row flows through
+the whole operator tree and is dropped as soon as the root has consumed it.
+
+The iterator contract (see ``docs/ENGINE.md``):
+
+* ``blocks()`` returns a fresh generator of ``List[Row]`` blocks; rows are
+  tuples aligned with ``operator.scheme.names``; blocks are never retained
+  by the producer and may be mutated by the consumer.
+* An operator acquires meter budget (``MemoryMeter.acquire``) for every row
+  it holds in state and releases it when the generator is exhausted or
+  closed — ``peak_live_rows`` therefore measures rows *resident* in the
+  engine, the streaming analogue of the materialising evaluators' peak
+  intermediate cardinality.
+* ``output_order`` names the attributes the output is sorted on (``None``
+  when unordered).  :class:`Sort` establishes an order, :class:`MergeJoin`
+  requires one on both inputs and preserves it on the join key.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..perf.counters import kernel_counters
+from ..perf.plancache import JoinPlan, make_key_picker
+from .stats import RelationStats
+
+__all__ = [
+    "BLOCK_ROWS",
+    "MemoryMeter",
+    "PhysicalOperator",
+    "TableScan",
+    "StreamingProject",
+    "HashJoin",
+    "MergeJoin",
+    "Sort",
+    "StreamingUnion",
+    "StreamingDifference",
+]
+
+Row = Tuple[Hashable, ...]
+Block = List[Row]
+
+#: Rows per block.  Large enough to amortise generator suspension, small
+#: enough that an in-flight block never rivals operator state for memory.
+BLOCK_ROWS = 1024
+
+_COUNTERS = kernel_counters()
+
+
+class MemoryMeter:
+    """Tracks rows resident in engine state, and the high-water mark.
+
+    One meter is shared by every operator of an executing plan (plus the
+    evaluator's result accumulator), so ``peak`` is the peak number of rows
+    *simultaneously* live anywhere in the engine — deliberately a stricter
+    accounting than the materialising evaluators' per-step maximum.
+    """
+
+    __slots__ = ("current", "peak")
+
+    def __init__(self) -> None:
+        self.current = 0
+        self.peak = 0
+
+    def acquire(self, rows: int = 1) -> None:
+        """Record ``rows`` additional rows becoming resident."""
+        self.current += rows
+        if self.current > self.peak:
+            self.peak = self.current
+
+    def release(self, rows: int) -> None:
+        """Record ``rows`` rows being dropped from state."""
+        self.current -= rows
+
+
+class PhysicalOperator:
+    """Base class of the physical operators.
+
+    Concrete operators set ``scheme`` (the output
+    :class:`~repro.algebra.schema.RelationScheme`), ``output_order``, and
+    implement :meth:`blocks`.  ``rows_out`` counts rows yielded by the most
+    recent execution, so the evaluator can trace per-operator cardinalities
+    without materialising anything.  ``est_rows`` / ``est_cost`` are filled
+    in by the planner and are purely informational at execution time.
+    """
+
+    scheme: Any
+    output_order: Optional[Tuple[str, ...]] = None
+    est_rows: float = 0.0
+    est_cost: float = 0.0
+    rows_out: int = 0
+
+    def __init__(self, meter: MemoryMeter):
+        self.meter = meter
+
+    def blocks(self) -> Iterator[Block]:
+        """Yield the output as a sequence of row blocks (fresh generator)."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Row]:
+        for block in self.blocks():
+            for row in block:
+                yield row
+
+    def children(self) -> Tuple["PhysicalOperator", ...]:
+        """The input operators (for tracing and explain output)."""
+        return ()
+
+    def label(self) -> str:
+        """A one-line description used by traces and ``engine-explain``."""
+        return type(self).__name__
+
+
+class TableScan(PhysicalOperator):
+    """Stream a stored relation's raw rows.
+
+    The relation belongs to the caller and is not copied, so a scan holds no
+    engine state and acquires no meter budget.
+    """
+
+    def __init__(self, relation, meter: MemoryMeter, name: Optional[str] = None):
+        super().__init__(meter)
+        self._relation = relation
+        self._name = name or relation.name or "relation"
+        self.scheme = relation.scheme
+
+    def blocks(self) -> Iterator[Block]:
+        self.rows_out = 0
+        block: Block = []
+        append = block.append
+        for row in self._relation.rows:
+            append(row)
+            if len(block) >= BLOCK_ROWS:
+                self.rows_out += len(block)
+                yield block
+                block = []
+                append = block.append
+        if block:
+            self.rows_out += len(block)
+            yield block
+
+    def label(self) -> str:
+        return f"scan {self._name}"
+
+
+class StreamingProject(PhysicalOperator):
+    """Project each row onto a pick list, optionally deduplicating.
+
+    With ``dedup`` (the default) a seen-set holds one entry per *output* row
+    — the only state, released on exhaustion.  The planner disables dedup
+    when the consumer is a hash-join build side, whose per-key row sets
+    deduplicate for free; output duplicates are then possible and the
+    consumer must tolerate them.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        pick: Callable[[Row], Row],
+        scheme,
+        meter: MemoryMeter,
+        dedup: bool = True,
+    ):
+        super().__init__(meter)
+        self._child = child
+        self._pick = pick
+        self._dedup = dedup
+        self.scheme = scheme
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self._child,)
+
+    def blocks(self) -> Iterator[Block]:
+        self.rows_out = 0
+        pick = self._pick
+        meter = self.meter
+        if not self._dedup:
+            for block in self._child.blocks():
+                out = [pick(row) for row in block]
+                self.rows_out += len(out)
+                yield out
+            return
+        seen: Set[Row] = set()
+        add = seen.add
+        try:
+            for block in self._child.blocks():
+                out: Block = []
+                append = out.append
+                before = len(seen)
+                for row in block:
+                    values = pick(row)
+                    if values not in seen:
+                        add(values)
+                        append(values)
+                meter.acquire(len(seen) - before)
+                if out:
+                    self.rows_out += len(out)
+                    yield out
+        finally:
+            meter.release(len(seen))
+            seen.clear()
+
+    def label(self) -> str:
+        dedup = "" if self._dedup else ", no dedup"
+        return f"project[{', '.join(self.scheme.names)}]({self._child.label()}{dedup})"
+
+
+class HashJoin(PhysicalOperator):
+    """Streaming hash join: drain the build side into buckets, stream the probe.
+
+    The output layout is fixed by the compiled
+    :class:`~repro.perf.plancache.JoinPlan` as ``left ++ (right - left)``
+    regardless of which side is built, exactly like the materialising kernel.
+    Buckets hold *sets* (full left rows, or right ``(key, extras)``
+    fragments — both in bijection with the build side's rows), so duplicates
+    from a dedup-free build child collapse in the table.  Only the build side
+    is ever resident; a disjoint-scheme join degenerates to a product with a
+    single bucket.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        plan: JoinPlan,
+        meter: MemoryMeter,
+        build_side: str = "right",
+    ):
+        super().__init__(meter)
+        if build_side not in ("left", "right"):
+            raise ValueError(f"build_side must be 'left' or 'right', got {build_side!r}")
+        self._left = left
+        self._right = right
+        self._plan = plan
+        self.build_side = build_side
+        self.scheme = plan.joined_scheme
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self._left, self._right)
+
+    def blocks(self) -> Iterator[Block]:
+        self.rows_out = 0
+        plan = self._plan
+        meter = self.meter
+        buckets: Dict[Hashable, Set[Row]] = {}
+        resident = 0
+        try:
+            if self.build_side == "left":
+                key_of = plan.left_key_of
+                # Acquire per build block, not after the drain: a stateful
+                # build-side subtree (e.g. a projection over a join) holds
+                # its own metered state *until* the drain completes, and the
+                # peak must count both residencies while they overlap.
+                for block in self._left.blocks():
+                    added = 0
+                    for left_values in block:
+                        key = key_of(left_values)
+                        bucket = buckets.get(key)
+                        if bucket is None:
+                            buckets[key] = {left_values}
+                            added += 1
+                        elif left_values not in bucket:
+                            bucket.add(left_values)
+                            added += 1
+                    resident += added
+                    meter.acquire(added)
+                # Freeze buckets into tuples: faster probe-side iteration
+                # and a cheap single-match fast path.
+                frozen = {key: tuple(bucket) for key, bucket in buckets.items()}
+                right_key_of = plan.right_key_of
+                extra_of = plan.right_extra_of
+                frozen_get = frozen.get
+                for block in self._right.blocks():
+                    out: Block = []
+                    append = out.append
+                    extend = out.extend
+                    _COUNTERS.join_probes += len(block)
+                    for right_values in block:
+                        bucket = frozen_get(right_key_of(right_values))
+                        if bucket is not None:
+                            extra = extra_of(right_values)
+                            if len(bucket) == 1:
+                                append(bucket[0] + extra)
+                            else:
+                                extend(left_values + extra for left_values in bucket)
+                    if out:
+                        self.rows_out += len(out)
+                        yield out
+            else:
+                key_of = plan.right_key_of
+                extra_of = plan.right_extra_of
+                for block in self._right.blocks():
+                    added = 0
+                    for right_values in block:
+                        key = key_of(right_values)
+                        extra = extra_of(right_values)
+                        bucket = buckets.get(key)
+                        if bucket is None:
+                            buckets[key] = {extra}
+                            added += 1
+                        elif extra not in bucket:
+                            bucket.add(extra)
+                            added += 1
+                    resident += added
+                    meter.acquire(added)
+                frozen = {key: tuple(bucket) for key, bucket in buckets.items()}
+                left_key_of = plan.left_key_of
+                frozen_get = frozen.get
+                for block in self._left.blocks():
+                    out = []
+                    append = out.append
+                    extend = out.extend
+                    _COUNTERS.join_probes += len(block)
+                    for left_values in block:
+                        bucket = frozen_get(left_key_of(left_values))
+                        if bucket is not None:
+                            if len(bucket) == 1:
+                                append(left_values + bucket[0])
+                            else:
+                                extend(left_values + extra for extra in bucket)
+                    if out:
+                        self.rows_out += len(out)
+                        yield out
+        finally:
+            meter.release(resident)
+            buckets.clear()
+
+    def label(self) -> str:
+        return f"hash join [build={self.build_side}] on ({', '.join(self._plan.common_names) or 'x'})"
+
+
+def _merge_key_picker(scheme, names: Tuple[str, ...]) -> Callable[[Row], Hashable]:
+    index = scheme.index
+    return make_key_picker(tuple(index[name] for name in names))
+
+
+def _ordered_lt(a: Hashable, b: Hashable) -> bool:
+    """A deterministic total preorder over arbitrary hashable key values.
+
+    Native comparison is used only where it is known to be a *total* order
+    — numbers across their tower (keeping ``2`` and ``2.0`` equivalent, as
+    their hash/equality demands), same-type strings/bytes, and tuples
+    element-wise — because merely catching ``TypeError`` is not enough:
+    partially ordered types like ``frozenset`` answer ``<`` with ``False``
+    in both directions without raising, which would make two independent
+    sorts disagree.  Everything else orders by type name then ``repr``.
+    (Boundary: equal values of an exotic type whose reprs differ would not
+    group adjacently; hash join — the default — has no such restriction.)
+    """
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a < b
+    type_a, type_b = type(a), type(b)
+    if type_a is type_b:
+        if type_a is str or type_a is bytes:
+            return a < b
+        if type_a is tuple:
+            for x, y in zip(a, b):
+                if _ordered_lt(x, y):
+                    return True
+                if _ordered_lt(y, x):
+                    return False
+            return len(a) < len(b)
+        return repr(a) < repr(b)
+    return (type_a.__name__, repr(a)) < (type_b.__name__, repr(b))
+
+
+class _OrderedKey:
+    """Sort-key wrapper applying :func:`_ordered_lt`.
+
+    Both :class:`Sort` and :class:`MergeJoin` order through this one
+    wrapper, so the order a sort produces is exactly the order the merge's
+    advance logic assumes.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Hashable):
+        self.value = value
+
+    def __lt__(self, other: "_OrderedKey") -> bool:
+        return _ordered_lt(self.value, other.value)
+
+
+class MergeJoin(PhysicalOperator):
+    """Blocked merge join over inputs already sorted on the join key.
+
+    Both inputs must deliver rows ordered on the common attributes (the
+    planner only places a merge join under that invariant, inserting
+    :class:`Sort` nodes when configured to).  Only the current key group of
+    each side is buffered — the "block" of equal-key rows — so resident
+    state is bounded by the largest key group, not the input.  The output
+    inherits the key order.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        plan: JoinPlan,
+        meter: MemoryMeter,
+    ):
+        super().__init__(meter)
+        if not plan.common_names:
+            raise ValueError("merge join requires at least one shared attribute")
+        for side in (left, right):
+            order = side.output_order or ()
+            if tuple(order[: len(plan.common_names)]) != plan.common_names:
+                raise ValueError(
+                    f"merge join requires inputs sorted on {plan.common_names}, "
+                    f"got order {order} from {side.label()}"
+                )
+        self._left = left
+        self._right = right
+        self._plan = plan
+        self.scheme = plan.joined_scheme
+        self.output_order = plan.common_names
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self._left, self._right)
+
+    @staticmethod
+    def _groups(
+        rows: Iterator[Row], key_of: Callable[[Row], Hashable]
+    ) -> Iterator[Tuple[Hashable, List[Row]]]:
+        """Yield ``(key, rows)`` groups from a key-ordered row stream."""
+        group: List[Row] = []
+        group_key: Hashable = None
+        for row in rows:
+            key = key_of(row)
+            if group and key != group_key:
+                yield group_key, group
+                group = []
+            group_key = key
+            group.append(row)
+        if group:
+            yield group_key, group
+
+    def blocks(self) -> Iterator[Block]:
+        self.rows_out = 0
+        plan = self._plan
+        meter = self.meter
+        left_groups = self._groups(iter(self._left), plan.left_key_of)
+        right_groups = self._groups(iter(self._right), plan.right_key_of)
+        extra_of = plan.right_extra_of
+        buffered = 0
+        out: Block = []
+        try:
+            left_entry = next(left_groups, None)
+            right_entry = next(right_groups, None)
+            while left_entry is not None and right_entry is not None:
+                left_key, left_group = left_entry
+                right_key, right_group = right_entry
+                if left_key == right_key:
+                    meter.release(buffered)
+                    buffered = len(left_group) + len(right_group)
+                    meter.acquire(buffered)
+                    extras = [extra_of(right_values) for right_values in right_group]
+                    for left_values in left_group:
+                        out.extend(left_values + extra for extra in extras)
+                        if len(out) >= BLOCK_ROWS:
+                            self.rows_out += len(out)
+                            yield out
+                            out = []
+                    left_entry = next(left_groups, None)
+                    right_entry = next(right_groups, None)
+                else:
+                    # Keys are drawn from streams sorted by _OrderedKey;
+                    # advance the smaller under that same order.
+                    if _OrderedKey(left_key) < _OrderedKey(right_key):
+                        left_entry = next(left_groups, None)
+                    else:
+                        right_entry = next(right_groups, None)
+            if out:
+                self.rows_out += len(out)
+                yield out
+        finally:
+            meter.release(buffered)
+
+    def label(self) -> str:
+        return f"merge join on ({', '.join(self._plan.common_names)})"
+
+
+class Sort(PhysicalOperator):
+    """Materialise and sort the input on a key (establishing an output order).
+
+    The whole input is resident while sorting — a sort is never free; the
+    planner only pays for it when a downstream merge join (or an explicit
+    request) wants the order.  Keys are ordered through :class:`_OrderedKey`
+    (native comparison, per-pair ``(type, repr)`` fallback), the same order
+    :class:`MergeJoin` advances by.
+    """
+
+    def __init__(self, child: PhysicalOperator, key_names: Tuple[str, ...], meter: MemoryMeter):
+        super().__init__(meter)
+        missing = [name for name in key_names if name not in child.scheme.name_set]
+        if missing:
+            raise ValueError(f"sort key attributes {missing} not in scheme {child.scheme}")
+        self._child = child
+        self._key_names = tuple(key_names)
+        self._key_of = _merge_key_picker(child.scheme, self._key_names)
+        self.scheme = child.scheme
+        self.output_order = self._key_names
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self._child,)
+
+    def blocks(self) -> Iterator[Block]:
+        self.rows_out = 0
+        meter = self.meter
+        rows: List[Row] = []
+        resident = 0
+        try:
+            for block in self._child.blocks():
+                rows.extend(block)
+                meter.acquire(len(block))
+                resident += len(block)
+            key_of = self._key_of
+            rows.sort(key=lambda row: _OrderedKey(key_of(row)))
+            for start in range(0, len(rows), BLOCK_ROWS):
+                block = rows[start : start + BLOCK_ROWS]
+                self.rows_out += len(block)
+                yield block
+        finally:
+            meter.release(resident)
+            rows.clear()
+
+    def label(self) -> str:
+        return f"sort by ({', '.join(self._key_names)})"
+
+
+def _align_pick(from_scheme, to_scheme) -> Optional[Callable[[Row], Row]]:
+    """A picker realigning rows of ``from_scheme`` to ``to_scheme``'s order."""
+    if from_scheme.names == to_scheme.names:
+        return None
+    from ..algebra.tuples import _project_plan
+
+    return _project_plan(from_scheme, to_scheme).pick
+
+
+class StreamingUnion(PhysicalOperator):
+    """Set union: stream the left input, then unseen rows of the right.
+
+    Resident state is the seen-set — one entry per output row, exactly the
+    materialised union's size, but the output itself still streams.
+    """
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator, meter: MemoryMeter):
+        super().__init__(meter)
+        if left.scheme != right.scheme:
+            raise ValueError(
+                f"union requires identical schemes: {left.scheme} vs {right.scheme}"
+            )
+        self._left = left
+        self._right = right
+        self._realign = _align_pick(right.scheme, left.scheme)
+        self.scheme = left.scheme
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self._left, self._right)
+
+    def blocks(self) -> Iterator[Block]:
+        self.rows_out = 0
+        meter = self.meter
+        seen: Set[Row] = set()
+        add = seen.add
+        realign = self._realign
+        try:
+            for source, pick in ((self._left, None), (self._right, realign)):
+                for block in source.blocks():
+                    out: Block = []
+                    append = out.append
+                    before = len(seen)
+                    for row in block:
+                        if pick is not None:
+                            row = pick(row)
+                        if row not in seen:
+                            add(row)
+                            append(row)
+                    meter.acquire(len(seen) - before)
+                    if out:
+                        self.rows_out += len(out)
+                        yield out
+        finally:
+            meter.release(len(seen))
+            seen.clear()
+
+    def label(self) -> str:
+        return "union"
+
+
+class StreamingDifference(PhysicalOperator):
+    """Set difference: drain the right side into a set, stream the left.
+
+    Resident state is the right input (plus a small dedup guard for left
+    duplicates when the left child does not deduplicate).
+    """
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator, meter: MemoryMeter):
+        super().__init__(meter)
+        if left.scheme != right.scheme:
+            raise ValueError(
+                f"difference requires identical schemes: {left.scheme} vs {right.scheme}"
+            )
+        self._left = left
+        self._right = right
+        self._realign = _align_pick(right.scheme, left.scheme)
+        self.scheme = left.scheme
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self._left, self._right)
+
+    def blocks(self) -> Iterator[Block]:
+        self.rows_out = 0
+        meter = self.meter
+        excluded: Set[Row] = set()
+        emitted: Set[Row] = set()
+        realign = self._realign
+        try:
+            for block in self._right.blocks():
+                before = len(excluded)
+                if realign is not None:
+                    excluded.update(realign(row) for row in block)
+                else:
+                    excluded.update(block)
+                meter.acquire(len(excluded) - before)
+            for block in self._left.blocks():
+                out: Block = []
+                append = out.append
+                before = len(emitted)
+                for row in block:
+                    if row not in excluded and row not in emitted:
+                        emitted.add(row)
+                        append(row)
+                meter.acquire(len(emitted) - before)
+                if out:
+                    self.rows_out += len(out)
+                    yield out
+        finally:
+            meter.release(len(excluded) + len(emitted))
+            excluded.clear()
+            emitted.clear()
+
+    def label(self) -> str:
+        return "difference"

@@ -1,0 +1,401 @@
+"""Cost-based lowering of projection-join expressions into physical plans.
+
+The planner turns an :mod:`repro.expressions.ast` tree into a tree of
+:class:`PlanNode` descriptors, resolving every scheme-level artifact once —
+compiled :class:`~repro.perf.plancache.JoinPlan` / projection pick lists are
+looked up (and thereby compiled) at *planning* time and stored in the nodes,
+so repeated executions of a pinned plan never touch the process-global LRU
+caches again (see :class:`~repro.engine.evaluator.EngineEvaluator`, which
+pins one plan per expression).
+
+Decisions are driven by the statistics catalog (:mod:`repro.engine.stats`):
+
+* **Join ordering** — an n-ary join is ordered greedily by estimated output
+  cardinality, with pairwise estimates memoised across iterations (the same
+  fix :func:`repro.algebra.operations.greedy_join` applies to the
+  materialising path).
+* **Build side** — each hash join builds its table on the side with the
+  smaller estimated cardinality and streams the other.
+* **Hash vs merge** — a merge join is placed when both inputs already
+  deliver rows ordered on the join key (an order established by a
+  :class:`~repro.engine.physical.Sort` or inherited through earlier
+  operators), or when :attr:`PlannerConfig.prefer_merge` forces sorts in.
+
+The cost model is deliberately coarse — unit cost per row scanned, built,
+probed, or emitted, ``n·log2(n)`` for sorts — because its only job is to
+rank alternatives whose cardinalities differ by orders of magnitude (the
+paper's blow-up regime).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional, Tuple
+
+from ..algebra.relation import Relation, _join_plan
+from ..algebra.tuples import _project_plan
+from ..expressions.ast import Expression, ExpressionError, Join, Operand, Projection
+from .physical import (
+    HashJoin,
+    MemoryMeter,
+    MergeJoin,
+    PhysicalOperator,
+    Sort,
+    StreamingProject,
+    TableScan,
+)
+from .stats import RelationStats, estimate_join_cardinality, join_stats, project_stats
+
+__all__ = ["PlannerConfig", "PlanNode", "PhysicalPlan", "Planner", "plan_expression"]
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Planner knobs.
+
+    ``prefer_merge`` forces sort-merge joins (inserting the sorts) even when
+    hash joins would be cheaper — used by tests and ``engine-explain`` to
+    contrast strategies.  ``dedup_into_builds`` lets a projection feeding a
+    hash-join build side skip its own seen-set (the build table's per-key row
+    sets deduplicate for free).
+    """
+
+    prefer_merge: bool = False
+    dedup_into_builds: bool = True
+
+
+@dataclass
+class PlanNode:
+    """One physical operator choice, with estimates, ready to instantiate."""
+
+    kind: str  # "scan" | "project" | "hash-join" | "merge-join" | "sort"
+    scheme: object
+    stats: RelationStats
+    cost: float
+    children: Tuple["PlanNode", ...] = ()
+    order: Optional[Tuple[str, ...]] = None
+    # kind-specific payloads:
+    operand_name: Optional[str] = None
+    pick: Optional[Callable] = None
+    dedup: bool = True
+    join_plan: Optional[object] = None
+    build_side: str = "right"
+    sort_key: Tuple[str, ...] = ()
+
+    @property
+    def est_rows(self) -> float:
+        """The estimated output cardinality."""
+        return float(self.stats.cardinality)
+
+    def describe(self) -> str:
+        """The node's one-line explain label (without estimates)."""
+        if self.kind == "scan":
+            return f"scan {self.operand_name}"
+        if self.kind == "project":
+            dedup = "" if self.dedup else ", no dedup"
+            return f"project[{', '.join(self.scheme.names)}]{dedup}"
+        if self.kind == "hash-join":
+            on = ", ".join(self.join_plan.common_names) or "x (product)"
+            return f"hash join on ({on}) [build={self.build_side}]"
+        if self.kind == "merge-join":
+            return f"merge join on ({', '.join(self.join_plan.common_names)})"
+        if self.kind == "sort":
+            return f"sort by ({', '.join(self.sort_key)})"
+        return self.kind
+
+    def instantiate(
+        self, bindings: Mapping[str, Relation], meter: MemoryMeter
+    ) -> PhysicalOperator:
+        """Build the executable operator tree for one evaluation."""
+        if self.kind == "scan":
+            relation = bindings[self.operand_name]
+            scan = TableScan(relation, meter, name=self.operand_name)
+            operator: PhysicalOperator = scan
+            if relation.scheme.names != self.scheme.names:
+                # The plan compiled against a different presentation order of
+                # the same scheme: realign rows with a (dedup-free) pick.
+                realign = _project_plan(relation.scheme, self.scheme)
+                operator = StreamingProject(
+                    scan, realign.pick, self.scheme, meter, dedup=False
+                )
+        elif self.kind == "project":
+            child = self.children[0].instantiate(bindings, meter)
+            operator = StreamingProject(child, self.pick, self.scheme, meter, dedup=self.dedup)
+        elif self.kind == "hash-join":
+            left = self.children[0].instantiate(bindings, meter)
+            right = self.children[1].instantiate(bindings, meter)
+            operator = HashJoin(left, right, self.join_plan, meter, build_side=self.build_side)
+        elif self.kind == "merge-join":
+            left = self.children[0].instantiate(bindings, meter)
+            right = self.children[1].instantiate(bindings, meter)
+            operator = MergeJoin(left, right, self.join_plan, meter)
+        elif self.kind == "sort":
+            child = self.children[0].instantiate(bindings, meter)
+            operator = Sort(child, self.sort_key, meter)
+        else:  # pragma: no cover - defensive
+            raise ExpressionError(f"unknown plan node kind {self.kind!r}")
+        # The planner's tracked order is authoritative (operators created
+        # here only know their own local ordering behaviour).
+        if self.order is not None:
+            operator.output_order = self.order
+        operator.est_rows = self.est_rows
+        operator.est_cost = self.cost
+        return operator
+
+
+@dataclass
+class PhysicalPlan:
+    """A pinned physical plan: the node tree plus the planner's estimates."""
+
+    root: PlanNode
+    expression: Expression
+    config: PlannerConfig = field(default_factory=PlannerConfig)
+
+    @property
+    def est_rows(self) -> float:
+        """Estimated result cardinality."""
+        return self.root.est_rows
+
+    @property
+    def est_cost(self) -> float:
+        """Estimated total cost (unit-per-row model)."""
+        return self.root.cost
+
+    def executor(self, bindings: Mapping[str, Relation], meter: MemoryMeter) -> PhysicalOperator:
+        """Instantiate the operator tree against one set of bound relations."""
+        return self.root.instantiate(bindings, meter)
+
+    def explain(self) -> str:
+        """Render the plan as an indented tree with per-node estimates."""
+        lines: List[str] = []
+
+        def render(node: PlanNode, depth: int) -> None:
+            indent = "  " * depth
+            lines.append(
+                f"{indent}{node.describe()}"
+                f"  [est_rows={node.est_rows:.1f} cost={node.cost:.1f}]"
+            )
+            for child in node.children:
+                render(child, depth + 1)
+
+        render(self.root, 0)
+        return "\n".join(lines)
+
+
+class Planner:
+    """Lower expressions into :class:`PhysicalPlan` trees using catalog stats."""
+
+    def __init__(self, config: Optional[PlannerConfig] = None):
+        self.config = config or PlannerConfig()
+
+    def plan(
+        self, expression: Expression, stats: Mapping[str, RelationStats]
+    ) -> PhysicalPlan:
+        """Plan ``expression`` given one catalog entry per operand name."""
+        missing = sorted(expression.operand_names() - set(stats))
+        if missing:
+            raise ExpressionError(f"no statistics provided for operands {missing}")
+        root = self._lower(expression, stats)
+        # The final projection dedups into the evaluator's result set anyway,
+        # but keeping the node's own dedup makes rows_out the true result
+        # cardinality for traces; only *inner* dedups are planner-elided.
+        return PhysicalPlan(root=root, expression=expression, config=self.config)
+
+    # -- lowering ------------------------------------------------------
+
+    def _lower(self, node: Expression, stats: Mapping[str, RelationStats]) -> PlanNode:
+        if isinstance(node, Operand):
+            entry = stats[node.name]
+            return PlanNode(
+                kind="scan",
+                scheme=node.scheme,
+                stats=entry,
+                cost=float(entry.cardinality),
+                operand_name=node.name,
+            )
+        if isinstance(node, Projection):
+            child = self._lower(node.child, stats)
+            plan = _project_plan(child.scheme, node.target)
+            out_stats = project_stats(child.stats, plan.target_scheme.names)
+            kept = plan.target_scheme.name_set
+            order: Optional[Tuple[str, ...]] = None
+            if child.order:
+                prefix = []
+                for name in child.order:
+                    if name not in kept:
+                        break
+                    prefix.append(name)
+                order = tuple(prefix) or None
+            cost = child.cost + child.est_rows + out_stats.cardinality
+            return PlanNode(
+                kind="project",
+                scheme=plan.target_scheme,
+                stats=out_stats,
+                cost=cost,
+                children=(child,),
+                order=order,
+                pick=plan.pick,
+                dedup=True,
+            )
+        if isinstance(node, Join):
+            parts = [self._lower(part, stats) for part in node.parts]
+            return self._order_joins(parts)
+        raise ExpressionError(f"unknown expression node {node!r}")
+
+    # -- join ordering -------------------------------------------------
+
+    def _order_joins(self, parts: List[PlanNode]) -> PlanNode:
+        """Order an n-ary join into a pipelined left-deep chain, greedily.
+
+        The first pair is the one with the smallest estimated join
+        cardinality; every later step extends the accumulated chain with the
+        operand minimising the estimated next result.  A left-deep chain
+        keeps the (potentially exponential) accumulated intermediate on the
+        streaming probe side of every hash join — only base operands ever
+        become resident build tables, which is what bounds the engine's peak
+        live rows by the inputs on the paper's blow-up constructions.
+
+        Unlike the materialising ``greedy_join`` (which re-scans all pairs
+        every step and therefore memoises), no estimate is ever needed
+        twice here: the initial pass scores each pair once, and every chain
+        extension scores pairs involving the fresh accumulated node —
+        O(k²) estimator calls in total.
+        """
+        nodes: List[PlanNode] = list(parts)
+
+        def estimate_between(a: PlanNode, b: PlanNode) -> float:
+            common = [
+                name for name in a.scheme.names if name in b.scheme.name_set
+            ]
+            return estimate_join_cardinality(a.stats, b.stats, common)
+
+        remaining = list(range(len(nodes)))
+        best_pair = (remaining[0], remaining[1])
+        best_estimate = math.inf
+        for position, a in enumerate(remaining):
+            for b in remaining[position + 1 :]:
+                candidate = estimate_between(nodes[a], nodes[b])
+                if candidate < best_estimate:
+                    best_estimate = candidate
+                    best_pair = (a, b)
+        a, b = best_pair
+        accumulated = self._join_pair(nodes[a], nodes[b])
+        remaining = [index for index in remaining if index not in (a, b)]
+        while remaining:
+            best_index = remaining[0]
+            best_estimate = math.inf
+            for index in remaining:
+                candidate = estimate_between(accumulated, nodes[index])
+                if candidate < best_estimate:
+                    best_estimate = candidate
+                    best_index = index
+            accumulated = self._join_pair(accumulated, nodes[best_index])
+            remaining.remove(best_index)
+        return accumulated
+
+    def _join_pair(self, left: PlanNode, right: PlanNode) -> PlanNode:
+        plan = _join_plan(left.scheme, right.scheme)
+        common = plan.common_names
+        out_stats = join_stats(left.stats, right.stats, plan.joined_scheme.names, common)
+
+        def ordered_on_key(node: PlanNode) -> bool:
+            return bool(common) and tuple((node.order or ())[: len(common)]) == common
+
+        if common and (
+            (ordered_on_key(left) and ordered_on_key(right)) or self.config.prefer_merge
+        ):
+            children = []
+            for child in (left, right):
+                if not ordered_on_key(child):
+                    children.append(self._sorted(child, common))
+                else:
+                    children.append(child)
+            cost = (
+                children[0].cost
+                + children[1].cost
+                + children[0].est_rows
+                + children[1].est_rows
+                + out_stats.cardinality
+            )
+            return PlanNode(
+                kind="merge-join",
+                scheme=plan.joined_scheme,
+                stats=out_stats,
+                cost=cost,
+                children=tuple(children),
+                order=common,
+                join_plan=plan,
+            )
+
+        # Build-side choice: smaller estimated side, except that a join
+        # child never becomes the build table while a non-join sibling is
+        # available — building on a join output would materialise exactly
+        # the intermediate the streaming pipeline exists to avoid, and the
+        # estimate that would justify it is the least reliable one in the
+        # model (compounded independence assumptions).
+        left_is_join = left.kind in ("hash-join", "merge-join")
+        right_is_join = right.kind in ("hash-join", "merge-join")
+        if left_is_join != right_is_join:
+            build_side = "right" if left_is_join else "left"
+        else:
+            build_side = "left" if left.est_rows < right.est_rows else "right"
+        build, probe = (left, right) if build_side == "left" else (right, left)
+        if self.config.dedup_into_builds and build.kind == "project" and build.dedup:
+            # The build table's per-key row sets deduplicate for free; drop
+            # the projection's own seen-set so its output streams stateless.
+            build = PlanNode(
+                kind="project",
+                scheme=build.scheme,
+                stats=build.stats,
+                cost=build.cost - build.est_rows,
+                children=build.children,
+                order=build.order,
+                pick=build.pick,
+                dedup=False,
+            )
+            if build_side == "left":
+                left = build
+            else:
+                right = build
+        cost = (
+            left.cost
+            + right.cost
+            + 2.0 * build.est_rows  # build: insert every row into the table
+            + probe.est_rows  # probe: one lookup per streamed row
+            + out_stats.cardinality
+        )
+        # Output rows stream in probe order (contiguous runs per probe row),
+        # so the probe side's order survives the join.
+        return PlanNode(
+            kind="hash-join",
+            scheme=plan.joined_scheme,
+            stats=out_stats,
+            cost=cost,
+            children=(left, right),
+            order=probe.order,
+            join_plan=plan,
+            build_side=build_side,
+        )
+
+    def _sorted(self, child: PlanNode, key: Tuple[str, ...]) -> PlanNode:
+        rows = max(child.est_rows, 1.0)
+        cost = child.cost + rows * math.log2(rows + 1.0) + rows
+        return PlanNode(
+            kind="sort",
+            scheme=child.scheme,
+            stats=child.stats,
+            cost=cost,
+            children=(child,),
+            order=key,
+            sort_key=key,
+        )
+
+
+def plan_expression(
+    expression: Expression,
+    stats: Mapping[str, RelationStats],
+    config: Optional[PlannerConfig] = None,
+) -> PhysicalPlan:
+    """Convenience wrapper: plan ``expression`` with the given catalog entries."""
+    return Planner(config).plan(expression, stats)

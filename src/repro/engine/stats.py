@@ -1,0 +1,221 @@
+"""Per-relation statistics catalog driving the cost-based planner.
+
+Every :class:`~repro.algebra.relation.Relation` carries (lazily, cached) a
+:class:`RelationStats`: its cardinality plus per-column distinct counts and
+min/max bounds.  Relations are immutable, so *construction is invalidation* —
+a relation's stats are computed at most once, from its final rows, and every
+algebra operation returns a fresh relation whose stats slot starts empty.
+
+The catalog serves two consumers:
+
+* :func:`repro.algebra.operations.estimate_join_size` (and through it
+  ``greedy_join`` / the :class:`~repro.expressions.optimizer.OptimizedEvaluator`)
+  reads cached distinct counts instead of re-scanning columns on every
+  estimate;
+* the physical planner (:mod:`repro.engine.planner`) propagates stats through
+  plan nodes with the classical System-R independence assumptions, so join
+  ordering and build-side selection never require materialising anything.
+
+Stats can also be *assumed* (:meth:`RelationStats.assumed`) for planning
+without data — the ``repro engine-explain`` CLI uses this to explain a plan
+from schemes and declared cardinalities alone.
+
+This module deliberately imports nothing from :mod:`repro.algebra`: it reads
+relations duck-typed (``.scheme.names`` / ``.rows``), which lets
+``Relation.stats()`` import it lazily without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "ColumnStats",
+    "RelationStats",
+    "estimate_join_cardinality",
+    "join_stats",
+    "project_stats",
+]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics of one column: distinct count and (optional) value bounds.
+
+    ``minimum``/``maximum`` are ``None`` when the column is empty or holds
+    values of mutually incomparable types.
+    """
+
+    distinct_count: int
+    minimum: Optional[Hashable] = None
+    maximum: Optional[Hashable] = None
+
+    @classmethod
+    def from_values(cls, values: Iterable[Hashable]) -> "ColumnStats":
+        """Compute stats from a column's values (duplicates allowed).
+
+        An already-distinct ``set`` is used as-is (never mutated), sparing
+        the per-column copy on the ``RelationStats.from_relation`` hot path.
+        """
+        distinct = values if isinstance(values, (set, frozenset)) else set(values)
+        minimum: Optional[Hashable] = None
+        maximum: Optional[Hashable] = None
+        if distinct:
+            try:
+                minimum = min(distinct)
+                maximum = max(distinct)
+            except TypeError:
+                pass
+        return cls(distinct_count=len(distinct), minimum=minimum, maximum=maximum)
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """The statistics catalog entry for one relation (or plan node output).
+
+    ``columns`` maps every attribute name of the relation's scheme to its
+    :class:`ColumnStats`.  Entries are immutable; derived entries for plan
+    nodes are built by :func:`join_stats` / :func:`project_stats`.
+    """
+
+    cardinality: int
+    columns: Mapping[str, ColumnStats]
+
+    @classmethod
+    def from_relation(cls, relation) -> "RelationStats":
+        """Compute the catalog entry for a relation in one pass over its rows."""
+        names: Tuple[str, ...] = relation.scheme.names
+        rows = relation.rows
+        value_sets: Tuple[set, ...] = tuple(set() for _ in names)
+        for row in rows:
+            for values, value in zip(value_sets, row):
+                values.add(value)
+        columns = {
+            name: ColumnStats.from_values(values)
+            for name, values in zip(names, value_sets)
+        }
+        return cls(cardinality=len(rows), columns=columns)
+
+    @classmethod
+    def assumed(
+        cls,
+        names: Sequence[str],
+        cardinality: int,
+        distinct: Optional[Mapping[str, int]] = None,
+    ) -> "RelationStats":
+        """Build a synthetic entry for planning without data.
+
+        Every column defaults to ``cardinality`` distinct values (each row
+        distinct in every column — the most pessimistic selectivity), unless
+        overridden via ``distinct``.
+        """
+        overrides = distinct or {}
+        columns = {
+            name: ColumnStats(distinct_count=max(int(overrides.get(name, cardinality)), 0))
+            for name in names
+        }
+        return cls(cardinality=max(int(cardinality), 0), columns=columns)
+
+    def distinct(self, name: str) -> int:
+        """Distinct-value count of a column (0 for unknown columns)."""
+        column = self.columns.get(name)
+        return column.distinct_count if column is not None else 0
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        """The :class:`ColumnStats` of a column, or ``None`` if unknown."""
+        return self.columns.get(name)
+
+
+def estimate_join_cardinality(
+    left: RelationStats, right: RelationStats, common: Sequence[str]
+) -> float:
+    """Estimate ``|L * R|`` with exponentially backed-off selectivities.
+
+    Per shared attribute ``A`` the classical System-R selectivity is
+    ``1 / max(d_L(A), d_R(A))``.  Multiplying all of them (full
+    independence) catastrophically *underestimates* joins over correlated
+    key columns — exactly the R_G construction's repeated clause/Y columns —
+    which misleads the greedy join ordering into merging the constraining
+    factor too late.  Following the standard "exponential backoff"
+    correction, selectivities are applied in ascending order with exponents
+    1, 1/2, 1/4, ...: the most selective attribute counts fully and each
+    further one ever less, keeping the estimate usable whether or not the
+    key columns are independent.  Disjoint schemes estimate as the full
+    cartesian product.
+
+    (:func:`repro.algebra.operations.estimate_join_size` deliberately keeps
+    the PR 1 full-independence formula — it scores *materialised* operands
+    whose cardinalities are exact, where the compounding is mild; this
+    estimator is applied to *propagated* statistics along a whole plan.)
+    """
+    size = float(left.cardinality * right.cardinality)
+    if not common or size == 0.0:
+        return size
+    selectivities = sorted(
+        1.0 / max(left.distinct(name), right.distinct(name), 1) for name in common
+    )
+    exponent = 1.0
+    for selectivity in selectivities:
+        size *= selectivity ** exponent
+        exponent /= 2.0
+    return size
+
+
+def join_stats(
+    left: RelationStats,
+    right: RelationStats,
+    output_names: Sequence[str],
+    common: Sequence[str],
+) -> RelationStats:
+    """Propagate stats through a natural join.
+
+    The output cardinality is :func:`estimate_join_cardinality`; each shared
+    column keeps the *smaller* operand distinct count (a join can only drop
+    key values), and every column's distinct count is capped at the estimated
+    output cardinality.
+    """
+    cardinality = estimate_join_cardinality(left, right, common)
+    cap = max(int(cardinality), 0)
+    common_set = frozenset(common)
+    columns: Dict[str, ColumnStats] = {}
+    for name in output_names:
+        left_column = left.column(name)
+        right_column = right.column(name)
+        if name in common_set and left_column is not None and right_column is not None:
+            distinct = min(left_column.distinct_count, right_column.distinct_count)
+            source = left_column if left_column.distinct_count <= right_column.distinct_count else right_column
+        else:
+            source = left_column if left_column is not None else right_column
+            distinct = source.distinct_count if source is not None else cap
+        columns[name] = ColumnStats(
+            distinct_count=min(distinct, cap) if cap else 0,
+            minimum=source.minimum if source is not None else None,
+            maximum=source.maximum if source is not None else None,
+        )
+    return RelationStats(cardinality=cap, columns=columns)
+
+
+def project_stats(child: RelationStats, kept_names: Sequence[str]) -> RelationStats:
+    """Propagate stats through a deduplicating projection.
+
+    The output cardinality is bounded both by the child cardinality and by
+    the product of the kept columns' distinct counts (the projection cannot
+    produce more rows than distinct value combinations).
+    """
+    bound = 1
+    for name in kept_names:
+        bound *= max(child.distinct(name), 1)
+        if bound >= child.cardinality:
+            bound = child.cardinality
+            break
+    cardinality = min(child.cardinality, bound)
+    columns = {
+        name: ColumnStats(
+            distinct_count=min(child.distinct(name), cardinality),
+            minimum=child.column(name).minimum if child.column(name) else None,
+            maximum=child.column(name).maximum if child.column(name) else None,
+        )
+        for name in kept_names
+    }
+    return RelationStats(cardinality=cardinality, columns=columns)

@@ -123,6 +123,14 @@ class EvaluationTrace:
     #: hits/misses, trusted tuples built, join probes) — populated by the
     #: instrumented evaluators, empty when not measured.
     kernel_activity: Dict[str, int] = field(default_factory=dict)
+    #: Peak number of rows simultaneously resident in engine state (hash
+    #: tables, dedup sets, sort buffers, the result accumulator) — populated
+    #: by the streaming :class:`~repro.engine.evaluator.EngineEvaluator`; the
+    #: materialising evaluators leave it 0.  This is the streaming analogue
+    #: of :attr:`peak_intermediate_cardinality` and deliberately a *stricter*
+    #: accounting: it sums everything live at once rather than taking the
+    #: largest single relation.
+    peak_live_rows: int = 0
 
     def record(self, step: TraceStep) -> None:
         """Append one step to the trace."""
@@ -170,6 +178,7 @@ class EvaluationTrace:
             "total_intermediate_tuples": float(self.total_intermediate_tuples),
             "blowup_vs_input": self.blowup_versus_input(),
             "blowup_vs_output": self.blowup_versus_output(),
+            "peak_live_rows": float(self.peak_live_rows),
         }
 
 

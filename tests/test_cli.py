@@ -25,6 +25,8 @@ class TestParser:
             ["count", SAT_FORMULA],
             ["construct", SAT_FORMULA, "--show-relation"],
             ["blowup", "--clauses", "3", "4"],
+            ["engine-explain", "project[A](R * S)", "--scheme", "R=A B"],
+            ["engine-explain", "--paper"],
         ):
             arguments = parser.parse_args(argv)
             assert callable(arguments.handler)
@@ -68,6 +70,118 @@ class TestCommands:
         assert main(["blowup", "--clauses", "3"]) == 0
         output = capsys.readouterr().out
         assert "naive_peak" in output
+        assert "engine_peak_live" in output
+
+    def test_blowup_command_can_skip_the_engine(self, capsys):
+        assert main(["blowup", "--clauses", "3", "--no-engine"]) == 0
+        output = capsys.readouterr().out
+        assert "naive_peak" in output
+        assert "engine_peak_live" not in output
+
+    def test_engine_explain_prints_the_physical_plan(self, capsys):
+        assert (
+            main(
+                [
+                    "engine-explain",
+                    "project[A](R * S)",
+                    "--scheme",
+                    "R=A B",
+                    "--scheme",
+                    "S=B C",
+                    "--cardinality",
+                    "R=1000",
+                    "--cardinality",
+                    "S=10",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "hash join" in output
+        assert "scan R" in output and "scan S" in output
+        assert "est_rows=" in output and "cost=" in output
+
+    def test_engine_explain_prefer_merge_shows_sorts(self, capsys):
+        assert (
+            main(
+                [
+                    "engine-explain",
+                    "R * S",
+                    "--scheme",
+                    "R=A B",
+                    "--scheme",
+                    "S=B C",
+                    "--prefer-merge",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "merge join" in output and "sort by" in output
+
+    def test_engine_explain_paper_mode_executes(self, capsys):
+        assert main(["engine-explain", "--paper"]) == 0
+        output = capsys.readouterr().out
+        assert "peak live rows" in output
+        assert "scan R" in output
+
+    def test_engine_explain_requires_an_expression_or_paper(self):
+        with pytest.raises(SystemExit):
+            main(["engine-explain"])
+
+    def test_engine_explain_paper_conflicts_with_stats_options(self):
+        with pytest.raises(SystemExit):
+            main(["engine-explain", "R * S", "--scheme", "R=A B", "--paper"])
+
+    def test_engine_explain_rejects_malformed_scheme_option(self):
+        with pytest.raises(SystemExit):
+            main(["engine-explain", "R * S", "--scheme", "R:A B"])
+
+    def test_engine_explain_rejects_non_integer_cardinality(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "engine-explain",
+                    "R * S",
+                    "--scheme",
+                    "R=A B",
+                    "--scheme",
+                    "S=B C",
+                    "--cardinality",
+                    "R=abc",
+                ]
+            )
+
+    def test_engine_explain_rejects_absurd_cardinality(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "engine-explain",
+                    "R * S",
+                    "--scheme",
+                    "R=A B",
+                    "--scheme",
+                    "S=B C",
+                    "--cardinality",
+                    "R=" + "9" * 40,
+                ]
+            )
+
+    def test_engine_explain_rejects_unknown_cardinality_name(self):
+        # A typo'd operand name must not silently fall back to the default.
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "engine-explain",
+                    "R * S",
+                    "--scheme",
+                    "R=A B",
+                    "--scheme",
+                    "S=B C",
+                    "--cardinality",
+                    "r=1000000",
+                ]
+            )
 
     def test_short_formula_is_normalised_not_rejected(self, capsys):
         # A 2-literal clause and fewer than 3 clauses: the CLI normalises via
