@@ -14,8 +14,14 @@ streaming execution engine (:mod:`repro.engine`) against the materialising
 kernel evaluators on the intermediate-blowup workload: the engine's peak
 *live* row count must stay strictly below both the optimiser's and the naive
 evaluator's peak materialised cardinality, at a steady-state runtime within
-``MAX_ENGINE_RUNTIME_RATIO`` of the PR 1 kernel path.  The section is
-*appended* to the existing document — ``BENCH_algebra.json`` is the perf
+``MAX_ENGINE_RUNTIME_RATIO`` of the PR 1 kernel path.  Since the
+memory-budget PR it additionally carries ``spill`` and ``parallel``
+sections: the m=12 instance run under a ``SPILL_BUDGET_ROWS`` budget
+(Grace-hash spilling, output set-equal to the unbudgeted run, every build
+table inside the budget) and under a ``PARALLEL_WORKERS``-way partitioned
+probe scan (speedup recorded together with the host's CPU count; the
+``MIN_PARALLEL_SPEEDUP`` gate applies where >= 2 CPUs exist).  Every section
+is *appended* to the existing document — ``BENCH_algebra.json`` is the perf
 trajectory anchor and is extended, never replaced.
 
 Run standalone for the full sweep::
@@ -31,13 +37,14 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import sys
 import time
 from pathlib import Path
 from typing import Callable, Dict, List
 
 from repro.algebra import Relation, naive_natural_join, naive_project
-from repro.engine import EngineEvaluator
+from repro.engine import EngineEvaluator, default_backend
 from repro.expressions import InstrumentedEvaluator, OptimizedEvaluator, Projection
 from repro.perf import kernel_counters, plan_cache_stats
 from repro.reductions import RGConstruction
@@ -58,6 +65,16 @@ MIN_EXPECTED_SPEEDUP = 5.0
 #: tens of seconds.
 BLOWUP_CLAUSES = (10, 12)
 MAX_ENGINE_RUNTIME_RATIO = 1.25
+
+#: Budget/parallel smoke parameters (the m=12 acceptance instance): the
+#: build-side row budget the Grace-hash spill must respect, and the probe
+#: worker count whose speedup the ``parallel`` section records.
+SPILL_BUDGET_ROWS = 256
+PARALLEL_WORKERS = 4
+#: Required 4-worker speedup — only enforceable where every worker has a
+#: core to run on (``cpu_count >= workers``); on smaller hosts the measured
+#: number is still recorded (with ``cpu_count``) but the gate is vacuous.
+MIN_PARALLEL_SPEEDUP = 1.5
 
 
 def _merge_into_document(updates: Dict) -> Dict:
@@ -262,6 +279,105 @@ def run_engine_benchmark(clause_counts=BLOWUP_CLAUSES) -> Dict:
     return section
 
 
+def run_spill_parallel_benchmark(
+    clause_count: int = 12,
+    budget_rows: int = SPILL_BUDGET_ROWS,
+    workers: int = PARALLEL_WORKERS,
+) -> Dict:
+    """Budgeted (Grace-hash spill) and parallel-probe runs at m=12.
+
+    Appends ``spill`` and ``parallel`` sections to ``BENCH_algebra.json``
+    (the perf trajectory anchor is extended, never replaced).  Both runs are
+    checked set-equal against the unbudgeted serial engine before anything
+    is timed.
+    """
+    label, query, relation = next(iter(_blowup_instances((clause_count,))))
+    bound = {name: relation for name in query.operand_names()}
+
+    serial = EngineEvaluator()
+    serial_result, serial_trace = serial.evaluate(query, bound)
+
+    budgeted = EngineEvaluator(budget=budget_rows)
+    counters = kernel_counters()
+    before = counters.snapshot()
+    budgeted_result, budgeted_trace = budgeted.evaluate(query, bound)
+    spill_delta = counters.delta_since(before)
+    if budgeted_result != serial_result:
+        raise AssertionError(f"budgeted engine disagreement on {label}")
+    serial_seconds, budgeted_seconds = _best_of_interleaved(
+        lambda: serial.evaluate(query, bound),
+        lambda: budgeted.evaluate(query, bound),
+    )
+    spill_section = {
+        "description": (
+            "Grace-hash spill under a row budget on the R_G blowup workload; "
+            "output checked set-equal to the unbudgeted engine"
+        ),
+        "case": label,
+        "budget_rows": budget_rows,
+        "peak_live_rows": budgeted_trace.peak_live_rows,
+        "peak_build_rows": budgeted_trace.peak_build_rows,
+        "unbudgeted_peak_live_rows": serial_trace.peak_live_rows,
+        "join_spills": spill_delta["join_spills"],
+        "spill_partitions": spill_delta["spill_partitions"],
+        "spill_rows": spill_delta["spill_rows"],
+        "spill_recursions": spill_delta["spill_recursions"],
+        "spill_overflows": spill_delta["spill_overflows"],
+        "unbudgeted_seconds": round(serial_seconds, 6),
+        "budgeted_seconds": round(budgeted_seconds, 6),
+        "spill_runtime_ratio": round(budgeted_seconds / serial_seconds, 3),
+    }
+    print(
+        f"{label:>14}  budget {budget_rows}: live {budgeted_trace.peak_live_rows} "
+        f"(unbudgeted {serial_trace.peak_live_rows}), build peak "
+        f"{budgeted_trace.peak_build_rows}, {spill_delta['join_spills']} spills / "
+        f"{spill_delta['spill_rows']} rows spilled, runtime "
+        f"{budgeted_seconds * 1e3:,.1f}ms vs {serial_seconds * 1e3:,.1f}ms"
+    )
+
+    parallel = EngineEvaluator(workers=workers)
+    try:
+        parallel_result, parallel_trace = parallel.evaluate(query, bound)
+        if parallel_result != serial_result:
+            raise AssertionError(f"parallel engine disagreement on {label}")
+        one_worker_seconds, parallel_seconds = _best_of_interleaved(
+            lambda: serial.evaluate(query, bound),
+            lambda: parallel.evaluate(query, bound),
+        )
+    finally:
+        # Release the persistent fork pool: its daemon workers hold a
+        # forked copy of the interpreter and would outlive this benchmark.
+        parallel.close()
+    speedup = one_worker_seconds / parallel_seconds
+    cpu_count = os.cpu_count() or 1
+    parallel_section = {
+        "description": (
+            "parallel probe stage (partitioned probe scan, one pinned plan) "
+            "vs the serial engine on the R_G blowup workload"
+        ),
+        "case": label,
+        "workers": workers,
+        "backend": default_backend(),
+        "cpu_count": cpu_count,
+        "workers_1_seconds": round(one_worker_seconds, 6),
+        f"workers_{workers}_seconds": round(parallel_seconds, 6),
+        "speedup": round(speedup, 3),
+        "min_expected_speedup": MIN_PARALLEL_SPEEDUP,
+        # The gate needs one core per worker; with fewer, workers time-slice
+        # the CPUs and the recorded speedup documents that honestly rather
+        # than passing a sham (1 CPU serialises the pool entirely).
+        "speedup_gate_active": cpu_count >= workers,
+    }
+    print(
+        f"{label:>14}  probe x{workers} ({parallel_section['backend']}, "
+        f"{cpu_count} cpu): {parallel_seconds * 1e3:,.1f}ms vs "
+        f"{one_worker_seconds * 1e3:,.1f}ms serial ({speedup:.2f}x)"
+    )
+    _merge_into_document({"spill": spill_section, "parallel": parallel_section})
+    print(f"spill/parallel sections -> {OUTPUT_PATH}")
+    return {"spill": spill_section, "parallel": parallel_section}
+
+
 def test_kernel_speedup_over_seed(emit_result):
     """The compiled kernel must beat the seed implementation by >= 5x overall."""
     document = run_benchmark()
@@ -307,6 +423,58 @@ def test_engine_streaming_beats_materialisation(emit_result):
         assert case["runtime_ratio"] <= MAX_ENGINE_RUNTIME_RATIO
 
 
+def _check_spill_parallel(sections: Dict) -> None:
+    """The spill/parallel gate shared by pytest and the standalone sweep."""
+    spill = sections["spill"]
+    assert spill["join_spills"] > 0 and spill["spill_rows"] > 0
+    assert spill["spill_overflows"] == 0
+    assert spill["peak_build_rows"] <= spill["budget_rows"]
+    assert spill["peak_live_rows"] < spill["unbudgeted_peak_live_rows"]
+    parallel = sections["parallel"]
+    if os.environ.get("REQUIRE_PARALLEL_GATE") == "1":
+        # CI sets this so a too-small runner fails loudly instead of
+        # letting the speedup criterion go silently vacuous.
+        assert parallel["speedup_gate_active"], (
+            f"REQUIRE_PARALLEL_GATE=1 but this host has "
+            f"{parallel['cpu_count']} CPU(s) for {parallel['workers']} "
+            "workers — the speedup gate would be vacuous; use a runner with "
+            "at least one core per worker or unset REQUIRE_PARALLEL_GATE"
+        )
+    if parallel["speedup_gate_active"]:
+        assert parallel["speedup"] >= parallel["min_expected_speedup"], (
+            f"{parallel['workers']}-worker probe speedup {parallel['speedup']}x "
+            f"below {parallel['min_expected_speedup']}x on "
+            f"{parallel['cpu_count']} CPUs"
+        )
+
+
+def test_engine_spill_and_parallel_probe(emit_result):
+    """Budget + parallel smoke: at m=12 a 256-row budget must spill while
+    matching the unbudgeted output with every build table inside the budget,
+    and the 4-worker probe must hit the speedup gate wherever every worker
+    has a CPU to run on (the measured number is recorded either way)."""
+    sections = run_spill_parallel_benchmark()
+    spill, parallel = sections["spill"], sections["parallel"]
+    gate = "active" if parallel["speedup_gate_active"] else "inactive (1 cpu)"
+    emit_result(
+        "BENCH-spill-parallel",
+        "memory-budgeted Grace-hash spill + parallel probe (R_G m=12)",
+        "\n".join(
+            [
+                f"{spill['case']:>14}  budget {spill['budget_rows']:>5}  "
+                f"live {spill['peak_live_rows']:>6}  build peak "
+                f"{spill['peak_build_rows']:>4}  spills {spill['join_spills']:>3}  "
+                f"spilled rows {spill['spill_rows']:>6}  "
+                f"runtime ratio {spill['spill_runtime_ratio']:>5.2f}x",
+                f"{parallel['case']:>14}  probe x{parallel['workers']} "
+                f"[{parallel['backend']}]  speedup {parallel['speedup']:>5.2f}x  "
+                f"(gate {gate}, {parallel['cpu_count']} cpu)",
+            ]
+        ),
+    )
+    _check_spill_parallel(sections)
+
+
 if __name__ == "__main__":
     result = run_benchmark(cardinalities=FULL_CARDINALITIES)
     engine_section = run_engine_benchmark()
@@ -316,4 +484,10 @@ if __name__ == "__main__":
         and case["runtime_ratio"] <= MAX_ENGINE_RUNTIME_RATIO
         for case in engine_section["cases"]
     )
+    spill_parallel = run_spill_parallel_benchmark()
+    try:
+        _check_spill_parallel(spill_parallel)
+    except AssertionError as failure:
+        print(f"spill/parallel gate failed: {failure}")
+        engine_ok = False
     sys.exit(0 if result["geomean_speedup"] >= MIN_EXPECTED_SPEEDUP and engine_ok else 1)

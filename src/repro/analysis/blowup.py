@@ -91,6 +91,8 @@ def analyze_blowup(
     label: str = "",
     compare_optimizer: bool = True,
     compare_engine: bool = False,
+    engine_budget: "int | None" = None,
+    engine_workers: int = 1,
 ) -> BlowupMeasurement:
     """Measure peak intermediate sizes for one evaluation.
 
@@ -99,6 +101,10 @@ def analyze_blowup(
     its result is checked against the naive evaluation and its peak *live*
     row count — the streaming analogue of peak materialised cardinality —
     is recorded in :attr:`BlowupMeasurement.engine_peak_live`.
+    ``engine_budget`` (rows) makes that run memory-budgeted (Grace-hash
+    spilling) and ``engine_workers`` > 1 runs the parallel probe stage —
+    the cross-check against the naive result still applies, so the CLI's
+    ``--memory-budget``/``--workers`` sweeps double as correctness checks.
     """
     naive_result, naive_trace = InstrumentedEvaluator().evaluate(expression, arguments)
     optimized_peak: Optional[int] = None
@@ -118,7 +124,9 @@ def analyze_blowup(
     if compare_engine:
         from ..engine.evaluator import EngineEvaluator
 
-        engine_result, engine_trace = EngineEvaluator().evaluate(expression, arguments)
+        engine_result, engine_trace = EngineEvaluator(
+            budget=engine_budget, workers=engine_workers
+        ).evaluate(expression, arguments)
         if engine_result != naive_result:
             raise AssertionError(
                 "engine evaluation disagreed with naive evaluation; "
@@ -141,6 +149,8 @@ def blowup_sweep(
     instances: Sequence[Tuple[str, Expression, ArgumentLike]],
     compare_optimizer: bool = True,
     compare_engine: bool = False,
+    engine_budget: "int | None" = None,
+    engine_workers: int = 1,
 ) -> List[BlowupMeasurement]:
     """Measure a family of (label, expression, arguments) instances."""
     return [
@@ -150,6 +160,8 @@ def blowup_sweep(
             label=label,
             compare_optimizer=compare_optimizer,
             compare_engine=compare_engine,
+            engine_budget=engine_budget,
+            engine_workers=engine_workers,
         )
         for label, expression, arguments in instances
     ]

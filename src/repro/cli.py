@@ -22,14 +22,17 @@ Python:
 ``python -m repro blowup --clauses 3 4 5``
     Print the intermediate-result blow-up table for the R_G family,
     including the streaming engine's peak live-row count (``--no-engine``
-    to skip it).
+    to skip it).  ``--memory-budget ROWS`` runs the engine budgeted (hash
+    joins spill to Grace partitions) and ``--workers N`` runs the parallel
+    probe stage — both still cross-checked against the naive result.
 
 ``python -m repro engine-explain "project[A](R * S)" --scheme "R=A B" --scheme "S=B C"``
     Lower an expression through the cost-based planner and print the chosen
     physical plan with per-node cardinality/cost estimates.  Statistics are
     assumed from ``--cardinality NAME=N`` declarations (default 100 rows per
-    operand); ``--paper`` explains and runs the paper's worked example on
-    its real relation instead.
+    operand); ``--memory-budget ROWS`` shows the budget-aware plan (Grace
+    joins with partition estimates); ``--paper`` explains and runs the
+    paper's worked example on its real relation instead.
 
 Formulas are written in the textual syntax of
 :func:`repro.sat.parse_formula` (``|`` or ``+`` inside clauses, ``&`` between
@@ -123,6 +126,13 @@ def _command_construct(arguments: argparse.Namespace) -> int:
 def _command_blowup(arguments: argparse.Namespace) -> int:
     from .workloads import growing_construction_family
 
+    if arguments.memory_budget is not None and arguments.memory_budget <= 0:
+        raise SystemExit("--memory-budget must be a positive row count")
+    if arguments.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    from .perf import kernel_counters
+
+    before_sweep = kernel_counters().snapshot()
     rows = []
     for case in growing_construction_family(clause_counts=tuple(arguments.clauses)):
         construction = RGConstruction(case.formula)
@@ -132,9 +142,21 @@ def _command_blowup(arguments: argparse.Namespace) -> int:
             construction.relation,
             label=case.label,
             compare_engine=not arguments.no_engine,
+            engine_budget=arguments.memory_budget,
+            engine_workers=arguments.workers,
         )
         rows.append({"case": case.label, **measurement.as_row()})
     print(format_table(rows))
+    if not arguments.no_engine and arguments.memory_budget is not None:
+        spills = kernel_counters().delta_since(before_sweep)
+        print(
+            f"\nengine ran budgeted at {arguments.memory_budget} rows"
+            f" x {arguments.workers} worker(s):"
+            f" {spills['join_spills']} join spill(s),"
+            f" {spills['spill_rows']} row(s) spilled,"
+            f" {spills['spill_recursions']} recursive re-partition(s),"
+            f" {spills['spill_overflows']} overflow(s)"
+        )
     return 0
 
 
@@ -159,10 +181,24 @@ def _validated_cardinality(value, option: str) -> int:
 
 
 def _command_engine_explain(arguments: argparse.Namespace) -> int:
-    from .engine import EngineEvaluator, PlannerConfig, RelationStats, plan_expression
+    from .engine import (
+        EngineEvaluator,
+        MemoryBudget,
+        PlannerConfig,
+        RelationStats,
+        plan_expression,
+    )
     from .expressions import parse_expression
 
-    config = PlannerConfig(prefer_merge=arguments.prefer_merge)
+    if arguments.memory_budget is not None and arguments.memory_budget <= 0:
+        raise SystemExit("--memory-budget must be a positive row count")
+    if arguments.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    config = PlannerConfig(
+        prefer_merge=arguments.prefer_merge,
+        budget=MemoryBudget.coerce(arguments.memory_budget),
+        workers=arguments.workers,
+    )
     if arguments.paper:
         if arguments.expression or arguments.scheme or arguments.cardinality:
             raise SystemExit(
@@ -185,6 +221,16 @@ def _command_engine_explain(arguments: argparse.Namespace) -> int:
             f"peak live rows {trace.peak_live_rows} "
             f"(input {trace.input_cardinality})"
         )
+        if arguments.memory_budget is not None:
+            activity = trace.kernel_activity
+            print(
+                f"budget {arguments.memory_budget} rows: "
+                f"peak build rows {trace.peak_build_rows}, "
+                f"{activity.get('join_spills', 0)} join spill(s), "
+                f"{activity.get('spill_rows', 0)} row(s) spilled"
+            )
+        if arguments.workers > 1:
+            print(f"parallel probe: {arguments.workers} workers")
         return 0
     if not arguments.expression:
         raise SystemExit("an expression is required unless --paper is given")
@@ -270,6 +316,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the streaming engine's peak-live-rows comparison",
     )
+    blowup_parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="row budget for the engine run (hash joins spill to Grace partitions)",
+    )
+    blowup_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel probe workers for the engine run (default 1 = serial)",
+    )
     blowup_parser.set_defaults(handler=_command_blowup)
 
     explain_parser = subparsers.add_parser(
@@ -305,6 +364,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--prefer-merge",
         action="store_true",
         help="force sort-merge joins instead of hash joins",
+    )
+    explain_parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="row budget: hash joins become Grace (spill-to-disk) joins",
+    )
+    explain_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel probe workers when executing (--paper; default 1)",
     )
     explain_parser.add_argument(
         "--paper",

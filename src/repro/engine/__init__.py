@@ -7,31 +7,51 @@ algebra kernel (PR 1):
     Per-relation statistics catalog (cardinality, per-column distinct counts
     and bounds), cached on :meth:`repro.algebra.relation.Relation.stats`.
 ``repro.engine.physical``
-    Iterator/generator physical operators — table scan, streaming projection
-    with dedup, hash join with stats-chosen build side, blocked merge join
-    for sorted inputs, union/difference — that stream blocks of raw
-    positional rows without materialising intermediates, metering the rows
-    resident in engine state.
+    Iterator/generator physical operators — table scan (whole or one
+    worker's partition slice), streaming projection with dedup, hash join
+    with stats-chosen build side (budget-aware Grace-hash spilling to disk
+    partitions when configured), blocked merge join for sorted inputs,
+    union/difference — that stream blocks of raw positional rows without
+    materialising intermediates, metering the rows resident in engine state
+    against an optional :class:`MemoryBudget`.
 ``repro.engine.planner``
     A cost model lowering :mod:`repro.expressions.ast` trees into physical
     plans: memoised greedy join ordering, hash-vs-merge selection, build-side
-    choice, with every compiled scheme-level artifact resolved at plan time.
+    choice, budget-aware Grace lowering with partition-count estimates, with
+    every compiled scheme-level artifact resolved at plan time.
+``repro.engine.parallel``
+    The parallel probe stage: fork/thread worker pools executing one pinned
+    plan over a partitioned probe scan and merging set-equal results.
 ``repro.engine.evaluator``
     :class:`EngineEvaluator` — the streaming counterpart of
     :class:`~repro.expressions.optimizer.OptimizedEvaluator`, pinning one
-    plan per expression and reporting ``peak_live_rows`` in its trace.
+    plan per expression and reporting ``peak_live_rows`` /
+    ``peak_build_rows`` in its trace; ``budget=`` and ``workers=`` switch on
+    the spill and parallel paths.
 
 See ``docs/ENGINE.md`` for the operator contract and invariants.
 """
 
 from .evaluator import EngineEvaluator
+from .parallel import (
+    ForkProbePool,
+    ParallelExecutionError,
+    ParallelResult,
+    default_backend,
+    execute_parallel,
+)
 from .physical import (
     BLOCK_ROWS,
+    SPILL_BLOCK_ROWS,
+    GraceHashJoin,
     HashJoin,
+    MemoryBudget,
     MemoryMeter,
     MergeJoin,
+    PartitionedScan,
     PhysicalOperator,
     Sort,
+    SpillFile,
     StreamingDifference,
     StreamingProject,
     StreamingUnion,
@@ -42,6 +62,8 @@ from .stats import (
     ColumnStats,
     RelationStats,
     estimate_join_cardinality,
+    estimate_partition_count,
+    estimate_spill_depth,
     join_stats,
     project_stats,
 )
@@ -49,15 +71,25 @@ from .stats import (
 __all__ = [
     "EngineEvaluator",
     "BLOCK_ROWS",
+    "SPILL_BLOCK_ROWS",
+    "MemoryBudget",
     "MemoryMeter",
+    "SpillFile",
     "PhysicalOperator",
     "TableScan",
+    "PartitionedScan",
     "StreamingProject",
     "HashJoin",
+    "GraceHashJoin",
     "MergeJoin",
     "Sort",
     "StreamingUnion",
     "StreamingDifference",
+    "ForkProbePool",
+    "ParallelExecutionError",
+    "ParallelResult",
+    "default_backend",
+    "execute_parallel",
     "Planner",
     "PlannerConfig",
     "PlanNode",
@@ -66,6 +98,8 @@ __all__ = [
     "ColumnStats",
     "RelationStats",
     "estimate_join_cardinality",
+    "estimate_partition_count",
+    "estimate_spill_depth",
     "join_stats",
     "project_stats",
 ]

@@ -1,4 +1,4 @@
-"""The streaming query evaluator: pinned physical plans, bounded live rows.
+"""The streaming query evaluator: pinned plans, bounded live rows, budgets.
 
 :class:`EngineEvaluator` sits alongside the materialising evaluators of
 :mod:`repro.expressions` with the same ``evaluate(expression, arguments) ->
@@ -11,19 +11,39 @@ peak grows exponentially — the trace's ``peak_live_rows`` field makes the
 difference measurable against the materialising evaluators'
 ``peak_intermediate_cardinality``.
 
+Two execution knobs extend the PR 2 engine:
+
+* ``budget`` (row count or :class:`~repro.engine.physical.MemoryBudget`)
+  caps the rows resident in engine state.  Hash joins lower to
+  :class:`~repro.engine.physical.GraceHashJoin` nodes that spill their
+  build side to disk partitions when the meter would overflow, recursing on
+  oversized partitions — the output stays set-equal, the spill activity is
+  visible in ``trace.kernel_activity`` (``join_spills``, ``spill_rows``,
+  ...), and ``trace.peak_build_rows`` reports the largest build table that
+  was actually resident.
+* ``workers`` partitions the plan's driving probe scan across a worker
+  pool (:mod:`repro.engine.parallel`), executing one pinned plan
+  concurrently.  The merged output is set-equal to serial execution; if
+  the pool cannot deliver (fork unavailable, unpicklable rows) evaluation
+  silently falls back to serial, which is always correct.
+
 Plans are **pinned per expression**: the first evaluation plans against the
 bound relations' statistics catalog and stores the plan (with every compiled
 join/projection artifact resolved) in a per-evaluator dictionary keyed by the
 expression, so repeated evaluation neither re-plans nor touches the
-process-global LRU plan caches — the per-expression pinning the PR 1 roadmap
-asked for.  Call :meth:`EngineEvaluator.clear_plans` (or use a fresh
-evaluator) after the data distribution shifts enough that a replan is worth
-it; a pinned plan stays *correct* for any conforming database either way.
+process-global LRU plan caches.  Pinning is lock-guarded, so one evaluator
+may be shared by concurrent threads (each evaluation still gets its own
+meter and operator tree).  Call :meth:`EngineEvaluator.clear_plans` (or use
+a fresh evaluator) after the data distribution shifts enough that a replan
+is worth it; a pinned plan stays *correct* for any conforming database
+either way.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Set, Tuple
+import threading
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..algebra.relation import Relation
 from ..expressions.ast import Expression
@@ -34,15 +54,25 @@ from ..expressions.evaluator import (
     bind_arguments,
 )
 from ..perf.counters import kernel_counters
-from .physical import MemoryMeter, PhysicalOperator
+from .parallel import (
+    ForkProbePool,
+    ParallelExecutionError,
+    default_backend,
+    drain_metered,
+    execute_parallel,
+    operators_in_order,
+)
+from .physical import MemoryBudget, MemoryMeter, PhysicalOperator
 from .planner import PhysicalPlan, Planner, PlannerConfig
 
 __all__ = ["EngineEvaluator"]
 
 _NODE_KINDS = {
     "TableScan": "operand",
+    "PartitionedScan": "operand",
     "StreamingProject": "projection",
     "HashJoin": "join",
+    "GraceHashJoin": "join",
     "MergeJoin": "join",
     "Sort": "sort",
     "StreamingUnion": "union",
@@ -53,35 +83,133 @@ _NODE_KINDS = {
 class EngineEvaluator:
     """Evaluate projection-join expressions on the streaming engine."""
 
-    def __init__(self, config: Optional[PlannerConfig] = None, pin_plans: bool = True):
+    def __init__(
+        self,
+        config: Optional[PlannerConfig] = None,
+        pin_plans: bool = True,
+        budget: "MemoryBudget | int | None" = None,
+        workers: Optional[int] = None,
+        parallel_backend: Optional[str] = None,
+    ):
         """Create an evaluator.
 
         ``config`` tunes the planner (merge-join preference, build-side
-        dedup elision); ``pin_plans=False`` re-plans on every call, which the
-        benchmarks use to isolate planning cost.
+        dedup elision, and — when set there — budget/workers);
+        ``pin_plans=False`` re-plans on every call, which the benchmarks use
+        to isolate planning cost.  ``budget`` and ``workers`` override the
+        config's fields: a row budget triggers Grace-hash spilling, a worker
+        count > 1 enables the parallel probe stage.  ``parallel_backend``
+        forces ``"fork"`` or ``"thread"`` (default: fork where available).
         """
-        self._planner = Planner(config)
+        base = config or PlannerConfig()
+        coerced = MemoryBudget.coerce(budget)
+        if coerced is not None:
+            base = replace(base, budget=coerced)
+        if workers is not None:
+            base = replace(base, workers=max(int(workers), 1))
+        self.config = base
+        self._planner = Planner(base)
         self._pin_plans = pin_plans
         self._plans: Dict[Expression, PhysicalPlan] = {}
+        self._plans_lock = threading.Lock()
+        self._parallel_backend = parallel_backend
+        # One persistent fork pool, pinned to the most recent (plan,
+        # bindings): forking is the fork backend's fixed cost, so repeated
+        # evaluation of one bound plan — the serving steady state — forks
+        # once and re-runs the pool.
+        self._pool_entry = None
+        self._pool_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (if any).  Idempotent."""
+        with self._pool_lock:
+            if self._pool_entry is not None:
+                self._pool_entry[-1].close()
+                self._pool_entry = None
+
+    def __del__(self):  # pragma: no cover - interpreter-dependent timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _pool_for(
+        self,
+        plan: PhysicalPlan,
+        bound: Mapping[str, Relation],
+        workers: int,
+        budget_rows: Optional[int],
+    ) -> ForkProbePool:
+        """The cached pool for this exact bound plan, re-forked on change.
+
+        Identity comparison is deliberate: relations are immutable, so the
+        same objects mean the forked children's inherited copies are still
+        the truth; any rebinding forks a fresh pool (and the entry keeps
+        strong references, so ids cannot be recycled under us).
+        """
+        entry = self._pool_entry
+        if entry is not None:
+            pooled_plan, items, pooled_workers, pooled_budget, pool = entry
+            if (
+                pooled_plan is plan
+                and pooled_workers == workers
+                and pooled_budget == budget_rows
+                and len(items) == len(bound)
+                and all(bound.get(name) is relation for name, relation in items)
+            ):
+                return pool
+            pool.close()
+            self._pool_entry = None
+        pool = ForkProbePool(plan, dict(bound), workers, budget_rows)
+        self._pool_entry = (plan, tuple(bound.items()), workers, budget_rows, pool)
+        return pool
 
     def plan_for(self, expression: Expression, arguments: ArgumentLike) -> PhysicalPlan:
         """Return the (pinned) physical plan for ``expression``.
 
         The plan is built from the bound relations' statistics on first use
-        and reused verbatim afterwards.
+        and reused verbatim afterwards.  Pinning is race-free: concurrent
+        first calls may both compute a candidate, but exactly one is stored
+        and returned to everyone.
         """
-        plan = self._plans.get(expression) if self._pin_plans else None
-        if plan is None:
-            bound = bind_arguments(expression, arguments)
-            stats = {name: relation.stats() for name, relation in bound.items()}
-            plan = self._planner.plan(expression, stats)
-            if self._pin_plans:
+        if self._pin_plans:
+            plan = self._plans.get(expression)
+            if plan is not None:
+                return plan
+        bound = bind_arguments(expression, arguments)
+        stats = {name: relation.stats() for name, relation in bound.items()}
+        if not self._pin_plans:
+            return self._planner.plan(expression, stats)
+        with self._plans_lock:
+            plan = self._plans.get(expression)
+            if plan is None:
+                plan = self._planner.plan(expression, stats)
                 self._plans[expression] = plan
         return plan
 
     def clear_plans(self) -> None:
         """Drop every pinned plan (e.g. after a data-distribution shift)."""
-        self._plans.clear()
+        with self._plans_lock:
+            self._plans.clear()
+
+    def _effective_workers(
+        self, plan: PhysicalPlan, bound: Mapping[str, Relation]
+    ) -> int:
+        """Degrade the configured parallelism for plans it cannot help.
+
+        Parallelism slices the driving probe scan, so it needs one, with at
+        least one row per worker — tiny inputs run serial rather than paying
+        the pool spin-up for empty slices.
+        """
+        workers = self.config.workers
+        if workers <= 1:
+            return 1
+        name = plan.driving_scan_name()
+        if name is None:
+            return 1
+        if len(bound[name]) < workers:
+            return 1
+        return workers
 
     def evaluate(
         self, expression: Expression, arguments: ArgumentLike
@@ -89,8 +217,10 @@ class EngineEvaluator:
         """Evaluate and return ``(result, trace)``.
 
         The trace's ``steps`` record each physical operator's *streamed*
-        output cardinality (nothing was materialised); ``peak_live_rows``
-        reports the high-water mark of rows resident in engine state.
+        output cardinality (nothing was materialised; under parallel
+        execution they are summed across workers); ``peak_live_rows``
+        reports the high-water mark of rows resident in engine state, and
+        ``peak_build_rows`` the largest single hash-join build table.
         """
         bound = bind_arguments(expression, arguments)
         plan = self.plan_for(expression, bound)
@@ -99,32 +229,69 @@ class EngineEvaluator:
         counters = kernel_counters()
         before = counters.snapshot()
 
-        meter = MemoryMeter()
-        root = plan.executor(bound, meter)
-        rows: Set[Tuple] = set()
-        update = rows.update
-        size = 0
-        for block in root.blocks():
-            update(block)
-            grown = len(rows)
-            if grown != size:
-                meter.acquire(grown - size)
-                size = grown
-        result = Relation._from_trusted(root.scheme, frozenset(rows))
+        budget = self.config.budget
+        budget_rows = budget.rows if budget is not None else None
+        meter = MemoryMeter(budget_rows)
+        workers = self._effective_workers(plan, bound)
+        parallel = None
+        if workers > 1:
+            backend = self._parallel_backend or default_backend()
+            try:
+                if backend == "fork":
+                    # Serialised on the pool lock: the pool is one pinned
+                    # set of workers, not a queue.
+                    with self._pool_lock:
+                        pool = self._pool_for(plan, bound, workers, budget_rows)
+                        parallel = pool.run()
+                else:
+                    parallel = execute_parallel(
+                        plan,
+                        bound,
+                        workers,
+                        meter,
+                        budget_rows=budget_rows,
+                        backend=backend,
+                    )
+            except (ParallelExecutionError, OSError):
+                # OSError covers fork itself failing (EAGAIN/ENOMEM under
+                # pressure — exactly the regime a budgeted engine targets).
+                with self._pool_lock:
+                    if self._pool_entry is not None:
+                        self._pool_entry[-1].close()
+                        self._pool_entry = None
+                parallel = None  # serial below — always correct
+                # An aborted thread-backend attempt may have left its
+                # acquisitions on the meter; the serial run gets a fresh one
+                # so phantom rows cannot eat the budget or inflate the peak.
+                meter = MemoryMeter(budget_rows)
 
-        self._record_steps(root, trace)
+        if parallel is not None:
+            rows: Set[Tuple] = parallel.rows
+            result = Relation._from_trusted(plan.root.scheme, frozenset(rows))
+            self._record_parallel_steps(plan, bound, parallel, trace)
+            # Workers metered their result accumulation themselves (see
+            # parallel._drain), so their peaks are comparable with the
+            # serial path's state+result accounting.
+            trace.peak_live_rows = max(parallel.peak_live_rows, meter.peak)
+            trace.peak_build_rows = parallel.build_peak_rows
+        else:
+            root = plan.executor(bound, meter)
+            rows = drain_metered(root, meter)
+            result = Relation._from_trusted(root.scheme, frozenset(rows))
+            self._record_steps(root, trace)
+            trace.peak_live_rows = meter.peak
+            trace.peak_build_rows = max(
+                operator.build_peak_rows for operator in operators_in_order(root)
+            )
+
         trace.kernel_activity = counters.delta_since(before)
         trace.result_cardinality = len(result)
-        trace.peak_live_rows = meter.peak
         return result, trace
 
     @staticmethod
     def _record_steps(root: PhysicalOperator, trace: EvaluationTrace) -> None:
         """Record per-operator streamed cardinalities, children first."""
-
-        def visit(operator: PhysicalOperator) -> None:
-            for child in operator.children():
-                visit(child)
+        for operator in operators_in_order(root):
             width = len(operator.scheme)
             trace.record(
                 TraceStep(
@@ -136,4 +303,98 @@ class EngineEvaluator:
                 )
             )
 
-        visit(root)
+    @staticmethod
+    def _record_parallel_steps(
+        plan: PhysicalPlan,
+        bound: Mapping[str, Relation],
+        parallel,
+        trace: EvaluationTrace,
+    ) -> None:
+        """Record per-operator cardinalities against a template tree.
+
+        Every worker instantiates the same plan, so the trees are identical
+        in shape and traversal order; a never-executed template provides the
+        labels while the workers' ``rows_out`` provide the counts.  Counts
+        are combined **spine-aware**: operators on the sliced probe spine
+        (the slice consumer and its ancestors) see partitioned data, so
+        their per-worker counts sum to the true streamed total; every other
+        operator (build-side subtrees, scans under the driving projection)
+        re-streams identical full data in each worker and is reported once
+        (the max).  Dedup operators on the spine can still count a row in
+        two workers' streams — the documented set-equal caveat.
+
+        The (label, kind, width, on-spine) tuples are invariant per plan
+        shape, so they are computed once and cached on the plan — the
+        steady-state serving path must not rebuild an operator tree per
+        evaluation.  The shape varies only with the bindings' scheme
+        *presentation* (a reordered presentation adds a realignment wrapper
+        over its scan), so the cache key is the workers count plus each
+        operand's presented column order.
+        """
+        cache = getattr(plan, "_parallel_step_meta", None)
+        if cache is None:
+            cache = {}
+            plan._parallel_step_meta = cache
+        key = (
+            parallel.workers,
+            tuple(
+                sorted(
+                    (name, relation.scheme.names) for name, relation in bound.items()
+                )
+            ),
+        )
+        meta = cache.get(key)
+        if meta is None:
+            template = plan.executor(
+                bound, MemoryMeter(), probe_slice=(0, parallel.workers)
+            )
+            operators = operators_in_order(template)
+            spine = EngineEvaluator._slice_spine(template)
+            meta = [
+                (
+                    operator.label(),
+                    _NODE_KINDS.get(type(operator).__name__, "operator"),
+                    len(operator.scheme),
+                    id(operator) in spine,
+                )
+                for operator in operators
+            ]
+            if len(meta) == len(parallel.step_rows):
+                cache[key] = meta
+        for position, (description, node_kind, width, on_spine) in enumerate(meta):
+            per_worker = [steps[position] for steps in parallel.worker_step_rows]
+            rows_out = sum(per_worker) if on_spine else max(per_worker, default=0)
+            trace.record(
+                TraceStep(
+                    description=description,
+                    node_kind=node_kind,
+                    cardinality=rows_out,
+                    scheme_width=width,
+                    cell_count=rows_out * width,
+                )
+            )
+
+    @staticmethod
+    def _slice_spine(template: PhysicalOperator) -> "set[int]":
+        """Ids of the slice consumer and its ancestors in the template tree.
+
+        These are the operators whose streams are partitioned across the
+        pool; everything else runs identically in every worker.  Falls back
+        to the whole tree (sum everywhere — the old, conservative
+        behaviour) if no consumer is found.
+        """
+        path: List[PhysicalOperator] = []
+
+        def find(operator: PhysicalOperator) -> bool:
+            path.append(operator)
+            if operator.consumes_probe_slice:
+                return True
+            for child in operator.children():
+                if find(child):
+                    return True
+            path.pop()
+            return False
+
+        if find(template):
+            return {id(operator) for operator in path}
+        return {id(operator) for operator in operators_in_order(template)}

@@ -1,0 +1,396 @@
+"""The parallel probe stage: one pinned plan, a partitioned probe scan, a pool.
+
+PR 2's pinned plans were designed so a multi-worker evaluator can execute one
+plan concurrently; this module is that evaluator's engine room.  ``count``
+workers each instantiate the *same* :class:`~repro.engine.planner.PhysicalPlan`
+with ``probe_slice=(index, count)``: every build table, sort buffer, and
+seen-set is built per worker from the full inputs, but the driving row source
+(the leaf-most projection on the probe path, or the bare probe scan — see
+:meth:`PlanNode.instantiate`) streams only the rows whose salted hash lands
+on the worker's slice.  Probe rows flow through the operator cascade
+independently, so the union of the workers' outputs is **set-equal** to the
+serial execution.  Per-operator streamed cardinalities are aggregated
+spine-aware by the evaluator: summed along the sliced probe spine (the
+slices partition that stream), reported once for build-side subtrees that
+every worker re-streams identically.
+
+Two backends:
+
+``fork``
+    The default where :func:`os.fork` exists.  Workers are forked processes:
+    the plan, bindings, and relations are inherited copy-on-write (nothing is
+    pickled on the way in — compiled plan artifacts are closures and could
+    not be), each worker runs its slice on its own core, and only the result
+    rows, counter deltas, and per-operator cardinalities come back through a
+    queue (so result *values* must be picklable; a worker that cannot pickle
+    its rows reports the failure and the evaluator falls back to serial).
+    Counter deltas are merged into this process's totals, and each worker
+    meters against its own budget — a memory budget is per process.
+
+``thread``
+    Workers are threads sharing the caller's :class:`MemoryMeter` (which is
+    why the meter takes a lock), so the budget and ``peak_live_rows`` cover
+    the whole pool at once.  Under the GIL threads add no speed, but the
+    backend is portable, cheap to spin up, and exercises the identical
+    slicing/merging logic — the differential tests lean on it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..perf.counters import kernel_counters
+from .physical import MemoryMeter, PhysicalOperator
+
+__all__ = [
+    "ForkProbePool",
+    "ParallelExecutionError",
+    "ParallelResult",
+    "default_backend",
+    "drain_metered",
+    "execute_parallel",
+    "operators_in_order",
+]
+
+_COUNTERS = kernel_counters()
+
+#: Seconds between liveness checks while waiting for fork-worker results.
+_POLL_SECONDS = 0.25
+
+
+class ParallelExecutionError(RuntimeError):
+    """A parallel execution could not complete (the caller should run serial)."""
+
+
+@dataclass
+class ParallelResult:
+    """The merged outcome of one parallel plan execution."""
+
+    rows: Set[tuple]
+    #: Pool-wide peak of metered rows: the shared meter's peak (threads) or
+    #: the sum of the per-process peaks (fork — the processes are concurrent,
+    #: so their residencies add).
+    peak_live_rows: int
+    #: Largest hash-join build table resident in any single worker.
+    build_peak_rows: int
+    #: Per-operator streamed cardinalities summed across workers, in the
+    #: same children-first order as :func:`operators_in_order`.  A faithful
+    #: per-operator number only for the sliced probe spine; build-side
+    #: subtrees stream identical data per worker — the evaluator's trace
+    #: aggregation uses ``worker_step_rows`` plus the operator tree to
+    #: report those once.
+    step_rows: List[int]
+    #: The raw per-worker step lists behind ``step_rows``.
+    worker_step_rows: List[List[int]]
+    workers: int
+    backend: str
+
+
+def operators_in_order(root: PhysicalOperator) -> List[PhysicalOperator]:
+    """The operator tree children-first — the order traces record steps in."""
+    ordered: List[PhysicalOperator] = []
+
+    def visit(operator: PhysicalOperator) -> None:
+        for child in operator.children():
+            visit(child)
+        ordered.append(operator)
+
+    visit(root)
+    return ordered
+
+
+def default_backend() -> str:
+    """``fork`` where available (real parallelism), ``thread`` elsewhere."""
+    try:
+        if "fork" in multiprocessing.get_all_start_methods():
+            return "fork"
+    except Exception:  # pragma: no cover - platform-dependent
+        pass
+    return "thread"
+
+
+def drain_metered(root: PhysicalOperator, meter: MemoryMeter) -> Set[tuple]:
+    """Drain an operator tree into a set, metering the accumulated rows.
+
+    Mirrors the serial evaluator's accounting: the growing result set is
+    resident alongside operator state, so ``meter.peak`` stays comparable
+    between serial and parallel executions.
+    """
+    rows: Set[tuple] = set()
+    update = rows.update
+    size = 0
+    for block in root.blocks():
+        update(block)
+        grown = len(rows)
+        if grown != size:
+            meter.acquire(grown - size)
+            size = grown
+    return rows
+
+
+def _step_rows(root: PhysicalOperator) -> List[int]:
+    return [operator.rows_out for operator in operators_in_order(root)]
+
+
+def _build_peak(root: PhysicalOperator) -> int:
+    return max(operator.build_peak_rows for operator in operators_in_order(root))
+
+
+def _merge(
+    per_worker: List[Tuple[Set[tuple], List[int], int]],
+) -> Tuple[Set[tuple], List[int], List[List[int]], int]:
+    rows: Set[tuple] = set()
+    step_totals: Optional[List[int]] = None
+    worker_steps: List[List[int]] = []
+    build_peak = 0
+    for worker_rows, steps, worker_build_peak in per_worker:
+        rows |= worker_rows
+        worker_steps.append(list(steps))
+        if step_totals is None:
+            step_totals = list(steps)
+        else:
+            step_totals = [a + b for a, b in zip(step_totals, steps)]
+        if worker_build_peak > build_peak:
+            build_peak = worker_build_peak
+    return rows, step_totals or [], worker_steps, build_peak
+
+
+# -- thread backend ----------------------------------------------------
+
+
+def _run_threads(plan, bindings, meter: MemoryMeter, workers: int) -> ParallelResult:
+    outcomes: List[Optional[Tuple[Set[tuple], List[int], int]]] = [None] * workers
+    errors: List[BaseException] = []
+
+    def work(index: int) -> None:
+        try:
+            root = plan.executor(bindings, meter, probe_slice=(index, workers))
+            rows = drain_metered(root, meter)
+            outcomes[index] = (rows, _step_rows(root), _build_peak(root))
+        except BaseException as exc:  # surfaced to the caller below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=work, args=(index,), name=f"engine-probe-{index}")
+        for index in range(workers)
+    ]
+    started: List[threading.Thread] = []
+    try:
+        for thread in threads:
+            thread.start()
+            started.append(thread)
+    except RuntimeError as exc:  # e.g. "can't start new thread"
+        for thread in started:
+            thread.join()
+        raise ParallelExecutionError(f"could not start probe workers: {exc}")
+    for thread in started:
+        thread.join()
+    if errors:
+        # Any pool failure means "fall back to serial" (the documented
+        # contract); a genuine operator bug reproduces on the serial run.
+        raise ParallelExecutionError(
+            f"parallel probe worker failed: {errors[0]!r}"
+        ) from errors[0]
+    rows, step_totals, worker_steps, build_peak = _merge(
+        [o for o in outcomes if o is not None]
+    )
+    return ParallelResult(
+        rows=rows,
+        peak_live_rows=meter.peak,
+        build_peak_rows=build_peak,
+        step_rows=step_totals,
+        worker_step_rows=worker_steps,
+        workers=workers,
+        backend="thread",
+    )
+
+
+# -- fork backend ------------------------------------------------------
+
+
+def _pool_worker(plan, bindings, budget_rows, index, count, connection) -> None:
+    """One pinned worker: serve ``run`` requests over a pipe until closed.
+
+    Forked from the parent, so the plan and bindings are inherited
+    copy-on-write; each request re-executes the worker's slice with a fresh
+    meter and sends back only the outcome (rows, peaks, per-operator
+    cardinalities, counter deltas).  Pickling the rows is the one thing
+    that can fail for exotic values — the error is reported so the parent
+    can fall back to serial.
+    """
+    try:
+        while True:
+            try:
+                command = connection.recv()
+            except EOFError:
+                break
+            if command != "run":
+                break
+            try:
+                counters = kernel_counters()
+                before = counters.snapshot()
+                meter = MemoryMeter(budget_rows)
+                root = plan.executor(bindings, meter, probe_slice=(index, count))
+                rows = drain_metered(root, meter)
+                payload = (
+                    "ok",
+                    list(rows),
+                    meter.peak,
+                    _build_peak(root),
+                    _step_rows(root),
+                    counters.delta_since(before),
+                )
+                try:
+                    connection.send(payload)
+                except Exception as exc:  # e.g. unpicklable row values
+                    connection.send(("error", f"{type(exc).__name__}: {exc}"))
+            except BaseException as exc:
+                connection.send(("error", f"{type(exc).__name__}: {exc}"))
+    except BaseException:  # pragma: no cover - pipe torn down mid-send
+        pass
+    finally:
+        connection.close()
+
+
+class ForkProbePool:
+    """A persistent pool of forked workers pinned to one (plan, bindings).
+
+    Forking is the expensive part of the fork backend — the workers inherit
+    the whole interpreter — so the pool forks **once** and re-executes its
+    pinned plan on every :meth:`run`, which is what steady-state serving
+    looks like (the evaluator caches one pool per bound plan).  Workers are
+    daemons: an abandoned pool dies with the parent process; `close` is the
+    polite path.
+    """
+
+    #: Seconds a worker may spend on one slice before the pool gives up.
+    RUN_TIMEOUT = 300.0
+
+    def __init__(self, plan, bindings: Mapping, workers: int, budget_rows: Optional[int]):
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - platform-dependent
+            raise ParallelExecutionError(f"fork backend unavailable: {exc}")
+        self.workers = workers
+        self._connections = []
+        self._processes = []
+        try:
+            for index in range(workers):
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=_pool_worker,
+                    args=(plan, bindings, budget_rows, index, workers, child_end),
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                self._connections.append(parent_end)
+                self._processes.append(process)
+        except BaseException:
+            self.close()
+            raise
+
+    def run(self) -> ParallelResult:
+        """Execute the pinned plan once across the pool and merge results."""
+        for connection in self._connections:
+            try:
+                connection.send("run")
+            except (OSError, ValueError) as exc:
+                raise ParallelExecutionError(f"parallel probe worker gone: {exc}")
+        per_worker: List[Tuple[Set[tuple], List[int], int]] = []
+        peak_sum = 0
+        counter_totals: Dict[str, int] = {}
+        for index, connection in enumerate(self._connections):
+            deadline = time.monotonic() + self.RUN_TIMEOUT
+            while not connection.poll(_POLL_SECONDS):
+                if not self._processes[index].is_alive() and not connection.poll(0):
+                    raise ParallelExecutionError(
+                        "a parallel probe worker exited without reporting"
+                    )
+                if time.monotonic() > deadline:
+                    raise ParallelExecutionError("parallel probe worker timed out")
+            try:
+                payload = connection.recv()
+            except (EOFError, OSError) as exc:
+                raise ParallelExecutionError(f"parallel probe worker died: {exc}")
+            if payload[0] != "ok":
+                raise ParallelExecutionError(
+                    f"parallel probe worker failed: {payload[1]}"
+                )
+            _, rows, peak, build_peak, steps, counter_delta = payload
+            per_worker.append((set(rows), steps, build_peak))
+            peak_sum += peak
+            for name, amount in counter_delta.items():
+                counter_totals[name] = counter_totals.get(name, 0) + amount
+        # Fold the workers' counter activity into this process's totals so
+        # traces and benchmarks see spills/probes wherever they happened.
+        _COUNTERS.add(
+            **{name: amount for name, amount in counter_totals.items() if amount}
+        )
+        rows, step_totals, worker_steps, build_peak = _merge(per_worker)
+        return ParallelResult(
+            rows=rows,
+            peak_live_rows=peak_sum,
+            build_peak_rows=build_peak,
+            step_rows=step_totals,
+            worker_step_rows=worker_steps,
+            workers=self.workers,
+            backend="fork",
+        )
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent; also safe mid-construction)."""
+        for connection in self._connections:
+            try:
+                connection.send("stop")
+            except (OSError, ValueError):
+                pass
+            connection.close()
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+        self._connections = []
+        self._processes = []
+
+
+def execute_parallel(
+    plan,
+    bindings: Mapping,
+    workers: int,
+    meter: MemoryMeter,
+    budget_rows: Optional[int] = None,
+    backend: Optional[str] = None,
+    pool: Optional[ForkProbePool] = None,
+) -> ParallelResult:
+    """Execute ``plan`` with a ``workers``-way partitioned probe scan.
+
+    ``pool`` reuses a persistent :class:`ForkProbePool` (the evaluator's
+    steady-state path); without one, the fork backend pays a one-shot pool.
+    Raises :class:`ParallelExecutionError` when the pool cannot deliver
+    (fork unavailable, a worker died, result rows unpicklable) — the caller
+    is expected to fall back to serial execution, which is always correct.
+    """
+    if workers < 2:
+        raise ValueError("execute_parallel needs at least 2 workers")
+    chosen = backend or default_backend()
+    if chosen == "fork":
+        if pool is not None:
+            return pool.run()
+        one_shot = ForkProbePool(plan, bindings, workers, budget_rows)
+        try:
+            return one_shot.run()
+        finally:
+            one_shot.close()
+    if chosen == "thread":
+        # The thread backend enforces the budget through the shared meter:
+        # an explicit budget_rows takes effect there rather than being
+        # silently dropped.
+        if budget_rows is not None and meter.budget != budget_rows:
+            meter.budget = budget_rows
+        return _run_threads(plan, bindings, meter, workers)
+    raise ValueError(f"unknown parallel backend {chosen!r}")

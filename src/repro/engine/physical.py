@@ -25,6 +25,12 @@ The iterator contract (see ``docs/ENGINE.md``):
 
 from __future__ import annotations
 
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
@@ -43,11 +49,16 @@ from .stats import RelationStats
 
 __all__ = [
     "BLOCK_ROWS",
+    "SPILL_BLOCK_ROWS",
+    "MemoryBudget",
     "MemoryMeter",
+    "SpillFile",
     "PhysicalOperator",
     "TableScan",
+    "PartitionedScan",
     "StreamingProject",
     "HashJoin",
+    "GraceHashJoin",
     "MergeJoin",
     "Sort",
     "StreamingUnion",
@@ -61,7 +72,53 @@ Block = List[Row]
 #: enough that an in-flight block never rivals operator state for memory.
 BLOCK_ROWS = 1024
 
+#: Rows buffered per spill partition before a pickle flush.  Spill buffers
+#: are transient I/O staging, not operator state, and are therefore not
+#: metered — keeping them small bounds the unmetered slack per active join
+#: to ``fanout * SPILL_BLOCK_ROWS`` rows.
+SPILL_BLOCK_ROWS = 128
+
 _COUNTERS = kernel_counters()
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """A row budget for engine state, with the spill machinery's knobs.
+
+    ``rows`` caps the rows the shared :class:`MemoryMeter` should hold: a
+    hash join whose build side would push the meter past it switches to a
+    partitioned (Grace) spill-to-disk join.  The budget is *best effort* —
+    non-join state (dedup seen-sets, sort buffers, the result accumulator)
+    is metered but not spillable, a partition can never shrink below one
+    key group, and recursion depth is bounded — so overruns are possible
+    and are counted in ``spill_overflows`` rather than masked.
+
+    ``spill_fanout`` is the default partitions-per-level (a planner estimate
+    can override it per join); ``max_recursion`` bounds how many times an
+    oversized partition is re-split with a fresh hash salt;
+    ``min_partition_rows`` stops re-splitting partitions already tiny;
+    ``spill_dir`` hosts the per-join temporary directories (``None`` = the
+    system temp dir).
+    """
+
+    rows: int
+    spill_fanout: int = 8
+    max_recursion: int = 4
+    min_partition_rows: int = 16
+    spill_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0:
+            raise ValueError(f"memory budget must be positive, got {self.rows}")
+        if self.spill_fanout < 2:
+            raise ValueError(f"spill fanout must be >= 2, got {self.spill_fanout}")
+
+    @classmethod
+    def coerce(cls, value: "MemoryBudget | int | None") -> "Optional[MemoryBudget]":
+        """Normalise ``int`` row counts (and ``None``) into a budget."""
+        if value is None or isinstance(value, cls):
+            return value
+        return cls(rows=int(value))
 
 
 class MemoryMeter:
@@ -71,23 +128,124 @@ class MemoryMeter:
     evaluator's result accumulator), so ``peak`` is the peak number of rows
     *simultaneously* live anywhere in the engine — deliberately a stricter
     accounting than the materialising evaluators' per-step maximum.
+
+    The meter is thread-safe: the parallel probe stage executes one pinned
+    plan from several workers sharing a single meter, and the plain
+    read-modify-write increments the meter used before this lock existed
+    lose updates under that contention (see
+    ``tests/test_engine_parallel.py``).  ``budget`` is the optional row
+    ceiling operators consult before making state resident; the meter only
+    answers the question, the operators do the spilling.
     """
 
-    __slots__ = ("current", "peak")
+    __slots__ = ("current", "peak", "budget", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, budget: Optional[int] = None) -> None:
         self.current = 0
         self.peak = 0
+        self.budget = budget
+        self._lock = threading.Lock()
 
     def acquire(self, rows: int = 1) -> None:
         """Record ``rows`` additional rows becoming resident."""
-        self.current += rows
-        if self.current > self.peak:
-            self.peak = self.current
+        with self._lock:
+            self.current += rows
+            if self.current > self.peak:
+                self.peak = self.current
 
     def release(self, rows: int) -> None:
         """Record ``rows`` rows being dropped from state."""
-        self.current -= rows
+        with self._lock:
+            self.current -= rows
+
+    def try_acquire(self, rows: int) -> bool:
+        """Acquire ``rows`` only if that stays within the budget (atomic).
+
+        The check and the acquisition happen under one lock, so concurrent
+        workers sharing a budgeted meter cannot interleave their way past
+        the ceiling unobserved (a check-then-``acquire`` pair could).
+        Always succeeds on an unbudgeted meter.
+        """
+        with self._lock:
+            if self.budget is not None and self.current + rows > self.budget:
+                return False
+            self.current += rows
+            if self.current > self.peak:
+                self.peak = self.current
+            return True
+
+    def headroom(self) -> Optional[int]:
+        """Rows still acquirable under the budget (``None`` = unbudgeted)."""
+        if self.budget is None:
+            return None
+        with self._lock:
+            return max(self.budget - self.current, 0)
+
+
+class SpillFile:
+    """An append-only spilled row store: pickled blocks in one temp file.
+
+    Rows are buffered in memory up to :data:`SPILL_BLOCK_ROWS` and flushed
+    as one pickle frame; :meth:`blocks` re-reads the frames after
+    :meth:`finish` seals the file.  Spilled rows live on disk, so they are
+    *not* metered — only ``rows`` (the total spilled) is tracked, for
+    counters and fan-out decisions.  ``delete`` is idempotent and the
+    owning operator always calls it from a ``finally``, so temp files never
+    outlive an execution, even one abandoned by ``close()`` or an exception.
+    """
+
+    __slots__ = ("path", "rows", "_file", "_buffer")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.rows = 0
+        self._file = None
+        self._buffer: Block = []
+
+    def append(self, row: Row) -> None:
+        """Buffer one row, flushing a pickle frame when the buffer fills."""
+        self._buffer.append(row)
+        if len(self._buffer) >= SPILL_BLOCK_ROWS:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        if self._file is None:
+            self._file = open(self.path, "wb")
+        pickle.dump(self._buffer, self._file, protocol=pickle.HIGHEST_PROTOCOL)
+        self.rows += len(self._buffer)
+        _COUNTERS.add(spill_rows=len(self._buffer))
+        self._buffer = []
+
+    def finish(self) -> None:
+        """Flush the tail buffer and seal the file for reading."""
+        self._flush()
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def blocks(self) -> Iterator[Block]:
+        """Stream the spilled blocks back (only valid after ``finish``)."""
+        if self.rows == 0:
+            return
+        with open(self.path, "rb") as stream:
+            while True:
+                try:
+                    yield pickle.load(stream)
+                except EOFError:
+                    return
+
+    def delete(self) -> None:
+        """Drop the buffer and remove the file (idempotent)."""
+        self._buffer = []
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
 
 
 class PhysicalOperator:
@@ -106,6 +264,16 @@ class PhysicalOperator:
     est_rows: float = 0.0
     est_cost: float = 0.0
     rows_out: int = 0
+    #: High-water mark of rows resident in this operator's hash-join build
+    #: state during the most recent execution (0 for non-join operators).
+    #: Under a memory budget this is what "never exceeds the build-side
+    #: budget" is asserted against.
+    build_peak_rows: int = 0
+    #: Whether this operator applies the parallel probe-slice filter.  The
+    #: trace aggregator sums streamed counts across workers only for this
+    #: operator and its ancestors (they see partitioned data); everything
+    #: else re-streams identical full data per worker and is reported once.
+    consumes_probe_slice: bool = False
 
     def __init__(self, meter: MemoryMeter):
         self.meter = meter
@@ -160,6 +328,62 @@ class TableScan(PhysicalOperator):
         return f"scan {self._name}"
 
 
+#: Salt separating the probe-slice row partition from Grace spill routing.
+PROBE_SLICE_SALT = -0x51A5
+
+
+class PartitionedScan(PhysicalOperator):
+    """Stream one hash-slice of a stored relation's raw rows.
+
+    Worker ``index`` of ``count`` yields the rows whose (salted, bit-mixed)
+    hash lands on its slice — a *value*-based partition, so it is identical
+    across the pool regardless of iteration order, and any duplicates of a
+    row always belong to exactly one worker.  The slices are disjoint and
+    their union is exactly the relation.  Like :class:`TableScan`, a slice
+    holds no engine state.
+    """
+
+    def __init__(
+        self,
+        relation,
+        meter: MemoryMeter,
+        index: int,
+        count: int,
+        name: Optional[str] = None,
+    ):
+        super().__init__(meter)
+        if not 0 <= index < count:
+            raise ValueError(f"slice index {index} out of range for {count} workers")
+        self._relation = relation
+        self._index = index
+        self._count = count
+        self._name = name or relation.name or "relation"
+        self.scheme = relation.scheme
+        self.consumes_probe_slice = True
+
+    def blocks(self) -> Iterator[Block]:
+        self.rows_out = 0
+        index = self._index
+        count = self._count
+        block: Block = []
+        append = block.append
+        for row in self._relation.rows:
+            if _partition_index(PROBE_SLICE_SALT, row, count) != index:
+                continue
+            append(row)
+            if len(block) >= BLOCK_ROWS:
+                self.rows_out += len(block)
+                yield block
+                block = []
+                append = block.append
+        if block:
+            self.rows_out += len(block)
+            yield block
+
+    def label(self) -> str:
+        return f"scan {self._name} [partitioned x{self._count}]"
+
+
 class StreamingProject(PhysicalOperator):
     """Project each row onto a pick list, optionally deduplicating.
 
@@ -168,6 +392,15 @@ class StreamingProject(PhysicalOperator):
     when the consumer is a hash-join build side, whose per-key row sets
     deduplicate for free; output duplicates are then possible and the
     consumer must tolerate them.
+
+    ``probe_slice = (index, count)`` keeps only worker ``index``'s
+    hash-slice of the *projected* rows.  The parallel probe stage consumes
+    its slice here rather than below the projection: distinct input rows
+    can project onto the same output row, so a slice taken underneath would
+    hand equal projected rows to several workers — each would survive that
+    worker's (per-worker) dedup and multiply the downstream streams.
+    Slicing the projected value itself gives every distinct output row to
+    exactly one worker.
     """
 
     def __init__(
@@ -177,11 +410,14 @@ class StreamingProject(PhysicalOperator):
         scheme,
         meter: MemoryMeter,
         dedup: bool = True,
+        probe_slice: Optional[Tuple[int, int]] = None,
     ):
         super().__init__(meter)
         self._child = child
         self._pick = pick
         self._dedup = dedup
+        self._probe_slice = probe_slice
+        self.consumes_probe_slice = probe_slice is not None
         self.scheme = scheme
 
     def children(self) -> Tuple[PhysicalOperator, ...]:
@@ -191,11 +427,21 @@ class StreamingProject(PhysicalOperator):
         self.rows_out = 0
         pick = self._pick
         meter = self.meter
+        probe_slice = self._probe_slice
         if not self._dedup:
             for block in self._child.blocks():
-                out = [pick(row) for row in block]
-                self.rows_out += len(out)
-                yield out
+                if probe_slice is None:
+                    out = [pick(row) for row in block]
+                else:
+                    index, count = probe_slice
+                    out = [
+                        values
+                        for values in map(pick, block)
+                        if _partition_index(PROBE_SLICE_SALT, values, count) == index
+                    ]
+                if out:
+                    self.rows_out += len(out)
+                    yield out
             return
         seen: Set[Row] = set()
         add = seen.add
@@ -206,6 +452,11 @@ class StreamingProject(PhysicalOperator):
                 before = len(seen)
                 for row in block:
                     values = pick(row)
+                    if probe_slice is not None and (
+                        _partition_index(PROBE_SLICE_SALT, values, probe_slice[1])
+                        != probe_slice[0]
+                    ):
+                        continue
                     if values not in seen:
                         add(values)
                         append(values)
@@ -219,7 +470,10 @@ class StreamingProject(PhysicalOperator):
 
     def label(self) -> str:
         dedup = "" if self._dedup else ", no dedup"
-        return f"project[{', '.join(self.scheme.names)}]({self._child.label()}{dedup})"
+        sliced = (
+            f" [sliced x{self._probe_slice[1]}]" if self._probe_slice is not None else ""
+        )
+        return f"project[{', '.join(self.scheme.names)}]({self._child.label()}{dedup}){sliced}"
 
 
 class HashJoin(PhysicalOperator):
@@ -257,6 +511,7 @@ class HashJoin(PhysicalOperator):
 
     def blocks(self) -> Iterator[Block]:
         self.rows_out = 0
+        self.build_peak_rows = 0
         plan = self._plan
         meter = self.meter
         buckets: Dict[Hashable, Set[Row]] = {}
@@ -284,6 +539,7 @@ class HashJoin(PhysicalOperator):
                 # Freeze buckets into tuples: faster probe-side iteration
                 # and a cheap single-match fast path.
                 frozen = {key: tuple(bucket) for key, bucket in buckets.items()}
+                self.build_peak_rows = resident
                 right_key_of = plan.right_key_of
                 extra_of = plan.right_extra_of
                 frozen_get = frozen.get
@@ -291,7 +547,7 @@ class HashJoin(PhysicalOperator):
                     out: Block = []
                     append = out.append
                     extend = out.extend
-                    _COUNTERS.join_probes += len(block)
+                    _COUNTERS.add(join_probes=len(block))
                     for right_values in block:
                         bucket = frozen_get(right_key_of(right_values))
                         if bucket is not None:
@@ -321,13 +577,14 @@ class HashJoin(PhysicalOperator):
                     resident += added
                     meter.acquire(added)
                 frozen = {key: tuple(bucket) for key, bucket in buckets.items()}
+                self.build_peak_rows = resident
                 left_key_of = plan.left_key_of
                 frozen_get = frozen.get
                 for block in self._left.blocks():
                     out = []
                     append = out.append
                     extend = out.extend
-                    _COUNTERS.join_probes += len(block)
+                    _COUNTERS.add(join_probes=len(block))
                     for left_values in block:
                         bucket = frozen_get(left_key_of(left_values))
                         if bucket is not None:
@@ -344,6 +601,364 @@ class HashJoin(PhysicalOperator):
 
     def label(self) -> str:
         return f"hash join [build={self.build_side}] on ({', '.join(self._plan.common_names) or 'x'})"
+
+
+_MIX_MASK = (1 << 64) - 1
+
+
+def _partition_index(salt: int, key: Hashable, fanout: int) -> int:
+    """Scatter a join key into one of ``fanout`` partitions, salted.
+
+    Raw ``hash((salt, key)) % fanout`` is not good enough: CPython's tuple
+    hash leaves the low bits *correlated across salts* (keys that collide
+    modulo a small fan-out at one salt largely collide again at the next),
+    which makes re-salted recursion split nothing and forces the overflow
+    path.  A 64-bit avalanche (xor-shift / golden-ratio multiply) over the
+    tuple hash decorrelates the levels.
+    """
+    mixed = hash((salt, key)) & _MIX_MASK
+    mixed ^= mixed >> 17
+    mixed = (mixed * 0x9E3779B97F4A7C15) & _MIX_MASK
+    mixed ^= mixed >> 29
+    return mixed % fanout
+
+
+class GraceHashJoin(HashJoin):
+    """Hash join under a memory budget: spill to Grace partitions on overflow.
+
+    Behaves exactly like :class:`HashJoin` while the build side fits under
+    the shared meter's budget.  The moment acquiring another build block
+    would push the meter past it, the join *switches*: the table built so
+    far is flushed to ``fanout`` partition files (hashed on the join key
+    with a per-level salt), the rest of the build side streams straight to
+    those files, the probe side is streamed to matching partition files —
+    probe rows whose build partition is empty are dropped without touching
+    disk — and the partitions are then joined one at a time, so only a
+    single partition's build table is ever resident.  A partition that
+    still exceeds the headroom is re-partitioned with a fresh salt up to
+    ``MemoryBudget.max_recursion`` levels; beyond that (or for a partition
+    that cannot split — one heavy key, a keyless product) it is processed
+    in memory anyway and ``spill_overflows`` is incremented, keeping the
+    meter honest instead of masking the overrun.
+
+    Correctness is unchanged from :class:`HashJoin`: equal keys always land
+    in the same partition, per-partition build buckets are sets (duplicates
+    from a dedup-free build child collapse exactly as they do in the
+    in-memory table), and the output is the same bag of rows up to block
+    boundaries — the evaluator's result set makes it the same *set* either
+    way.  Spill files live in a per-execution temp directory removed in a
+    ``finally``, so an abandoned or failing execution leaks nothing.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        plan: JoinPlan,
+        meter: MemoryMeter,
+        budget: MemoryBudget,
+        build_side: str = "right",
+        fanout_hint: Optional[int] = None,
+    ):
+        super().__init__(left, right, plan, meter, build_side=build_side)
+        self._budget = budget
+        self._fanout = max(2, min(int(fanout_hint or budget.spill_fanout), 1024))
+        self._spill_sequence = 0
+        #: Number of times this operator's most recent execution spilled
+        #: (0 = it ran entirely in memory).
+        self.spilled = 0
+
+    def _sides(self):
+        """Side-generic pickers: (build child, probe child, pickers, combine)."""
+        plan = self._plan
+        if self.build_side == "left":
+            extra_of = plan.right_extra_of
+
+            def entry_of(row: Row) -> Row:
+                return row
+
+            def combine(entry: Row, probe_row: Row) -> Row:
+                return entry + extra_of(probe_row)
+
+            return self._left, self._right, plan.left_key_of, plan.right_key_of, entry_of, combine
+
+        entry_of = plan.right_extra_of
+
+        def combine(entry: Row, probe_row: Row) -> Row:
+            return probe_row + entry
+
+        return self._right, self._left, plan.right_key_of, plan.left_key_of, entry_of, combine
+
+    def _new_spill(self, spill_dir: str, kind: str) -> SpillFile:
+        self._spill_sequence += 1
+        return SpillFile(os.path.join(spill_dir, f"{kind}-{self._spill_sequence:06d}.spill"))
+
+    def _probe_buckets(
+        self,
+        buckets: Dict[Hashable, Set[Row]],
+        probe_blocks: "Iterator[Block]",
+        probe_key_of: Callable[[Row], Hashable],
+        combine: Callable[[Row, Row], Row],
+        count_probes: bool,
+    ) -> Iterator[Block]:
+        """Stream probe blocks against a finished build table.
+
+        The one probe loop both Grace paths share (whole-input when the
+        build never spilled, per-partition otherwise), with the same
+        single-match fast path and generator extends as :class:`HashJoin`.
+        ``count_probes`` is False for spilled partitions, whose probe rows
+        were already counted when they were routed to the partition files.
+        """
+        frozen = {key: tuple(bucket) for key, bucket in buckets.items()}
+        frozen_get = frozen.get
+        out: Block = []
+        append = out.append
+        extend = out.extend
+        for block in probe_blocks:
+            if count_probes:
+                _COUNTERS.add(join_probes=len(block))
+            for probe_row in block:
+                bucket = frozen_get(probe_key_of(probe_row))
+                if bucket is not None:
+                    if len(bucket) == 1:
+                        append(combine(bucket[0], probe_row))
+                    else:
+                        extend(combine(entry, probe_row) for entry in bucket)
+            if len(out) >= BLOCK_ROWS:
+                self.rows_out += len(out)
+                yield out
+                out = []
+                append = out.append
+                extend = out.extend
+        if out:
+            self.rows_out += len(out)
+            yield out
+
+    def blocks(self) -> Iterator[Block]:
+        self.rows_out = 0
+        self.build_peak_rows = 0
+        self.spilled = 0
+        meter = self.meter
+        budget = self._budget
+        build_child, probe_child, build_key_of, probe_key_of, entry_of, combine = self._sides()
+        fanout = self._fanout
+        salt = 0
+        buckets: Dict[Hashable, Set[Row]] = {}
+        resident = 0
+        spill_dir: Optional[str] = None
+        build_parts: Optional[List[SpillFile]] = None
+        try:
+            # -- build phase -------------------------------------------
+            for block in build_child.blocks():
+                if build_parts is not None:
+                    for row in block:
+                        key = build_key_of(row)
+                        build_parts[_partition_index(salt, key, fanout)].append((key, entry_of(row)))
+                    continue
+                added = 0
+                for row in block:
+                    key = build_key_of(row)
+                    entry = entry_of(row)
+                    bucket = buckets.get(key)
+                    if bucket is None:
+                        buckets[key] = {entry}
+                        added += 1
+                    elif entry not in bucket:
+                        bucket.add(entry)
+                        added += 1
+                if not added:
+                    continue
+                if meter.try_acquire(added):
+                    resident += added
+                    if resident > self.build_peak_rows:
+                        self.build_peak_rows = resident
+                else:
+                    # Switch to Grace mode: flush the table built so far.
+                    self.spilled += 1
+                    spill_dir = tempfile.mkdtemp(prefix="repro-grace-", dir=budget.spill_dir)
+                    build_parts = [self._new_spill(spill_dir, "build") for _ in range(fanout)]
+                    _COUNTERS.add(join_spills=1, spill_partitions=fanout)
+                    for key, bucket in buckets.items():
+                        part = build_parts[_partition_index(salt, key, fanout)]
+                        for entry in bucket:
+                            part.append((key, entry))
+                    buckets.clear()
+                    meter.release(resident)
+                    resident = 0
+
+            if build_parts is None:
+                # -- in-memory probe (the build side fit the budget) ---
+                for out in self._probe_buckets(
+                    buckets, probe_child.blocks(), probe_key_of, combine, True
+                ):
+                    yield out
+                return
+
+            # -- spilled: partition the probe side ---------------------
+            for part in build_parts:
+                part.finish()
+            probe_parts: List[Optional[SpillFile]] = [
+                self._new_spill(spill_dir, "probe") if build_parts[index].rows else None
+                for index in range(fanout)
+            ]
+            _COUNTERS.add(
+                spill_partitions=sum(1 for part in probe_parts if part is not None)
+            )
+            for block in probe_child.blocks():
+                _COUNTERS.add(join_probes=len(block))
+                for probe_row in block:
+                    part = probe_parts[_partition_index(salt, probe_key_of(probe_row), fanout)]
+                    if part is not None:
+                        part.append(probe_row)
+            for part in probe_parts:
+                if part is not None:
+                    part.finish()
+
+            # -- per-partition joins, one build table resident at a time
+            for index in range(fanout):
+                probe_part = probe_parts[index]
+                if probe_part is None:
+                    continue
+                if probe_part.rows == 0:
+                    # No probe rows reached this partition: its build side
+                    # can never produce output — skip the load entirely.
+                    build_parts[index].delete()
+                    probe_part.delete()
+                    continue
+                for out in self._join_partition(
+                    build_parts[index], probe_part, 1, spill_dir, probe_key_of, combine
+                ):
+                    yield out
+        finally:
+            meter.release(resident)
+            buckets.clear()
+            if spill_dir is not None:
+                shutil.rmtree(spill_dir, ignore_errors=True)
+
+    def _join_partition(
+        self,
+        build_part: SpillFile,
+        probe_part: SpillFile,
+        depth: int,
+        spill_dir: str,
+        probe_key_of: Callable[[Row], Hashable],
+        combine: Callable[[Row, Row], Row],
+    ) -> Iterator[Block]:
+        """Join one (build, probe) partition pair, recursing if oversized."""
+        meter = self.meter
+        budget = self._budget
+        buckets: Dict[Hashable, Set[Row]] = {}
+        resident = 0
+        try:
+            overflowed = False
+            for block in build_part.blocks():
+                added = 0
+                for key, entry in block:
+                    bucket = buckets.get(key)
+                    if bucket is None:
+                        buckets[key] = {entry}
+                        added += 1
+                    elif entry not in bucket:
+                        bucket.add(entry)
+                        added += 1
+                if not added:
+                    continue
+                if not overflowed:
+                    if meter.try_acquire(added):
+                        resident += added
+                        if resident > self.build_peak_rows:
+                            self.build_peak_rows = resident
+                        continue
+                    if (
+                        depth < budget.max_recursion
+                        and build_part.rows > budget.min_partition_rows
+                    ):
+                        meter.release(resident)
+                        resident = 0
+                        buckets.clear()
+                        for out in self._recurse_partition(
+                            build_part, probe_part, depth, spill_dir, probe_key_of, combine
+                        ):
+                            yield out
+                        return
+                    # Cannot split further: process beyond the budget, but
+                    # keep the meter honest and make the overrun observable.
+                    overflowed = True
+                    _COUNTERS.add(spill_overflows=1)
+                meter.acquire(added)
+                resident += added
+                if resident > self.build_peak_rows:
+                    self.build_peak_rows = resident
+            for out in self._probe_buckets(
+                buckets, probe_part.blocks(), probe_key_of, combine, False
+            ):
+                yield out
+        finally:
+            meter.release(resident)
+            buckets.clear()
+            build_part.delete()
+            probe_part.delete()
+
+    def _recurse_partition(
+        self,
+        build_part: SpillFile,
+        probe_part: SpillFile,
+        depth: int,
+        spill_dir: str,
+        probe_key_of: Callable[[Row], Hashable],
+        combine: Callable[[Row, Row], Row],
+    ) -> Iterator[Block]:
+        """Re-split an oversized partition with a fresh hash salt."""
+        budget = self._budget
+        fanout = self._fanout
+        salt = depth  # a different salt per level re-scatters the keys
+        sub_build = [self._new_spill(spill_dir, "build") for _ in range(fanout)]
+        _COUNTERS.add(spill_recursions=1, spill_partitions=fanout)
+        for block in build_part.blocks():
+            for key, entry in block:
+                sub_build[_partition_index(salt, key, fanout)].append((key, entry))
+        for part in sub_build:
+            part.finish()
+        sub_probe: List[Optional[SpillFile]] = [
+            self._new_spill(spill_dir, "probe") if sub_build[index].rows else None
+            for index in range(fanout)
+        ]
+        _COUNTERS.add(spill_partitions=sum(1 for part in sub_probe if part is not None))
+        for block in probe_part.blocks():
+            for probe_row in block:
+                part = sub_probe[_partition_index(salt, probe_key_of(probe_row), fanout)]
+                if part is not None:
+                    part.append(probe_row)
+        for part in sub_probe:
+            if part is not None:
+                part.finish()
+        # No progress (every row hashed into one sub-partition — a single
+        # heavy key): process that sub-partition at the recursion limit so
+        # the next level takes the overflow path instead of looping.
+        made_progress = max(part.rows for part in sub_build) < build_part.rows
+        next_depth = depth + 1 if made_progress else budget.max_recursion
+        build_part.delete()
+        probe_part.delete()
+        for index in range(fanout):
+            probe_sub = sub_probe[index]
+            if probe_sub is None:
+                sub_build[index].delete()
+                continue
+            if probe_sub.rows == 0:
+                sub_build[index].delete()
+                probe_sub.delete()
+                continue
+            for out in self._join_partition(
+                sub_build[index], probe_sub, next_depth, spill_dir, probe_key_of, combine
+            ):
+                yield out
+
+    def label(self) -> str:
+        on = ", ".join(self._plan.common_names) or "x"
+        return (
+            f"grace hash join [build={self.build_side}, "
+            f"budget={self._budget.rows}] on ({on})"
+        )
 
 
 def _merge_key_picker(scheme, names: Tuple[str, ...]) -> Callable[[Row], Hashable]:

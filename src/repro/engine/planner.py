@@ -37,15 +37,24 @@ from ..algebra.relation import Relation, _join_plan
 from ..algebra.tuples import _project_plan
 from ..expressions.ast import Expression, ExpressionError, Join, Operand, Projection
 from .physical import (
+    GraceHashJoin,
     HashJoin,
+    MemoryBudget,
     MemoryMeter,
     MergeJoin,
+    PartitionedScan,
     PhysicalOperator,
     Sort,
     StreamingProject,
     TableScan,
 )
-from .stats import RelationStats, estimate_join_cardinality, join_stats, project_stats
+from .stats import (
+    RelationStats,
+    estimate_join_cardinality,
+    estimate_partition_count,
+    join_stats,
+    project_stats,
+)
 
 __all__ = ["PlannerConfig", "PlanNode", "PhysicalPlan", "Planner", "plan_expression"]
 
@@ -59,10 +68,21 @@ class PlannerConfig:
     contrast strategies.  ``dedup_into_builds`` lets a projection feeding a
     hash-join build side skip its own seen-set (the build table's per-key row
     sets deduplicate for free).
+
+    ``budget`` caps the rows resident in engine state: hash joins lower to
+    budget-aware :class:`~repro.engine.physical.GraceHashJoin` nodes (with a
+    fan-out hint from :func:`~repro.engine.stats.estimate_partition_count`)
+    that spill to Grace partitions when the build side would overflow.
+    ``workers`` is the parallelism degree the evaluator may apply to the
+    plan's driving probe scan (1 = serial); the planner records it so one
+    pinned plan serves every degree — the slice is chosen at instantiation,
+    not planning, time.
     """
 
     prefer_merge: bool = False
     dedup_into_builds: bool = True
+    budget: Optional[MemoryBudget] = None
+    workers: int = 1
 
 
 @dataclass
@@ -82,6 +102,10 @@ class PlanNode:
     join_plan: Optional[object] = None
     build_side: str = "right"
     sort_key: Tuple[str, ...] = ()
+    #: Memory budget for hash joins (None = unbudgeted in-memory join).
+    budget: Optional[MemoryBudget] = None
+    #: Grace spill fan-out hint when the estimated build side overflows.
+    est_fanout: int = 1
 
     @property
     def est_rows(self) -> float:
@@ -97,6 +121,14 @@ class PlanNode:
             return f"project[{', '.join(self.scheme.names)}]{dedup}"
         if self.kind == "hash-join":
             on = ", ".join(self.join_plan.common_names) or "x (product)"
+            if self.budget is not None:
+                spill = (
+                    f", est_partitions={self.est_fanout}" if self.est_fanout > 1 else ""
+                )
+                return (
+                    f"grace hash join on ({on}) "
+                    f"[build={self.build_side}, budget={self.budget.rows}{spill}]"
+                )
             return f"hash join on ({on}) [build={self.build_side}]"
         if self.kind == "merge-join":
             return f"merge join on ({', '.join(self.join_plan.common_names)})"
@@ -104,13 +136,59 @@ class PlanNode:
             return f"sort by ({', '.join(self.sort_key)})"
         return self.kind
 
+    def probe_child_index(self) -> Optional[int]:
+        """Index of the child the streamed (probe) rows flow through.
+
+        This is the path the parallel probe stage slices: the non-build side
+        of a hash join, the left input of a merge join, the only child of a
+        projection or sort.  ``None`` for leaves.
+        """
+        if self.kind in ("project", "sort"):
+            return 0
+        if self.kind == "hash-join":
+            return 1 if self.build_side == "left" else 0
+        if self.kind == "merge-join":
+            return 0
+        return None
+
+    def subtree_has(self, kinds: Tuple[str, ...]) -> bool:
+        """Whether this node or any descendant is one of ``kinds``."""
+        if self.kind in kinds:
+            return True
+        return any(child.subtree_has(kinds) for child in self.children)
+
     def instantiate(
-        self, bindings: Mapping[str, Relation], meter: MemoryMeter
+        self,
+        bindings: Mapping[str, Relation],
+        meter: MemoryMeter,
+        probe_slice: Optional[Tuple[int, int]] = None,
     ) -> PhysicalOperator:
-        """Build the executable operator tree for one evaluation."""
+        """Build the executable operator tree for one evaluation.
+
+        ``probe_slice = (index, count)`` threads a worker's hash-slice down
+        the probe path (every other subtree is instantiated whole) and is
+        *consumed* at the driving row source: the leaf-most projection on
+        the path (a slice of the deduplicated *output* rows — slicing below
+        a dedup would hand equal projected rows to several workers and
+        multiply the downstream streams) or the bare scan when no
+        projection sits above it.  ``count`` workers executing the same
+        pinned plan therefore partition the driving row stream and nothing
+        else.
+        """
+        probe_index = self.probe_child_index()
+
+        def child_slice(position: int) -> Optional[Tuple[int, int]]:
+            return probe_slice if position == probe_index else None
+
         if self.kind == "scan":
             relation = bindings[self.operand_name]
-            scan = TableScan(relation, meter, name=self.operand_name)
+            if probe_slice is not None:
+                index, count = probe_slice
+                scan: PhysicalOperator = PartitionedScan(
+                    relation, meter, index, count, name=self.operand_name
+                )
+            else:
+                scan = TableScan(relation, meter, name=self.operand_name)
             operator: PhysicalOperator = scan
             if relation.scheme.names != self.scheme.names:
                 # The plan compiled against a different presentation order of
@@ -120,18 +198,45 @@ class PlanNode:
                     scan, realign.pick, self.scheme, meter, dedup=False
                 )
         elif self.kind == "project":
-            child = self.children[0].instantiate(bindings, meter)
-            operator = StreamingProject(child, self.pick, self.scheme, meter, dedup=self.dedup)
+            own_slice: Optional[Tuple[int, int]] = None
+            pass_down = probe_slice
+            if probe_slice is not None and not self.children[0].subtree_has(
+                ("hash-join", "merge-join", "project")
+            ):
+                # This is the driving projection: consume the slice here.
+                own_slice, pass_down = probe_slice, None
+            child = self.children[0].instantiate(bindings, meter, pass_down)
+            operator = StreamingProject(
+                child,
+                self.pick,
+                self.scheme,
+                meter,
+                dedup=self.dedup,
+                probe_slice=own_slice,
+            )
         elif self.kind == "hash-join":
-            left = self.children[0].instantiate(bindings, meter)
-            right = self.children[1].instantiate(bindings, meter)
-            operator = HashJoin(left, right, self.join_plan, meter, build_side=self.build_side)
+            left = self.children[0].instantiate(bindings, meter, child_slice(0))
+            right = self.children[1].instantiate(bindings, meter, child_slice(1))
+            if self.budget is not None:
+                operator = GraceHashJoin(
+                    left,
+                    right,
+                    self.join_plan,
+                    meter,
+                    self.budget,
+                    build_side=self.build_side,
+                    fanout_hint=self.est_fanout if self.est_fanout > 1 else None,
+                )
+            else:
+                operator = HashJoin(
+                    left, right, self.join_plan, meter, build_side=self.build_side
+                )
         elif self.kind == "merge-join":
-            left = self.children[0].instantiate(bindings, meter)
-            right = self.children[1].instantiate(bindings, meter)
+            left = self.children[0].instantiate(bindings, meter, child_slice(0))
+            right = self.children[1].instantiate(bindings, meter, child_slice(1))
             operator = MergeJoin(left, right, self.join_plan, meter)
         elif self.kind == "sort":
-            child = self.children[0].instantiate(bindings, meter)
+            child = self.children[0].instantiate(bindings, meter, child_slice(0))
             operator = Sort(child, self.sort_key, meter)
         else:  # pragma: no cover - defensive
             raise ExpressionError(f"unknown plan node kind {self.kind!r}")
@@ -162,9 +267,31 @@ class PhysicalPlan:
         """Estimated total cost (unit-per-row model)."""
         return self.root.cost
 
-    def executor(self, bindings: Mapping[str, Relation], meter: MemoryMeter) -> PhysicalOperator:
-        """Instantiate the operator tree against one set of bound relations."""
-        return self.root.instantiate(bindings, meter)
+    def executor(
+        self,
+        bindings: Mapping[str, Relation],
+        meter: MemoryMeter,
+        probe_slice: Optional[Tuple[int, int]] = None,
+    ) -> PhysicalOperator:
+        """Instantiate the operator tree against one set of bound relations.
+
+        With ``probe_slice = (index, count)`` the driving probe scan streams
+        only worker ``index``'s round-robin slice (see
+        :meth:`PlanNode.instantiate`); the union of the ``count`` executors'
+        outputs is set-equal to the unsliced execution.
+        """
+        return self.root.instantiate(bindings, meter, probe_slice)
+
+    def driving_scan_name(self) -> Optional[str]:
+        """The operand whose scan drives the probe pipeline (sliced when
+        executing in parallel), or ``None`` if the probe path has no scan."""
+        node = self.root
+        while node.kind != "scan":
+            index = node.probe_child_index()
+            if index is None or not node.children:
+                return None
+            node = node.children[index]
+        return node.operand_name
 
     def explain(self) -> str:
         """Render the plan as an indented tree with per-node estimates."""
@@ -365,6 +492,15 @@ class Planner:
             + probe.est_rows  # probe: one lookup per streamed row
             + out_stats.cardinality
         )
+        budget = self.config.budget
+        est_fanout = 1
+        if budget is not None:
+            # Fan-out hint for the spill path; the operator self-corrects an
+            # under-estimate by re-partitioning recursively at run time.
+            est_fanout = max(
+                estimate_partition_count(build.est_rows, budget.rows),
+                budget.spill_fanout if build.est_rows > budget.rows else 1,
+            )
         # Output rows stream in probe order (contiguous runs per probe row),
         # so the probe side's order survives the join.
         return PlanNode(
@@ -376,6 +512,8 @@ class Planner:
             order=probe.order,
             join_plan=plan,
             build_side=build_side,
+            budget=budget,
+            est_fanout=est_fanout,
         )
 
     def _sorted(self, child: PlanNode, key: Tuple[str, ...]) -> PlanNode:

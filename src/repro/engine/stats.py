@@ -27,6 +27,7 @@ relations duck-typed (``.scheme.names`` / ``.rows``), which lets
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
 
@@ -34,6 +35,8 @@ __all__ = [
     "ColumnStats",
     "RelationStats",
     "estimate_join_cardinality",
+    "estimate_partition_count",
+    "estimate_spill_depth",
     "join_stats",
     "project_stats",
 ]
@@ -160,6 +163,52 @@ def estimate_join_cardinality(
         size *= selectivity ** exponent
         exponent /= 2.0
     return size
+
+
+def estimate_partition_count(
+    build_rows: float, budget_rows: int, minimum: int = 2, cap: int = 64
+) -> int:
+    """Estimated Grace-hash spill fan-out for a build side under a row budget.
+
+    Targets partitions of about *half* the budget each — a loaded partition
+    shares the meter with whatever other state is still resident, so filling
+    the whole budget with one partition would immediately re-spill.  The
+    result is rounded up to a power of two (hash-modulo partitioning splits
+    most evenly at powers of two) and clamped to ``[minimum, cap]``; a build
+    side already fitting the target returns 1 (no spill expected).
+
+    This is a *planning* estimate: :class:`~repro.engine.physical.GraceHashJoin`
+    uses it as its fan-out hint and corrects under-estimates at run time by
+    recursively re-partitioning oversized partitions.
+    """
+    if budget_rows <= 0:
+        return cap
+    target = max(budget_rows // 2, 1)
+    if build_rows <= target:
+        return 1
+    needed = math.ceil(build_rows / target)
+    fanout = 2
+    while fanout < needed and fanout < cap:
+        fanout *= 2
+    return max(min(fanout, cap), minimum)
+
+
+def estimate_spill_depth(build_rows: float, budget_rows: int, fanout: int) -> int:
+    """Expected Grace recursion depth: levels of ``fanout``-way splitting
+    until a partition fits half the budget (0 = no spill expected).
+
+    Assumes keys scatter evenly; skew is handled at run time by re-salted
+    recursion, so this is a lower bound used for explain output and tests.
+    """
+    if budget_rows <= 0 or fanout < 2:
+        return 0
+    target = max(budget_rows // 2, 1)
+    depth = 0
+    remaining = float(build_rows)
+    while remaining > target:
+        remaining /= fanout
+        depth += 1
+    return depth
 
 
 def join_stats(

@@ -131,6 +131,11 @@ class EvaluationTrace:
     #: accounting: it sums everything live at once rather than taking the
     #: largest single relation.
     peak_live_rows: int = 0
+    #: Largest number of rows resident in any single hash-join build table
+    #: during the evaluation — what a memory budget's Grace-hash spilling
+    #: bounds (see ``docs/ENGINE.md``).  Populated by the engine evaluator;
+    #: 0 elsewhere.
+    peak_build_rows: int = 0
 
     def record(self, step: TraceStep) -> None:
         """Append one step to the trace."""
@@ -179,6 +184,7 @@ class EvaluationTrace:
             "blowup_vs_input": self.blowup_versus_input(),
             "blowup_vs_output": self.blowup_versus_output(),
             "peak_live_rows": float(self.peak_live_rows),
+            "peak_build_rows": float(self.peak_build_rows),
         }
 
 

@@ -7,17 +7,49 @@ compiled versus reused and how many tuples the trusted constructor produces,
 so benchmarks and the instrumented evaluator can report kernel activity
 alongside cardinalities.
 
-Counters are process-global and intentionally not thread-safe: they are a
-measurement aid, not a correctness mechanism, and the hot path must not pay
-for locking.
+Since the memory-budget PR the counters also cover the streaming engine's
+spill machinery: how many hash joins switched to Grace (partitioned) mode,
+how many partition files were created, how many rows were spilled, and how
+often oversized partitions were re-partitioned or processed beyond the
+budget.
+
+Threading: the *materialising kernel*'s increments are deliberately plain
+``+=`` — they sit on the hot path and must not pay for locking, so under
+concurrent kernel use they are a measurement aid only.  The *engine* updates
+its counters through :meth:`KernelCounters.add`, which takes a module lock:
+engine increments happen at block/spill granularity (rare relative to row
+work), and the parallel probe stage runs one plan from several threads, so
+losslessness there is part of the tested contract.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from dataclasses import dataclass, fields
 from typing import Dict
 
 __all__ = ["KernelCounters", "kernel_counters", "reset_kernel_counters"]
+
+#: Guards :meth:`KernelCounters.add` (the engine's thread-safe update path).
+_MUTATION_LOCK = threading.Lock()
+
+
+def _reinitialize_lock_after_fork() -> None:
+    """Replace the mutation lock in a freshly forked child.
+
+    The engine's fork-backend workers are forked from a process that may
+    have other threads running; if one of them holds the lock at fork time
+    the child inherits it locked with no owner, and the worker's first
+    counter update would deadlock.  A brand-new lock in the child is always
+    correct — the child starts with exactly one thread.
+    """
+    global _MUTATION_LOCK
+    _MUTATION_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - CPython >= 3.7
+    os.register_at_fork(after_in_child=_reinitialize_lock_after_fork)
 
 
 @dataclass
@@ -30,6 +62,19 @@ class KernelCounters:
     project_plan_misses: int = 0
     trusted_tuples_built: int = 0
     join_probes: int = 0
+    #: Hash joins that exceeded the memory budget and switched to Grace
+    #: (partitioned, spill-to-disk) mode.
+    join_spills: int = 0
+    #: Spill partition files created (build and probe files both count).
+    spill_partitions: int = 0
+    #: Rows written to spill files (build entries plus probe rows).
+    spill_rows: int = 0
+    #: Oversized partitions that were re-partitioned with a fresh hash salt.
+    spill_recursions: int = 0
+    #: Partitions processed in memory beyond the budget (single heavy key,
+    #: recursion-depth limit, or no headroom left) — the budget is best
+    #: effort and this counter is how an overrun is detected.
+    spill_overflows: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """Return the counters as a plain dict (for traces and JSON output)."""
@@ -40,10 +85,22 @@ class KernelCounters:
         current = self.snapshot()
         return {name: current[name] - earlier.get(name, 0) for name in current}
 
+    def add(self, **amounts: int) -> None:
+        """Atomically add ``amounts`` to the named counters (engine path).
+
+        Unlike the kernel's raw ``+=``, this holds a lock so concurrent
+        engine workers (the parallel probe stage, multi-threaded evaluators)
+        never lose updates.  Call it at block/spill granularity, not per row.
+        """
+        with _MUTATION_LOCK:
+            for name, amount in amounts.items():
+                setattr(self, name, getattr(self, name) + amount)
+
     def reset(self) -> None:
         """Zero every counter."""
-        for f in fields(self):
-            setattr(self, f.name, 0)
+        with _MUTATION_LOCK:
+            for f in fields(self):
+                setattr(self, f.name, 0)
 
 
 _COUNTERS = KernelCounters()

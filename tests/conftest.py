@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite.
+
+``--fuzz-seed`` seeds the differential fuzz harness
+(``tests/test_engine_differential.py``): the default keeps local runs
+reproducible, while CI passes explicit seeds per matrix leg so the harness
+explores different instances under ``PYTHONHASHSEED=random`` without losing
+the ability to replay a failure (``pytest --fuzz-seed <N>``).
+"""
+
+import pytest
+
+DEFAULT_FUZZ_SEED = 20260730
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-seed",
+        type=int,
+        default=DEFAULT_FUZZ_SEED,
+        help="base seed for the engine differential fuzz harness",
+    )
+
+
+@pytest.fixture
+def fuzz_seed(request):
+    """The base seed the differential fuzz harness derives its cases from."""
+    return request.config.getoption("--fuzz-seed")

@@ -125,6 +125,69 @@ class TestCommands:
         assert "peak live rows" in output
         assert "scan R" in output
 
+    def test_engine_explain_memory_budget_plans_grace_joins(self, capsys):
+        assert (
+            main(
+                [
+                    "engine-explain",
+                    "project[A](R * S)",
+                    "--scheme",
+                    "R=A B",
+                    "--scheme",
+                    "S=B C",
+                    "--cardinality",
+                    "R=10000",
+                    "--memory-budget",
+                    "64",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "grace hash join" in output
+        assert "budget=64" in output
+        assert "est_partitions=" in output
+
+    def test_engine_explain_paper_reports_budget_and_workers(self, capsys):
+        assert (
+            main(["engine-explain", "--paper", "--memory-budget", "40", "--workers", "2"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "budget 40 rows" in output
+        assert "peak build rows" in output
+        assert "parallel probe: 2 workers" in output
+
+    def test_engine_explain_rejects_bad_budget_and_workers(self):
+        with pytest.raises(SystemExit, match="memory-budget"):
+            main(["engine-explain", "--paper", "--memory-budget", "0"])
+        with pytest.raises(SystemExit, match="workers"):
+            main(["engine-explain", "--paper", "--workers", "0"])
+
+    def test_blowup_memory_budget_reports_spill_delta(self, capsys):
+        # m=10 under a 96-row budget must actually spill, and the summary
+        # must be a per-invocation delta: a second identical run reports the
+        # same numbers, not cumulative process totals.
+        argv = ["blowup", "--clauses", "10", "--memory-budget", "96", "--workers", "2"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "engine ran budgeted at 96 rows x 2 worker(s)" in first
+        import re
+
+        def spilled_rows(output):
+            return int(re.search(r"(\d+) row\(s\) spilled", output).group(1))
+
+        assert spilled_rows(first) > 0
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert spilled_rows(second) == spilled_rows(first)
+
+    def test_blowup_rejects_bad_budget_and_workers(self):
+        with pytest.raises(SystemExit, match="memory-budget"):
+            main(["blowup", "--clauses", "3", "--memory-budget", "-5"])
+        with pytest.raises(SystemExit, match="workers"):
+            main(["blowup", "--clauses", "3", "--workers", "0"])
+
     def test_engine_explain_requires_an_expression_or_paper(self):
         with pytest.raises(SystemExit):
             main(["engine-explain"])

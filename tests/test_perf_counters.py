@@ -25,6 +25,11 @@ class TestSnapshotSemantics:
             "project_plan_misses",
             "trusted_tuples_built",
             "join_probes",
+            "join_spills",
+            "spill_partitions",
+            "spill_rows",
+            "spill_recursions",
+            "spill_overflows",
         }
         assert all(value == 0 for value in snapshot.values())
 
@@ -81,6 +86,37 @@ class TestModuleSingleton:
         delta = counters.delta_since(before)
         assert delta["join_probes"] > 0
         assert delta["join_plan_hits"] + delta["join_plan_misses"] >= 1
+
+
+class TestLockedAdd:
+    def test_add_increments_named_counters(self):
+        counters = KernelCounters()
+        counters.add(join_spills=2, spill_rows=100)
+        counters.add(spill_rows=28)
+        assert counters.join_spills == 2
+        assert counters.spill_rows == 128
+        assert counters.join_probes == 0
+
+    def test_add_is_lossless_under_contention(self):
+        """The engine's update path must not lose increments across threads.
+
+        The raw ``+=`` path documented for the materialising kernel *does*
+        lose updates under contention (a read-modify-write race); ``add``
+        holds a lock, so eight hammering threads must account exactly.
+        """
+        counters = KernelCounters()
+        rounds = 5_000
+
+        def hammer():
+            for _ in range(rounds):
+                counters.add(spill_rows=1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counters.spill_rows == 8 * rounds
 
 
 class TestThreadSafety:
