@@ -44,8 +44,10 @@ from pathlib import Path
 from typing import Callable, Dict, List
 
 from repro.algebra import Relation, naive_natural_join, naive_project
+from repro.api import Session
 from repro.engine import EngineEvaluator, default_backend
 from repro.expressions import InstrumentedEvaluator, OptimizedEvaluator, Projection
+from repro.expressions.ast import Join, Operand
 from repro.perf import kernel_counters, plan_cache_stats
 from repro.reductions import RGConstruction
 from repro.workloads import growing_construction_family
@@ -75,6 +77,12 @@ PARALLEL_WORKERS = 4
 #: core to run on (``cpu_count >= workers``); on smaller hosts the measured
 #: number is still recorded (with ``cpu_count``) but the gate is vacuous.
 MIN_PARALLEL_SPEEDUP = 1.5
+
+#: Serving parameters: how many distinct prepared queries one Session serves
+#: round-robin, and the allowed steady-state per-execute overhead of the
+#: facade over calling the pinned backend evaluator directly.
+SERVING_QUERIES = 8
+SERVING_MAX_OVERHEAD = 1.05
 
 
 def _merge_into_document(updates: Dict) -> Dict:
@@ -378,6 +386,116 @@ def run_spill_parallel_benchmark(
     return {"spill": spill_section, "parallel": parallel_section}
 
 
+def _serving_workload(num_queries: int = SERVING_QUERIES):
+    """A shared 3-relation database plus ``num_queries`` distinct queries.
+
+    Sized so one execute costs on the order of a millisecond: small enough
+    for a tight measurement loop, large enough that the timing reflects the
+    engine's work rather than call dispatch alone.
+    """
+    r = Relation.from_rows(
+        "A B", [(i % 40, i % 17) for i in range(600)], name="R"
+    )
+    s = Relation.from_rows(
+        "B C", [(i % 17, i % 23) for i in range(600)], name="S"
+    )
+    t = Relation.from_rows(
+        "C D", [(i % 23, i % 9) for i in range(600)], name="T"
+    )
+    relations = {"R": r, "S": s, "T": t}
+    r_op, s_op, t_op = (
+        Operand("R", r.scheme),
+        Operand("S", s.scheme),
+        Operand("T", t.scheme),
+    )
+    queries = [
+        Projection(["A"], Join((r_op, s_op))),
+        Projection(["A", "C"], Join((r_op, s_op))),
+        Projection(["B", "D"], Join((s_op, t_op))),
+        Projection(["A", "D"], Join((r_op, s_op, t_op))),
+        Projection(["D"], Join((r_op, s_op, t_op))),
+        Projection(["C"], Join((s_op, t_op))),
+        Projection(["A", "B"], Join((r_op, Projection(["B"], s_op)))),
+        Projection(["A", "C", "D"], Join((r_op, s_op, t_op))),
+    ]
+    assert len(queries) >= num_queries
+    return relations, queries[:num_queries]
+
+
+def run_serving_benchmark(num_queries: int = SERVING_QUERIES) -> Dict:
+    """Mixed-traffic serving through one Session vs the pinned backend.
+
+    ``num_queries`` prepared queries are executed round-robin through one
+    :class:`repro.api.Session` (the serving steady state) and compared with
+    calling each query's own pinned ``EngineEvaluator`` directly — the
+    facade's per-execute overhead (binding-version check, unified trace,
+    counters) must stay within ``SERVING_MAX_OVERHEAD``.  Appends a
+    ``serving`` section to ``BENCH_algebra.json`` (the perf trajectory
+    anchor is extended, never replaced).
+    """
+    relations, queries = _serving_workload(num_queries)
+
+    session = Session(relations, backend="engine")
+    try:
+        prepared = [session.prepare(query) for query in queries]
+        direct = []
+        for query in queries:
+            evaluator = EngineEvaluator()
+            bound = {name: relations[name] for name in query.operand_names()}
+            evaluator.plan_for(query, bound)  # pin, as the session does
+            direct.append((evaluator, query, bound))
+
+        def session_round():
+            for query in prepared:
+                query.execute()
+
+        def direct_round():
+            for evaluator, query, bound in direct:
+                evaluator.evaluate(query, bound)
+
+        # Cross-check once before timing anything.
+        for query, (evaluator, _, bound) in zip(prepared, direct):
+            facade_result = query.execute()
+            direct_result, _ = evaluator.evaluate(query.expression, bound)
+            if not facade_result.set_equal(direct_result):
+                raise AssertionError("facade result diverged from direct backend")
+
+        before = session.stats()
+        session_seconds, direct_seconds = _best_of_interleaved(
+            session_round, direct_round, rounds=7
+        )
+        after = session.stats()
+    finally:
+        session.close()
+
+    overhead = session_seconds / direct_seconds
+    executes = after["executes"] - before["executes"]
+    section = {
+        "description": (
+            "N prepared queries round-robin through one Session (engine "
+            "backend) vs each query's own pinned evaluator called directly; "
+            "overhead is facade cost per execute"
+        ),
+        "queries": num_queries,
+        "session_round_seconds": round(session_seconds, 6),
+        "direct_round_seconds": round(direct_seconds, 6),
+        "overhead_ratio": round(overhead, 4),
+        "max_overhead_ratio": SERVING_MAX_OVERHEAD,
+        "plan_builds": after["plan_builds"],
+        "plan_cache_hits_delta": after["plan_cache_hits"] - before["plan_cache_hits"],
+        "executes_delta": executes,
+    }
+    print(
+        f"serving x{num_queries}: session round {session_seconds * 1e3:,.2f}ms vs "
+        f"direct {direct_seconds * 1e3:,.2f}ms ({overhead:.3f}x), "
+        f"{after['plan_builds']} plan build(s) for "
+        f"{after['executes']} execute(s)"
+    )
+    _merge_into_document({"serving": section})
+    print(f"serving section -> {OUTPUT_PATH}")
+    return section
+
+
 def test_kernel_speedup_over_seed(emit_result):
     """The compiled kernel must beat the seed implementation by >= 5x overall."""
     document = run_benchmark()
@@ -448,6 +566,40 @@ def _check_spill_parallel(sections: Dict) -> None:
         )
 
 
+def _check_serving(section: Dict) -> None:
+    """The serving gate shared by pytest and the standalone sweep."""
+    assert section["plan_builds"] == section["queries"], (
+        "prepare() must compile each query exactly once; got "
+        f"{section['plan_builds']} builds for {section['queries']} queries"
+    )
+    assert section["plan_cache_hits_delta"] == section["executes_delta"], (
+        "every timed execute must be a plan-cache hit (no re-planning)"
+    )
+    assert section["overhead_ratio"] <= section["max_overhead_ratio"], (
+        f"session serving overhead {section['overhead_ratio']}x exceeds "
+        f"{section['max_overhead_ratio']}x over the pinned backend"
+    )
+
+
+def test_session_serving_overhead(emit_result):
+    """One Session serving 8 prepared queries round-robin must stay within
+    1.05x of calling each query's pinned evaluator directly, with the
+    plan-cache counters proving no execute ever re-planned."""
+    section = run_serving_benchmark()
+    emit_result(
+        "BENCH-serving",
+        "prepared-query serving through one Session vs pinned backends",
+        f"{section['queries']} queries round-robin  "
+        f"session {section['session_round_seconds'] * 1e3:,.2f}ms  "
+        f"direct {section['direct_round_seconds'] * 1e3:,.2f}ms  "
+        f"overhead {section['overhead_ratio']:.3f}x  "
+        f"(plan builds {section['plan_builds']}, "
+        f"cache hits {section['plan_cache_hits_delta']}/"
+        f"{section['executes_delta']} executes)",
+    )
+    _check_serving(section)
+
+
 def test_engine_spill_and_parallel_probe(emit_result):
     """Budget + parallel smoke: at m=12 a 256-row budget must spill while
     matching the unbudgeted output with every build table inside the budget,
@@ -489,5 +641,11 @@ if __name__ == "__main__":
         _check_spill_parallel(spill_parallel)
     except AssertionError as failure:
         print(f"spill/parallel gate failed: {failure}")
+        engine_ok = False
+    serving_section = run_serving_benchmark()
+    try:
+        _check_serving(serving_section)
+    except AssertionError as failure:
+        print(f"serving gate failed: {failure}")
         engine_ok = False
     sys.exit(0 if result["geomean_speedup"] >= MIN_EXPECTED_SPEEDUP and engine_ok else 1)

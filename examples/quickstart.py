@@ -4,21 +4,23 @@ Run with ``python examples/quickstart.py``.
 
 The walk-through builds a small relation, writes a projection-join query in
 three equivalent ways (fluent API, builder functions, textual syntax),
-evaluates it, and then asks the questions whose complexity the paper
-characterises: membership of a tuple, equality against a conjectured result,
-cardinality bounds, and containment of two queries on a fixed database.
+evaluates it through the unified ``repro.connect`` facade (prepare once,
+execute and introspect on any backend — see ``docs/API.md``), and then asks
+the questions whose complexity the paper characterises: membership of a
+tuple, equality against a conjectured result, cardinality bounds, and
+containment of two queries on a fixed database.
 """
 
 from __future__ import annotations
 
+import repro
 from repro.algebra import Relation
 from repro.decision import (
     CardinalityDecider,
     ContainmentDecider,
     QueryResultEqualityDecider,
-    tuple_in_result,
 )
-from repro.expressions import evaluate, join, operand, parse_expression, project
+from repro.expressions import join, operand, parse_expression, project
 from repro.algebra.tuples import RelationTuple
 
 
@@ -51,23 +53,35 @@ def main() -> None:
     )
     assert query_fluent == query_builder == query_text
 
-    result = evaluate(query_fluent, {"Enrollment": enrollment})
+    # Evaluation goes through the unified facade: a Session owns the
+    # database, prepare() parses/validates/plans exactly once, and the
+    # prepared query executes on any backend (the default is the streaming
+    # engine — swap backend="naive"/"optimized"/... for the others).
+    session = repro.connect({"Enrollment": enrollment})
+    prepared = session.prepare(query_fluent)
+    result = prepared.execute()
     print(f"query: {query_fluent.to_text()}")
     print("result:")
     print(result.to_table())
     print()
+    print("how the engine runs it:")
+    print(prepared.explain())
+    trace = prepared.trace()
+    print(
+        f"executed on {trace.backend!r}: {trace.result_cardinality} tuples, "
+        f"peak {trace.peak_memory_rows} rows resident"
+    )
+    print()
 
     # Question 1 (Proposition 2 / NP): is a given tuple in the result?
+    # contains() streams the pinned plan with early exit on the engine.
     candidate = RelationTuple(
         result.scheme, {"Student": "bob", "Course": "db", "Teacher": "codd"}
     )
-    print(
-        "tuple membership (bob, db, codd):",
-        tuple_in_result(candidate, query_fluent, {"Enrollment": enrollment}),
-    )
+    print("tuple membership (bob, db, codd):", prepared.contains(candidate))
 
     # Question 2 (Theorem 1 / DP): does the query equal a conjectured result?
-    conjectured = result  # conjecture the right answer first ...
+    conjectured = result.relation  # conjecture the right answer first ...
     verdict = QueryResultEqualityDecider().decide(
         query_fluent, {"Enrollment": enrollment}, conjectured
     )
@@ -107,6 +121,8 @@ def main() -> None:
         "| equivalent:",
         verdict.equivalent,
     )
+
+    session.close()
 
 
 if __name__ == "__main__":

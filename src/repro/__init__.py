@@ -6,8 +6,18 @@ paper's R_G / φ_G constructions and every reduction of Theorems 1-5, plus the
 decision procedures, analysis tooling and workload generators used by the
 benchmark harness.
 
+The supported entry point is the :mod:`repro.api` facade, re-exported here:
+``repro.connect(database)`` (or ``repro.Session``) opens a session over named
+relations, ``session.prepare(query)`` parses/validates/compiles once, and the
+returned ``PreparedQuery`` executes on any evaluator backend behind one
+``QueryResult`` / ``UnifiedTrace`` shape — see ``docs/API.md``.  The
+per-generation evaluator classes remain importable from their subpackages
+but are considered internal.
+
 Subpackages
 -----------
+``repro.api``
+    The unified Session / PreparedQuery facade over every evaluator backend.
 ``repro.algebra``
     Relational model: schemes, tuples, relations, databases, operations.
 ``repro.expressions``
@@ -33,6 +43,33 @@ Subpackages
     Benchmark workload generators, including the paper's worked example.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+from .api import (
+    BACKENDS,
+    BackendConfig,
+    PreparedQuery,
+    QueryResult,
+    Session,
+    SessionClosedError,
+    SessionError,
+    TraceLike,
+    UnifiedTrace,
+    UnknownBackendError,
+    connect,
+)
+
+__all__ = [
+    "__version__",
+    "BACKENDS",
+    "BackendConfig",
+    "Session",
+    "connect",
+    "PreparedQuery",
+    "QueryResult",
+    "TraceLike",
+    "UnifiedTrace",
+    "SessionError",
+    "SessionClosedError",
+    "UnknownBackendError",
+]

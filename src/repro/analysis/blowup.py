@@ -4,9 +4,17 @@ The paper's framing result is that, unlike ordinary integer algebra,
 relational algebra admits expressions whose *intermediate* results are
 inherently much larger than both the input and the (polynomially bounded)
 output.  :func:`analyze_blowup` measures exactly that on a concrete
-relation/expression pair by running the naive instrumented evaluator, and
-optionally the optimising evaluator for comparison; :func:`blowup_sweep`
-repeats the measurement over a family and tabulates growth.
+relation/expression pair by running the instrumented evaluator, and
+optionally the optimising evaluator and the streaming engine for comparison;
+:func:`blowup_sweep` repeats the measurement over a family and tabulates
+growth.
+
+Since the :mod:`repro.api` facade landed, the measurement itself is one
+mixed-backend serving session: the query is prepared once per backend on a
+single :class:`~repro.api.Session` (so the engine run shares that session's
+budget/worker configuration and pool teardown) and each backend's
+:class:`~repro.api.UnifiedTrace` supplies the peaks.  Instantiating the
+per-generation evaluator classes directly for this purpose is deprecated.
 """
 
 from __future__ import annotations
@@ -14,10 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..algebra.relation import Relation
+from ..api import Session
 from ..expressions.ast import Expression
-from ..expressions.evaluator import ArgumentLike, EvaluationTrace, InstrumentedEvaluator
-from ..expressions.optimizer import OptimizedEvaluator
+from ..expressions.evaluator import ArgumentLike
 
 __all__ = ["BlowupMeasurement", "analyze_blowup", "blowup_sweep"]
 
@@ -96,43 +103,46 @@ def analyze_blowup(
 ) -> BlowupMeasurement:
     """Measure peak intermediate sizes for one evaluation.
 
-    With ``compare_engine`` the streaming engine
-    (:class:`~repro.engine.evaluator.EngineEvaluator`) also runs the query;
-    its result is checked against the naive evaluation and its peak *live*
-    row count — the streaming analogue of peak materialised cardinality —
-    is recorded in :attr:`BlowupMeasurement.engine_peak_live`.
+    With ``compare_engine`` the streaming engine also runs the query; its
+    result is checked against the naive evaluation and its peak *live* row
+    count — the streaming analogue of peak materialised cardinality — is
+    recorded in :attr:`BlowupMeasurement.engine_peak_live`.
     ``engine_budget`` (rows) makes that run memory-budgeted (Grace-hash
     spilling) and ``engine_workers`` > 1 runs the parallel probe stage —
     the cross-check against the naive result still applies, so the CLI's
     ``--memory-budget``/``--workers`` sweeps double as correctness checks.
-    """
-    naive_result, naive_trace = InstrumentedEvaluator().evaluate(expression, arguments)
-    optimized_peak: Optional[int] = None
-    optimized_total: Optional[int] = None
-    if compare_optimizer:
-        optimized_result, optimized_trace = OptimizedEvaluator().evaluate(
-            expression, arguments
-        )
-        if optimized_result != naive_result:
-            raise AssertionError(
-                "optimised evaluation disagreed with naive evaluation; "
-                "this indicates a bug in the optimiser rewrites"
-            )
-        optimized_peak = optimized_trace.peak_intermediate_cardinality
-        optimized_total = optimized_trace.total_intermediate_tuples
-    engine_peak_live: Optional[int] = None
-    if compare_engine:
-        from ..engine.evaluator import EngineEvaluator
 
-        engine_result, engine_trace = EngineEvaluator(
-            budget=engine_budget, workers=engine_workers
-        ).evaluate(expression, arguments)
-        if engine_result != naive_result:
-            raise AssertionError(
-                "engine evaluation disagreed with naive evaluation; "
-                "this indicates a bug in the streaming operators or planner"
-            )
-        engine_peak_live = engine_trace.peak_live_rows
+    All runs go through one mixed-backend :class:`~repro.api.Session`, so
+    the engine's pools/budget are torn down with the measurement.
+    """
+    with Session(
+        arguments,
+        backend="instrumented",
+        budget=engine_budget,
+        workers=engine_workers,
+    ) as session:
+        naive = session.prepare(expression, backend="instrumented").execute()
+        naive_trace = naive.trace
+        optimized_peak: Optional[int] = None
+        optimized_total: Optional[int] = None
+        if compare_optimizer:
+            optimized = session.prepare(expression, backend="optimized").execute()
+            if not optimized.set_equal(naive):
+                raise AssertionError(
+                    "optimised evaluation disagreed with naive evaluation; "
+                    "this indicates a bug in the optimiser rewrites"
+                )
+            optimized_peak = optimized.trace.peak_intermediate_cardinality
+            optimized_total = optimized.trace.total_intermediate_tuples
+        engine_peak_live: Optional[int] = None
+        if compare_engine:
+            engine = session.prepare(expression, backend="engine").execute()
+            if not engine.set_equal(naive):
+                raise AssertionError(
+                    "engine evaluation disagreed with naive evaluation; "
+                    "this indicates a bug in the streaming operators or planner"
+                )
+            engine_peak_live = engine.trace.peak_live_rows
     return BlowupMeasurement(
         label=label,
         input_cardinality=naive_trace.input_cardinality,

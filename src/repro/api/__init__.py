@@ -1,0 +1,50 @@
+"""The unified public API: sessions, prepared queries, unified traces.
+
+Four generations of evaluation APIs grew alongside the paper reproduction —
+:func:`repro.expressions.evaluate`, the instrumented and optimising
+evaluators, and the streaming :class:`~repro.engine.evaluator.EngineEvaluator`
+with its budget/worker knobs — each with its own constructor, trace dialect,
+and caching story.  This package is the one front door over all of them:
+
+>>> import repro
+>>> from repro.algebra import Relation
+>>> r = Relation.from_rows("A B", [(1, "x"), (2, "y")], name="R")
+>>> with repro.connect({"R": r}) as session:
+...     query = session.prepare("project[A](R)")
+...     len(query.execute())
+2
+
+* :class:`Session` owns the database side (named relations or a bare
+  single relation), the :class:`BackendConfig`, and the serving state every
+  prepared query shares (pinned plans, memory budget, persistent worker
+  pools, counters);
+* :meth:`Session.prepare` parses/validates/compiles **once** into a
+  :class:`PreparedQuery`; ``execute()`` / ``explain()`` / ``trace()`` then
+  behave identically on every backend;
+* :class:`QueryResult` and :class:`UnifiedTrace` are the backend-agnostic
+  result and trace types (:class:`TraceLike` is the structural protocol).
+
+``docs/API.md`` documents the facade, the backend matrix, and the
+prepared-plan/invalidation contract.
+"""
+
+from .config import BACKENDS, BackendConfig
+from .errors import SessionClosedError, SessionError, UnknownBackendError
+from .prepared import PreparedQuery
+from .result import QueryResult
+from .session import Session, connect
+from .trace import TraceLike, UnifiedTrace
+
+__all__ = [
+    "BACKENDS",
+    "BackendConfig",
+    "Session",
+    "connect",
+    "PreparedQuery",
+    "QueryResult",
+    "TraceLike",
+    "UnifiedTrace",
+    "SessionError",
+    "SessionClosedError",
+    "UnknownBackendError",
+]

@@ -1,0 +1,86 @@
+"""Backend configuration for :class:`~repro.api.session.Session`.
+
+One frozen dataclass replaces four generations of constructor knobs: the
+evaluator to serve from (``backend``), the streaming engine's memory budget
+and parallelism, the optimiser's size-estimator hook, and the serving-side
+limits (how many persistent fork pools a session may keep warm).  A session
+holds exactly one config; individual :meth:`~repro.api.session.Session.prepare`
+calls may override the backend per query, which is how one session serves
+mixed query traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Union
+
+from ..engine.physical import MemoryBudget
+from .errors import SessionError, UnknownBackendError
+
+__all__ = ["BACKENDS", "BackendConfig"]
+
+#: The evaluator backends a session can serve from, in generation order.
+BACKENDS = ("naive", "instrumented", "optimized", "engine")
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """Every knob of every evaluator generation, in one place.
+
+    ``backend``
+        Default evaluator for prepared queries: ``naive`` (materialise as
+        written, no trace steps), ``instrumented`` (naive + per-intermediate
+        trace), ``optimized`` (projection push-down + greedy join ordering),
+        or ``engine`` (streaming physical plans — the production path, and
+        the default).
+    ``budget``
+        Row budget for the engine's state (int or
+        :class:`~repro.engine.physical.MemoryBudget`); hash joins spill to
+        Grace partitions when their build side would overflow it.
+    ``workers``
+        Parallel probe workers for the engine (1 = serial).
+    ``parallel_backend``
+        Force ``"fork"`` or ``"thread"`` for the engine's worker pool
+        (default: fork where available).
+    ``size_estimator``
+        The optimised backend's join-ordering hook: a callable
+        ``(left, right) -> float`` scoring candidate pairwise joins
+        (default: :func:`repro.algebra.operations.estimate_join_size`).
+    ``prefer_merge``
+        Make the engine's planner choose sort-merge joins.
+    ``max_pools``
+        How many persistent fork-probe pools the engine evaluator keeps
+        warm, LRU-evicted beyond that (each pool pins one bound plan's
+        forked workers — see ``docs/ENGINE.md``).
+    """
+
+    backend: str = "engine"
+    budget: Union[MemoryBudget, int, None] = None
+    workers: int = 1
+    parallel_backend: Optional[str] = None
+    size_estimator: Optional[Callable] = None
+    prefer_merge: bool = False
+    max_pools: int = 8
+
+    def __post_init__(self):
+        validate_backend(self.backend)
+        if self.workers < 1:
+            raise SessionError(f"workers must be >= 1, got {self.workers}")
+        if self.max_pools < 1:
+            raise SessionError(f"max_pools must be >= 1, got {self.max_pools}")
+        coerced = MemoryBudget.coerce(self.budget)
+        if coerced is not self.budget:
+            object.__setattr__(self, "budget", coerced)
+
+    def override(self, **changes) -> "BackendConfig":
+        """A copy with ``changes`` applied (validated like the constructor)."""
+        return replace(self, **changes)
+
+
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` if supported, raise :class:`UnknownBackendError` otherwise."""
+    if backend not in BACKENDS:
+        raise UnknownBackendError(
+            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    return backend

@@ -1,0 +1,214 @@
+"""Prepared queries: parse/validate/plan once, execute many times.
+
+A :class:`PreparedQuery` is created by :meth:`repro.api.session.Session.prepare`
+and pins everything that does not change between executions of one query:
+
+* the validated expression (parsed once if it arrived as text);
+* the binding of operand names to the session's relations (re-validated
+  lazily only after the session mutates a relation the query reads);
+* the backend-specific compiled artifact — the engine's
+  :class:`~repro.engine.planner.PhysicalPlan` or the optimiser's pushed-down
+  rewrite (the naive backends have nothing to compile).
+
+``execute()`` then runs the pinned plan; the session's counters record a
+plan-cache hit for every execution that re-planned nothing, which is how the
+serving benchmark proves steady-state executes never touch the planner.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
+
+from ..algebra.relation import Relation
+from ..expressions.ast import Expression
+from ..expressions.evaluator import bind_arguments
+from .errors import SessionError
+from .result import QueryResult
+from .trace import UnifiedTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import Session
+
+__all__ = ["PreparedQuery"]
+
+
+class PreparedQuery:
+    """One query, prepared against one session's relations and backend.
+
+    Instances are created by :meth:`Session.prepare` (the constructor is not
+    public API) and stay valid for the session's lifetime: executing after a
+    relation mutation transparently re-binds and re-plans once, executing
+    after :meth:`Session.close` raises.
+    """
+
+    def __init__(self, session: "Session", expression: Expression, backend: str):
+        self._session = session
+        self.expression = expression
+        self.backend = backend
+        self._lock = threading.Lock()
+        self._bound: Dict[str, Relation] = {}
+        self._versions: Dict[str, int] = {}
+        #: Backend artifact: PhysicalPlan (engine) or rewritten Expression
+        #: (optimized); None for the naive backends.
+        self._artifact = None
+        self._last_trace: Optional[UnifiedTrace] = None
+        self._compile(count_build=True)
+
+    # -- pinning -------------------------------------------------------
+
+    def _compile(self, count_build: bool) -> None:
+        """(Re)bind against the session's current relations and re-pin.
+
+        Called at preparation and again after a relation this query reads is
+        replaced (the session bumps that name's version; the stale check in
+        :meth:`_current_binding` notices).  ``count_build`` is False only
+        for the no-op path.
+        """
+        session = self._session
+        mapping, versions = session._resolve_bindings(self.expression)
+        bound = bind_arguments(self.expression, mapping)
+        artifact = session._compile_for(self.backend, self.expression, bound)
+        self._bound = bound
+        self._versions = versions
+        self._artifact = artifact
+        if count_build:
+            session._count("plan_builds")
+
+    def _current_binding(self) -> Dict[str, Relation]:
+        """The pinned binding, re-pinned first if the session mutated under it."""
+        session = self._session
+        session._ensure_open()
+        with self._lock:
+            if session._versions_changed(self._versions):
+                session._count("invalidation_replans")
+                # Drop the engine's pinned plan for this expression so the
+                # re-compile plans against the *new* relations' statistics
+                # (construction-is-invalidation: fresh relations carry fresh
+                # stats catalogs).
+                session._forget_backend_plan(self.backend, self.expression)
+                self._compile(count_build=True)
+            else:
+                session._count("plan_cache_hits")
+            return self._bound
+
+    def _merge_overrides(
+        self, bound: Mapping[str, Relation], bindings: Mapping[str, Relation]
+    ) -> Mapping[str, Relation]:
+        """Apply per-call relation overrides to the pinned binding, validated."""
+        if not bindings:
+            return bound
+        unknown = sorted(set(bindings) - set(bound))
+        if unknown:
+            raise SessionError(
+                f"got relations for {unknown} but the query's "
+                f"operands are {sorted(bound)}"
+            )
+        merged = dict(bound)
+        merged.update(bindings)
+        return bind_arguments(self.expression, merged)
+
+    # -- the unified verbs ---------------------------------------------
+
+    def execute(self, **bindings: Relation) -> QueryResult:
+        """Run the pinned plan and return a :class:`QueryResult`.
+
+        Keyword arguments override the session's relation for that operand
+        name *for this execution only* (the pinned plan is reused — a plan
+        stays correct for any conforming database; only the statistics it
+        was costed with age).  Unknown names raise, mismatched schemes raise
+        through the usual binding validation.
+        """
+        bound = self._merge_overrides(self._current_binding(), bindings)
+        relation, trace = self._session._execute_backend(
+            self.backend, self.expression, bound, self._artifact
+        )
+        self._last_trace = trace
+        self._session._count("executes")
+        return QueryResult(relation=relation, trace=trace, backend=self.backend)
+
+    def trace(self, **bindings: Relation) -> UnifiedTrace:
+        """Execute with full tracing and return the :class:`UnifiedTrace`.
+
+        Identical on every backend: the ``naive`` backend (whose plain
+        ``execute`` records no steps) traces through the instrumented
+        evaluator, which materialises the same intermediates.
+        """
+        if self.backend == "naive":
+            bound = self._merge_overrides(self._current_binding(), bindings)
+            relation, trace = self._session._execute_backend(
+                "instrumented", self.expression, bound, None
+            )
+            self._session._count("executes")
+            trace.backend = "naive"
+            self._last_trace = trace
+            return trace
+        return self.execute(**bindings).trace
+
+    def last_trace(self) -> Optional[UnifiedTrace]:
+        """The most recent execution's trace (``None`` before any execution)."""
+        return self._last_trace
+
+    def explain(self) -> str:
+        """A human-readable account of how this backend runs the query."""
+        bound = self._current_binding()
+        expression_text = self.expression.to_text()
+        if self.backend == "engine":
+            plan = self._artifact
+            return (
+                f"backend: engine (streaming physical plan)\n"
+                f"expression: {expression_text}\n"
+                f"estimated result rows: {plan.est_rows:.1f}   "
+                f"estimated cost: {plan.est_cost:.1f}\n"
+                f"{plan.explain()}"
+            )
+        if self.backend == "optimized":
+            return (
+                f"backend: optimized (projection push-down + greedy join ordering)\n"
+                f"expression: {expression_text}\n"
+                f"rewritten:  {self._artifact.to_text()}"
+            )
+        detail = "records every intermediate" if self.backend == "instrumented" else "no trace steps"
+        return (
+            f"backend: {self.backend} (materialise as written; {detail})\n"
+            f"expression: {expression_text}\n"
+            f"operands: "
+            + ", ".join(
+                f"{name}[{len(relation)} tuples]" for name, relation in sorted(bound.items())
+            )
+        )
+
+    def contains(self, candidate) -> bool:
+        """Decide ``candidate ∈ result`` without asking for the full result.
+
+        On the engine backend this streams the pinned plan and stops at the
+        candidate's first occurrence
+        (:class:`~repro.decision.membership.EngineMembershipDecider`); the
+        materialising backends evaluate and test membership.
+        """
+        bound = self._current_binding()
+        if self.backend == "engine":
+            from ..decision.membership import EngineMembershipDecider
+
+            decider = EngineMembershipDecider(evaluator=self._session._engine)
+            verdict = decider.decide(candidate, self.expression, bound)
+            self._session._count("executes")
+            return verdict
+        relation, _ = self._session._execute_backend(
+            self.backend, self.expression, bound, self._artifact
+        )
+        self._session._count("executes")
+        return candidate in relation
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def operand_names(self) -> Tuple[str, ...]:
+        """The operand names this query reads, sorted."""
+        return tuple(sorted(self._bound))
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery({self.expression.to_text()!r}, "
+            f"backend={self.backend!r})"
+        )

@@ -1,0 +1,393 @@
+"""The session: one database, one config, many prepared queries.
+
+Cosmadakis' results make evaluation complexity a property of the *(query,
+database)* pair, and the facade's shape follows: a :class:`Session` owns the
+database side (named relations or the paper's single-relation databases) plus
+one :class:`~repro.api.config.BackendConfig`, and
+:meth:`Session.prepare` fixes the query side — parsing, validating, and
+compiling once into a :class:`~repro.api.prepared.PreparedQuery` that is then
+executed many times.  All prepared queries of a session share its serving
+state: the engine evaluator's pinned-plan dictionary, its memory budget, and
+its LRU-capped pool of persistent fork workers, so mixed query traffic is
+served from one warm process pool instead of one pinned pool per evaluator.
+
+Mutation follows the statistics catalog's construction-is-invalidation
+contract: :meth:`Session.set_relation` installs a *new* relation object
+(relations are immutable, so its stats slot starts empty) and bumps that
+name's version; every prepared query reading the name lazily re-binds and
+re-plans on its next execution — against the fresh statistics — while
+queries over untouched relations keep their plans and their plan-cache hits.
+
+Counters (:meth:`Session.stats`) make the serving behaviour auditable:
+``plan_builds`` counts actual compilations, ``plan_cache_hits`` counts
+executions that reused a pinned plan, so "prepare once, execute many" is a
+measurable property rather than a promise.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from ..algebra.database import Database
+from ..algebra.relation import Relation
+from ..expressions.ast import Expression
+from ..expressions.evaluator import InstrumentedEvaluator, evaluate
+from ..expressions.optimizer import OptimizedEvaluator, push_down_projections
+from ..expressions.parser import parse_expression
+from .config import BackendConfig, validate_backend
+from .errors import SessionClosedError, SessionError
+from .prepared import PreparedQuery
+from .result import QueryResult
+from .trace import UnifiedTrace
+
+__all__ = ["Session", "connect"]
+
+DatabaseLike = Union[Database, Mapping[str, Relation], Relation]
+
+#: Version key for the bare default relation of single-relation sessions.
+_DEFAULT_KEY = "*default*"
+
+_COUNTER_NAMES = (
+    "prepares",
+    "registry_hits",
+    "executes",
+    "plan_builds",
+    "plan_cache_hits",
+    "invalidations",
+    "invalidation_replans",
+)
+
+
+class Session:
+    """Serve prepared queries over one database from any evaluator backend.
+
+    ``database`` is a :class:`~repro.algebra.database.Database`, a plain
+    ``{name: relation}`` mapping, or a bare :class:`Relation` (bound to every
+    operand whose scheme it matches — the paper's single-relation
+    databases).  ``config`` carries the backend and its knobs; keyword
+    overrides (``backend=``, ``budget=``, ``workers=``, ...) are applied on
+    top of it, so ``Session(db, backend="engine", workers=4)`` needs no
+    explicit config object.
+
+    Sessions are context managers; :meth:`close` (idempotent) shuts down the
+    engine's persistent worker pools.
+    """
+
+    def __init__(
+        self,
+        database: DatabaseLike,
+        config: Optional[BackendConfig] = None,
+        **overrides,
+    ):
+        base = config or BackendConfig()
+        if overrides:
+            base = base.override(**overrides)
+        self.config = base
+        self._state_lock = threading.Lock()
+        self._relations: Dict[str, Relation] = {}
+        self._default: Optional[Relation] = None
+        self._default_version = 0
+        self._rel_versions: Dict[str, int] = {}
+        if isinstance(database, Relation):
+            self._default = database
+        elif isinstance(database, (Database, Mapping)):
+            self._relations = dict(database.items())
+        else:
+            raise SessionError(
+                f"database must be a Database, a name->relation mapping, or "
+                f"a bare Relation, got {type(database).__name__}"
+            )
+        self._registry: Dict[Tuple[Expression, str], PreparedQuery] = {}
+        self._counters: Dict[str, int] = {name: 0 for name in _COUNTER_NAMES}
+        self._closed = False
+        # Backend executors, created lazily and shared by every prepared
+        # query of this session (the engine evaluator carries the shared
+        # budget, worker pools, and pinned-plan dictionary).
+        self._engine_evaluator = None
+        self._instrumented = InstrumentedEvaluator()
+        self._optimized = OptimizedEvaluator(estimator=base.size_estimator)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down serving state (engine worker pools).  Idempotent."""
+        with self._state_lock:
+            self._closed = True
+            engine = self._engine_evaluator
+        if engine is not None:
+            engine.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError("this session is closed")
+
+    # -- the database side ---------------------------------------------
+
+    @property
+    def relations(self) -> Dict[str, Relation]:
+        """A snapshot of the session's named relations."""
+        with self._state_lock:
+            return dict(self._relations)
+
+    @property
+    def default_relation(self) -> Optional[Relation]:
+        """The bare relation of a single-relation session, if any."""
+        return self._default
+
+    def set_relation(self, name: str, relation: Relation) -> None:
+        """Install ``relation`` under ``name`` (replacing any previous one).
+
+        Relations are immutable, so this is the only mutation a session
+        knows: a *new* object whose statistics catalog starts empty
+        (construction is invalidation).  Prepared queries reading ``name``
+        re-bind and re-plan on their next execution; others are untouched.
+        """
+        if not isinstance(relation, Relation):
+            raise SessionError(
+                f"set_relation expects a Relation, got {type(relation).__name__}"
+            )
+        self._ensure_open()
+        with self._state_lock:
+            self._relations[name] = relation
+            self._rel_versions[name] = self._rel_versions.get(name, 0) + 1
+            self._counters["invalidations"] += 1
+
+    def set_default_relation(self, relation: Relation) -> None:
+        """Replace a single-relation session's bare relation."""
+        if not isinstance(relation, Relation):
+            raise SessionError(
+                f"set_default_relation expects a Relation, got {type(relation).__name__}"
+            )
+        self._ensure_open()
+        with self._state_lock:
+            if self._default is None:
+                raise SessionError(
+                    "this session was not created from a bare relation; "
+                    "use set_relation(name, relation)"
+                )
+            self._default = relation
+            self._default_version += 1
+            self._counters["invalidations"] += 1
+
+    def _resolve_bindings(
+        self, expression: Expression
+    ) -> Tuple[Dict[str, Relation], Dict[str, int]]:
+        """Map the expression's operands onto the session's relations.
+
+        Returns the mapping plus the version snapshot the binding was taken
+        at, so staleness is detectable without re-resolving.
+        """
+        schemes = expression.operand_schemes()
+        mapping: Dict[str, Relation] = {}
+        versions: Dict[str, int] = {}
+        with self._state_lock:
+            for name in schemes:
+                if name in self._relations:
+                    mapping[name] = self._relations[name]
+                    versions[name] = self._rel_versions.get(name, 0)
+                elif self._default is not None:
+                    mapping[name] = self._default
+                    versions[_DEFAULT_KEY] = self._default_version
+                    # Also snapshot the *name*: a later set_relation(name,
+                    # ...) shadows the default for this operand, and the
+                    # binding must notice that too.
+                    versions[name] = self._rel_versions.get(name, 0)
+                else:
+                    raise SessionError(
+                        f"no relation named {name!r} in this session "
+                        f"(have: {sorted(self._relations) or 'none'})"
+                    )
+        return mapping, versions
+
+    def _versions_changed(self, snapshot: Mapping[str, int]) -> bool:
+        with self._state_lock:
+            for key, version in snapshot.items():
+                if key == _DEFAULT_KEY:
+                    if self._default_version != version:
+                        return True
+                elif self._rel_versions.get(key, 0) != version:
+                    return True
+        return False
+
+    # -- preparing -----------------------------------------------------
+
+    def prepare(
+        self,
+        expression: Union[Expression, str],
+        backend: Optional[str] = None,
+    ) -> PreparedQuery:
+        """Parse/validate/compile once; return the pinned prepared query.
+
+        ``expression`` is an AST or the textual syntax of
+        :func:`repro.expressions.parse_expression` (operand schemes are
+        taken from the session's relations).  ``backend`` overrides the
+        session default for this query — one session serves mixed traffic.
+        Preparing a structurally identical (expression, backend) pair again
+        returns the *same* prepared query (a registry hit, not a re-plan).
+        """
+        self._ensure_open()
+        chosen = validate_backend(backend or self.config.backend)
+        if isinstance(expression, str):
+            expression = self._parse(expression)
+        key = (expression, chosen)
+        with self._state_lock:
+            existing = self._registry.get(key)
+            if existing is not None:
+                self._counters["registry_hits"] += 1
+                return existing
+        prepared = PreparedQuery(self, expression, chosen)
+        with self._state_lock:
+            raced = self._registry.get(key)
+            if raced is not None:
+                self._counters["registry_hits"] += 1
+                return raced
+            self._registry[key] = prepared
+            self._counters["prepares"] += 1
+        return prepared
+
+    def execute(
+        self,
+        expression: Union[Expression, str],
+        backend: Optional[str] = None,
+        **bindings: Relation,
+    ) -> QueryResult:
+        """Prepare (registry-cached) and execute in one call."""
+        return self.prepare(expression, backend=backend).execute(**bindings)
+
+    def _parse(self, source: str) -> Expression:
+        with self._state_lock:
+            schemes = {name: rel.scheme for name, rel in self._relations.items()}
+            if self._default is not None and self._default.name:
+                schemes.setdefault(self._default.name, self._default.scheme)
+        if not schemes:
+            raise SessionError(
+                "cannot parse a textual query: the session holds no named "
+                "relations (bare-relation sessions need the relation to "
+                "carry a name)"
+            )
+        return parse_expression(source, schemes)
+
+    @property
+    def prepared_queries(self) -> Tuple[PreparedQuery, ...]:
+        """Every distinct prepared query registered with this session."""
+        with self._state_lock:
+            return tuple(self._registry.values())
+
+    # -- backend dispatch ----------------------------------------------
+
+    @property
+    def _engine(self):
+        """The session's shared engine evaluator (created on first use)."""
+        engine = self._engine_evaluator
+        if engine is None:
+            from ..engine.evaluator import EngineEvaluator
+            from ..engine.planner import PlannerConfig
+
+            with self._state_lock:
+                engine = self._engine_evaluator
+                if engine is None:
+                    engine = EngineEvaluator(
+                        config=PlannerConfig(prefer_merge=self.config.prefer_merge),
+                        budget=self.config.budget,
+                        workers=self.config.workers,
+                        parallel_backend=self.config.parallel_backend,
+                        max_pools=self.config.max_pools,
+                    )
+                    self._engine_evaluator = engine
+        return engine
+
+    def _compile_for(
+        self, backend: str, expression: Expression, bound: Mapping[str, Relation]
+    ):
+        """The backend's pinned artifact for one (expression, binding)."""
+        if backend == "engine":
+            return self._engine.plan_for(expression, bound)
+        if backend == "optimized":
+            return push_down_projections(expression)
+        return None
+
+    def _forget_backend_plan(self, backend: str, expression: Expression) -> None:
+        """Drop a stale pinned plan so the next compile re-plans."""
+        if backend == "engine" and self._engine_evaluator is not None:
+            self._engine_evaluator.forget_plan(expression)
+
+    def _execute_backend(
+        self,
+        backend: str,
+        expression: Expression,
+        bound: Mapping[str, Relation],
+        artifact,
+    ) -> Tuple[Relation, UnifiedTrace]:
+        if backend == "engine":
+            relation, trace = self._engine.evaluate(expression, bound)
+            return relation, UnifiedTrace.from_backend("engine", trace)
+        if backend == "optimized":
+            relation, trace = self._optimized.evaluate(
+                expression, bound, rewritten=artifact
+            )
+            return relation, UnifiedTrace.from_backend("optimized", trace)
+        if backend == "instrumented":
+            relation, trace = self._instrumented.evaluate(expression, bound)
+            return relation, UnifiedTrace.from_backend("instrumented", trace)
+        relation = evaluate(expression, bound)
+        trace = UnifiedTrace.minimal(
+            "naive",
+            input_cardinality=sum(len(rel) for rel in bound.values()),
+            result_cardinality=len(relation),
+        )
+        return relation, trace
+
+    # -- counters ------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        with self._state_lock:
+            self._counters[name] += 1
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the session's serving counters.
+
+        ``plan_builds`` counts compilations (one per prepared query, plus
+        one per invalidation replan); ``plan_cache_hits`` counts executions
+        that reused a pinned plan; ``registry_hits`` counts ``prepare``
+        calls answered from the registry.  ``open_pools`` reports the
+        engine's warm fork-probe pools.
+        """
+        with self._state_lock:
+            snapshot = dict(self._counters)
+            engine = self._engine_evaluator
+        snapshot["open_pools"] = engine.open_pools if engine is not None else 0
+        return snapshot
+
+    def __repr__(self) -> str:
+        if self._default is not None:
+            held = f"1 bare relation [{len(self._default)} tuples]"
+        else:
+            held = f"{len(self._relations)} relation(s)"
+        return (
+            f"Session({held}, backend={self.config.backend!r}, "
+            f"{len(self._registry)} prepared quer"
+            f"{'y' if len(self._registry) == 1 else 'ies'})"
+        )
+
+
+def connect(database: DatabaseLike, **overrides) -> Session:
+    """Open a :class:`Session` on ``database`` (keyword config overrides).
+
+    The one-line entry point the docs use::
+
+        with repro.connect({"R": r, "S": s}, backend="engine", workers=4) as db:
+            rows = db.execute("project[A](R * S)")
+    """
+    return Session(database, **overrides)

@@ -1,0 +1,174 @@
+"""The backend-agnostic trace: one protocol, one concrete wrapper.
+
+Historically every evaluator generation grew its own trace dialect: the
+materialising evaluators populate ``steps`` / ``peak_intermediate_cardinality``
+on :class:`~repro.expressions.evaluator.EvaluationTrace`, while the streaming
+engine reuses the same dataclass but reports through ``peak_live_rows`` /
+``peak_build_rows`` and leaves the materialised peaks meaningless (its steps
+record *streamed* cardinalities — nothing was resident).  Code that poked the
+fields directly therefore had to know which backend produced the trace.
+
+This module closes the gap:
+
+* :class:`TraceLike` is the structural protocol every backend trace satisfies
+  (``steps``, cardinalities, ``counters``, ``peak_live_rows`` /
+  ``peak_build_rows`` where the backend can measure them, 0 elsewhere);
+* :class:`UnifiedTrace` is the concrete, backend-tagged trace
+  :meth:`repro.api.prepared.PreparedQuery.trace` returns — identical shape on
+  every backend, plus :attr:`UnifiedTrace.peak_memory_rows`, which answers
+  "how many rows were resident at the worst moment" with whichever accounting
+  the backend actually has (live rows for the streaming engine, the largest
+  materialised intermediate for the materialising evaluators).
+
+Direct field poking on the wrapped backend trace is deprecated: attributes
+that only exist on the raw trace (``kernel_activity``, ``record``,
+``blowup_versus_input``, ...) still resolve through a shim that emits a
+:class:`DeprecationWarning`, so existing callers keep working while new code
+migrates to the unified names.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, runtime_checkable
+
+from ..expressions.evaluator import EvaluationTrace, TraceStep
+
+__all__ = ["TraceLike", "UnifiedTrace"]
+
+
+@runtime_checkable
+class TraceLike(Protocol):
+    """What every evaluator trace structurally guarantees.
+
+    ``counters`` is the :mod:`repro.perf.counters` delta accumulated during
+    the evaluation (plan-cache traffic, join probes, spill activity);
+    ``peak_live_rows`` / ``peak_build_rows`` are populated by backends that
+    meter residency (the streaming engine) and 0 elsewhere.
+    """
+
+    steps: List[TraceStep]
+    input_cardinality: int
+    result_cardinality: int
+    peak_live_rows: int
+    peak_build_rows: int
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """The kernel-counter deltas accumulated during the evaluation."""
+        ...
+
+
+@dataclass
+class UnifiedTrace:
+    """One evaluation's trace, identical in shape on every backend.
+
+    ``backend`` names the evaluator that produced it (``naive`` /
+    ``instrumented`` / ``optimized`` / ``engine``); the remaining fields
+    follow :class:`TraceLike`.  ``steps`` are materialised intermediates for
+    the materialising backends and per-operator *streamed* cardinalities for
+    the engine (the engine materialises nothing).
+    """
+
+    backend: str
+    steps: List[TraceStep] = field(default_factory=list)
+    input_cardinality: int = 0
+    result_cardinality: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+    peak_live_rows: int = 0
+    peak_build_rows: int = 0
+    #: The wrapped backend trace, kept for the deprecation shim; ``None``
+    #: when the backend produced no trace (the plain naive evaluator).
+    raw: Optional[EvaluationTrace] = field(default=None, repr=False, compare=False)
+
+    @classmethod
+    def from_backend(cls, backend: str, trace: EvaluationTrace) -> "UnifiedTrace":
+        """Normalise a backend's :class:`EvaluationTrace` into the unified shape."""
+        return cls(
+            backend=backend,
+            steps=list(trace.steps),
+            input_cardinality=trace.input_cardinality,
+            result_cardinality=trace.result_cardinality,
+            counters=dict(trace.kernel_activity),
+            peak_live_rows=trace.peak_live_rows,
+            peak_build_rows=trace.peak_build_rows,
+            raw=trace,
+        )
+
+    @classmethod
+    def minimal(
+        cls, backend: str, input_cardinality: int, result_cardinality: int
+    ) -> "UnifiedTrace":
+        """The stepless trace of an untraced evaluation (cardinalities only)."""
+        return cls(
+            backend=backend,
+            input_cardinality=input_cardinality,
+            result_cardinality=result_cardinality,
+        )
+
+    # -- unified accessors ---------------------------------------------
+
+    @property
+    def peak_intermediate_cardinality(self) -> int:
+        """The largest single step (materialised intermediate, or streamed
+        operator output for the engine)."""
+        if not self.steps:
+            return 0
+        return max(step.cardinality for step in self.steps)
+
+    @property
+    def peak_memory_rows(self) -> int:
+        """Rows resident at the worst moment, in the backend's own accounting.
+
+        The streaming engine meters residency directly (``peak_live_rows``);
+        the materialising evaluators' analogue is their largest materialised
+        intermediate.  This is the one number the blow-up analyses compare
+        across backends.
+        """
+        if self.peak_live_rows:
+            return self.peak_live_rows
+        return self.peak_intermediate_cardinality
+
+    @property
+    def total_intermediate_tuples(self) -> int:
+        """Total tuples across all steps (a proxy for total work)."""
+        return sum(step.cardinality for step in self.steps)
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary of the headline statistics."""
+        return {
+            "backend_steps": float(len(self.steps)),
+            "input_cardinality": float(self.input_cardinality),
+            "result_cardinality": float(self.result_cardinality),
+            "peak_memory_rows": float(self.peak_memory_rows),
+            "peak_intermediate_cardinality": float(self.peak_intermediate_cardinality),
+            "peak_live_rows": float(self.peak_live_rows),
+            "peak_build_rows": float(self.peak_build_rows),
+            "total_intermediate_tuples": float(self.total_intermediate_tuples),
+        }
+
+    # -- deprecation shim ----------------------------------------------
+
+    def __getattr__(self, name: str):
+        """Forward legacy field pokes to the wrapped backend trace, warning.
+
+        Only attributes missing from the unified shape land here (Python
+        consults ``__getattr__`` last), so the shim costs nothing on the
+        supported names.
+        """
+        if name.startswith("_"):
+            raise AttributeError(name)
+        raw = self.__dict__.get("raw")
+        if raw is not None and hasattr(raw, name):
+            warnings.warn(
+                f"UnifiedTrace.{name} is a deprecated pass-through to the "
+                f"backend trace; use the unified accessors (peak_memory_rows, "
+                f"counters, summary()) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return getattr(raw, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )

@@ -46,8 +46,8 @@ import sys
 from typing import List, Optional, Sequence
 
 from .analysis import analyze_blowup, format_table
-from .decision import TupleCounter, tuple_in_result
-from .expressions import Projection, evaluate
+from .api import Session
+from .expressions import Projection
 from .reductions import RGConstruction, Theorem3Reduction
 from .sat import count_models, is_satisfiable, parse_formula, to_strict_three_cnf
 from .sat.transforms import ensure_minimum_clauses
@@ -70,7 +70,8 @@ def _command_example(_arguments: argparse.Namespace) -> int:
     print(construction.relation.to_table())
     print()
     print("phi_G =", construction.expression.to_text())
-    result = evaluate(construction.expression, construction.relation)
+    with Session(construction.relation) as session:
+        result = session.execute(construction.expression)
     print(f"|phi_G(R_G)| = {len(result)}  (= 22 + #SAT(G) = 22 + 20)")
     return 0
 
@@ -78,11 +79,12 @@ def _command_example(_arguments: argparse.Namespace) -> int:
 def _command_sat(arguments: argparse.Namespace) -> int:
     formula = _prepare(arguments.formula)
     construction = RGConstruction(formula)
-    member = tuple_in_result(
-        construction.u_g_tuple(),
-        construction.pair_projection_expression(),
-        construction.relation,
-    )
+    with Session(construction.relation) as session:
+        # The engine-backed prepared query streams with early exit, so the
+        # membership check touches a fraction of phi_G(R_G) on SAT inputs.
+        member = session.prepare(construction.pair_projection_expression()).contains(
+            construction.u_g_tuple()
+        )
     solver_answer = is_satisfiable(formula)
     print(f"formula (normalised): {formula}")
     print(f"relational answer (u_G in pi_Y phi_G(R_G)): {'SAT' if member else 'UNSAT'}")
@@ -97,7 +99,8 @@ def _command_count(arguments: argparse.Namespace) -> int:
     formula = _prepare(arguments.formula)
     reduction = Theorem3Reduction(formula)
     instance = reduction.instance()
-    tuple_count = TupleCounter().count(instance.expression, instance.relation)
+    with Session(instance.relation) as session:
+        tuple_count = len(session.execute(instance.expression))
     via_query = reduction.models_from_tuple_count(tuple_count)
     via_sat = count_models(reduction.construction.formula)
     print(f"formula (normalised): {formula}")
@@ -181,24 +184,14 @@ def _validated_cardinality(value, option: str) -> int:
 
 
 def _command_engine_explain(arguments: argparse.Namespace) -> int:
-    from .engine import (
-        EngineEvaluator,
-        MemoryBudget,
-        PlannerConfig,
-        RelationStats,
-        plan_expression,
-    )
+    from .engine import PlannerConfig, RelationStats, plan_expression
+    from .engine.physical import MemoryBudget
     from .expressions import parse_expression
 
     if arguments.memory_budget is not None and arguments.memory_budget <= 0:
         raise SystemExit("--memory-budget must be a positive row count")
     if arguments.workers < 1:
         raise SystemExit("--workers must be >= 1")
-    config = PlannerConfig(
-        prefer_merge=arguments.prefer_merge,
-        budget=MemoryBudget.coerce(arguments.memory_budget),
-        workers=arguments.workers,
-    )
     if arguments.paper:
         if arguments.expression or arguments.scheme or arguments.cardinality:
             raise SystemExit(
@@ -207,14 +200,18 @@ def _command_engine_explain(arguments: argparse.Namespace) -> int:
             )
         construction = paper_example_construction()
         expression = Projection([construction.s_attribute], construction.expression)
-        relation = construction.relation
-        evaluator = EngineEvaluator(config)
-        bound = {name: relation for name in expression.operand_names()}
-        plan = evaluator.plan_for(expression, bound)
-        print("phi_G =", expression.to_text())
-        print()
-        print(plan.explain())
-        result, trace = evaluator.evaluate(expression, bound)
+        with Session(
+            construction.relation,
+            backend="engine",
+            budget=arguments.memory_budget,
+            workers=arguments.workers,
+            prefer_merge=arguments.prefer_merge,
+        ) as session:
+            prepared = session.prepare(expression)
+            print("phi_G =", expression.to_text())
+            print()
+            print(prepared.explain())
+            trace = prepared.execute().trace
         print()
         print(
             f"executed: {trace.result_cardinality} result tuples, "
@@ -222,16 +219,20 @@ def _command_engine_explain(arguments: argparse.Namespace) -> int:
             f"(input {trace.input_cardinality})"
         )
         if arguments.memory_budget is not None:
-            activity = trace.kernel_activity
             print(
                 f"budget {arguments.memory_budget} rows: "
                 f"peak build rows {trace.peak_build_rows}, "
-                f"{activity.get('join_spills', 0)} join spill(s), "
-                f"{activity.get('spill_rows', 0)} row(s) spilled"
+                f"{trace.counters.get('join_spills', 0)} join spill(s), "
+                f"{trace.counters.get('spill_rows', 0)} row(s) spilled"
             )
         if arguments.workers > 1:
             print(f"parallel probe: {arguments.workers} workers")
         return 0
+    config = PlannerConfig(
+        prefer_merge=arguments.prefer_merge,
+        budget=MemoryBudget.coerce(arguments.memory_budget),
+        workers=arguments.workers,
+    )
     if not arguments.expression:
         raise SystemExit("an expression is required unless --paper is given")
     schemes = _parse_named_values(arguments.scheme, "--scheme")

@@ -77,7 +77,12 @@ class EngineMembershipDecider:
 
         bound = bind_arguments(expression, arguments)
         plan = self._evaluator.plan_for(expression, bound)
-        root = plan.executor(bound, MemoryMeter())
+        # Honour the evaluator's configured budget: a budgeted evaluator's
+        # membership probes must spill exactly like its full evaluations
+        # instead of building unbounded hash tables.
+        budget = self._evaluator.config.budget
+        meter = MemoryMeter(budget.rows if budget is not None else None)
+        root = plan.executor(bound, meter)
         try:
             # Interpret the candidate against the *expression's* result
             # scheme (the order every other decider uses — a plain value

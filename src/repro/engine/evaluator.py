@@ -42,6 +42,7 @@ either way.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import replace
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
@@ -90,6 +91,7 @@ class EngineEvaluator:
         budget: "MemoryBudget | int | None" = None,
         workers: Optional[int] = None,
         parallel_backend: Optional[str] = None,
+        max_pools: int = 1,
     ):
         """Create an evaluator.
 
@@ -100,6 +102,9 @@ class EngineEvaluator:
         config's fields: a row budget triggers Grace-hash spilling, a worker
         count > 1 enables the parallel probe stage.  ``parallel_backend``
         forces ``"fork"`` or ``"thread"`` (default: fork where available).
+        ``max_pools`` caps the persistent fork-probe pools kept warm at
+        once (one per bound plan, LRU-evicted beyond the cap) — a serving
+        session raises it so mixed query traffic does not thrash re-forks.
         """
         base = config or PlannerConfig()
         coerced = MemoryBudget.coerce(budget)
@@ -113,25 +118,57 @@ class EngineEvaluator:
         self._plans: Dict[Expression, PhysicalPlan] = {}
         self._plans_lock = threading.Lock()
         self._parallel_backend = parallel_backend
-        # One persistent fork pool, pinned to the most recent (plan,
-        # bindings): forking is the fork backend's fixed cost, so repeated
-        # evaluation of one bound plan — the serving steady state — forks
-        # once and re-runs the pool.
-        self._pool_entry = None
+        # Persistent fork pools, one per bound plan, LRU-capped: forking is
+        # the fork backend's fixed cost, so repeated evaluation of a bound
+        # plan — the serving steady state — forks once and re-runs its
+        # pool.  Keys carry object ids, but every entry keeps strong
+        # references to the keyed plan and relations, so a live key's ids
+        # cannot be recycled under us.
+        self._pools: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._max_pools = max(int(max_pools), 1)
         self._pool_lock = threading.Lock()
 
     def close(self) -> None:
-        """Shut down the persistent worker pool (if any).  Idempotent."""
+        """Shut down every persistent worker pool.  Idempotent."""
         with self._pool_lock:
-            if self._pool_entry is not None:
-                self._pool_entry[-1].close()
-                self._pool_entry = None
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for entry in pools:
+            entry[-1].close()
+
+    @property
+    def open_pools(self) -> int:
+        """How many persistent fork-probe pools are currently warm."""
+        with self._pool_lock:
+            return len(self._pools)
 
     def __del__(self):  # pragma: no cover - interpreter-dependent timing
         try:
             self.close()
         except Exception:
             pass
+
+    @staticmethod
+    def _pool_key(
+        plan: PhysicalPlan,
+        bound: Mapping[str, Relation],
+        workers: int,
+        budget_rows: Optional[int],
+    ) -> tuple:
+        """The identity of one *bound* plan: plan object + exact relations.
+
+        Identity (not equality) is deliberate: relations are immutable, so
+        the same objects mean a pool's forked children hold inherited copies
+        that are still the truth; any rebinding — even to an equal relation
+        — must fork a fresh pool.  Entries keep strong references to the
+        keyed objects, so a live key's ids cannot be recycled.
+        """
+        return (
+            id(plan),
+            workers,
+            budget_rows,
+            tuple(sorted((name, id(relation)) for name, relation in bound.items())),
+        )
 
     def _pool_for(
         self,
@@ -140,29 +177,38 @@ class EngineEvaluator:
         workers: int,
         budget_rows: Optional[int],
     ) -> ForkProbePool:
-        """The cached pool for this exact bound plan, re-forked on change.
+        """The cached pool for this exact bound plan, forked on first use.
 
-        Identity comparison is deliberate: relations are immutable, so the
-        same objects mean the forked children's inherited copies are still
-        the truth; any rebinding forks a fresh pool (and the entry keeps
-        strong references, so ids cannot be recycled under us).
+        Pools are keyed per bound plan (see :meth:`_pool_key`) and kept in
+        LRU order with at most ``max_pools`` warm: serving mixed query
+        traffic keeps each query's pool alive between its executions, while
+        plan churn beyond the cap closes the coldest pool instead of leaking
+        its forked children.
         """
-        entry = self._pool_entry
+        key = self._pool_key(plan, bound, workers, budget_rows)
+        entry = self._pools.get(key)
         if entry is not None:
-            pooled_plan, items, pooled_workers, pooled_budget, pool = entry
-            if (
-                pooled_plan is plan
-                and pooled_workers == workers
-                and pooled_budget == budget_rows
-                and len(items) == len(bound)
-                and all(bound.get(name) is relation for name, relation in items)
-            ):
-                return pool
-            pool.close()
-            self._pool_entry = None
+            self._pools.move_to_end(key)
+            return entry[-1]
         pool = ForkProbePool(plan, dict(bound), workers, budget_rows)
-        self._pool_entry = (plan, tuple(bound.items()), workers, budget_rows, pool)
+        self._pools[key] = (plan, tuple(bound.items()), workers, budget_rows, pool)
+        while len(self._pools) > self._max_pools:
+            _, evicted = self._pools.popitem(last=False)
+            evicted[-1].close()
         return pool
+
+    def _drop_pool(
+        self,
+        plan: PhysicalPlan,
+        bound: Mapping[str, Relation],
+        workers: int,
+        budget_rows: Optional[int],
+    ) -> None:
+        """Close and forget the pool for one bound plan (after a failure)."""
+        key = self._pool_key(plan, bound, workers, budget_rows)
+        entry = self._pools.pop(key, None)
+        if entry is not None:
+            entry[-1].close()
 
     def plan_for(self, expression: Expression, arguments: ArgumentLike) -> PhysicalPlan:
         """Return the (pinned) physical plan for ``expression``.
@@ -191,6 +237,30 @@ class EngineEvaluator:
         """Drop every pinned plan (e.g. after a data-distribution shift)."""
         with self._plans_lock:
             self._plans.clear()
+
+    def forget_plan(self, expression: Expression) -> None:
+        """Drop one expression's pinned plan so its next use re-plans.
+
+        The serving facade calls this when a relation the expression reads
+        is replaced: the fresh relation carries a fresh statistics catalog
+        (construction is invalidation), so the next :meth:`plan_for` plans
+        against the new distribution.  Warm pools keyed by the dropped plan
+        are closed eagerly — their keys could never be hit again, so left
+        in the LRU they would strand forked children (and a full copy of
+        the replaced relations) until enough *other* plans churned them
+        out.
+        """
+        with self._plans_lock:
+            plan = self._plans.pop(expression, None)
+        if plan is None:
+            return
+        with self._pool_lock:
+            stale = [
+                key for key, entry in self._pools.items() if entry[0] is plan
+            ]
+            evicted = [self._pools.pop(key) for key in stale]
+        for entry in evicted:
+            entry[-1].close()
 
     def _effective_workers(
         self, plan: PhysicalPlan, bound: Mapping[str, Relation]
@@ -238,8 +308,9 @@ class EngineEvaluator:
             backend = self._parallel_backend or default_backend()
             try:
                 if backend == "fork":
-                    # Serialised on the pool lock: the pool is one pinned
-                    # set of workers, not a queue.
+                    # Serialised on the pool lock: each pool is one pinned
+                    # set of workers, not a queue (concurrent fork-backend
+                    # evaluations take turns; the thread backend does not).
                     with self._pool_lock:
                         pool = self._pool_for(plan, bound, workers, budget_rows)
                         parallel = pool.run()
@@ -255,10 +326,9 @@ class EngineEvaluator:
             except (ParallelExecutionError, OSError):
                 # OSError covers fork itself failing (EAGAIN/ENOMEM under
                 # pressure — exactly the regime a budgeted engine targets).
-                with self._pool_lock:
-                    if self._pool_entry is not None:
-                        self._pool_entry[-1].close()
-                        self._pool_entry = None
+                if backend == "fork":
+                    with self._pool_lock:
+                        self._drop_pool(plan, bound, workers, budget_rows)
                 parallel = None  # serial below — always correct
                 # An aborted thread-backend attempt may have left its
                 # acquisitions on the meter; the serial run gets a fresh one

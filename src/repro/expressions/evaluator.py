@@ -142,6 +142,16 @@ class EvaluationTrace:
         self.steps.append(step)
 
     @property
+    def counters(self) -> Dict[str, int]:
+        """The kernel-counter deltas, under the unified-trace protocol's name.
+
+        :class:`repro.api.UnifiedTrace` and every backend trace expose the
+        :mod:`repro.perf.counters` activity as ``counters``;
+        ``kernel_activity`` remains as the original field name.
+        """
+        return self.kernel_activity
+
+    @property
     def peak_intermediate_cardinality(self) -> int:
         """The largest number of tuples in any intermediate relation."""
         if not self.steps:

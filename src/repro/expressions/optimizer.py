@@ -106,10 +106,20 @@ class OptimizedEvaluator:
         self._estimator: SizeEstimator = estimator or self._estimate_join_size
 
     def evaluate(
-        self, expression: Expression, arguments: ArgumentLike
+        self,
+        expression: Expression,
+        arguments: ArgumentLike,
+        rewritten: Optional[Expression] = None,
     ) -> Tuple[Relation, EvaluationTrace]:
-        """Evaluate and return ``(result, trace)``."""
-        rewritten = push_down_projections(expression)
+        """Evaluate and return ``(result, trace)``.
+
+        ``rewritten`` lets a caller that evaluates one expression many times
+        (the :class:`repro.api.Session` facade's prepared queries) pass the
+        :func:`push_down_projections` rewrite computed once at preparation;
+        without it the rewrite runs per call.
+        """
+        if rewritten is None:
+            rewritten = push_down_projections(expression)
         bound = bind_arguments(expression, arguments)
         trace = EvaluationTrace()
         trace.input_cardinality = sum(len(rel) for rel in bound.values())

@@ -1,0 +1,516 @@
+"""Tests of the unified Session / PreparedQuery facade (`repro.api`).
+
+Four layers:
+
+* **Contract** — prepare parses/validates/compiles once (registry hits on
+  re-prepare, plan-cache hits on re-execute), every backend serves the same
+  results behind one ``QueryResult`` / ``UnifiedTrace`` shape, and the
+  config/binding error paths fail loudly.
+* **Invalidation** — replacing a relation (construction-is-invalidation)
+  makes exactly the prepared queries that read it re-bind and re-plan on
+  their next execution; everything else keeps its pinned plan.
+* **Serving** — one session serves >= 8 distinct prepared queries
+  concurrently across a shared budget/worker configuration, with per-query
+  results pinned to the seed reference implementation and the counters
+  proving no re-planning happened in the steady state.
+* **Traces** — the unified trace satisfies the protocol on every backend,
+  and legacy field pokes go through the deprecation shim.
+"""
+
+import threading
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro
+from repro.algebra import Relation, naive_natural_join, naive_project
+from repro.algebra.database import Database
+from repro.api import (
+    BACKENDS,
+    BackendConfig,
+    PreparedQuery,
+    QueryResult,
+    Session,
+    SessionClosedError,
+    SessionError,
+    TraceLike,
+    UnifiedTrace,
+    UnknownBackendError,
+    connect,
+)
+from repro.engine.physical import MemoryBudget
+from repro.expressions import EvaluationTrace
+from repro.expressions.ast import ExpressionError, Join, Operand, Projection
+
+
+def _reference(expression, bound):
+    """Evaluate with the retained seed implementations (the ground truth)."""
+    if isinstance(expression, Operand):
+        return bound[expression.name]
+    if isinstance(expression, Projection):
+        return naive_project(_reference(expression.child, bound), expression.target)
+    parts = [_reference(part, bound) for part in expression.parts]
+    result = parts[0]
+    for part in parts[1:]:
+        result = naive_natural_join(result, part)
+    return result
+
+
+@pytest.fixture
+def relations():
+    r = Relation.from_rows(
+        "A B", [(1, "x"), (2, "y"), (2, "z"), (3, "x")], name="R"
+    )
+    s = Relation.from_rows("B C", [("x", 10), ("y", 20), ("z", 20)], name="S")
+    return {"R": r, "S": s}
+
+
+@pytest.fixture
+def session(relations):
+    with Session(relations) as active:
+        yield active
+
+
+QUERY_TEXT = "project[A, C](R * S)"
+
+
+class TestSessionContract:
+    def test_prepare_from_text_and_ast_hit_the_same_registry_entry(self, session, relations):
+        from_text = session.prepare(QUERY_TEXT)
+        ast = Projection(
+            ["A", "C"],
+            Join(
+                (
+                    Operand("R", relations["R"].scheme),
+                    Operand("S", relations["S"].scheme),
+                )
+            ),
+        )
+        assert session.prepare(ast) is from_text
+        assert session.stats()["prepares"] == 1
+        assert session.stats()["registry_hits"] == 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_backend_matches_the_seed_reference(self, session, relations, backend):
+        prepared = session.prepare(QUERY_TEXT, backend=backend)
+        result = prepared.execute()
+        expression = prepared.expression
+        reference = _reference(expression, relations)
+        assert result.set_equal(reference)
+        assert result.backend == backend
+        assert isinstance(result, QueryResult)
+        assert len(result) == len(reference)
+
+    def test_repeated_execute_hits_the_plan_cache(self, session):
+        prepared = session.prepare(QUERY_TEXT)
+        for _ in range(5):
+            prepared.execute()
+        stats = session.stats()
+        assert stats["plan_builds"] == 1
+        assert stats["plan_cache_hits"] == 5
+        assert stats["executes"] == 5
+
+    def test_execute_convenience_prepares_once(self, session):
+        first = session.execute(QUERY_TEXT)
+        second = session.execute(QUERY_TEXT)
+        assert first == second
+        assert session.stats()["prepares"] == 1
+        assert session.stats()["registry_hits"] == 1
+
+    def test_per_execute_binding_overrides_do_not_touch_the_pin(self, session, relations):
+        prepared = session.prepare(QUERY_TEXT)
+        baseline = prepared.execute()
+        shrunk = Relation.from_rows("A B", [(1, "x")], name="R")
+        overridden = prepared.execute(R=shrunk)
+        assert overridden.set_equal(
+            _reference(prepared.expression, {"R": shrunk, "S": relations["S"]})
+        )
+        # The override was this execution only; the pinned binding is intact.
+        assert prepared.execute() == baseline
+        assert session.stats()["plan_builds"] == 1
+
+    def test_execute_rejects_unknown_override_names(self, session, relations):
+        prepared = session.prepare(QUERY_TEXT)
+        with pytest.raises(SessionError, match="operands"):
+            prepared.execute(T=relations["R"])
+
+    def test_execute_rejects_mismatched_override_scheme(self, session):
+        prepared = session.prepare(QUERY_TEXT)
+        wrong = Relation.from_rows("A D", [(1, 2)])
+        with pytest.raises(ExpressionError):
+            prepared.execute(R=wrong)
+
+    def test_prepare_rejects_unknown_operands_and_backends(self, session):
+        with pytest.raises(SessionError, match="no relation named"):
+            session.prepare(
+                Projection(["Z"], Operand("T", Relation.from_rows("Z", [(1,)]).scheme))
+            )
+        with pytest.raises(UnknownBackendError):
+            session.prepare(QUERY_TEXT, backend="turbo")
+        with pytest.raises(UnknownBackendError):
+            BackendConfig(backend="turbo")
+
+    def test_explain_names_the_backend_everywhere(self, session):
+        for backend in BACKENDS:
+            text = session.prepare(QUERY_TEXT, backend=backend).explain()
+            assert text.startswith(f"backend: {backend}")
+            assert "project[A, C](R * S)" in text
+        assert "hash join" in session.prepare(QUERY_TEXT, backend="engine").explain()
+        assert "rewritten" in session.prepare(QUERY_TEXT, backend="optimized").explain()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_contains_is_backend_agnostic(self, session, relations, backend):
+        prepared = session.prepare(QUERY_TEXT, backend=backend)
+        reference = _reference(prepared.expression, relations)
+        inside = next(iter(reference))
+        assert prepared.contains(inside)
+        assert not prepared.contains(("no-such", "tuple"))
+
+    def test_closed_session_refuses_everything(self, relations):
+        session = Session(relations)
+        prepared = session.prepare(QUERY_TEXT)
+        session.close()
+        session.close()  # idempotent
+        assert session.closed
+        with pytest.raises(SessionClosedError):
+            prepared.execute()
+        with pytest.raises(SessionClosedError):
+            session.prepare("project[A](R)")
+        with pytest.raises(SessionClosedError):
+            session.set_relation("R", relations["R"])
+
+    def test_database_and_bare_relation_constructors(self, relations):
+        with Session(Database(relations)) as from_database:
+            assert len(from_database.execute(QUERY_TEXT)) > 0
+        bare = Relation.from_rows("A B", [(1, 1), (2, 1)], name="T")
+        with connect(bare) as single:
+            assert len(single.execute("project[A](T)")) == 2
+            # Unnamed operands fall back to the bare relation by scheme.
+            expr = Projection(["B"], Operand("Anything", bare.scheme))
+            assert len(single.execute(expr)) == 1
+        with pytest.raises(SessionError):
+            Session(42)
+
+    def test_bare_relation_without_a_name_cannot_parse_text(self):
+        anonymous = Relation.from_rows("A B", [(1, 1)])
+        with Session(anonymous) as session:
+            with pytest.raises(SessionError, match="carry a name"):
+                session.prepare("project[A](T)")
+
+    def test_config_validation(self):
+        with pytest.raises(SessionError):
+            BackendConfig(workers=0)
+        with pytest.raises(SessionError):
+            BackendConfig(max_pools=0)
+        config = BackendConfig(budget=64)
+        assert isinstance(config.budget, MemoryBudget)
+        assert config.override(workers=2).workers == 2
+
+
+class TestInvalidation:
+    def test_mutation_replans_only_the_affected_queries(self, session, relations):
+        reads_both = session.prepare(QUERY_TEXT)
+        reads_s = session.prepare("project[C](S)")
+        reads_both.execute()
+        reads_s.execute()
+        assert session.stats()["plan_builds"] == 2
+
+        replacement = Relation.from_rows("A B", [(9, "x"), (8, "w")], name="R")
+        session.set_relation("R", replacement)
+        after_both = reads_both.execute()
+        after_s = reads_s.execute()
+
+        assert after_both.set_equal(
+            _reference(reads_both.expression, {"R": replacement, "S": relations["S"]})
+        )
+        assert after_s.set_equal(_reference(reads_s.expression, relations))
+        stats = session.stats()
+        assert stats["invalidations"] == 1
+        # Only the query reading R re-planned; S's query kept its plan.
+        assert stats["invalidation_replans"] == 1
+        assert stats["plan_builds"] == 3
+
+    def test_mutation_installs_fresh_statistics(self, session):
+        prepared = session.prepare(QUERY_TEXT, backend="engine")
+        prepared.execute()
+        replacement = Relation.from_rows(
+            "A B", [(i, "x") for i in range(50)], name="R"
+        )
+        session.set_relation("R", replacement)
+        trace = prepared.execute().trace
+        # The replan saw the new cardinalities (construction-is-invalidation:
+        # the fresh relation's stats slot was computed from the new rows).
+        assert trace.input_cardinality == 50 + 3
+
+    def test_default_relation_mutation(self):
+        bare = Relation.from_rows("A B", [(1, 1), (2, 2)], name="T")
+        with Session(bare) as session:
+            prepared = session.prepare("project[A](T)")
+            assert len(prepared.execute()) == 2
+            session.set_default_relation(
+                Relation.from_rows("A B", [(5, 5)], name="T")
+            )
+            assert len(prepared.execute()) == 1
+            assert session.stats()["invalidation_replans"] == 1
+
+    def test_set_default_relation_requires_bare_mode(self, session, relations):
+        with pytest.raises(SessionError, match="bare relation"):
+            session.set_default_relation(relations["R"])
+
+    def test_set_relation_type_checks(self, session):
+        with pytest.raises(SessionError, match="Relation"):
+            session.set_relation("R", "not a relation")
+
+
+def _serving_workload():
+    """A shared database plus 10 distinct queries over it."""
+    r = Relation.from_rows(
+        "A B", [(i % 5, i % 3) for i in range(30)], name="R"
+    )
+    s = Relation.from_rows(
+        "B C", [(i % 3, i % 7) for i in range(30)], name="S"
+    )
+    t = Relation.from_rows(
+        "C D", [(i % 7, i % 2) for i in range(30)], name="T"
+    )
+    relations = {"R": r, "S": s, "T": t}
+    r_op = Operand("R", r.scheme)
+    s_op = Operand("S", s.scheme)
+    t_op = Operand("T", t.scheme)
+    queries = [
+        Projection(["A"], Join((r_op, s_op))),
+        Projection(["A", "C"], Join((r_op, s_op))),
+        Projection(["B", "D"], Join((s_op, t_op))),
+        Projection(["A", "D"], Join((r_op, s_op, t_op))),
+        Projection(["D"], Join((r_op, s_op, t_op))),
+        Projection(["C"], Join((s_op, t_op))),
+        Projection(["B"], r_op),
+        Projection(["A", "B"], Join((r_op, Projection(["B"], s_op)))),
+        Projection(["C", "D"], t_op),
+        Projection(["A", "C", "D"], Join((r_op, s_op, t_op))),
+    ]
+    return relations, queries
+
+
+class TestConcurrentServing:
+    def test_one_session_serves_many_prepared_queries_concurrently(self, tmp_path):
+        """The acceptance scenario: >= 8 distinct PreparedQuerys on one
+        Session, concurrent executes sharing one budget/worker config, every
+        result set-equal to the seed reference, prepare() exactly once per
+        query (all steady-state executes are plan-cache hits)."""
+        relations, queries = _serving_workload()
+        references = {
+            query: _reference(query, relations) for query in queries
+        }
+        budget = MemoryBudget(
+            rows=64, spill_fanout=2, min_partition_rows=2, spill_dir=str(tmp_path)
+        )
+        rounds = 3
+        with Session(
+            relations,
+            backend="engine",
+            budget=budget,
+            workers=2,
+            parallel_backend="thread",
+        ) as session:
+            prepared = [session.prepare(query) for query in queries]
+            assert len(prepared) >= 8
+            failures = []
+
+            def serve(query_index, _round):
+                try:
+                    result = prepared[query_index].execute()
+                    if not result.set_equal(references[queries[query_index]]):
+                        failures.append((query_index, "result mismatch"))
+                except BaseException as exc:
+                    failures.append((query_index, repr(exc)))
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                for round_index in range(rounds):
+                    list(
+                        pool.map(
+                            lambda index: serve(index, round_index),
+                            range(len(prepared)),
+                        )
+                    )
+            assert failures == []
+            stats = session.stats()
+            assert stats["prepares"] == len(queries)
+            # prepare() compiled each query exactly once ...
+            assert stats["plan_builds"] == len(queries)
+            # ... and every execute reused its pinned plan.
+            assert stats["executes"] == rounds * len(queries)
+            assert stats["plan_cache_hits"] == rounds * len(queries)
+            assert stats["invalidation_replans"] == 0
+        assert not any(tmp_path.iterdir()), "budget spill files leaked"
+
+    def test_mixed_backend_traffic_on_one_session(self):
+        relations, queries = _serving_workload()
+        with Session(relations) as session:
+            for index, query in enumerate(queries[:8]):
+                backend = BACKENDS[index % len(BACKENDS)]
+                result = session.prepare(query, backend=backend).execute()
+                assert result.set_equal(_reference(query, relations)), backend
+
+
+class TestUnifiedTrace:
+    def test_every_backend_satisfies_the_protocol(self, session):
+        for backend in BACKENDS:
+            trace = session.prepare(QUERY_TEXT, backend=backend).trace()
+            assert isinstance(trace, UnifiedTrace)
+            assert isinstance(trace, TraceLike)
+            assert trace.backend == backend
+            assert trace.result_cardinality == len(
+                session.prepare(QUERY_TEXT, backend=backend).execute()
+            )
+            assert trace.input_cardinality == 7
+            assert trace.steps, backend  # trace() always records steps
+            assert trace.peak_memory_rows > 0
+            assert isinstance(trace.counters, dict)
+            summary = trace.summary()
+            assert summary["peak_memory_rows"] == float(trace.peak_memory_rows)
+
+    def test_backend_traces_satisfy_the_protocol_directly(self):
+        assert isinstance(EvaluationTrace(), TraceLike)
+
+    def test_engine_trace_reports_live_rows_not_materialised_peaks(self, session):
+        engine = session.prepare(QUERY_TEXT, backend="engine").trace()
+        materialising = session.prepare(QUERY_TEXT, backend="instrumented").trace()
+        assert engine.peak_live_rows > 0
+        assert materialising.peak_live_rows == 0
+        assert materialising.peak_memory_rows == (
+            materialising.peak_intermediate_cardinality
+        )
+
+    def test_naive_execute_returns_a_minimal_trace(self, session):
+        result = session.prepare(QUERY_TEXT, backend="naive").execute()
+        assert result.trace.steps == []
+        assert result.trace.result_cardinality == len(result)
+        # ... while trace() upgrades to the instrumented evaluation.
+        assert session.prepare(QUERY_TEXT, backend="naive").trace().steps
+
+    def test_legacy_field_pokes_warn_through_the_shim(self, session):
+        trace = session.prepare(QUERY_TEXT, backend="instrumented").trace()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            activity = trace.kernel_activity
+            blowup = trace.blowup_versus_input()
+        assert activity == trace.counters
+        assert blowup >= 0.0
+        assert len(caught) == 2
+        assert all(
+            issubclass(warning.category, DeprecationWarning) for warning in caught
+        )
+        with pytest.raises(AttributeError):
+            trace.not_a_trace_field
+
+    def test_last_trace_tracks_the_most_recent_execution(self, session):
+        prepared = session.prepare(QUERY_TEXT)
+        assert prepared.last_trace() is None
+        result = prepared.execute()
+        assert prepared.last_trace() is result.trace
+
+
+class TestQueryResult:
+    def test_result_behaves_like_its_relation(self, session, relations):
+        prepared = session.prepare(QUERY_TEXT)
+        result = prepared.execute()
+        reference = _reference(prepared.expression, relations)
+        assert len(result) == len(reference)
+        assert set(result) == set(reference)
+        assert next(iter(reference)) in result
+        assert result == prepared.execute()
+        assert result.set_equal(reference)
+        assert "QueryResult" in repr(result)
+        assert result.scheme.name_set == {"A", "C"}
+        assert "A" in result.to_table()
+
+    def test_facade_is_exported_from_the_package_root(self):
+        assert repro.Session is Session
+        assert repro.PreparedQuery is PreparedQuery
+        with repro.connect({"R": Relation.from_rows("A", [(1,)], name="R")}) as db:
+            assert len(db.execute("project[A](R)")) == 1
+
+
+class TestReviewRegressions:
+    """Pins for defects found in review: default-binding invalidation,
+    budgeted membership probes, stale-pool teardown, trace() validation."""
+
+    def test_set_relation_invalidates_default_bound_queries(self):
+        """A named relation installed *after* prepare shadows the bare
+        default for that operand — the prepared query must notice."""
+        bare = Relation.from_rows("A B", [(1, 1), (2, 2)], name="R")
+        with Session(bare) as session:
+            prepared = session.prepare("project[A](R)")
+            assert len(prepared.execute()) == 2
+            session.set_relation("R", Relation.from_rows("A B", [(9, 9)], name="R"))
+            result = prepared.execute()
+            assert sorted(tuple(row) for row in result.relation.rows) == [(9,)]
+            assert session.stats()["invalidation_replans"] == 1
+
+    def test_contains_honours_the_session_budget(self, tmp_path):
+        """An engine-backed membership probe on a budgeted session must
+        spill like an execute, not build unbounded hash tables."""
+        from repro.perf import kernel_counters
+
+        heavy = Relation.from_rows(
+            "A B", [(i % 3, i) for i in range(40)], name="R"
+        )
+        wide = Relation.from_rows(
+            "B C", [(i, i % 5) for i in range(40)], name="S"
+        )
+        budget = MemoryBudget(
+            rows=8, spill_fanout=2, min_partition_rows=2, spill_dir=str(tmp_path)
+        )
+        with Session({"R": heavy, "S": wide}, backend="engine", budget=budget) as session:
+            prepared = session.prepare("project[A, C](R * S)")
+            reference = _reference(
+                prepared.expression, {"R": heavy, "S": wide}
+            )
+            inside = next(iter(reference))
+            counters = kernel_counters()
+            before = counters.snapshot()
+            assert prepared.contains(inside)
+            delta = counters.delta_since(before)
+            assert delta["join_spills"] > 0, (
+                "membership probe ignored the session budget (no spill)"
+            )
+            assert session.stats()["executes"] == 1
+        assert not any(tmp_path.iterdir())
+
+    def test_forget_plan_closes_the_stale_plans_pools(self):
+        """Invalidation must not strand forked workers behind unreachable
+        LRU keys."""
+        from repro.engine import EngineEvaluator, default_backend
+
+        if default_backend() != "fork":
+            pytest.skip("fork start method unavailable on this platform")
+        relation = Relation.from_rows("A B", [(i % 3, i) for i in range(8)])
+        other = Relation.from_rows("B C", [(i, i % 2) for i in range(8)])
+        query = Projection(
+            ["A"],
+            Join((Operand("R", relation.scheme), Operand("S", other.scheme))),
+        )
+        evaluator = EngineEvaluator(workers=2, max_pools=4)
+        try:
+            evaluator.evaluate(query, {"R": relation, "S": other})
+            assert evaluator.open_pools == 1
+            processes = [
+                process
+                for entry in evaluator._pools.values()
+                for process in entry[-1]._processes
+            ]
+            evaluator.forget_plan(query)
+            assert evaluator.open_pools == 0
+            for process in processes:
+                process.join(timeout=5.0)
+            assert not any(process.is_alive() for process in processes)
+        finally:
+            evaluator.close()
+
+    def test_trace_rejects_unknown_override_names_on_every_backend(self, session, relations):
+        for backend in BACKENDS:
+            prepared = session.prepare(QUERY_TEXT, backend=backend)
+            with pytest.raises(SessionError, match="operands"):
+                prepared.trace(Enrolment=relations["R"])

@@ -32,6 +32,7 @@ from repro.algebra import (
     naive_natural_join,
     naive_project,
 )
+from repro.api import BACKENDS, Session
 from repro.engine import EngineEvaluator, MemoryBudget, default_backend
 from repro.expressions.ast import Expression, Join, Operand, Projection
 
@@ -248,3 +249,40 @@ def test_degenerate_shapes_survive_every_config(tmp_path):
                 tmp_path,
                 context=f"degenerate case={case_index}",
             )
+
+
+def test_session_facade_fuzz_every_backend_matches_reference(fuzz_seed, tmp_path):
+    """The serving facade, differentially pinned: every random case prepared
+    through one mixed-backend :class:`repro.api.Session` must be set-equal to
+    the seed reference on **all four** backends, under the same budget/worker
+    grid the raw engine is pinned on — plus the prepared-statement contract
+    (one plan build per query, plan-cache hits on repeated execute)."""
+    rng = random.Random(fuzz_seed + 2)
+    for case_index in range(10):
+        expression, bindings = _random_case(rng)
+        reference = _reference_evaluate(expression, bindings)
+        for budget_rows, workers in CONFIG_GRID:
+            budget = _tiny_budget(tmp_path) if budget_rows is not None else None
+            with Session(
+                bindings,
+                budget=budget,
+                workers=workers,
+                parallel_backend="thread",
+            ) as session:
+                for backend in BACKENDS:
+                    prepared = session.prepare(expression, backend=backend)
+                    for _ in range(2):  # repeat: the second run is pure cache
+                        result = prepared.execute()
+                        detail = (
+                            f"seed={fuzz_seed}+2 case={case_index} "
+                            f"backend={backend} budget={budget_rows} "
+                            f"workers={workers}\n"
+                            f"expression: {expression.to_text()}"
+                        )
+                        assert result.set_equal(reference), detail
+                stats = session.stats()
+                assert stats["plan_builds"] == len(BACKENDS)
+                assert stats["executes"] == 2 * len(BACKENDS)
+                assert stats["plan_cache_hits"] == 2 * len(BACKENDS)
+            leftovers = [str(path) for path in tmp_path.iterdir()]
+            assert not leftovers, f"spill files leaked: {leftovers}"

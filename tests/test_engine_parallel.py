@@ -304,3 +304,103 @@ class TestPinnedPlanConcurrencyStress:
             thread.join()
         assert len(plans) == 8
         assert all(plan is plans[0] for plan in plans)
+
+
+class TestForkProbePoolLRU:
+    """The multi-plan pool cache: keyed per bound plan, LRU-capped, closeable.
+
+    Before the serving facade, the evaluator kept exactly one warm pool
+    pinned to the most recent bound plan, so mixed query traffic re-forked
+    on every plan switch (and long-lived evaluators leaked the previous
+    pool's children on churn until GC).  These tests pin the new contract:
+    distinct bound plans keep distinct warm pools up to ``max_pools``, the
+    coldest pool is closed (not leaked) on eviction, and ``close()`` tears
+    everything down.
+    """
+
+    @staticmethod
+    def _queries(count, rows=8):
+        """``count`` distinct (query, bindings) pairs large enough to pool."""
+        cases = []
+        for index in range(count):
+            relation = Relation.from_rows(
+                "A B", [(i % 3, (i + index) % 4) for i in range(rows)]
+            )
+            other = Relation.from_rows(
+                "B C", [((i + index) % 4, i) for i in range(rows)]
+            )
+            query = Projection(
+                ["A"], Operand("R", relation.scheme).join(Operand("S", other.scheme))
+            )
+            cases.append((query, {"R": relation, "S": other}))
+        return cases
+
+    @staticmethod
+    def _pool_processes(evaluator):
+        return [
+            process
+            for entry in evaluator._pools.values()
+            for process in entry[-1]._processes
+        ]
+
+    def test_distinct_bound_plans_keep_distinct_warm_pools(self):
+        if default_backend() != "fork":
+            pytest.skip("fork start method unavailable on this platform")
+        evaluator = EngineEvaluator(workers=2, max_pools=4)
+        try:
+            cases = self._queries(3)
+            expected = [evaluate(query, bound) for query, bound in cases]
+            for _ in range(2):  # the second sweep must reuse every pool
+                for (query, bound), reference in zip(cases, expected):
+                    result, _ = evaluator.evaluate(query, bound)
+                    assert result == reference
+            assert evaluator.open_pools == 3
+            processes = self._pool_processes(evaluator)
+            assert len(processes) == 3 * 2
+            assert all(process.is_alive() for process in processes)
+        finally:
+            evaluator.close()
+        assert evaluator.open_pools == 0
+        for process in processes:
+            process.join(timeout=5.0)
+        assert not any(process.is_alive() for process in processes)
+
+    def test_eviction_closes_the_coldest_pool(self):
+        if default_backend() != "fork":
+            pytest.skip("fork start method unavailable on this platform")
+        evaluator = EngineEvaluator(workers=2, max_pools=2)
+        try:
+            cases = self._queries(3)
+            evaluator.evaluate(*cases[0])
+            first = self._pool_processes(evaluator)
+            evaluator.evaluate(*cases[1])
+            # Touch case 0 so case 1 is now the coldest.
+            evaluator.evaluate(*cases[0])
+            evaluator.evaluate(*cases[2])
+            assert evaluator.open_pools == 2
+            # Case 0's pool survived the eviction (case 1's was closed).
+            assert all(process.is_alive() for process in first)
+            result, _ = evaluator.evaluate(*cases[0])
+            assert result == evaluate(*cases[0])
+        finally:
+            evaluator.close()
+
+    def test_rebinding_a_relation_forks_a_fresh_pool(self):
+        if default_backend() != "fork":
+            pytest.skip("fork start method unavailable on this platform")
+        evaluator = EngineEvaluator(workers=2, max_pools=4)
+        try:
+            query, bound = self._queries(1)[0]
+            evaluator.evaluate(query, bound)
+            assert evaluator.open_pools == 1
+            # An equal-but-distinct relation object must not reuse the pool:
+            # the forked children's inherited copies are the *old* objects.
+            rebound = {
+                name: Relation.from_rows(rel.scheme, list(rel.rows))
+                for name, rel in bound.items()
+            }
+            result, _ = evaluator.evaluate(query, rebound)
+            assert evaluator.open_pools == 2
+            assert result == evaluate(query, bound)
+        finally:
+            evaluator.close()

@@ -15,6 +15,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 FAST_EXAMPLES = [
     "quickstart.py",
+    "serving.py",
     "satisfiability_via_queries.py",
     "query_equivalence.py",
 ]

@@ -8,8 +8,10 @@ import pytest
 import repro
 
 SUBPACKAGES = [
+    "repro.api",
     "repro.algebra",
     "repro.expressions",
+    "repro.engine",
     "repro.tableaux",
     "repro.sat",
     "repro.qbf",
@@ -18,6 +20,39 @@ SUBPACKAGES = [
     "repro.complexity",
     "repro.analysis",
     "repro.workloads",
+]
+
+#: The documented export surface of the facade.  These are *snapshots*: a
+#: missing name is a compatibility break, an extra name is an undocumented
+#: API — either way the change must be deliberate (update the snapshot and
+#: docs/API.md together).
+REPRO_EXPORTS = [
+    "__version__",
+    "BACKENDS",
+    "BackendConfig",
+    "Session",
+    "connect",
+    "PreparedQuery",
+    "QueryResult",
+    "TraceLike",
+    "UnifiedTrace",
+    "SessionError",
+    "SessionClosedError",
+    "UnknownBackendError",
+]
+
+REPRO_API_EXPORTS = [
+    "BACKENDS",
+    "BackendConfig",
+    "Session",
+    "connect",
+    "PreparedQuery",
+    "QueryResult",
+    "TraceLike",
+    "UnifiedTrace",
+    "SessionError",
+    "SessionClosedError",
+    "UnknownBackendError",
 ]
 
 
@@ -61,3 +96,26 @@ class TestPackageStructure:
                 if name.startswith("_"):
                     continue
                 assert member.__doc__, f"{cls.__name__}.{name} lacks a docstring"
+
+
+class TestFacadeExportSnapshot:
+    """The repro / repro.api export surface, pinned exactly."""
+
+    def test_repro_export_surface_is_exactly_the_snapshot(self):
+        assert sorted(repro.__all__) == sorted(REPRO_EXPORTS)
+        for name in REPRO_EXPORTS:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_repro_api_export_surface_is_exactly_the_snapshot(self):
+        api = importlib.import_module("repro.api")
+        assert sorted(api.__all__) == sorted(REPRO_API_EXPORTS)
+        for name in REPRO_API_EXPORTS:
+            assert hasattr(api, name), f"repro.api.{name} missing"
+
+    def test_package_root_reexports_the_facade_objects(self):
+        api = importlib.import_module("repro.api")
+        for name in REPRO_API_EXPORTS:
+            assert getattr(repro, name) is getattr(api, name), name
+
+    def test_backends_tuple_is_the_documented_matrix(self):
+        assert repro.BACKENDS == ("naive", "instrumented", "optimized", "engine")
