@@ -45,12 +45,23 @@ from typing import Callable, Dict, List
 
 from repro.algebra import Relation, naive_natural_join, naive_project
 from repro.api import Session
-from repro.engine import EngineEvaluator, default_backend
-from repro.expressions import InstrumentedEvaluator, OptimizedEvaluator, Projection
+from repro.engine import AdaptiveConfig, EngineEvaluator, default_backend
+from repro.expressions import (
+    InstrumentedEvaluator,
+    OptimizedEvaluator,
+    Projection,
+    evaluate,
+)
 from repro.expressions.ast import Join, Operand
 from repro.perf import kernel_counters, plan_cache_stats
 from repro.reductions import RGConstruction
-from repro.workloads import growing_construction_family
+from repro.workloads import (
+    actual_greedy_order,
+    chain_peak,
+    growing_construction_family,
+    join_parts,
+    planner_join_order,
+)
 
 RESULTS_DIRECTORY = Path(__file__).parent / "results"
 OUTPUT_PATH = RESULTS_DIRECTORY / "BENCH_algebra.json"
@@ -83,6 +94,15 @@ MIN_PARALLEL_SPEEDUP = 1.5
 #: facade over calling the pinned backend evaluator directly.
 SERVING_QUERIES = 8
 SERVING_MAX_OVERHEAD = 1.05
+
+#: Adaptive-estimation parameters: the clause counts whose
+#: greedy-with-sampling ordering is compared against the actual-size greedy
+#: oracle (m=14 is the instance the backoff estimator loses), the allowed
+#: peak degradation, and the allowed steady-state runtime overhead of
+#: adaptive execution (guards + sampling) on well-estimated queries.
+ADAPTIVE_CLAUSES = (12, 14)
+ADAPTIVE_MAX_PEAK_RATIO = 3.5
+ADAPTIVE_MAX_RUNTIME_RATIO = 1.1
 
 
 def _merge_into_document(updates: Dict) -> Dict:
@@ -496,6 +516,139 @@ def run_serving_benchmark(num_queries: int = SERVING_QUERIES) -> Dict:
     return section
 
 
+def _replan_demo() -> Dict:
+    """A pinned plan whose estimates collapse must correct itself mid-stream."""
+    import random as _random
+
+    rng = _random.Random(20260730)
+    big = {
+        "R": Relation.from_rows(
+            "A B", [(rng.randint(0, 20), rng.randint(0, 8)) for _ in range(300)]
+        ),
+        "S": Relation.from_rows(
+            "B C", [(rng.randint(0, 8), rng.randint(0, 30)) for _ in range(300)]
+        ),
+        "T": Relation.from_rows(
+            "C D", [(rng.randint(0, 30), rng.randint(0, 5)) for _ in range(300)]
+        ),
+    }
+    tiny = {
+        name: Relation.from_rows(rel.scheme, [tuple(1 for _ in rel.scheme.names)])
+        for name, rel in big.items()
+    }
+    query = Projection(
+        ["A", "D"],
+        Operand("R", "A B").join(Operand("S", "B C")).join(Operand("T", "C D")),
+    )
+    evaluator = EngineEvaluator(
+        adaptive=AdaptiveConfig(replan_factor=2.0, replan_min_rows=8)
+    )
+    evaluator.plan_for(query, tiny)
+    result, trace = evaluator.evaluate(query, big)
+    if result != evaluate(query, big):
+        raise AssertionError("adaptive re-plan changed the result")
+    return {"replans": trace.replans, "result_cardinality": len(result)}
+
+
+def run_adaptive_benchmark(clause_counts=ADAPTIVE_CLAUSES) -> Dict:
+    """Sampling-quality, re-plan, and overhead numbers for adaptive mode.
+
+    Appends an ``adaptive`` section to ``BENCH_algebra.json`` (the perf
+    trajectory anchor is extended, never replaced) with, per clause count,
+    the greedy-with-sampling ordering's peak intermediate against the
+    actual-size greedy oracle's (the m=14 point is the one the
+    exponential-backoff estimator loses); plus a mid-stream re-plan
+    demonstration and the steady-state runtime ratio of adaptive over
+    static execution on a well-estimated query.
+    """
+    cases = []
+    for label, query, relation in _blowup_instances(clause_counts):
+        parts = join_parts(query, relation)
+        sampled_order = planner_join_order(
+            query, relation, parts, evaluator=EngineEvaluator(adaptive=True)
+        )
+        sampled_peak = chain_peak(parts, sampled_order)
+        actual_peak = chain_peak(parts, actual_greedy_order(parts))
+        ratio = sampled_peak / max(actual_peak, 1)
+        cases.append(
+            {
+                "case": label,
+                "sampled_peak": sampled_peak,
+                "actual_greedy_peak": actual_peak,
+                "peak_ratio": round(ratio, 3),
+            }
+        )
+        print(
+            f"{label:>14}  sampled-order peak {sampled_peak:>7} vs "
+            f"actual-greedy peak {actual_peak:>7}  ({ratio:.2f}x)"
+        )
+
+    demo = _replan_demo()
+    print(
+        f"   replan demo  {demo['replans']} mid-stream re-plan(s), "
+        f"{demo['result_cardinality']} result tuples"
+    )
+
+    # Steady-state overhead of guards + sampling on a well-estimated query
+    # (m=10: estimates hold, so adaptive execution never re-plans and the
+    # measured delta is pure guard bookkeeping).
+    label, query, relation = next(iter(_blowup_instances((10,))))
+    static = EngineEvaluator()
+    adaptive = EngineEvaluator(adaptive=True)
+    static.evaluate(query, relation)
+    adaptive_result, adaptive_trace = adaptive.evaluate(query, relation)
+    if adaptive_trace.replans:
+        raise AssertionError(f"well-estimated {label} should not re-plan")
+    adaptive_seconds, static_seconds = _best_of_interleaved(
+        lambda: adaptive.evaluate(query, relation),
+        lambda: static.evaluate(query, relation),
+    )
+    runtime_ratio = adaptive_seconds / static_seconds
+    print(
+        f"{label:>14}  adaptive {adaptive_seconds * 1e3:,.1f}ms vs "
+        f"static {static_seconds * 1e3:,.1f}ms  ({runtime_ratio:.2f}x)"
+    )
+
+    section = {
+        "description": (
+            "sampling-based estimation: greedy-with-sampling ordering peak vs "
+            "the actual-size greedy oracle on the R_G family, the mid-stream "
+            "re-plan demonstration, and adaptive-vs-static steady-state runtime "
+            "on a well-estimated query"
+        ),
+        "sample_size": AdaptiveConfig().sample_size,
+        "sample_join_cap": AdaptiveConfig().sample_join_cap,
+        "max_peak_ratio": ADAPTIVE_MAX_PEAK_RATIO,
+        "cases": cases,
+        "replan_demo": demo,
+        "well_estimated_case": label,
+        "adaptive_seconds": round(adaptive_seconds, 6),
+        "static_seconds": round(static_seconds, 6),
+        "runtime_ratio": round(runtime_ratio, 3),
+        "max_runtime_ratio": ADAPTIVE_MAX_RUNTIME_RATIO,
+    }
+    _merge_into_document({"adaptive": section})
+    print(f"adaptive section -> {OUTPUT_PATH}")
+    return section
+
+
+def _check_adaptive(section: Dict) -> None:
+    """The adaptive gate shared by pytest and the standalone sweep."""
+    for case in section["cases"]:
+        assert case["peak_ratio"] <= section["max_peak_ratio"], (
+            f"{case['case']}: greedy-with-sampling peak {case['sampled_peak']} "
+            f"exceeds {section['max_peak_ratio']}x the actual-size oracle's "
+            f"{case['actual_greedy_peak']}"
+        )
+    assert section["replan_demo"]["replans"] >= 1, (
+        "the collapsed-estimate demonstration must re-plan mid-stream"
+    )
+    assert section["runtime_ratio"] <= section["max_runtime_ratio"], (
+        f"adaptive steady-state runtime {section['runtime_ratio']}x exceeds "
+        f"{section['max_runtime_ratio']}x of static planning"
+    )
+
+
 def test_kernel_speedup_over_seed(emit_result):
     """The compiled kernel must beat the seed implementation by >= 5x overall."""
     document = run_benchmark()
@@ -627,6 +780,35 @@ def test_engine_spill_and_parallel_probe(emit_result):
     _check_spill_parallel(sections)
 
 
+def test_adaptive_estimation_quality(emit_result):
+    """The adaptive gate: greedy-with-sampling ordering stays within 3.5x of
+    the actual-size oracle at m=12 and m=14 (the instance the backoff
+    estimator loses), the collapsed-estimate demonstration re-plans
+    mid-stream, and adaptive steady-state execution of a well-estimated
+    query stays within 1.1x of static planning."""
+    section = run_adaptive_benchmark()
+    lines = [
+        f"{case['case']:>14}  sampled peak {case['sampled_peak']:>7}  "
+        f"oracle peak {case['actual_greedy_peak']:>7}  "
+        f"ratio {case['peak_ratio']:>5.2f}x (gate <= {section['max_peak_ratio']}x)"
+        for case in section["cases"]
+    ]
+    lines.append(
+        f"   replan demo  {section['replan_demo']['replans']} re-plan(s) "
+        f"on the collapsed-estimate instance"
+    )
+    lines.append(
+        f"{section['well_estimated_case']:>14}  adaptive/static runtime "
+        f"{section['runtime_ratio']:.3f}x (gate <= {section['max_runtime_ratio']}x)"
+    )
+    emit_result(
+        "BENCH-adaptive",
+        "sampling-based estimation + mid-stream re-planning (R_G family)",
+        "\n".join(lines),
+    )
+    _check_adaptive(section)
+
+
 if __name__ == "__main__":
     result = run_benchmark(cardinalities=FULL_CARDINALITIES)
     engine_section = run_engine_benchmark()
@@ -647,5 +829,11 @@ if __name__ == "__main__":
         _check_serving(serving_section)
     except AssertionError as failure:
         print(f"serving gate failed: {failure}")
+        engine_ok = False
+    adaptive_section = run_adaptive_benchmark()
+    try:
+        _check_adaptive(adaptive_section)
+    except AssertionError as failure:
+        print(f"adaptive gate failed: {failure}")
         engine_ok = False
     sys.exit(0 if result["geomean_speedup"] >= MIN_EXPECTED_SPEEDUP and engine_ok else 1)

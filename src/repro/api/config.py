@@ -15,6 +15,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Optional, Union
 
 from ..engine.physical import MemoryBudget
+from ..engine.sampling import AdaptiveConfig
 from .errors import SessionError, UnknownBackendError
 
 __all__ = ["BACKENDS", "BackendConfig"]
@@ -52,6 +53,14 @@ class BackendConfig:
         How many persistent fork-probe pools the engine evaluator keeps
         warm, LRU-evicted beyond that (each pool pins one bound plan's
         forked workers — see ``docs/ENGINE.md``).
+    ``adaptive``
+        ``True`` (or an :class:`~repro.engine.sampling.AdaptiveConfig`)
+        switches the engine backend to sampling-based cardinality
+        estimation plus mid-stream re-planning: plans are costed against
+        reservoir samples of the bound relations, and a serial execution
+        whose observed cardinality blows past its estimate checkpoints and
+        resumes on a re-costed join order (``session.stats()["replans"]``
+        counts it; invalidation replans re-sample the fresh relations).
     """
 
     backend: str = "engine"
@@ -61,8 +70,10 @@ class BackendConfig:
     size_estimator: Optional[Callable] = None
     prefer_merge: bool = False
     max_pools: int = 8
+    adaptive: Union[AdaptiveConfig, bool, None] = None
 
     def __post_init__(self):
+        """Validate the backend name and knob ranges; coerce budget/adaptive."""
         validate_backend(self.backend)
         if self.workers < 1:
             raise SessionError(f"workers must be >= 1, got {self.workers}")
@@ -71,6 +82,12 @@ class BackendConfig:
         coerced = MemoryBudget.coerce(self.budget)
         if coerced is not self.budget:
             object.__setattr__(self, "budget", coerced)
+        try:
+            adaptive = AdaptiveConfig.coerce(self.adaptive)
+        except (TypeError, ValueError) as error:
+            raise SessionError(str(error)) from error
+        if adaptive is not self.adaptive:
+            object.__setattr__(self, "adaptive", adaptive)
 
     def override(self, **changes) -> "BackendConfig":
         """A copy with ``changes`` applied (validated like the constructor)."""

@@ -56,6 +56,7 @@ _COUNTER_NAMES = (
     "plan_cache_hits",
     "invalidations",
     "invalidation_replans",
+    "replans",
 )
 
 
@@ -304,6 +305,7 @@ class Session:
                         workers=self.config.workers,
                         parallel_backend=self.config.parallel_backend,
                         max_pools=self.config.max_pools,
+                        adaptive=self.config.adaptive,
                     )
                     self._engine_evaluator = engine
         return engine
@@ -332,6 +334,11 @@ class Session:
     ) -> Tuple[Relation, UnifiedTrace]:
         if backend == "engine":
             relation, trace = self._engine.evaluate(expression, bound)
+            if trace.replans:
+                # Mid-stream re-plans (adaptive mode) are serving events:
+                # surface them next to the prepare/invalidation counters.
+                with self._state_lock:
+                    self._counters["replans"] += trace.replans
             return relation, UnifiedTrace.from_backend("engine", trace)
         if backend == "optimized":
             relation, trace = self._optimized.evaluate(
@@ -361,8 +368,10 @@ class Session:
         ``plan_builds`` counts compilations (one per prepared query, plus
         one per invalidation replan); ``plan_cache_hits`` counts executions
         that reused a pinned plan; ``registry_hits`` counts ``prepare``
-        calls answered from the registry.  ``open_pools`` reports the
-        engine's warm fork-probe pools.
+        calls answered from the registry; ``replans`` counts the adaptive
+        engine's mid-stream re-plans (0 unless the config sets
+        ``adaptive``).  ``open_pools`` reports the engine's warm fork-probe
+        pools.
         """
         with self._state_lock:
             snapshot = dict(self._counters)

@@ -53,6 +53,7 @@ class TraceLike(Protocol):
     result_cardinality: int
     peak_live_rows: int
     peak_build_rows: int
+    replans: int
 
     @property
     def counters(self) -> Dict[str, int]:
@@ -78,6 +79,9 @@ class UnifiedTrace:
     counters: Dict[str, int] = field(default_factory=dict)
     peak_live_rows: int = 0
     peak_build_rows: int = 0
+    #: Mid-stream re-plans performed during the evaluation (adaptive engine
+    #: executions only; 0 everywhere else).
+    replans: int = 0
     #: The wrapped backend trace, kept for the deprecation shim; ``None``
     #: when the backend produced no trace (the plain naive evaluator).
     raw: Optional[EvaluationTrace] = field(default=None, repr=False, compare=False)
@@ -93,6 +97,7 @@ class UnifiedTrace:
             counters=dict(trace.kernel_activity),
             peak_live_rows=trace.peak_live_rows,
             peak_build_rows=trace.peak_build_rows,
+            replans=getattr(trace, "replans", 0),
             raw=trace,
         )
 
@@ -145,6 +150,7 @@ class UnifiedTrace:
             "peak_intermediate_cardinality": float(self.peak_intermediate_cardinality),
             "peak_live_rows": float(self.peak_live_rows),
             "peak_build_rows": float(self.peak_build_rows),
+            "replans": float(self.replans),
             "total_intermediate_tuples": float(self.total_intermediate_tuples),
         }
 

@@ -32,7 +32,10 @@ Python:
     assumed from ``--cardinality NAME=N`` declarations (default 100 rows per
     operand); ``--memory-budget ROWS`` shows the budget-aware plan (Grace
     joins with partition estimates); ``--paper`` explains and runs the
-    paper's worked example on its real relation instead.
+    paper's worked example on its real relation instead; ``--adaptive``
+    switches on sampling-based estimation and mid-stream re-planning (with
+    ``--paper`` it also reports the re-plan count and mean estimate
+    q-error).
 
 Formulas are written in the textual syntax of
 :func:`repro.sat.parse_formula` (``|`` or ``+`` inside clauses, ``&`` between
@@ -206,9 +209,22 @@ def _command_engine_explain(arguments: argparse.Namespace) -> int:
             budget=arguments.memory_budget,
             workers=arguments.workers,
             prefer_merge=arguments.prefer_merge,
+            adaptive=arguments.adaptive,
         ) as session:
             prepared = session.prepare(expression)
             print("phi_G =", expression.to_text())
+            if arguments.adaptive:
+                if arguments.workers > 1:
+                    print(
+                        "(adaptive: plan costed against reservoir samples; "
+                        "mid-stream re-planning applies to serial execution "
+                        "only and is inactive under --workers)"
+                    )
+                else:
+                    print(
+                        "(adaptive: plan costed against reservoir samples; "
+                        "mid-stream re-planning armed)"
+                    )
             print()
             print(prepared.explain())
             trace = prepared.execute().trace
@@ -218,6 +234,22 @@ def _command_engine_explain(arguments: argparse.Namespace) -> int:
             f"peak live rows {trace.peak_live_rows} "
             f"(input {trace.input_cardinality})"
         )
+        if arguments.adaptive:
+            observations = trace.counters.get("qerror_observations", 0)
+            if observations:
+                mean_q = (
+                    trace.counters.get("qerror_total_milli", 0) / observations / 1000.0
+                )
+                print(
+                    f"adaptive: {trace.replans} mid-stream re-plan(s), "
+                    f"mean estimate q-error {mean_q:.2f} over "
+                    f"{observations} operator(s)"
+                )
+            else:
+                print(
+                    "adaptive: plan costed from samples; no serial execution "
+                    "ran, so no re-plans or q-errors were recorded"
+                )
         if arguments.memory_budget is not None:
             print(
                 f"budget {arguments.memory_budget} rows: "
@@ -235,6 +267,12 @@ def _command_engine_explain(arguments: argparse.Namespace) -> int:
     )
     if not arguments.expression:
         raise SystemExit("an expression is required unless --paper is given")
+    if arguments.adaptive:
+        print(
+            "adaptive: enabled (sampled statistics need data, so the "
+            "assumed-statistics plan below is what static planning chooses; "
+            "re-planning applies when the plan executes against relations)"
+        )
     schemes = _parse_named_values(arguments.scheme, "--scheme")
     if not schemes:
         raise SystemExit("engine-explain needs at least one --scheme NAME=\"A B ...\"")
@@ -378,6 +416,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="parallel probe workers when executing (--paper; default 1)",
+    )
+    explain_parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "sampling-based estimation + mid-stream re-planning (with --paper: "
+            "plan from reservoir samples, report re-plans and estimate q-error)"
+        ),
     )
     explain_parser.add_argument(
         "--paper",

@@ -22,6 +22,12 @@ algebra kernel (PR 1):
 ``repro.engine.parallel``
     The parallel probe stage: fork/thread worker pools executing one pinned
     plan over a partitioned probe scan and merging set-equal results.
+``repro.engine.sampling``
+    Sampling-based cardinality estimation: reservoir samples over relation
+    rows, sample-join size estimates with no cross-column independence
+    assumption, GEE distinct-count scale-up, and the
+    :class:`AdaptiveConfig` knobs for mid-stream re-planning
+    (``EngineEvaluator(adaptive=…)``).
 ``repro.engine.evaluator``
     :class:`EngineEvaluator` — the streaming counterpart of
     :class:`~repro.expressions.optimizer.OptimizedEvaluator`, pinning one
@@ -43,6 +49,7 @@ from .parallel import (
 from .physical import (
     BLOCK_ROWS,
     SPILL_BLOCK_ROWS,
+    AdaptiveGuard,
     GraceHashJoin,
     HashJoin,
     MemoryBudget,
@@ -50,6 +57,7 @@ from .physical import (
     MergeJoin,
     PartitionedScan,
     PhysicalOperator,
+    ReplanTriggered,
     Sort,
     SpillFile,
     StreamingDifference,
@@ -58,6 +66,14 @@ from .physical import (
     TableScan,
 )
 from .planner import PhysicalPlan, PlanNode, Planner, PlannerConfig, plan_expression
+from .sampling import (
+    AdaptiveConfig,
+    Sample,
+    SampledRelationStats,
+    q_error,
+    reservoir_sample,
+    sampled_stats,
+)
 from .stats import (
     ColumnStats,
     RelationStats,
@@ -72,8 +88,13 @@ __all__ = [
     "EngineEvaluator",
     "BLOCK_ROWS",
     "SPILL_BLOCK_ROWS",
+    "AdaptiveConfig",
+    "AdaptiveGuard",
     "MemoryBudget",
     "MemoryMeter",
+    "ReplanTriggered",
+    "Sample",
+    "SampledRelationStats",
     "SpillFile",
     "PhysicalOperator",
     "TableScan",
@@ -102,4 +123,7 @@ __all__ = [
     "estimate_spill_depth",
     "join_stats",
     "project_stats",
+    "q_error",
+    "reservoir_sample",
+    "sampled_stats",
 ]

@@ -47,6 +47,7 @@ from dataclasses import replace
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..algebra.relation import Relation
+from ..algebra.tuples import _project_plan
 from ..expressions.ast import Expression
 from ..expressions.evaluator import (
     ArgumentLike,
@@ -63,8 +64,16 @@ from .parallel import (
     execute_parallel,
     operators_in_order,
 )
-from .physical import MemoryBudget, MemoryMeter, PhysicalOperator
-from .planner import PhysicalPlan, Planner, PlannerConfig
+from .physical import (
+    AdaptiveGuard,
+    MemoryBudget,
+    MemoryMeter,
+    PhysicalOperator,
+    ReplanTriggered,
+)
+from .planner import PhysicalPlan, PlanNode, Planner, PlannerConfig
+from .sampling import AdaptiveConfig, q_error, sampled_stats
+from .stats import join_stats, project_stats
 
 __all__ = ["EngineEvaluator"]
 
@@ -78,6 +87,7 @@ _NODE_KINDS = {
     "Sort": "sort",
     "StreamingUnion": "union",
     "StreamingDifference": "difference",
+    "AdaptiveGuard": "guard",
 }
 
 
@@ -92,6 +102,7 @@ class EngineEvaluator:
         workers: Optional[int] = None,
         parallel_backend: Optional[str] = None,
         max_pools: int = 1,
+        adaptive: "AdaptiveConfig | bool | None" = None,
     ):
         """Create an evaluator.
 
@@ -105,6 +116,19 @@ class EngineEvaluator:
         ``max_pools`` caps the persistent fork-probe pools kept warm at
         once (one per bound plan, LRU-evicted beyond the cap) — a serving
         session raises it so mixed query traffic does not thrash re-forks.
+
+        ``adaptive`` (``True`` or an
+        :class:`~repro.engine.sampling.AdaptiveConfig`) switches on
+        sampling-based cardinality estimation — plans are costed against
+        reservoir samples of the bound relations instead of backed-off
+        selectivities — plus **mid-stream re-planning**: serial executions
+        run with :class:`~repro.engine.physical.AdaptiveGuard` operators on
+        the join chain, and an observed cardinality exceeding its estimate
+        by ``replan_factor`` checkpoints the accumulated intermediate,
+        re-costs the remaining join order against the observed sizes, and
+        resumes on the revised plan (``trace.replans`` counts it).
+        Parallel executions use the sampled-statistics plan but never
+        re-plan mid-stream (the pool pins one plan per fork).
         """
         base = config or PlannerConfig()
         coerced = MemoryBudget.coerce(budget)
@@ -113,6 +137,7 @@ class EngineEvaluator:
         if workers is not None:
             base = replace(base, workers=max(int(workers), 1))
         self.config = base
+        self.adaptive = AdaptiveConfig.coerce(adaptive)
         self._planner = Planner(base)
         self._pin_plans = pin_plans
         self._plans: Dict[Expression, PhysicalPlan] = {}
@@ -223,7 +248,7 @@ class EngineEvaluator:
             if plan is not None:
                 return plan
         bound = bind_arguments(expression, arguments)
-        stats = {name: relation.stats() for name, relation in bound.items()}
+        stats = self._catalog_for(bound)
         if not self._pin_plans:
             return self._planner.plan(expression, stats)
         with self._plans_lock:
@@ -232,6 +257,28 @@ class EngineEvaluator:
                 plan = self._planner.plan(expression, stats)
                 self._plans[expression] = plan
         return plan
+
+    def _catalog_for(self, bound: Mapping[str, Relation]) -> Dict[str, object]:
+        """One catalog entry per bound operand: exact, or sampled (adaptive).
+
+        Adaptive mode samples the *current* relations every time a plan is
+        built, so an invalidation replan (the serving facade's
+        ``forget_plan``) re-samples the fresh relations rather than reusing
+        estimates from data that no longer exists.
+        """
+        adaptive = self.adaptive
+        if adaptive is None:
+            return {name: relation.stats() for name, relation in bound.items()}
+        return {
+            name: sampled_stats(
+                relation,
+                adaptive.sample_size,
+                seed=adaptive.seed,
+                name=name,
+                join_cap=adaptive.sample_join_cap,
+            )
+            for name, relation in bound.items()
+        }
 
     def clear_plans(self) -> None:
         """Drop every pinned plan (e.g. after a data-distribution shift)."""
@@ -344,6 +391,27 @@ class EngineEvaluator:
             # serial path's state+result accounting.
             trace.peak_live_rows = max(parallel.peak_live_rows, meter.peak)
             trace.peak_build_rows = parallel.build_peak_rows
+        elif self.adaptive is not None:
+            rows, root, replans, aborted_build_peak = self._adaptive_execute(
+                plan, bound, meter
+            )
+            # A revised chain may present the same result scheme in a
+            # different column order; the drained rows align with the final
+            # attempt's root, not the pinned plan's.
+            result = Relation._from_trusted(root.scheme, frozenset(rows))
+            self._record_steps(root, trace)
+            trace.replans = replans
+            trace.peak_live_rows = meter.peak
+            # Build tables of attempts aborted by a re-plan were just as
+            # resident as the final attempt's.
+            trace.peak_build_rows = max(
+                aborted_build_peak,
+                max(
+                    operator.build_peak_rows
+                    for operator in operators_in_order(root)
+                ),
+            )
+            self._record_q_errors(root, counters)
         else:
             root = plan.executor(bound, meter)
             rows = drain_metered(root, meter)
@@ -358,10 +426,321 @@ class EngineEvaluator:
         trace.result_cardinality = len(result)
         return result, trace
 
+    # -- adaptive execution (sampled stats + mid-stream re-planning) ----
+
+    @staticmethod
+    def _spine(root: PlanNode) -> "Tuple[List[PlanNode], List[PlanNode]]":
+        """Split a plan into its projection stack and hash-join chain.
+
+        Returns ``(stack, chain)``: the projection/sort nodes above the top
+        join (outermost first) and the left-deep hash-join chain below it
+        (top join first, following the probe side down).  ``chain`` is
+        empty when the plan has no hash-join spine to guard (single scans,
+        merge-join plans under ``prefer_merge``).
+        """
+        stack: List[PlanNode] = []
+        node = root
+        while node.kind in ("project", "sort") and node.children:
+            stack.append(node)
+            node = node.children[0]
+        if node.kind != "hash-join":
+            return stack, []
+        chain: List[PlanNode] = []
+        while True:
+            chain.append(node)
+            probe = node.children[node.probe_child_index()]
+            if probe.kind != "hash-join":
+                return stack, chain
+            node = probe
+
+    def _guard_hook(self, plan: PhysicalPlan):
+        """The ``guard_for`` callback wrapping this plan's chain joins."""
+        adaptive = self.adaptive
+        _, chain = self._spine(plan.root)
+        if not chain:
+            return None
+        chain_ids = {id(node) for node in chain}
+
+        def guard_for(
+            node: PlanNode, operator: PhysicalOperator
+        ) -> Optional[PhysicalOperator]:
+            if id(node) not in chain_ids:
+                return None
+            return AdaptiveGuard(
+                operator,
+                operator.meter,
+                est_rows=node.est_rows,
+                factor=adaptive.replan_factor,
+                min_rows=adaptive.replan_min_rows,
+                node=node,
+            )
+
+        return guard_for
+
+    def _adaptive_execute(
+        self,
+        plan: PhysicalPlan,
+        bound: Mapping[str, Relation],
+        meter: MemoryMeter,
+    ) -> "Tuple[Set[Tuple], PhysicalOperator, int, int]":
+        """Run ``plan`` serially with re-plan guards.
+
+        Returns ``(rows, final_root, replans, aborted_build_peak)`` — the
+        drained result rows, the operator tree of the completing attempt,
+        the number of mid-stream re-plans, and the largest hash-join build
+        table resident during any *aborted* attempt (the final attempt's
+        peaks are read off ``final_root`` by the caller).
+
+        Guarded executions raise
+        :class:`~repro.engine.physical.ReplanTriggered` when an operator's
+        observed cardinality crosses its threshold; the handler materialises
+        the accumulated chain up to the triggering join as a **checkpoint**
+        relation (metered while it lives), re-costs the remaining join
+        order against the checkpoint's exact statistics plus fresh samples
+        of the current bindings, and re-executes on the revised plan — the
+        checkpoint scan replaces the already-joined prefix, so that work is
+        never redone.  After ``max_replans`` re-plans (or a checkpoint
+        exceeding its row cap) the current plan runs to completion
+        unguarded, which is always correct.
+        """
+        adaptive = self.adaptive
+        counters = kernel_counters()
+        current = plan
+        checkpoints: Dict[str, Relation] = {}
+        replans = 0
+        aborted_build_peak = 0
+        give_up = False
+        try:
+            while True:
+                bindings = dict(bound)
+                bindings.update(checkpoints)
+                guard_for = None
+                if not give_up and replans < adaptive.max_replans:
+                    guard_for = self._guard_hook(current)
+                root = current.executor(bindings, meter, guard_for=guard_for)
+                rows: Set[Tuple] = set()
+                size = 0
+                try:
+                    for block in root.blocks():
+                        rows.update(block)
+                        grown = len(rows)
+                        if grown != size:
+                            meter.acquire(grown - size)
+                            size = grown
+                    return rows, root, replans, aborted_build_peak
+                except ReplanTriggered as trigger:
+                    # Partial result rows are discarded (the revised plan
+                    # re-derives them); release their metered residency.
+                    # Build tables resident during this aborted attempt
+                    # still count towards the evaluation's build peak.
+                    meter.release(size)
+                    aborted_build_peak = max(
+                        aborted_build_peak,
+                        max(
+                            operator.build_peak_rows
+                            for operator in operators_in_order(root)
+                        ),
+                    )
+                    revised = self._revise_plan(
+                        current, trigger.guard.node, bindings, checkpoints, meter
+                    )
+                    if revised is None:
+                        give_up = True
+                        counters.add(adaptive_giveups=1)
+                        continue
+                    current = revised
+                    replans += 1
+                    counters.add(adaptive_replans=1)
+        finally:
+            meter.release(sum(len(ckpt) for ckpt in checkpoints.values()))
+
+    def _revise_plan(
+        self,
+        plan: PhysicalPlan,
+        trigger_node: Optional[PlanNode],
+        bindings: Mapping[str, Relation],
+        checkpoints: Dict[str, Relation],
+        meter: MemoryMeter,
+    ) -> Optional[PhysicalPlan]:
+        """Checkpoint at the triggering join and re-cost the remaining order.
+
+        Returns the revised plan, or ``None`` when the re-plan cannot be
+        carried out (checkpoint too large, or the trigger fell outside the
+        current chain) — the caller then completes the current plan
+        unguarded.  On success the materialised checkpoint is added to
+        ``checkpoints`` (and acquired on the meter) under a fresh
+        ``__checkpoint_N__`` binding that the revised plan's chain starts
+        from.
+        """
+        adaptive = self.adaptive
+        stack, chain = self._spine(plan.root)
+        if trigger_node is None or all(node is not trigger_node for node in chain):
+            return None
+        parts: List[PlanNode] = []
+        for node in chain:
+            parts.append(node.children[1 - node.probe_child_index()])
+            if node is trigger_node:
+                break
+        probe_node = trigger_node.children[trigger_node.probe_child_index()]
+        rows = self._materialize(
+            probe_node, bindings, meter, adaptive.checkpoint_cap_rows
+        )
+        if rows is None:
+            return None
+        name = f"__checkpoint_{len(checkpoints) + 1}__"
+        checkpoint = Relation._from_trusted(probe_node.scheme, frozenset(rows))
+        meter.acquire(len(checkpoint))
+        if meter.budget is not None and meter.current > meter.budget:
+            # The checkpoint is metered-but-unspillable state (like dedup
+            # seen-sets): a budget overrun here is recorded, never masked.
+            kernel_counters().add(spill_overflows=1)
+        checkpoints[name] = checkpoint
+        checkpoint_node = PlanNode(
+            kind="scan",
+            scheme=checkpoint.scheme,
+            stats=sampled_stats(
+                checkpoint,
+                adaptive.sample_size,
+                seed=adaptive.seed,
+                name=name,
+                join_cap=adaptive.sample_join_cap,
+            ),
+            cost=float(len(checkpoint)),
+            operand_name=name,
+        )
+        base_stats = self._catalog_for(
+            {
+                op_name: bindings[op_name]
+                for part in parts
+                for op_name in self._scan_names(part)
+            }
+        )
+        refreshed = [self._refresh_node_stats(part, base_stats) for part in parts]
+        node = self._planner.order_join_nodes([checkpoint_node] + refreshed)
+        for projection in reversed(stack):
+            node = self._reproject(projection, node)
+        return PhysicalPlan(root=node, expression=plan.expression, config=self.config)
+
+    @staticmethod
+    def _scan_names(node: PlanNode) -> Set[str]:
+        """Operand names read by a plan subtree."""
+        if node.kind == "scan":
+            return {node.operand_name}
+        names: Set[str] = set()
+        for child in node.children:
+            names |= EngineEvaluator._scan_names(child)
+        return names
+
+    @staticmethod
+    def _materialize(
+        node: PlanNode,
+        bindings: Mapping[str, Relation],
+        meter: MemoryMeter,
+        cap: int,
+    ) -> "Optional[Set[Tuple]]":
+        """Drain a plan subtree into a row set (metered), or ``None`` past ``cap``."""
+        root = node.instantiate(bindings, meter)
+        rows: Set[Tuple] = set()
+        size = 0
+        blocks = root.blocks()
+        try:
+            for block in blocks:
+                rows.update(block)
+                grown = len(rows)
+                if grown > cap:
+                    blocks.close()
+                    return None
+                if grown != size:
+                    meter.acquire(grown - size)
+                    size = grown
+            return rows
+        finally:
+            # The caller re-acquires the checkpoint relation's residency.
+            meter.release(size)
+
+    def _refresh_node_stats(
+        self, node: PlanNode, base_stats: Mapping[str, object]
+    ) -> PlanNode:
+        """Re-propagate a subtree's statistics from fresh base-relation entries.
+
+        The pinned plan's node statistics reflect the relations it was
+        planned against; after a mid-stream trigger the re-ordering must
+        score the *current* bindings, so scans pick up freshly sampled
+        entries and every derived node re-propagates.  Compiled picks and
+        join plans are scheme-level artifacts and are reused untouched.
+        """
+        if node.kind == "scan":
+            entry = base_stats.get(node.operand_name)
+            if entry is None:
+                return node
+            return replace(node, stats=entry, cost=float(entry.cardinality))
+        children = tuple(
+            self._refresh_node_stats(child, base_stats) for child in node.children
+        )
+        if node.kind == "project":
+            child = children[0]
+            out_stats = project_stats(child.stats, node.scheme.names)
+            cost = child.cost + child.est_rows + out_stats.cardinality
+            return replace(node, stats=out_stats, cost=cost, children=children)
+        if node.kind in ("hash-join", "merge-join"):
+            out_stats = join_stats(
+                children[0].stats,
+                children[1].stats,
+                node.scheme.names,
+                node.join_plan.common_names,
+            )
+            return replace(node, stats=out_stats, children=children)
+        if node.kind == "sort":
+            return replace(node, stats=children[0].stats, children=children)
+        return node
+
+    @staticmethod
+    def _reproject(projection: PlanNode, child: PlanNode) -> PlanNode:
+        """Re-apply one projection of the original stack over a revised chain.
+
+        The revised chain presents the same attributes in a (possibly)
+        different column order, so the projection's pick list is recompiled
+        against the new child scheme; target scheme and dedup behaviour are
+        inherited from the original node.
+        """
+        pick_plan = _project_plan(child.scheme, projection.scheme)
+        out_stats = project_stats(child.stats, pick_plan.target_scheme.names)
+        cost = child.cost + child.est_rows + out_stats.cardinality
+        return PlanNode(
+            kind="project",
+            scheme=pick_plan.target_scheme,
+            stats=out_stats,
+            cost=cost,
+            children=(child,),
+            pick=pick_plan.pick,
+            dedup=projection.dedup,
+        )
+
+    @staticmethod
+    def _record_q_errors(root: PhysicalOperator, counters) -> None:
+        """Feed per-operator estimate-vs-observed q-errors into the counters.
+
+        Guards are skipped (their estimate duplicates the operator they
+        wrap); every other operator contributes one observation per
+        evaluation, so the counters' mean/max q-error track the estimator's
+        live accuracy (``qerror_*`` in :mod:`repro.perf.counters`).
+        """
+        for operator in operators_in_order(root):
+            if isinstance(operator, AdaptiveGuard):
+                continue
+            counters.record_q_error(q_error(operator.est_rows, operator.rows_out))
+
     @staticmethod
     def _record_steps(root: PhysicalOperator, trace: EvaluationTrace) -> None:
-        """Record per-operator streamed cardinalities, children first."""
+        """Record per-operator streamed cardinalities, children first.
+
+        Adaptive guards are pass-throughs — recording them would count every
+        guarded join's cardinality twice and inflate
+        ``total_intermediate_tuples`` against a static run of the same plan.
+        """
         for operator in operators_in_order(root):
+            if isinstance(operator, AdaptiveGuard):
+                continue
             width = len(operator.scheme)
             trace.record(
                 TraceStep(

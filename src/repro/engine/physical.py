@@ -50,8 +50,10 @@ from .stats import RelationStats
 __all__ = [
     "BLOCK_ROWS",
     "SPILL_BLOCK_ROWS",
+    "AdaptiveGuard",
     "MemoryBudget",
     "MemoryMeter",
+    "ReplanTriggered",
     "SpillFile",
     "PhysicalOperator",
     "TableScan",
@@ -310,6 +312,7 @@ class TableScan(PhysicalOperator):
         self.scheme = relation.scheme
 
     def blocks(self) -> Iterator[Block]:
+        """Stream the output blocks (see the operator iterator contract)."""
         self.rows_out = 0
         block: Block = []
         append = block.append
@@ -325,6 +328,7 @@ class TableScan(PhysicalOperator):
             yield block
 
     def label(self) -> str:
+        """The one-line trace/explain label."""
         return f"scan {self._name}"
 
 
@@ -362,6 +366,7 @@ class PartitionedScan(PhysicalOperator):
         self.consumes_probe_slice = True
 
     def blocks(self) -> Iterator[Block]:
+        """Stream the output blocks (see the operator iterator contract)."""
         self.rows_out = 0
         index = self._index
         count = self._count
@@ -381,6 +386,7 @@ class PartitionedScan(PhysicalOperator):
             yield block
 
     def label(self) -> str:
+        """The one-line trace/explain label."""
         return f"scan {self._name} [partitioned x{self._count}]"
 
 
@@ -421,9 +427,11 @@ class StreamingProject(PhysicalOperator):
         self.scheme = scheme
 
     def children(self) -> Tuple[PhysicalOperator, ...]:
+        """The input operators."""
         return (self._child,)
 
     def blocks(self) -> Iterator[Block]:
+        """Stream the output blocks (see the operator iterator contract)."""
         self.rows_out = 0
         pick = self._pick
         meter = self.meter
@@ -469,6 +477,7 @@ class StreamingProject(PhysicalOperator):
             seen.clear()
 
     def label(self) -> str:
+        """The one-line trace/explain label."""
         dedup = "" if self._dedup else ", no dedup"
         sliced = (
             f" [sliced x{self._probe_slice[1]}]" if self._probe_slice is not None else ""
@@ -507,9 +516,11 @@ class HashJoin(PhysicalOperator):
         self.scheme = plan.joined_scheme
 
     def children(self) -> Tuple[PhysicalOperator, ...]:
+        """The input operators."""
         return (self._left, self._right)
 
     def blocks(self) -> Iterator[Block]:
+        """Stream the output blocks (see the operator iterator contract)."""
         self.rows_out = 0
         self.build_peak_rows = 0
         plan = self._plan
@@ -600,6 +611,7 @@ class HashJoin(PhysicalOperator):
             buckets.clear()
 
     def label(self) -> str:
+        """The one-line trace/explain label."""
         return f"hash join [build={self.build_side}] on ({', '.join(self._plan.common_names) or 'x'})"
 
 
@@ -735,6 +747,7 @@ class GraceHashJoin(HashJoin):
             yield out
 
     def blocks(self) -> Iterator[Block]:
+        """Stream the output blocks (see the operator iterator contract)."""
         self.rows_out = 0
         self.build_peak_rows = 0
         self.spilled = 0
@@ -954,11 +967,85 @@ class GraceHashJoin(HashJoin):
                 yield out
 
     def label(self) -> str:
+        """The one-line trace/explain label."""
         on = ", ".join(self._plan.common_names) or "x"
         return (
             f"grace hash join [build={self.build_side}, "
             f"budget={self._budget.rows}] on ({on})"
         )
+
+
+class ReplanTriggered(Exception):
+    """Raised by an :class:`AdaptiveGuard` whose observation crossed its
+    threshold.
+
+    The exception unwinds the whole executing operator cascade — every
+    operator's ``finally`` releases its metered state on the way out — and
+    is caught by the adaptive evaluator, which materialises a checkpoint,
+    re-costs the remaining join order against observed sizes, and resumes
+    on the revised plan (see ``EngineEvaluator``'s adaptive mode).
+    """
+
+    def __init__(self, guard: "AdaptiveGuard"):
+        """Record the triggering ``guard`` (which knows its plan node)."""
+        self.guard = guard
+        super().__init__(
+            f"observed {guard.rows_out} rows against an estimate of "
+            f"{guard.est_rows:.1f} (threshold {guard.threshold:.1f})"
+        )
+
+
+class AdaptiveGuard(PhysicalOperator):
+    """Pass-through operator watching an estimate against reality.
+
+    The guard streams its child's blocks unchanged while counting rows; the
+    moment the count exceeds ``max(factor × est_rows, min_rows)`` it raises
+    :class:`ReplanTriggered` instead of yielding further — the mid-stream
+    re-plan trigger of the adaptive evaluator.  A guard holds no state and
+    meters nothing; with accurate estimates its cost is one counter
+    comparison per block.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        meter: MemoryMeter,
+        est_rows: float,
+        factor: float,
+        min_rows: int,
+        node: Optional[object] = None,
+    ):
+        """Guard ``child`` against ``factor ×`` its estimated cardinality.
+
+        ``node`` is the plan node the guarded operator was instantiated
+        from — the re-planner uses it to locate the checkpoint boundary and
+        the not-yet-joined operands.
+        """
+        super().__init__(meter)
+        self._child = child
+        self.scheme = child.scheme
+        self.output_order = child.output_order
+        self.est_rows = float(est_rows)
+        self.threshold = max(float(est_rows) * factor, float(min_rows))
+        self.node = node
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        """The guarded operator."""
+        return (self._child,)
+
+    def blocks(self) -> Iterator[Block]:
+        """Stream the child's blocks, raising once the threshold is crossed."""
+        self.rows_out = 0
+        threshold = self.threshold
+        for block in self._child.blocks():
+            self.rows_out += len(block)
+            if self.rows_out > threshold:
+                raise ReplanTriggered(self)
+            yield block
+
+    def label(self) -> str:
+        """Label the guard with its threshold around the child's label."""
+        return f"guard[<={self.threshold:.0f}]({self._child.label()})"
 
 
 def _merge_key_picker(scheme, names: Tuple[str, ...]) -> Callable[[Row], Hashable]:
@@ -1048,6 +1135,7 @@ class MergeJoin(PhysicalOperator):
         self.output_order = plan.common_names
 
     def children(self) -> Tuple[PhysicalOperator, ...]:
+        """The input operators."""
         return (self._left, self._right)
 
     @staticmethod
@@ -1068,6 +1156,7 @@ class MergeJoin(PhysicalOperator):
             yield group_key, group
 
     def blocks(self) -> Iterator[Block]:
+        """Stream the output blocks (see the operator iterator contract)."""
         self.rows_out = 0
         plan = self._plan
         meter = self.meter
@@ -1109,6 +1198,7 @@ class MergeJoin(PhysicalOperator):
             meter.release(buffered)
 
     def label(self) -> str:
+        """The one-line trace/explain label."""
         return f"merge join on ({', '.join(self._plan.common_names)})"
 
 
@@ -1134,9 +1224,11 @@ class Sort(PhysicalOperator):
         self.output_order = self._key_names
 
     def children(self) -> Tuple[PhysicalOperator, ...]:
+        """The input operators."""
         return (self._child,)
 
     def blocks(self) -> Iterator[Block]:
+        """Stream the output blocks (see the operator iterator contract)."""
         self.rows_out = 0
         meter = self.meter
         rows: List[Row] = []
@@ -1157,6 +1249,7 @@ class Sort(PhysicalOperator):
             rows.clear()
 
     def label(self) -> str:
+        """The one-line trace/explain label."""
         return f"sort by ({', '.join(self._key_names)})"
 
 
@@ -1188,9 +1281,11 @@ class StreamingUnion(PhysicalOperator):
         self.scheme = left.scheme
 
     def children(self) -> Tuple[PhysicalOperator, ...]:
+        """The input operators."""
         return (self._left, self._right)
 
     def blocks(self) -> Iterator[Block]:
+        """Stream the output blocks (see the operator iterator contract)."""
         self.rows_out = 0
         meter = self.meter
         seen: Set[Row] = set()
@@ -1217,6 +1312,7 @@ class StreamingUnion(PhysicalOperator):
             seen.clear()
 
     def label(self) -> str:
+        """The one-line trace/explain label."""
         return "union"
 
 
@@ -1239,9 +1335,11 @@ class StreamingDifference(PhysicalOperator):
         self.scheme = left.scheme
 
     def children(self) -> Tuple[PhysicalOperator, ...]:
+        """The input operators."""
         return (self._left, self._right)
 
     def blocks(self) -> Iterator[Block]:
+        """Stream the output blocks (see the operator iterator contract)."""
         self.rows_out = 0
         meter = self.meter
         excluded: Set[Row] = set()
@@ -1273,4 +1371,5 @@ class StreamingDifference(PhysicalOperator):
             emitted.clear()
 
     def label(self) -> str:
+        """The one-line trace/explain label."""
         return "difference"

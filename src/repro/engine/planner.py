@@ -162,6 +162,7 @@ class PlanNode:
         bindings: Mapping[str, Relation],
         meter: MemoryMeter,
         probe_slice: Optional[Tuple[int, int]] = None,
+        guard_for: Optional[Callable] = None,
     ) -> PhysicalOperator:
         """Build the executable operator tree for one evaluation.
 
@@ -174,6 +175,12 @@ class PlanNode:
         projection sits above it.  ``count`` workers executing the same
         pinned plan therefore partition the driving row stream and nothing
         else.
+
+        ``guard_for`` is the adaptive evaluator's hook: called as
+        ``guard_for(node, operator)`` on every instantiated node, it may
+        return a wrapping operator (an
+        :class:`~repro.engine.physical.AdaptiveGuard` on the join chain) or
+        ``None`` to keep the operator bare.
         """
         probe_index = self.probe_child_index()
 
@@ -205,7 +212,7 @@ class PlanNode:
             ):
                 # This is the driving projection: consume the slice here.
                 own_slice, pass_down = probe_slice, None
-            child = self.children[0].instantiate(bindings, meter, pass_down)
+            child = self.children[0].instantiate(bindings, meter, pass_down, guard_for)
             operator = StreamingProject(
                 child,
                 self.pick,
@@ -215,8 +222,8 @@ class PlanNode:
                 probe_slice=own_slice,
             )
         elif self.kind == "hash-join":
-            left = self.children[0].instantiate(bindings, meter, child_slice(0))
-            right = self.children[1].instantiate(bindings, meter, child_slice(1))
+            left = self.children[0].instantiate(bindings, meter, child_slice(0), guard_for)
+            right = self.children[1].instantiate(bindings, meter, child_slice(1), guard_for)
             if self.budget is not None:
                 operator = GraceHashJoin(
                     left,
@@ -232,11 +239,11 @@ class PlanNode:
                     left, right, self.join_plan, meter, build_side=self.build_side
                 )
         elif self.kind == "merge-join":
-            left = self.children[0].instantiate(bindings, meter, child_slice(0))
-            right = self.children[1].instantiate(bindings, meter, child_slice(1))
+            left = self.children[0].instantiate(bindings, meter, child_slice(0), guard_for)
+            right = self.children[1].instantiate(bindings, meter, child_slice(1), guard_for)
             operator = MergeJoin(left, right, self.join_plan, meter)
         elif self.kind == "sort":
-            child = self.children[0].instantiate(bindings, meter, child_slice(0))
+            child = self.children[0].instantiate(bindings, meter, child_slice(0), guard_for)
             operator = Sort(child, self.sort_key, meter)
         else:  # pragma: no cover - defensive
             raise ExpressionError(f"unknown plan node kind {self.kind!r}")
@@ -246,6 +253,10 @@ class PlanNode:
             operator.output_order = self.order
         operator.est_rows = self.est_rows
         operator.est_cost = self.cost
+        if guard_for is not None:
+            wrapper = guard_for(self, operator)
+            if wrapper is not None:
+                operator = wrapper
         return operator
 
 
@@ -272,15 +283,18 @@ class PhysicalPlan:
         bindings: Mapping[str, Relation],
         meter: MemoryMeter,
         probe_slice: Optional[Tuple[int, int]] = None,
+        guard_for: Optional[Callable] = None,
     ) -> PhysicalOperator:
         """Instantiate the operator tree against one set of bound relations.
 
         With ``probe_slice = (index, count)`` the driving probe scan streams
         only worker ``index``'s round-robin slice (see
         :meth:`PlanNode.instantiate`); the union of the ``count`` executors'
-        outputs is set-equal to the unsliced execution.
+        outputs is set-equal to the unsliced execution.  ``guard_for`` is
+        the adaptive evaluator's operator-wrapping hook (see
+        :meth:`PlanNode.instantiate`).
         """
-        return self.root.instantiate(bindings, meter, probe_slice)
+        return self.root.instantiate(bindings, meter, probe_slice, guard_for)
 
     def driving_scan_name(self) -> Optional[str]:
         """The operand whose scan drives the probe pipeline (sliced when
@@ -371,6 +385,19 @@ class Planner:
         raise ExpressionError(f"unknown expression node {node!r}")
 
     # -- join ordering -------------------------------------------------
+
+    def order_join_nodes(self, parts: List[PlanNode]) -> PlanNode:
+        """Greedily (re)order already-lowered join operands into a chain.
+
+        The adaptive evaluator's mid-stream re-planner calls this with a
+        materialised-checkpoint scan node plus the not-yet-joined operand
+        subtrees: the ordering logic (and the build-side/dedup-elision
+        decisions of :meth:`_join_pair`) is exactly the one initial planning
+        uses, only the statistics are fresher.
+        """
+        if len(parts) == 1:
+            return parts[0]
+        return self._order_joins(list(parts))
 
     def _order_joins(self, parts: List[PlanNode]) -> PlanNode:
         """Order an n-ary join into a pipelined left-deep chain, greedily.

@@ -1,0 +1,441 @@
+"""Sampling-based cardinality estimation and the adaptive-execution knobs.
+
+The exponential-backoff selectivities of
+:func:`repro.engine.stats.estimate_join_cardinality` keep the greedy join
+ordering *bounded* on the paper's correlated R_G constructions, but they are
+still a guess about value overlap: `tests/test_engine_stats_quality.py`
+pins the step-wise divergence that guessing costs at m≈14.  This module
+replaces the guess with *measurement*:
+
+* :func:`reservoir_sample` draws a uniform row sample (Algorithm R) from a
+  relation in one pass;
+* :class:`Sample` carries the sampled rows with their column names and a
+  cardinality scale, and estimates **join sizes by joining the samples**
+  (``|L ⋈ R| ≈ |S_L ⋈ S_R| · (|L|/|S_L|) · (|R|/|S_R|)`` for uniform row
+  samples) — no independence assumption across join columns at all — plus
+  per-column distinct counts via the GEE scale-up estimator;
+* :func:`sampled_stats` builds a :class:`SampledRelationStats` catalog entry
+  (a :class:`~repro.engine.stats.RelationStats` carrying its sample), which
+  the stats-propagation functions in :mod:`repro.engine.stats` recognise and
+  route through the sample-based estimators, propagating joined samples
+  along the plan so *chain-extension* estimates stay measured too;
+* :class:`AdaptiveConfig` bundles the sampling knobs with the mid-stream
+  re-planning knobs consumed by
+  :class:`~repro.engine.evaluator.EngineEvaluator` (``adaptive=``): the
+  observed/estimated factor that triggers a re-plan, the re-plan budget,
+  and the checkpoint size cap.
+
+Estimation error is tracked: every adaptive evaluation feeds per-operator
+q-errors (``max(est/actual, actual/est)``) into
+:meth:`repro.perf.counters.KernelCounters.record_q_error`, and every sample
+build increments ``sample_builds`` — the statistics the ROADMAP's estimate-
+quality follow-up asked to make measurable.
+
+Samples are drawn from :meth:`Relation.sorted_rows` with a caller-provided
+seed, so planning is deterministic under ``PYTHONHASHSEED=random`` — the
+same property the differential fuzz harness already demands of execution.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from .stats import ColumnStats, RelationStats
+
+__all__ = [
+    "AdaptiveConfig",
+    "Sample",
+    "SampledRelationStats",
+    "q_error",
+    "reservoir_sample",
+    "sampled_stats",
+]
+
+Row = Tuple[Hashable, ...]
+
+#: Mixing constant decorrelating derived sample seeds (golden-ratio prime).
+_SEED_MIX = 0x9E3779B97F4A7C15
+_SEED_MASK = (1 << 63) - 1
+
+
+def _derive_seed(*parts: int) -> int:
+    """Fold integer seed parts into one decorrelated 63-bit seed."""
+    seed = 0
+    for part in parts:
+        seed = ((seed ^ (part & _SEED_MASK)) * _SEED_MIX) & _SEED_MASK
+    return seed
+
+
+def q_error(estimate: float, actual: float) -> float:
+    """The q-error of an estimate: ``max(est/actual, actual/est)`` (≥ 1).
+
+    Both quantities are clamped to a floor of 1 row first, so an estimate of
+    0.3 rows against an actual of 0 is a perfect 1.0 rather than a division
+    by zero — the standard convention in the estimation literature.
+    """
+    estimate = max(float(estimate), 1.0)
+    actual = max(float(actual), 1.0)
+    return estimate / actual if estimate >= actual else actual / estimate
+
+
+def reservoir_sample(rows: Iterable[Row], k: int, rng: random.Random) -> List[Row]:
+    """Draw a uniform sample of up to ``k`` rows in one pass (Algorithm R).
+
+    Every row of the input has probability ``k / n`` of appearing in the
+    result, independent of position; inputs of at most ``k`` rows are
+    returned whole.  The caller owns the ``rng``, which is how the planner
+    keeps sampling deterministic per (relation, seed).
+    """
+    if k <= 0:
+        return []
+    reservoir: List[Row] = []
+    for index, row in enumerate(rows):
+        if index < k:
+            reservoir.append(row)
+            continue
+        slot = rng.randint(0, index)
+        if slot < k:
+            reservoir[slot] = row
+    return reservoir
+
+
+def _gee_distinct(values: Sequence[Hashable], scale: float) -> int:
+    """GEE scale-up estimate of a column's distinct count from a sample.
+
+    ``d̂ = √scale · f₁ + (d_sample − f₁)`` where ``f₁`` counts values seen
+    exactly once in the sample: values seen twice or more are assumed to
+    recur in the unseen rows (contributing once each), while singletons are
+    scaled up by the square root of the sampling fraction — Charikar et
+    al.'s Guaranteed-Error Estimator, whose worst-case ratio error is
+    optimal among sampling estimators.  A full sample (``scale == 1``)
+    degenerates to the exact distinct count.
+    """
+    counts: Dict[Hashable, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    if scale <= 1.0:
+        return len(counts)
+    singletons = sum(1 for count in counts.values() if count == 1)
+    return int(round(math.sqrt(scale) * singletons + (len(counts) - singletons)))
+
+
+class Sample:
+    """A uniform row sample with its column names and cardinality scale.
+
+    ``rows`` are value tuples aligned with ``names``; ``est_cardinality`` is
+    the (estimated) cardinality of the population the sample was drawn from,
+    so ``scale = est_cardinality / len(rows)`` converts sample counts into
+    population estimates.  Base-relation samples carry an exact cardinality;
+    joined samples (:meth:`join`) carry the sample-join estimate.
+    """
+
+    __slots__ = ("names", "rows", "est_cardinality", "seed", "join_cap")
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        rows: Sequence[Row],
+        est_cardinality: float,
+        seed: int = 0,
+        join_cap: int = 4096,
+    ):
+        """Wrap ``rows`` (aligned with ``names``) scaled to ``est_cardinality``.
+
+        ``join_cap`` bounds the row count of samples derived from this one
+        by :meth:`join` — it rides along so the stats-propagation functions
+        need no separate configuration channel.
+        """
+        self.names: Tuple[str, ...] = tuple(names)
+        self.rows: List[Row] = list(rows)
+        self.est_cardinality = float(est_cardinality)
+        self.seed = seed
+        self.join_cap = join_cap
+
+    @property
+    def scale(self) -> float:
+        """Population rows represented by each sample row (≥ 1)."""
+        return max(self.est_cardinality / max(len(self.rows), 1), 1.0)
+
+    def _positions(self, names: Sequence[str]) -> List[int]:
+        index = {name: position for position, name in enumerate(self.names)}
+        return [index[name] for name in names]
+
+    def distinct_estimate(self, name: str) -> int:
+        """Estimated population distinct count of one column (GEE scale-up)."""
+        if name not in self.names:
+            return 0
+        position = self.names.index(name)
+        return _gee_distinct([row[position] for row in self.rows], self.scale)
+
+    def column_stats(self, name: str) -> ColumnStats:
+        """A :class:`ColumnStats` for one column, estimated from the sample."""
+        if name not in self.names or not self.rows:
+            return ColumnStats(distinct_count=0)
+        position = self.names.index(name)
+        values = [row[position] for row in self.rows]
+        minimum: Optional[Hashable] = None
+        maximum: Optional[Hashable] = None
+        try:
+            minimum = min(values)
+            maximum = max(values)
+        except TypeError:
+            pass
+        return ColumnStats(
+            distinct_count=_gee_distinct(values, self.scale),
+            minimum=minimum,
+            maximum=maximum,
+        )
+
+    def join_size(self, other: "Sample", common: Sequence[str]) -> float:
+        """Estimate ``|L ⋈ R|`` by counting key matches between the samples.
+
+        For uniform row samples the expected sample-join size is the true
+        join size times both sampling fractions, so the estimate is the
+        match count scaled by both sides' scales.  Disjoint schemes estimate
+        as the full cartesian product.  No cross-column independence is
+        assumed — the joint key is matched as one value.
+        """
+        if not common:
+            return self.est_cardinality * other.est_cardinality
+        if not self.rows or not other.rows:
+            return 0.0
+        mine = self._positions(common)
+        theirs = other._positions(common)
+        counts: Dict[Hashable, int] = {}
+        for row in other.rows:
+            key = tuple(row[position] for position in theirs)
+            counts[key] = counts.get(key, 0) + 1
+        matched = 0
+        for row in self.rows:
+            matched += counts.get(tuple(row[position] for position in mine), 0)
+        return matched * self.scale * other.scale
+
+    def join(
+        self, other: "Sample", common: Sequence[str], cap: Optional[int] = None
+    ) -> "Sample":
+        """The joined sample (``left ++ (right − left)`` layout), capped.
+
+        Joining the samples *is* the estimator: the result carries the
+        scaled cardinality estimate from :meth:`join_size` and stays a
+        (approximately uniform) row sample of the true join, so chain
+        extensions keep estimating against measured data.  Results larger
+        than ``cap`` rows (default: the operands' smaller ``join_cap``) are
+        subsampled back down; disjoint schemes subsample both sides to
+        ``√cap`` first so a product of two large samples never
+        materialises.
+        """
+        if cap is None:
+            cap = min(self.join_cap, other.join_cap)
+        seed = _derive_seed(self.seed, other.seed, len(self.rows), len(other.rows))
+        rng = random.Random(seed)
+        common_set = frozenset(common)
+        extra_positions = [
+            position
+            for position, name in enumerate(other.names)
+            if name not in common_set
+        ]
+        out_names = self.names + tuple(other.names[p] for p in extra_positions)
+        if not common:
+            side = max(int(math.isqrt(max(cap, 1))), 1)
+            left_rows = self.rows if len(self.rows) <= side else rng.sample(self.rows, side)
+            right_rows = (
+                other.rows if len(other.rows) <= side else rng.sample(other.rows, side)
+            )
+            joined = [
+                row + tuple(other_row[p] for p in extra_positions)
+                for row in left_rows
+                for other_row in right_rows
+            ]
+            return Sample(
+                out_names,
+                joined,
+                self.est_cardinality * other.est_cardinality,
+                seed=seed,
+                join_cap=cap,
+            )
+        estimate = self.join_size(other, common)
+        mine = self._positions(common)
+        theirs = other._positions(common)
+        buckets: Dict[Hashable, List[Tuple]] = {}
+        for row in other.rows:
+            key = tuple(row[position] for position in theirs)
+            buckets.setdefault(key, []).append(
+                tuple(row[p] for p in extra_positions)
+            )
+        joined = []
+        for row in self.rows:
+            for extra in buckets.get(tuple(row[position] for position in mine), ()):
+                joined.append(row + extra)
+        if len(joined) > cap:
+            joined = rng.sample(joined, cap)
+        return Sample(
+            out_names, joined, max(estimate, float(len(joined))), seed=seed, join_cap=cap
+        )
+
+    def project(self, kept_names: Sequence[str]) -> "Sample":
+        """The deduplicated projection of the sample onto ``kept_names``.
+
+        The projected sample's cardinality estimate scales the distinct
+        projected sample rows GEE-style (duplicates observed in the sample
+        recur in the population; singletons scale up), capped by the source
+        estimate — the sample analogue of
+        :func:`repro.engine.stats.project_stats`.
+        """
+        positions = self._positions(kept_names)
+        projected = [tuple(row[p] for p in positions) for row in self.rows]
+        estimate = min(_gee_distinct(projected, self.scale), self.est_cardinality)
+        distinct_rows = list(dict.fromkeys(projected))
+        return Sample(
+            tuple(kept_names),
+            distinct_rows,
+            max(float(estimate), float(len(distinct_rows))),
+            seed=_derive_seed(self.seed, len(positions)),
+            join_cap=self.join_cap,
+        )
+
+    def stats(self, output_names: Sequence[str]) -> "SampledRelationStats":
+        """Wrap this sample as a catalog entry over ``output_names``."""
+        cardinality = max(int(round(self.est_cardinality)), 0)
+        columns = {name: self.column_stats(name) for name in output_names}
+        capped = {
+            name: ColumnStats(
+                distinct_count=min(column.distinct_count, cardinality),
+                minimum=column.minimum,
+                maximum=column.maximum,
+            )
+            for name, column in columns.items()
+        }
+        return SampledRelationStats(
+            cardinality=cardinality, columns=capped, sample=self
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Sample({len(self.rows)} rows of ~{self.est_cardinality:.0f}, "
+            f"columns={list(self.names)})"
+        )
+
+
+@dataclass(frozen=True)
+class SampledRelationStats(RelationStats):
+    """A catalog entry that carries the sample its estimates came from.
+
+    Behaves exactly like :class:`~repro.engine.stats.RelationStats` for
+    every existing consumer; the stats-propagation functions
+    (:func:`~repro.engine.stats.estimate_join_cardinality`,
+    :func:`~repro.engine.stats.join_stats`,
+    :func:`~repro.engine.stats.project_stats`) detect the ``sample`` field
+    on *both* operands and switch to the sample-based estimators, so mixed
+    sampled/unsampled plans degrade gracefully to the backoff formulas.
+    """
+
+    sample: Optional[Sample] = None
+
+
+def sampled_stats(
+    relation,
+    sample_size: int,
+    seed: int = 0,
+    name: Optional[str] = None,
+    join_cap: int = 4096,
+) -> SampledRelationStats:
+    """Build the sampled catalog entry for a relation.
+
+    Rows are drawn by :func:`reservoir_sample` from the relation's
+    deterministic sorted order, seeded by ``seed`` and (stably) by ``name``
+    so distinct operands of one plan sample independently.  A relation of
+    at most ``sample_size`` rows is carried whole — its estimates are
+    exact.  Each build increments the ``sample_builds`` perf counter, which
+    is how the re-sample-on-invalidation contract is asserted.
+    """
+    from ..perf.counters import kernel_counters
+
+    salt = zlib.crc32(name.encode("utf-8")) if name else 0
+    rng = random.Random(_derive_seed(seed, salt))
+    rows = reservoir_sample(relation.sorted_rows(), sample_size, rng)
+    sample = Sample(
+        relation.scheme.names,
+        rows,
+        float(len(relation)),
+        seed=_derive_seed(seed, salt, 1),
+        join_cap=join_cap,
+    )
+    kernel_counters().add(sample_builds=1)
+    entry = sample.stats(relation.scheme.names)
+    # Base-relation cardinality is known exactly — never estimated.
+    return SampledRelationStats(
+        cardinality=len(relation), columns=entry.columns, sample=sample
+    )
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Knobs for sampled estimation and mid-stream re-planning.
+
+    ``sample_size``
+        Rows per base-relation reservoir sample (relations at most this
+        size are carried whole, making their estimates exact).
+    ``sample_join_cap``
+        Row cap on propagated (joined) samples; larger join samples are
+        reservoir-subsampled back down, trading accuracy for bounded
+        planning cost.
+    ``seed``
+        Base seed for every sample drawn under this config (planning is
+        deterministic given the seed).
+    ``replan_factor``
+        A guarded operator whose observed output exceeds
+        ``replan_factor × estimate`` triggers a mid-stream re-plan.
+    ``replan_min_rows``
+        Absolute floor below which a guard never triggers — tiny queries
+        re-plan nothing regardless of relative error.
+    ``max_replans``
+        Re-plans allowed per evaluation; once exhausted the current plan
+        runs to completion unguarded.
+    ``checkpoint_cap_rows``
+        Row cap on the materialised checkpoint; a checkpoint that would
+        exceed it abandons the re-plan and the original plan runs to
+        completion instead (correct either way).
+    """
+
+    sample_size: int = 512
+    sample_join_cap: int = 4096
+    seed: int = 0
+    replan_factor: float = 4.0
+    replan_min_rows: int = 256
+    max_replans: int = 2
+    checkpoint_cap_rows: int = 200_000
+
+    def __post_init__(self) -> None:
+        """Validate the knobs (positive sizes, factor > 1)."""
+        if self.sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1, got {self.sample_size}")
+        if self.sample_join_cap < 1:
+            raise ValueError(
+                f"sample_join_cap must be >= 1, got {self.sample_join_cap}"
+            )
+        if self.replan_factor <= 1.0:
+            raise ValueError(
+                f"replan_factor must exceed 1, got {self.replan_factor}"
+            )
+        if self.max_replans < 0:
+            raise ValueError(f"max_replans must be >= 0, got {self.max_replans}")
+
+    @classmethod
+    def coerce(
+        cls, value: "AdaptiveConfig | bool | None"
+    ) -> "Optional[AdaptiveConfig]":
+        """Normalise ``True``/``False``/``None`` into a config (or ``None``)."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        raise TypeError(
+            f"adaptive must be an AdaptiveConfig, True, False, or None, "
+            f"got {type(value).__name__}"
+        )

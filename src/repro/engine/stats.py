@@ -20,9 +20,18 @@ Stats can also be *assumed* (:meth:`RelationStats.assumed`) for planning
 without data — the ``repro engine-explain`` CLI uses this to explain a plan
 from schemes and declared cardinalities alone.
 
-This module deliberately imports nothing from :mod:`repro.algebra`: it reads
-relations duck-typed (``.scheme.names`` / ``.rows``), which lets
-``Relation.stats()`` import it lazily without a cycle.
+Since the adaptive-estimation PR the propagation functions are also
+**sample-aware**: when *both* operands of :func:`estimate_join_cardinality`
+/ :func:`join_stats` (or the child of :func:`project_stats`) carry a
+``sample`` attribute — a :class:`repro.engine.sampling.Sample`, attached by
+:func:`repro.engine.sampling.sampled_stats` — the estimate is computed by
+joining/projecting the samples instead of multiplying backed-off
+selectivities, and the derived entry carries the propagated sample so
+chain extensions stay measured.  The dispatch is duck-typed (``getattr``)
+so this module keeps importing nothing from :mod:`repro.engine.sampling`
+(which imports it) or :mod:`repro.algebra`: it reads relations duck-typed
+(``.scheme.names`` / ``.rows``), which lets ``Relation.stats()`` import it
+lazily without a cycle.
 """
 
 from __future__ import annotations
@@ -151,7 +160,17 @@ def estimate_join_cardinality(
     the PR 1 full-independence formula — it scores *materialised* operands
     whose cardinalities are exact, where the compounding is mild; this
     estimator is applied to *propagated* statistics along a whole plan.)
+
+    When **both** entries carry a row sample
+    (:class:`repro.engine.sampling.SampledRelationStats`), the backoff
+    formula is bypassed entirely: the estimate is the scaled size of the
+    *sample join* (:meth:`repro.engine.sampling.Sample.join_size`), which
+    measures the joint-key overlap instead of assuming anything about it.
     """
+    left_sample = getattr(left, "sample", None)
+    right_sample = getattr(right, "sample", None)
+    if left_sample is not None and right_sample is not None:
+        return left_sample.join_size(right_sample, common)
     size = float(left.cardinality * right.cardinality)
     if not common or size == 0.0:
         return size
@@ -223,7 +242,16 @@ def join_stats(
     column keeps the *smaller* operand distinct count (a join can only drop
     key values), and every column's distinct count is capped at the estimated
     output cardinality.
+
+    When both entries carry samples the propagated entry is derived from
+    the **joined sample** instead (cardinality, per-column distinct counts,
+    and the sample itself ride along), so every later estimate against this
+    node stays sample-based.
     """
+    left_sample = getattr(left, "sample", None)
+    right_sample = getattr(right, "sample", None)
+    if left_sample is not None and right_sample is not None:
+        return left_sample.join(right_sample, common).stats(output_names)
     cardinality = estimate_join_cardinality(left, right, common)
     cap = max(int(cardinality), 0)
     common_set = frozenset(common)
@@ -250,8 +278,13 @@ def project_stats(child: RelationStats, kept_names: Sequence[str]) -> RelationSt
 
     The output cardinality is bounded both by the child cardinality and by
     the product of the kept columns' distinct counts (the projection cannot
-    produce more rows than distinct value combinations).
+    produce more rows than distinct value combinations).  A child entry
+    carrying a sample propagates the projected (deduplicated) sample
+    instead.
     """
+    child_sample = getattr(child, "sample", None)
+    if child_sample is not None:
+        return child_sample.project(kept_names).stats(kept_names)
     bound = 1
     for name in kept_names:
         bound *= max(child.distinct(name), 1)

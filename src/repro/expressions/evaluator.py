@@ -136,6 +136,11 @@ class EvaluationTrace:
     #: bounds (see ``docs/ENGINE.md``).  Populated by the engine evaluator;
     #: 0 elsewhere.
     peak_build_rows: int = 0
+    #: Mid-stream re-plans this evaluation performed (adaptive engine mode
+    #: only: a guarded operator's observed cardinality crossed its
+    #: threshold, a checkpoint was materialised, and execution resumed on a
+    #: re-costed join order).  0 everywhere else.
+    replans: int = 0
 
     def record(self, step: TraceStep) -> None:
         """Append one step to the trace."""

@@ -75,6 +75,25 @@ class KernelCounters:
     #: recursion-depth limit, or no headroom left) — the budget is best
     #: effort and this counter is how an overrun is detected.
     spill_overflows: int = 0
+    #: Reservoir samples built for the sampling-based estimator (one per
+    #: ``repro.engine.sampling.sampled_stats`` call) — re-sampling after a
+    #: relation invalidation shows up here.
+    sample_builds: int = 0
+    #: Mid-stream re-plans the adaptive evaluator completed (checkpoint
+    #: materialised, remaining join order re-costed, execution resumed).
+    adaptive_replans: int = 0
+    #: Re-plans abandoned because the checkpoint would exceed its row cap
+    #: (the original plan then runs to completion — correct either way).
+    adaptive_giveups: int = 0
+    #: Cardinality-estimate q-error observations (see :meth:`record_q_error`).
+    qerror_observations: int = 0
+    #: Sum of observed q-errors × 1000 (divide by ``qerror_observations``
+    #: for the mean); deltas of this counter are additive like any other.
+    qerror_total_milli: int = 0
+    #: Largest single observed q-error × 1000 since the last reset.  This is
+    #: a high-water mark, so ``delta_since`` on it reports growth of the
+    #: maximum, not a per-window maximum.
+    qerror_max_milli: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """Return the counters as a plain dict (for traces and JSON output)."""
@@ -95,6 +114,22 @@ class KernelCounters:
         with _MUTATION_LOCK:
             for name, amount in amounts.items():
                 setattr(self, name, getattr(self, name) + amount)
+
+    def record_q_error(self, q: float) -> None:
+        """Record one cardinality-estimate q-error (``max(est/act, act/est)``).
+
+        Stored in integer milli-units so the counters stay plain ints:
+        ``qerror_observations`` counts, ``qerror_total_milli`` sums (mean =
+        total / observations / 1000), ``qerror_max_milli`` tracks the worst
+        estimate seen.  Lock-guarded like :meth:`add` — the adaptive
+        evaluator records at evaluation granularity, never per row.
+        """
+        milli = int(round(max(q, 1.0) * 1000))
+        with _MUTATION_LOCK:
+            self.qerror_observations += 1
+            self.qerror_total_milli += milli
+            if milli > self.qerror_max_milli:
+                self.qerror_max_milli = milli
 
     def reset(self) -> None:
         """Zero every counter."""

@@ -17,6 +17,13 @@ from .paper_example import (
     paper_example_relation,
     paper_example_scheme,
 )
+from .ordering import (
+    actual_greedy_order,
+    capped_join_size,
+    chain_peak,
+    join_parts,
+    planner_join_order,
+)
 from .relations import random_instance, random_project_join_query, random_relation
 
 __all__ = [
@@ -36,4 +43,9 @@ __all__ = [
     "random_relation",
     "random_project_join_query",
     "random_instance",
+    "actual_greedy_order",
+    "capped_join_size",
+    "chain_peak",
+    "join_parts",
+    "planner_join_order",
 ]

@@ -1,0 +1,135 @@
+"""Join-ordering quality instrumentation shared by tests and benchmarks.
+
+The estimate-quality suite (``tests/test_engine_stats_quality.py``) and the
+``adaptive`` benchmark gate (``benchmarks/bench_algebra_kernel.py``) both
+compare the planner's greedy join ordering against the *actual-size greedy
+oracle*: at every step pick the operand whose real (streamed, capped) join
+cardinality with the accumulated chain is smallest.  Keeping the oracle and
+its plan-reading helpers in one module means the CI gate and the tier-1
+test can never silently assert different bounds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from ..algebra.relation import Relation, _join_plan
+from ..engine.evaluator import EngineEvaluator
+from ..engine.physical import HashJoin, MemoryMeter, TableScan
+from ..expressions.ast import Join
+from ..expressions.ast import Projection as ProjectionNode
+from ..expressions.evaluator import evaluate
+
+__all__ = [
+    "actual_greedy_order",
+    "capped_join_size",
+    "chain_peak",
+    "join_parts",
+    "planner_join_order",
+]
+
+#: Default streamed-count cap: candidate joins larger than this can never be
+#: the greedy minimum on the R_G instances, so counting is cut off there.
+DEFAULT_SIZE_CAP = 120_000
+
+
+def capped_join_size(left: Relation, right: Relation, cap: int = DEFAULT_SIZE_CAP) -> int:
+    """The real join cardinality, streamed (never materialised), capped."""
+    meter = MemoryMeter()
+    operator = HashJoin(
+        TableScan(left, meter),
+        TableScan(right, meter),
+        _join_plan(left.scheme, right.scheme),
+        meter,
+        build_side="left" if len(left) <= len(right) else "right",
+    )
+    count = 0
+    generator = operator.blocks()
+    for block in generator:
+        count += len(block)
+        if count >= cap:
+            generator.close()
+            return cap
+    return count
+
+
+def join_parts(query, relation: Relation) -> List[Relation]:
+    """The materialised operands of the query's n-ary join."""
+    node = query
+    while isinstance(node, ProjectionNode):
+        node = node.child
+    assert isinstance(node, Join)
+    return [
+        evaluate(part, {name: relation for name in part.operand_names()})
+        for part in node.parts
+    ]
+
+
+def chain_peak(part_relations: List[Relation], order: List[int]) -> int:
+    """Peak materialised intermediate along one left-deep join order."""
+    accumulated = part_relations[order[0]].natural_join(part_relations[order[1]])
+    peak = len(accumulated)
+    for index in order[2:]:
+        accumulated = accumulated.natural_join(part_relations[index])
+        peak = max(peak, len(accumulated))
+    return peak
+
+
+def actual_greedy_order(
+    part_relations: List[Relation], cap: int = DEFAULT_SIZE_CAP
+) -> List[int]:
+    """The oracle: greedy ordering by *actual* (streamed, capped) join sizes."""
+    count = len(part_relations)
+    best, best_pair = None, None
+    for i, j in itertools.combinations(range(count), 2):
+        size = capped_join_size(part_relations[i], part_relations[j], cap)
+        if best is None or size < best:
+            best, best_pair = size, (i, j)
+    order = list(best_pair)
+    accumulated = part_relations[best_pair[0]].natural_join(part_relations[best_pair[1]])
+    remaining = [i for i in range(count) if i not in best_pair]
+    while remaining:
+        sizes = {
+            i: capped_join_size(accumulated, part_relations[i], cap) for i in remaining
+        }
+        nxt = min(sizes, key=sizes.get)
+        order.append(nxt)
+        accumulated = accumulated.natural_join(part_relations[nxt])
+        remaining.remove(nxt)
+    return order
+
+
+def planner_join_order(
+    query,
+    relation: Relation,
+    part_relations: List[Relation],
+    evaluator: Optional[EngineEvaluator] = None,
+) -> List[int]:
+    """The planner's greedy join order, read off its pinned plan's chain.
+
+    ``evaluator`` selects the estimator under test — a default
+    :class:`~repro.engine.evaluator.EngineEvaluator` for the
+    exponential-backoff formulas, ``EngineEvaluator(adaptive=True)`` for
+    sampling-based estimation.  Operands are identified by matching each
+    chain node's scheme against ``part_relations``.
+    """
+    evaluator = evaluator or EngineEvaluator()
+    bound = {name: relation for name in query.operand_names()}
+    plan = evaluator.plan_for(query, bound)
+    node = plan.root
+    while node.kind == "project":
+        node = node.children[0]
+    by_scheme = {
+        tuple(sorted(rel.scheme.names)): index
+        for index, rel in enumerate(part_relations)
+    }
+
+    def descend(chain_node):
+        if chain_node.kind != "hash-join":
+            return [chain_node]
+        probe = chain_node.children[chain_node.probe_child_index()]
+        build = chain_node.children[1 - chain_node.probe_child_index()]
+        return descend(probe) + [build]
+
+    return [by_scheme[tuple(sorted(n.scheme.names))] for n in descend(node)]

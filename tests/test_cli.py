@@ -125,6 +125,32 @@ class TestCommands:
         assert "peak live rows" in output
         assert "scan R" in output
 
+    def test_engine_explain_paper_adaptive_reports_replans_and_qerror(self, capsys):
+        assert main(["engine-explain", "--paper", "--adaptive"]) == 0
+        output = capsys.readouterr().out
+        assert "reservoir samples" in output
+        assert "mid-stream re-plan(s)" in output
+        assert "mean estimate q-error" in output
+
+    def test_engine_explain_adaptive_without_data_notes_the_limit(self, capsys):
+        assert (
+            main(
+                [
+                    "engine-explain",
+                    "project[A](R * S)",
+                    "--scheme",
+                    "R=A B",
+                    "--scheme",
+                    "S=B C",
+                    "--adaptive",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "sampled statistics need data" in output
+        assert "hash join" in output
+
     def test_engine_explain_memory_budget_plans_grace_joins(self, capsys):
         assert (
             main(

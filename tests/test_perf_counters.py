@@ -30,6 +30,12 @@ class TestSnapshotSemantics:
             "spill_rows",
             "spill_recursions",
             "spill_overflows",
+            "sample_builds",
+            "adaptive_replans",
+            "adaptive_giveups",
+            "qerror_observations",
+            "qerror_total_milli",
+            "qerror_max_milli",
         }
         assert all(value == 0 for value in snapshot.values())
 
