@@ -45,7 +45,13 @@ from typing import Callable, Dict, List
 
 from repro.algebra import Relation, naive_natural_join, naive_project
 from repro.api import Session
-from repro.engine import AdaptiveConfig, EngineEvaluator, default_backend
+from repro.engine import (
+    AdaptiveConfig,
+    EngineEvaluator,
+    MemoryBudget,
+    PlannerConfig,
+    default_backend,
+)
 from repro.expressions import (
     InstrumentedEvaluator,
     OptimizedEvaluator,
@@ -94,6 +100,19 @@ MIN_PARALLEL_SPEEDUP = 1.5
 #: facade over calling the pinned backend evaluator directly.
 SERVING_QUERIES = 8
 SERVING_MAX_OVERHEAD = 1.05
+
+#: Robustness parameters (the total-spill memory model at m=12).  The
+#: *gated* budget re-runs the spill scenario with the PR 6 machinery
+#: (spilling dedup alongside the Grace joins) and enforces the runtime
+#: price of spilling; the *tiny* budget — a sixth of the engine's natural
+#: m=12 footprint (~393 live rows) — and the prefer-merge external-sort
+#: leg assert the zero-overflow contract where every operator class must
+#: spill, with their runtime recorded unguarded (at that scarcity ~10 of
+#: 11 joins spill and every sort fragments into budget-sized runs; the
+#: differential fuzz grid pushes the same contract down to 4-row budgets).
+ROBUSTNESS_GATE_BUDGET_ROWS = 256
+ROBUSTNESS_TINY_BUDGET_ROWS = 64
+MAX_ROBUSTNESS_RUNTIME_RATIO = 1.5
 
 #: Adaptive-estimation parameters: the clause counts whose
 #: greedy-with-sampling ordering is compared against the actual-size greedy
@@ -404,6 +423,159 @@ def run_spill_parallel_benchmark(
     _merge_into_document({"spill": spill_section, "parallel": parallel_section})
     print(f"spill/parallel sections -> {OUTPUT_PATH}")
     return {"spill": spill_section, "parallel": parallel_section}
+
+
+def _spill_activity(delta: Dict) -> Dict:
+    """The spill/robustness counters of one evaluation's delta."""
+    names = (
+        "join_spills",
+        "spill_rows",
+        "spill_recursions",
+        "spill_overflows",
+        "join_chunk_passes",
+        "sort_spills",
+        "dedup_spills",
+        "checkpoint_spills",
+        "spill_retries",
+    )
+    return {name: delta[name] for name in names}
+
+
+def run_robustness_benchmark(
+    clause_count: int = 12,
+    gate_budget_rows: int = ROBUSTNESS_GATE_BUDGET_ROWS,
+    tiny_budget_rows: int = ROBUSTNESS_TINY_BUDGET_ROWS,
+) -> Dict:
+    """The total-spill memory model at m=12: zero overflows, priced runtime.
+
+    Appends a ``robustness`` section to ``BENCH_algebra.json`` with three
+    legs, each checked set-equal against the unbudgeted engine before
+    anything is timed:
+
+    * the **gated** leg re-runs the m=12 spill scenario at
+      ``gate_budget_rows`` with the total-spill machinery engaged (the
+      dedup seen-sets now spill alongside the Grace joins) and gates its
+      runtime at ``MAX_ROBUSTNESS_RUNTIME_RATIO`` of the unbudgeted run;
+    * the **tiny** leg squeezes the same query to ``tiny_budget_rows`` —
+      a sixth of the engine's natural footprint, where most of the join
+      cascade spills — asserting the zero-overflow contract with the
+      runtime ratio recorded unguarded (re-streaming nearly every probe
+      through disk is the documented price of that scarcity);
+    * the **external-sort** leg forces the prefer-merge plan under the
+      tiny budget, so every ``Sort`` in the cascade runs externally
+      (spilled runs + k-way merge) while sharing one meter.
+    """
+    counters = kernel_counters()
+    label, query, relation = next(iter(_blowup_instances((clause_count,))))
+    bound = {name: relation for name in query.operand_names()}
+
+    serial = EngineEvaluator()
+    serial_result, serial_trace = serial.evaluate(query, bound)
+
+    def budgeted_run(rows: int, prefer_merge: bool = False):
+        budget = MemoryBudget(rows=rows, min_partition_rows=2)
+        config = PlannerConfig(prefer_merge=prefer_merge, budget=budget)
+        evaluator = EngineEvaluator(config)
+        before = counters.snapshot()
+        result, trace = evaluator.evaluate(query, bound)
+        activity = _spill_activity(counters.delta_since(before))
+        if result != serial_result:
+            raise AssertionError(
+                f"budget={rows} prefer_merge={prefer_merge} engine "
+                f"disagreement on {label}"
+            )
+        return evaluator, trace, activity
+
+    gated, gated_trace, gated_activity = budgeted_run(gate_budget_rows)
+    unbudgeted_seconds, gated_seconds = _best_of_interleaved(
+        lambda: serial.evaluate(query, bound),
+        lambda: gated.evaluate(query, bound),
+    )
+    gated_leg = {
+        "budget_rows": gate_budget_rows,
+        "peak_live_rows": gated_trace.peak_live_rows,
+        "unbudgeted_peak_live_rows": serial_trace.peak_live_rows,
+        "unbudgeted_seconds": round(unbudgeted_seconds, 6),
+        "budgeted_seconds": round(gated_seconds, 6),
+        "runtime_ratio": round(gated_seconds / unbudgeted_seconds, 3),
+        **gated_activity,
+    }
+
+    tiny, tiny_trace, tiny_activity = budgeted_run(tiny_budget_rows)
+    tiny_serial_seconds, tiny_seconds = _best_of_interleaved(
+        lambda: serial.evaluate(query, bound),
+        lambda: tiny.evaluate(query, bound),
+        rounds=3,
+    )
+    tiny_leg = {
+        "budget_rows": tiny_budget_rows,
+        "peak_live_rows": tiny_trace.peak_live_rows,
+        "runtime_ratio": round(tiny_seconds / tiny_serial_seconds, 3),
+        **tiny_activity,
+    }
+
+    _, sort_trace, sort_activity = budgeted_run(tiny_budget_rows, prefer_merge=True)
+    sort_leg = {
+        "budget_rows": tiny_budget_rows,
+        "peak_live_rows": sort_trace.peak_live_rows,
+        **sort_activity,
+    }
+
+    section = {
+        "description": (
+            "total-spill memory model on the R_G m=12 workload: gated "
+            "runtime at the spill budget, zero-overflow contract down to "
+            "a sixth of the engine's natural footprint (hash and "
+            "prefer-merge plans; the differential fuzz grid extends the "
+            "same contract to 4-row budgets)"
+        ),
+        "case": label,
+        "max_runtime_ratio": MAX_ROBUSTNESS_RUNTIME_RATIO,
+        "gated": gated_leg,
+        "tiny": tiny_leg,
+        "external_sort": sort_leg,
+    }
+    for name, leg in (("gated", gated_leg), ("tiny", tiny_leg), ("sort", sort_leg)):
+        ratio = leg.get("runtime_ratio")
+        print(
+            f"{label:>14}  {name:>5} budget {leg['budget_rows']:>4}: "
+            f"live {leg['peak_live_rows']:>4}, "
+            f"{leg['join_spills']} join / {leg['dedup_spills']} dedup / "
+            f"{leg['sort_spills']} sort spills, "
+            f"{leg['spill_overflows']} overflows"
+            + (f", runtime {ratio:.2f}x" if ratio is not None else "")
+        )
+    _merge_into_document({"robustness": section})
+    print(f"robustness section -> {OUTPUT_PATH}")
+    return section
+
+
+def _check_robustness(section: Dict) -> None:
+    """The robustness gate shared by pytest and the standalone sweep."""
+    for name in ("gated", "tiny", "external_sort"):
+        leg = section[name]
+        assert leg["spill_overflows"] == 0, (
+            f"robustness {name} leg counted {leg['spill_overflows']} "
+            "spill overflows — the total-spill contract is broken"
+        )
+    gated = section["gated"]
+    assert gated["join_spills"] > 0 and gated["spill_rows"] > 0
+    assert gated["dedup_spills"] >= 1, (
+        "the gated leg must exercise the spilling dedup path"
+    )
+    assert gated["runtime_ratio"] <= section["max_runtime_ratio"], (
+        f"total-spill runtime {gated['runtime_ratio']}x exceeds "
+        f"{section['max_runtime_ratio']}x of the unbudgeted engine at "
+        f"budget {gated['budget_rows']}"
+    )
+    tiny = section["tiny"]
+    assert tiny["join_spills"] >= 5, (
+        "the tiny budget must force most of the join cascade to spill"
+    )
+    sort_leg = section["external_sort"]
+    assert sort_leg["sort_spills"] >= 1, (
+        "the prefer-merge leg must run at least one external sort"
+    )
 
 
 def _serving_workload(num_queries: int = SERVING_QUERIES):
@@ -780,6 +952,33 @@ def test_engine_spill_and_parallel_probe(emit_result):
     _check_spill_parallel(sections)
 
 
+def test_engine_robustness_total_spill(emit_result):
+    """The robustness gate: at m=12 every leg of the total-spill memory
+    model — Grace joins + spilling dedup at the gate budget, the whole
+    cascade at a sixth of the engine's natural footprint, and the
+    prefer-merge plan's external sorts — stays set-equal with zero
+    ``spill_overflows``, and the gated leg's runtime stays within 1.5x of
+    the unbudgeted engine."""
+    section = run_robustness_benchmark()
+    lines = []
+    for name in ("gated", "tiny", "external_sort"):
+        leg = section[name]
+        ratio = leg.get("runtime_ratio")
+        lines.append(
+            f"{name:>13}  budget {leg['budget_rows']:>4}  "
+            f"live {leg['peak_live_rows']:>4}  "
+            f"spills j{leg['join_spills']}/d{leg['dedup_spills']}/"
+            f"s{leg['sort_spills']}  overflows {leg['spill_overflows']}"
+            + (f"  runtime {ratio:>5.2f}x" if ratio is not None else "")
+        )
+    emit_result(
+        "BENCH-robustness",
+        "total-spill memory model: zero overflows + priced runtime (R_G m=12)",
+        "\n".join(lines),
+    )
+    _check_robustness(section)
+
+
 def test_adaptive_estimation_quality(emit_result):
     """The adaptive gate: greedy-with-sampling ordering stays within 3.5x of
     the actual-size oracle at m=12 and m=14 (the instance the backoff
@@ -823,6 +1022,12 @@ if __name__ == "__main__":
         _check_spill_parallel(spill_parallel)
     except AssertionError as failure:
         print(f"spill/parallel gate failed: {failure}")
+        engine_ok = False
+    robustness_section = run_robustness_benchmark()
+    try:
+        _check_robustness(robustness_section)
+    except AssertionError as failure:
+        print(f"robustness gate failed: {failure}")
         engine_ok = False
     serving_section = run_serving_benchmark()
     try:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Optional, Union
 
+from ..engine.faults import FaultPlan
 from ..engine.physical import MemoryBudget
 from ..engine.sampling import AdaptiveConfig
 from .errors import SessionError, UnknownBackendError
@@ -61,6 +62,13 @@ class BackendConfig:
         whose observed cardinality blows past its estimate checkpoints and
         resumes on a re-costed join order (``session.stats()["replans"]``
         counts it; invalidation replans re-sample the fresh relations).
+    ``faults``
+        A :class:`~repro.engine.faults.FaultPlan` chaos schedule for the
+        engine backend: spill I/O failures, a worker kill, checkpoint-cap
+        pressure.  The engine either recovers (retries, pool rebuild, loud
+        serial fallback) or raises a typed
+        :class:`~repro.engine.faults.EngineFaultError` — never a silent
+        wrong answer.  ``None`` (the default) injects nothing.
     """
 
     backend: str = "engine"
@@ -71,6 +79,7 @@ class BackendConfig:
     prefer_merge: bool = False
     max_pools: int = 8
     adaptive: Union[AdaptiveConfig, bool, None] = None
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self):
         """Validate the backend name and knob ranges; coerce budget/adaptive."""
@@ -88,6 +97,10 @@ class BackendConfig:
             raise SessionError(str(error)) from error
         if adaptive is not self.adaptive:
             object.__setattr__(self, "adaptive", adaptive)
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise SessionError(
+                f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
+            )
 
     def override(self, **changes) -> "BackendConfig":
         """A copy with ``changes`` applied (validated like the constructor)."""

@@ -57,6 +57,7 @@ _COUNTER_NAMES = (
     "invalidations",
     "invalidation_replans",
     "replans",
+    "serial_fallbacks",
 )
 
 
@@ -306,6 +307,7 @@ class Session:
                         parallel_backend=self.config.parallel_backend,
                         max_pools=self.config.max_pools,
                         adaptive=self.config.adaptive,
+                        faults=self.config.faults,
                     )
                     self._engine_evaluator = engine
         return engine
@@ -334,11 +336,13 @@ class Session:
     ) -> Tuple[Relation, UnifiedTrace]:
         if backend == "engine":
             relation, trace = self._engine.evaluate(expression, bound)
-            if trace.replans:
-                # Mid-stream re-plans (adaptive mode) are serving events:
-                # surface them next to the prepare/invalidation counters.
+            if trace.replans or trace.serial_fallbacks:
+                # Mid-stream re-plans (adaptive mode) and parallel-to-serial
+                # degradations are serving events: surface them next to the
+                # prepare/invalidation counters.
                 with self._state_lock:
                     self._counters["replans"] += trace.replans
+                    self._counters["serial_fallbacks"] += trace.serial_fallbacks
             return relation, UnifiedTrace.from_backend("engine", trace)
         if backend == "optimized":
             relation, trace = self._optimized.evaluate(
@@ -370,8 +374,9 @@ class Session:
         that reused a pinned plan; ``registry_hits`` counts ``prepare``
         calls answered from the registry; ``replans`` counts the adaptive
         engine's mid-stream re-plans (0 unless the config sets
-        ``adaptive``).  ``open_pools`` reports the engine's warm fork-probe
-        pools.
+        ``adaptive``); ``serial_fallbacks`` counts loud parallel-to-serial
+        degradations (each also warned and recorded on the trace).
+        ``open_pools`` reports the engine's warm fork-probe pools.
         """
         with self._state_lock:
             snapshot = dict(self._counters)

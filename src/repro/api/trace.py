@@ -82,6 +82,12 @@ class UnifiedTrace:
     #: Mid-stream re-plans performed during the evaluation (adaptive engine
     #: executions only; 0 everywhere else).
     replans: int = 0
+    #: Parallel executions that degraded to the serial path after recovery
+    #: failed (engine backend only; every one is also warned and listed in
+    #: :attr:`degradations` — degradation is never silent).
+    serial_fallbacks: int = 0
+    #: Human-readable reasons for every degradation the evaluation absorbed.
+    degradations: List[str] = field(default_factory=list)
     #: The wrapped backend trace, kept for the deprecation shim; ``None``
     #: when the backend produced no trace (the plain naive evaluator).
     raw: Optional[EvaluationTrace] = field(default=None, repr=False, compare=False)
@@ -98,6 +104,8 @@ class UnifiedTrace:
             peak_live_rows=trace.peak_live_rows,
             peak_build_rows=trace.peak_build_rows,
             replans=getattr(trace, "replans", 0),
+            serial_fallbacks=getattr(trace, "serial_fallbacks", 0),
+            degradations=list(getattr(trace, "degradations", ())),
             raw=trace,
         )
 
@@ -151,6 +159,7 @@ class UnifiedTrace:
             "peak_live_rows": float(self.peak_live_rows),
             "peak_build_rows": float(self.peak_build_rows),
             "replans": float(self.replans),
+            "serial_fallbacks": float(self.serial_fallbacks),
             "total_intermediate_tuples": float(self.total_intermediate_tuples),
         }
 

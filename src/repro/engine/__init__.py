@@ -28,6 +28,13 @@ algebra kernel (PR 1):
     assumption, GEE distinct-count scale-up, and the
     :class:`AdaptiveConfig` knobs for mid-stream re-planning
     (``EngineEvaluator(adaptive=…)``).
+``repro.engine.faults``
+    Deterministic fault injection: :class:`FaultPlan` schedules spill I/O
+    failures, worker kills, and checkpoint-cap pressure;
+    :class:`FaultInjector` fires them per evaluation.  Every operator
+    either recovers (bounded spill retries, pool rebuild, loud serial
+    fallback) or raises a typed :class:`EngineFaultError` with full
+    cleanup — never a silent wrong answer.
 ``repro.engine.evaluator``
     :class:`EngineEvaluator` — the streaming counterpart of
     :class:`~repro.expressions.optimizer.OptimizedEvaluator`, pinning one
@@ -39,6 +46,7 @@ See ``docs/ENGINE.md`` for the operator contract and invariants.
 """
 
 from .evaluator import EngineEvaluator
+from .faults import EngineFaultError, FaultInjector, FaultPlan, InjectedFaultError
 from .parallel import (
     ForkProbePool,
     ParallelExecutionError,
@@ -49,6 +57,7 @@ from .parallel import (
 from .physical import (
     BLOCK_ROWS,
     SPILL_BLOCK_ROWS,
+    SPILL_IO_RETRIES,
     AdaptiveGuard,
     GraceHashJoin,
     HashJoin,
@@ -59,7 +68,9 @@ from .physical import (
     PhysicalOperator,
     ReplanTriggered,
     Sort,
+    SpilledCheckpoint,
     SpillFile,
+    SpillingSeenSet,
     StreamingDifference,
     StreamingProject,
     StreamingUnion,
@@ -86,8 +97,13 @@ from .stats import (
 
 __all__ = [
     "EngineEvaluator",
+    "EngineFaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFaultError",
     "BLOCK_ROWS",
     "SPILL_BLOCK_ROWS",
+    "SPILL_IO_RETRIES",
     "AdaptiveConfig",
     "AdaptiveGuard",
     "MemoryBudget",
@@ -95,7 +111,9 @@ __all__ = [
     "ReplanTriggered",
     "Sample",
     "SampledRelationStats",
+    "SpilledCheckpoint",
     "SpillFile",
+    "SpillingSeenSet",
     "PhysicalOperator",
     "TableScan",
     "PartitionedScan",

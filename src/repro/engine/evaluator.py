@@ -24,8 +24,11 @@ Two execution knobs extend the PR 2 engine:
 * ``workers`` partitions the plan's driving probe scan across a worker
   pool (:mod:`repro.engine.parallel`), executing one pinned plan
   concurrently.  The merged output is set-equal to serial execution; if
-  the pool cannot deliver (fork unavailable, unpicklable rows) evaluation
-  silently falls back to serial, which is always correct.
+  the pool cannot deliver (fork unavailable, unpicklable rows, a dead
+  worker) the fork backend rebuilds the pool once (``pool_recoveries``),
+  and beyond that evaluation falls back to serial — always correct, and
+  never silent: the fallback is counted (``serial_fallbacks``), warned
+  (``RuntimeWarning``), and recorded on the trace's ``degradations``.
 
 Plans are **pinned per expression**: the first evaluation plans against the
 bound relations' statistics catalog and stores the plan (with every compiled
@@ -42,6 +45,7 @@ either way.
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import replace
 from typing import Dict, List, Mapping, Optional, Set, Tuple
@@ -56,6 +60,7 @@ from ..expressions.evaluator import (
     bind_arguments,
 )
 from ..perf.counters import kernel_counters
+from .faults import FaultInjector, FaultPlan
 from .parallel import (
     ForkProbePool,
     ParallelExecutionError,
@@ -70,6 +75,7 @@ from .physical import (
     MemoryMeter,
     PhysicalOperator,
     ReplanTriggered,
+    SpilledCheckpoint,
 )
 from .planner import PhysicalPlan, PlanNode, Planner, PlannerConfig
 from .sampling import AdaptiveConfig, q_error, sampled_stats
@@ -103,6 +109,7 @@ class EngineEvaluator:
         parallel_backend: Optional[str] = None,
         max_pools: int = 1,
         adaptive: "AdaptiveConfig | bool | None" = None,
+        faults: Optional[FaultPlan] = None,
     ):
         """Create an evaluator.
 
@@ -129,6 +136,14 @@ class EngineEvaluator:
         resumes on the revised plan (``trace.replans`` counts it).
         Parallel executions use the sampled-statistics plan but never
         re-plan mid-stream (the pool pins one plan per fork).
+
+        ``faults`` is an optional
+        :class:`~repro.engine.faults.FaultPlan`: each evaluation then runs
+        with a fresh deterministic
+        :class:`~repro.engine.faults.FaultInjector` that fails spill I/O,
+        kills parallel workers, or forces checkpoint-cap pressure at the
+        scheduled points — the chaos harness for the engine's recovery
+        contracts.
         """
         base = config or PlannerConfig()
         coerced = MemoryBudget.coerce(budget)
@@ -138,6 +153,9 @@ class EngineEvaluator:
             base = replace(base, workers=max(int(workers), 1))
         self.config = base
         self.adaptive = AdaptiveConfig.coerce(adaptive)
+        if faults is not None and not isinstance(faults, FaultPlan):
+            raise TypeError(f"faults must be a FaultPlan or None, got {faults!r}")
+        self.faults = faults
         self._planner = Planner(base)
         self._pin_plans = pin_plans
         self._plans: Dict[Expression, PhysicalPlan] = {}
@@ -201,6 +219,7 @@ class EngineEvaluator:
         bound: Mapping[str, Relation],
         workers: int,
         budget_rows: Optional[int],
+        faults: Optional[FaultPlan] = None,
     ) -> ForkProbePool:
         """The cached pool for this exact bound plan, forked on first use.
 
@@ -208,14 +227,16 @@ class EngineEvaluator:
         LRU order with at most ``max_pools`` warm: serving mixed query
         traffic keeps each query's pool alive between its executions, while
         plan churn beyond the cap closes the coldest pool instead of leaking
-        its forked children.
+        its forked children.  ``faults`` is only threaded into a *freshly*
+        forked pool (a cached pool keeps the injection state it was born
+        with — rebuilding after an injected death must not re-inject).
         """
         key = self._pool_key(plan, bound, workers, budget_rows)
         entry = self._pools.get(key)
         if entry is not None:
             self._pools.move_to_end(key)
             return entry[-1]
-        pool = ForkProbePool(plan, dict(bound), workers, budget_rows)
+        pool = ForkProbePool(plan, dict(bound), workers, budget_rows, faults=faults)
         self._pools[key] = (plan, tuple(bound.items()), workers, budget_rows, pool)
         while len(self._pools) > self._max_pools:
             _, evicted = self._pools.popitem(last=False)
@@ -348,39 +369,20 @@ class EngineEvaluator:
 
         budget = self.config.budget
         budget_rows = budget.rows if budget is not None else None
-        meter = MemoryMeter(budget_rows)
+        faults = self.faults
+        injector = (
+            FaultInjector(faults)
+            if faults is not None and faults.injects_anything
+            else None
+        )
+        meter = MemoryMeter(budget_rows, faults=injector)
         workers = self._effective_workers(plan, bound)
         parallel = None
         if workers > 1:
             backend = self._parallel_backend or default_backend()
-            try:
-                if backend == "fork":
-                    # Serialised on the pool lock: each pool is one pinned
-                    # set of workers, not a queue (concurrent fork-backend
-                    # evaluations take turns; the thread backend does not).
-                    with self._pool_lock:
-                        pool = self._pool_for(plan, bound, workers, budget_rows)
-                        parallel = pool.run()
-                else:
-                    parallel = execute_parallel(
-                        plan,
-                        bound,
-                        workers,
-                        meter,
-                        budget_rows=budget_rows,
-                        backend=backend,
-                    )
-            except (ParallelExecutionError, OSError):
-                # OSError covers fork itself failing (EAGAIN/ENOMEM under
-                # pressure — exactly the regime a budgeted engine targets).
-                if backend == "fork":
-                    with self._pool_lock:
-                        self._drop_pool(plan, bound, workers, budget_rows)
-                parallel = None  # serial below — always correct
-                # An aborted thread-backend attempt may have left its
-                # acquisitions on the meter; the serial run gets a fresh one
-                # so phantom rows cannot eat the budget or inflate the peak.
-                meter = MemoryMeter(budget_rows)
+            parallel, meter = self._execute_parallel(
+                plan, bound, workers, budget_rows, backend, meter, injector, trace, counters
+            )
 
         if parallel is not None:
             rows: Set[Tuple] = parallel.rows
@@ -425,6 +427,85 @@ class EngineEvaluator:
         trace.kernel_activity = counters.delta_since(before)
         trace.result_cardinality = len(result)
         return result, trace
+
+    def _execute_parallel(
+        self,
+        plan: PhysicalPlan,
+        bound: Mapping[str, Relation],
+        workers: int,
+        budget_rows: Optional[int],
+        backend: str,
+        meter: MemoryMeter,
+        injector: Optional[FaultInjector],
+        trace: EvaluationTrace,
+        counters,
+    ):
+        """Run the parallel probe stage, recovering or degrading *loudly*.
+
+        Returns ``(parallel_result_or_None, meter)``.  On the fork backend a
+        failed pool is dropped and rebuilt exactly once — a worker death is
+        usually a process-level accident (OOM kill, injected fault), and a
+        fresh fork of the same pinned plan recovers it
+        (``pool_recoveries``).  If the rebuilt pool fails too, or the thread
+        backend fails at all, execution degrades to serial — always
+        correct, but never silent: the ``serial_fallbacks`` counter records
+        it, a ``RuntimeWarning`` names the exception, and the trace carries
+        a degradation event that :class:`repro.api.trace.UnifiedTrace` and
+        ``Session.stats()`` surface.
+        """
+        rebuilt = False
+        while True:
+            try:
+                if backend == "fork":
+                    # Serialised on the pool lock: each pool is one pinned
+                    # set of workers, not a queue (concurrent fork-backend
+                    # evaluations take turns; the thread backend does not).
+                    with self._pool_lock:
+                        pool = self._pool_for(
+                            plan,
+                            bound,
+                            workers,
+                            budget_rows,
+                            # A rebuilt pool must not re-inject the worker
+                            # kill that just destroyed its predecessor.
+                            faults=None if rebuilt else self.faults,
+                        )
+                        result = pool.run()
+                else:
+                    result = execute_parallel(
+                        plan,
+                        bound,
+                        workers,
+                        meter,
+                        budget_rows=budget_rows,
+                        backend=backend,
+                        faults=None if rebuilt else self.faults,
+                    )
+                if rebuilt:
+                    counters.add(pool_recoveries=1)
+                return result, meter
+            except (ParallelExecutionError, OSError) as error:
+                # OSError covers fork itself failing (EAGAIN/ENOMEM under
+                # pressure — exactly the regime a budgeted engine targets).
+                if backend == "fork":
+                    with self._pool_lock:
+                        self._drop_pool(plan, bound, workers, budget_rows)
+                    if not rebuilt:
+                        rebuilt = True
+                        continue
+                counters.add(serial_fallbacks=1)
+                reason = f"{type(error).__name__}: {error}"
+                trace.serial_fallbacks += 1
+                trace.degradations.append(f"serial-fallback: {reason}")
+                warnings.warn(
+                    f"parallel execution degraded to serial ({reason})",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                # An aborted thread-backend attempt may have left its
+                # acquisitions on the meter; the serial run gets a fresh one
+                # so phantom rows cannot eat the budget or inflate the peak.
+                return None, MemoryMeter(budget_rows, faults=injector)
 
     # -- adaptive execution (sampled stats + mid-stream re-planning) ----
 
@@ -506,7 +587,7 @@ class EngineEvaluator:
         adaptive = self.adaptive
         counters = kernel_counters()
         current = plan
-        checkpoints: Dict[str, Relation] = {}
+        checkpoints: Dict[str, object] = {}
         replans = 0
         aborted_build_peak = 0
         give_up = False
@@ -552,27 +633,39 @@ class EngineEvaluator:
                     replans += 1
                     counters.add(adaptive_replans=1)
         finally:
-            meter.release(sum(len(ckpt) for ckpt in checkpoints.values()))
+            for ckpt in checkpoints.values():
+                if isinstance(ckpt, SpilledCheckpoint):
+                    ckpt.close()  # on disk, never metered
+                else:
+                    meter.release(len(ckpt))
 
     def _revise_plan(
         self,
         plan: PhysicalPlan,
         trigger_node: Optional[PlanNode],
         bindings: Mapping[str, Relation],
-        checkpoints: Dict[str, Relation],
+        checkpoints: Dict[str, object],
         meter: MemoryMeter,
     ) -> Optional[PhysicalPlan]:
         """Checkpoint at the triggering join and re-cost the remaining order.
 
         Returns the revised plan, or ``None`` when the re-plan cannot be
-        carried out (checkpoint too large, or the trigger fell outside the
-        current chain) — the caller then completes the current plan
-        unguarded.  On success the materialised checkpoint is added to
-        ``checkpoints`` (and acquired on the meter) under a fresh
-        ``__checkpoint_N__`` binding that the revised plan's chain starts
-        from.
+        carried out (trigger outside the current chain, or — unbudgeted —
+        a checkpoint past its row cap) — the caller then completes the
+        current plan unguarded.  On success the materialised checkpoint is
+        added to ``checkpoints`` under a fresh ``__checkpoint_N__`` binding
+        that the revised plan's chain starts from: in metered memory when
+        it fits the budget and the row cap, and as a disk-backed
+        :class:`~repro.engine.physical.SpilledCheckpoint` otherwise
+        (``checkpoint_spills``) — under a budget, cap pressure spills
+        instead of giving up or overrunning the meter.
         """
         adaptive = self.adaptive
+        budget = self.config.budget
+        cap = adaptive.checkpoint_cap_rows
+        if self.faults is not None and self.faults.checkpoint_cap_rows is not None:
+            cap = self.faults.checkpoint_cap_rows
+            kernel_counters().add(fault_injected=1)
         stack, chain = self._spine(plan.root)
         if trigger_node is None or all(node is not trigger_node for node in chain):
             return None
@@ -583,17 +676,24 @@ class EngineEvaluator:
                 break
         probe_node = trigger_node.children[trigger_node.probe_child_index()]
         rows = self._materialize(
-            probe_node, bindings, meter, adaptive.checkpoint_cap_rows
+            probe_node, bindings, meter, None if budget is not None else cap
         )
         if rows is None:
             return None
         name = f"__checkpoint_{len(checkpoints) + 1}__"
-        checkpoint = Relation._from_trusted(probe_node.scheme, frozenset(rows))
-        meter.acquire(len(checkpoint))
-        if meter.budget is not None and meter.current > meter.budget:
-            # The checkpoint is metered-but-unspillable state (like dedup
-            # seen-sets): a budget overrun here is recorded, never masked.
-            kernel_counters().add(spill_overflows=1)
+        if budget is not None and (len(rows) > cap or not meter.try_acquire(len(rows))):
+            spilled = SpilledCheckpoint(
+                probe_node.scheme, name, budget, faults=meter.faults
+            )
+            for row in rows:
+                spilled.append(row)
+            spilled.finish()
+            kernel_counters().add(checkpoint_spills=1)
+            checkpoint: object = spilled
+        else:
+            if budget is None:
+                meter.acquire(len(rows))
+            checkpoint = Relation._from_trusted(probe_node.scheme, frozenset(rows))
         checkpoints[name] = checkpoint
         checkpoint_node = PlanNode(
             kind="scan",
@@ -636,9 +736,15 @@ class EngineEvaluator:
         node: PlanNode,
         bindings: Mapping[str, Relation],
         meter: MemoryMeter,
-        cap: int,
+        cap: Optional[int],
     ) -> "Optional[Set[Tuple]]":
-        """Drain a plan subtree into a row set (metered), or ``None`` past ``cap``."""
+        """Drain a plan subtree into a row set (metered), or ``None`` past ``cap``.
+
+        ``cap=None`` never aborts — the budgeted checkpoint path drains the
+        whole subtree and decides afterwards whether the result lives in
+        metered memory or spills to disk; the rows are metered only while
+        this drain is in flight.
+        """
         root = node.instantiate(bindings, meter)
         rows: Set[Tuple] = set()
         size = 0
@@ -647,7 +753,7 @@ class EngineEvaluator:
             for block in blocks:
                 rows.update(block)
                 grown = len(rows)
-                if grown > cap:
+                if cap is not None and grown > cap:
                     blocks.close()
                     return None
                 if grown != size:

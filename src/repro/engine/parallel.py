@@ -38,12 +38,14 @@ Two backends:
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..perf.counters import kernel_counters
+from .faults import FaultPlan, InjectedFaultError
 from .physical import MemoryMeter, PhysicalOperator
 
 __all__ = [
@@ -162,12 +164,24 @@ def _merge(
 # -- thread backend ----------------------------------------------------
 
 
-def _run_threads(plan, bindings, meter: MemoryMeter, workers: int) -> ParallelResult:
+def _run_threads(
+    plan,
+    bindings,
+    meter: MemoryMeter,
+    workers: int,
+    faults: Optional[FaultPlan] = None,
+) -> ParallelResult:
     outcomes: List[Optional[Tuple[Set[tuple], List[int], int]]] = [None] * workers
     errors: List[BaseException] = []
 
     def work(index: int) -> None:
         try:
+            if faults is not None and faults.kill_worker == index:
+                # The thread analogue of a worker death: the worker fails
+                # mid-probe and the pool-level error handling must degrade
+                # loudly (serial fallback), never return a partial result.
+                _COUNTERS.add(fault_injected=1)
+                raise InjectedFaultError(f"injected death of probe worker {index}")
             root = plan.executor(bindings, meter, probe_slice=(index, workers))
             rows = drain_metered(root, meter)
             outcomes[index] = (rows, _step_rows(root), _build_peak(root))
@@ -212,7 +226,9 @@ def _run_threads(plan, bindings, meter: MemoryMeter, workers: int) -> ParallelRe
 # -- fork backend ------------------------------------------------------
 
 
-def _pool_worker(plan, bindings, budget_rows, index, count, connection) -> None:
+def _pool_worker(
+    plan, bindings, budget_rows, index, count, connection, faults=None
+) -> None:
     """One pinned worker: serve ``run`` requests over a pipe until closed.
 
     Forked from the parent, so the plan and bindings are inherited
@@ -221,6 +237,11 @@ def _pool_worker(plan, bindings, budget_rows, index, count, connection) -> None:
     cardinalities, counter deltas).  Pickling the rows is the one thing
     that can fail for exotic values — the error is reported so the parent
     can fall back to serial.
+
+    ``faults`` (a :class:`~repro.engine.faults.FaultPlan`) can schedule this
+    worker's death: it hard-exits mid-probe without reporting — the real
+    shape of an OOM kill — so the parent's liveness polling, pool rebuild,
+    and serial fallback are exercised end to end.
     """
     try:
         while True:
@@ -230,6 +251,8 @@ def _pool_worker(plan, bindings, budget_rows, index, count, connection) -> None:
                 break
             if command != "run":
                 break
+            if faults is not None and faults.kill_worker == index:
+                os._exit(1)  # no report, no cleanup: a genuine worker death
             try:
                 counters = kernel_counters()
                 before = counters.snapshot()
@@ -270,7 +293,14 @@ class ForkProbePool:
     #: Seconds a worker may spend on one slice before the pool gives up.
     RUN_TIMEOUT = 300.0
 
-    def __init__(self, plan, bindings: Mapping, workers: int, budget_rows: Optional[int]):
+    def __init__(
+        self,
+        plan,
+        bindings: Mapping,
+        workers: int,
+        budget_rows: Optional[int],
+        faults: Optional[FaultPlan] = None,
+    ):
         try:
             context = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - platform-dependent
@@ -283,7 +313,7 @@ class ForkProbePool:
                 parent_end, child_end = context.Pipe()
                 process = context.Process(
                     target=_pool_worker,
-                    args=(plan, bindings, budget_rows, index, workers, child_end),
+                    args=(plan, bindings, budget_rows, index, workers, child_end, faults),
                     daemon=True,
                 )
                 process.start()
@@ -366,14 +396,17 @@ def execute_parallel(
     budget_rows: Optional[int] = None,
     backend: Optional[str] = None,
     pool: Optional[ForkProbePool] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> ParallelResult:
     """Execute ``plan`` with a ``workers``-way partitioned probe scan.
 
     ``pool`` reuses a persistent :class:`ForkProbePool` (the evaluator's
     steady-state path); without one, the fork backend pays a one-shot pool.
-    Raises :class:`ParallelExecutionError` when the pool cannot deliver
-    (fork unavailable, a worker died, result rows unpicklable) — the caller
-    is expected to fall back to serial execution, which is always correct.
+    ``faults`` schedules injected worker deaths (ignored for a reused
+    ``pool``, which carries its own plan from construction).  Raises
+    :class:`ParallelExecutionError` when the pool cannot deliver (fork
+    unavailable, a worker died, result rows unpicklable) — the caller is
+    expected to fall back to serial execution, which is always correct.
     """
     if workers < 2:
         raise ValueError("execute_parallel needs at least 2 workers")
@@ -381,7 +414,7 @@ def execute_parallel(
     if chosen == "fork":
         if pool is not None:
             return pool.run()
-        one_shot = ForkProbePool(plan, bindings, workers, budget_rows)
+        one_shot = ForkProbePool(plan, bindings, workers, budget_rows, faults=faults)
         try:
             return one_shot.run()
         finally:
@@ -392,5 +425,5 @@ def execute_parallel(
         # silently dropped.
         if budget_rows is not None and meter.budget != budget_rows:
             meter.budget = budget_rows
-        return _run_threads(plan, bindings, meter, workers)
+        return _run_threads(plan, bindings, meter, workers, faults=faults)
     raise ValueError(f"unknown parallel backend {chosen!r}")

@@ -25,11 +25,14 @@ The iterator contract (see ``docs/ENGINE.md``):
 
 from __future__ import annotations
 
+import atexit
+import heapq
 import os
 import pickle
 import shutil
 import tempfile
 import threading
+import time
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -45,16 +48,20 @@ from typing import (
 
 from ..perf.counters import kernel_counters
 from ..perf.plancache import JoinPlan, make_key_picker
+from .faults import EngineFaultError
 from .stats import RelationStats
 
 __all__ = [
     "BLOCK_ROWS",
     "SPILL_BLOCK_ROWS",
+    "SPILL_IO_RETRIES",
     "AdaptiveGuard",
     "MemoryBudget",
     "MemoryMeter",
     "ReplanTriggered",
     "SpillFile",
+    "SpilledCheckpoint",
+    "SpillingSeenSet",
     "PhysicalOperator",
     "TableScan",
     "PartitionedScan",
@@ -82,6 +89,67 @@ SPILL_BLOCK_ROWS = 128
 
 _COUNTERS = kernel_counters()
 
+#: Attempts per spill-file I/O operation (1 initial + retries).  Transient
+#: failures — a busy disk, an injected fault with ``spill_failures`` below
+#: this — are absorbed with a short exponential backoff and counted in
+#: ``spill_retries``; exhaustion raises a typed
+#: :class:`~repro.engine.faults.EngineFaultError` from the operator's
+#: ``finally``-protected path, so cleanup still runs.
+SPILL_IO_RETRIES = 3
+
+#: Base sleep (seconds) before the first spill I/O retry; doubles per retry.
+_SPILL_RETRY_BACKOFF = 0.002
+
+#: Spill directories currently live.  Operators remove their directory in a
+#: ``finally``; this registry (plus the atexit hook) is the backstop for the
+#: paths that cannot run one — an interpreter dying while a fork-pool holds
+#: children, a hard exception during generator teardown.
+_ACTIVE_SPILL_DIRS: Set[str] = set()
+_SPILL_DIR_LOCK = threading.Lock()
+
+
+def _new_spill_dir(prefix: str, base: Optional[str]) -> str:
+    """Create a spill temp directory and register it for atexit cleanup."""
+    path = tempfile.mkdtemp(prefix=prefix, dir=base)
+    with _SPILL_DIR_LOCK:
+        _ACTIVE_SPILL_DIRS.add(path)
+    return path
+
+
+def _remove_spill_dir(path: str) -> None:
+    """Remove a spill directory and deregister it (idempotent)."""
+    with _SPILL_DIR_LOCK:
+        _ACTIVE_SPILL_DIRS.discard(path)
+    shutil.rmtree(path, ignore_errors=True)
+
+
+@atexit.register
+def _cleanup_spill_dirs() -> None:
+    """Remove any spill directories still live at interpreter shutdown."""
+    with _SPILL_DIR_LOCK:
+        leftovers = list(_ACTIVE_SPILL_DIRS)
+        _ACTIVE_SPILL_DIRS.clear()
+    for path in leftovers:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+def _clear_spill_registry_after_fork() -> None:
+    """Forget inherited registrations in a forked child.
+
+    Fork-pool workers inherit the parent's registry; if a child's atexit ran
+    it would delete directories the parent is still reading.  The parent
+    remains responsible for its own directories.  The lock is replaced, not
+    taken: another parent thread may have held it at fork time (the same
+    hazard :mod:`repro.perf.counters` guards against).
+    """
+    global _SPILL_DIR_LOCK
+    _SPILL_DIR_LOCK = threading.Lock()
+    _ACTIVE_SPILL_DIRS.clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - CPython >= 3.7
+    os.register_at_fork(after_in_child=_clear_spill_registry_after_fork)
+
 
 @dataclass(frozen=True)
 class MemoryBudget:
@@ -89,11 +157,16 @@ class MemoryBudget:
 
     ``rows`` caps the rows the shared :class:`MemoryMeter` should hold: a
     hash join whose build side would push the meter past it switches to a
-    partitioned (Grace) spill-to-disk join.  The budget is *best effort* —
-    non-join state (dedup seen-sets, sort buffers, the result accumulator)
-    is metered but not spillable, a partition can never shrink below one
-    key group, and recursion depth is bounded — so overruns are possible
-    and are counted in ``spill_overflows`` rather than masked.
+    partitioned (Grace) spill-to-disk join; dedup seen-sets spill through
+    :class:`SpillingSeenSet`, sorts through external run-merge, adaptive
+    checkpoints through :class:`SpilledCheckpoint`, and an unsplittable
+    join partition (one heavy key, a keyless product) falls back to a
+    chunked block-nested-loop — every spillable operator honors the
+    budget.  What remains transiently metered beyond it (the result
+    accumulator, one partition-granularity allowance per replay) is
+    bounded and honest: a genuine overrun — distinct rows a partition
+    cannot shed even after re-salting stops progressing — is counted in
+    ``spill_overflows`` rather than masked.
 
     ``spill_fanout`` is the default partitions-per-level (a planner estimate
     can override it per join); ``max_recursion`` bounds how many times an
@@ -138,14 +211,21 @@ class MemoryMeter:
     ``tests/test_engine_parallel.py``).  ``budget`` is the optional row
     ceiling operators consult before making state resident; the meter only
     answers the question, the operators do the spilling.
+
+    ``faults`` optionally carries the evaluation's
+    :class:`~repro.engine.faults.FaultInjector`; the meter is the one object
+    every operator of a plan already shares, so it doubles as the channel
+    through which spill files find the injector without widening every
+    operator signature.
     """
 
-    __slots__ = ("current", "peak", "budget", "_lock")
+    __slots__ = ("current", "peak", "budget", "faults", "_lock")
 
-    def __init__(self, budget: Optional[int] = None) -> None:
+    def __init__(self, budget: Optional[int] = None, faults: Optional[object] = None) -> None:
         self.current = 0
         self.peak = 0
         self.budget = budget
+        self.faults = faults
         self._lock = threading.Lock()
 
     def acquire(self, rows: int = 1) -> None:
@@ -194,15 +274,25 @@ class SpillFile:
     counters and fan-out decisions.  ``delete`` is idempotent and the
     owning operator always calls it from a ``finally``, so temp files never
     outlive an execution, even one abandoned by ``close()`` or an exception.
+
+    Every I/O operation is attempted up to :data:`SPILL_IO_RETRIES` times
+    with exponential backoff (``spill_retries`` counts the retries): spill
+    files are the engine's only disk dependency, and a transient ``OSError``
+    — real or injected through ``faults`` — must not abort an execution the
+    next attempt would complete.  A failed write rewinds and truncates the
+    partial pickle frame before retrying, and a failed read seeks back to
+    the frame start, so a retried operation never sees a corrupt stream.
+    Exhausted retries raise :class:`~repro.engine.faults.EngineFaultError`.
     """
 
-    __slots__ = ("path", "rows", "_file", "_buffer")
+    __slots__ = ("path", "rows", "_file", "_buffer", "_faults")
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, faults: Optional[object] = None) -> None:
         self.path = path
         self.rows = 0
         self._file = None
         self._buffer: Block = []
+        self._faults = faults
 
     def append(self, row: Row) -> None:
         """Buffer one row, flushing a pickle frame when the buffer fills."""
@@ -213,12 +303,38 @@ class SpillFile:
     def _flush(self) -> None:
         if not self._buffer:
             return
-        if self._file is None:
-            self._file = open(self.path, "wb")
-        pickle.dump(self._buffer, self._file, protocol=pickle.HIGHEST_PROTOCOL)
-        self.rows += len(self._buffer)
-        _COUNTERS.add(spill_rows=len(self._buffer))
-        self._buffer = []
+        faults = self._faults
+        last_error: Optional[OSError] = None
+        for attempt in range(SPILL_IO_RETRIES):
+            if attempt:
+                _COUNTERS.add(spill_retries=1)
+                time.sleep(_SPILL_RETRY_BACKOFF * (1 << (attempt - 1)))
+            try:
+                if faults is not None:
+                    faults.on_spill_write()
+                if self._file is None:
+                    self._file = open(self.path, "wb")
+                position = self._file.tell()
+                try:
+                    pickle.dump(self._buffer, self._file, protocol=pickle.HIGHEST_PROTOCOL)
+                except OSError:
+                    # A partial frame would corrupt every later read: rewind
+                    # so the retry (or the next flush) starts on a frame
+                    # boundary.
+                    self._file.seek(position)
+                    self._file.truncate()
+                    raise
+            except OSError as error:
+                last_error = error
+                continue
+            self.rows += len(self._buffer)
+            _COUNTERS.add(spill_rows=len(self._buffer))
+            self._buffer = []
+            return
+        raise EngineFaultError(
+            f"spill write to {self.path} failed after {SPILL_IO_RETRIES} "
+            f"attempts: {last_error}"
+        ) from last_error
 
     def finish(self) -> None:
         """Flush the tail buffer and seal the file for reading."""
@@ -227,16 +343,58 @@ class SpillFile:
             self._file.close()
             self._file = None
 
+    def _open_for_read(self):
+        faults = self._faults
+        last_error: Optional[OSError] = None
+        for attempt in range(SPILL_IO_RETRIES):
+            if attempt:
+                _COUNTERS.add(spill_retries=1)
+                time.sleep(_SPILL_RETRY_BACKOFF * (1 << (attempt - 1)))
+            try:
+                if faults is not None:
+                    faults.on_spill_read()
+                return open(self.path, "rb")
+            except OSError as error:
+                last_error = error
+        raise EngineFaultError(
+            f"spill read of {self.path} failed after {SPILL_IO_RETRIES} "
+            f"attempts: {last_error}"
+        ) from last_error
+
     def blocks(self) -> Iterator[Block]:
         """Stream the spilled blocks back (only valid after ``finish``)."""
         if self.rows == 0:
             return
-        with open(self.path, "rb") as stream:
+        faults = self._faults
+        stream = self._open_for_read()
+        try:
             while True:
-                try:
-                    yield pickle.load(stream)
-                except EOFError:
-                    return
+                position = stream.tell()
+                last_error: Optional[OSError] = None
+                block: Optional[Block] = None
+                for attempt in range(SPILL_IO_RETRIES):
+                    if attempt:
+                        _COUNTERS.add(spill_retries=1)
+                        time.sleep(_SPILL_RETRY_BACKOFF * (1 << (attempt - 1)))
+                    try:
+                        if faults is not None:
+                            faults.on_spill_read()
+                        block = pickle.load(stream)
+                    except EOFError:
+                        return
+                    except OSError as error:
+                        last_error = error
+                        stream.seek(position)
+                        continue
+                    break
+                else:
+                    raise EngineFaultError(
+                        f"spill read of {self.path} failed after "
+                        f"{SPILL_IO_RETRIES} attempts: {last_error}"
+                    ) from last_error
+                yield block
+        finally:
+            stream.close()
 
     def delete(self) -> None:
         """Drop the buffer and remove the file (idempotent)."""
@@ -248,6 +406,298 @@ class SpillFile:
             os.remove(self.path)
         except OSError:
             pass
+
+
+class SpillingSeenSet:
+    """A dedup seen-set under a budget: spills to Grace partitions on overflow.
+
+    The engine's dedup state — projection seen-sets, union/difference
+    seen and excluded sets — shares one need: "have I seen this row, and if
+    not, remember it".  In memory that is a set; under a budget this class
+    *spills* the set using the same salted, bit-mixed partition routing as
+    :class:`GraceHashJoin` (equal rows always land in the same partition),
+    so membership can be decided one partition at a time.
+
+    Protocol, driven by the owning operator's generator:
+
+    * :meth:`filter_block` returns a block's not-yet-seen rows.  While the
+      set fits the budget that happens immediately; after the spill switch
+      the rows are routed to partition files tagged *pending* and nothing
+      is returned — their first occurrences are emitted by :meth:`drain`.
+    * :meth:`note_block` marks rows seen without ever emitting them (a
+      difference's excluded right side).
+    * :meth:`drain` replays the partitions, re-splitting any whose distinct
+      rows still overflow with a fresh salt, and yields the deferred first
+      occurrences in blocks.
+    * :meth:`close` releases metered state and deletes every spill artifact
+      (idempotent; called from the owner's ``finally``, so an abandoned or
+      failing execution leaks nothing).
+
+    Emission order is arrival order until the switch and partition order
+    after it, so a spilled dedup does **not** preserve an input ordering —
+    the planner keeps order-carrying dedups on the in-memory path.
+
+    Metering: the pre-switch set and, during replay, one partition's
+    distinct rows are metered.  A partition whose rows fit ``budget.rows``
+    is processed resident even when *other* state (the result accumulator,
+    a downstream operator) holds the shared meter at its ceiling — the
+    budget governs spillable state at partition granularity.  Only a
+    partition that outgrows the budget after re-salting stops making
+    progress counts a ``spill_overflows``.
+    """
+
+    def __init__(self, meter: MemoryMeter, budget: MemoryBudget, prefix: str = "repro-dedup-"):
+        self.meter = meter
+        self._budget = budget
+        self._prefix = prefix
+        self._seen: Set[Row] = set()
+        self._resident = 0
+        self._fanout = budget.spill_fanout
+        self._spill_dir: Optional[str] = None
+        self._parts: Optional[List[SpillFile]] = None
+        self._sequence = 0
+        #: Whether this set switched to partitioned spill mode.
+        self.spilled = False
+
+    def _new_file(self) -> SpillFile:
+        self._sequence += 1
+        return SpillFile(
+            os.path.join(self._spill_dir, f"part-{self._sequence:06d}.spill"),
+            faults=self.meter.faults,
+        )
+
+    def _switch(self) -> None:
+        """Flush the in-memory set to partition files and enter spill mode."""
+        self.spilled = True
+        self._spill_dir = _new_spill_dir(self._prefix, self._budget.spill_dir)
+        self._parts = [self._new_file() for _ in range(self._fanout)]
+        _COUNTERS.add(dedup_spills=1, spill_partitions=self._fanout)
+        parts = self._parts
+        fanout = self._fanout
+        for row in self._seen:
+            parts[_partition_index(0, row, fanout)].append((row, True))
+        self._seen.clear()
+        self.meter.release(self._resident)
+        self._resident = 0
+
+    def filter_block(self, rows: Block) -> Block:
+        """Return the rows of ``rows`` never seen before (emit-now path).
+
+        After the spill switch the rows are routed to partitions instead and
+        the return value is empty — deferred first occurrences come from
+        :meth:`drain`.
+        """
+        parts = self._parts
+        if parts is not None:
+            fanout = self._fanout
+            for row in rows:
+                parts[_partition_index(0, row, fanout)].append((row, False))
+            return []
+        seen = self._seen
+        add = seen.add
+        out: Block = []
+        append = out.append
+        before = len(seen)
+        for row in rows:
+            if row not in seen:
+                add(row)
+                append(row)
+        added = len(seen) - before
+        if added:
+            if self.meter.try_acquire(added):
+                self._resident += added
+            else:
+                # The block's new rows were emitted just now and are flushed
+                # as already-seen, so the replay will not re-emit them; they
+                # were never acquired, so the release in _switch balances.
+                self._switch()
+        return out
+
+    def note_block(self, rows: Block) -> None:
+        """Mark ``rows`` seen without emitting them (an excluded side)."""
+        parts = self._parts
+        if parts is not None:
+            fanout = self._fanout
+            for row in rows:
+                parts[_partition_index(0, row, fanout)].append((row, True))
+            return
+        seen = self._seen
+        before = len(seen)
+        seen.update(rows)
+        added = len(seen) - before
+        if added:
+            if self.meter.try_acquire(added):
+                self._resident += added
+            else:
+                self._switch()
+
+    def drain(self) -> Iterator[Block]:
+        """Yield the deferred first occurrences after a spill (in blocks)."""
+        if not self.spilled or self._parts is None:
+            return
+        parts = self._parts
+        for part in parts:
+            part.finish()
+        while parts:
+            part = parts.pop(0)
+            if part.rows == 0:
+                part.delete()
+                continue
+            for out in self._replay(part, 1, 0):
+                yield out
+
+    def _replay(self, part: SpillFile, level: int, resalts: int) -> Iterator[Block]:
+        """Replay one partition with a resident per-partition set.
+
+        ``resalts`` counts *consecutive* re-splits that made no progress
+        (every row landed in one sub-partition — all-equal rows); a
+        productive split resets it, so recursion is bounded by data shape,
+        not a fixed depth that a large-but-splittable partition could hit.
+        Emissions are buffered until the whole partition is replayed: the
+        decision to re-split can arrive mid-file, and rows yielded before
+        it would be re-emitted by the sub-partitions.
+        """
+        meter = self.meter
+        budget = self._budget
+        seen: Set[Row] = set()
+        deferred: Block = []
+        resident = 0
+        recurse = False
+        overflowed = False
+        try:
+            for block in part.blocks():
+                for row, was_seen in block:
+                    if row in seen:
+                        continue
+                    if overflowed:
+                        meter.acquire(1)
+                    elif not meter.try_acquire(1):
+                        if (
+                            part.rows > budget.rows
+                            and part.rows > budget.min_partition_rows
+                            and resalts < budget.max_recursion
+                        ):
+                            recurse = True
+                            break
+                        # Partition-granularity allowance: a partition whose
+                        # rows fit the budget may be replayed resident even
+                        # when other state pins the shared meter; whether the
+                        # allowance was an honest overflow is decided below,
+                        # from the *distinct* rows actually held.
+                        overflowed = True
+                        meter.acquire(1)
+                    resident += 1
+                    seen.add(row)
+                    if not was_seen:
+                        deferred.append(row)
+                if recurse:
+                    break
+            if recurse:
+                meter.release(resident)
+                resident = 0
+                seen.clear()
+                deferred = []
+                for out in self._resplit(part, level, resalts):
+                    yield out
+                return
+            if resident > budget.rows:
+                # The partition's distinct rows alone outgrew the budget
+                # after re-salting stopped making progress — the one case
+                # spilling cannot bound, surfaced instead of masked.
+                _COUNTERS.add(spill_overflows=1)
+            for start in range(0, len(deferred), BLOCK_ROWS):
+                yield deferred[start : start + BLOCK_ROWS]
+        finally:
+            meter.release(resident)
+            part.delete()
+
+    def _resplit(self, part: SpillFile, level: int, resalts: int) -> Iterator[Block]:
+        """Re-scatter one oversized partition with a fresh salt."""
+        fanout = self._fanout
+        subs = [self._new_file() for _ in range(fanout)]
+        _COUNTERS.add(spill_recursions=1, spill_partitions=fanout)
+        for block in part.blocks():
+            for row, was_seen in block:
+                subs[_partition_index(level, row, fanout)].append((row, was_seen))
+        for sub in subs:
+            sub.finish()
+        made_progress = max(sub.rows for sub in subs) < part.rows
+        next_resalts = 0 if made_progress else resalts + 1
+        for sub in subs:
+            if sub.rows == 0:
+                sub.delete()
+                continue
+            for out in self._replay(sub, level + 1, next_resalts):
+                yield out
+
+    def close(self) -> None:
+        """Release metered state and delete every spill artifact (idempotent)."""
+        self.meter.release(self._resident)
+        self._resident = 0
+        self._seen.clear()
+        if self._parts:
+            for part in self._parts:
+                part.delete()
+        self._parts = None
+        if self._spill_dir is not None:
+            _remove_spill_dir(self._spill_dir)
+            self._spill_dir = None
+
+
+class SpilledCheckpoint:
+    """A checkpoint relation kept on disk instead of in metered memory.
+
+    The adaptive evaluator's mid-stream checkpoints historically had two
+    outcomes: fit the budget, or give up the re-plan (``adaptive_giveups``).
+    This class adds the third — spill the checkpoint — by quacking like the
+    slice of :class:`~repro.algebra.relation.Relation` the engine consumes
+    from a binding: ``scheme``, ``name``, ``rows`` (a fresh stream per
+    access, so table scans can restart), plus ``sorted_rows`` and
+    ``__len__`` for the sampling estimator.  ``sorted_rows`` returns the
+    deterministic on-disk order, not the kernel's canonical sort: the
+    reservoir sampler needs *a* stable order, and sorting would
+    re-materialise exactly what spilling avoided — a spilled checkpoint
+    therefore never feeds a merge-join scan directly (the planner sorts
+    explicitly when it wants an order).
+    """
+
+    def __init__(self, scheme, name: str, budget: MemoryBudget, faults: Optional[object] = None):
+        self.scheme = scheme
+        self.name = name
+        self._dir: Optional[str] = _new_spill_dir("repro-ckpt-", budget.spill_dir)
+        self._file = SpillFile(os.path.join(self._dir, "checkpoint.spill"), faults=faults)
+
+    def append(self, row: Row) -> None:
+        """Append one checkpointed row."""
+        self._file.append(row)
+
+    def finish(self) -> None:
+        """Seal the checkpoint for reading."""
+        self._file.finish()
+
+    def __len__(self) -> int:
+        return self._file.rows
+
+    def _stream(self) -> Iterator[Row]:
+        for block in self._file.blocks():
+            for row in block:
+                yield row
+
+    @property
+    def rows(self) -> Iterator[Row]:
+        """Stream the checkpointed rows (a fresh, restartable iterator)."""
+        return self._stream()
+
+    def sorted_rows(self) -> Iterator[Row]:
+        """The rows in their deterministic on-disk order (see class docs)."""
+        return self._stream()
+
+    def close(self) -> None:
+        """Delete the backing file and directory (idempotent)."""
+        self._file.delete()
+        if self._dir is not None:
+            _remove_spill_dir(self._dir)
+            self._dir = None
 
 
 class PhysicalOperator:
@@ -407,6 +857,11 @@ class StreamingProject(PhysicalOperator):
     worker's (per-worker) dedup and multiply the downstream streams.
     Slicing the projected value itself gives every distinct output row to
     exactly one worker.
+
+    With ``budget`` set (the planner passes it only for unordered dedup
+    projections) the seen-set is a :class:`SpillingSeenSet`: instead of
+    overrunning the shared meter it spills to Grace partitions and defers
+    the spilled rows' first occurrences to a replay phase.
     """
 
     def __init__(
@@ -417,12 +872,14 @@ class StreamingProject(PhysicalOperator):
         meter: MemoryMeter,
         dedup: bool = True,
         probe_slice: Optional[Tuple[int, int]] = None,
+        budget: Optional[MemoryBudget] = None,
     ):
         super().__init__(meter)
         self._child = child
         self._pick = pick
         self._dedup = dedup
         self._probe_slice = probe_slice
+        self._budget = budget
         self.consumes_probe_slice = probe_slice is not None
         self.scheme = scheme
 
@@ -430,27 +887,40 @@ class StreamingProject(PhysicalOperator):
         """The input operators."""
         return (self._child,)
 
+    def _project_block(self, block: Block) -> Block:
+        """Apply the pick (and the probe-slice filter) to one input block."""
+        pick = self._pick
+        probe_slice = self._probe_slice
+        if probe_slice is None:
+            return [pick(row) for row in block]
+        index, count = probe_slice
+        return [
+            values
+            for values in map(pick, block)
+            if _partition_index(PROBE_SLICE_SALT, values, count) == index
+        ]
+
     def blocks(self) -> Iterator[Block]:
         """Stream the output blocks (see the operator iterator contract)."""
+        if not self._dedup:
+            return self._blocks_no_dedup()
+        if self._budget is not None:
+            return self._blocks_spilling_dedup()
+        return self._blocks_dedup()
+
+    def _blocks_no_dedup(self) -> Iterator[Block]:
+        self.rows_out = 0
+        for block in self._child.blocks():
+            out = self._project_block(block)
+            if out:
+                self.rows_out += len(out)
+                yield out
+
+    def _blocks_dedup(self) -> Iterator[Block]:
         self.rows_out = 0
         pick = self._pick
         meter = self.meter
         probe_slice = self._probe_slice
-        if not self._dedup:
-            for block in self._child.blocks():
-                if probe_slice is None:
-                    out = [pick(row) for row in block]
-                else:
-                    index, count = probe_slice
-                    out = [
-                        values
-                        for values in map(pick, block)
-                        if _partition_index(PROBE_SLICE_SALT, values, count) == index
-                    ]
-                if out:
-                    self.rows_out += len(out)
-                    yield out
-            return
         seen: Set[Row] = set()
         add = seen.add
         try:
@@ -475,6 +945,21 @@ class StreamingProject(PhysicalOperator):
         finally:
             meter.release(len(seen))
             seen.clear()
+
+    def _blocks_spilling_dedup(self) -> Iterator[Block]:
+        self.rows_out = 0
+        seen = SpillingSeenSet(self.meter, self._budget, prefix="repro-dedup-")
+        try:
+            for block in self._child.blocks():
+                out = seen.filter_block(self._project_block(block))
+                if out:
+                    self.rows_out += len(out)
+                    yield out
+            for out in seen.drain():
+                self.rows_out += len(out)
+                yield out
+        finally:
+            seen.close()
 
     def label(self) -> str:
         """The one-line trace/explain label."""
@@ -649,9 +1134,11 @@ class GraceHashJoin(HashJoin):
     single partition's build table is ever resident.  A partition that
     still exceeds the headroom is re-partitioned with a fresh salt up to
     ``MemoryBudget.max_recursion`` levels; beyond that (or for a partition
-    that cannot split — one heavy key, a keyless product) it is processed
-    in memory anyway and ``spill_overflows`` is incremented, keeping the
-    meter honest instead of masking the overrun.
+    that cannot split — one heavy key, a keyless product) it is joined by a
+    block-nested-loop fallback that holds one meter-sized build chunk at a
+    time and re-scans the probe partition per chunk
+    (``join_chunk_passes``), so the budget holds even for unsplittable
+    partitions.
 
     Correctness is unchanged from :class:`HashJoin`: equal keys always land
     in the same partition, per-partition build buckets are sets (duplicates
@@ -703,7 +1190,10 @@ class GraceHashJoin(HashJoin):
 
     def _new_spill(self, spill_dir: str, kind: str) -> SpillFile:
         self._spill_sequence += 1
-        return SpillFile(os.path.join(spill_dir, f"{kind}-{self._spill_sequence:06d}.spill"))
+        return SpillFile(
+            os.path.join(spill_dir, f"{kind}-{self._spill_sequence:06d}.spill"),
+            faults=self.meter.faults,
+        )
 
     def _probe_buckets(
         self,
@@ -788,7 +1278,7 @@ class GraceHashJoin(HashJoin):
                 else:
                     # Switch to Grace mode: flush the table built so far.
                     self.spilled += 1
-                    spill_dir = tempfile.mkdtemp(prefix="repro-grace-", dir=budget.spill_dir)
+                    spill_dir = _new_spill_dir("repro-grace-", budget.spill_dir)
                     build_parts = [self._new_spill(spill_dir, "build") for _ in range(fanout)]
                     _COUNTERS.add(join_spills=1, spill_partitions=fanout)
                     for key, bucket in buckets.items():
@@ -846,7 +1336,7 @@ class GraceHashJoin(HashJoin):
             meter.release(resident)
             buckets.clear()
             if spill_dir is not None:
-                shutil.rmtree(spill_dir, ignore_errors=True)
+                _remove_spill_dir(spill_dir)
 
     def _join_partition(
         self,
@@ -863,7 +1353,6 @@ class GraceHashJoin(HashJoin):
         buckets: Dict[Hashable, Set[Row]] = {}
         resident = 0
         try:
-            overflowed = False
             for block in build_part.blocks():
                 added = 0
                 for key, entry in block:
@@ -876,32 +1365,34 @@ class GraceHashJoin(HashJoin):
                         added += 1
                 if not added:
                     continue
-                if not overflowed:
-                    if meter.try_acquire(added):
-                        resident += added
-                        if resident > self.build_peak_rows:
-                            self.build_peak_rows = resident
-                        continue
-                    if (
-                        depth < budget.max_recursion
-                        and build_part.rows > budget.min_partition_rows
+                if meter.try_acquire(added):
+                    resident += added
+                    if resident > self.build_peak_rows:
+                        self.build_peak_rows = resident
+                    continue
+                meter.release(resident)
+                resident = 0
+                buckets.clear()
+                if (
+                    depth < budget.max_recursion
+                    and build_part.rows > budget.min_partition_rows
+                ):
+                    for out in self._recurse_partition(
+                        build_part, probe_part, depth, spill_dir, probe_key_of, combine
                     ):
-                        meter.release(resident)
-                        resident = 0
-                        buckets.clear()
-                        for out in self._recurse_partition(
-                            build_part, probe_part, depth, spill_dir, probe_key_of, combine
-                        ):
-                            yield out
-                        return
-                    # Cannot split further: process beyond the budget, but
-                    # keep the meter honest and make the overrun observable.
-                    overflowed = True
-                    _COUNTERS.add(spill_overflows=1)
-                meter.acquire(added)
-                resident += added
-                if resident > self.build_peak_rows:
-                    self.build_peak_rows = resident
+                        yield out
+                    return
+                # Cannot split further (one heavy key, a keyless product,
+                # or the recursion limit): fall back to a block-nested-loop
+                # that builds the partition in meter-sized chunks and
+                # re-scans the probe partition once per chunk — the budget
+                # holds even for unsplittable partitions, at the cost of
+                # extra probe-side disk reads.
+                for out in self._chunked_join(
+                    build_part, probe_part, probe_key_of, combine
+                ):
+                    yield out
+                return
             for out in self._probe_buckets(
                 buckets, probe_part.blocks(), probe_key_of, combine, False
             ):
@@ -911,6 +1402,70 @@ class GraceHashJoin(HashJoin):
             buckets.clear()
             build_part.delete()
             probe_part.delete()
+
+    def _chunked_join(
+        self,
+        build_part: SpillFile,
+        probe_part: SpillFile,
+        probe_key_of: Callable[[Row], Hashable],
+        combine: Callable[[Row, Row], Row],
+    ) -> Iterator[Block]:
+        """Block-nested-loop over a partition that cannot be split.
+
+        The build side is loaded in chunks sized by the meter's headroom
+        (at least one entry per chunk, so a fully pinned meter still makes
+        progress) and the probe partition is re-scanned once per chunk —
+        ``join_chunk_passes`` counts the passes.  Unlike the historic
+        overflow path this never holds more than one chunk resident, so a
+        single heavy key or a keyless product stays within the budget.
+        """
+        meter = self.meter
+        entries = (
+            (key, entry) for block in build_part.blocks() for key, entry in block
+        )
+        pushback: Optional[Tuple[Hashable, Row]] = None
+        exhausted = False
+        while not exhausted:
+            buckets: Dict[Hashable, Set[Row]] = {}
+            resident = 0
+            try:
+                while True:
+                    if pushback is not None:
+                        key, entry = pushback
+                        pushback = None
+                    else:
+                        nxt = next(entries, None)
+                        if nxt is None:
+                            exhausted = True
+                            break
+                        key, entry = nxt
+                    bucket = buckets.get(key)
+                    if bucket is not None and entry in bucket:
+                        continue
+                    if resident and not meter.try_acquire(1):
+                        # Chunk full: the entry opens the next chunk.
+                        pushback = (key, entry)
+                        break
+                    if not resident and not meter.try_acquire(1):
+                        # Guaranteed progress: a chunk's first entry is
+                        # admitted even when other state pins the meter.
+                        meter.acquire(1)
+                    resident += 1
+                    if resident > self.build_peak_rows:
+                        self.build_peak_rows = resident
+                    if bucket is None:
+                        buckets[key] = {entry}
+                    else:
+                        bucket.add(entry)
+                if buckets:
+                    _COUNTERS.add(join_chunk_passes=1)
+                    for out in self._probe_buckets(
+                        buckets, probe_part.blocks(), probe_key_of, combine, False
+                    ):
+                        yield out
+            finally:
+                meter.release(resident)
+                buckets.clear()
 
     def _recurse_partition(
         self,
@@ -1203,16 +1758,31 @@ class MergeJoin(PhysicalOperator):
 
 
 class Sort(PhysicalOperator):
-    """Materialise and sort the input on a key (establishing an output order).
+    """Sort the input on a key (establishing an output order), spilling runs.
 
-    The whole input is resident while sorting — a sort is never free; the
-    planner only pays for it when a downstream merge join (or an explicit
-    request) wants the order.  Keys are ordered through :class:`_OrderedKey`
-    (native comparison, per-pair ``(type, repr)`` fallback), the same order
-    :class:`MergeJoin` advances by.
+    Without a ``budget`` the whole input is resident while sorting — a sort
+    is never free; the planner only pays for it when a downstream merge
+    join (or an explicit request) wants the order.  With a ``budget`` the
+    sort goes *external* the moment its buffer would overrun the shared
+    meter: the buffer is sorted and flushed as a run to a spill file, the
+    meter is released, and once the input is drained the runs are k-way
+    merged (``heapq.merge``) back into a single ordered stream.  Only the
+    run buffer is ever metered; the merge holds one row per run plus the
+    spill files' small unmetered read-staging.
+
+    Keys are ordered through :class:`_OrderedKey` (native comparison,
+    per-pair ``(type, repr)`` fallback) on **both** paths — the in-memory
+    ``list.sort`` and the external merge — so the order a sort produces is
+    exactly the order :class:`MergeJoin` advances by, spilled or not.
     """
 
-    def __init__(self, child: PhysicalOperator, key_names: Tuple[str, ...], meter: MemoryMeter):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        key_names: Tuple[str, ...],
+        meter: MemoryMeter,
+        budget: Optional[MemoryBudget] = None,
+    ):
         super().__init__(meter)
         missing = [name for name in key_names if name not in child.scheme.name_set]
         if missing:
@@ -1220,8 +1790,12 @@ class Sort(PhysicalOperator):
         self._child = child
         self._key_names = tuple(key_names)
         self._key_of = _merge_key_picker(child.scheme, self._key_names)
+        self._budget = budget
         self.scheme = child.scheme
         self.output_order = self._key_names
+        #: Number of runs this operator's most recent execution spilled
+        #: (0 = the input fit the budget and sorted in memory).
+        self.spilled = 0
 
     def children(self) -> Tuple[PhysicalOperator, ...]:
         """The input operators."""
@@ -1229,7 +1803,13 @@ class Sort(PhysicalOperator):
 
     def blocks(self) -> Iterator[Block]:
         """Stream the output blocks (see the operator iterator contract)."""
+        if self._budget is None:
+            return self._blocks_in_memory()
+        return self._blocks_external()
+
+    def _blocks_in_memory(self) -> Iterator[Block]:
         self.rows_out = 0
+        self.spilled = 0
         meter = self.meter
         rows: List[Row] = []
         resident = 0
@@ -1248,9 +1828,101 @@ class Sort(PhysicalOperator):
             meter.release(resident)
             rows.clear()
 
+    @staticmethod
+    def _run_rows(run: SpillFile) -> Iterator[Row]:
+        for block in run.blocks():
+            for row in block:
+                yield row
+
+    def _blocks_external(self) -> Iterator[Block]:
+        self.rows_out = 0
+        self.spilled = 0
+        meter = self.meter
+        budget = self._budget
+        key_of = self._key_of
+        sort_key = lambda row: _OrderedKey(key_of(row))  # noqa: E731 - shared by both paths
+        state = {"rows": [], "resident": 0, "dir": None}
+        runs: List[SpillFile] = []
+
+        def flush_run() -> None:
+            rows = state["rows"]
+            if not rows:
+                return
+            if state["dir"] is None:
+                state["dir"] = _new_spill_dir("repro-sort-", budget.spill_dir)
+                _COUNTERS.add(sort_spills=1)
+            rows.sort(key=sort_key)
+            run = SpillFile(
+                os.path.join(state["dir"], f"run-{len(runs):06d}.spill"),
+                faults=meter.faults,
+            )
+            for row in rows:
+                run.append(row)
+            run.finish()
+            runs.append(run)
+            self.spilled += 1
+            meter.release(state["resident"])
+            state["rows"] = []
+            state["resident"] = 0
+
+        try:
+            for block in self._child.blocks():
+                start = 0
+                total = len(block)
+                while start < total:
+                    remaining = total - start
+                    if meter.try_acquire(remaining):
+                        state["rows"].extend(block[start:])
+                        state["resident"] += remaining
+                        break
+                    head = meter.headroom() or 0
+                    if head and meter.try_acquire(head):
+                        state["rows"].extend(block[start : start + head])
+                        state["resident"] += head
+                        start += head
+                    elif not state["rows"]:
+                        # No headroom at all (other operators pin the shared
+                        # meter): keep one row resident anyway so every
+                        # flush makes progress instead of spinning.
+                        meter.acquire(1)
+                        state["rows"].append(block[start])
+                        state["resident"] += 1
+                        start += 1
+                    flush_run()
+            if not runs:
+                rows = state["rows"]
+                rows.sort(key=sort_key)
+                for block_start in range(0, len(rows), BLOCK_ROWS):
+                    block = rows[block_start : block_start + BLOCK_ROWS]
+                    self.rows_out += len(block)
+                    yield block
+                return
+            flush_run()
+            merged = heapq.merge(*(self._run_rows(run) for run in runs), key=sort_key)
+            out: Block = []
+            append = out.append
+            for row in merged:
+                append(row)
+                if len(out) >= BLOCK_ROWS:
+                    self.rows_out += len(out)
+                    yield out
+                    out = []
+                    append = out.append
+            if out:
+                self.rows_out += len(out)
+                yield out
+        finally:
+            meter.release(state["resident"])
+            state["rows"] = []
+            for run in runs:
+                run.delete()
+            if state["dir"] is not None:
+                _remove_spill_dir(state["dir"])
+
     def label(self) -> str:
         """The one-line trace/explain label."""
-        return f"sort by ({', '.join(self._key_names)})"
+        suffix = f" [budget={self._budget.rows}]" if self._budget is not None else ""
+        return f"sort by ({', '.join(self._key_names)}){suffix}"
 
 
 def _align_pick(from_scheme, to_scheme) -> Optional[Callable[[Row], Row]]:
@@ -1266,10 +1938,18 @@ class StreamingUnion(PhysicalOperator):
     """Set union: stream the left input, then unseen rows of the right.
 
     Resident state is the seen-set — one entry per output row, exactly the
-    materialised union's size, but the output itself still streams.
+    materialised union's size, but the output itself still streams.  With a
+    ``budget`` the seen-set is a :class:`SpillingSeenSet`, so a union whose
+    result outgrows the meter spills instead of overrunning it.
     """
 
-    def __init__(self, left: PhysicalOperator, right: PhysicalOperator, meter: MemoryMeter):
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        meter: MemoryMeter,
+        budget: Optional[MemoryBudget] = None,
+    ):
         super().__init__(meter)
         if left.scheme != right.scheme:
             raise ValueError(
@@ -1278,6 +1958,7 @@ class StreamingUnion(PhysicalOperator):
         self._left = left
         self._right = right
         self._realign = _align_pick(right.scheme, left.scheme)
+        self._budget = budget
         self.scheme = left.scheme
 
     def children(self) -> Tuple[PhysicalOperator, ...]:
@@ -1286,6 +1967,11 @@ class StreamingUnion(PhysicalOperator):
 
     def blocks(self) -> Iterator[Block]:
         """Stream the output blocks (see the operator iterator contract)."""
+        if self._budget is not None:
+            return self._blocks_spilling()
+        return self._blocks_in_memory()
+
+    def _blocks_in_memory(self) -> Iterator[Block]:
         self.rows_out = 0
         meter = self.meter
         seen: Set[Row] = set()
@@ -1311,6 +1997,24 @@ class StreamingUnion(PhysicalOperator):
             meter.release(len(seen))
             seen.clear()
 
+    def _blocks_spilling(self) -> Iterator[Block]:
+        self.rows_out = 0
+        seen = SpillingSeenSet(self.meter, self._budget, prefix="repro-union-")
+        realign = self._realign
+        try:
+            for source, pick in ((self._left, None), (self._right, realign)):
+                for block in source.blocks():
+                    rows = [pick(row) for row in block] if pick is not None else block
+                    out = seen.filter_block(rows)
+                    if out:
+                        self.rows_out += len(out)
+                        yield out
+            for out in seen.drain():
+                self.rows_out += len(out)
+                yield out
+        finally:
+            seen.close()
+
     def label(self) -> str:
         """The one-line trace/explain label."""
         return "union"
@@ -1320,10 +2024,19 @@ class StreamingDifference(PhysicalOperator):
     """Set difference: drain the right side into a set, stream the left.
 
     Resident state is the right input (plus a small dedup guard for left
-    duplicates when the left child does not deduplicate).
+    duplicates when the left child does not deduplicate).  With a ``budget``
+    both sets unify into one :class:`SpillingSeenSet`: the right side is
+    *noted* (marked seen, never emitted), the left side is then filtered —
+    exactly the difference — and the whole structure spills on overflow.
     """
 
-    def __init__(self, left: PhysicalOperator, right: PhysicalOperator, meter: MemoryMeter):
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        meter: MemoryMeter,
+        budget: Optional[MemoryBudget] = None,
+    ):
         super().__init__(meter)
         if left.scheme != right.scheme:
             raise ValueError(
@@ -1332,6 +2045,7 @@ class StreamingDifference(PhysicalOperator):
         self._left = left
         self._right = right
         self._realign = _align_pick(right.scheme, left.scheme)
+        self._budget = budget
         self.scheme = left.scheme
 
     def children(self) -> Tuple[PhysicalOperator, ...]:
@@ -1340,6 +2054,11 @@ class StreamingDifference(PhysicalOperator):
 
     def blocks(self) -> Iterator[Block]:
         """Stream the output blocks (see the operator iterator contract)."""
+        if self._budget is not None:
+            return self._blocks_spilling()
+        return self._blocks_in_memory()
+
+    def _blocks_in_memory(self) -> Iterator[Block]:
         self.rows_out = 0
         meter = self.meter
         excluded: Set[Row] = set()
@@ -1369,6 +2088,27 @@ class StreamingDifference(PhysicalOperator):
             meter.release(len(excluded) + len(emitted))
             excluded.clear()
             emitted.clear()
+
+    def _blocks_spilling(self) -> Iterator[Block]:
+        self.rows_out = 0
+        seen = SpillingSeenSet(self.meter, self._budget, prefix="repro-diff-")
+        realign = self._realign
+        try:
+            for block in self._right.blocks():
+                if realign is not None:
+                    seen.note_block([realign(row) for row in block])
+                else:
+                    seen.note_block(block)
+            for block in self._left.blocks():
+                out = seen.filter_block(block)
+                if out:
+                    self.rows_out += len(out)
+                    yield out
+            for out in seen.drain():
+                self.rows_out += len(out)
+                yield out
+        finally:
+            seen.close()
 
     def label(self) -> str:
         """The one-line trace/explain label."""

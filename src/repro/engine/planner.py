@@ -102,7 +102,8 @@ class PlanNode:
     join_plan: Optional[object] = None
     build_side: str = "right"
     sort_key: Tuple[str, ...] = ()
-    #: Memory budget for hash joins (None = unbudgeted in-memory join).
+    #: Memory budget for hash joins, sorts, and dedup projections (None =
+    #: unbudgeted in-memory state).
     budget: Optional[MemoryBudget] = None
     #: Grace spill fan-out hint when the estimated build side overflows.
     est_fanout: int = 1
@@ -213,6 +214,10 @@ class PlanNode:
                 # This is the driving projection: consume the slice here.
                 own_slice, pass_down = probe_slice, None
             child = self.children[0].instantiate(bindings, meter, pass_down, guard_for)
+            # A spilling seen-set does not preserve arrival order, so an
+            # order-carrying dedup (feeding a merge join) stays on the
+            # unspillable in-memory path.
+            spillable = self.dedup and self.order is None
             operator = StreamingProject(
                 child,
                 self.pick,
@@ -220,6 +225,7 @@ class PlanNode:
                 meter,
                 dedup=self.dedup,
                 probe_slice=own_slice,
+                budget=self.budget if spillable else None,
             )
         elif self.kind == "hash-join":
             left = self.children[0].instantiate(bindings, meter, child_slice(0), guard_for)
@@ -244,7 +250,7 @@ class PlanNode:
             operator = MergeJoin(left, right, self.join_plan, meter)
         elif self.kind == "sort":
             child = self.children[0].instantiate(bindings, meter, child_slice(0), guard_for)
-            operator = Sort(child, self.sort_key, meter)
+            operator = Sort(child, self.sort_key, meter, budget=self.budget)
         else:  # pragma: no cover - defensive
             raise ExpressionError(f"unknown plan node kind {self.kind!r}")
         # The planner's tracked order is authoritative (operators created
@@ -369,6 +375,11 @@ class Planner:
                     prefix.append(name)
                 order = tuple(prefix) or None
             cost = child.cost + child.est_rows + out_stats.cardinality
+            budget = self.config.budget
+            if budget is not None and out_stats.cardinality > budget.rows:
+                # Spilling dedup: every distinct row is written and read
+                # back once during the partition replay.
+                cost += 2.0 * out_stats.cardinality
             return PlanNode(
                 kind="project",
                 scheme=plan.target_scheme,
@@ -378,6 +389,7 @@ class Planner:
                 order=order,
                 pick=plan.pick,
                 dedup=True,
+                budget=budget,
             )
         if isinstance(node, Join):
             parts = [self._lower(part, stats) for part in node.parts]
@@ -546,6 +558,10 @@ class Planner:
     def _sorted(self, child: PlanNode, key: Tuple[str, ...]) -> PlanNode:
         rows = max(child.est_rows, 1.0)
         cost = child.cost + rows * math.log2(rows + 1.0) + rows
+        budget = self.config.budget
+        if budget is not None and rows > budget.rows:
+            # External sort: every spilled row is written and read back once.
+            cost += 2.0 * rows
         return PlanNode(
             kind="sort",
             scheme=child.scheme,
@@ -554,6 +570,7 @@ class Planner:
             children=(child,),
             order=key,
             sort_key=key,
+            budget=budget,
         )
 
 

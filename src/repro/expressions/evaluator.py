@@ -141,6 +141,14 @@ class EvaluationTrace:
     #: threshold, a checkpoint was materialised, and execution resumed on a
     #: re-costed join order).  0 everywhere else.
     replans: int = 0
+    #: How many times a requested parallel execution degraded to the serial
+    #: path after recovery (pool rebuild) failed.  The engine evaluator
+    #: never degrades silently: every fallback increments this, appends a
+    #: reason to :attr:`degradations`, and emits a ``RuntimeWarning``.
+    serial_fallbacks: int = 0
+    #: Human-readable reasons for every degradation this evaluation
+    #: absorbed (e.g. ``"serial-fallback: ParallelExecutionError: ..."``).
+    degradations: List[str] = field(default_factory=list)
 
     def record(self, step: TraceStep) -> None:
         """Append one step to the trace."""

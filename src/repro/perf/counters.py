@@ -71,10 +71,38 @@ class KernelCounters:
     spill_rows: int = 0
     #: Oversized partitions that were re-partitioned with a fresh hash salt.
     spill_recursions: int = 0
-    #: Partitions processed in memory beyond the budget (single heavy key,
-    #: recursion-depth limit, or no headroom left) — the budget is best
-    #: effort and this counter is how an overrun is detected.
+    #: Spilled state whose distinct rows exceeded the budget even after
+    #: re-salted splitting stopped making progress — the one overrun
+    #: spilling cannot bound, surfaced instead of masked.  Zero on every
+    #: differential-fuzz grid point (the bench robustness gate pins it).
     spill_overflows: int = 0
+    #: Probe-partition passes made by the block-nested-loop fallback for
+    #: unsplittable join partitions (one heavy key, keyless products): the
+    #: build side is loaded in meter-sized chunks and the probe partition
+    #: re-scanned once per chunk, trading disk reads for bounded memory.
+    join_chunk_passes: int = 0
+    #: Sort operators that switched to external (spill-run) mode because
+    #: their buffer would overflow the budget.
+    sort_spills: int = 0
+    #: Dedup seen-sets (projections, union/difference, checkpoint
+    #: materialisation) that switched to partitioned spill mode.
+    dedup_spills: int = 0
+    #: Adaptive checkpoints kept on disk instead of in metered memory
+    #: because they would overflow the budget (or the checkpoint row cap).
+    checkpoint_spills: int = 0
+    #: Spill-file I/O operations retried after a (possibly injected)
+    #: transient failure — each retry backs off before reattempting.
+    spill_retries: int = 0
+    #: Faults injected by an active :class:`repro.engine.faults.FaultPlan`
+    #: (spill I/O failures, worker kills, forced checkpoint pressure).
+    fault_injected: int = 0
+    #: Fork-probe pools rebuilt successfully after a worker death — the
+    #: recovery path that avoids degrading to serial execution.
+    pool_recoveries: int = 0
+    #: Parallel executions that degraded to serial after the pool (and, on
+    #: the fork backend, one rebuild attempt) failed.  Always paired with a
+    #: ``warnings.warn`` and a trace degradation event — never silent.
+    serial_fallbacks: int = 0
     #: Reservoir samples built for the sampling-based estimator (one per
     #: ``repro.engine.sampling.sampled_stats`` call) — re-sampling after a
     #: relation invalidation shows up here.

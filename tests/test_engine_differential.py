@@ -16,6 +16,14 @@ spill partition collide.  The tiny budget (4 rows, fan-out 2, recursion
 allowed down to 2-row partitions) forces constant spilling and re-splitting
 on even the smallest instances.
 
+Every grid point additionally pins the complete memory model: zero
+``spill_overflows`` (sort, dedup, checkpoints, and unsplittable join
+partitions all spill or chunk within the budget) and zero leaked spill
+files.  A *chaos axis* re-runs the cases under random
+:class:`~repro.engine.faults.FaultPlan` schedules — injected spill I/O
+failures and worker kills may cost an evaluation its answer (the typed
+``EngineFaultError``) but never corrupt it.
+
 Seeding: cases derive from ``--fuzz-seed`` (see ``tests/conftest.py``), so a
 CI matrix leg can explore a different instance family per run — including
 under ``PYTHONHASHSEED=random``, which perturbs partition routing — while
@@ -23,6 +31,7 @@ any failure stays replayable by rerunning with the printed seed.
 """
 
 import random
+import warnings
 
 import pytest
 
@@ -33,8 +42,15 @@ from repro.algebra import (
     naive_project,
 )
 from repro.api import BACKENDS, Session
-from repro.engine import EngineEvaluator, MemoryBudget, default_backend
+from repro.engine import (
+    EngineEvaluator,
+    EngineFaultError,
+    FaultPlan,
+    MemoryBudget,
+    default_backend,
+)
 from repro.expressions.ast import Expression, Join, Operand, Projection
+from repro.perf import kernel_counters
 
 ATTRIBUTE_POOL = tuple("ABCDEFGH")
 TINY_BUDGET_ROWS = 4
@@ -134,12 +150,18 @@ def _assert_engine_matches_reference(
     evaluator = EngineEvaluator(
         budget=budget, workers=workers, parallel_backend=backend
     )
+    before = kernel_counters().snapshot()
     result, trace = evaluator.evaluate(expression, bindings)
     detail = (
         f"{context} budget={budget_rows} workers={workers} backend={backend}\n"
         f"expression: {expression.to_text()}\n"
         f"bindings: { {name: len(rel) for name, rel in bindings.items()} }"
     )
+    # The complete-memory-model contract: with sort, dedup, checkpoints, and
+    # unsplittable join partitions all spilling (or chunking), no grid point
+    # may overrun the budget — a nonzero overflow here is a regression.
+    overflows = kernel_counters().delta_since(before)["spill_overflows"]
+    assert overflows == 0, f"spill_overflows={overflows}\n{detail}"
     assert result.scheme.name_set == reference.scheme.name_set, detail
     realigned = (
         result
@@ -217,7 +239,8 @@ def test_degenerate_shapes_survive_every_config(tmp_path):
             {"R": heavy, "S": wide},
         ),
         # Disjoint schemes: the keyless product cannot be split by any
-        # partitioning and must take the overflow path under a tiny budget.
+        # partitioning and must take the chunked block-nested-loop path
+        # under a tiny budget (bounded memory, zero overflows).
         (
             Operand("R", one_column.scheme).join(Operand("S", wide.scheme)),
             {"R": one_column, "S": wide},
@@ -249,6 +272,52 @@ def test_degenerate_shapes_survive_every_config(tmp_path):
                 tmp_path,
                 context=f"degenerate case={case_index}",
             )
+
+
+def test_chaos_fuzz_faults_never_corrupt_results(fuzz_seed, tmp_path):
+    """The chaos axis: every random case runs under a random
+    :class:`~repro.engine.faults.FaultPlan` on every grid point.  Each
+    evaluation must either complete set-equal to the reference (the fault
+    was absorbed by retries, a pool rebuild, or a loud serial fallback) or
+    raise the typed :class:`EngineFaultError` — an injected fault may cost
+    the answer, never corrupt it — and must leak no spill files either way."""
+    rng = random.Random(fuzz_seed ^ 0xFA017)
+    for case_index in range(12):
+        expression, bindings = _random_case(rng)
+        reference = _reference_evaluate(expression, bindings)
+        for budget_rows, workers in CONFIG_GRID:
+            plan = FaultPlan.random_plan(rng, workers=workers)
+            budget = _tiny_budget(tmp_path) if budget_rows is not None else None
+            evaluator = EngineEvaluator(
+                budget=budget,
+                workers=workers,
+                parallel_backend="thread",
+                faults=plan,
+            )
+            detail = (
+                f"seed={fuzz_seed} case={case_index} plan={plan!r} "
+                f"budget={budget_rows} workers={workers}\n"
+                f"expression: {expression.to_text()}"
+            )
+            result = None
+            with warnings.catch_warnings():
+                # Serial fallbacks warn by contract; the chaos sweep
+                # schedules them on purpose.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                try:
+                    result, _ = evaluator.evaluate(expression, bindings)
+                except EngineFaultError:
+                    result = None  # a typed failure is an allowed outcome
+            if result is not None:
+                assert result.scheme.name_set == reference.scheme.name_set, detail
+                realigned = (
+                    result
+                    if result.scheme.names == reference.scheme.names
+                    else result.project(reference.scheme.names)
+                )
+                assert realigned == reference, detail
+            leftovers = [str(path) for path in tmp_path.iterdir()]
+            assert not leftovers, f"spill files leaked: {leftovers}\n{detail}"
 
 
 def test_session_facade_fuzz_every_backend_matches_reference(fuzz_seed, tmp_path):

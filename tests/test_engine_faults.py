@@ -1,0 +1,439 @@
+"""Fault-injection tests: the engine's failure paths, reached on purpose.
+
+`repro.engine.faults` makes the paths ordinary tests never execute — spill
+I/O failures, fork-pool worker death, checkpoint-cap pressure — reachable
+deterministically, and this module pins their contract:
+
+* a *transient* spill failure (fewer consecutive failures than the retry
+  budget) is absorbed by retry-with-backoff and the evaluation completes
+  with the correct result, the retries and injections visible in counters;
+* a *persistent* failure ends in a typed
+  :class:`~repro.engine.faults.EngineFaultError` with the cleanup
+  guarantees: no leaked spill files or temp dirs, the shared meter drained
+  back to zero;
+* a killed parallel probe worker is recovered by rebuilding the fork pool
+  (``pool_recoveries``) or degrades *loudly* to serial execution
+  (``serial_fallbacks`` + ``RuntimeWarning`` + trace degradation events) —
+  never a silent wrong answer;
+* forced checkpoint-cap pressure under a budget spills the checkpoint
+  (``checkpoint_spills``) instead of abandoning the re-plan
+  (``adaptive_giveups``);
+* spill temp directories are removed at interpreter shutdown even when an
+  execution was abandoned mid-stream (the ``atexit`` registry).
+"""
+
+import glob
+import os
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro.algebra.relation import Relation
+from repro.api import BackendConfig, Session, SessionError
+from repro.engine import (
+    SPILL_BLOCK_ROWS,
+    SPILL_IO_RETRIES,
+    EngineEvaluator,
+    EngineFaultError,
+    FaultInjector,
+    FaultPlan,
+    InjectedFaultError,
+    MemoryBudget,
+    MemoryMeter,
+    Sort,
+    SpillFile,
+    TableScan,
+    default_backend,
+)
+from repro.engine.sampling import AdaptiveConfig
+from repro.expressions.ast import Operand, Projection
+from repro.expressions.evaluator import evaluate
+from repro.perf import kernel_counters, reset_kernel_counters
+
+import random
+
+
+def _join_case(seed=11, rows=400):
+    """A two-join projection whose spill keys split cleanly under a budget."""
+    rng = random.Random(seed)
+    r = Relation.from_rows(
+        "A B", [(rng.randrange(30), i) for i in range(rows)], name="R"
+    )
+    s = Relation.from_rows(
+        "B C", [(i, rng.randrange(30)) for i in range(rows)], name="S"
+    )
+    query = Projection(["A", "C"], Operand("R", "A B").join(Operand("S", "B C")))
+    return query, {"R": r, "S": s}
+
+
+def _budget(tmp_path, rows=8):
+    # min_partition_rows below the budget so replay recursion can always
+    # split a partition down to fitting size (the default 16-row floor
+    # above an 8-row budget would invite partition-allowance overruns).
+    return MemoryBudget(rows=rows, min_partition_rows=2, spill_dir=str(tmp_path))
+
+
+def _delta(before):
+    return kernel_counters().delta_since(before)
+
+
+class TestFaultPlan:
+    def test_validates_one_based_positions(self):
+        with pytest.raises(ValueError):
+            FaultPlan(fail_spill_write_at=0)
+        with pytest.raises(ValueError):
+            FaultPlan(fail_spill_read_at=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(spill_failures=0)
+
+    def test_injects_anything(self):
+        assert not FaultPlan().injects_anything
+        assert FaultPlan(fail_spill_write_at=1).injects_anything
+        assert FaultPlan(fail_spill_read_at=2).injects_anything
+        assert FaultPlan(kill_worker=0).injects_anything
+        assert FaultPlan(checkpoint_cap_rows=4).injects_anything
+
+    def test_random_plan_is_replayable(self):
+        plans = [FaultPlan.random_plan(random.Random(7)) for _ in range(10)]
+        again = [FaultPlan.random_plan(random.Random(7)) for _ in range(10)]
+        assert plans == again
+        assert all(plan.injects_anything for plan in plans)
+
+    def test_evaluator_rejects_non_plan(self):
+        with pytest.raises(TypeError):
+            EngineEvaluator(faults="chaos")
+
+    def test_config_rejects_non_plan(self):
+        with pytest.raises(SessionError):
+            BackendConfig(faults=3)
+
+
+class TestSpillFileRetry:
+    def _spill(self, tmp_path, plan):
+        return SpillFile(
+            str(tmp_path / "fault.spill"), faults=FaultInjector(plan)
+        )
+
+    def test_transient_write_fault_is_retried(self, tmp_path):
+        reset_kernel_counters()
+        spill = self._spill(
+            tmp_path, FaultPlan(fail_spill_write_at=1, spill_failures=1)
+        )
+        rows = [(i,) for i in range(SPILL_BLOCK_ROWS + 5)]
+        for row in rows:
+            spill.append(row)
+        spill.finish()
+        assert [row for block in spill.blocks() for row in block] == rows
+        snapshot = kernel_counters().snapshot()
+        assert snapshot["fault_injected"] >= 1
+        assert snapshot["spill_retries"] >= 1
+        spill.delete()
+
+    def test_persistent_write_fault_raises_typed_error(self, tmp_path):
+        spill = self._spill(
+            tmp_path, FaultPlan(fail_spill_write_at=1, persistent=True)
+        )
+        for i in range(SPILL_BLOCK_ROWS - 1):
+            spill.append((i,))
+        with pytest.raises(EngineFaultError) as info:
+            spill.finish()  # the first flush happens here and fails forever
+        assert isinstance(info.value.__cause__, InjectedFaultError)
+        spill.delete()
+        assert not list(tmp_path.iterdir())
+
+    def test_transient_read_fault_is_retried(self, tmp_path):
+        spill = self._spill(
+            tmp_path, FaultPlan(fail_spill_read_at=2, spill_failures=1)
+        )
+        rows = [(i,) for i in range(SPILL_BLOCK_ROWS * 2)]
+        for row in rows:
+            spill.append(row)
+        spill.finish()
+        assert [row for block in spill.blocks() for row in block] == rows
+        spill.delete()
+
+    def test_persistent_read_fault_raises_typed_error(self, tmp_path):
+        spill = self._spill(
+            tmp_path, FaultPlan(fail_spill_read_at=1, persistent=True)
+        )
+        spill.append((1,))
+        spill.finish()
+        with pytest.raises(EngineFaultError):
+            list(spill.blocks())
+        spill.delete()
+
+    def test_retry_budget_bounds_the_attempts(self, tmp_path):
+        # Exactly SPILL_IO_RETRIES - 1 failures: the last attempt succeeds.
+        reset_kernel_counters()
+        spill = self._spill(
+            tmp_path,
+            FaultPlan(fail_spill_write_at=1, spill_failures=SPILL_IO_RETRIES - 1),
+        )
+        for i in range(SPILL_BLOCK_ROWS):
+            spill.append((i,))
+        spill.finish()
+        assert spill.rows == SPILL_BLOCK_ROWS
+        assert kernel_counters().snapshot()["spill_retries"] == SPILL_IO_RETRIES - 1
+        spill.delete()
+
+
+class TestEvaluatorSpillFaults:
+    def test_transient_fault_recovers_with_correct_result(self, tmp_path):
+        query, bound = _join_case()
+        expected = evaluate(query, bound)
+        reset_kernel_counters()
+        before = kernel_counters().snapshot()
+        evaluator = EngineEvaluator(
+            budget=_budget(tmp_path),
+            faults=FaultPlan(fail_spill_write_at=2, spill_failures=1),
+        )
+        result, _ = evaluator.evaluate(query, bound)
+        delta = _delta(before)
+        assert result == expected
+        assert delta["fault_injected"] >= 1
+        assert delta["spill_retries"] >= 1
+        assert delta["spill_overflows"] == 0
+        assert not list(tmp_path.iterdir()), "spill files leaked"
+
+    def test_persistent_fault_raises_typed_error_and_leaks_nothing(self, tmp_path):
+        query, bound = _join_case()
+        evaluator = EngineEvaluator(
+            budget=_budget(tmp_path),
+            faults=FaultPlan(fail_spill_write_at=1, persistent=True),
+        )
+        with pytest.raises(EngineFaultError):
+            evaluator.evaluate(query, bound)
+        assert not list(tmp_path.iterdir()), "spill files leaked"
+        # The evaluator stays usable: a fresh, unfaulted evaluation of the
+        # same query completes (no inherited state from the failure).
+        clean = EngineEvaluator(budget=_budget(tmp_path))
+        result, _ = clean.evaluate(query, bound)
+        assert result == evaluate(query, bound)
+        assert not list(tmp_path.iterdir())
+
+    def test_read_fault_on_merge_raises_typed_error(self, tmp_path):
+        query, bound = _join_case()
+        evaluator = EngineEvaluator(
+            budget=_budget(tmp_path),
+            faults=FaultPlan(fail_spill_read_at=1, persistent=True),
+        )
+        with pytest.raises(EngineFaultError):
+            evaluator.evaluate(query, bound)
+        assert not list(tmp_path.iterdir()), "spill files leaked"
+
+    def test_operator_meter_drains_to_zero_on_fault(self, tmp_path):
+        # Direct operator check: the evaluator hides its meter, a bare
+        # external sort does not — a mid-merge fault must balance it.
+        rows = [(i % 7, i) for i in range(200)]
+        relation = Relation.from_rows("A B", rows, name="R")
+        budget = _budget(tmp_path, rows=16)
+        injector = FaultInjector(FaultPlan(fail_spill_read_at=1, persistent=True))
+        meter = MemoryMeter(budget.rows, faults=injector)
+        sort = Sort(TableScan(relation, meter), ["A", "B"], meter, budget=budget)
+        with pytest.raises(EngineFaultError):
+            for _ in sort.blocks():
+                pass
+        assert meter.current == 0
+        assert not list(tmp_path.iterdir()), "spill files leaked"
+
+
+class TestWorkerKill:
+    def test_thread_worker_kill_degrades_loudly_to_serial(self):
+        query, bound = _join_case()
+        expected = evaluate(query, bound)
+        reset_kernel_counters()
+        before = kernel_counters().snapshot()
+        evaluator = EngineEvaluator(
+            workers=4, parallel_backend="thread", faults=FaultPlan(kill_worker=1)
+        )
+        with pytest.warns(RuntimeWarning, match="degraded to serial"):
+            result, trace = evaluator.evaluate(query, bound)
+        delta = _delta(before)
+        assert result == expected
+        assert delta["serial_fallbacks"] == 1
+        assert delta["fault_injected"] >= 1
+        assert trace.serial_fallbacks == 1
+        assert trace.degradations and "serial-fallback" in trace.degradations[0]
+
+    def test_fork_worker_kill_recovers_via_pool_rebuild(self):
+        if default_backend() != "fork":
+            pytest.skip("fork start method unavailable on this platform")
+        query, bound = _join_case()
+        expected = evaluate(query, bound)
+        reset_kernel_counters()
+        before = kernel_counters().snapshot()
+        evaluator = EngineEvaluator(
+            workers=4, parallel_backend="fork", faults=FaultPlan(kill_worker=2)
+        )
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", RuntimeWarning)
+                result, trace = evaluator.evaluate(query, bound)
+        finally:
+            evaluator.close()
+        delta = _delta(before)
+        assert result == expected
+        assert delta["pool_recoveries"] == 1
+        assert delta["serial_fallbacks"] == 0
+        assert trace.serial_fallbacks == 0
+
+    def test_unfaulted_parallel_run_does_not_degrade(self):
+        query, bound = _join_case()
+        evaluator = EngineEvaluator(workers=4, parallel_backend="thread")
+        reset_kernel_counters()
+        before = kernel_counters().snapshot()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            result, trace = evaluator.evaluate(query, bound)
+        assert result == evaluate(query, bound)
+        assert _delta(before)["serial_fallbacks"] == 0
+        assert trace.serial_fallbacks == 0
+        assert trace.degradations == []
+
+
+def _three_way_case(seed):
+    """A three-way join that triggers an adaptive re-plan when its plan was
+    pinned against 1-row relations (borrowed from the sampling tests)."""
+    rng = random.Random(seed)
+    r = Relation.from_rows(
+        "A B", [(rng.randint(0, 20), rng.randint(0, 8)) for _ in range(300)], name="R"
+    )
+    s = Relation.from_rows(
+        "B C", [(rng.randint(0, 8), rng.randint(0, 30)) for _ in range(300)], name="S"
+    )
+    t = Relation.from_rows(
+        "C D", [(rng.randint(0, 30), rng.randint(0, 5)) for _ in range(300)], name="T"
+    )
+    query = Projection(
+        ["A", "D"],
+        Operand("R", "A B").join(Operand("S", "B C")).join(Operand("T", "C D")),
+    )
+    return query, {"R": r, "S": s, "T": t}
+
+
+def _tiny_bindings(bound):
+    return {
+        name: Relation.from_rows(
+            relation.scheme, [tuple(1 for _ in relation.scheme.names)], name=name
+        )
+        for name, relation in bound.items()
+    }
+
+
+class TestCheckpointPressure:
+    def test_forced_cap_spills_checkpoint_instead_of_giving_up(self, tmp_path):
+        query, bound = _three_way_case(11)
+        expected = evaluate(query, bound)
+        reset_kernel_counters()
+        before = kernel_counters().snapshot()
+        evaluator = EngineEvaluator(
+            budget=_budget(tmp_path, rows=64),
+            adaptive=AdaptiveConfig(replan_factor=2.0, replan_min_rows=8),
+            faults=FaultPlan(checkpoint_cap_rows=2),
+        )
+        evaluator.plan_for(query, _tiny_bindings(bound))
+        result, trace = evaluator.evaluate(query, bound)
+        delta = _delta(before)
+        assert result == expected
+        assert trace.replans >= 1
+        assert delta["checkpoint_spills"] >= 1
+        assert delta["adaptive_giveups"] == 0
+        assert delta["fault_injected"] >= 1
+        assert not list(tmp_path.iterdir()), "spill files leaked"
+
+    def test_unbudgeted_cap_pressure_keeps_the_giveup_path(self):
+        query, bound = _three_way_case(13)
+        expected = evaluate(query, bound)
+        reset_kernel_counters()
+        before = kernel_counters().snapshot()
+        evaluator = EngineEvaluator(
+            adaptive=AdaptiveConfig(replan_factor=2.0, replan_min_rows=8),
+            faults=FaultPlan(checkpoint_cap_rows=2),
+        )
+        evaluator.plan_for(query, _tiny_bindings(bound))
+        result, trace = evaluator.evaluate(query, bound)
+        delta = _delta(before)
+        assert result == expected
+        assert trace.replans == 0
+        assert delta["adaptive_giveups"] >= 1
+        assert delta["checkpoint_spills"] == 0
+
+
+class TestSessionSurfacing:
+    def test_serial_fallback_reaches_stats_and_unified_trace(self):
+        query, bound = _join_case()
+        expected = evaluate(query, bound)
+        config = BackendConfig(
+            workers=4, parallel_backend="thread", faults=FaultPlan(kill_worker=0)
+        )
+        with Session(bound, config=config) as session:
+            prepared = session.prepare(query)
+            with pytest.warns(RuntimeWarning, match="degraded to serial"):
+                result = prepared.execute()
+            assert result.set_equal(expected)
+            trace = prepared.last_trace()
+            assert trace.serial_fallbacks == 1
+            assert trace.degradations and "serial-fallback" in trace.degradations[0]
+            assert trace.summary()["serial_fallbacks"] == 1.0
+            assert session.stats()["serial_fallbacks"] == 1
+
+    def test_clean_sessions_report_zero_fallbacks(self):
+        query, bound = _join_case()
+        with Session(bound, workers=2, parallel_backend="thread") as session:
+            prepared = session.prepare(query)
+            prepared.execute()
+            assert session.stats()["serial_fallbacks"] == 0
+            assert prepared.last_trace().serial_fallbacks == 0
+
+
+_SHUTDOWN_SCRIPT = """
+import glob, os, sys
+from repro.engine import MemoryBudget, MemoryMeter, SpillingSeenSet
+
+spill_dir = sys.argv[1]
+budget = MemoryBudget(rows=4, spill_fanout=2, spill_dir=spill_dir)
+meter = MemoryMeter(budget.rows)
+
+# An abandoned spilled seen-set: it switched to partition files, and close()
+# is never called — only the atexit registry can remove its directory.
+seen = SpillingSeenSet(meter, budget)
+seen.filter_block([(i,) for i in range(50)])
+assert seen.spilled, "the 50-row block must overflow the 4-row budget"
+left = sorted(glob.glob(os.path.join(spill_dir, "*")))
+assert left, "the spilled set must own a live temp directory"
+print("LEFT-BEHIND:" + ";".join(left))
+"""
+
+
+class TestShutdownCleanup:
+    def test_spill_dirs_are_removed_at_interpreter_shutdown(self, tmp_path):
+        """Abandoned and faulted executions leave no temp dirs after exit:
+        the ``atexit`` registry sweeps whatever a ``finally`` never reached."""
+        env = dict(os.environ, PYTHONPATH="src")
+        process = subprocess.run(
+            [sys.executable, "-c", _SHUTDOWN_SCRIPT, str(tmp_path)],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            timeout=120,
+        )
+        assert process.returncode == 0, process.stderr
+        assert not list(tmp_path.iterdir()), (
+            f"spill dirs survived interpreter shutdown: {list(tmp_path.iterdir())}\n"
+            f"stdout: {process.stdout}"
+        )
+
+    def test_fault_cleanup_needs_no_shutdown(self, tmp_path):
+        """The typed-error path cleans up immediately — shutdown is only the
+        backstop for abandoned iterators."""
+        query, bound = _join_case()
+        evaluator = EngineEvaluator(
+            budget=_budget(tmp_path),
+            faults=FaultPlan(fail_spill_write_at=1, persistent=True),
+        )
+        with pytest.raises(EngineFaultError):
+            evaluator.evaluate(query, bound)
+        assert not glob.glob(str(tmp_path / "*"))

@@ -2,8 +2,9 @@
 
 Covers the spill lifecycle the differential fuzz cannot see directly:
 partition fan-out, recursive re-partitioning of oversized partitions, the
-overflow escape hatch for unsplittable partitions (one heavy key, keyless
-products), temp-file cleanup on normal exhaustion / abandonment / mid-stream
+chunked block-nested-loop fallback for unsplittable partitions (one heavy
+key, keyless products), temp-file cleanup on normal exhaustion / abandonment
+/ mid-stream
 exceptions, and the budgeted m=12 smoke the CI gate runs (set-equal to the
 unbudgeted run while spilling, build tables within the budget).
 """
@@ -54,7 +55,7 @@ def _spill_delta(before):
     return {
         name: value
         for name, value in kernel_counters().delta_since(before).items()
-        if name.startswith(("join_spills", "spill_"))
+        if name.startswith(("join_spills", "join_chunk", "spill_"))
     }
 
 
@@ -116,10 +117,11 @@ class TestSpillLifecycle:
         assert meter.current == 0
         assert not any(tmp_path.iterdir())
 
-    def test_single_heavy_key_takes_the_overflow_path(self, tmp_path):
+    def test_single_heavy_key_takes_the_chunked_path(self, tmp_path):
         # Every build row shares one key: no partitioning can split it, so
-        # after a no-progress re-salt the partition is processed beyond the
-        # budget and the overrun is counted, not masked.
+        # after a no-progress re-salt the partition is joined by the
+        # block-nested-loop fallback — multiple probe passes, the budget
+        # respected, and no overflow counted.
         build = Relation.from_rows("K A", [(0, i) for i in range(60)])
         probe = Relation.from_rows("K B", [(0, -i) for i in range(5)])
         budget = MemoryBudget(rows=8, spill_fanout=2, spill_dir=str(tmp_path))
@@ -129,20 +131,26 @@ class TestSpillLifecycle:
         delta = _spill_delta(before)
         assert result == naive_natural_join(build, probe)
         assert delta["join_spills"] == 1
-        assert delta["spill_overflows"] >= 1
-        assert operator.build_peak_rows == len(build)  # honest accounting
+        assert delta["spill_overflows"] == 0
+        # 60 unsplittable build rows through an 8-row budget: several chunks,
+        # each probing the whole partition again.
+        assert delta["join_chunk_passes"] >= 60 // budget.rows
+        assert 0 < operator.build_peak_rows <= budget.rows
         assert meter.current == 0
         assert not any(tmp_path.iterdir())
 
-    def test_keyless_product_overflows_but_stays_correct(self, tmp_path):
+    def test_keyless_product_chunks_but_stays_correct(self, tmp_path):
         left = Relation.from_rows("A", [(i,) for i in range(40)])
         right = Relation.from_rows("B", [(i,) for i in range(15)])
         budget = MemoryBudget(rows=8, spill_fanout=2, spill_dir=str(tmp_path))
         operator, meter = _grace(left, right, budget)
         before = kernel_counters().snapshot()
         result = _drain(operator)
+        delta = _spill_delta(before)
         assert result == naive_natural_join(left, right)
-        assert _spill_delta(before)["spill_overflows"] >= 1
+        assert delta["spill_overflows"] == 0
+        assert delta["join_chunk_passes"] >= 1
+        assert operator.build_peak_rows <= budget.rows
         assert meter.current == 0
         assert not any(tmp_path.iterdir())
 

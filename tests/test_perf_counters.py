@@ -30,6 +30,14 @@ class TestSnapshotSemantics:
             "spill_rows",
             "spill_recursions",
             "spill_overflows",
+            "join_chunk_passes",
+            "sort_spills",
+            "dedup_spills",
+            "checkpoint_spills",
+            "spill_retries",
+            "fault_injected",
+            "pool_recoveries",
+            "serial_fallbacks",
             "sample_builds",
             "adaptive_replans",
             "adaptive_giveups",
