@@ -123,6 +123,17 @@ ADAPTIVE_CLAUSES = (12, 14)
 ADAPTIVE_MAX_PEAK_RATIO = 3.5
 ADAPTIVE_MAX_RUNTIME_RATIO = 1.1
 
+#: Observability parameters (pay-for-what-you-use, measured at m=12).  An
+#: attached-but-trace-off observability layer must stay within 1.05x of a
+#: bare evaluator (the disabled path is one attribute check per operator);
+#: full span tracing may cost up to 1.25x; and the spans of a traced run
+#: must attribute >= 95% of the measured wall time to operator spans —
+#: otherwise ``explain_analyze`` is decorating, not explaining.
+OBSERVABILITY_CLAUSE_COUNT = 12
+MAX_DISABLED_OBSERVE_RATIO = 1.05
+MAX_TRACING_OVERHEAD_RATIO = 1.25
+MIN_ATTRIBUTED_FRACTION = 0.95
+
 
 def _merge_into_document(updates: Dict) -> Dict:
     """Merge ``updates`` into BENCH_algebra.json and write it back.
@@ -821,6 +832,98 @@ def _check_adaptive(section: Dict) -> None:
     )
 
 
+def run_observability_benchmark(clause_count: int = OBSERVABILITY_CLAUSE_COUNT) -> Dict:
+    """Observability overhead + span attribution at m=12.
+
+    Three evaluators run the same pinned plan in interleaved best-of
+    rounds: a bare one, one with the observability layer attached but
+    tracing off (the production default), and one under full span
+    tracing.  A final traced run feeds ``explain_report`` to measure what
+    fraction of wall time the operator spans explain.
+    """
+    from time import perf_counter
+
+    from repro.obs import ObserveConfig, Tracer, explain_report
+
+    label, query, relation = next(_blowup_instances((clause_count,)))
+    plain = EngineEvaluator()
+    disabled = EngineEvaluator(observe=ObserveConfig(events=True))
+    traced = EngineEvaluator(observe=ObserveConfig(trace=True, events=True))
+
+    base_result, _ = plain.evaluate(query, relation)
+    for contender in (disabled, traced):
+        result, _ = contender.evaluate(query, relation)
+        if result != base_result:
+            raise AssertionError(f"observed evaluator disagreement on {label}")
+
+    plain_seconds, disabled_seconds = _best_of_interleaved(
+        lambda: plain.evaluate(query, relation),
+        lambda: disabled.evaluate(query, relation),
+    )
+    plain_again_seconds, traced_seconds = _best_of_interleaved(
+        lambda: plain.evaluate(query, relation),
+        lambda: traced.evaluate(query, relation),
+    )
+
+    tracer = Tracer()
+    start = perf_counter()
+    result, trace = plain.evaluate(query, relation, tracer=tracer)
+    wall_seconds = perf_counter() - start
+    report = explain_report(
+        trace.spans, total_seconds=wall_seconds, result_rows=len(result)
+    )
+
+    section = {
+        "description": (
+            "pay-for-what-you-use observability: attached-but-off layer vs "
+            "bare evaluator, full span tracing, and explain_analyze span "
+            "attribution (R_G m=%d steady state)" % clause_count
+        ),
+        "case": label,
+        "plain_seconds": round(plain_seconds, 6),
+        "disabled_seconds": round(disabled_seconds, 6),
+        "traced_seconds": round(traced_seconds, 6),
+        "disabled_ratio": round(disabled_seconds / plain_seconds, 4),
+        "tracing_ratio": round(traced_seconds / plain_again_seconds, 4),
+        "max_disabled_ratio": MAX_DISABLED_OBSERVE_RATIO,
+        "max_tracing_ratio": MAX_TRACING_OVERHEAD_RATIO,
+        "span_count": len(trace.spans),
+        "operator_span_count": len(report.operators),
+        "attributed_fraction": round(report.attributed_fraction, 4),
+        "min_attributed_fraction": MIN_ATTRIBUTED_FRACTION,
+    }
+    _merge_into_document({"observability": section})
+    print(
+        f"{label:>14}  plain {plain_seconds * 1e3:,.1f}ms  "
+        f"observe-off {disabled_seconds * 1e3:,.1f}ms "
+        f"({section['disabled_ratio']:.3f}x)  "
+        f"traced {traced_seconds * 1e3:,.1f}ms "
+        f"({section['tracing_ratio']:.3f}x)  "
+        f"attribution {section['attributed_fraction']:.1%} "
+        f"over {section['span_count']} spans"
+    )
+    print(f"observability section -> {OUTPUT_PATH}")
+    return section
+
+
+def _check_observability(section: Dict) -> None:
+    """The observability gate shared by pytest and the standalone sweep."""
+    assert section["disabled_ratio"] <= section["max_disabled_ratio"], (
+        f"attached-but-off observability costs {section['disabled_ratio']}x, "
+        f"exceeding the {section['max_disabled_ratio']}x pay-for-what-you-use "
+        "gate"
+    )
+    assert section["tracing_ratio"] <= section["max_tracing_ratio"], (
+        f"span tracing costs {section['tracing_ratio']}x, exceeding the "
+        f"{section['max_tracing_ratio']}x gate"
+    )
+    assert section["attributed_fraction"] >= section["min_attributed_fraction"], (
+        f"operator spans attribute only {section['attributed_fraction']:.1%} "
+        f"of wall time (gate >= {section['min_attributed_fraction']:.0%}) — "
+        "explain_analyze would be decorating, not explaining"
+    )
+
+
 def test_kernel_speedup_over_seed(emit_result):
     """The compiled kernel must beat the seed implementation by >= 5x overall."""
     document = run_benchmark()
@@ -979,6 +1082,27 @@ def test_engine_robustness_total_spill(emit_result):
     _check_robustness(section)
 
 
+def test_observability_overhead(emit_result):
+    """The observability gate: at m=12 the attached-but-trace-off layer
+    stays within 1.05x of a bare evaluator (tracing is pay-for-what-you-
+    use), full span tracing within 1.25x, and the traced run's operator
+    spans attribute >= 95% of the measured wall time."""
+    section = run_observability_benchmark()
+    emit_result(
+        "BENCH-observability",
+        "span tracing overhead + explain_analyze attribution (R_G m=12)",
+        f"{section['case']:>14}  plain {section['plain_seconds'] * 1e3:,.1f}ms  "
+        f"observe-off {section['disabled_ratio']:.3f}x "
+        f"(gate <= {section['max_disabled_ratio']}x)  "
+        f"traced {section['tracing_ratio']:.3f}x "
+        f"(gate <= {section['max_tracing_ratio']}x)\n"
+        f"{'':>14}  attribution {section['attributed_fraction']:.1%} of wall "
+        f"time over {section['operator_span_count']} operator spans "
+        f"(gate >= {section['min_attributed_fraction']:.0%})",
+    )
+    _check_observability(section)
+
+
 def test_adaptive_estimation_quality(emit_result):
     """The adaptive gate: greedy-with-sampling ordering stays within 3.5x of
     the actual-size oracle at m=12 and m=14 (the instance the backoff
@@ -1040,5 +1164,11 @@ if __name__ == "__main__":
         _check_adaptive(adaptive_section)
     except AssertionError as failure:
         print(f"adaptive gate failed: {failure}")
+        engine_ok = False
+    observability_section = run_observability_benchmark()
+    try:
+        _check_observability(observability_section)
+    except AssertionError as failure:
+        print(f"observability gate failed: {failure}")
         engine_ok = False
     sys.exit(0 if result["geomean_speedup"] >= MIN_EXPECTED_SPEEDUP and engine_ok else 1)

@@ -25,6 +25,10 @@ Subpackages
 ``repro.engine``
     Streaming query-execution engine: statistics catalog, physical
     operators, cost-based planner, ``EngineEvaluator``.
+``repro.obs``
+    Observability: span tracing, the metrics registry (histograms /
+    gauges / counters), the structured event log, and the JSONL /
+    Prometheus exporters behind ``BackendConfig(observe=...)``.
 ``repro.tableaux``
     Tableaux, homomorphisms, conjunctive-query containment (Proposition 2).
 ``repro.sat``
@@ -43,11 +47,12 @@ Subpackages
     Benchmark workload generators, including the paper's worked example.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .api import (
     BACKENDS,
     BackendConfig,
+    ObserveConfig,
     PreparedQuery,
     QueryResult,
     Session,
@@ -63,6 +68,7 @@ __all__ = [
     "__version__",
     "BACKENDS",
     "BackendConfig",
+    "ObserveConfig",
     "Session",
     "connect",
     "PreparedQuery",

@@ -22,12 +22,16 @@ and caching story.  This package is the one front door over all of them:
   :class:`PreparedQuery`; ``execute()`` / ``explain()`` / ``trace()`` then
   behave identically on every backend;
 * :class:`QueryResult` and :class:`UnifiedTrace` are the backend-agnostic
-  result and trace types (:class:`TraceLike` is the structural protocol).
+  result and trace types (:class:`TraceLike` is the structural protocol);
+* :class:`ObserveConfig` (re-exported from :mod:`repro.obs`) switches on
+  the observability layer — span tracing, the structured event log, and
+  the session metrics registry (``BackendConfig(observe=...)``).
 
 ``docs/API.md`` documents the facade, the backend matrix, and the
 prepared-plan/invalidation contract.
 """
 
+from ..obs.config import ObserveConfig
 from .config import BACKENDS, BackendConfig
 from .errors import SessionClosedError, SessionError, UnknownBackendError
 from .prepared import PreparedQuery
@@ -38,6 +42,7 @@ from .trace import TraceLike, UnifiedTrace
 __all__ = [
     "BACKENDS",
     "BackendConfig",
+    "ObserveConfig",
     "Session",
     "connect",
     "PreparedQuery",

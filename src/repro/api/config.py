@@ -17,6 +17,7 @@ from typing import Callable, Optional, Union
 from ..engine.faults import FaultPlan
 from ..engine.physical import MemoryBudget
 from ..engine.sampling import AdaptiveConfig
+from ..obs.config import ObserveConfig
 from .errors import SessionError, UnknownBackendError
 
 __all__ = ["BACKENDS", "BackendConfig"]
@@ -69,6 +70,15 @@ class BackendConfig:
         serial fallback) or raises a typed
         :class:`~repro.engine.faults.EngineFaultError` — never a silent
         wrong answer.  ``None`` (the default) injects nothing.
+    ``observe``
+        An :class:`~repro.obs.ObserveConfig` (or ``True`` for everything
+        on) attaching the observability layer: per-execution span
+        tracing (``UnifiedTrace.spans``, ``explain_analyze()``), a
+        structured event log of spills / re-plans / degradations /
+        faults, and a metrics registry (``Session.metrics()``).  With
+        ``None`` (the default) the session still keeps a metrics
+        registry, but no tracer or event log ever touches the engine's
+        hot path.
     """
 
     backend: str = "engine"
@@ -80,6 +90,7 @@ class BackendConfig:
     max_pools: int = 8
     adaptive: Union[AdaptiveConfig, bool, None] = None
     faults: Optional[FaultPlan] = None
+    observe: Union[ObserveConfig, bool, None] = None
 
     def __post_init__(self):
         """Validate the backend name and knob ranges; coerce budget/adaptive."""
@@ -101,6 +112,12 @@ class BackendConfig:
             raise SessionError(
                 f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
             )
+        try:
+            observe = ObserveConfig.coerce(self.observe)
+        except TypeError as error:
+            raise SessionError(str(error)) from error
+        if observe is not self.observe:
+            object.__setattr__(self, "observe", observe)
 
     def override(self, **changes) -> "BackendConfig":
         """A copy with ``changes`` applied (validated like the constructor)."""

@@ -149,6 +149,42 @@ class PreparedQuery:
         """The most recent execution's trace (``None`` before any execution)."""
         return self._last_trace
 
+    def explain_analyze(self, **bindings: Relation):
+        """Execute once under a span tracer and return the runtime report.
+
+        The engine analogue of SQL ``EXPLAIN ANALYZE``: the pinned plan runs
+        with a fresh :class:`repro.obs.Tracer` attached (regardless of the
+        session's ``observe`` config), and the recorded spans are folded into
+        an :class:`repro.obs.ExplainAnalyzeReport` — per-operator wall time
+        (inclusive and self), rows produced, kernel-counter deltas, plus the
+        plan/spill/replan overhead spans.  Only the ``engine`` backend emits
+        operator spans; other backends return a report whose operator list is
+        empty and whose total is the wall time.
+
+        The traced execution also updates :meth:`last_trace`, whose ``spans``
+        carry the raw span list for custom analysis.
+        """
+        from time import perf_counter
+
+        from ..obs import Tracer, explain_report
+
+        bound = self._merge_overrides(self._current_binding(), bindings)
+        tracer = Tracer()
+        start = perf_counter()
+        relation, trace = self._session._execute_backend(
+            self.backend, self.expression, bound, self._artifact, tracer=tracer
+        )
+        total = perf_counter() - start
+        self._last_trace = trace
+        self._session._count("executes")
+        spans = trace.spans or tracer.finish()
+        return explain_report(
+            spans,
+            total_seconds=total,
+            backend=self.backend,
+            result_rows=len(relation),
+        )
+
     def explain(self) -> str:
         """A human-readable account of how this backend runs the query."""
         bound = self._current_binding()

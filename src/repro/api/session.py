@@ -27,6 +27,7 @@ measurable property rather than a promise.
 from __future__ import annotations
 
 import threading
+from time import perf_counter
 from typing import Dict, Mapping, Optional, Tuple, Union
 
 from ..algebra.database import Database
@@ -35,6 +36,9 @@ from ..expressions.ast import Expression
 from ..expressions.evaluator import InstrumentedEvaluator, evaluate
 from ..expressions.optimizer import OptimizedEvaluator, push_down_projections
 from ..expressions.parser import parse_expression
+from ..obs.config import Observer
+from ..obs.events import EventLog
+from ..obs.metrics import MetricsRegistry, process_metrics
 from .config import BackendConfig, validate_backend
 from .errors import SessionClosedError, SessionError
 from .prepared import PreparedQuery
@@ -109,6 +113,14 @@ class Session:
         self._engine_evaluator = None
         self._instrumented = InstrumentedEvaluator()
         self._optimized = OptimizedEvaluator(estimator=base.size_estimator)
+        # Observability: the observer owns the event log and (usually) the
+        # metrics registry; an unobserved session still keeps a registry so
+        # Session.metrics() always has latency/throughput to show.
+        self._observer = Observer.coerce(base.observe)
+        if self._observer is not None:
+            self._metrics = self._observer.metrics  # None if explicitly off
+        else:
+            self._metrics = MetricsRegistry(parent=process_metrics())
 
     # -- lifecycle -----------------------------------------------------
 
@@ -308,6 +320,7 @@ class Session:
                         max_pools=self.config.max_pools,
                         adaptive=self.config.adaptive,
                         faults=self.config.faults,
+                        observe=self._observer,
                     )
                     self._engine_evaluator = engine
         return engine
@@ -333,9 +346,55 @@ class Session:
         expression: Expression,
         bound: Mapping[str, Relation],
         artifact,
+        tracer=None,
+    ) -> Tuple[Relation, UnifiedTrace]:
+        start = perf_counter()
+        relation, trace = self._dispatch_backend(
+            backend, expression, bound, artifact, tracer
+        )
+        if self._metrics is not None:
+            self._observe_execution(backend, perf_counter() - start, trace)
+        return relation, trace
+
+    def _observe_execution(self, backend, seconds, trace) -> None:
+        """Feed one execution into the session's metrics registry."""
+        metrics = self._metrics
+        metrics.histogram(
+            "repro_query_seconds", help="end-to-end prepared-query latency"
+        ).observe(seconds)
+        metrics.counter("repro_executes_total", help="queries executed").inc()
+        metrics.counter("repro_rows_total", help="result rows returned").inc(
+            trace.result_cardinality
+        )
+        if trace.replans:
+            metrics.counter(
+                "repro_replans_total", help="mid-stream adaptive re-plans"
+            ).inc(trace.replans)
+        if trace.serial_fallbacks:
+            metrics.counter(
+                "repro_serial_fallbacks_total",
+                help="parallel-to-serial degradations",
+            ).inc(trace.serial_fallbacks)
+        spilled = trace.counters.get("spill_rows", 0) if trace.counters else 0
+        if spilled:
+            metrics.counter("repro_spill_rows_total", help="rows spilled").inc(
+                spilled
+            )
+        metrics.gauge(
+            "repro_last_peak_memory_rows",
+            help="peak resident rows of the most recent execution",
+        ).set(trace.peak_memory_rows)
+
+    def _dispatch_backend(
+        self,
+        backend: str,
+        expression: Expression,
+        bound: Mapping[str, Relation],
+        artifact,
+        tracer=None,
     ) -> Tuple[Relation, UnifiedTrace]:
         if backend == "engine":
-            relation, trace = self._engine.evaluate(expression, bound)
+            relation, trace = self._engine.evaluate(expression, bound, tracer=tracer)
             if trace.replans or trace.serial_fallbacks:
                 # Mid-stream re-plans (adaptive mode) and parallel-to-serial
                 # degradations are serving events: surface them next to the
@@ -383,6 +442,34 @@ class Session:
             engine = self._engine_evaluator
         snapshot["open_pools"] = engine.open_pools if engine is not None else 0
         return snapshot
+
+    def metrics(self) -> "MetricsRegistry":
+        """The session's metrics registry (latency, throughput, q-error...).
+
+        Every session keeps one — executions are observed into it and
+        aggregated upward into :func:`repro.obs.process_metrics` — unless
+        the config's :class:`~repro.obs.ObserveConfig` explicitly set
+        ``metrics=False``, in which case this raises
+        :class:`~repro.api.errors.SessionError`.  Render it with
+        :func:`repro.obs.render_prometheus`.
+        """
+        if self._metrics is None:
+            raise SessionError(
+                "metrics were disabled by ObserveConfig(metrics=False)"
+            )
+        return self._metrics
+
+    def events(self) -> Optional["EventLog"]:
+        """The session's structured event log, or ``None`` when not observed.
+
+        Present only when the config's ``observe`` enables events — the
+        log records every spill switch, re-plan, checkpoint, degradation,
+        and injected fault as a timestamped dict (mirrored to JSON-Lines
+        when ``events_path`` is set).
+        """
+        if self._observer is None:
+            return None
+        return self._observer.events
 
     def __repr__(self) -> str:
         if self._default is not None:

@@ -88,6 +88,11 @@ class UnifiedTrace:
     serial_fallbacks: int = 0
     #: Human-readable reasons for every degradation the evaluation absorbed.
     degradations: List[str] = field(default_factory=list)
+    #: Execution spans recorded by :class:`repro.obs.Tracer` when tracing
+    #: was enabled (``ObserveConfig(trace=True)`` or ``explain_analyze()``);
+    #: empty on untraced runs.  Feed them to :func:`repro.obs.span_tree` /
+    #: :func:`repro.obs.explain_report`.
+    spans: List = field(default_factory=list)
     #: The wrapped backend trace, kept for the deprecation shim; ``None``
     #: when the backend produced no trace (the plain naive evaluator).
     raw: Optional[EvaluationTrace] = field(default=None, repr=False, compare=False)
@@ -106,6 +111,7 @@ class UnifiedTrace:
             replans=getattr(trace, "replans", 0),
             serial_fallbacks=getattr(trace, "serial_fallbacks", 0),
             degradations=list(getattr(trace, "degradations", ())),
+            spans=list(getattr(trace, "spans", ()) or ()),
             raw=trace,
         )
 
@@ -138,8 +144,13 @@ class UnifiedTrace:
         the materialising evaluators' analogue is their largest materialised
         intermediate.  This is the one number the blow-up analyses compare
         across backends.
+
+        The dispatch branches on :attr:`backend`, not on truthiness: an
+        engine evaluation whose residency peak really was 0 (e.g. empty
+        inputs) must report 0, not silently fall through to the streamed
+        step cardinalities, which measure throughput rather than residency.
         """
-        if self.peak_live_rows:
+        if self.backend == "engine":
             return self.peak_live_rows
         return self.peak_intermediate_cardinality
 

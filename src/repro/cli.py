@@ -37,6 +37,18 @@ Python:
     ``--paper`` it also reports the re-plan count and mean estimate
     q-error).
 
+``python -m repro trace [--memory-budget ROWS] [--workers N] [--adaptive] [--events PATH]``
+    Execute the paper's worked example under a span tracer and print the
+    ``EXPLAIN ANALYZE`` report — per-operator wall time (inclusive/self),
+    rows produced, and the plan/spill/replan overhead spans — followed by
+    the structured event log (``--events PATH`` additionally appends the
+    events as JSON Lines).
+
+``python -m repro metrics [--executes N] [--memory-budget ROWS]``
+    Execute the worked example ``N`` times in one observed session and
+    print the session's metrics registry — latency histogram, execute and
+    row counters, peak-memory gauge — in Prometheus text format.
+
 Formulas are written in the textual syntax of
 :func:`repro.sat.parse_formula` (``|`` or ``+`` inside clauses, ``&`` between
 clauses, ``~`` for negation).
@@ -308,6 +320,63 @@ def _command_engine_explain(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _observed_paper_session(arguments: argparse.Namespace, observe):
+    """Open a session over the worked example with the observability layer on."""
+    if arguments.memory_budget is not None and arguments.memory_budget <= 0:
+        raise SystemExit("--memory-budget must be a positive row count")
+    construction = paper_example_construction()
+    expression = Projection([construction.s_attribute], construction.expression)
+    session = Session(
+        construction.relation,
+        backend="engine",
+        budget=arguments.memory_budget,
+        workers=getattr(arguments, "workers", 1),
+        adaptive=getattr(arguments, "adaptive", False),
+        observe=observe,
+    )
+    return session, expression
+
+
+def _command_trace(arguments: argparse.Namespace) -> int:
+    from .obs import ObserveConfig, events_to_jsonl
+
+    if getattr(arguments, "workers", 1) < 1:
+        raise SystemExit("--workers must be >= 1")
+    observe = ObserveConfig(trace=True, events=True)
+    session, expression = _observed_paper_session(arguments, observe)
+    with session:
+        prepared = session.prepare(expression)
+        report = prepared.explain_analyze()
+    print("phi_G =", expression.to_text())
+    print()
+    print(report)
+    events = session.events()
+    if len(events):
+        print()
+        print(f"events ({len(events)}):")
+        for kind, count in sorted(events.counts().items()):
+            print(f"  {kind}: {count}")
+    if arguments.events:
+        with open(arguments.events, "a", encoding="utf-8") as handle:
+            handle.write(events_to_jsonl(events.events()))
+        print(f"\nwrote {len(events)} event(s) to {arguments.events}")
+    return 0
+
+
+def _command_metrics(arguments: argparse.Namespace) -> int:
+    from .obs import render_prometheus
+
+    if arguments.executes < 1:
+        raise SystemExit("--executes must be >= 1")
+    session, expression = _observed_paper_session(arguments, True)
+    with session:
+        prepared = session.prepare(expression)
+        for _ in range(arguments.executes):
+            prepared.execute()
+        print(render_prometheus(session.metrics()), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -431,6 +500,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="explain and execute the paper's worked example on its real relation",
     )
     explain_parser.set_defaults(handler=_command_engine_explain)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run the worked example under a span tracer and print EXPLAIN ANALYZE",
+    )
+    trace_parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="row budget for the engine run (spill spans appear in the report)",
+    )
+    trace_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel probe workers (default 1 = serial)",
+    )
+    trace_parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="adaptive mode: replan/checkpoint spans appear in the report",
+    )
+    trace_parser.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="append the structured event log to PATH as JSON Lines",
+    )
+    trace_parser.set_defaults(handler=_command_trace)
+
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="run the worked example repeatedly and print Prometheus-format metrics",
+    )
+    metrics_parser.add_argument(
+        "--executes",
+        type=int,
+        default=5,
+        help="how many times to execute the prepared query (default 5)",
+    )
+    metrics_parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="row budget for the engine runs",
+    )
+    metrics_parser.set_defaults(handler=_command_metrics)
 
     return parser
 

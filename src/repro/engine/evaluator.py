@@ -61,6 +61,8 @@ from ..expressions.evaluator import (
 )
 from ..perf.counters import kernel_counters
 from .faults import FaultInjector, FaultPlan
+from ..obs.config import Observer, ObserveConfig
+from ..obs.metrics import DEFAULT_QERROR_BUCKETS
 from .parallel import (
     ForkProbePool,
     ParallelExecutionError,
@@ -110,6 +112,7 @@ class EngineEvaluator:
         max_pools: int = 1,
         adaptive: "AdaptiveConfig | bool | None" = None,
         faults: Optional[FaultPlan] = None,
+        observe: "Observer | ObserveConfig | bool | None" = None,
     ):
         """Create an evaluator.
 
@@ -144,6 +147,14 @@ class EngineEvaluator:
         kills parallel workers, or forces checkpoint-cap pressure at the
         scheduled points — the chaos harness for the engine's recovery
         contracts.
+
+        ``observe`` (an :class:`~repro.obs.ObserveConfig`, an existing
+        :class:`~repro.obs.Observer`, or ``True``) attaches the
+        observability layer: span tracing per evaluation (surfaced on
+        the trace's ``spans``), a structured event log of every spill /
+        re-plan / degradation / injected fault, and a metrics registry.
+        Tracing is pay-for-what-you-use — with ``observe=None`` (the
+        default) or ``trace=False`` the hot path sees no tracer at all.
         """
         base = config or PlannerConfig()
         coerced = MemoryBudget.coerce(budget)
@@ -156,6 +167,7 @@ class EngineEvaluator:
         if faults is not None and not isinstance(faults, FaultPlan):
             raise TypeError(f"faults must be a FaultPlan or None, got {faults!r}")
         self.faults = faults
+        self.observer = Observer.coerce(observe)
         self._planner = Planner(base)
         self._pin_plans = pin_plans
         self._plans: Dict[Expression, PhysicalPlan] = {}
@@ -350,7 +362,10 @@ class EngineEvaluator:
         return workers
 
     def evaluate(
-        self, expression: Expression, arguments: ArgumentLike
+        self,
+        expression: Expression,
+        arguments: ArgumentLike,
+        tracer: Optional[object] = None,
     ) -> Tuple[Relation, EvaluationTrace]:
         """Evaluate and return ``(result, trace)``.
 
@@ -359,9 +374,37 @@ class EngineEvaluator:
         execution they are summed across workers); ``peak_live_rows``
         reports the high-water mark of rows resident in engine state, and
         ``peak_build_rows`` the largest single hash-join build table.
+
+        ``tracer`` optionally forces span tracing for this one call (the
+        ``explain_analyze`` path); by default a tracer is minted per
+        evaluation only when the evaluator was built with an ``observe``
+        config that enables tracing.  When a tracer runs, the finished
+        span tree is surfaced on the trace's ``spans``.
         """
+        observer = self.observer
+        if tracer is None and observer is not None:
+            tracer = observer.tracer()
+        events = observer.events if observer is not None else None
+        if tracer is None or not tracer.enabled:
+            return self._evaluate(expression, arguments, None, events)
+        with tracer.span("execute", "evaluate"):
+            result, trace = self._evaluate(expression, arguments, tracer, events)
+        trace.spans = tracer.finish()
+        return result, trace
+
+    def _evaluate(
+        self,
+        expression: Expression,
+        arguments: ArgumentLike,
+        tracer: Optional[object],
+        events: Optional[object],
+    ) -> Tuple[Relation, EvaluationTrace]:
         bound = bind_arguments(expression, arguments)
-        plan = self.plan_for(expression, bound)
+        if tracer is not None:
+            with tracer.span("plan", "plan_for"):
+                plan = self.plan_for(expression, bound)
+        else:
+            plan = self.plan_for(expression, bound)
         trace = EvaluationTrace()
         trace.input_cardinality = sum(len(relation) for relation in bound.values())
         counters = kernel_counters()
@@ -371,18 +414,29 @@ class EngineEvaluator:
         budget_rows = budget.rows if budget is not None else None
         faults = self.faults
         injector = (
-            FaultInjector(faults)
+            FaultInjector(faults, events=events)
             if faults is not None and faults.injects_anything
             else None
         )
-        meter = MemoryMeter(budget_rows, faults=injector)
+        meter = MemoryMeter(
+            budget_rows, faults=injector, tracer=tracer, events=events
+        )
         workers = self._effective_workers(plan, bound)
         parallel = None
+        root = None
         if workers > 1:
             backend = self._parallel_backend or default_backend()
-            parallel, meter = self._execute_parallel(
-                plan, bound, workers, budget_rows, backend, meter, injector, trace, counters
-            )
+            if tracer is not None:
+                with tracer.span("parallel", backend):
+                    parallel, meter = self._execute_parallel(
+                        plan, bound, workers, budget_rows, backend, meter,
+                        injector, trace, counters,
+                    )
+            else:
+                parallel, meter = self._execute_parallel(
+                    plan, bound, workers, budget_rows, backend, meter, injector,
+                    trace, counters,
+                )
 
         if parallel is not None:
             rows: Set[Tuple] = parallel.rows
@@ -416,7 +470,12 @@ class EngineEvaluator:
             self._record_q_errors(root, counters)
         else:
             root = plan.executor(bound, meter)
-            rows = drain_metered(root, meter)
+            if tracer is not None:
+                with tracer.span("materialize", "drain") as span:
+                    rows = drain_metered(root, meter)
+                    span.rows = len(rows)
+            else:
+                rows = drain_metered(root, meter)
             result = Relation._from_trusted(root.scheme, frozenset(rows))
             self._record_steps(root, trace)
             trace.peak_live_rows = meter.peak
@@ -426,7 +485,28 @@ class EngineEvaluator:
 
         trace.kernel_activity = counters.delta_since(before)
         trace.result_cardinality = len(result)
+        observer = self.observer
+        if observer is not None and observer.metrics is not None and root is not None:
+            self._observe_q_errors(observer.metrics, root)
         return result, trace
+
+    @staticmethod
+    def _observe_q_errors(metrics, root: PhysicalOperator) -> None:
+        """Feed per-operator q-errors into the observer's histogram.
+
+        The counter-based mean/max in :mod:`repro.perf.counters` stays the
+        always-on cheap signal; this histogram adds per-window p50/p95
+        when an observer with metrics is attached.
+        """
+        histogram = metrics.histogram(
+            "repro_qerror",
+            DEFAULT_QERROR_BUCKETS,
+            help="per-operator cardinality estimate q-error",
+        )
+        for operator in operators_in_order(root):
+            if isinstance(operator, AdaptiveGuard):
+                continue
+            histogram.observe(q_error(operator.est_rows, operator.rows_out))
 
     def _execute_parallel(
         self,
@@ -492,11 +572,21 @@ class EngineEvaluator:
                         self._drop_pool(plan, bound, workers, budget_rows)
                     if not rebuilt:
                         rebuilt = True
+                        if meter.events is not None:
+                            meter.events.emit(
+                                "pool-rebuild",
+                                backend=backend,
+                                error=f"{type(error).__name__}: {error}",
+                            )
                         continue
                 counters.add(serial_fallbacks=1)
                 reason = f"{type(error).__name__}: {error}"
                 trace.serial_fallbacks += 1
                 trace.degradations.append(f"serial-fallback: {reason}")
+                if meter.events is not None:
+                    meter.events.emit(
+                        "serial-fallback", backend=backend, reason=reason
+                    )
                 warnings.warn(
                     f"parallel execution degraded to serial ({reason})",
                     RuntimeWarning,
@@ -505,7 +595,12 @@ class EngineEvaluator:
                 # An aborted thread-backend attempt may have left its
                 # acquisitions on the meter; the serial run gets a fresh one
                 # so phantom rows cannot eat the budget or inflate the peak.
-                return None, MemoryMeter(budget_rows, faults=injector)
+                return None, MemoryMeter(
+                    budget_rows,
+                    faults=injector,
+                    tracer=meter.tracer,
+                    events=meter.events,
+                )
 
     # -- adaptive execution (sampled stats + mid-stream re-planning) ----
 
@@ -601,13 +696,24 @@ class EngineEvaluator:
                 root = current.executor(bindings, meter, guard_for=guard_for)
                 rows: Set[Tuple] = set()
                 size = 0
+                tracer = meter.tracer
                 try:
-                    for block in root.blocks():
-                        rows.update(block)
-                        grown = len(rows)
-                        if grown != size:
-                            meter.acquire(grown - size)
-                            size = grown
+                    if tracer is not None and tracer.enabled:
+                        with tracer.span("materialize", "drain") as span:
+                            for block in root.blocks():
+                                rows.update(block)
+                                grown = len(rows)
+                                if grown != size:
+                                    meter.acquire(grown - size)
+                                    size = grown
+                            span.rows = size
+                    else:
+                        for block in root.blocks():
+                            rows.update(block)
+                            grown = len(rows)
+                            if grown != size:
+                                meter.acquire(grown - size)
+                                size = grown
                     return rows, root, replans, aborted_build_peak
                 except ReplanTriggered as trigger:
                     # Partial result rows are discarded (the revised plan
@@ -622,16 +728,39 @@ class EngineEvaluator:
                             for operator in operators_in_order(root)
                         ),
                     )
-                    revised = self._revise_plan(
-                        current, trigger.guard.node, bindings, checkpoints, meter
+                    trigger_label = (
+                        trigger.guard.node.kind
+                        if trigger.guard.node is not None
+                        else "unknown"
                     )
+                    if tracer is not None and tracer.enabled:
+                        with tracer.span("replan", trigger_label):
+                            revised = self._revise_plan(
+                                current, trigger.guard.node, bindings, checkpoints,
+                                meter,
+                            )
+                    else:
+                        revised = self._revise_plan(
+                            current, trigger.guard.node, bindings, checkpoints, meter
+                        )
                     if revised is None:
                         give_up = True
                         counters.add(adaptive_giveups=1)
+                        if meter.events is not None:
+                            meter.events.emit(
+                                "degradation",
+                                what="adaptive-giveup",
+                                trigger=trigger_label,
+                                replans=replans,
+                            )
                         continue
                     current = revised
                     replans += 1
                     counters.add(adaptive_replans=1)
+                    if meter.events is not None:
+                        meter.events.emit(
+                            "replan", trigger=trigger_label, attempt=replans
+                        )
         finally:
             for ckpt in checkpoints.values():
                 if isinstance(ckpt, SpilledCheckpoint):
@@ -666,6 +795,8 @@ class EngineEvaluator:
         if self.faults is not None and self.faults.checkpoint_cap_rows is not None:
             cap = self.faults.checkpoint_cap_rows
             kernel_counters().add(fault_injected=1)
+            if meter.events is not None:
+                meter.events.emit("fault", site="checkpoint-cap", cap=cap)
         stack, chain = self._spine(plan.root)
         if trigger_node is None or all(node is not trigger_node for node in chain):
             return None
@@ -675,9 +806,17 @@ class EngineEvaluator:
             if node is trigger_node:
                 break
         probe_node = trigger_node.children[trigger_node.probe_child_index()]
-        rows = self._materialize(
-            probe_node, bindings, meter, None if budget is not None else cap
-        )
+        tracer = meter.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("checkpoint", "materialize-prefix") as span:
+                rows = self._materialize(
+                    probe_node, bindings, meter, None if budget is not None else cap
+                )
+                span.rows = len(rows) if rows is not None else 0
+        else:
+            rows = self._materialize(
+                probe_node, bindings, meter, None if budget is not None else cap
+            )
         if rows is None:
             return None
         name = f"__checkpoint_{len(checkpoints) + 1}__"
@@ -689,12 +828,21 @@ class EngineEvaluator:
                 spilled.append(row)
             spilled.finish()
             kernel_counters().add(checkpoint_spills=1)
+            if meter.events is not None:
+                meter.events.emit("checkpoint-spill", name=name, rows=len(rows))
             checkpoint: object = spilled
         else:
             if budget is None:
                 meter.acquire(len(rows))
             checkpoint = Relation._from_trusted(probe_node.scheme, frozenset(rows))
         checkpoints[name] = checkpoint
+        if meter.events is not None:
+            meter.events.emit(
+                "checkpoint",
+                name=name,
+                rows=len(rows),
+                spilled=isinstance(checkpoint, SpilledCheckpoint),
+            )
         checkpoint_node = PlanNode(
             kind="scan",
             scheme=checkpoint.scheme,

@@ -162,11 +162,15 @@ class FaultInjector:
     injector across workers).  Each scheduled injection increments the
     ``fault_injected`` kernel counter before raising
     :class:`InjectedFaultError`, so traces show exactly how many faults an
-    evaluation absorbed.
+    evaluation absorbed.  When an :class:`repro.obs.events.EventLog` is
+    attached (``events``), every injection additionally emits a ``fault``
+    event — the chaos harness cross-checks that the in-process
+    ``fault_injected`` delta and the ``fault`` event count agree.
     """
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan, events: Optional[object] = None):
         self.plan = plan
+        self.events = events
         self._writes = 0
         self._reads = 0
         self._write_failures_left = plan.spill_failures
@@ -177,6 +181,8 @@ class FaultInjector:
         from ..perf.counters import kernel_counters
 
         kernel_counters().add(fault_injected=1)
+        if self.events is not None:
+            self.events.emit("fault", site=f"spill-{kind}")
         raise InjectedFaultError(f"injected spill {kind} fault ({self.plan!r})")
 
     def on_spill_write(self) -> None:

@@ -181,6 +181,8 @@ def _run_threads(
                 # mid-probe and the pool-level error handling must degrade
                 # loudly (serial fallback), never return a partial result.
                 _COUNTERS.add(fault_injected=1)
+                if meter.events is not None:
+                    meter.events.emit("fault", site="worker-kill", worker=index)
                 raise InjectedFaultError(f"injected death of probe worker {index}")
             root = plan.executor(bindings, meter, probe_slice=(index, workers))
             rows = drain_metered(root, meter)

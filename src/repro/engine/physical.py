@@ -216,16 +216,27 @@ class MemoryMeter:
     :class:`~repro.engine.faults.FaultInjector`; the meter is the one object
     every operator of a plan already shares, so it doubles as the channel
     through which spill files find the injector without widening every
-    operator signature.
+    operator signature.  ``tracer`` and ``events`` ride the same channel:
+    a :class:`repro.obs.tracer.Tracer` (``None`` when tracing is off — the
+    pay-for-what-you-use contract) and a
+    :class:`repro.obs.events.EventLog` for spill/degradation events.
     """
 
-    __slots__ = ("current", "peak", "budget", "faults", "_lock")
+    __slots__ = ("current", "peak", "budget", "faults", "tracer", "events", "_lock")
 
-    def __init__(self, budget: Optional[int] = None, faults: Optional[object] = None) -> None:
+    def __init__(
+        self,
+        budget: Optional[int] = None,
+        faults: Optional[object] = None,
+        tracer: Optional[object] = None,
+        events: Optional[object] = None,
+    ) -> None:
         self.current = 0
         self.peak = 0
         self.budget = budget
         self.faults = faults
+        self.tracer = tracer
+        self.events = events
         self._lock = threading.Lock()
 
     def acquire(self, rows: int = 1) -> None:
@@ -285,14 +296,22 @@ class SpillFile:
     Exhausted retries raise :class:`~repro.engine.faults.EngineFaultError`.
     """
 
-    __slots__ = ("path", "rows", "_file", "_buffer", "_faults")
+    __slots__ = ("path", "rows", "_file", "_buffer", "_faults", "_tracer", "_events")
 
-    def __init__(self, path: str, faults: Optional[object] = None) -> None:
+    def __init__(
+        self,
+        path: str,
+        faults: Optional[object] = None,
+        tracer: Optional[object] = None,
+        events: Optional[object] = None,
+    ) -> None:
         self.path = path
         self.rows = 0
         self._file = None
         self._buffer: Block = []
         self._faults = faults
+        self._tracer = tracer
+        self._events = events
 
     def append(self, row: Row) -> None:
         """Buffer one row, flushing a pickle frame when the buffer fills."""
@@ -303,11 +322,24 @@ class SpillFile:
     def _flush(self) -> None:
         if not self._buffer:
             return
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("spill-write", self.path) as span:
+                span.rows = len(self._buffer)
+                self._flush_attempts()
+        else:
+            self._flush_attempts()
+
+    def _flush_attempts(self) -> None:
         faults = self._faults
         last_error: Optional[OSError] = None
         for attempt in range(SPILL_IO_RETRIES):
             if attempt:
                 _COUNTERS.add(spill_retries=1)
+                if self._events is not None:
+                    self._events.emit(
+                        "spill-retry", op="write", path=self.path, attempt=attempt
+                    )
                 time.sleep(_SPILL_RETRY_BACKOFF * (1 << (attempt - 1)))
             try:
                 if faults is not None:
@@ -349,6 +381,10 @@ class SpillFile:
         for attempt in range(SPILL_IO_RETRIES):
             if attempt:
                 _COUNTERS.add(spill_retries=1)
+                if self._events is not None:
+                    self._events.emit(
+                        "spill-retry", op="open", path=self.path, attempt=attempt
+                    )
                 time.sleep(_SPILL_RETRY_BACKOFF * (1 << (attempt - 1)))
             try:
                 if faults is not None:
@@ -362,7 +398,20 @@ class SpillFile:
         ) from last_error
 
     def blocks(self) -> Iterator[Block]:
-        """Stream the spilled blocks back (only valid after ``finish``)."""
+        """Stream the spilled blocks back (only valid after ``finish``).
+
+        When a tracer rides along, the whole read stream is wrapped in
+        one ``spill-read`` span that accumulates only time spent inside
+        the reads (the consumer's processing time does not count).
+        """
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            return tracer.stream(
+                "spill-read", self.path, self._read_blocks(), rows=lambda: self.rows
+            )
+        return self._read_blocks()
+
+    def _read_blocks(self) -> Iterator[Block]:
         if self.rows == 0:
             return
         faults = self._faults
@@ -375,6 +424,13 @@ class SpillFile:
                 for attempt in range(SPILL_IO_RETRIES):
                     if attempt:
                         _COUNTERS.add(spill_retries=1)
+                        if self._events is not None:
+                            self._events.emit(
+                                "spill-retry",
+                                op="read",
+                                path=self.path,
+                                attempt=attempt,
+                            )
                         time.sleep(_SPILL_RETRY_BACKOFF * (1 << (attempt - 1)))
                     try:
                         if faults is not None:
@@ -464,6 +520,8 @@ class SpillingSeenSet:
         return SpillFile(
             os.path.join(self._spill_dir, f"part-{self._sequence:06d}.spill"),
             faults=self.meter.faults,
+            tracer=self.meter.tracer,
+            events=self.meter.events,
         )
 
     def _switch(self) -> None:
@@ -472,6 +530,13 @@ class SpillingSeenSet:
         self._spill_dir = _new_spill_dir(self._prefix, self._budget.spill_dir)
         self._parts = [self._new_file() for _ in range(self._fanout)]
         _COUNTERS.add(dedup_spills=1, spill_partitions=self._fanout)
+        if self.meter.events is not None:
+            self.meter.events.emit(
+                "spill",
+                operator="dedup",
+                rows=self._resident,
+                fanout=self._fanout,
+            )
         parts = self._parts
         fanout = self._fanout
         for row in self._seen:
@@ -731,7 +796,20 @@ class PhysicalOperator:
         self.meter = meter
 
     def blocks(self) -> Iterator[Block]:
-        """Yield the output as a sequence of row blocks (fresh generator)."""
+        """Yield the output as a sequence of row blocks (fresh generator).
+
+        When the shared meter carries an enabled tracer the stream is
+        wrapped in a timed ``operator`` span; otherwise the operator's
+        raw generator is returned untouched, so disabled tracing costs
+        one attribute check per operator and nothing per block.
+        """
+        tracer = self.meter.tracer
+        if tracer is None or not tracer.enabled:
+            return self._blocks()
+        return tracer.operator_stream(self, self._blocks())
+
+    def _blocks(self) -> Iterator[Block]:
+        """The operator's block generator (implemented by subclasses)."""
         raise NotImplementedError
 
     def __iter__(self) -> Iterator[Row]:
@@ -761,7 +839,7 @@ class TableScan(PhysicalOperator):
         self._name = name or relation.name or "relation"
         self.scheme = relation.scheme
 
-    def blocks(self) -> Iterator[Block]:
+    def _blocks(self) -> Iterator[Block]:
         """Stream the output blocks (see the operator iterator contract)."""
         self.rows_out = 0
         block: Block = []
@@ -815,7 +893,7 @@ class PartitionedScan(PhysicalOperator):
         self.scheme = relation.scheme
         self.consumes_probe_slice = True
 
-    def blocks(self) -> Iterator[Block]:
+    def _blocks(self) -> Iterator[Block]:
         """Stream the output blocks (see the operator iterator contract)."""
         self.rows_out = 0
         index = self._index
@@ -900,7 +978,7 @@ class StreamingProject(PhysicalOperator):
             if _partition_index(PROBE_SLICE_SALT, values, count) == index
         ]
 
-    def blocks(self) -> Iterator[Block]:
+    def _blocks(self) -> Iterator[Block]:
         """Stream the output blocks (see the operator iterator contract)."""
         if not self._dedup:
             return self._blocks_no_dedup()
@@ -1004,7 +1082,7 @@ class HashJoin(PhysicalOperator):
         """The input operators."""
         return (self._left, self._right)
 
-    def blocks(self) -> Iterator[Block]:
+    def _blocks(self) -> Iterator[Block]:
         """Stream the output blocks (see the operator iterator contract)."""
         self.rows_out = 0
         self.build_peak_rows = 0
@@ -1193,6 +1271,8 @@ class GraceHashJoin(HashJoin):
         return SpillFile(
             os.path.join(spill_dir, f"{kind}-{self._spill_sequence:06d}.spill"),
             faults=self.meter.faults,
+            tracer=self.meter.tracer,
+            events=self.meter.events,
         )
 
     def _probe_buckets(
@@ -1236,7 +1316,7 @@ class GraceHashJoin(HashJoin):
             self.rows_out += len(out)
             yield out
 
-    def blocks(self) -> Iterator[Block]:
+    def _blocks(self) -> Iterator[Block]:
         """Stream the output blocks (see the operator iterator contract)."""
         self.rows_out = 0
         self.build_peak_rows = 0
@@ -1281,6 +1361,14 @@ class GraceHashJoin(HashJoin):
                     spill_dir = _new_spill_dir("repro-grace-", budget.spill_dir)
                     build_parts = [self._new_spill(spill_dir, "build") for _ in range(fanout)]
                     _COUNTERS.add(join_spills=1, spill_partitions=fanout)
+                    if meter.events is not None:
+                        meter.events.emit(
+                            "spill",
+                            operator="grace-join",
+                            label=self.label(),
+                            rows=resident,
+                            fanout=fanout,
+                        )
                     for key, bucket in buckets.items():
                         part = build_parts[_partition_index(salt, key, fanout)]
                         for entry in bucket:
@@ -1588,7 +1676,7 @@ class AdaptiveGuard(PhysicalOperator):
         """The guarded operator."""
         return (self._child,)
 
-    def blocks(self) -> Iterator[Block]:
+    def _blocks(self) -> Iterator[Block]:
         """Stream the child's blocks, raising once the threshold is crossed."""
         self.rows_out = 0
         threshold = self.threshold
@@ -1710,7 +1798,7 @@ class MergeJoin(PhysicalOperator):
         if group:
             yield group_key, group
 
-    def blocks(self) -> Iterator[Block]:
+    def _blocks(self) -> Iterator[Block]:
         """Stream the output blocks (see the operator iterator contract)."""
         self.rows_out = 0
         plan = self._plan
@@ -1801,7 +1889,7 @@ class Sort(PhysicalOperator):
         """The input operators."""
         return (self._child,)
 
-    def blocks(self) -> Iterator[Block]:
+    def _blocks(self) -> Iterator[Block]:
         """Stream the output blocks (see the operator iterator contract)."""
         if self._budget is None:
             return self._blocks_in_memory()
@@ -1851,10 +1939,16 @@ class Sort(PhysicalOperator):
             if state["dir"] is None:
                 state["dir"] = _new_spill_dir("repro-sort-", budget.spill_dir)
                 _COUNTERS.add(sort_spills=1)
+                if meter.events is not None:
+                    meter.events.emit(
+                        "spill", operator="sort", rows=state["resident"]
+                    )
             rows.sort(key=sort_key)
             run = SpillFile(
                 os.path.join(state["dir"], f"run-{len(runs):06d}.spill"),
                 faults=meter.faults,
+                tracer=meter.tracer,
+                events=meter.events,
             )
             for row in rows:
                 run.append(row)
@@ -1965,7 +2059,7 @@ class StreamingUnion(PhysicalOperator):
         """The input operators."""
         return (self._left, self._right)
 
-    def blocks(self) -> Iterator[Block]:
+    def _blocks(self) -> Iterator[Block]:
         """Stream the output blocks (see the operator iterator contract)."""
         if self._budget is not None:
             return self._blocks_spilling()
@@ -2052,7 +2146,7 @@ class StreamingDifference(PhysicalOperator):
         """The input operators."""
         return (self._left, self._right)
 
-    def blocks(self) -> Iterator[Block]:
+    def _blocks(self) -> Iterator[Block]:
         """Stream the output blocks (see the operator iterator contract)."""
         if self._budget is not None:
             return self._blocks_spilling()

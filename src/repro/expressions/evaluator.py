@@ -149,6 +149,10 @@ class EvaluationTrace:
     #: Human-readable reasons for every degradation this evaluation
     #: absorbed (e.g. ``"serial-fallback: ParallelExecutionError: ..."``).
     degradations: List[str] = field(default_factory=list)
+    #: Execution spans recorded by a :class:`repro.obs.Tracer` when tracing
+    #: was enabled for the evaluation; empty on untraced runs (the engine
+    #: evaluator populates it, the materialising evaluators leave it empty).
+    spans: List = field(default_factory=list)
 
     def record(self, step: TraceStep) -> None:
         """Append one step to the trace."""

@@ -1,0 +1,66 @@
+"""Exporters: Prometheus text exposition and JSON-Lines event streams.
+
+These renderers keep the observability layer scrape-ready for the
+networked serving tier without taking any dependency: the Prometheus
+renderer follows the text exposition format (``# HELP`` / ``# TYPE``
+comments, ``_bucket{le=...}`` / ``_sum`` / ``_count`` series for
+histograms), and the JSONL renderer is the same one-line-per-event
+framing :class:`repro.obs.events.EventLog` writes incrementally.
+"""
+
+import json
+import re
+from typing import Any, Dict, Iterable, List
+
+from .metrics import MetricsRegistry
+
+__all__ = ["events_to_jsonl", "render_prometheus"]
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    return _NAME_SANITIZER.sub("_", name)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value))
+
+
+def _render_one(lines: List[str], name: str, collected: Dict[str, Any]) -> None:
+    metric = _metric_name(name)
+    if collected.get("help"):
+        lines.append("# HELP %s %s" % (metric, collected["help"]))
+    lines.append("# TYPE %s %s" % (metric, collected["type"]))
+    if collected["type"] in ("counter", "gauge"):
+        lines.append("%s %s" % (metric, _format_value(collected["value"])))
+        return
+    cumulative = 0
+    bounds = list(collected["buckets"]) + [float("inf")]
+    for bound, bucket_count in zip(bounds, collected["bucket_counts"]):
+        cumulative += bucket_count
+        le = "+Inf" if bound == float("inf") else repr(float(bound))
+        lines.append('%s_bucket{le="%s"} %d' % (metric, le, cumulative))
+    lines.append("%s_sum %s" % (metric, _format_value(collected["sum"])))
+    lines.append("%s_count %d" % (metric, collected["count"]))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, collected in registry.collect().items():
+        _render_one(lines, name, collected)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def events_to_jsonl(events: Iterable[Dict[str, Any]]) -> str:
+    """Serialise events as JSON Lines (one compact object per line)."""
+    return "".join(
+        json.dumps(event, sort_keys=True, default=str) + "\n" for event in events
+    )

@@ -128,7 +128,16 @@ class KernelCounters:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def delta_since(self, earlier: Dict[str, int]) -> Dict[str, int]:
-        """Return the per-counter increase since an earlier :meth:`snapshot`."""
+        """Return the per-counter increase since an earlier :meth:`snapshot`.
+
+        Tolerates snapshots from other counter generations: names present in
+        ``earlier`` but unknown to this dataclass (e.g. a counter that was
+        since renamed or removed, or a snapshot persisted by a newer build)
+        are **dropped**, and names missing from ``earlier`` are treated as 0.
+        The result's keys are therefore always exactly this dataclass's
+        fields — callers can rely on the shape regardless of where the
+        snapshot came from.
+        """
         current = self.snapshot()
         return {name: current[name] - earlier.get(name, 0) for name in current}
 

@@ -1,8 +1,8 @@
 """Docstring enforcement for the public serving surface.
 
-Every public symbol of ``repro.api`` and ``repro.engine`` — modules,
-classes, functions, and the public methods/properties they define — must
-carry a docstring.  The same contract is enforced in CI by a ruff
+Every public symbol of ``repro.api``, ``repro.engine`` and ``repro.obs`` —
+modules, classes, functions, and the public methods/properties they define —
+must carry a docstring.  The same contract is enforced in CI by a ruff
 ``pydocstyle`` check (``ruff.toml``, rules D100–D103); this test keeps the
 rule runnable with the baked-in toolchain alone, so a missing docstring
 fails the tier-1 suite before it ever reaches CI.
@@ -16,8 +16,9 @@ import pytest
 
 import repro.api
 import repro.engine
+import repro.obs
 
-PACKAGES = (repro.api, repro.engine)
+PACKAGES = (repro.api, repro.engine, repro.obs)
 
 
 def _iter_modules():

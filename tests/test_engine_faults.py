@@ -388,6 +388,121 @@ class TestSessionSurfacing:
             assert prepared.last_trace().serial_fallbacks == 0
 
 
+class TestFaultEventCrossCheck:
+    """Every in-process injected fault must produce a matching ``fault`` event.
+
+    The chaos layer's no-silent-degradation contract extends to the
+    observability layer: the ``fault_injected`` kernel-counter delta and
+    the event log's ``fault`` count must agree for every in-process
+    injection site (serial spill I/O, thread-backend worker kill,
+    checkpoint-cap pressure).  Fork-pool children are excluded by
+    construction — their counters merge back but their event logs die
+    with the child process, which is why these scenarios pin the serial
+    and thread paths.
+    """
+
+    def _events(self, observer):
+        return observer.events
+
+    def test_serial_spill_faults_match_fault_events(self, tmp_path):
+        from repro.obs import ObserveConfig
+
+        query, bound = _join_case()
+        reset_kernel_counters()
+        before = kernel_counters().snapshot()
+        evaluator = EngineEvaluator(
+            budget=_budget(tmp_path),
+            faults=FaultPlan(fail_spill_write_at=2, spill_failures=2),
+            observe=ObserveConfig(events=True, metrics=False),
+        )
+        result, _ = evaluator.evaluate(query, bound)
+        assert result == evaluate(query, bound)
+        delta = _delta(before)
+        events = evaluator.observer.events
+        assert delta["fault_injected"] >= 1
+        assert len(events.events("fault")) == delta["fault_injected"]
+        assert all(
+            event["site"].startswith("spill-") for event in events.events("fault")
+        )
+        # Retries are events too: each spill_retries increment logged one.
+        assert len(events.events("spill-retry")) == delta["spill_retries"]
+
+    def test_persistent_fault_logs_every_injection_before_raising(self, tmp_path):
+        from repro.obs import ObserveConfig
+
+        query, bound = _join_case()
+        reset_kernel_counters()
+        before = kernel_counters().snapshot()
+        evaluator = EngineEvaluator(
+            budget=_budget(tmp_path),
+            faults=FaultPlan(fail_spill_write_at=1, persistent=True),
+            observe=ObserveConfig(events=True, metrics=False),
+        )
+        with pytest.raises(EngineFaultError):
+            evaluator.evaluate(query, bound)
+        delta = _delta(before)
+        events = evaluator.observer.events
+        assert delta["fault_injected"] >= 1
+        assert len(events.events("fault")) == delta["fault_injected"]
+
+    def test_thread_worker_kill_logs_fault_and_fallback_events(self):
+        query, bound = _join_case()
+        reset_kernel_counters()
+        before = kernel_counters().snapshot()
+        config = BackendConfig(
+            workers=4,
+            parallel_backend="thread",
+            faults=FaultPlan(kill_worker=1),
+            observe=True,
+        )
+        with Session(bound, config=config) as session:
+            with pytest.warns(RuntimeWarning, match="degraded to serial"):
+                session.prepare(query).execute()
+            events = session.events()
+            delta = _delta(before)
+            faults = events.events("fault")
+            assert delta["fault_injected"] >= 1
+            assert len(faults) == delta["fault_injected"]
+            assert any(event["site"] == "worker-kill" for event in faults)
+            assert len(events.events("serial-fallback")) == delta["serial_fallbacks"]
+
+    def test_checkpoint_cap_pressure_logs_fault_and_checkpoint_events(self, tmp_path):
+        from repro.obs import ObserveConfig
+
+        query, bound = _three_way_case(11)
+        reset_kernel_counters()
+        before = kernel_counters().snapshot()
+        evaluator = EngineEvaluator(
+            budget=_budget(tmp_path, rows=64),
+            adaptive=AdaptiveConfig(replan_factor=2.0, replan_min_rows=8),
+            faults=FaultPlan(checkpoint_cap_rows=2),
+            observe=ObserveConfig(events=True, metrics=False),
+        )
+        evaluator.plan_for(query, _tiny_bindings(bound))
+        result, trace = evaluator.evaluate(query, bound)
+        assert result == evaluate(query, bound)
+        delta = _delta(before)
+        events = evaluator.observer.events
+        assert delta["fault_injected"] >= 1
+        assert len(events.events("fault")) == delta["fault_injected"]
+        assert any(
+            event["site"] == "checkpoint-cap" for event in events.events("fault")
+        )
+        assert len(events.events("replan")) == trace.replans >= 1
+        assert events.events("checkpoint-spill"), "cap pressure must spill"
+
+    def test_unfaulted_run_logs_no_fault_events(self, tmp_path):
+        from repro.obs import ObserveConfig
+
+        query, bound = _join_case()
+        evaluator = EngineEvaluator(
+            budget=_budget(tmp_path),
+            observe=ObserveConfig(events=True, metrics=False),
+        )
+        evaluator.evaluate(query, bound)
+        assert evaluator.observer.events.events("fault") == []
+
+
 _SHUTDOWN_SCRIPT = """
 import glob, os, sys
 from repro.engine import MemoryBudget, MemoryMeter, SpillingSeenSet

@@ -71,6 +71,22 @@ class TestSnapshotSemantics:
         delta = counters.delta_since({})
         assert delta["join_probes"] == 4
 
+    def test_delta_since_drops_keys_unknown_to_the_dataclass(self):
+        """A stale snapshot from another counter generation must not leak.
+
+        Snapshots can outlive the code that took them (persisted BENCH
+        sections, traces from an older build).  ``delta_since`` must
+        neither crash on nor propagate counter names this dataclass does
+        not define: the result's keys are exactly the current fields.
+        """
+        counters = KernelCounters()
+        counters.join_probes = 4
+        stale = {"join_probes": 1, "retired_counter_from_v0": 99}
+        delta = counters.delta_since(stale)
+        assert delta["join_probes"] == 3
+        assert "retired_counter_from_v0" not in delta
+        assert set(delta) == set(counters.snapshot())
+
     def test_reset_zeroes_every_counter(self):
         counters = KernelCounters()
         counters.join_plan_misses = 9

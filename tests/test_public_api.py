@@ -12,6 +12,7 @@ SUBPACKAGES = [
     "repro.algebra",
     "repro.expressions",
     "repro.engine",
+    "repro.obs",
     "repro.tableaux",
     "repro.sat",
     "repro.qbf",
@@ -30,6 +31,7 @@ REPRO_EXPORTS = [
     "__version__",
     "BACKENDS",
     "BackendConfig",
+    "ObserveConfig",
     "Session",
     "connect",
     "PreparedQuery",
@@ -44,6 +46,7 @@ REPRO_EXPORTS = [
 REPRO_API_EXPORTS = [
     "BACKENDS",
     "BackendConfig",
+    "ObserveConfig",
     "Session",
     "connect",
     "PreparedQuery",
