@@ -101,6 +101,21 @@ MIN_PARALLEL_SPEEDUP = 1.5
 SERVING_QUERIES = 8
 SERVING_MAX_OVERHEAD = 1.05
 
+#: Networked serving-tier parameters: concurrent keep-alive clients driven
+#: by the load generator, requests each client issues, worker processes
+#: behind the HTTP front, and the allowed end-to-end throughput cost of the
+#: whole tier (HTTP parse + admission + budget lease + pipe IPC + JSON) vs
+#: the same mixed traffic executed directly on one warm in-process Session
+#: (measured ~1.2x; gated at 2x so the serving fleet is guaranteed to
+#: sustain at least half the raw in-process rate).  The override budget is
+#: the per-request engine budget the demonstration leg attaches to every
+#: request — small enough that the heavy three-way join must spill.
+SERVER_CLIENTS = 8
+SERVER_REQUESTS_PER_CLIENT = 25
+SERVER_POOL_SIZE = 2
+SERVER_MAX_OVERHEAD = 2.0
+SERVER_OVERRIDE_BUDGET_ROWS = 64
+
 #: Robustness parameters (the total-spill memory model at m=12).  The
 #: *gated* budget re-runs the spill scenario with the PR 6 machinery
 #: (spilling dedup alongside the Grace joins) and enforces the runtime
@@ -699,6 +714,167 @@ def run_serving_benchmark(num_queries: int = SERVING_QUERIES) -> Dict:
     return section
 
 
+def run_server_benchmark(
+    clients: int = SERVER_CLIENTS,
+    requests_per_client: int = SERVER_REQUESTS_PER_CLIENT,
+) -> Dict:
+    """The networked serving tier under concurrent mixed load.
+
+    Drives ``clients`` keep-alive HTTP clients through the load generator
+    against a :class:`repro.server.ReproServer` worker fleet serving the
+    shared mixed-query workload, records exact p50/p99 request latency and
+    throughput, and compares end-to-end throughput against the same total
+    traffic executed directly on one warm in-process Session (the
+    ``SERVER_MAX_OVERHEAD`` gate).  A second load leg attaches a
+    ``SERVER_OVERRIDE_BUDGET_ROWS`` per-request budget override to every
+    request — the heavy join must spill under it with zero overflows —
+    and a final ``/metrics`` scrape asserts the merged exposition still
+    reports ``repro_spill_overflows_total 0`` across the fleet.  Appends a
+    ``server`` section to ``BENCH_algebra.json``.
+    """
+    import http.client
+
+    from repro.server import ReproServer, run_load
+    from repro.workloads import serving_queries, serving_relations
+
+    relations = serving_relations()
+    queries = serving_queries()
+    total = clients * requests_per_client
+
+    # Direct baseline: the same number of executes, round-robin over the
+    # same prepared queries, on one warm in-process session.
+    with Session(relations, backend="engine") as session:
+        prepared = [session.prepare(query) for query in queries]
+        for query in prepared:
+            query.execute()  # warm the pinned plans
+        executed = 0
+        start = time.perf_counter()
+        while executed < total:
+            for query in prepared:
+                query.execute()
+                executed += 1
+                if executed >= total:
+                    break
+        direct_seconds = time.perf_counter() - start
+    direct_rps = total / direct_seconds
+
+    with ReproServer(relations, pool_size=SERVER_POOL_SIZE) as server:
+        # Warm every worker's sessions and pinned plans off the clock.
+        run_load(
+            "127.0.0.1", server.port, queries,
+            clients=clients, requests_per_client=3,
+        )
+        report = run_load(
+            "127.0.0.1", server.port, queries,
+            clients=clients, requests_per_client=requests_per_client,
+        )
+        override_report = run_load(
+            "127.0.0.1", server.port, queries,
+            clients=clients,
+            requests_per_client=max(2, requests_per_client // 5),
+            budget=SERVER_OVERRIDE_BUDGET_ROWS,
+        )
+        # Probe the override's engine behaviour and scrape the fleet.
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=60
+        )
+        try:
+            connection.request(
+                "POST",
+                "/query",
+                body=json.dumps(
+                    {
+                        "query": queries[-1],
+                        "budget": SERVER_OVERRIDE_BUDGET_ROWS,
+                        "count_only": True,
+                    }
+                ),
+                headers={"Content-Type": "application/json"},
+            )
+            probe = json.loads(connection.getresponse().read())
+            connection.request("GET", "/metrics")
+            exposition = connection.getresponse().read().decode("utf-8")
+        finally:
+            connection.close()
+
+    overflow_samples = [
+        int(line.rsplit(" ", 1)[1])
+        for line in exposition.splitlines()
+        if line.startswith("repro_spill_overflows_total ")
+    ]
+    overhead = direct_rps / report.throughput_rps
+    summary = report.summary()
+    override_summary = override_report.summary()
+    section = {
+        "description": (
+            "concurrent keep-alive clients through the HTTP serving tier "
+            "(admission + shared-budget lease + worker-process dispatch) "
+            "vs the same mixed traffic on one warm in-process Session; "
+            "the override leg forces Grace spilling via a per-request "
+            "engine budget"
+        ),
+        "clients": clients,
+        "requests": summary["requests"],
+        "pool_size": SERVER_POOL_SIZE,
+        "queries": len(queries),
+        "ok": summary["ok"],
+        "errors": summary["errors"],
+        "p50_ms": summary["p50_ms"],
+        "p99_ms": summary["p99_ms"],
+        "throughput_rps": summary["throughput_rps"],
+        "direct_rps": round(direct_rps, 2),
+        "overhead_ratio": round(overhead, 4),
+        "max_overhead_ratio": SERVER_MAX_OVERHEAD,
+        "budget_override": {
+            "budget_rows": SERVER_OVERRIDE_BUDGET_ROWS,
+            "requests": override_summary["requests"],
+            "ok": override_summary["ok"],
+            "p50_ms": override_summary["p50_ms"],
+            "p99_ms": override_summary["p99_ms"],
+            "probe_spilled_rows": probe.get("spilled_rows", 0),
+            "probe_spill_overflows": probe.get("spill_overflows", 0),
+        },
+        "metrics_spill_overflows_total": sum(overflow_samples),
+    }
+    print(
+        f"server x{clients} clients: p50 {summary['p50_ms']:.1f}ms "
+        f"p99 {summary['p99_ms']:.1f}ms, {summary['throughput_rps']:.1f} rps "
+        f"vs direct {direct_rps:.1f} rps ({overhead:.2f}x); override "
+        f"budget {SERVER_OVERRIDE_BUDGET_ROWS}: "
+        f"{probe.get('spilled_rows', 0)} row(s) spilled, "
+        f"{probe.get('spill_overflows', 0)} overflow(s)"
+    )
+    _merge_into_document({"server": section})
+    print(f"server section -> {OUTPUT_PATH}")
+    return section
+
+
+def _check_server(section: Dict) -> None:
+    """The serving-tier gate shared by pytest and the standalone sweep."""
+    assert section["ok"] == section["requests"] and section["errors"] == 0, (
+        f"load run must serve every request: {section['ok']} ok / "
+        f"{section['errors']} error(s) of {section['requests']}"
+    )
+    assert section["clients"] >= 8, "the gate requires >= 8 concurrent clients"
+    assert section["p50_ms"] > 0 and section["p99_ms"] >= section["p50_ms"]
+    assert section["overhead_ratio"] <= section["max_overhead_ratio"], (
+        f"serving-tier throughput cost {section['overhead_ratio']}x exceeds "
+        f"{section['max_overhead_ratio']}x over direct in-process serving"
+    )
+    override = section["budget_override"]
+    assert override["ok"] == override["requests"], (
+        "every budget-override request must be served"
+    )
+    assert override["probe_spilled_rows"] > 0, (
+        "the per-request budget override must actually constrain the "
+        "engine (expected Grace spilling under the tiny budget)"
+    )
+    assert override["probe_spill_overflows"] == 0, "overflow tripwire fired"
+    assert section["metrics_spill_overflows_total"] == 0, (
+        "the merged /metrics exposition must report zero spill overflows"
+    )
+
+
 def _replan_demo() -> Dict:
     """A pinned plan whose estimates collapse must correct itself mid-stream."""
     import random as _random
@@ -1028,6 +1204,34 @@ def test_session_serving_overhead(emit_result):
     _check_serving(section)
 
 
+def test_server_tier_load(emit_result):
+    """Eight concurrent clients through the networked serving tier must be
+    served completely (p50/p99/throughput recorded) at an end-to-end
+    throughput cost within 2x of direct in-process serving, with the
+    per-request budget override spilling (zero overflows) and the merged
+    /metrics exposition confirming the tripwire stayed zero."""
+    section = run_server_benchmark()
+    override = section["budget_override"]
+    emit_result(
+        "BENCH-server",
+        "concurrent mixed load through the HTTP serving tier",
+        f"{section['clients']} clients x {SERVER_REQUESTS_PER_CLIENT} reqs "
+        f"over {section['pool_size']} workers  "
+        f"p50 {section['p50_ms']:.1f}ms  p99 {section['p99_ms']:.1f}ms  "
+        f"{section['throughput_rps']:.1f} rps "
+        f"(direct {section['direct_rps']:.1f} rps, "
+        f"{section['overhead_ratio']:.2f}x)\n"
+        f"override budget {override['budget_rows']} rows: "
+        f"{override['ok']}/{override['requests']} served, "
+        f"p99 {override['p99_ms']:.1f}ms, "
+        f"{override['probe_spilled_rows']} row(s) spilled, "
+        f"{override['probe_spill_overflows']} overflow(s); "
+        f"fleet spill_overflows_total="
+        f"{section['metrics_spill_overflows_total']}",
+    )
+    _check_server(section)
+
+
 def test_engine_spill_and_parallel_probe(emit_result):
     """Budget + parallel smoke: at m=12 a 256-row budget must spill while
     matching the unbudgeted output with every build table inside the budget,
@@ -1158,6 +1362,12 @@ if __name__ == "__main__":
         _check_serving(serving_section)
     except AssertionError as failure:
         print(f"serving gate failed: {failure}")
+        engine_ok = False
+    server_section = run_server_benchmark()
+    try:
+        _check_server(server_section)
+    except AssertionError as failure:
+        print(f"server gate failed: {failure}")
         engine_ok = False
     adaptive_section = run_adaptive_benchmark()
     try:

@@ -29,6 +29,11 @@ Subpackages
     Observability: span tracing, the metrics registry (histograms /
     gauges / counters), the structured event log, and the JSONL /
     Prometheus exporters behind ``BackendConfig(observe=...)``.
+``repro.server``
+    The networked serving tier: an asyncio HTTP front with admission
+    control and a cross-session memory-budget scheduler, dispatching to
+    worker processes holding warm sessions (``repro serve``,
+    ``docs/SERVER.md``).
 ``repro.tableaux``
     Tableaux, homomorphisms, conjunctive-query containment (Proposition 2).
 ``repro.sat``
@@ -47,7 +52,7 @@ Subpackages
     Benchmark workload generators, including the paper's worked example.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .api import (
     BACKENDS,

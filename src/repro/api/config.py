@@ -17,7 +17,7 @@ from typing import Callable, Optional, Union
 from ..engine.faults import FaultPlan
 from ..engine.physical import MemoryBudget
 from ..engine.sampling import AdaptiveConfig
-from ..obs.config import ObserveConfig
+from ..obs.config import Observer, ObserveConfig
 from .errors import SessionError, UnknownBackendError
 
 __all__ = ["BACKENDS", "BackendConfig"]
@@ -78,7 +78,9 @@ class BackendConfig:
         faults, and a metrics registry (``Session.metrics()``).  With
         ``None`` (the default) the session still keeps a metrics
         registry, but no tracer or event log ever touches the engine's
-        hot path.
+        hot path.  A pre-built runtime :class:`~repro.obs.Observer` is
+        accepted as-is, which is how the serving tier shares one event
+        log and metrics registry across a worker's session cache.
     """
 
     backend: str = "engine"
@@ -90,7 +92,7 @@ class BackendConfig:
     max_pools: int = 8
     adaptive: Union[AdaptiveConfig, bool, None] = None
     faults: Optional[FaultPlan] = None
-    observe: Union[ObserveConfig, bool, None] = None
+    observe: Union[Observer, ObserveConfig, bool, None] = None
 
     def __post_init__(self):
         """Validate the backend name and knob ranges; coerce budget/adaptive."""
@@ -112,12 +114,13 @@ class BackendConfig:
             raise SessionError(
                 f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
             )
-        try:
-            observe = ObserveConfig.coerce(self.observe)
-        except TypeError as error:
-            raise SessionError(str(error)) from error
-        if observe is not self.observe:
-            object.__setattr__(self, "observe", observe)
+        if not isinstance(self.observe, Observer):
+            try:
+                observe = ObserveConfig.coerce(self.observe)
+            except TypeError as error:
+                raise SessionError(str(error)) from error
+            if observe is not self.observe:
+                object.__setattr__(self, "observe", observe)
 
     def override(self, **changes) -> "BackendConfig":
         """A copy with ``changes`` applied (validated like the constructor)."""

@@ -49,6 +49,16 @@ Python:
     print the session's metrics registry — latency histogram, execute and
     row counters, peak-memory gauge — in Prometheus text format.
 
+``python -m repro serve [--port 8080] [--pool-size 2] [--total-budget-rows N]``
+    Start the networked serving tier over the demo serving database
+    (``repro.workloads.serving_relations``): an asyncio HTTP front with
+    admission control and a shared memory-budget scheduler, dispatching
+    to worker processes holding warm sessions.  ``POST /query`` serves
+    JSON query requests (per-request ``budget``/``workers`` overrides),
+    ``GET /metrics`` exposes the merged front+worker Prometheus
+    exposition, ``GET /stats`` and ``GET /healthz`` report state.
+    Stop with Ctrl-C.
+
 Formulas are written in the textual syntax of
 :func:`repro.sat.parse_formula` (``|`` or ``+`` inside clauses, ``&`` between
 clauses, ``~`` for negation).
@@ -377,6 +387,53 @@ def _command_metrics(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    import asyncio
+
+    from .server import ReproServer
+    from .workloads import serving_queries, serving_relations
+
+    if arguments.rows < 1:
+        raise SystemExit("--rows must be >= 1")
+    if arguments.session_budget is not None and arguments.session_budget <= 0:
+        raise SystemExit("--session-budget must be a positive row count")
+    if arguments.total_budget_rows is not None and arguments.total_budget_rows <= 0:
+        raise SystemExit("--total-budget-rows must be a positive row count")
+    relations = serving_relations(rows=arguments.rows)
+    server = ReproServer(
+        relations,
+        host=arguments.host,
+        port=arguments.port,
+        pool_size=arguments.pool_size,
+        max_inflight=arguments.max_inflight,
+        total_budget_rows=arguments.total_budget_rows,
+        session_budget=arguments.session_budget,
+        engine_workers=arguments.workers,
+        events_dir=arguments.events_dir,
+        trace=arguments.trace,
+    )
+
+    async def run() -> None:
+        await server.start_async()
+        shapes = ", ".join(
+            f"{name}({', '.join(rel.scheme.names)})"
+            for name, rel in sorted(relations.items())
+        )
+        print(f"serving {shapes} on {server.url}")
+        print(f"  {len(serving_queries())} demo queries, e.g. "
+              f"curl -d '{{\"query\": \"project[A](R * S)\"}}' {server.url}/query")
+        print(f"  metrics: {server.url}/metrics   stats: {server.url}/stats")
+        await server._asyncio_server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -549,6 +606,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="row budget for the engine runs",
     )
     metrics_parser.set_defaults(handler=_command_metrics)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="start the networked serving tier over the demo serving database",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = pick a free port)"
+    )
+    serve_parser.add_argument(
+        "--pool-size", type=int, default=2, help="worker processes (default 2)"
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=16,
+        help="admission bound: concurrent requests beyond this are shed with 503",
+    )
+    serve_parser.add_argument(
+        "--total-budget-rows",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="shared memory-budget pool leased across all requests (default unlimited)",
+    )
+    serve_parser.add_argument(
+        "--session-budget",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="default per-session engine budget (overridable per request)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="engine probe workers inside each worker session (default 1)",
+    )
+    serve_parser.add_argument(
+        "--rows",
+        type=int,
+        default=600,
+        help="rows per relation of the demo serving database (default 600)",
+    )
+    serve_parser.add_argument(
+        "--events-dir",
+        default=None,
+        metavar="DIR",
+        help="mirror each worker's event log to DIR/worker-i.jsonl",
+    )
+    serve_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="span-trace every execution in the workers",
+    )
+    serve_parser.set_defaults(handler=_command_serve)
 
     return parser
 

@@ -34,7 +34,7 @@ Tracing is pay-for-what-you-use: when disabled the hot path sees either
 
 from .config import Observer, ObserveConfig
 from .events import EventLog
-from .export import events_to_jsonl, render_prometheus
+from .export import events_to_jsonl, merge_collected, render_prometheus
 from .metrics import (
     Counter,
     Gauge,
@@ -61,6 +61,7 @@ __all__ = [
     "Tracer",
     "events_to_jsonl",
     "explain_report",
+    "merge_collected",
     "process_metrics",
     "render_prometheus",
     "span_tree",

@@ -67,16 +67,25 @@ class EventLog:
         self.path = path
 
     def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
-        """Record one event and return the stored dict."""
+        """Record one event and return the stored dict.
+
+        The JSONL mirror is written under the same lock that assigns
+        ``seq``: releasing it between the append and the write let two
+        concurrent emitters reach ``open()`` in either order, producing
+        out-of-``seq`` (and, with enough contention, interleaved partial)
+        lines in the file.  Holding the lock across the append-mode write
+        keeps the file a faithful, line-atomic replica of the in-memory
+        order.
+        """
         with _MUTATION_LOCK:
             self._seq += 1
             event = {"ts": self._clock(), "seq": self._seq, "kind": kind}
             event.update(fields)
             self._events.append(event)
-        if self.path is not None:
-            line = json.dumps(event, sort_keys=True, default=str)
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+            if self.path is not None:
+                line = json.dumps(event, sort_keys=True, default=str)
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
         return event
 
     def events(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:

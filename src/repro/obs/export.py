@@ -10,11 +10,11 @@ framing :class:`repro.obs.events.EventLog` writes incrementally.
 
 import json
 import re
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Mapping, Union
 
 from .metrics import MetricsRegistry
 
-__all__ = ["events_to_jsonl", "render_prometheus"]
+__all__ = ["events_to_jsonl", "merge_collected", "render_prometheus"]
 
 _NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -28,15 +28,26 @@ def _format_value(value: Any) -> str:
         return "1" if value else "0"
     if isinstance(value, int):
         return str(value)
+    value = float(value)
+    if value != value:  # NaN compares unequal to itself
+        return "NaN"
     if value == float("inf"):
         return "+Inf"
-    return repr(float(value))
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value)
+
+
+def _escape_help(text: str) -> str:
+    # The exposition format allows only the escapes ``\\`` and ``\n`` in
+    # HELP text; a raw newline would start a bogus exposition line.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _render_one(lines: List[str], name: str, collected: Dict[str, Any]) -> None:
     metric = _metric_name(name)
     if collected.get("help"):
-        lines.append("# HELP %s %s" % (metric, collected["help"]))
+        lines.append("# HELP %s %s" % (metric, _escape_help(collected["help"])))
     lines.append("# TYPE %s %s" % (metric, collected["type"]))
     if collected["type"] in ("counter", "gauge"):
         lines.append("%s %s" % (metric, _format_value(collected["value"])))
@@ -51,12 +62,73 @@ def _render_one(lines: List[str], name: str, collected: Dict[str, Any]) -> None:
     lines.append("%s_count %d" % (metric, collected["count"]))
 
 
-def render_prometheus(registry: MetricsRegistry) -> str:
-    """Render a registry in the Prometheus text exposition format."""
+def render_prometheus(
+    registry: Union[MetricsRegistry, Mapping[str, Dict[str, Any]]],
+) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    ``registry`` is a :class:`~repro.obs.metrics.MetricsRegistry` or an
+    already-collected ``{name: instrument.collect()}`` mapping (what
+    :func:`merge_collected` returns), so cross-process snapshots render
+    through the same code path as live registries.
+    """
+    collected_map = registry.collect() if hasattr(registry, "collect") else registry
     lines: List[str] = []
-    for name, collected in registry.collect().items():
-        _render_one(lines, name, collected)
+    for name in sorted(collected_map):
+        _render_one(lines, name, collected_map[name])
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def merge_collected(
+    collections: Iterable[Mapping[str, Dict[str, Any]]],
+) -> Dict[str, Dict[str, Any]]:
+    """Merge per-process ``registry.collect()`` snapshots into one mapping.
+
+    The serving tier's workers run in their own processes, so their
+    registries cannot parent-propagate into the front's; instead each
+    worker ships its collected snapshot and the front merges them for one
+    scrape.  Counters and histogram ``bucket_counts``/``count``/``sum``
+    add up, ``max`` takes the maximum, gauges keep the last snapshot's
+    value (last writer wins, matching :meth:`Gauge.set`).  A name
+    registered with different types or histogram buckets across
+    snapshots raises ``ValueError`` — silently coercing would corrupt
+    the exposition.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for collection in collections:
+        for name, collected in collection.items():
+            existing = merged.get(name)
+            if existing is None:
+                merged[name] = dict(collected)
+                if collected["type"] == "histogram":
+                    merged[name]["bucket_counts"] = list(collected["bucket_counts"])
+                continue
+            if existing["type"] != collected["type"]:
+                raise ValueError(
+                    "metric %r collected as both %s and %s"
+                    % (name, existing["type"], collected["type"])
+                )
+            if not existing.get("help") and collected.get("help"):
+                existing["help"] = collected["help"]
+            if existing["type"] == "counter":
+                existing["value"] += collected["value"]
+            elif existing["type"] == "gauge":
+                existing["value"] = collected["value"]
+            else:
+                if tuple(existing["buckets"]) != tuple(collected["buckets"]):
+                    raise ValueError(
+                        "histogram %r collected with different buckets" % name
+                    )
+                existing["bucket_counts"] = [
+                    ours + theirs
+                    for ours, theirs in zip(
+                        existing["bucket_counts"], collected["bucket_counts"]
+                    )
+                ]
+                existing["count"] += collected["count"]
+                existing["sum"] += collected["sum"]
+                existing["max"] = max(existing["max"], collected["max"])
+    return merged
 
 
 def events_to_jsonl(events: Iterable[Dict[str, Any]]) -> str:

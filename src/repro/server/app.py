@@ -1,0 +1,553 @@
+"""The serving front: admission, budget leasing, dispatch, observability.
+
+:class:`ReproServer` is the networked tier over the facade: an
+:mod:`asyncio` front accepts JSON query requests, *admits* them against
+a bounded in-flight limit (excess load is shed with a typed 503, never
+queued unboundedly), *leases* each admitted request an engine budget
+from the cross-session :class:`~repro.server.budget.BudgetScheduler`,
+and *dispatches* it to a :class:`~repro.server.worker.WorkerPool` of
+processes holding warm sessions with pinned plans and forked probe
+pools.  Per-request ``budget``/``workers`` overrides travel with the
+request and select (or warm) a matching session in the worker — the
+serving-tier close of PR 4's fixed-at-construction budget follow-up.
+
+Observability is wired end-to-end: the front keeps its own
+:class:`~repro.obs.metrics.MetricsRegistry` (request counts, latency
+histogram, shed/error counters, in-flight gauge), ``GET /metrics``
+merges it with every worker's snapshot via
+:func:`~repro.obs.export.merge_collected` and renders the Prometheus
+exposition, workers mirror their event logs to per-worker JSONL files,
+and a request carrying ``"trace": true`` gets the front's span
+summaries (admit → lease → dispatch) in its response body.
+
+Routes::
+
+    POST /query    {"query": "project[A](R * S)", "budget": 64, ...}
+    GET  /metrics  Prometheus text exposition (front + all workers)
+    GET  /stats    JSON: front counters, budget scheduler, worker pool
+    GET  /healthz  liveness probe
+
+Use :meth:`ReproServer.start` for a daemon-thread server (tests, the
+load generator) or :meth:`ReproServer.serve_forever` under
+``asyncio.run`` for the ``repro serve`` CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from ..algebra.relation import Relation
+from ..api.config import BACKENDS, BackendConfig
+from ..engine.physical import MemoryBudget
+from ..obs.config import Observer, ObserveConfig
+from ..obs.export import merge_collected, render_prometheus
+from ..obs.tracer import Tracer
+from .budget import BudgetScheduler
+from .errors import (
+    BadRequestError,
+    ServerClosedError,
+    ServerError,
+    ServerOverloadedError,
+)
+from .http import HttpError, HttpRequest, read_request, split_target, write_response
+from .worker import WorkerPool
+
+__all__ = ["ReproServer", "ServerConfig"]
+
+#: Lower-layer exception class names that are the *client's* fault: they
+#: cross the worker pipe by name and map to HTTP 400 rather than 500.
+_CLIENT_FAULT_ERRORS = frozenset(
+    {
+        "BadRequestError",
+        "ExpressionError",
+        "SchemeError",
+        "SessionError",
+        "UnknownBackendError",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Every knob of the serving tier, mirroring ``BackendConfig``'s shape.
+
+    ``host`` / ``port``
+        Bind address; port 0 picks a free port (read it back from
+        ``server.port`` after start — how the tests and load generator
+        run without port coordination).
+    ``pool_size``
+        Worker processes, each holding warm sessions (the serving
+        analogue of ``BackendConfig.workers``, which stays the *engine*
+        probe parallelism inside one execution).
+    ``worker_backend``
+        Force ``"fork"`` or ``"thread"`` workers (default: fork where
+        available, matching the engine's probe pools).
+    ``max_inflight``
+        Admission bound: requests beyond this many concurrently being
+        served are shed with a typed 503, never queued unboundedly.
+    ``total_budget_rows`` / ``default_request_rows`` / ``max_budget_wait_seconds``
+        The shared :class:`~repro.server.budget.BudgetScheduler` pool —
+        ``None`` total means unlimited (leases are only accounted).
+    ``backend`` / ``session_budget`` / ``engine_workers``
+        The base :class:`~repro.api.BackendConfig` every worker session
+        is derived from; per-request overrides replace the budget/worker
+        fields per session-cache entry.
+    ``events_dir``
+        Mirror each worker's event log to ``<events_dir>/worker-i.jsonl``.
+    ``trace``
+        Span-trace every execution in the workers (requests can also opt
+        in per call with ``"trace": true`` for front spans).
+    ``max_sessions_per_worker``
+        LRU cap on distinct (budget, workers) sessions a worker keeps.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    pool_size: int = 2
+    worker_backend: Optional[str] = None
+    max_inflight: int = 16
+    total_budget_rows: Optional[int] = None
+    default_request_rows: Optional[int] = None
+    max_budget_wait_seconds: float = 1.0
+    backend: str = "engine"
+    session_budget: Union[MemoryBudget, int, None] = None
+    engine_workers: int = 1
+    events_dir: Optional[str] = None
+    trace: bool = False
+    max_sessions_per_worker: int = 4
+
+    def __post_init__(self):
+        """Validate the serving-side knobs (backend is checked downstream)."""
+        if self.pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {self.pool_size}")
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+
+    def override(self, **changes) -> "ServerConfig":
+        """A copy with ``changes`` applied (validated like the constructor)."""
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+
+class ReproServer:
+    """Serve prepared queries over HTTP from a pool of warm worker processes.
+
+    ``relations`` is the ``{name: relation}`` database every worker
+    session binds (forked workers inherit it copy-on-write).  ``config``
+    carries the serving knobs; keyword overrides are applied on top, so
+    ``ReproServer(db, pool_size=4, total_budget_rows=20_000)`` needs no
+    explicit config object.
+    """
+
+    def __init__(
+        self,
+        relations: Mapping[str, Relation],
+        config: Optional[ServerConfig] = None,
+        **overrides,
+    ):
+        base = config or ServerConfig()
+        if overrides:
+            base = base.override(**overrides)
+        self.config = base
+        self._backend_config = BackendConfig(
+            backend=base.backend,
+            budget=base.session_budget,
+            workers=base.engine_workers,
+            observe=ObserveConfig(trace=base.trace),
+        )
+        self._pool = WorkerPool(
+            relations,
+            self._backend_config,
+            size=base.pool_size,
+            worker_backend=base.worker_backend,
+            events_dir=base.events_dir,
+            max_sessions=base.max_sessions_per_worker,
+        )
+        self._scheduler = BudgetScheduler(
+            total_rows=base.total_budget_rows,
+            default_request_rows=base.default_request_rows,
+            max_wait_seconds=base.max_budget_wait_seconds,
+        )
+        self._observer = Observer(ObserveConfig(metrics=True))
+        self._metrics = self._observer.metrics
+        self._state_lock = threading.Lock()
+        self._inflight = 0
+        self._closed = False
+        self._counters = {
+            "requests": 0,
+            "queries": 0,
+            "shed_overload": 0,
+            "shed_budget": 0,
+            "client_errors": 0,
+            "server_errors": 0,
+        }
+        self.port: Optional[int] = None
+        self._asyncio_server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start_async(self) -> None:
+        """Bind the listening socket on the running loop."""
+        self._loop = asyncio.get_running_loop()
+        self._asyncio_server = await asyncio.start_server(
+            self._handle_client, host=self.config.host, port=self.config.port
+        )
+        self.port = self._asyncio_server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Bind and serve until cancelled (the ``repro serve`` path)."""
+        await self.start_async()
+        try:
+            await self._asyncio_server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self._stop_async()
+            self._pool.close()
+
+    def start(self) -> "ReproServer":
+        """Run the server on a daemon thread; returns once the port is bound.
+
+        The thread-backed form the tests and the load generator use::
+
+            server = ReproServer(relations).start()
+            ... http.client against ("127.0.0.1", server.port) ...
+            server.close()
+        """
+        ready = threading.Event()
+        failure: list = []
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.start_async())
+            except Exception as error:  # bind failures surface in start()
+                failure.append(error)
+                ready.set()
+                loop.close()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self._stop_async())
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout=10.0):
+            raise ServerError("server failed to bind within 10s")
+        if failure:
+            raise failure[0]
+        return self
+
+    async def _stop_async(self) -> None:
+        server = self._asyncio_server
+        if server is not None:
+            self._asyncio_server = None
+            server.close()
+            await server.wait_closed()
+
+    def close(self) -> None:
+        """Stop accepting, stop the loop thread, shut the workers. Idempotent."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        loop, thread = self._loop, self._thread
+        if loop is not None and thread is not None and thread.is_alive():
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10.0)
+        self._pool.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (valid once started)."""
+        if self.port is None:
+            raise ServerError("the server has not been started")
+        return f"http://{self.config.host}:{self.port}"
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as error:
+                    body = _error_body(type(error).__name__, str(error))
+                    await write_response(
+                        writer, error.status, body, keep_alive=False
+                    )
+                    break
+                if request is None:
+                    break
+                status, content_type, body = await self._route(request)
+                keep_alive = request.keep_alive and not self._closed
+                await write_response(
+                    writer, status, body, content_type, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancels in-flight handlers; finish quietly so the
+            # loop's exception handler stays silent.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _route(self, request: HttpRequest) -> Tuple[int, str, bytes]:
+        path, _query = split_target(request.path)
+        self._count("requests")
+        self._metrics.counter(
+            "repro_http_requests_total", help="HTTP requests accepted"
+        ).inc()
+        if path == "/query":
+            if request.method != "POST":
+                return 405, "application/json", _error_body(
+                    "BadRequestError", "use POST /query"
+                )
+            return await self._route_query(request)
+        if request.method != "GET":
+            return 405, "application/json", _error_body(
+                "BadRequestError", f"use GET {path}"
+            )
+        if path == "/metrics":
+            text = await asyncio.get_running_loop().run_in_executor(
+                None, self.render_metrics
+            )
+            return 200, "text/plain; version=0.0.4", text.encode("utf-8")
+        if path == "/stats":
+            stats = await asyncio.get_running_loop().run_in_executor(
+                None, self.stats
+            )
+            return 200, "application/json", _json_body(stats)
+        if path == "/healthz":
+            return 200, "application/json", _json_body(
+                {"ok": True, "workers": self._pool.size, "closed": self._closed}
+            )
+        return 404, "application/json", _error_body(
+            "BadRequestError", f"no route {path!r}"
+        )
+
+    async def _route_query(self, request: HttpRequest) -> Tuple[int, str, bytes]:
+        try:
+            payload = request.json()
+        except HttpError as error:
+            self._count("client_errors")
+            return error.status, "application/json", _error_body(
+                type(error).__name__, str(error)
+            )
+        start = perf_counter()
+        try:
+            self._admit()
+        except ServerOverloadedError as error:
+            self._count("shed_overload")
+            self._metrics.counter(
+                "repro_http_shed_total", help="requests shed by admission control"
+            ).inc()
+            return error.status, "application/json", _error_body(
+                type(error).__name__, str(error)
+            )
+        try:
+            response = await asyncio.get_running_loop().run_in_executor(
+                None, self._serve_query, payload
+            )
+        finally:
+            self._leave()
+            self._metrics.histogram(
+                "repro_http_request_seconds", help="front request latency"
+            ).observe(perf_counter() - start)
+        return self._encode_query_response(response)
+
+    # -- the query pipeline (runs on an executor thread) ----------------
+
+    def _admit(self) -> None:
+        with self._state_lock:
+            if self._closed:
+                raise ServerClosedError("the server is closed")
+            if self._inflight >= self.config.max_inflight:
+                raise ServerOverloadedError(
+                    f"{self._inflight} requests in flight >= max_inflight="
+                    f"{self.config.max_inflight}; shedding load"
+                )
+            self._inflight += 1
+            self._metrics.gauge(
+                "repro_http_inflight", help="requests currently being served"
+            ).set(self._inflight)
+
+    def _leave(self) -> None:
+        with self._state_lock:
+            self._inflight -= 1
+            self._metrics.gauge(
+                "repro_http_inflight", help="requests currently being served"
+            ).set(self._inflight)
+
+    def _serve_query(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate, lease a budget, dispatch to a worker; always typed."""
+        tracer = Tracer() if payload.get("trace") else None
+        try:
+            message = self._validate_query(payload)
+            span = tracer.span("serve", "lease") if tracer else _NULL_SPAN
+            with span:
+                lease = self._scheduler.acquire(rows=message.pop("budget_request"))
+            with lease:
+                if lease.rows is not None:
+                    message["budget"] = lease.rows
+                span = tracer.span("serve", "dispatch") if tracer else _NULL_SPAN
+                with span:
+                    response = self._pool.dispatch(message)
+        except ServerError as error:
+            if isinstance(error, ServerOverloadedError):
+                self._count("shed_budget")
+                self._metrics.counter(
+                    "repro_budget_rejections_total",
+                    help="requests shed by the budget scheduler",
+                ).inc()
+            response = {
+                "ok": False,
+                "error": type(error).__name__,
+                "message": str(error),
+            }
+        if response.get("ok"):
+            self._count("queries")
+            self._metrics.counter(
+                "repro_http_queries_total", help="queries served"
+            ).inc()
+        if tracer is not None:
+            response["front_spans"] = [s.summary() for s in tracer.finish()]
+        return response
+
+    def _validate_query(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        query = payload.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise BadRequestError('the "query" field must be a non-empty string')
+        backend = payload.get("backend")
+        if backend is not None and backend not in BACKENDS:
+            raise BadRequestError(
+                f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+            )
+        budget = payload.get("budget")
+        if budget is not None and (not isinstance(budget, int) or budget <= 0):
+            raise BadRequestError('"budget" must be a positive integer')
+        workers = payload.get("workers")
+        if workers is not None and (not isinstance(workers, int) or workers < 1):
+            raise BadRequestError('"workers" must be an integer >= 1')
+        return {
+            "op": "query",
+            "query": query,
+            "backend": backend,
+            "workers": workers,
+            "count_only": bool(payload.get("count_only")),
+            "budget_request": budget,
+        }
+
+    def _encode_query_response(
+        self, response: Dict[str, Any]
+    ) -> Tuple[int, str, bytes]:
+        if response.get("ok"):
+            return 200, "application/json", _json_body(response)
+        name = response.get("error", "ServerError")
+        if name in _CLIENT_FAULT_ERRORS:
+            self._count("client_errors")
+            status = 400
+        elif name in ("ServerOverloadedError", "BudgetExhaustedError",
+                      "ServerClosedError"):
+            status = 503
+        else:
+            self._count("server_errors")
+            self._metrics.counter(
+                "repro_http_errors_total", help="requests failed server-side"
+            ).inc()
+            status = 500
+        body = {
+            "ok": False,
+            "error": name,
+            "message": response.get("message", ""),
+        }
+        if "front_spans" in response:
+            body["front_spans"] = response["front_spans"]
+        return status, "application/json", _json_body(body)
+
+    # -- observability --------------------------------------------------
+
+    def render_metrics(self) -> str:
+        """The Prometheus exposition of the front merged with every worker."""
+        collections = [self._metrics.collect()]
+        collections.extend(self._pool.collect_metrics())
+        return render_prometheus(merge_collected(collections))
+
+    def stats(self) -> Dict[str, Any]:
+        """Front counters + budget scheduler + worker pool, one JSON dict."""
+        with self._state_lock:
+            front = dict(self._counters)
+            front["inflight"] = self._inflight
+            front["closed"] = self._closed
+        return {
+            "front": front,
+            "budget": self._scheduler.stats(),
+            "pool": self._pool.stats(),
+        }
+
+    def _count(self, name: str) -> None:
+        with self._state_lock:
+            self._counters[name] += 1
+
+
+class _NullSpanHandle:
+    """Stand-in span when a request did not ask for front tracing."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc_info):
+        return False
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+def _json_body(value: Dict[str, Any]) -> bytes:
+    return json.dumps(value, sort_keys=True, default=str).encode("utf-8")
+
+
+def _error_body(error: str, message: str) -> bytes:
+    return _json_body({"ok": False, "error": error, "message": message})

@@ -1,0 +1,193 @@
+"""The cross-session shared :class:`MemoryBudget` scheduler.
+
+PR 4 left the engine's memory budget fixed at ``BackendConfig``
+construction: one session, one budget, decided before the first query
+arrives.  The serving tier needs the opposite shape — *many* sessions
+across *many* worker processes drawing on **one** machine-sized row
+pool, with individual requests allowed to ask for more or less than the
+default slice.  :class:`BudgetScheduler` is that pool: the front
+acquires a :class:`BudgetLease` per admitted request, the leased row
+count travels to the worker as the request's engine budget (the worker
+serves it from a session constructed with exactly that
+:class:`~repro.engine.physical.MemoryBudget`), and the lease is returned
+when the response is written.  Concurrent leases can never sum past the
+pool, so the fleet's aggregate engine state is bounded the same way one
+session's was — the scheduler is the budget contract lifted from
+per-session to per-deployment.
+
+Leasing is blocking-with-deadline rather than fail-fast: a request that
+cannot be granted immediately waits up to ``max_wait_seconds`` for
+in-flight leases to return, then fails with the typed
+:class:`~repro.server.errors.BudgetExhaustedError` the front maps to
+HTTP 503.  That turns transient memory pressure into queueing delay and
+sustained pressure into explicit load shedding — never into silent
+overcommit.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from .errors import BudgetExhaustedError
+
+__all__ = ["BudgetLease", "BudgetScheduler"]
+
+
+class BudgetLease:
+    """One request's slice of the shared pool; release exactly once.
+
+    ``rows`` is the granted engine budget (``None`` when the scheduler
+    is unlimited and the request asked for nothing — the worker then
+    runs the session's default, unbudgeted plan).  Leases are context
+    managers; releasing twice is a no-op.
+    """
+
+    __slots__ = ("rows", "_scheduler", "_released")
+
+    def __init__(self, rows: Optional[int], scheduler: "BudgetScheduler"):
+        self.rows = rows
+        self._scheduler = scheduler
+        self._released = False
+
+    def release(self) -> None:
+        """Return the leased rows to the pool (idempotent)."""
+        if not self._released:
+            self._released = True
+            self._scheduler._release(self)
+
+    def __enter__(self) -> "BudgetLease":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.release()
+
+
+class BudgetScheduler:
+    """Grants bounded row leases from one pool shared by every session.
+
+    ``total_rows`` is the pool (``None`` = unlimited: every acquire is
+    granted immediately and only accounted).  ``default_request_rows``
+    is the slice granted to requests that do not name a budget; with a
+    finite pool and no explicit default it becomes a quarter of the pool,
+    so at least four default requests can hold leases concurrently.
+    ``max_wait_seconds`` bounds how long an acquire may queue before the
+    typed rejection.
+
+    Thread-safe: the front calls :meth:`acquire` from executor threads
+    (one per in-flight request), and a ``Condition`` wakes waiters as
+    leases return.
+    """
+
+    def __init__(
+        self,
+        total_rows: Optional[int] = None,
+        default_request_rows: Optional[int] = None,
+        max_wait_seconds: float = 1.0,
+    ):
+        if total_rows is not None and total_rows <= 0:
+            raise ValueError(f"total_rows must be positive, got {total_rows}")
+        if default_request_rows is not None and default_request_rows <= 0:
+            raise ValueError(
+                f"default_request_rows must be positive, got {default_request_rows}"
+            )
+        if total_rows is not None and default_request_rows is None:
+            default_request_rows = max(1, total_rows // 4)
+        if (
+            total_rows is not None
+            and default_request_rows is not None
+            and default_request_rows > total_rows
+        ):
+            raise ValueError(
+                f"default_request_rows ({default_request_rows}) exceeds the "
+                f"pool ({total_rows})"
+            )
+        self.total_rows = total_rows
+        self.default_request_rows = default_request_rows
+        self.max_wait_seconds = max_wait_seconds
+        self._condition = threading.Condition()
+        self._leased = 0
+        self._active = 0
+        self._counters = {
+            "grants": 0,
+            "waits": 0,
+            "rejections": 0,
+            "peak_leased_rows": 0,
+            "peak_active": 0,
+        }
+
+    # -- leasing --------------------------------------------------------
+
+    def acquire(
+        self, rows: Optional[int] = None, timeout: Optional[float] = None
+    ) -> BudgetLease:
+        """Lease ``rows`` (or the default slice) from the pool.
+
+        Blocks up to ``timeout`` (default ``max_wait_seconds``) for the
+        pool to drain, then raises :class:`BudgetExhaustedError`.  A
+        request asking for more than the whole pool is rejected
+        immediately — no amount of waiting can satisfy it.
+        """
+        if rows is not None and rows <= 0:
+            raise ValueError(f"leased rows must be positive, got {rows}")
+        granted = rows if rows is not None else self.default_request_rows
+        if self.total_rows is None:
+            with self._condition:
+                self._note_grant(granted)
+            return BudgetLease(granted, self)
+        if granted is None:  # unreachable: a finite pool always has a default
+            granted = self.default_request_rows
+        if granted > self.total_rows:
+            with self._condition:
+                self._counters["rejections"] += 1
+            raise BudgetExhaustedError(
+                f"requested budget of {granted} rows exceeds the shared "
+                f"pool of {self.total_rows} rows"
+            )
+        deadline = timeout if timeout is not None else self.max_wait_seconds
+        with self._condition:
+            if self._leased + granted > self.total_rows:
+                self._counters["waits"] += 1
+                granted_in_time = self._condition.wait_for(
+                    lambda: self._leased + granted <= self.total_rows,
+                    timeout=deadline,
+                )
+                if not granted_in_time:
+                    self._counters["rejections"] += 1
+                    raise BudgetExhaustedError(
+                        f"no {granted}-row lease available within {deadline}s "
+                        f"({self._leased}/{self.total_rows} rows leased to "
+                        f"{self._active} request(s))"
+                    )
+            self._note_grant(granted)
+        return BudgetLease(granted, self)
+
+    def _note_grant(self, granted: Optional[int]) -> None:
+        # Caller holds the condition lock.
+        self._leased += granted or 0
+        self._active += 1
+        self._counters["grants"] += 1
+        self._counters["peak_leased_rows"] = max(
+            self._counters["peak_leased_rows"], self._leased
+        )
+        self._counters["peak_active"] = max(
+            self._counters["peak_active"], self._active
+        )
+
+    def _release(self, lease: BudgetLease) -> None:
+        with self._condition:
+            self._leased -= lease.rows or 0
+            self._active -= 1
+            self._condition.notify_all()
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self) -> Dict[str, Optional[int]]:
+        """A snapshot: pool size, leased/active now, grant/wait/rejection totals."""
+        with self._condition:
+            snapshot: Dict[str, Optional[int]] = dict(self._counters)
+            snapshot["total_rows"] = self.total_rows
+            snapshot["default_request_rows"] = self.default_request_rows
+            snapshot["leased_rows"] = self._leased
+            snapshot["active_leases"] = self._active
+        return snapshot

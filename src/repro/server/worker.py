@@ -1,0 +1,469 @@
+"""Worker processes: warm :class:`~repro.api.Session` pools behind a pipe.
+
+Each worker is one OS process (forked where available, a thread
+otherwise) holding warm sessions over the server's relations.  The front
+talks to it over a duplex :func:`multiprocessing.Pipe` with one plain
+dict per message; a worker serves one request at a time, so the pipe
+doubles as its queue and the pool provides the fan-out.
+
+Warmth is the point.  A worker parses each distinct query text once
+(expression cache), prepares it once per session (the session's
+registry pins the plan and its forked probe pools), and keeps a small
+LRU of *sessions* keyed by the per-request ``(budget, workers)``
+override pair — so "the same query at the default budget" and "the same
+query squeezed to 64 rows" each hit a pinned plan in the steady state.
+That session cache is what closes PR 4's fixed-at-construction budget
+follow-up at the serving tier: the ``BackendConfig`` stays immutable,
+and per-request budgets choose *which* warm config serves.
+
+Observability: every session of worker *i* shares one
+:class:`~repro.obs.events.EventLog` mirrored to ``worker-i.jsonl`` when
+the server configured an events directory (fork children never share a
+file handle — each ``emit`` opens append-mode, and the PR 8 lock fix
+keeps lines whole and in ``seq`` order), and one worker-scope
+:class:`~repro.obs.metrics.MetricsRegistry` whose collected snapshot the
+front merges into ``/metrics`` scrapes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from collections import OrderedDict
+from time import perf_counter
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..algebra.relation import Relation
+from ..api.config import BackendConfig
+from ..api.session import Session
+from ..obs.config import Observer, ObserveConfig
+from .errors import ServerClosedError, ServerError, WorkerCrashedError
+
+__all__ = ["Worker", "WorkerPool", "worker_main"]
+
+#: How many distinct (budget, workers) session configs one worker keeps
+#: warm; beyond this the least-recently-used session is closed (its pools
+#: and pinned plans with it) exactly like the engine's pool LRU.
+MAX_SESSIONS_PER_WORKER = 4
+
+
+class _WorkerRuntime:
+    """The in-child request loop state: session cache + expression cache."""
+
+    def __init__(
+        self,
+        relations: Mapping[str, Relation],
+        base_config: BackendConfig,
+        index: int,
+        events_path: Optional[str],
+        max_sessions: int = MAX_SESSIONS_PER_WORKER,
+    ):
+        self._relations = dict(relations)
+        self._base_config = base_config
+        self.index = index
+        self._max_sessions = max(1, max_sessions)
+        # One observer for every session this worker opens: the event log
+        # (JSONL-mirrored per worker) and metrics registry aggregate the
+        # worker's whole traffic, while tracers are minted per execution.
+        self._observer = Observer(
+            ObserveConfig(
+                trace=_observe_trace(base_config),
+                events=events_path is not None,
+                events_path=events_path,
+            )
+        )
+        self._sessions: "OrderedDict[Tuple[Optional[int], int], Session]" = (
+            OrderedDict()
+        )
+        self._expressions: Dict[str, Any] = {}
+
+    def _session_key(
+        self, budget: Optional[int], workers: Optional[int]
+    ) -> Tuple[Optional[int], int]:
+        base_budget = self._base_config.budget
+        base_rows = base_budget.rows if base_budget is not None else None
+        rows = budget if budget is not None else base_rows
+        return (rows, workers if workers is not None else self._base_config.workers)
+
+    def _session_for(self, budget: Optional[int], workers: Optional[int]) -> Session:
+        key = self._session_key(budget, workers)
+        session = self._sessions.get(key)
+        if session is not None:
+            self._sessions.move_to_end(key)
+            return session
+        config = self._base_config.override(
+            budget=key[0], workers=key[1], observe=self._observer
+        )
+        session = Session(self._relations, config)
+        self._sessions[key] = session
+        while len(self._sessions) > self._max_sessions:
+            _stale_key, stale = self._sessions.popitem(last=False)
+            stale.close()
+        return session
+
+    def _expression_for(self, session: Session, text: str):
+        expression = self._expressions.get(text)
+        if expression is None:
+            expression = session._parse(text)
+            self._expressions[text] = expression
+        return expression
+
+    def handle(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one request dict and return the response dict."""
+        op = message.get("op")
+        try:
+            if op == "query":
+                return self._handle_query(message)
+            if op == "metrics":
+                return {"ok": True, "collected": self._collect_metrics()}
+            if op == "stats":
+                return {"ok": True, "stats": self._stats()}
+            if op == "ping":
+                return {"ok": True, "pid": os.getpid(), "worker": self.index}
+            raise ServerError(f"unknown worker op {op!r}")
+        except Exception as error:  # every failure crosses the pipe typed
+            return {
+                "ok": False,
+                "error": type(error).__name__,
+                "message": str(error),
+                "worker": self.index,
+                "detail": traceback.format_exc(limit=3),
+            }
+
+    def _handle_query(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        start = perf_counter()
+        session = self._session_for(message.get("budget"), message.get("workers"))
+        expression = self._expression_for(session, message["query"])
+        prepared = session.prepare(expression, backend=message.get("backend"))
+        result = prepared.execute()
+        elapsed = perf_counter() - start
+        trace = result.trace
+        counters = trace.counters or {}
+        registry = self._observer.metrics
+        if registry is not None:
+            # The never-fires tripwire, surfaced per worker so a /metrics
+            # scrape can assert it stayed zero across the whole fleet.
+            registry.counter(
+                "repro_spill_overflows_total",
+                help="budget overflows the spill machinery failed to absorb",
+            ).inc(counters.get("spill_overflows", 0))
+        response: Dict[str, Any] = {
+            "ok": True,
+            "worker": self.index,
+            "backend": result.backend,
+            "columns": list(result.scheme.names),
+            "rowcount": len(result),
+            "elapsed_ms": elapsed * 1000.0,
+            "budget": self._session_key(
+                message.get("budget"), message.get("workers")
+            )[0],
+            "replans": trace.replans,
+            "serial_fallbacks": trace.serial_fallbacks,
+            "spilled_rows": counters.get("spill_rows", 0),
+            "spill_overflows": counters.get("spill_overflows", 0),
+            "peak_memory_rows": trace.peak_memory_rows,
+            "spans": len(trace.spans or ()),
+        }
+        if not message.get("count_only"):
+            response["rows"] = [list(row) for row in result.relation.sorted_rows()]
+        return response
+
+    def _collect_metrics(self) -> Dict[str, Dict[str, Any]]:
+        registry = self._observer.metrics
+        return registry.collect() if registry is not None else {}
+
+    def _stats(self) -> Dict[str, Any]:
+        sessions = {}
+        for key, session in self._sessions.items():
+            sessions[f"budget={key[0]} workers={key[1]}"] = session.stats()
+        events = self._observer.events
+        return {
+            "pid": os.getpid(),
+            "worker": self.index,
+            "sessions": sessions,
+            "expressions_cached": len(self._expressions),
+            "event_counts": events.counts() if events is not None else {},
+        }
+
+    def close(self) -> None:
+        """Close every warm session (pools, temp dirs) before exit."""
+        while self._sessions:
+            _key, session = self._sessions.popitem(last=False)
+            session.close()
+
+
+def _observe_trace(config: BackendConfig) -> bool:
+    observe = config.observe
+    return bool(observe is not None and getattr(observe, "trace", False))
+
+
+def worker_main(
+    conn,
+    relations: Mapping[str, Relation],
+    base_config: BackendConfig,
+    index: int,
+    events_path: Optional[str] = None,
+    max_sessions: int = MAX_SESSIONS_PER_WORKER,
+) -> None:
+    """The worker loop: recv one request dict, send one response dict.
+
+    Runs until a ``shutdown`` message or the parent's end of the pipe
+    closes; either way every warm session is closed on the way out so no
+    probe pools or spill directories outlive the worker.
+    """
+    runtime = _WorkerRuntime(
+        relations, base_config, index, events_path, max_sessions
+    )
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if not isinstance(message, dict) or message.get("op") == "shutdown":
+                break
+            try:
+                conn.send(runtime.handle(message))
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        runtime.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class Worker:
+    """The parent-side handle of one worker: pipe + process (or thread).
+
+    ``request`` is synchronous and serialised per worker (one request in
+    flight per process); the async front calls it from executor threads.
+    A dead worker raises :class:`WorkerCrashedError` so the pool can
+    respawn and retry.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        relations: Mapping[str, Relation],
+        base_config: BackendConfig,
+        backend: str,
+        events_path: Optional[str] = None,
+        max_sessions: int = MAX_SESSIONS_PER_WORKER,
+    ):
+        self.index = index
+        self.backend = backend
+        self._lock = threading.Lock()
+        self._closed = False
+        import multiprocessing
+
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+        self._conn = parent_conn
+        args = (child_conn, relations, base_config, index, events_path, max_sessions)
+        if backend == "fork":
+            context = multiprocessing.get_context("fork")
+            self._process = context.Process(
+                target=worker_main, args=args, daemon=True
+            )
+            self._process.start()
+            child_conn.close()  # the child's end lives in the child now
+            self._thread = None
+        else:
+            self._process = None
+            self._thread = threading.Thread(target=worker_main, args=args, daemon=True)
+            self._thread.start()
+
+    def alive(self) -> bool:
+        """Whether the worker can still take requests."""
+        if self._closed:
+            return False
+        if self._process is not None:
+            return self._process.is_alive()
+        return self._thread is not None and self._thread.is_alive()
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request and block for its response (serialised per worker)."""
+        with self._lock:
+            if self._closed:
+                raise ServerClosedError(f"worker {self.index} is closed")
+            try:
+                self._conn.send(message)
+                return self._conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as error:
+                raise WorkerCrashedError(
+                    f"worker {self.index} died mid-request ({type(error).__name__})"
+                ) from error
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Shut the worker down: shutdown message, join, then terminate."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._conn.send({"op": "shutdown"})
+            except (BrokenPipeError, OSError):
+                pass
+        if self._process is not None:
+            self._process.join(timeout)
+            if self._process.is_alive():  # pragma: no cover - stuck worker
+                self._process.terminate()
+                self._process.join(timeout)
+        elif self._thread is not None:
+            self._thread.join(timeout)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    def kill(self) -> None:
+        """Hard-kill the worker process (crash-recovery tests only)."""
+        if self._process is not None and self._process.is_alive():
+            self._process.terminate()
+            self._process.join(2.0)
+
+
+class WorkerPool:
+    """A fixed-size pool of workers with round-robin dispatch and respawn.
+
+    Dispatch prefers an idle worker (falling back to strict round-robin
+    when all are busy, which queues on that worker's pipe lock).  A
+    request that finds its worker dead respawns it once and retries —
+    queries are pure reads, so the retry is safe — counting the rebuild
+    in ``worker_restarts`` (the serving-tier analogue of the probe
+    pool's rebuild-or-loud-serial contract).
+    """
+
+    def __init__(
+        self,
+        relations: Mapping[str, Relation],
+        base_config: BackendConfig,
+        size: int = 2,
+        worker_backend: Optional[str] = None,
+        events_dir: Optional[str] = None,
+        max_sessions: int = MAX_SESSIONS_PER_WORKER,
+    ):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        if worker_backend is None:
+            worker_backend = "fork" if hasattr(os, "fork") else "thread"
+        if worker_backend not in ("fork", "thread"):
+            raise ValueError(
+                f"worker_backend must be 'fork' or 'thread', got {worker_backend!r}"
+            )
+        self._relations = dict(relations)
+        self._base_config = base_config
+        self._events_dir = events_dir
+        self._max_sessions = max_sessions
+        self.backend = worker_backend
+        self.size = size
+        self._lock = threading.Lock()
+        self._closed = False
+        self._next = 0
+        self._busy = [False] * size
+        self.worker_restarts = 0
+        self._workers = [self._spawn(index) for index in range(size)]
+
+    def _events_path(self, index: int) -> Optional[str]:
+        if self._events_dir is None:
+            return None
+        os.makedirs(self._events_dir, exist_ok=True)
+        return os.path.join(self._events_dir, f"worker-{index}.jsonl")
+
+    def _spawn(self, index: int) -> Worker:
+        return Worker(
+            index,
+            self._relations,
+            self._base_config,
+            self.backend,
+            events_path=self._events_path(index),
+            max_sessions=self._max_sessions,
+        )
+
+    def _pick(self) -> int:
+        with self._lock:
+            if self._closed:
+                raise ServerClosedError("the worker pool is closed")
+            for offset in range(self.size):
+                index = (self._next + offset) % self.size
+                if not self._busy[index]:
+                    self._next = (index + 1) % self.size
+                    self._busy[index] = True
+                    return index
+            index = self._next
+            self._next = (index + 1) % self.size
+            self._busy[index] = True
+            return index
+
+    def _ensure_alive(self, index: int) -> Worker:
+        with self._lock:
+            worker = self._workers[index]
+            if worker.alive():
+                return worker
+            if self._closed:
+                raise ServerClosedError("the worker pool is closed")
+            self.worker_restarts += 1
+            worker = self._spawn(index)
+            self._workers[index] = worker
+            return worker
+
+    def dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send ``message`` to one worker; respawn and retry once on a crash."""
+        index = self._pick()
+        try:
+            worker = self._ensure_alive(index)
+            try:
+                return worker.request(message)
+            except WorkerCrashedError:
+                worker = self._ensure_alive(index)
+                return worker.request(message)
+        finally:
+            with self._lock:
+                self._busy[index] = False
+
+    def broadcast(self, message: Dict[str, Any]) -> list:
+        """Send ``message`` to every live worker and collect the responses."""
+        responses = []
+        with self._lock:
+            workers = list(self._workers)
+        for worker in workers:
+            if not worker.alive():
+                continue
+            try:
+                responses.append(worker.request(dict(message)))
+            except (WorkerCrashedError, ServerClosedError):
+                continue
+        return responses
+
+    def collect_metrics(self) -> list:
+        """Every worker's ``registry.collect()`` snapshot (for ``/metrics``)."""
+        return [
+            response["collected"]
+            for response in self.broadcast({"op": "metrics"})
+            if response.get("ok")
+        ]
+
+    def stats(self) -> Dict[str, Any]:
+        """Pool shape plus each worker's session/expression/event stats."""
+        return {
+            "size": self.size,
+            "backend": self.backend,
+            "worker_restarts": self.worker_restarts,
+            "workers": [
+                response["stats"]
+                for response in self.broadcast({"op": "stats"})
+                if response.get("ok")
+            ],
+        }
+
+    def close(self) -> None:
+        """Stop every worker (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+        for worker in workers:
+            worker.stop()

@@ -25,6 +25,7 @@ from .ordering import (
     planner_join_order,
 )
 from .relations import random_instance, random_project_join_query, random_relation
+from .serving import serving_queries, serving_relations
 
 __all__ = [
     "FormulaCase",
@@ -48,4 +49,6 @@ __all__ = [
     "chain_peak",
     "join_parts",
     "planner_join_order",
+    "serving_queries",
+    "serving_relations",
 ]

@@ -1,0 +1,61 @@
+"""The mixed-traffic serving workload: shared relations + query set.
+
+One definition feeds every consumer of the serving scenario — the
+``serving``/``server`` benchmark sections, the ``repro serve`` CLI's demo
+database, and the server tests — so "mixed prepared queries over R/S/T"
+means the same thing everywhere (the same discipline as
+:mod:`repro.workloads.ordering` for the join-ordering oracle helpers).
+
+The relations are sized so one execute costs on the order of a
+millisecond: small enough for tight measurement loops, large enough that
+timings reflect the engine's work rather than dispatch alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..algebra.relation import Relation
+
+__all__ = ["serving_queries", "serving_relations"]
+
+
+def serving_relations(rows: int = 600) -> Dict[str, Relation]:
+    """The three-relation chain database the serving workload joins over.
+
+    ``R(A, B) * S(B, C) * T(C, D)`` with deterministic small-modulus
+    columns, so every query of :func:`serving_queries` has non-trivial
+    join fan-out without blowing up.
+    """
+    return {
+        "R": Relation.from_rows(
+            "A B", [(i % 40, i % 17) for i in range(rows)], name="R"
+        ),
+        "S": Relation.from_rows(
+            "B C", [(i % 17, i % 23) for i in range(rows)], name="S"
+        ),
+        "T": Relation.from_rows(
+            "C D", [(i % 23, i % 9) for i in range(rows)], name="T"
+        ),
+    }
+
+
+def serving_queries() -> List[str]:
+    """Eight distinct textual queries over :func:`serving_relations`.
+
+    Textual (rather than AST) form so they can travel over the wire to
+    the serving tier and through :meth:`repro.api.Session.prepare`
+    unchanged; mixed shapes (two- and three-way joins, narrow and wide
+    projections, one nested projection) keep a round-robin client from
+    hitting a single plan.
+    """
+    return [
+        "project[A](R * S)",
+        "project[A, C](R * S)",
+        "project[B, D](S * T)",
+        "project[A, D](R * S * T)",
+        "project[D](R * S * T)",
+        "project[C](S * T)",
+        "project[A, B](R * project[B](S))",
+        "project[A, C, D](R * S * T)",
+    ]

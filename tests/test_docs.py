@@ -89,7 +89,14 @@ def test_docs_actually_contain_runnable_blocks():
     """The harness must be biting on the core docs — if refactoring drops
     every runnable block from one of these files, the coverage silently
     evaporating is itself the regression."""
-    must_have = {"README.md", "ARCHITECTURE.md", "API.md", "ENGINE.md", "OBSERVABILITY.md"}
+    must_have = {
+        "README.md",
+        "ARCHITECTURE.md",
+        "API.md",
+        "ENGINE.md",
+        "OBSERVABILITY.md",
+        "SERVER.md",
+    }
     for path in DOC_FILES:
         if path.name in must_have:
             assert runnable_python_blocks(path), (

@@ -1,6 +1,7 @@
 """Docstring enforcement for the public serving surface.
 
-Every public symbol of ``repro.api``, ``repro.engine`` and ``repro.obs`` —
+Every public symbol of ``repro.api``, ``repro.engine``, ``repro.obs`` and
+``repro.server`` —
 modules, classes, functions, and the public methods/properties they define —
 must carry a docstring.  The same contract is enforced in CI by a ruff
 ``pydocstyle`` check (``ruff.toml``, rules D100–D103); this test keeps the
@@ -17,8 +18,9 @@ import pytest
 import repro.api
 import repro.engine
 import repro.obs
+import repro.server
 
-PACKAGES = (repro.api, repro.engine, repro.obs)
+PACKAGES = (repro.api, repro.engine, repro.obs, repro.server)
 
 
 def _iter_modules():

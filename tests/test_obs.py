@@ -377,6 +377,33 @@ class TestEventLog:
         text = events_to_jsonl(log.events())
         assert json.loads(text.strip())["site"] == "spill-read"
 
+    def test_concurrent_emitters_mirror_in_seq_order(self, tmp_path):
+        # Regression: the JSONL write used to happen outside the mutation
+        # lock, so two threads could assign seq 1 and 2 but reach open()
+        # in the other order (and interleave partial lines under enough
+        # contention).  The mirror must be a line-atomic replica of the
+        # in-memory sequence.
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=str(path))
+        emits_per_thread = 200
+        threads = [
+            threading.Thread(
+                target=lambda worker=worker: [
+                    log.emit("spill", worker=worker, i=i)
+                    for i in range(emits_per_thread)
+                ]
+            )
+            for worker in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 8 * emits_per_thread
+        seqs = [json.loads(line)["seq"] for line in lines]
+        assert seqs == list(range(1, 8 * emits_per_thread + 1))
+
 
 class TestRenderPrometheus:
     def test_counter_gauge_and_histogram_series(self):
@@ -399,6 +426,95 @@ class TestRenderPrometheus:
 
     def test_empty_registry_renders_empty(self):
         assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_gauge_extremes_render_valid_exposition(self):
+        # Regression: only +inf was special-cased — -inf rendered as
+        # "-inf" and NaN as "nan", both invalid in the text exposition
+        # format (Prometheus requires "-Inf" / "NaN").
+        registry = MetricsRegistry()
+        registry.gauge("pos_edge").set(float("inf"))
+        registry.gauge("neg_edge").set(float("-inf"))
+        registry.gauge("nan_edge").set(float("nan"))
+        text = render_prometheus(registry)
+        assert "pos_edge +Inf" in text
+        assert "neg_edge -Inf" in text
+        assert "nan_edge NaN" in text
+        values = [
+            line.split()[-1]
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert set(values) == {"+Inf", "-Inf", "NaN"}  # never -inf / nan / inf
+
+    def test_gauge_extremes_round_trip_through_merge(self):
+        registry = MetricsRegistry()
+        registry.gauge("edge", help="extreme values").set(float("-inf"))
+        merged = repro.obs.merge_collected([registry.collect()])
+        assert "edge -Inf" in render_prometheus(merged)
+
+    def test_help_text_is_escaped_per_exposition_spec(self):
+        # Regression: HELP text was emitted raw, so a newline in a help
+        # string injected a bogus exposition line and a backslash made
+        # scrapers un-escape garbage.
+        registry = MetricsRegistry()
+        registry.counter(
+            "tricky_total", help="line one\nline two with a \\ backslash"
+        ).inc()
+        text = render_prometheus(registry)
+        assert (
+            "# HELP tricky_total line one\\nline two with a \\\\ backslash" in text
+        )
+        # One logical line: the raw newline must not survive.
+        help_lines = [line for line in text.splitlines() if line.startswith("# HELP")]
+        assert len(help_lines) == 1
+
+    def test_render_accepts_a_collected_mapping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", help="c").inc(2)
+        assert render_prometheus(registry.collect()) == render_prometheus(registry)
+
+
+class TestMergeCollected:
+    def _snapshot(self, executes, latency):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", help="requests").inc(executes)
+        registry.gauge("last_peak").set(latency * 10)
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0), help="latency")
+        histogram.observe(latency)
+        return registry.collect()
+
+    def test_counters_and_histograms_sum_across_workers(self):
+        merged = repro.obs.merge_collected(
+            [self._snapshot(3, 0.05), self._snapshot(4, 5.0)]
+        )
+        assert merged["requests_total"]["value"] == 7
+        assert merged["lat"]["count"] == 2
+        assert merged["lat"]["bucket_counts"][0] == 1  # the 0.05 observation
+        assert merged["lat"]["bucket_counts"][-1] == 1  # the 5.0 tail
+        assert merged["lat"]["max"] == 5.0
+        assert merged["last_peak"]["value"] == 50.0  # last snapshot wins
+
+    def test_merge_does_not_mutate_the_input_snapshots(self):
+        first = self._snapshot(1, 0.05)
+        before = [tuple(first["lat"]["bucket_counts"]), first["requests_total"]["value"]]
+        repro.obs.merge_collected([first, self._snapshot(2, 0.5)])
+        assert [tuple(first["lat"]["bucket_counts"]), first["requests_total"]["value"]] == before
+
+    def test_type_conflicts_raise(self):
+        counter_side = MetricsRegistry()
+        counter_side.counter("x").inc()
+        gauge_side = MetricsRegistry()
+        gauge_side.gauge("x").set(1)
+        with pytest.raises(ValueError):
+            repro.obs.merge_collected([counter_side.collect(), gauge_side.collect()])
+
+    def test_bucket_conflicts_raise(self):
+        one = MetricsRegistry()
+        one.histogram("h", buckets=(0.1, 1.0)).observe(0.2)
+        two = MetricsRegistry()
+        two.histogram("h", buckets=(0.5,)).observe(0.2)
+        with pytest.raises(ValueError):
+            repro.obs.merge_collected([one.collect(), two.collect()])
 
 
 class TestSessionObservability:

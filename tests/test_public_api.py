@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.complexity",
     "repro.analysis",
     "repro.workloads",
+    "repro.server",
 ]
 
 #: The documented export surface of the facade.  These are *snapshots*: a

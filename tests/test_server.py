@@ -1,0 +1,483 @@
+"""Tests for :mod:`repro.server`: the networked serving tier.
+
+Covers the tier's contracts layer by layer — the budget scheduler's
+lease/wait/reject semantics, the worker pool's warm-session dispatch,
+per-request budget overrides, and crash respawn, the HTTP front's
+routes, admission shedding, typed error mapping, and merged ``/metrics``
+exposition, the load generator's exact percentiles — plus the shutdown
+satellite: a session closed concurrently with in-flight executes leaks
+no pools or spill directories and answers post-close requests with the
+typed :class:`~repro.api.SessionClosedError`.
+"""
+
+import json
+import http.client
+import os
+import threading
+import time
+
+import pytest
+
+from repro.api import Session, SessionClosedError
+from repro.api.config import BackendConfig
+from repro.engine.physical import _ACTIVE_SPILL_DIRS
+from repro.server import (
+    BudgetExhaustedError,
+    BudgetScheduler,
+    ReproServer,
+    ServerClosedError,
+    ServerConfig,
+    WorkerPool,
+    percentile,
+    run_load,
+)
+from repro.workloads import serving_queries, serving_relations
+
+RELATIONS = serving_relations(rows=200)
+QUERIES = serving_queries()
+HEAVY_QUERY = "project[A, C, D](R * S * T)"
+
+
+def _post(conn, body):
+    conn.request(
+        "POST",
+        "/query",
+        body=json.dumps(body),
+        headers={"Content-Type": "application/json"},
+    )
+    response = conn.getresponse()
+    return response.status, json.loads(response.read())
+
+
+def _get(conn, path):
+    conn.request("GET", path)
+    response = conn.getresponse()
+    return response.status, response.read()
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ReproServer(
+        RELATIONS, pool_size=2, total_budget_rows=50_000, session_budget=10_000
+    ) as running:
+        yield running
+
+
+@pytest.fixture()
+def connection(server):
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    yield conn
+    conn.close()
+
+
+class TestBudgetScheduler:
+    def test_unlimited_pool_grants_immediately(self):
+        scheduler = BudgetScheduler()
+        with scheduler.acquire() as lease:
+            assert lease.rows is None
+        with scheduler.acquire(rows=500) as lease:
+            assert lease.rows == 500
+        assert scheduler.stats()["grants"] == 2
+
+    def test_finite_pool_defaults_to_a_quarter_slice(self):
+        scheduler = BudgetScheduler(total_rows=1000)
+        assert scheduler.default_request_rows == 250
+        with scheduler.acquire() as lease:
+            assert lease.rows == 250
+
+    def test_request_larger_than_pool_rejects_immediately(self):
+        scheduler = BudgetScheduler(total_rows=100, max_wait_seconds=30.0)
+        start = time.perf_counter()
+        with pytest.raises(BudgetExhaustedError):
+            scheduler.acquire(rows=101)
+        assert time.perf_counter() - start < 1.0
+        assert scheduler.stats()["rejections"] == 1
+
+    def test_concurrent_leases_never_exceed_the_pool(self):
+        scheduler = BudgetScheduler(total_rows=100, max_wait_seconds=5.0)
+        first = scheduler.acquire(rows=60)
+        # A second 60-row lease must wait; release on a timer unblocks it.
+        timer = threading.Timer(0.05, first.release)
+        timer.start()
+        second = scheduler.acquire(rows=60)
+        assert second.rows == 60
+        assert scheduler.stats()["waits"] == 1
+        assert scheduler.stats()["peak_leased_rows"] <= 100
+        second.release()
+        timer.join()
+
+    def test_wait_deadline_raises_the_typed_rejection(self):
+        scheduler = BudgetScheduler(total_rows=100, max_wait_seconds=0.05)
+        held = scheduler.acquire(rows=80)
+        with pytest.raises(BudgetExhaustedError):
+            scheduler.acquire(rows=80)
+        assert scheduler.stats()["rejections"] == 1
+        held.release()
+        assert scheduler.stats()["leased_rows"] == 0
+
+    def test_release_is_idempotent(self):
+        scheduler = BudgetScheduler(total_rows=100)
+        lease = scheduler.acquire(rows=40)
+        lease.release()
+        lease.release()
+        assert scheduler.stats()["leased_rows"] == 0
+        assert scheduler.stats()["active_leases"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetScheduler(total_rows=0)
+        with pytest.raises(ValueError):
+            BudgetScheduler(total_rows=100, default_request_rows=200)
+        with pytest.raises(ValueError):
+            BudgetScheduler().acquire(rows=0)
+
+
+class TestWorkerPool:
+    def test_dispatch_matches_direct_session(self):
+        pool = WorkerPool(RELATIONS, BackendConfig(), size=2)
+        try:
+            with Session(RELATIONS) as session:
+                for query in QUERIES:
+                    response = pool.dispatch(
+                        {"op": "query", "query": query, "count_only": True}
+                    )
+                    assert response["ok"], response
+                    assert response["rowcount"] == len(session.execute(query))
+        finally:
+            pool.close()
+
+    def test_rows_are_sorted_and_match(self):
+        pool = WorkerPool(RELATIONS, BackendConfig(), size=1)
+        try:
+            response = pool.dispatch({"op": "query", "query": "project[A](R * S)"})
+            with Session(RELATIONS) as session:
+                expected = session.execute("project[A](R * S)")
+            assert response["columns"] == list(expected.scheme.names)
+            assert response["rows"] == [
+                list(row) for row in expected.relation.sorted_rows()
+            ]
+        finally:
+            pool.close()
+
+    def test_budget_override_selects_a_spilling_session(self):
+        pool = WorkerPool(RELATIONS, BackendConfig(budget=50_000), size=1)
+        try:
+            roomy = pool.dispatch(
+                {"op": "query", "query": HEAVY_QUERY, "count_only": True}
+            )
+            tight = pool.dispatch(
+                {"op": "query", "query": HEAVY_QUERY, "budget": 64,
+                 "count_only": True}
+            )
+            assert roomy["ok"] and tight["ok"]
+            assert roomy["rowcount"] == tight["rowcount"]
+            assert roomy["budget"] == 50_000 and tight["budget"] == 64
+            assert roomy["spilled_rows"] == 0
+            assert tight["spilled_rows"] > 0
+            assert tight["spill_overflows"] == 0
+            assert tight["peak_memory_rows"] < roomy["peak_memory_rows"]
+        finally:
+            pool.close()
+
+    def test_typed_errors_cross_the_pipe(self):
+        pool = WorkerPool(RELATIONS, BackendConfig(), size=1)
+        try:
+            response = pool.dispatch({"op": "query", "query": "project[Z](R)"})
+            assert not response["ok"]
+            assert response["error"] == "ExpressionError"
+            # The worker survives a bad query and keeps serving.
+            again = pool.dispatch(
+                {"op": "query", "query": QUERIES[0], "count_only": True}
+            )
+            assert again["ok"]
+        finally:
+            pool.close()
+
+    def test_crashed_worker_is_respawned_and_the_request_retried(self):
+        pool = WorkerPool(RELATIONS, BackendConfig(), size=1)
+        if pool.backend != "fork":
+            pool.close()
+            pytest.skip("crash recovery needs process workers")
+        try:
+            assert pool.dispatch(
+                {"op": "query", "query": QUERIES[0], "count_only": True}
+            )["ok"]
+            pool._workers[0].kill()
+            response = pool.dispatch(
+                {"op": "query", "query": QUERIES[0], "count_only": True}
+            )
+            assert response["ok"]
+            assert pool.worker_restarts == 1
+        finally:
+            pool.close()
+
+    def test_closed_pool_raises_the_typed_error(self):
+        pool = WorkerPool(RELATIONS, BackendConfig(), size=1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(ServerClosedError):
+            pool.dispatch({"op": "query", "query": QUERIES[0]})
+
+    def test_thread_backend_serves_too(self):
+        pool = WorkerPool(RELATIONS, BackendConfig(), size=1, worker_backend="thread")
+        try:
+            response = pool.dispatch(
+                {"op": "query", "query": QUERIES[0], "count_only": True}
+            )
+            assert response["ok"]
+        finally:
+            pool.close()
+
+
+class TestHttpFront:
+    def test_query_round_trip(self, connection):
+        status, body = _post(connection, {"query": "project[A](R * S)"})
+        assert status == 200
+        assert body["ok"]
+        with Session(RELATIONS) as session:
+            expected = session.execute("project[A](R * S)")
+        assert body["rowcount"] == len(expected)
+        assert body["rows"] == [list(row) for row in expected.relation.sorted_rows()]
+
+    def test_keep_alive_serves_many_requests_on_one_connection(self, connection):
+        for query in QUERIES:
+            status, body = _post(connection, {"query": query, "count_only": True})
+            assert status == 200 and body["ok"]
+
+    def test_per_request_budget_override_under_http(self, connection):
+        status, body = _post(
+            connection,
+            {"query": HEAVY_QUERY, "budget": 64, "count_only": True, "trace": True},
+        )
+        assert status == 200
+        assert body["budget"] == 64
+        assert body["spilled_rows"] > 0
+        assert body["spill_overflows"] == 0
+        labels = [span["label"] for span in body["front_spans"]]
+        assert labels == ["lease", "dispatch"]
+
+    def test_client_faults_map_to_400(self, connection):
+        for payload in (
+            {"query": "project[Z](R)"},
+            {"query": ""},
+            {"query": 42},
+            {"query": QUERIES[0], "backend": "nope"},
+            {"query": QUERIES[0], "budget": -5},
+            {"query": QUERIES[0], "workers": 0},
+        ):
+            status, body = _post(connection, payload)
+            assert status == 400, payload
+            assert not body["ok"]
+
+    def test_non_json_body_maps_to_400(self, connection):
+        connection.request("POST", "/query", body=b"not json{")
+        response = connection.getresponse()
+        assert response.status == 400
+        assert not json.loads(response.read())["ok"]
+
+    def test_budget_beyond_the_pool_maps_to_503(self, connection):
+        status, body = _post(
+            connection, {"query": QUERIES[0], "budget": 10_000_000}
+        )
+        assert status == 503
+        assert body["error"] == "BudgetExhaustedError"
+
+    def test_unknown_route_and_wrong_method(self, connection):
+        status, _body = _get(connection, "/nope")
+        assert status == 404
+        connection.request("GET", "/query")
+        assert connection.getresponse().read() and True
+        # methods are checked per route
+        conn2 = http.client.HTTPConnection(
+            "127.0.0.1", connection.port, timeout=30
+        )
+        try:
+            conn2.request("POST", "/metrics")
+            assert conn2.getresponse().status == 405
+        finally:
+            conn2.close()
+
+    def test_healthz(self, connection):
+        status, body = _get(connection, "/healthz")
+        assert status == 200
+        decoded = json.loads(body)
+        assert decoded["ok"] and decoded["workers"] == 2
+
+    def test_metrics_merges_front_and_workers(self, server, connection):
+        # Serve at least one query so both layers have samples.
+        status, _ = _post(connection, {"query": QUERIES[0], "count_only": True})
+        assert status == 200
+        status, body = _get(connection, "/metrics")
+        assert status == 200
+        text = body.decode("utf-8")
+        samples = {}
+        for line in text.splitlines():
+            assert line, "exposition must not contain blank lines"
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                continue
+            name, _, value = line.rpartition(" ")
+            samples[name.split("{")[0]] = value
+        # Front-side and worker-side metric families in one exposition.
+        assert "repro_http_requests_total" in samples
+        assert "repro_executes_total" in samples
+        assert samples["repro_spill_overflows_total"] == "0"
+
+    def test_stats_exposes_all_three_layers(self, connection):
+        status, body = _get(connection, "/stats")
+        assert status == 200
+        decoded = json.loads(body)
+        assert decoded["front"]["requests"] >= 1
+        assert decoded["budget"]["total_rows"] == 50_000
+        assert decoded["pool"]["size"] == 2
+        assert len(decoded["pool"]["workers"]) == 2
+
+    def test_admission_control_sheds_with_503(self):
+        with ReproServer(RELATIONS, pool_size=1, max_inflight=1) as tight:
+            barrier = threading.Barrier(6)
+            statuses = []
+            lock = threading.Lock()
+
+            def fire():
+                conn = http.client.HTTPConnection(
+                    "127.0.0.1", tight.port, timeout=30
+                )
+                try:
+                    barrier.wait(timeout=10)
+                    status, _body = _post(
+                        conn, {"query": HEAVY_QUERY, "count_only": True}
+                    )
+                    with lock:
+                        statuses.append(status)
+                finally:
+                    conn.close()
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert 200 in statuses
+            assert 503 in statuses
+            assert tight.stats()["front"]["shed_overload"] >= 1
+
+    def test_worker_events_are_mirrored_to_jsonl(self, tmp_path):
+        events_dir = str(tmp_path / "events")
+        with ReproServer(
+            RELATIONS, pool_size=1, events_dir=events_dir
+        ) as observed:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", observed.port, timeout=30
+            )
+            try:
+                status, body = _post(
+                    conn, {"query": HEAVY_QUERY, "budget": 64, "count_only": True}
+                )
+                assert status == 200 and body["spilled_rows"] > 0
+            finally:
+                conn.close()
+        mirror = os.path.join(events_dir, "worker-0.jsonl")
+        assert os.path.exists(mirror)
+        with open(mirror, encoding="utf-8") as handle:
+            events = [json.loads(line) for line in handle]
+        assert events, "spilling under budget 64 must emit events"
+        assert [event["seq"] for event in events] == list(
+            range(1, len(events) + 1)
+        )
+
+    def test_server_close_is_idempotent_and_post_close_requests_fail(self):
+        server = ReproServer(RELATIONS, pool_size=1).start()
+        port = server.port
+        server.close()
+        server.close()
+        with pytest.raises((ConnectionRefusedError, OSError)):
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=2)
+            _post(conn, {"query": QUERIES[0]})
+
+
+class TestLoadGenerator:
+    def test_percentile_is_exact_nearest_rank(self):
+        sample = list(range(1, 101))
+        assert percentile(sample, 50) == 50
+        assert percentile(sample, 99) == 99
+        assert percentile(sample, 100) == 100
+        assert percentile([7.0], 99) == 7.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_run_load_reports_latency_and_throughput(self, server):
+        report = run_load(
+            "127.0.0.1",
+            server.port,
+            QUERIES,
+            clients=8,
+            requests_per_client=3,
+        )
+        assert report.clients == 8
+        assert report.requests == 24
+        assert report.ok == 24
+        assert report.errors == 0
+        summary = report.summary()
+        assert summary["p50_ms"] > 0
+        assert summary["p99_ms"] >= summary["p50_ms"]
+        assert summary["throughput_rps"] > 0
+        assert summary["status_counts"] == {"200": 24}
+
+
+class TestServerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerConfig(pool_size=0)
+        with pytest.raises(ValueError):
+            ServerConfig(max_inflight=0)
+
+    def test_override(self):
+        config = ServerConfig().override(pool_size=4)
+        assert config.pool_size == 4
+
+
+class TestSessionShutdownUnderLoad:
+    """The shutdown satellite: close() racing in-flight executes."""
+
+    def test_concurrent_close_leaks_no_pools_or_spill_dirs(self):
+        for _round in range(3):
+            session = Session(
+                RELATIONS, backend="engine", budget=64, workers=2
+            )
+            prepared = session.prepare(HEAVY_QUERY)
+            errors = []
+            done = threading.Event()
+
+            def hammer():
+                try:
+                    while not done.is_set():
+                        prepared.execute()
+                except SessionClosedError:
+                    pass
+                except Exception as error:  # noqa: BLE001 - recorded for assert
+                    errors.append(error)
+
+            threads = [threading.Thread(target=hammer) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.05)  # let executes get in flight
+            session.close()
+            done.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not any(thread.is_alive() for thread in threads)
+            # In-flight executes either finished or raised the typed
+            # closed error recorded above; nothing else may escape.
+            assert errors == [], errors
+            assert session.stats()["open_pools"] == 0
+        assert _ACTIVE_SPILL_DIRS == set()
+
+    def test_post_close_requests_raise_the_typed_error(self):
+        session = Session(RELATIONS, backend="engine", budget=64)
+        prepared = session.prepare(HEAVY_QUERY)
+        prepared.execute()
+        session.close()
+        with pytest.raises(SessionClosedError):
+            session.prepare("project[A](R * S)")
+        with pytest.raises(SessionClosedError):
+            prepared.execute()
