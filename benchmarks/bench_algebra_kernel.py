@@ -115,6 +115,10 @@ SERVER_REQUESTS_PER_CLIENT = 25
 SERVER_POOL_SIZE = 2
 SERVER_MAX_OVERHEAD = 2.0
 SERVER_OVERRIDE_BUDGET_ROWS = 64
+#: Skew exponent for the Zipf-mix leg: rank-k query weight 1/(k+1)^s.  At
+#: s=1.2 over the 8-query mix the hottest query draws ~43% of traffic —
+#: realistic serving concentration, served from pinned plans.
+SERVER_ZIPF_SKEW = 1.2
 
 #: Robustness parameters (the total-spill memory model at m=12).  The
 #: *gated* budget re-runs the spill scenario with the PR 6 machinery
@@ -137,6 +141,21 @@ MAX_ROBUSTNESS_RUNTIME_RATIO = 1.5
 ADAPTIVE_CLAUSES = (12, 14)
 ADAPTIVE_MAX_PEAK_RATIO = 3.5
 ADAPTIVE_MAX_RUNTIME_RATIO = 1.1
+
+#: Plan-store parameters.  The repin leg pins a plan against catastrophic
+#: one-row statistics, lets the first execution correct itself mid-stream,
+#: and then demands a *corrected steady state*: ``PLANSTORE_ROUNDS``
+#: further executions with zero additional re-plans, at a runtime no worse
+#: than the store-less adaptive evaluator whose stale pin re-plans
+#: mid-stream on every execution (that uncorrected pin *is* the static
+#: plan the repin replaces).  The warm-sample leg rebuilds plans
+#: repeatedly over unchanged relations: after the first build the sample
+#: cache must serve at least ``PLANSTORE_MIN_HIT_RATE`` of catalog lookups
+#: and ``sample_builds`` must stop growing.
+PLANSTORE_ROUNDS = 20
+PLANSTORE_MAX_RUNTIME_RATIO = 1.0
+PLANSTORE_MIN_HIT_RATE = 0.9
+PLANSTORE_REBUILDS = 10
 
 #: Observability parameters (pay-for-what-you-use, measured at m=12).  An
 #: attached-but-trace-off observability layer must stay within 1.05x of a
@@ -727,10 +746,12 @@ def run_server_benchmark(
     traffic executed directly on one warm in-process Session (the
     ``SERVER_MAX_OVERHEAD`` gate).  A second load leg attaches a
     ``SERVER_OVERRIDE_BUDGET_ROWS`` per-request budget override to every
-    request — the heavy join must spill under it with zero overflows —
-    and a final ``/metrics`` scrape asserts the merged exposition still
-    reports ``repro_spill_overflows_total 0`` across the fleet.  Appends a
-    ``server`` section to ``BENCH_algebra.json``.
+    request — the heavy join must spill under it with zero overflows — and
+    a third leg replays the mix Zipf(``SERVER_ZIPF_SKEW``)-skewed (the hot
+    query dominates, as real serving traffic does) and records its own
+    p50/p99; a final ``/metrics`` scrape asserts the merged exposition
+    still reports ``repro_spill_overflows_total 0`` across the fleet.
+    Appends a ``server`` section to ``BENCH_algebra.json``.
     """
     import http.client
 
@@ -774,6 +795,11 @@ def run_server_benchmark(
             requests_per_client=max(2, requests_per_client // 5),
             budget=SERVER_OVERRIDE_BUDGET_ROWS,
         )
+        zipf_report = run_load(
+            "127.0.0.1", server.port, queries,
+            clients=clients, requests_per_client=requests_per_client,
+            zipf=SERVER_ZIPF_SKEW,
+        )
         # Probe the override's engine behaviour and scrape the fleet.
         connection = http.client.HTTPConnection(
             "127.0.0.1", server.port, timeout=60
@@ -805,6 +831,7 @@ def run_server_benchmark(
     overhead = direct_rps / report.throughput_rps
     summary = report.summary()
     override_summary = override_report.summary()
+    zipf_summary = zipf_report.summary()
     section = {
         "description": (
             "concurrent keep-alive clients through the HTTP serving tier "
@@ -834,6 +861,14 @@ def run_server_benchmark(
             "probe_spilled_rows": probe.get("spilled_rows", 0),
             "probe_spill_overflows": probe.get("spill_overflows", 0),
         },
+        "zipf": {
+            "skew": SERVER_ZIPF_SKEW,
+            "requests": zipf_summary["requests"],
+            "ok": zipf_summary["ok"],
+            "p50_ms": zipf_summary["p50_ms"],
+            "p99_ms": zipf_summary["p99_ms"],
+            "throughput_rps": zipf_summary["throughput_rps"],
+        },
         "metrics_spill_overflows_total": sum(overflow_samples),
     }
     print(
@@ -842,7 +877,9 @@ def run_server_benchmark(
         f"vs direct {direct_rps:.1f} rps ({overhead:.2f}x); override "
         f"budget {SERVER_OVERRIDE_BUDGET_ROWS}: "
         f"{probe.get('spilled_rows', 0)} row(s) spilled, "
-        f"{probe.get('spill_overflows', 0)} overflow(s)"
+        f"{probe.get('spill_overflows', 0)} overflow(s); "
+        f"zipf({SERVER_ZIPF_SKEW}) mix: p50 {zipf_summary['p50_ms']:.1f}ms "
+        f"p99 {zipf_summary['p99_ms']:.1f}ms"
     )
     _merge_into_document({"server": section})
     print(f"server section -> {OUTPUT_PATH}")
@@ -870,6 +907,11 @@ def _check_server(section: Dict) -> None:
         "engine (expected Grace spilling under the tiny budget)"
     )
     assert override["probe_spill_overflows"] == 0, "overflow tripwire fired"
+    zipf = section["zipf"]
+    assert zipf["ok"] == zipf["requests"], (
+        "every request of the Zipf-skewed mix must be served"
+    )
+    assert zipf["p50_ms"] > 0 and zipf["p99_ms"] >= zipf["p50_ms"]
     assert section["metrics_spill_overflows_total"] == 0, (
         "the merged /metrics exposition must report zero spill overflows"
     )
@@ -877,28 +919,7 @@ def _check_server(section: Dict) -> None:
 
 def _replan_demo() -> Dict:
     """A pinned plan whose estimates collapse must correct itself mid-stream."""
-    import random as _random
-
-    rng = _random.Random(20260730)
-    big = {
-        "R": Relation.from_rows(
-            "A B", [(rng.randint(0, 20), rng.randint(0, 8)) for _ in range(300)]
-        ),
-        "S": Relation.from_rows(
-            "B C", [(rng.randint(0, 8), rng.randint(0, 30)) for _ in range(300)]
-        ),
-        "T": Relation.from_rows(
-            "C D", [(rng.randint(0, 30), rng.randint(0, 5)) for _ in range(300)]
-        ),
-    }
-    tiny = {
-        name: Relation.from_rows(rel.scheme, [tuple(1 for _ in rel.scheme.names)])
-        for name, rel in big.items()
-    }
-    query = Projection(
-        ["A", "D"],
-        Operand("R", "A B").join(Operand("S", "B C")).join(Operand("T", "C D")),
-    )
+    query, big, tiny = _replan_workload()
     evaluator = EngineEvaluator(
         adaptive=AdaptiveConfig(replan_factor=2.0, replan_min_rows=8)
     )
@@ -1005,6 +1026,176 @@ def _check_adaptive(section: Dict) -> None:
     assert section["runtime_ratio"] <= section["max_runtime_ratio"], (
         f"adaptive steady-state runtime {section['runtime_ratio']}x exceeds "
         f"{section['max_runtime_ratio']}x of static planning"
+    )
+
+
+def _replan_workload():
+    """The collapsed-estimate instance shared by the re-plan legs."""
+    import random as _random
+
+    rng = _random.Random(20260730)
+    big = {
+        "R": Relation.from_rows(
+            "A B", [(rng.randint(0, 20), rng.randint(0, 8)) for _ in range(300)]
+        ),
+        "S": Relation.from_rows(
+            "B C", [(rng.randint(0, 8), rng.randint(0, 30)) for _ in range(300)]
+        ),
+        "T": Relation.from_rows(
+            "C D", [(rng.randint(0, 30), rng.randint(0, 5)) for _ in range(300)]
+        ),
+    }
+    tiny = {
+        name: Relation.from_rows(rel.scheme, [tuple(1 for _ in rel.scheme.names)])
+        for name, rel in big.items()
+    }
+    query = Projection(
+        ["A", "D"],
+        Operand("R", "A B").join(Operand("S", "B C")).join(Operand("T", "C D")),
+    )
+    return query, big, tiny
+
+
+def run_planstore_benchmark(
+    rounds: int = PLANSTORE_ROUNDS, rebuilds: int = PLANSTORE_REBUILDS
+) -> Dict:
+    """The plan store's learning loop, priced and gated.
+
+    Two legs, appended as a ``planstore`` section to ``BENCH_algebra.json``:
+
+    *Repin* — both evaluators pin the collapsed-estimate instance against
+    one-row stand-ins.  The store-backed one corrects itself on the first
+    execution (one mid-stream re-plan, written back as a ``repin``) and
+    must then run ``rounds`` steady-state executions with **zero** further
+    re-plans, at a best-of runtime within ``PLANSTORE_MAX_RUNTIME_RATIO``
+    of the store-less evaluator — whose stale static pin re-plans
+    mid-stream on *every* execution.
+
+    *Warm samples* — ``rebuilds`` forget-then-replan rounds over three
+    queries sharing unchanged relations: ``sample_builds`` must stop
+    growing after the first round and the sample-cache hit rate must reach
+    ``PLANSTORE_MIN_HIT_RATE``.
+    """
+    adaptive = AdaptiveConfig(replan_factor=2.0, replan_min_rows=8)
+    query, big, tiny = _replan_workload()
+    reference = evaluate(query, big)
+
+    stale = EngineEvaluator(adaptive=adaptive)
+    learned = EngineEvaluator(adaptive=adaptive, planstore=True)
+    for evaluator in (stale, learned):
+        evaluator.plan_for(query, tiny)
+    corrective_result, corrective_trace = learned.evaluate(query, big)
+    if corrective_result != reference:
+        raise AssertionError("the corrective re-plan changed the result")
+    store = learned.planstore
+    steady_replans = 0
+    for _ in range(rounds):
+        result, trace = learned.evaluate(query, big)
+        steady_replans += trace.replans
+        if result != reference:
+            raise AssertionError("a steady-state execution changed the result")
+    stale_result, stale_trace = stale.evaluate(query, big)
+    if stale_result != reference:
+        raise AssertionError("the stale-pin baseline changed the result")
+    steady_seconds, stale_seconds = _best_of_interleaved(
+        lambda: learned.evaluate(query, big),
+        lambda: stale.evaluate(query, big),
+    )
+    repin_leg = {
+        "corrective_replans": corrective_trace.replans,
+        "plan_repins": store.repins,
+        "steady_rounds": rounds,
+        "steady_replans": steady_replans,
+        "stale_pin_replans_per_execute": stale_trace.replans,
+        "steady_seconds": round(steady_seconds, 6),
+        "stale_pin_seconds": round(stale_seconds, 6),
+        "runtime_ratio": round(steady_seconds / stale_seconds, 3),
+        "max_runtime_ratio": PLANSTORE_MAX_RUNTIME_RATIO,
+    }
+
+    warm = EngineEvaluator(adaptive=True, planstore=True)
+    queries = [
+        Operand("R", "A B").join(Operand("S", "B C")),
+        Operand("S", "B C").join(Operand("T", "C D")),
+        query,
+    ]
+    before = kernel_counters().snapshot()
+    for expression in queries:
+        warm.plan_for(expression, big)
+    first_round = kernel_counters().delta_since(before)
+    for _ in range(rebuilds):
+        for expression in queries:
+            warm.forget_plan(expression)
+            warm.plan_for(expression, big)
+    delta = kernel_counters().delta_since(before)
+    lookups = delta["sample_cache_hits"] + delta["sample_cache_misses"]
+    hit_rate = delta["sample_cache_hits"] / lookups if lookups else 0.0
+    samples_leg = {
+        "queries": len(queries),
+        "rebuild_rounds": rebuilds,
+        "first_round_sample_builds": first_round["sample_builds"],
+        "total_sample_builds": delta["sample_builds"],
+        "sample_cache_hits": delta["sample_cache_hits"],
+        "sample_cache_misses": delta["sample_cache_misses"],
+        "hit_rate": round(hit_rate, 4),
+        "min_hit_rate": PLANSTORE_MIN_HIT_RATE,
+    }
+
+    section = {
+        "description": (
+            "plan-management learning loop: one corrective mid-stream "
+            "re-plan is written back into the pinned plan (zero further "
+            "re-plans steady-state, priced against the stale static pin "
+            "that re-plans every execution) and repeated plan builds over "
+            "unchanged relations run from warm reservoir samples"
+        ),
+        "repin": repin_leg,
+        "warm_samples": samples_leg,
+        "store_stats": store.stats(),
+    }
+    print(
+        f"planstore repin: {repin_leg['corrective_replans']} corrective "
+        f"re-plan(s), {steady_replans} in {rounds} steady round(s); "
+        f"steady {steady_seconds * 1e3:,.2f}ms vs stale pin "
+        f"{stale_seconds * 1e3:,.2f}ms ({repin_leg['runtime_ratio']:.2f}x)"
+    )
+    print(
+        f"planstore samples: {delta['sample_builds']} build(s) across "
+        f"{rebuilds + 1} round(s), hit rate {hit_rate:.1%}"
+    )
+    _merge_into_document({"planstore": section})
+    print(f"planstore section -> {OUTPUT_PATH}")
+    return section
+
+
+def _check_planstore(section: Dict) -> None:
+    """The plan-store gate shared by pytest and the standalone sweep."""
+    repin = section["repin"]
+    assert repin["corrective_replans"] >= 1, (
+        "the collapsed-estimate instance must re-plan mid-stream once"
+    )
+    assert repin["plan_repins"] == 1, (
+        f"exactly one repin expected, got {repin['plan_repins']}"
+    )
+    assert repin["steady_replans"] == 0, (
+        f"the corrected pin must never re-plan again, got "
+        f"{repin['steady_replans']} across {repin['steady_rounds']} rounds"
+    )
+    assert repin["stale_pin_replans_per_execute"] >= 1, (
+        "the store-less baseline must keep re-planning mid-stream "
+        "(otherwise the runtime comparison prices nothing)"
+    )
+    assert repin["runtime_ratio"] <= repin["max_runtime_ratio"], (
+        f"corrected steady state runs {repin['runtime_ratio']}x the stale "
+        f"static pin (gate <= {repin['max_runtime_ratio']}x)"
+    )
+    samples = section["warm_samples"]
+    assert samples["total_sample_builds"] == samples["first_round_sample_builds"], (
+        "sample_builds kept growing on rebuilds over unchanged relations"
+    )
+    assert samples["hit_rate"] >= samples["min_hit_rate"], (
+        f"sample-cache hit rate {samples['hit_rate']:.1%} below "
+        f"{samples['min_hit_rate']:.0%}"
     )
 
 
@@ -1225,7 +1416,12 @@ def test_server_tier_load(emit_result):
         f"{override['ok']}/{override['requests']} served, "
         f"p99 {override['p99_ms']:.1f}ms, "
         f"{override['probe_spilled_rows']} row(s) spilled, "
-        f"{override['probe_spill_overflows']} overflow(s); "
+        f"{override['probe_spill_overflows']} overflow(s)\n"
+        f"zipf({section['zipf']['skew']}) skewed mix: "
+        f"{section['zipf']['ok']}/{section['zipf']['requests']} served, "
+        f"p50 {section['zipf']['p50_ms']:.1f}ms  "
+        f"p99 {section['zipf']['p99_ms']:.1f}ms  "
+        f"{section['zipf']['throughput_rps']:.1f} rps; "
         f"fleet spill_overflows_total="
         f"{section['metrics_spill_overflows_total']}",
     )
@@ -1336,6 +1532,32 @@ def test_adaptive_estimation_quality(emit_result):
     _check_adaptive(section)
 
 
+def test_planstore_learning(emit_result):
+    """The plan-store gate: the collapsed-estimate instance corrects itself
+    once (the repin), then runs 20 steady-state executions with zero
+    further re-plans at <= 1.0x the stale static pin's runtime, and
+    repeated plan builds over unchanged relations run from warm samples
+    (>= 90% hit rate, sample_builds stops growing)."""
+    section = run_planstore_benchmark()
+    repin = section["repin"]
+    samples = section["warm_samples"]
+    emit_result(
+        "BENCH-planstore",
+        "plan & statistics store: repin steady state + warm sample cache",
+        f"repin: {repin['corrective_replans']} corrective re-plan(s), then "
+        f"{repin['steady_replans']} in {repin['steady_rounds']} rounds  "
+        f"steady {repin['steady_seconds'] * 1e3:,.2f}ms vs stale pin "
+        f"{repin['stale_pin_seconds'] * 1e3:,.2f}ms "
+        f"({repin['runtime_ratio']:.2f}x, gate <= "
+        f"{repin['max_runtime_ratio']}x)\n"
+        f"samples: {samples['total_sample_builds']} build(s) across "
+        f"{samples['rebuild_rounds'] + 1} rounds of "
+        f"{samples['queries']} queries  hit rate {samples['hit_rate']:.1%} "
+        f"(gate >= {samples['min_hit_rate']:.0%})",
+    )
+    _check_planstore(section)
+
+
 if __name__ == "__main__":
     result = run_benchmark(cardinalities=FULL_CARDINALITIES)
     engine_section = run_engine_benchmark()
@@ -1374,6 +1596,12 @@ if __name__ == "__main__":
         _check_adaptive(adaptive_section)
     except AssertionError as failure:
         print(f"adaptive gate failed: {failure}")
+        engine_ok = False
+    planstore_section = run_planstore_benchmark()
+    try:
+        _check_planstore(planstore_section)
+    except AssertionError as failure:
+        print(f"planstore gate failed: {failure}")
         engine_ok = False
     observability_section = run_observability_benchmark()
     try:

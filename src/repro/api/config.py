@@ -16,6 +16,7 @@ from typing import Callable, Optional, Union
 
 from ..engine.faults import FaultPlan
 from ..engine.physical import MemoryBudget
+from ..engine.planstore import PlanStore, PlanStoreConfig
 from ..engine.sampling import AdaptiveConfig
 from ..obs.config import Observer, ObserveConfig
 from .errors import SessionError, UnknownBackendError
@@ -63,6 +64,18 @@ class BackendConfig:
         whose observed cardinality blows past its estimate checkpoints and
         resumes on a re-costed join order (``session.stats()["replans"]``
         counts it; invalidation replans re-sample the fresh relations).
+    ``planstore``
+        ``True`` (or a :class:`~repro.engine.planstore.PlanStoreConfig`)
+        attaches the plan-management subsystem to the engine backend: a
+        per-session store that caches warm reservoir samples by relation
+        identity, keeps an observed-cardinality ledger that plan costing
+        consults before any estimator, re-pins the corrected join order
+        after a successful mid-stream re-plan, and proactively re-plans
+        pinned plans whose estimates have drifted past the configured
+        q-error threshold.  A pre-built :class:`~repro.engine.planstore.PlanStore`
+        is accepted as-is (sessions may share one store the way they share
+        an :class:`~repro.obs.Observer`).  ``None`` (the default) keeps
+        planning memoryless, exactly as before this knob existed.
     ``faults``
         A :class:`~repro.engine.faults.FaultPlan` chaos schedule for the
         engine backend: spill I/O failures, a worker kill, checkpoint-cap
@@ -91,6 +104,7 @@ class BackendConfig:
     prefer_merge: bool = False
     max_pools: int = 8
     adaptive: Union[AdaptiveConfig, bool, None] = None
+    planstore: Union[PlanStore, PlanStoreConfig, bool, None] = None
     faults: Optional[FaultPlan] = None
     observe: Union[Observer, ObserveConfig, bool, None] = None
 
@@ -110,6 +124,13 @@ class BackendConfig:
             raise SessionError(str(error)) from error
         if adaptive is not self.adaptive:
             object.__setattr__(self, "adaptive", adaptive)
+        if not isinstance(self.planstore, PlanStore):
+            try:
+                planstore = PlanStoreConfig.coerce(self.planstore)
+            except (TypeError, ValueError) as error:
+                raise SessionError(str(error)) from error
+            if planstore is not self.planstore:
+                object.__setattr__(self, "planstore", planstore)
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise SessionError(
                 f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"

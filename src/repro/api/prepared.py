@@ -28,6 +28,7 @@ from .result import QueryResult
 from .trace import UnifiedTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.planstore import PlanRecord
     from .session import Session
 
 __all__ = ["PreparedQuery"]
@@ -85,8 +86,13 @@ class PreparedQuery:
                 # Drop the engine's pinned plan for this expression so the
                 # re-compile plans against the *new* relations' statistics
                 # (construction-is-invalidation: fresh relations carry fresh
-                # stats catalogs).
-                session._forget_backend_plan(self.backend, self.expression)
+                # stats catalogs).  forget_learned=False: the changed
+                # relation's plan-store state was already invalidated by
+                # set_relation, scoped to that name — what was learned about
+                # unchanged relations stays.
+                session._forget_backend_plan(
+                    self.backend, self.expression, forget_learned=False
+                )
                 self._compile(count_build=True)
             else:
                 session._count("plan_cache_hits")
@@ -242,6 +248,23 @@ class PreparedQuery:
     def operand_names(self) -> Tuple[str, ...]:
         """The operand names this query reads, sorted."""
         return tuple(sorted(self._bound))
+
+    def plan_history(self) -> Tuple["PlanRecord", ...]:
+        """What the plan store recorded about this query's plan, oldest first.
+
+        Each :class:`~repro.engine.planstore.PlanRecord` is one lifecycle
+        event — ``pinned`` (a fresh build, with its join order), ``repin``
+        (the corrected order written back after a mid-stream re-plan),
+        ``drift_replan`` (a proactive rebuild after observed cardinalities
+        drifted from the pinned estimates), ``forgotten`` (the plan was
+        dropped).  Empty when the session has no plan store
+        (``planstore=`` not configured), when the backend is not the
+        engine, or before the first engine compile.
+        """
+        store = self._session._planstore
+        if store is None or self.backend != "engine":
+            return ()
+        return store.history(self.expression)
 
     def __repr__(self) -> str:
         return (

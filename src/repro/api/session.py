@@ -177,6 +177,11 @@ class Session:
             self._relations[name] = relation
             self._rel_versions[name] = self._rel_versions.get(name, 0) + 1
             self._counters["invalidations"] += 1
+        store = self._planstore
+        if store is not None:
+            # Scoped invalidation: drop only this name's warm samples and
+            # ledger observations; other relations' learned state stays.
+            store.invalidate_relation(name)
 
     def set_default_relation(self, relation: Relation) -> None:
         """Replace a single-relation session's bare relation."""
@@ -194,6 +199,11 @@ class Session:
             self._default = relation
             self._default_version += 1
             self._counters["invalidations"] += 1
+        store = self._planstore
+        if store is not None:
+            # The bare relation binds any operand name, so nothing learned
+            # can be scoped to a name — forget all samples and observations.
+            store.invalidate_all()
 
     def _resolve_bindings(
         self, expression: Expression
@@ -319,6 +329,7 @@ class Session:
                         parallel_backend=self.config.parallel_backend,
                         max_pools=self.config.max_pools,
                         adaptive=self.config.adaptive,
+                        planstore=self.config.planstore,
                         faults=self.config.faults,
                         observe=self._observer,
                     )
@@ -335,10 +346,48 @@ class Session:
             return push_down_projections(expression)
         return None
 
-    def _forget_backend_plan(self, backend: str, expression: Expression) -> None:
-        """Drop a stale pinned plan so the next compile re-plans."""
+    def _forget_backend_plan(
+        self, backend: str, expression: Expression, forget_learned: bool = True
+    ) -> None:
+        """Drop a stale pinned plan so the next compile re-plans.
+
+        ``forget_learned=False`` is the invalidation-replan path: the
+        changed relation's plan-store state was already invalidated —
+        scoped to that name — by :meth:`set_relation`, so observations
+        over the plan's *unchanged* relations stay learned.
+        """
         if backend == "engine" and self._engine_evaluator is not None:
-            self._engine_evaluator.forget_plan(expression)
+            self._engine_evaluator.forget_plan(
+                expression, forget_learned=forget_learned
+            )
+
+    @property
+    def _planstore(self):
+        """The engine evaluator's plan store, if one is attached and live."""
+        engine = self._engine_evaluator
+        return engine.planstore if engine is not None else None
+
+    def forget_plan(
+        self,
+        expression: Union[Expression, str],
+        backend: Optional[str] = None,
+    ) -> None:
+        """Drop the pinned plan (and what executing it taught the store).
+
+        The next execution of a prepared query over ``expression`` re-plans
+        from scratch.  With a plan store attached, forgetting also drops
+        the ledger observations learned from this plan's operands (a
+        ``forgotten`` event lands in its plan history) — warm reservoir
+        samples stay, because they are keyed by relation identity and
+        remain valid until :meth:`set_relation` replaces the relation.
+        ``backend`` defaults to the session's configured backend; only the
+        engine backend pins plans, so other backends are a no-op.
+        """
+        self._ensure_open()
+        chosen = validate_backend(backend or self.config.backend)
+        if isinstance(expression, str):
+            expression = self._parse(expression)
+        self._forget_backend_plan(chosen, expression)
 
     def _execute_backend(
         self,
@@ -435,12 +484,18 @@ class Session:
         engine's mid-stream re-plans (0 unless the config sets
         ``adaptive``); ``serial_fallbacks`` counts loud parallel-to-serial
         degradations (each also warned and recorded on the trace).
-        ``open_pools`` reports the engine's warm fork-probe pools.
+        ``open_pools`` reports the engine's warm fork-probe pools.  With a
+        plan store attached (``planstore=`` config), a nested
+        ``"planstore"`` dict reports its sample-cache hits/misses, ledger
+        size and version, plan re-pins, and drift re-plans.
         """
         with self._state_lock:
             snapshot = dict(self._counters)
             engine = self._engine_evaluator
         snapshot["open_pools"] = engine.open_pools if engine is not None else 0
+        store = engine.planstore if engine is not None else None
+        if store is not None:
+            snapshot["planstore"] = store.stats()
         return snapshot
 
     def metrics(self) -> "MetricsRegistry":

@@ -33,9 +33,19 @@ Python:
     operand); ``--memory-budget ROWS`` shows the budget-aware plan (Grace
     joins with partition estimates); ``--paper`` explains and runs the
     paper's worked example on its real relation instead; ``--adaptive``
-    switches on sampling-based estimation and mid-stream re-planning (with
-    ``--paper`` it also reports the re-plan count and mean estimate
-    q-error).
+    switches on sampling-based estimation, mid-stream re-planning, and the
+    plan store (with ``--paper`` it reports the re-plan count and, per
+    join node, where the estimate came from: the observed-cardinality
+    ledger, a reservoir sample, or the backoff formula).
+
+``python -m repro plans [--executes N] [--invalidate]``
+    Serve the demo serving workload from one adaptive session with the
+    plan-management store attached, then print what the optimizer learned:
+    each query's plan history (pins, re-pins, drift re-plans, forgets with
+    join orders), the observed-cardinality ledger, and the store's
+    sample-cache hit rate.  ``--invalidate`` replaces one relation
+    mid-run to show scoped invalidation (only that relation's learned
+    state is dropped).
 
 ``python -m repro trace [--memory-budget ROWS] [--workers N] [--adaptive] [--events PATH]``
     Execute the paper's worked example under a span tracer and print the
@@ -208,6 +218,35 @@ def _validated_cardinality(value, option: str) -> int:
     return cardinality
 
 
+def _join_provenance_lines(plan) -> List[str]:
+    """One line per join node: its estimate and where that estimate came from.
+
+    Provenance is re-derived live from the plan's per-node statistics, so a
+    report printed *after* an execution reflects what the plan store's
+    ledger has learned since the plan was costed: a join whose operand set
+    now has an observed cardinality reports ``observed-ledger`` even though
+    it was originally costed from samples.
+    """
+    from .engine import join_estimate_provenance
+
+    lines: List[str] = []
+
+    def walk(node) -> None:
+        for child in node.children:
+            walk(child)
+        if node.kind in ("hash-join", "merge-join"):
+            left, right = node.children[0], node.children[1]
+            common = tuple(node.join_plan.common_names)
+            provenance = join_estimate_provenance(left.stats, right.stats, common)
+            on = ", ".join(common) or "x (product)"
+            lines.append(
+                f"join on ({on}): est {node.est_rows:.0f} rows [{provenance}]"
+            )
+
+    walk(plan.root)
+    return lines
+
+
 def _command_engine_explain(arguments: argparse.Namespace) -> int:
     from .engine import PlannerConfig, RelationStats, plan_expression
     from .engine.physical import MemoryBudget
@@ -232,6 +271,7 @@ def _command_engine_explain(arguments: argparse.Namespace) -> int:
             workers=arguments.workers,
             prefer_merge=arguments.prefer_merge,
             adaptive=arguments.adaptive,
+            planstore=arguments.adaptive,
         ) as session:
             prepared = session.prepare(expression)
             print("phi_G =", expression.to_text())
@@ -257,20 +297,19 @@ def _command_engine_explain(arguments: argparse.Namespace) -> int:
             f"(input {trace.input_cardinality})"
         )
         if arguments.adaptive:
-            observations = trace.counters.get("qerror_observations", 0)
-            if observations:
-                mean_q = (
-                    trace.counters.get("qerror_total_milli", 0) / observations / 1000.0
-                )
+            live = session._engine.pinned_plan(expression)
+            provenance = _join_provenance_lines(live) if live is not None else []
+            if provenance:
                 print(
-                    f"adaptive: {trace.replans} mid-stream re-plan(s), "
-                    f"mean estimate q-error {mean_q:.2f} over "
-                    f"{observations} operator(s)"
+                    f"adaptive: {trace.replans} mid-stream re-plan(s); "
+                    f"per-join estimate provenance:"
                 )
+                for line in provenance:
+                    print(f"  {line}")
             else:
                 print(
-                    "adaptive: plan costed from samples; no serial execution "
-                    "ran, so no re-plans or q-errors were recorded"
+                    "adaptive: plan costed from samples; no join nodes to "
+                    "report provenance for"
                 )
         if arguments.memory_budget is not None:
             print(
@@ -327,6 +366,73 @@ def _command_engine_explain(arguments: argparse.Namespace) -> int:
     print(f"estimated result rows: {plan.est_rows:.1f}   estimated cost: {plan.est_cost:.1f}")
     print()
     print(plan.explain())
+    return 0
+
+
+def _command_plans(arguments: argparse.Namespace) -> int:
+    from .algebra import Relation
+    from .engine.planstore import PlanStoreConfig
+    from .workloads import serving_queries, serving_relations
+
+    if arguments.executes < 1:
+        raise SystemExit("--executes must be >= 1")
+    if arguments.rows < 1:
+        raise SystemExit("--rows must be >= 1")
+    relations = serving_relations(rows=arguments.rows)
+    queries = serving_queries()
+    with Session(
+        relations,
+        backend="engine",
+        adaptive=True,
+        planstore=PlanStoreConfig(),
+    ) as session:
+        prepared = [session.prepare(text) for text in queries]
+        for _ in range(arguments.executes):
+            for query in prepared:
+                query.execute()
+        if arguments.invalidate:
+            # Replace S with a shifted distribution: only S's warm sample
+            # and the ledger observations involving S are dropped; every
+            # other relation's learned state stays warm.
+            shifted = Relation.from_rows(
+                "B C",
+                [((i * 3) % 17, i % 23) for i in range(arguments.rows)],
+                name="S",
+            )
+            session.set_relation("S", shifted)
+            for query in prepared:
+                query.execute()
+        print(f"plan histories ({arguments.executes} execution(s) per query):")
+        for text, query in zip(queries, prepared):
+            print(f"  {text}")
+            for record in query.plan_history():
+                order = " * ".join(record.join_order) if record.join_order else "-"
+                detail = f"   ({record.detail})" if record.detail else ""
+                print(f"    {record.kind:<13} {order}{detail}")
+        store = session._planstore
+        print()
+        print("observed-cardinality ledger:")
+        snapshot = store.ledger.snapshot()
+        for key in sorted(
+            snapshot, key=lambda k: (len(k[0]), sorted(k[0]), sorted(k[1]))
+        ):
+            names, columns = key
+            print(
+                f"  {{{', '.join(sorted(names))}}} -> "
+                f"({', '.join(sorted(columns))}): {snapshot[key]} rows"
+            )
+        stats = store.stats()
+        lookups = stats["sample_cache_hits"] + stats["sample_cache_misses"]
+        rate = 100.0 * stats["sample_cache_hits"] / lookups if lookups else 0.0
+        print()
+        print(
+            f"store: {stats['cached_samples']} warm sample(s) "
+            f"({stats['sample_cache_hits']}/{lookups} lookups hit, {rate:.0f}%), "
+            f"ledger v{stats['ledger_version']} holding "
+            f"{stats['ledger_entries']} operand set(s), "
+            f"{stats['plan_repins']} repin(s), "
+            f"{stats['drift_replans']} drift re-plan(s)"
+        )
     return 0
 
 
@@ -557,6 +663,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="explain and execute the paper's worked example on its real relation",
     )
     explain_parser.set_defaults(handler=_command_engine_explain)
+
+    plans_parser = subparsers.add_parser(
+        "plans",
+        help="serve the demo workload with the plan store on and print what it learned",
+    )
+    plans_parser.add_argument(
+        "--executes",
+        type=int,
+        default=3,
+        help="executions per demo query before reporting (default 3)",
+    )
+    plans_parser.add_argument(
+        "--rows",
+        type=int,
+        default=600,
+        help="rows per relation of the demo serving database (default 600)",
+    )
+    plans_parser.add_argument(
+        "--invalidate",
+        action="store_true",
+        help="replace relation S mid-run to show scoped invalidation",
+    )
+    plans_parser.set_defaults(handler=_command_plans)
 
     trace_parser = subparsers.add_parser(
         "trace",

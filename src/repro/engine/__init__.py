@@ -28,6 +28,14 @@ algebra kernel (PR 1):
     assumption, GEE distinct-count scale-up, and the
     :class:`AdaptiveConfig` knobs for mid-stream re-planning
     (``EngineEvaluator(adaptive=…)``).
+``repro.engine.planstore``
+    Per-session planning memory (``EngineEvaluator(planstore=…)``): an
+    identity-keyed LRU of warm reservoir samples, an observed-cardinality
+    ledger consulted by plan costing before any estimator, re-pinning of
+    the corrected join order after a mid-stream re-plan, and proactive
+    drift re-planning when observations leave a pinned plan's estimates
+    behind — the layer that turns the adaptive machinery into a learning
+    optimizer.
 ``repro.engine.faults``
     Deterministic fault injection: :class:`FaultPlan` schedules spill I/O
     failures, worker kills, and checkpoint-cap pressure;
@@ -77,6 +85,14 @@ from .physical import (
     TableScan,
 )
 from .planner import PhysicalPlan, PlanNode, Planner, PlannerConfig, plan_expression
+from .planstore import (
+    CardinalityLedger,
+    LedgerBackedStats,
+    PlanRecord,
+    PlanStore,
+    PlanStoreConfig,
+    SampleCache,
+)
 from .sampling import (
     AdaptiveConfig,
     Sample,
@@ -91,6 +107,7 @@ from .stats import (
     estimate_join_cardinality,
     estimate_partition_count,
     estimate_spill_depth,
+    join_estimate_provenance,
     join_stats,
     project_stats,
 )
@@ -134,11 +151,18 @@ __all__ = [
     "PlanNode",
     "PhysicalPlan",
     "plan_expression",
+    "CardinalityLedger",
+    "LedgerBackedStats",
+    "PlanRecord",
+    "PlanStore",
+    "PlanStoreConfig",
+    "SampleCache",
     "ColumnStats",
     "RelationStats",
     "estimate_join_cardinality",
     "estimate_partition_count",
     "estimate_spill_depth",
+    "join_estimate_provenance",
     "join_stats",
     "project_stats",
     "q_error",

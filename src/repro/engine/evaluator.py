@@ -73,13 +73,18 @@ from .parallel import (
 )
 from .physical import (
     AdaptiveGuard,
+    HashJoin,
     MemoryBudget,
     MemoryMeter,
+    MergeJoin,
+    PartitionedScan,
     PhysicalOperator,
     ReplanTriggered,
     SpilledCheckpoint,
+    TableScan,
 )
 from .planner import PhysicalPlan, PlanNode, Planner, PlannerConfig
+from .planstore import LedgerBackedStats, PlanStore
 from .sampling import AdaptiveConfig, q_error, sampled_stats
 from .stats import join_stats, project_stats
 
@@ -113,6 +118,7 @@ class EngineEvaluator:
         adaptive: "AdaptiveConfig | bool | None" = None,
         faults: Optional[FaultPlan] = None,
         observe: "Observer | ObserveConfig | bool | None" = None,
+        planstore: "PlanStore | bool | None" = None,
     ):
         """Create an evaluator.
 
@@ -155,6 +161,19 @@ class EngineEvaluator:
         re-plan / degradation / injected fault, and a metrics registry.
         Tracing is pay-for-what-you-use — with ``observe=None`` (the
         default) or ``trace=False`` the hot path sees no tracer at all.
+
+        ``planstore`` (``True``, a
+        :class:`~repro.engine.planstore.PlanStoreConfig`, or an existing
+        :class:`~repro.engine.planstore.PlanStore`) attaches the
+        plan-management layer: warm reservoir samples per relation
+        identity (plan builds over unchanged relations stop re-sampling),
+        an observed-cardinality ledger harvested after every serial
+        execution and consulted by plan costing before any estimator, a
+        re-pin of the revised join order after a successful mid-stream
+        re-plan (``plan_repin``), and a pre-execution drift check that
+        proactively re-plans when the ledger's accumulated q-errors
+        against a pinned plan's estimates cross the configured threshold
+        (``drift_replan``).
         """
         base = config or PlannerConfig()
         coerced = MemoryBudget.coerce(budget)
@@ -168,6 +187,7 @@ class EngineEvaluator:
             raise TypeError(f"faults must be a FaultPlan or None, got {faults!r}")
         self.faults = faults
         self.observer = Observer.coerce(observe)
+        self.planstore = PlanStore.coerce(planstore)
         self._planner = Planner(base)
         self._pin_plans = pin_plans
         self._plans: Dict[Expression, PhysicalPlan] = {}
@@ -275,10 +295,21 @@ class EngineEvaluator:
         and reused verbatim afterwards.  Pinning is race-free: concurrent
         first calls may both compute a candidate, but exactly one is stored
         and returned to everyone.
+
+        With a plan store attached, a pinned hit additionally passes the
+        **drift check**: when the observed-cardinality ledger has moved
+        past the plan's estimates by more than the configured q-error
+        threshold, the plan is rebuilt against current (ledger-backed)
+        statistics *before* execution rather than correcting mid-stream
+        (``drift_replans``).  The check is O(1) in the steady state — a
+        plan validated against ledger version N re-checks only when the
+        ledger materially changes.
         """
         if self._pin_plans:
             plan = self._plans.get(expression)
             if plan is not None:
+                if self.planstore is not None:
+                    plan = self._drift_check(expression, plan, arguments)
                 return plan
         bound = bind_arguments(expression, arguments)
         stats = self._catalog_for(bound)
@@ -289,6 +320,12 @@ class EngineEvaluator:
             if plan is None:
                 plan = self._planner.plan(expression, stats)
                 self._plans[expression] = plan
+                pinned = True
+            else:
+                pinned = False
+        if pinned and self.planstore is not None:
+            plan._ledger_version = self.planstore.ledger.version
+            self.planstore.record(expression, "pinned", self._scan_order(plan.root))
         return plan
 
     def _catalog_for(self, bound: Mapping[str, Relation]) -> Dict[str, object]:
@@ -297,28 +334,71 @@ class EngineEvaluator:
         Adaptive mode samples the *current* relations every time a plan is
         built, so an invalidation replan (the serving facade's
         ``forget_plan``) re-samples the fresh relations rather than reusing
-        estimates from data that no longer exists.
+        estimates from data that no longer exists.  A plan store keeps that
+        contract while eliding the re-sampling cost: samples are cached per
+        relation *identity*, so an unchanged relation hits its warm sample
+        (``sample_cache_hits``) and a rebound one — a new object — misses
+        and re-samples.  Ledger-backed wrapping makes every entry consult
+        the observed-cardinality ledger during plan costing.
         """
         adaptive = self.adaptive
+        store = self.planstore
         if adaptive is None:
-            return {name: relation.stats() for name, relation in bound.items()}
+            entries = {name: relation.stats() for name, relation in bound.items()}
+        elif store is None:
+            entries = {
+                name: self._sample_entry(name, relation)
+                for name, relation in bound.items()
+            }
+        else:
+            entries = {
+                name: store.sample_for(
+                    name,
+                    relation,
+                    lambda name=name, relation=relation: self._sample_entry(
+                        name, relation
+                    ),
+                )
+                for name, relation in bound.items()
+            }
+        if store is None:
+            return entries
         return {
-            name: sampled_stats(
-                relation,
-                adaptive.sample_size,
-                seed=adaptive.seed,
-                name=name,
-                join_cap=adaptive.sample_join_cap,
-            )
-            for name, relation in bound.items()
+            name: store.ledger_backed(entry, name)
+            for name, entry in entries.items()
         }
+
+    def _sample_entry(self, name: str, relation: Relation):
+        """Build one sampled catalog entry under the adaptive config."""
+        adaptive = self.adaptive
+        return sampled_stats(
+            relation,
+            adaptive.sample_size,
+            seed=adaptive.seed,
+            name=name,
+            join_cap=adaptive.sample_join_cap,
+        )
+
+    def pinned_plan(self, expression: Expression) -> Optional[PhysicalPlan]:
+        """The currently pinned plan for ``expression``, if any (no build).
+
+        Unlike :meth:`plan_for` this never plans and never drift-checks —
+        it is the introspection hook (``engine-explain``, plan-history
+        tooling) for seeing exactly what the next execution would reuse,
+        including a re-pinned plan that replaced the originally compiled
+        artifact.
+        """
+        with self._plans_lock:
+            return self._plans.get(expression)
 
     def clear_plans(self) -> None:
         """Drop every pinned plan (e.g. after a data-distribution shift)."""
         with self._plans_lock:
             self._plans.clear()
 
-    def forget_plan(self, expression: Expression) -> None:
+    def forget_plan(
+        self, expression: Expression, forget_learned: bool = True
+    ) -> None:
         """Drop one expression's pinned plan so its next use re-plans.
 
         The serving facade calls this when a relation the expression reads
@@ -329,11 +409,31 @@ class EngineEvaluator:
         in the LRU they would strand forked children (and a full copy of
         the replaced relations) until enough *other* plans churned them
         out.
+
+        A plan store forgets alongside: the expression's plan history
+        records the drop, and with ``forget_learned`` (the default) the
+        ledger observations over this plan's operand sets are invalidated
+        too, so the next pin starts from fresh samples instead of learned
+        truth.  The facade's *invalidation-replan* path passes
+        ``forget_learned=False``: there the changed relation's learned
+        state was already dropped — scoped — by
+        :meth:`~repro.engine.planstore.PlanStore.invalidate_relation`, and
+        wiping this plan's whole operand set would destroy observations
+        over *unchanged* relations that other queries still rely on.
         """
         with self._plans_lock:
             plan = self._plans.pop(expression, None)
         if plan is None:
             return
+        self._evict_pools_for(plan)
+        if self.planstore is not None:
+            names = (
+                frozenset(self._scan_names(plan.root)) if forget_learned else None
+            )
+            self.planstore.forget_expression(expression, names)
+
+    def _evict_pools_for(self, plan: PhysicalPlan) -> None:
+        """Close and drop every warm pool keyed by one (dropped) plan."""
         with self._pool_lock:
             stale = [
                 key for key, entry in self._pools.items() if entry[0] is plan
@@ -448,9 +548,13 @@ class EngineEvaluator:
             trace.peak_live_rows = max(parallel.peak_live_rows, meter.peak)
             trace.peak_build_rows = parallel.build_peak_rows
         elif self.adaptive is not None:
-            rows, root, replans, aborted_build_peak = self._adaptive_execute(
-                plan, bound, meter
-            )
+            (
+                rows,
+                root,
+                replans,
+                aborted_build_peak,
+                checkpoint_names,
+            ) = self._adaptive_execute(plan, bound, meter)
             # A revised chain may present the same result scheme in a
             # different column order; the drained rows align with the final
             # attempt's root, not the pinned plan's.
@@ -468,6 +572,10 @@ class EngineEvaluator:
                 ),
             )
             self._record_q_errors(root, counters)
+            if self.planstore is not None:
+                self._harvest(root, checkpoint_names)
+                if replans and self._pin_plans and self.planstore.config.repin:
+                    self._repin(expression, plan, bound, replans, events)
         else:
             root = plan.executor(bound, meter)
             if tracer is not None:
@@ -482,6 +590,8 @@ class EngineEvaluator:
             trace.peak_build_rows = max(
                 operator.build_peak_rows for operator in operators_in_order(root)
             )
+            if self.planstore is not None:
+                self._harvest(root, None)
 
         trace.kernel_activity = counters.delta_since(before)
         trace.result_cardinality = len(result)
@@ -658,14 +768,17 @@ class EngineEvaluator:
         plan: PhysicalPlan,
         bound: Mapping[str, Relation],
         meter: MemoryMeter,
-    ) -> "Tuple[Set[Tuple], PhysicalOperator, int, int]":
+    ) -> "Tuple[Set[Tuple], PhysicalOperator, int, int, Dict[str, frozenset]]":
         """Run ``plan`` serially with re-plan guards.
 
-        Returns ``(rows, final_root, replans, aborted_build_peak)`` — the
-        drained result rows, the operator tree of the completing attempt,
-        the number of mid-stream re-plans, and the largest hash-join build
-        table resident during any *aborted* attempt (the final attempt's
-        peaks are read off ``final_root`` by the caller).
+        Returns ``(rows, final_root, replans, aborted_build_peak,
+        checkpoint_names)`` — the drained result rows, the operator tree of
+        the completing attempt, the number of mid-stream re-plans, the
+        largest hash-join build table resident during any *aborted* attempt
+        (the final attempt's peaks are read off ``final_root`` by the
+        caller), and the mapping from ``__checkpoint_N__`` binding names to
+        the base operand sets they materialised (the plan store's ledger
+        harvest translates through it).
 
         Guarded executions raise
         :class:`~repro.engine.physical.ReplanTriggered` when an operator's
@@ -683,6 +796,7 @@ class EngineEvaluator:
         counters = kernel_counters()
         current = plan
         checkpoints: Dict[str, object] = {}
+        checkpoint_names: Dict[str, frozenset] = {}
         replans = 0
         aborted_build_peak = 0
         give_up = False
@@ -714,7 +828,7 @@ class EngineEvaluator:
                             if grown != size:
                                 meter.acquire(grown - size)
                                 size = grown
-                    return rows, root, replans, aborted_build_peak
+                    return rows, root, replans, aborted_build_peak, checkpoint_names
                 except ReplanTriggered as trigger:
                     # Partial result rows are discarded (the revised plan
                     # re-derives them); release their metered residency.
@@ -737,11 +851,12 @@ class EngineEvaluator:
                         with tracer.span("replan", trigger_label):
                             revised = self._revise_plan(
                                 current, trigger.guard.node, bindings, checkpoints,
-                                meter,
+                                meter, checkpoint_names,
                             )
                     else:
                         revised = self._revise_plan(
-                            current, trigger.guard.node, bindings, checkpoints, meter
+                            current, trigger.guard.node, bindings, checkpoints,
+                            meter, checkpoint_names,
                         )
                     if revised is None:
                         give_up = True
@@ -775,6 +890,7 @@ class EngineEvaluator:
         bindings: Mapping[str, Relation],
         checkpoints: Dict[str, object],
         meter: MemoryMeter,
+        checkpoint_names: Optional[Dict[str, frozenset]] = None,
     ) -> Optional[PhysicalPlan]:
         """Checkpoint at the triggering join and re-cost the remaining order.
 
@@ -843,16 +959,39 @@ class EngineEvaluator:
                 rows=len(rows),
                 spilled=isinstance(checkpoint, SpilledCheckpoint),
             )
+        checkpoint_stats = sampled_stats(
+            checkpoint,
+            adaptive.sample_size,
+            seed=adaptive.seed,
+            name=name,
+            join_cap=adaptive.sample_join_cap,
+        )
+        store = self.planstore
+        if store is not None:
+            # The checkpoint *measured* the prefix join's true size — feed
+            # it to the ledger under the base operand set it covers (earlier
+            # checkpoints translate through), and keep the checkpoint's
+            # catalog entry ledger-backed so the re-ordering below sees
+            # observed truth for every candidate involving the prefix.
+            translation = checkpoint_names if checkpoint_names is not None else {}
+            prefix_names = frozenset().union(
+                *(
+                    translation.get(scan, frozenset((scan,)))
+                    for scan in self._scan_names(probe_node)
+                )
+            )
+            if checkpoint_names is not None:
+                checkpoint_names[name] = prefix_names
+            store.ledger.observe(
+                prefix_names, frozenset(probe_node.scheme.names), len(rows)
+            )
+            checkpoint_stats = LedgerBackedStats.wrap(
+                checkpoint_stats, store.ledger, prefix_names
+            )
         checkpoint_node = PlanNode(
             kind="scan",
             scheme=checkpoint.scheme,
-            stats=sampled_stats(
-                checkpoint,
-                adaptive.sample_size,
-                seed=adaptive.seed,
-                name=name,
-                join_cap=adaptive.sample_join_cap,
-            ),
+            stats=checkpoint_stats,
             cost=float(len(checkpoint)),
             operand_name=name,
         )
@@ -878,6 +1017,186 @@ class EngineEvaluator:
         for child in node.children:
             names |= EngineEvaluator._scan_names(child)
         return names
+
+    @staticmethod
+    def _scan_order(node: PlanNode) -> Tuple[str, ...]:
+        """Operand names in plan order (left-deep, reading order) — the
+        join-order fingerprint the plan store's history records."""
+        if node.kind == "scan":
+            return (node.operand_name,)
+        order: Tuple[str, ...] = ()
+        for child in node.children:
+            order += EngineEvaluator._scan_order(child)
+        return order
+
+    # -- plan store integration (ledger harvest, re-pin, drift check) ----
+
+    @staticmethod
+    def _operator_scan_names(operator: PhysicalOperator) -> Set[str]:
+        """Relation names read by an executed operator subtree."""
+        if isinstance(operator, (TableScan, PartitionedScan)):
+            return {operator._name}
+        names: Set[str] = set()
+        for child in operator.children():
+            names |= EngineEvaluator._operator_scan_names(child)
+        return names
+
+    def _harvest(
+        self,
+        root: PhysicalOperator,
+        checkpoint_names: "Optional[Dict[str, frozenset]]",
+    ) -> None:
+        """Feed the executed tree's per-join actuals into the ledger.
+
+        Every completed hash/merge join contributes its streamed output
+        cardinality under the set of base operands its subtree covered
+        (checkpoint scans translate back through ``checkpoint_names``), so
+        the next plan build — of this query or any query over the same
+        operand sets — is costed against measured truth.
+        """
+        store = self.planstore
+        if store is None:
+            return
+        translation = checkpoint_names or {}
+        observations = []
+        for operator in operators_in_order(root):
+            if not isinstance(operator, (HashJoin, MergeJoin)):
+                continue
+            names = frozenset().union(
+                *(
+                    translation.get(scan, frozenset((scan,)))
+                    for scan in self._operator_scan_names(operator)
+                )
+            )
+            observations.append(
+                (names, frozenset(operator.scheme.names), operator.rows_out)
+            )
+        store.harvest(observations)
+
+    def _repin(
+        self,
+        expression: Expression,
+        old_plan: PhysicalPlan,
+        bound: Mapping[str, Relation],
+        replans: int,
+        events: Optional[object],
+    ) -> None:
+        """Write the corrected join order back into the pinned plan.
+
+        After a successful mid-stream re-plan the ledger knows the true
+        prefix and output cardinalities, so re-planning the expression
+        against ledger-backed statistics reproduces the corrected order —
+        as a *clean* plan over the base operands (no checkpoint scans),
+        which is what gets pinned.  Steady-state executions then run the
+        corrected plan with zero further replans (``plan_repins``; the
+        ``plan_repin`` event and metric record it).
+        """
+        store = self.planstore
+        revised = self._planner.plan(expression, self._catalog_for(bound))
+        with self._plans_lock:
+            if self._plans.get(expression) is not old_plan:
+                return  # somebody else already re-pinned or forgot it
+            self._plans[expression] = revised
+        self._evict_pools_for(old_plan)
+        revised._ledger_version = store.ledger.version
+        store.repins += 1
+        kernel_counters().add(plan_repins=1)
+        order = self._scan_order(revised.root)
+        store.record(
+            expression,
+            "repin",
+            order,
+            detail=f"after {replans} mid-stream re-plan(s)",
+        )
+        if events is not None:
+            events.emit("plan_repin", order=list(order), replans=replans)
+        observer = self.observer
+        if observer is not None and observer.metrics is not None:
+            observer.metrics.counter(
+                "repro_plan_repins_total",
+                help="pinned plans rewritten with a corrected join order",
+            ).inc()
+
+    def _drift_check(
+        self,
+        expression: Expression,
+        plan: PhysicalPlan,
+        arguments: ArgumentLike,
+    ) -> PhysicalPlan:
+        """Re-plan *before* execution when the ledger drifted past the plan.
+
+        Compares each chain join's estimated cardinality against the
+        ledger's observed actual for the same operand set; a q-error at or
+        above ``drift_threshold`` rebuilds the plan against current
+        (ledger-backed) statistics (``drift_replans``; ``drift_replan``
+        event + metric).  Plans are stamped with the ledger version they
+        were validated against, so the steady state pays one integer
+        comparison.
+        """
+        store = self.planstore
+        threshold = store.config.drift_threshold
+        if threshold is None:
+            return plan
+        ledger = store.ledger
+        version = ledger.version
+        if getattr(plan, "_ledger_version", None) == version:
+            return plan
+        drift = 1.0
+        worst = ""
+        for node in self._join_nodes(plan.root):
+            names = frozenset(self._scan_names(node))
+            observed = ledger.lookup(names, frozenset(node.scheme.names))
+            if observed is None:
+                continue
+            q = q_error(node.est_rows, observed)
+            if q > drift:
+                drift = q
+                worst = (
+                    f"{sorted(names)} est {node.est_rows:.0f}"
+                    f" vs observed {observed}"
+                )
+        if drift < threshold:
+            plan._ledger_version = version
+            return plan
+        bound = bind_arguments(expression, arguments)
+        revised = self._planner.plan(expression, self._catalog_for(bound))
+        with self._plans_lock:
+            if self._plans.get(expression) is not plan:
+                return self._plans.get(expression, revised)
+            self._plans[expression] = revised
+        self._evict_pools_for(plan)
+        revised._ledger_version = ledger.version
+        store.drift_replans += 1
+        kernel_counters().add(drift_replans=1)
+        order = self._scan_order(revised.root)
+        store.record(
+            expression,
+            "drift_replan",
+            order,
+            detail=f"q-error {drift:.1f} ({worst})",
+        )
+        observer = self.observer
+        if observer is not None:
+            if observer.events is not None:
+                observer.events.emit(
+                    "drift_replan", q_error=round(drift, 2), order=list(order)
+                )
+            if observer.metrics is not None:
+                observer.metrics.counter(
+                    "repro_drift_replans_total",
+                    help="pinned plans proactively re-planned on ledger drift",
+                ).inc()
+        return revised
+
+    @staticmethod
+    def _join_nodes(node: PlanNode) -> "List[PlanNode]":
+        """Every join node of a plan subtree (any order)."""
+        found: List[PlanNode] = []
+        if node.kind in ("hash-join", "merge-join"):
+            found.append(node)
+        for child in node.children:
+            found.extend(EngineEvaluator._join_nodes(child))
+        return found
 
     @staticmethod
     def _materialize(

@@ -1,0 +1,37 @@
+"""Plan-management subsystem: per-session planning memory that learns.
+
+The adaptive machinery of :mod:`repro.engine.sampling` made a single
+execution self-correcting; this package makes the correction *stick*.  A
+:class:`PlanStore` owns three kinds of memory for one evaluator/session:
+
+* warm reservoir samples per relation identity (:class:`SampleCache`), so
+  repeated plan builds over unchanged relations stop re-sampling;
+* an observed-cardinality ledger (:class:`CardinalityLedger`), harvested
+  from executed operator trees and consulted by the stats propagation
+  (through :class:`LedgerBackedStats`) before any estimator runs;
+* a bounded plan history per expression (:class:`PlanRecord`), recording
+  every pin, repin, drift re-plan, and forget.
+
+The evaluator (``EngineEvaluator(planstore=...)``) re-pins the revised join
+order after a successful mid-stream re-plan and proactively re-plans before
+execution when the ledger drifts from a pinned plan's estimates — see
+``docs/ENGINE.md`` for the lifecycle and ``repro plans`` for a live tour.
+"""
+
+from .store import (
+    CardinalityLedger,
+    LedgerBackedStats,
+    PlanRecord,
+    PlanStore,
+    PlanStoreConfig,
+    SampleCache,
+)
+
+__all__ = [
+    "CardinalityLedger",
+    "LedgerBackedStats",
+    "PlanRecord",
+    "PlanStore",
+    "PlanStoreConfig",
+    "SampleCache",
+]

@@ -1,0 +1,518 @@
+"""Per-evaluator planning memory: warm samples, observed truth, plan history.
+
+Three small stores compose into the learning loop the adaptive evaluator
+(:mod:`repro.engine.evaluator`) closes:
+
+* :class:`SampleCache` — an LRU of reservoir-sample catalog entries keyed by
+  relation *identity* (``(name, id(relation))``, strong references — the
+  same discipline as the evaluator's fork-pool cache), so repeated plan
+  builds over unchanged relations stop re-sampling (``sample_builds`` stops
+  growing; hits and misses are counted in :mod:`repro.perf.counters`).
+  Relations are immutable, so *rebinding is invalidation*: a replaced
+  relation is a new object and its old cache entries can never be hit
+  again; :meth:`SampleCache.invalidate_name` additionally drops the warm
+  entries of one name eagerly (the serving facade's ``set_relation`` path).
+* :class:`CardinalityLedger` — observed per-operator output cardinalities,
+  keyed by the *set of base operands* a join subtree covers plus its
+  output columns (so same-operand subtrees that compute different schemes
+  never answer for each other).  The stats
+  propagation (:func:`repro.engine.stats.estimate_join_cardinality` /
+  :func:`~repro.engine.stats.join_stats`) consults the ledger through
+  :class:`LedgerBackedStats` before falling back to sample joins or the
+  backoff formula, so the second plan build of a query is costed against
+  *measured* truth.  The ledger's ``version`` advances only when an
+  observation materially changes, which is what makes the evaluator's
+  pre-execution drift check O(1) in the steady state.
+* :class:`PlanStore` — the facade owning both, plus a bounded per-expression
+  history of plan events (``pinned`` / ``repin`` / ``drift_replan`` /
+  ``forgotten``) surfaced by ``PreparedQuery.plan_history()`` and the
+  ``repro plans`` CLI.
+
+Nothing here executes queries: the evaluator harvests actuals into the
+ledger after each serial execution and asks the store for samples during
+plan builds; this module only remembers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ...perf.counters import kernel_counters
+from ..sampling import SampledRelationStats, q_error
+
+__all__ = [
+    "CardinalityLedger",
+    "LedgerBackedStats",
+    "PlanRecord",
+    "PlanStore",
+    "PlanStoreConfig",
+    "SampleCache",
+]
+
+#: A fresh observation must differ from the stored one by at least this
+#: q-error to advance the ledger ``version`` — identical steady-state
+#: re-observations must not force re-validation of every pinned plan.
+_MATERIAL_CHANGE_QERROR = 1.2
+
+#: A ledger entry's key: (base operand names, output column names).
+LedgerKey = Tuple[FrozenSet[str], FrozenSet[str]]
+
+
+@dataclass(frozen=True)
+class PlanStoreConfig:
+    """Knobs for the per-session plan & statistics store.
+
+    ``max_samples``
+        Warm reservoir-sample catalog entries kept per store (LRU beyond).
+    ``max_observations``
+        Observed-cardinality ledger entries kept per store (LRU beyond).
+    ``drift_threshold``
+        Pre-execution q-error between a pinned plan's estimates and the
+        ledger's observed actuals at which the plan is proactively
+        re-planned (``drift_replans``).  ``None`` disables drift checks.
+    ``repin``
+        Whether a successful mid-stream re-plan writes the revised join
+        order back into the pinned plan (``plan_repins``) so steady-state
+        executions run corrected with zero further replans.
+    ``max_history``
+        Plan events remembered per expression (oldest dropped beyond).
+    """
+
+    max_samples: int = 64
+    max_observations: int = 4096
+    drift_threshold: Optional[float] = 4.0
+    repin: bool = True
+    max_history: int = 32
+
+    def __post_init__(self) -> None:
+        """Validate the knobs (positive caps, threshold > 1)."""
+        if self.max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {self.max_samples}")
+        if self.max_observations < 1:
+            raise ValueError(
+                f"max_observations must be >= 1, got {self.max_observations}"
+            )
+        if self.drift_threshold is not None and self.drift_threshold <= 1.0:
+            raise ValueError(
+                f"drift_threshold must exceed 1, got {self.drift_threshold}"
+            )
+        if self.max_history < 1:
+            raise ValueError(f"max_history must be >= 1, got {self.max_history}")
+
+    @classmethod
+    def coerce(
+        cls, value: "PlanStoreConfig | bool | None"
+    ) -> "Optional[PlanStoreConfig]":
+        """Normalise ``True``/``False``/``None`` into a config (or ``None``)."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        raise TypeError(
+            f"planstore must be a PlanStoreConfig, True, False, or None, "
+            f"got {type(value).__name__}"
+        )
+
+
+class SampleCache:
+    """LRU of sampled catalog entries keyed by relation identity.
+
+    Keys are ``(name, id(relation))`` and every entry keeps a strong
+    reference to the keyed relation, so a live key's id cannot be recycled
+    under us (the fork-pool cache's discipline).  Relations are immutable;
+    a rebinding — even to an equal relation — is a new object and therefore
+    a natural miss, which is exactly the invalidation the serving facade's
+    version counters promise.
+    """
+
+    def __init__(self, max_samples: int = 64):
+        """Create a cache holding at most ``max_samples`` warm entries."""
+        self._entries: "OrderedDict[Tuple[str, int], Tuple[object, object]]" = (
+            OrderedDict()
+        )
+        self._max = max(int(max_samples), 1)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        """How many warm entries the cache currently holds."""
+        with self._lock:
+            return len(self._entries)
+
+    def get_or_build(
+        self, name: str, relation, builder: Callable[[], object]
+    ) -> object:
+        """Return the cached entry for this exact relation, building on miss.
+
+        Hits and misses are counted both on the cache and in the
+        process-global kernel counters (``sample_cache_hits`` /
+        ``sample_cache_misses``); a miss calls ``builder`` outside the
+        cache lock (sampling is the expensive part) and stores the result.
+        """
+        key = (name, id(relation))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if entry is not None:
+            kernel_counters().add(sample_cache_hits=1)
+            return entry[1]
+        stats = builder()
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = (relation, stats)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max:
+                self._entries.popitem(last=False)
+        kernel_counters().add(sample_cache_misses=1)
+        return stats
+
+    def invalidate_name(self, name: str) -> int:
+        """Drop every warm entry of one relation name; returns the count."""
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == name]
+            for key in stale:
+                del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every warm entry."""
+        with self._lock:
+            self._entries.clear()
+
+
+class CardinalityLedger:
+    """Observed join-output cardinalities, keyed by operand set + columns.
+
+    Each entry maps an ``(operand names, output columns)`` pair — both
+    frozensets — to the output cardinality actually streamed by a join
+    subtree covering exactly those base relations (adaptive checkpoints
+    translate back to the operands they materialised) and producing exactly
+    that output scheme.  The column half of the key discriminates subtrees
+    that read the same operands but compute different things: ``R ⋈ S``
+    and ``R ⋈ project[B](S)`` both cover ``{R, S}`` yet have very
+    different cardinalities, and conflating them would make the ledger
+    oscillate (and re-plan) forever.  ``version`` advances only on
+    *material* change (a new key, or a re-observation whose q-error
+    against the stored value is at least ``1.2``), so consumers can cache
+    "validated against version N" and re-check in O(1).
+    """
+
+    def __init__(self, max_observations: int = 4096):
+        """Create a ledger holding at most ``max_observations`` entries."""
+        self._observations: "OrderedDict[LedgerKey, int]" = OrderedDict()
+        self._max = max(int(max_observations), 1)
+        self._lock = threading.Lock()
+        self.version = 0
+        self.observed = 0
+
+    def __len__(self) -> int:
+        """How many (operand set, columns) pairs have an observation."""
+        with self._lock:
+            return len(self._observations)
+
+    def observe(
+        self, names: Iterable[str], columns: Iterable[str], actual: int
+    ) -> bool:
+        """Record one observed output cardinality; True if it changed things.
+
+        Re-observations refresh LRU position either way; only material
+        changes (new key, or q-error >= 1.2 vs the stored value) advance
+        ``version`` — the steady state must not invalidate itself.
+        """
+        key = (frozenset(names), frozenset(columns))
+        if not key[0]:
+            return False
+        actual = max(int(actual), 0)
+        with self._lock:
+            self.observed += 1
+            previous = self._observations.get(key)
+            self._observations[key] = actual
+            self._observations.move_to_end(key)
+            while len(self._observations) > self._max:
+                self._observations.popitem(last=False)
+            changed = (
+                previous is None
+                or q_error(previous, actual) >= _MATERIAL_CHANGE_QERROR
+            )
+            if changed:
+                self.version += 1
+            return changed
+
+    def lookup(self, names: Iterable[str], columns: Iterable[str]) -> Optional[int]:
+        """The observed cardinality for this exact (operands, columns) pair."""
+        key = (frozenset(names), frozenset(columns))
+        with self._lock:
+            return self._observations.get(key)
+
+    def invalidate_name(self, name: str) -> int:
+        """Drop every observation involving one relation name.
+
+        Returns the number of dropped entries; a non-zero drop advances
+        ``version`` (plans validated against the old truth must re-check).
+        """
+        with self._lock:
+            stale = [key for key in self._observations if name in key[0]]
+            for key in stale:
+                del self._observations[key]
+            if stale:
+                self.version += 1
+        return len(stale)
+
+    def invalidate_subsets(self, names: FrozenSet[str]) -> int:
+        """Drop observations over subsets of ``names`` (one plan's operands).
+
+        The ``forget_plan`` path: dropping a pinned plan also forgets what
+        was learned executing it, so the next pin starts from samples.
+        Returns the dropped count; non-zero drops advance ``version``.
+        """
+        with self._lock:
+            stale = [key for key in self._observations if key[0] <= names]
+            for key in stale:
+                del self._observations[key]
+            if stale:
+                self.version += 1
+        return len(stale)
+
+    def clear(self) -> int:
+        """Drop every observation (bare-relation rebinds touch every name).
+
+        Returns the dropped count; non-zero drops advance ``version``.
+        """
+        with self._lock:
+            dropped = len(self._observations)
+            self._observations.clear()
+            if dropped:
+                self.version += 1
+        return dropped
+
+    def snapshot(self) -> "Dict[LedgerKey, int]":
+        """The current observations as a plain dict (inspection/CLI)."""
+        with self._lock:
+            return dict(self._observations)
+
+
+@dataclass(frozen=True)
+class LedgerBackedStats(SampledRelationStats):
+    """A catalog entry that consults the observed-cardinality ledger first.
+
+    Subclasses :class:`~repro.engine.sampling.SampledRelationStats`, adding
+    the ledger handle and the set of base operand ``names`` this entry
+    covers.  The stats-propagation functions in :mod:`repro.engine.stats`
+    stay import-free of this module: they duck-type the ``ledger`` /
+    ``names`` attributes (exactly like the ``sample`` attribute) and call
+    :meth:`rewrap` so derived entries keep both, letting every join
+    estimate along a chain check for observed truth before estimating.
+    """
+
+    ledger: Optional[CardinalityLedger] = None
+    names: FrozenSet[str] = frozenset()
+
+    @classmethod
+    def wrap(
+        cls,
+        stats,
+        ledger: Optional[CardinalityLedger],
+        names: Iterable[str],
+    ) -> "LedgerBackedStats":
+        """Wrap an existing catalog entry with a ledger handle and names."""
+        return cls(
+            cardinality=stats.cardinality,
+            columns=stats.columns,
+            sample=getattr(stats, "sample", None),
+            ledger=ledger,
+            names=frozenset(names),
+        )
+
+    def rewrap(self, derived, *parents) -> "LedgerBackedStats":
+        """Re-attach ledger context to a derived (joined/projected) entry.
+
+        Called by the stats-propagation functions with the freshly derived
+        entry and the parent entries it came from.  The derived entry
+        covers the union of the parents' operand names; when more than one
+        parent contributed (a join) and the ledger holds an observation for
+        that exact operand set, the observed cardinality **overrides** the
+        estimate — measured truth beats any estimator.
+        """
+        names = frozenset().union(
+            *(getattr(parent, "names", frozenset()) for parent in parents)
+        )
+        ledger = self.ledger
+        if ledger is None:
+            for parent in parents:
+                ledger = getattr(parent, "ledger", None)
+                if ledger is not None:
+                    break
+        cardinality = derived.cardinality
+        if ledger is not None and len(parents) > 1:
+            observed = ledger.lookup(names, frozenset(derived.columns))
+            if observed is not None:
+                cardinality = observed
+        return LedgerBackedStats(
+            cardinality=cardinality,
+            columns=derived.columns,
+            sample=getattr(derived, "sample", None),
+            ledger=ledger,
+            names=names,
+        )
+
+
+@dataclass(frozen=True)
+class PlanRecord:
+    """One event in a prepared query's plan history.
+
+    ``kind`` is ``"pinned"`` (first build), ``"repin"`` (revised order
+    written back after a successful mid-stream re-plan), ``"drift_replan"``
+    (proactive rebuild after the ledger drifted from the pinned estimates),
+    or ``"forgotten"`` (the plan was dropped).  ``join_order`` lists the
+    operand names in the order the plan's scans appear (left-deep probe
+    order); ``detail`` carries a human-readable note (trigger, q-error).
+    """
+
+    kind: str
+    join_order: Tuple[str, ...] = ()
+    detail: str = ""
+
+
+class PlanStore:
+    """The per-evaluator facade over samples, ledger, and plan history.
+
+    One store backs one :class:`~repro.engine.evaluator.EngineEvaluator`
+    (and through it one ``Session``): the evaluator asks
+    :meth:`sample_for` during plan builds, feeds actuals through
+    ``ledger.observe`` after executions, and records every pin / repin /
+    drift re-plan so ``PreparedQuery.plan_history()`` and the ``repro
+    plans`` CLI can explain what the optimizer learned.  All methods are
+    thread-safe; the store itself never executes anything.
+    """
+
+    def __init__(self, config: "PlanStoreConfig | bool | None" = None):
+        """Create a store from a config (``None``/``True`` mean defaults)."""
+        self.config = PlanStoreConfig.coerce(config) or PlanStoreConfig()
+        self.samples = SampleCache(self.config.max_samples)
+        self.ledger = CardinalityLedger(self.config.max_observations)
+        self._history: "Dict[object, List[PlanRecord]]" = {}
+        self._history_lock = threading.Lock()
+        self.repins = 0
+        self.drift_replans = 0
+
+    @classmethod
+    def coerce(
+        cls, value: "PlanStore | PlanStoreConfig | bool | None"
+    ) -> "Optional[PlanStore]":
+        """Normalise configs/flags into a store (or ``None`` when disabled)."""
+        if value is None or value is False:
+            return None
+        if isinstance(value, cls):
+            return value
+        return cls(PlanStoreConfig.coerce(value))
+
+    def sample_for(
+        self, name: str, relation, builder: Callable[[], object]
+    ) -> object:
+        """The warm sampled entry for this exact relation (built on miss)."""
+        return self.samples.get_or_build(name, relation, builder)
+
+    def ledger_backed(self, stats, name: str) -> LedgerBackedStats:
+        """Wrap one base catalog entry so plan costing consults the ledger."""
+        return LedgerBackedStats.wrap(stats, self.ledger, (name,))
+
+    def harvest(
+        self, observations: Iterable[Tuple[FrozenSet[str], FrozenSet[str], int]]
+    ) -> bool:
+        """Feed observed (operands, columns, actual rows) triples into the ledger.
+
+        Returns whether any observation materially changed the ledger —
+        the signal the evaluator uses to decide if pinned plans need a
+        drift re-check.
+        """
+        changed = False
+        for names, columns, actual in observations:
+            if self.ledger.observe(names, columns, actual):
+                changed = True
+        return changed
+
+    def invalidate_relation(self, name: str) -> None:
+        """Forget everything learned about one relation (``set_relation``).
+
+        Drops the warm samples of that name and every ledger observation
+        involving it — and nothing else: other relations' samples and
+        observations stay warm, which is the "changed relation only"
+        contract the stale-stats regression tests pin.
+        """
+        self.samples.invalidate_name(name)
+        self.ledger.invalidate_name(name)
+
+    def invalidate_all(self) -> None:
+        """Forget everything learned about every relation.
+
+        The bare-relation rebind path (``Session.set_default_relation``):
+        the default relation binds *any* operand name, so no per-name
+        invalidation can be scoped — drop all warm samples and the whole
+        ledger.  Plan histories are kept; they record events, not truth.
+        """
+        self.samples.clear()
+        self.ledger.clear()
+
+    def record(
+        self,
+        expression,
+        kind: str,
+        join_order: Tuple[str, ...] = (),
+        detail: str = "",
+    ) -> PlanRecord:
+        """Append one event to an expression's plan history (bounded)."""
+        record = PlanRecord(kind=kind, join_order=tuple(join_order), detail=detail)
+        with self._history_lock:
+            history = self._history.setdefault(expression, [])
+            history.append(record)
+            del history[: -self.config.max_history]
+        return record
+
+    def history(self, expression) -> Tuple[PlanRecord, ...]:
+        """The recorded plan events of one expression, oldest first."""
+        with self._history_lock:
+            return tuple(self._history.get(expression, ()))
+
+    def histories(self) -> Dict[object, Tuple[PlanRecord, ...]]:
+        """Every expression's history (the ``repro plans`` CLI view)."""
+        with self._history_lock:
+            return {
+                expression: tuple(records)
+                for expression, records in self._history.items()
+            }
+
+    def forget_expression(
+        self, expression, operand_names: Optional[FrozenSet[str]] = None
+    ) -> None:
+        """Drop one expression's learned state (the ``forget_plan`` path).
+
+        Records a ``forgotten`` event, then drops the ledger observations
+        covering subsets of the plan's operands — the next pin of this (or
+        an overlapping) expression starts from fresh samples rather than
+        stale observed truth.  Warm samples are left alone here: they are
+        keyed by relation identity and stay valid until the relation
+        itself is replaced (:meth:`invalidate_relation`).
+        """
+        self.record(expression, "forgotten")
+        if operand_names:
+            self.ledger.invalidate_subsets(frozenset(operand_names))
+
+    def stats(self) -> Dict[str, int]:
+        """Counters and sizes for ``Session.stats()`` / the CLI."""
+        return {
+            "sample_cache_hits": self.samples.hits,
+            "sample_cache_misses": self.samples.misses,
+            "cached_samples": len(self.samples),
+            "ledger_entries": len(self.ledger),
+            "ledger_version": self.ledger.version,
+            "plan_repins": self.repins,
+            "drift_replans": self.drift_replans,
+        }

@@ -46,9 +46,70 @@ __all__ = [
     "estimate_join_cardinality",
     "estimate_partition_count",
     "estimate_spill_depth",
+    "join_estimate_provenance",
     "join_stats",
     "project_stats",
 ]
+
+
+def _ledger_observation(left, right, common) -> Optional[int]:
+    """The observed output cardinality for ``left ⋈ right``, if recorded.
+
+    Ledger dispatch is duck-typed like the ``sample`` dispatch below: when
+    either entry carries a ``ledger`` (a
+    :class:`repro.engine.planstore.CardinalityLedger`, attached by
+    :class:`repro.engine.planstore.LedgerBackedStats`) and both carry the
+    base-operand ``names`` their subtrees cover, the ledger is asked for
+    the exact (operand-set union, joined output columns) pair — an
+    executed plan has *measured* that cardinality, so no estimator
+    (sampled or backoff) gets a say.  The column half of the key keeps
+    subtrees that read the same operands but project differently from
+    answering for each other.
+    """
+    ledger = getattr(left, "ledger", None) or getattr(right, "ledger", None)
+    if ledger is None:
+        return None
+    left_names = getattr(left, "names", None)
+    right_names = getattr(right, "names", None)
+    if not left_names or not right_names:
+        return None
+    columns = frozenset(left.columns) | frozenset(right.columns)
+    return ledger.lookup(left_names | right_names, columns)
+
+
+def join_estimate_provenance(left, right, common) -> str:
+    """Where the estimate for ``left ⋈ right`` would come from.
+
+    Returns ``"observed-ledger"`` when the plan store's ledger holds the
+    measured cardinality for this exact operand set, ``"sampled"`` when
+    both entries carry row samples (the sample-join estimator), and
+    ``"backoff"`` for the exponential-backoff selectivity formula — the
+    same dispatch order as :func:`estimate_join_cardinality`, exposed so
+    ``repro engine-explain --adaptive`` can report per-node provenance.
+    """
+    if _ledger_observation(left, right, common) is not None:
+        return "observed-ledger"
+    if (
+        getattr(left, "sample", None) is not None
+        and getattr(right, "sample", None) is not None
+    ):
+        return "sampled"
+    return "backoff"
+
+
+def _rewrap(derived, *parents):
+    """Re-attach duck-typed ledger context from ``parents`` onto ``derived``.
+
+    The propagation functions below derive plain entries; when a parent is
+    ledger-backed its ``rewrap`` hook rebuilds the derived entry with the
+    union of operand names (and the observed cardinality, when the ledger
+    has one) — keeping this module import-free of the plan store.
+    """
+    for parent in parents:
+        hook = getattr(parent, "rewrap", None)
+        if hook is not None:
+            return hook(derived, *parents)
+    return derived
 
 
 @dataclass(frozen=True)
@@ -166,7 +227,15 @@ def estimate_join_cardinality(
     formula is bypassed entirely: the estimate is the scaled size of the
     *sample join* (:meth:`repro.engine.sampling.Sample.join_size`), which
     measures the joint-key overlap instead of assuming anything about it.
+
+    And before either estimator runs, a ledger-backed entry (attached by
+    the plan store) is checked for the **observed** cardinality of this
+    exact operand set — a previous execution having measured the true size
+    beats estimating it (see :func:`join_estimate_provenance`).
     """
+    observed = _ledger_observation(left, right, common)
+    if observed is not None:
+        return float(observed)
     left_sample = getattr(left, "sample", None)
     right_sample = getattr(right, "sample", None)
     if left_sample is not None and right_sample is not None:
@@ -251,7 +320,11 @@ def join_stats(
     left_sample = getattr(left, "sample", None)
     right_sample = getattr(right, "sample", None)
     if left_sample is not None and right_sample is not None:
-        return left_sample.join(right_sample, common).stats(output_names)
+        return _rewrap(
+            left_sample.join(right_sample, common).stats(output_names),
+            left,
+            right,
+        )
     cardinality = estimate_join_cardinality(left, right, common)
     cap = max(int(cardinality), 0)
     common_set = frozenset(common)
@@ -270,7 +343,7 @@ def join_stats(
             minimum=source.minimum if source is not None else None,
             maximum=source.maximum if source is not None else None,
         )
-    return RelationStats(cardinality=cap, columns=columns)
+    return _rewrap(RelationStats(cardinality=cap, columns=columns), left, right)
 
 
 def project_stats(child: RelationStats, kept_names: Sequence[str]) -> RelationStats:
@@ -284,7 +357,7 @@ def project_stats(child: RelationStats, kept_names: Sequence[str]) -> RelationSt
     """
     child_sample = getattr(child, "sample", None)
     if child_sample is not None:
-        return child_sample.project(kept_names).stats(kept_names)
+        return _rewrap(child_sample.project(kept_names).stats(kept_names), child)
     bound = 1
     for name in kept_names:
         bound *= max(child.distinct(name), 1)
@@ -300,4 +373,4 @@ def project_stats(child: RelationStats, kept_names: Sequence[str]) -> RelationSt
         )
         for name in kept_names
     }
-    return RelationStats(cardinality=cardinality, columns=columns)
+    return _rewrap(RelationStats(cardinality=cardinality, columns=columns), child)

@@ -21,6 +21,11 @@ Event kinds emitted by the engine today:
 ``replan`` / ``checkpoint`` / ``checkpoint-spill``
     The adaptive layer re-planned mid-stream, and where its checkpoint
     lived.
+``plan_repin`` / ``drift_replan``
+    The plan store wrote a corrected join order back into a pinned plan
+    (after a successful mid-stream re-plan), or proactively rebuilt a
+    pinned plan whose estimates drifted past the configured q-error
+    threshold against the observed-cardinality ledger.
 ``serial-fallback`` / ``pool-rebuild``
     Parallel-execution degradations.
 ``degradation``

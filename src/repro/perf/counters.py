@@ -107,6 +107,19 @@ class KernelCounters:
     #: ``repro.engine.sampling.sampled_stats`` call) — re-sampling after a
     #: relation invalidation shows up here.
     sample_builds: int = 0
+    #: Plan builds that reused a warm reservoir sample from the plan store's
+    #: identity-keyed cache instead of re-sampling an unchanged relation.
+    sample_cache_hits: int = 0
+    #: Plan-store sample lookups that missed (first build, or the relation
+    #: was rebound/invalidated) and had to sample.
+    sample_cache_misses: int = 0
+    #: Pinned plans rewritten with the revised join order after a successful
+    #: mid-stream re-plan — the plan store's "learning sticks" path.
+    plan_repins: int = 0
+    #: Pinned plans proactively re-planned *before* execution because the
+    #: observed-cardinality ledger drifted past the configured q-error
+    #: threshold against the plan's estimates.
+    drift_replans: int = 0
     #: Mid-stream re-plans the adaptive evaluator completed (checkpoint
     #: materialised, remaining join order re-costed, execution resumed).
     adaptive_replans: int = 0

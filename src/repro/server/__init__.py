@@ -34,7 +34,7 @@ from .errors import (
     ServerOverloadedError,
     WorkerCrashedError,
 )
-from .loadgen import LoadReport, percentile, run_load
+from .loadgen import LoadReport, percentile, run_load, zipf_schedule
 from .worker import Worker, WorkerPool
 
 __all__ = [
@@ -53,4 +53,5 @@ __all__ = [
     "WorkerPool",
     "percentile",
     "run_load",
+    "zipf_schedule",
 ]

@@ -8,6 +8,14 @@ are collected per request and summarised with *exact* percentiles from
 the sorted sample — no histogram buckets between the benchmark and its
 gate.
 
+``run_load(..., zipf=s)`` switches the uniform round-robin walk to a
+Zipf-skewed mix: query rank ``k`` (0-based position in ``queries``) is
+drawn with probability proportional to ``1 / (k + 1) ** s``, from a
+deterministic per-client stream — real serving traffic concentrates on
+a few hot queries, and the skewed leg of the server benchmark measures
+p50/p99 under exactly that concentration (hot plans served from the
+pinned-plan and pool caches, cold plans still exercised in the tail).
+
 This is both the benchmark harness behind the ``server`` section of
 ``BENCH_algebra.json`` and the smoke client the CI server job runs.
 """
@@ -16,12 +24,32 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["LoadReport", "percentile", "run_load"]
+__all__ = ["LoadReport", "percentile", "run_load", "zipf_schedule"]
+
+
+def zipf_schedule(
+    count: int, requests: int, s: float, seed: int = 0
+) -> List[int]:
+    """A deterministic Zipf(s)-skewed sequence of query indices.
+
+    Index ``k`` appears with probability proportional to
+    ``1 / (k + 1) ** s`` — rank 0 is the hot query.  Deterministic in
+    ``seed`` so benchmark legs are reproducible; each client passes its
+    own offset as the seed to decorrelate the streams.
+    """
+    if count < 1:
+        raise ValueError(f"zipf_schedule needs at least one query, got {count}")
+    if s <= 0:
+        raise ValueError(f"zipf skew must be positive, got {s}")
+    weights = [1.0 / (rank + 1) ** s for rank in range(count)]
+    rng = random.Random(seed)
+    return rng.choices(range(count), weights=weights, k=requests)
 
 
 def percentile(latencies: Sequence[float], q: float) -> float:
@@ -89,13 +117,18 @@ def _client_worker(
     statuses: List[int],
     barrier: threading.Barrier,
     timeout: float,
+    zipf: Optional[float],
 ) -> None:
+    if zipf is not None:
+        schedule = zipf_schedule(len(queries), requests, zipf, seed=offset)
+    else:
+        schedule = [(offset + index) % len(queries) for index in range(requests)]
     connection = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
         barrier.wait(timeout=timeout)
         for index in range(requests):
             body = dict(payload_extra)
-            body["query"] = queries[(offset + index) % len(queries)]
+            body["query"] = queries[schedule[index]]
             encoded = json.dumps(body)
             start = perf_counter()
             try:
@@ -129,6 +162,7 @@ def run_load(
     budget: Optional[int] = None,
     count_only: bool = True,
     timeout: float = 30.0,
+    zipf: Optional[float] = None,
 ) -> LoadReport:
     """Drive ``clients`` concurrent keep-alive clients and report latency.
 
@@ -136,8 +170,12 @@ def run_load(
     mix round-robin, so the traffic interleaves all plans at all times.
     ``budget`` attaches a per-request engine-budget override to every
     request — the knob the benchmark uses to demonstrate the override
-    under load.  Clients synchronise on a barrier so the measured window
-    is fully concurrent from the first request.
+    under load.  ``zipf`` replaces the round-robin walk with a
+    Zipf(``zipf``)-skewed draw over the mix (see :func:`zipf_schedule`):
+    the first queries in ``queries`` become hot, the rest become a long
+    tail, which is what real serving traffic looks like.  Clients
+    synchronise on a barrier so the measured window is fully concurrent
+    from the first request.
     """
     if not queries:
         raise ValueError("run_load needs at least one query")
@@ -163,6 +201,7 @@ def run_load(
                 per_client_statuses[index],
                 barrier,
                 timeout,
+                zipf,
             ),
             daemon=True,
         )

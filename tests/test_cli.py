@@ -27,6 +27,8 @@ class TestParser:
             ["blowup", "--clauses", "3", "4"],
             ["engine-explain", "project[A](R * S)", "--scheme", "R=A B"],
             ["engine-explain", "--paper"],
+            ["plans", "--executes", "2", "--rows", "120"],
+            ["plans", "--invalidate"],
         ):
             arguments = parser.parse_args(argv)
             assert callable(arguments.handler)
@@ -125,12 +127,53 @@ class TestCommands:
         assert "peak live rows" in output
         assert "scan R" in output
 
-    def test_engine_explain_paper_adaptive_reports_replans_and_qerror(self, capsys):
+    def test_engine_explain_paper_adaptive_reports_estimate_provenance(self, capsys):
         assert main(["engine-explain", "--paper", "--adaptive"]) == 0
         output = capsys.readouterr().out
         assert "reservoir samples" in output
         assert "mid-stream re-plan(s)" in output
-        assert "mean estimate q-error" in output
+        assert "per-join estimate provenance" in output
+        # The report runs after one execution, so the plan store's ledger
+        # has measured every join's true cardinality: each join node must
+        # name its provenance, and at least one reports observed truth.
+        assert "[observed-ledger]" in output
+        for line in output.splitlines():
+            if line.strip().startswith("join on"):
+                assert (
+                    "[observed-ledger]" in line
+                    or "[sampled]" in line
+                    or "[backoff]" in line
+                )
+
+    def test_plans_command_reports_histories_ledger_and_store(self, capsys):
+        assert main(["plans", "--executes", "3", "--rows", "120"]) == 0
+        output = capsys.readouterr().out
+        assert "plan histories (3 execution(s) per query):" in output
+        assert "pinned" in output
+        assert "observed-cardinality ledger:" in output
+        # Ledger lines are keyed by operand set *and* output columns.
+        assert "{R, S}" in output and "rows" in output
+        assert "warm sample(s)" in output
+        # Over unchanged relations only the first sighting of each of the
+        # three relations misses; every later plan build hits warm samples.
+        import re
+
+        hits, lookups = map(
+            int, re.search(r"\((\d+)/(\d+) lookups hit", output).groups()
+        )
+        assert lookups - hits == 3
+
+    def test_plans_invalidate_reports_the_scoped_drop(self, capsys):
+        assert main(["plans", "--executes", "2", "--rows", "120", "--invalidate"]) == 0
+        output = capsys.readouterr().out
+        assert "forgotten" in output  # the invalidation replans re-pinned
+        assert output.count("pinned") > output.count("forgotten")
+
+    def test_plans_rejects_bad_arguments(self):
+        with pytest.raises(SystemExit, match="executes"):
+            main(["plans", "--executes", "0"])
+        with pytest.raises(SystemExit, match="rows"):
+            main(["plans", "--rows", "0"])
 
     def test_engine_explain_adaptive_without_data_notes_the_limit(self, capsys):
         assert (

@@ -320,6 +320,57 @@ def test_chaos_fuzz_faults_never_corrupt_results(fuzz_seed, tmp_path):
             assert not leftovers, f"spill files leaked: {leftovers}\n{detail}"
 
 
+def test_planstore_fuzz_learning_never_changes_results(fuzz_seed, tmp_path):
+    """The plan-store axis: an evaluator that learns (warm samples, the
+    observed-cardinality ledger, repin, drift re-plans) must stay set-equal
+    to the seed reference on every (budget, workers, fault) grid point.
+    Each case executes *twice* on one evaluator — the second run is costed
+    against measured truth (and may drift-replan), which is exactly the
+    path that could silently corrupt results if learning leaked into
+    semantics."""
+    rng = random.Random(fuzz_seed ^ 0x9147)
+    for case_index in range(10):
+        expression, bindings = _random_case(rng)
+        reference = _reference_evaluate(expression, bindings)
+        for budget_rows, workers in CONFIG_GRID:
+            for faulty in (False, True):
+                plan = FaultPlan.random_plan(rng, workers=workers) if faulty else None
+                budget = _tiny_budget(tmp_path) if budget_rows is not None else None
+                evaluator = EngineEvaluator(
+                    budget=budget,
+                    workers=workers,
+                    parallel_backend="thread",
+                    adaptive=True,
+                    planstore=True,
+                    faults=plan,
+                )
+                detail = (
+                    f"seed={fuzz_seed}^0x9147 case={case_index} "
+                    f"budget={budget_rows} workers={workers} faults={plan!r}\n"
+                    f"expression: {expression.to_text()}"
+                )
+                for _round in range(2):
+                    result = None
+                    with warnings.catch_warnings():
+                        warnings.simplefilter("ignore", RuntimeWarning)
+                        try:
+                            result, _trace = evaluator.evaluate(expression, bindings)
+                        except EngineFaultError:
+                            if not faulty:
+                                raise
+                            result = None  # a typed loss is allowed under faults
+                    if result is not None:
+                        assert result.scheme.name_set == reference.scheme.name_set, detail
+                        realigned = (
+                            result
+                            if result.scheme.names == reference.scheme.names
+                            else result.project(reference.scheme.names)
+                        )
+                        assert realigned == reference, detail
+                leftovers = [str(path) for path in tmp_path.iterdir()]
+                assert not leftovers, f"spill files leaked: {leftovers}\n{detail}"
+
+
 def test_session_facade_fuzz_every_backend_matches_reference(fuzz_seed, tmp_path):
     """The serving facade, differentially pinned: every random case prepared
     through one mixed-backend :class:`repro.api.Session` must be set-equal to

@@ -39,6 +39,10 @@ class TestSnapshotSemantics:
             "pool_recoveries",
             "serial_fallbacks",
             "sample_builds",
+            "sample_cache_hits",
+            "sample_cache_misses",
+            "plan_repins",
+            "drift_replans",
             "adaptive_replans",
             "adaptive_giveups",
             "qerror_observations",

@@ -12,6 +12,7 @@ SUBPACKAGES = [
     "repro.algebra",
     "repro.expressions",
     "repro.engine",
+    "repro.engine.planstore",
     "repro.obs",
     "repro.tableaux",
     "repro.sat",

@@ -211,6 +211,45 @@ class TestWorkerPool:
         finally:
             pool.close()
 
+    def test_learned_plans_survive_a_worker_respawn(self):
+        # A worker's plan store (warm samples, observed-cardinality
+        # ledger, pinned plans) lives in the worker process.  Killing the
+        # worker loses that state by construction — the contract is that
+        # the respawned worker serves the same traffic correctly and
+        # *re-learns*: its fresh store pins and observes again.
+        config = BackendConfig(adaptive=True, planstore=True)
+        pool = WorkerPool(RELATIONS, config, size=1)
+        if pool.backend != "fork":
+            pool.close()
+            pytest.skip("crash recovery needs process workers")
+
+        def planstore_stats():
+            sessions = pool.stats()["workers"][0]["sessions"]
+            (stats,) = sessions.values()
+            return stats["planstore"]
+
+        try:
+            for _ in range(2):
+                before = pool.dispatch(
+                    {"op": "query", "query": HEAVY_QUERY, "count_only": True}
+                )
+                assert before["ok"]
+            learned = planstore_stats()
+            assert learned["ledger_entries"] > 0
+            assert learned["cached_samples"] > 0
+            pool._workers[0].kill()
+            after = pool.dispatch(
+                {"op": "query", "query": HEAVY_QUERY, "count_only": True}
+            )
+            assert after["ok"]
+            assert after["rowcount"] == before["rowcount"]
+            assert pool.worker_restarts == 1
+            relearned = planstore_stats()
+            assert relearned["ledger_entries"] > 0
+            assert relearned["cached_samples"] > 0
+        finally:
+            pool.close()
+
     def test_closed_pool_raises_the_typed_error(self):
         pool = WorkerPool(RELATIONS, BackendConfig(), size=1)
         pool.close()
