@@ -119,6 +119,19 @@ SERVER_OVERRIDE_BUDGET_ROWS = 64
 #: s=1.2 over the 8-query mix the hottest query draws ~43% of traffic —
 #: realistic serving concentration, served from pinned plans.
 SERVER_ZIPF_SKEW = 1.2
+#: Scale-out gates for the multiplexing + result-cache legs.  The cached
+#: Zipf leg replays the skewed mix against a cache-enabled front after a
+#: round-robin warm pass touched every key: at least half the requests
+#: must come back from the cache (in practice ~100% — the mix holds 8
+#: keys and the cache 256 entries) and its p99 must beat the uncached
+#: zipf leg's.  The head-of-line leg pins the tentpole: with one worker
+#: running a budget-64 spilling execute of the heavy join, fast-query
+#: p99 through the multiplexed pipe (worker_concurrency=4) must be at
+#: most a quarter of the serialized (worker_concurrency=1) value, where
+#: the first fast request queues behind the whole ~1s spill.
+SERVER_CACHE_MIN_HIT_RATE = 0.5
+SERVER_HOL_MAX_P99_RATIO = 0.25
+SERVER_HOL_FAST_QUERIES = 12
 
 #: Robustness parameters (the total-spill memory model at m=12).  The
 #: *gated* budget re-runs the spill scenario with the PR 6 machinery
@@ -733,6 +746,91 @@ def run_serving_benchmark(num_queries: int = SERVING_QUERIES) -> Dict:
     return section
 
 
+def _hol_fast_p99(relations, queries, concurrency: int) -> float:
+    """Fast-query p99 (ms) while one worker runs a budget-64 spill.
+
+    Boots a one-worker, cache-disabled server at the given
+    ``worker_concurrency``, warms the fast and heavy-override sessions
+    off the clock, launches the heavy three-way join under the
+    ``SERVER_OVERRIDE_BUDGET_ROWS`` budget (~1s of Grace spilling at the
+    default workload size) on a background connection, waits until the
+    pool reports it in flight, then times ``SERVER_HOL_FAST_QUERIES``
+    sequential fast queries on a second connection.  At
+    ``concurrency=1`` the pipe is the pre-multiplex serialized protocol
+    and the first fast query queues behind the whole spill; at the
+    default concurrency the dispatcher answers it mid-spill.
+    """
+    import http.client
+
+    from repro.server import ReproServer
+    from repro.server.loadgen import percentile
+
+    fast_query, heavy_query = queries[0], queries[-1]
+
+    def post(connection, payload):
+        connection.request(
+            "POST",
+            "/query",
+            body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        body = response.read()
+        if response.status != 200:
+            raise AssertionError(
+                f"HOL probe got HTTP {response.status}: {body!r}"
+            )
+
+    heavy_payload = {
+        "query": heavy_query,
+        "count_only": True,
+        "budget": SERVER_OVERRIDE_BUDGET_ROWS,
+    }
+    fast_payload = {"query": fast_query, "count_only": True}
+    with ReproServer(
+        relations,
+        pool_size=1,
+        worker_concurrency=concurrency,
+        result_cache_size=0,
+    ) as server:
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=120
+        )
+        slow_connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=120
+        )
+        try:
+            # Warm both sessions (and their pinned plans) off the clock.
+            post(connection, fast_payload)
+            post(connection, heavy_payload)
+
+            import threading
+
+            def slow():
+                post(slow_connection, heavy_payload)
+
+            spill_thread = threading.Thread(target=slow, daemon=True)
+            spill_thread.start()
+            deadline = time.perf_counter() + 30
+            while time.perf_counter() < deadline:
+                if sum(server.stats()["pool"]["inflight"]) >= 1:
+                    break
+                time.sleep(0.002)
+            else:
+                raise AssertionError("spilling execute never went in flight")
+
+            latencies = []
+            for _ in range(SERVER_HOL_FAST_QUERIES):
+                start = time.perf_counter()
+                post(connection, fast_payload)
+                latencies.append((time.perf_counter() - start) * 1000.0)
+            spill_thread.join(timeout=120)
+        finally:
+            connection.close()
+            slow_connection.close()
+    return percentile(latencies, 99)
+
+
 def run_server_benchmark(
     clients: int = SERVER_CLIENTS,
     requests_per_client: int = SERVER_REQUESTS_PER_CLIENT,
@@ -751,11 +849,23 @@ def run_server_benchmark(
     query dominates, as real serving traffic does) and records its own
     p50/p99; a final ``/metrics`` scrape asserts the merged exposition
     still reports ``repro_spill_overflows_total 0`` across the fleet.
-    Appends a ``server`` section to ``BENCH_algebra.json``.
+    Those legs run with the result cache disabled so every request pays
+    the lease+dispatch path the overhead gate prices.
+
+    Two scale-out legs follow.  ``zipf_cached`` replays the skewed mix
+    against a cache-enabled front after a warm pass filled every key:
+    hit rate (from the ``/stats`` cache counter deltas) must reach
+    ``SERVER_CACHE_MIN_HIT_RATE``, its p99 must beat the uncached zipf
+    leg's, and the ``cache_stale_served`` tripwire must read zero.
+    ``hol`` prices head-of-line blocking on the worker pipe: fast-query
+    p99 while a budget-64 spill is in flight, serialized
+    (``worker_concurrency=1``) vs multiplexed, gated at
+    ``SERVER_HOL_MAX_P99_RATIO``.  Appends a ``server`` section to
+    ``BENCH_algebra.json``.
     """
     import http.client
 
-    from repro.server import ReproServer, run_load
+    from repro.server import ReproServer, ServerConfig, run_load
     from repro.workloads import serving_queries, serving_relations
 
     relations = serving_relations()
@@ -779,7 +889,11 @@ def run_server_benchmark(
         direct_seconds = time.perf_counter() - start
     direct_rps = total / direct_seconds
 
-    with ReproServer(relations, pool_size=SERVER_POOL_SIZE) as server:
+    # Cache disabled: these legs price the lease+dispatch path itself,
+    # and the overhead gate must keep meaning "worker round trip".
+    with ReproServer(
+        relations, pool_size=SERVER_POOL_SIZE, result_cache_size=0
+    ) as server:
         # Warm every worker's sessions and pinned plans off the clock.
         run_load(
             "127.0.0.1", server.port, queries,
@@ -823,6 +937,31 @@ def run_server_benchmark(
         finally:
             connection.close()
 
+    # Cached zipf leg: same skewed mix, cache-enabled front.  The
+    # round-robin warm pass touches every (query, budget, count_only)
+    # key once, so the measured window is served from the cache.
+    with ReproServer(relations, pool_size=SERVER_POOL_SIZE) as server:
+        run_load(
+            "127.0.0.1", server.port, queries,
+            clients=clients, requests_per_client=3,
+        )
+        cache_before = server.stats()["cache"]
+        zipf_cached_report = run_load(
+            "127.0.0.1", server.port, queries,
+            clients=clients, requests_per_client=requests_per_client,
+            zipf=SERVER_ZIPF_SKEW,
+        )
+        cache_after = server.stats()["cache"]
+    cache_hits = cache_after["cache_hits"] - cache_before["cache_hits"]
+    cache_misses = cache_after["cache_misses"] - cache_before["cache_misses"]
+    cache_hit_rate = cache_hits / max(1, cache_hits + cache_misses)
+
+    # Head-of-line leg: serialized pipe vs multiplexed pipe, one worker.
+    serialized_fast_p99 = _hol_fast_p99(relations, queries, concurrency=1)
+    mux_fast_p99 = _hol_fast_p99(
+        relations, queries, concurrency=ServerConfig().worker_concurrency
+    )
+
     overflow_samples = [
         int(line.rsplit(" ", 1)[1])
         for line in exposition.splitlines()
@@ -832,6 +971,7 @@ def run_server_benchmark(
     summary = report.summary()
     override_summary = override_report.summary()
     zipf_summary = zipf_report.summary()
+    zipf_cached_summary = zipf_cached_report.summary()
     section = {
         "description": (
             "concurrent keep-alive clients through the HTTP serving tier "
@@ -869,6 +1009,29 @@ def run_server_benchmark(
             "p99_ms": zipf_summary["p99_ms"],
             "throughput_rps": zipf_summary["throughput_rps"],
         },
+        "zipf_cached": {
+            "skew": SERVER_ZIPF_SKEW,
+            "requests": zipf_cached_summary["requests"],
+            "ok": zipf_cached_summary["ok"],
+            "p50_ms": zipf_cached_summary["p50_ms"],
+            "p99_ms": zipf_cached_summary["p99_ms"],
+            "throughput_rps": zipf_cached_summary["throughput_rps"],
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
+            "cache_hit_rate": round(cache_hit_rate, 4),
+            "min_hit_rate": SERVER_CACHE_MIN_HIT_RATE,
+            "uncached_p99_ms": zipf_summary["p99_ms"],
+            "stale_served": cache_after["cache_stale_served"],
+        },
+        "hol": {
+            "budget_rows": SERVER_OVERRIDE_BUDGET_ROWS,
+            "fast_queries": SERVER_HOL_FAST_QUERIES,
+            "serialized_fast_p99_ms": round(serialized_fast_p99, 3),
+            "mux_fast_p99_ms": round(mux_fast_p99, 3),
+            "p99_ratio": round(mux_fast_p99 / serialized_fast_p99, 4),
+            "max_p99_ratio": SERVER_HOL_MAX_P99_RATIO,
+            "worker_concurrency": ServerConfig().worker_concurrency,
+        },
         "metrics_spill_overflows_total": sum(overflow_samples),
     }
     print(
@@ -879,7 +1042,10 @@ def run_server_benchmark(
         f"{probe.get('spilled_rows', 0)} row(s) spilled, "
         f"{probe.get('spill_overflows', 0)} overflow(s); "
         f"zipf({SERVER_ZIPF_SKEW}) mix: p50 {zipf_summary['p50_ms']:.1f}ms "
-        f"p99 {zipf_summary['p99_ms']:.1f}ms"
+        f"p99 {zipf_summary['p99_ms']:.1f}ms; cached zipf: "
+        f"p99 {zipf_cached_summary['p99_ms']:.1f}ms "
+        f"({cache_hit_rate:.0%} hit rate); HOL fast p99 "
+        f"{mux_fast_p99:.1f}ms mux vs {serialized_fast_p99:.1f}ms serialized"
     )
     _merge_into_document({"server": section})
     print(f"server section -> {OUTPUT_PATH}")
@@ -912,6 +1078,29 @@ def _check_server(section: Dict) -> None:
         "every request of the Zipf-skewed mix must be served"
     )
     assert zipf["p50_ms"] > 0 and zipf["p99_ms"] >= zipf["p50_ms"]
+    cached = section["zipf_cached"]
+    assert cached["ok"] == cached["requests"], (
+        "every request of the cached Zipf mix must be served"
+    )
+    assert cached["cache_hit_rate"] >= cached["min_hit_rate"], (
+        f"cached zipf leg hit rate {cached['cache_hit_rate']:.1%} below the "
+        f"{cached['min_hit_rate']:.0%} gate"
+    )
+    assert cached["p99_ms"] < cached["uncached_p99_ms"], (
+        f"cache-served p99 {cached['p99_ms']}ms must beat the uncached "
+        f"zipf leg's {cached['uncached_p99_ms']}ms"
+    )
+    assert cached["stale_served"] == 0, (
+        "the cache_stale_served tripwire fired during the cached zipf leg"
+    )
+    hol = section["hol"]
+    assert hol["mux_fast_p99_ms"] <= (
+        hol["max_p99_ratio"] * hol["serialized_fast_p99_ms"]
+    ), (
+        f"head-of-line gate: multiplexed fast-query p99 "
+        f"{hol['mux_fast_p99_ms']}ms exceeds {hol['max_p99_ratio']}x the "
+        f"serialized pipe's {hol['serialized_fast_p99_ms']}ms"
+    )
     assert section["metrics_spill_overflows_total"] == 0, (
         "the merged /metrics exposition must report zero spill overflows"
     )
@@ -1399,10 +1588,15 @@ def test_server_tier_load(emit_result):
     """Eight concurrent clients through the networked serving tier must be
     served completely (p50/p99/throughput recorded) at an end-to-end
     throughput cost within 2x of direct in-process serving, with the
-    per-request budget override spilling (zero overflows) and the merged
-    /metrics exposition confirming the tripwire stayed zero."""
+    per-request budget override spilling (zero overflows), the cached
+    Zipf leg hitting the result cache at >= 50% with a p99 under the
+    uncached leg's, the multiplexed fast-query p99 under a concurrent
+    spill at <= 0.25x the serialized pipe's, and the merged /metrics
+    exposition confirming both tripwires stayed zero."""
     section = run_server_benchmark()
     override = section["budget_override"]
+    cached = section["zipf_cached"]
+    hol = section["hol"]
     emit_result(
         "BENCH-server",
         "concurrent mixed load through the HTTP serving tier",
@@ -1421,7 +1615,16 @@ def test_server_tier_load(emit_result):
         f"{section['zipf']['ok']}/{section['zipf']['requests']} served, "
         f"p50 {section['zipf']['p50_ms']:.1f}ms  "
         f"p99 {section['zipf']['p99_ms']:.1f}ms  "
-        f"{section['zipf']['throughput_rps']:.1f} rps; "
+        f"{section['zipf']['throughput_rps']:.1f} rps\n"
+        f"cached zipf: {cached['ok']}/{cached['requests']} served, "
+        f"hit rate {cached['cache_hit_rate']:.0%} "
+        f"(gate >= {cached['min_hit_rate']:.0%}), "
+        f"p99 {cached['p99_ms']:.2f}ms vs uncached "
+        f"{cached['uncached_p99_ms']:.1f}ms, stale served "
+        f"{cached['stale_served']}\n"
+        f"head-of-line: fast p99 {hol['mux_fast_p99_ms']:.1f}ms multiplexed "
+        f"vs {hol['serialized_fast_p99_ms']:.1f}ms serialized "
+        f"({hol['p99_ratio']:.3f}x, gate <= {hol['max_p99_ratio']}x); "
         f"fleet spill_overflows_total="
         f"{section['metrics_spill_overflows_total']}",
     )

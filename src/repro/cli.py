@@ -59,15 +59,18 @@ Python:
     print the session's metrics registry — latency histogram, execute and
     row counters, peak-memory gauge — in Prometheus text format.
 
-``python -m repro serve [--port 8080] [--pool-size 2] [--total-budget-rows N]``
+``python -m repro serve [--port 8080] [--pool-size 2] [--worker-concurrency 4]``
     Start the networked serving tier over the demo serving database
     (``repro.workloads.serving_relations``): an asyncio HTTP front with
-    admission control and a shared memory-budget scheduler, dispatching
-    to worker processes holding warm sessions.  ``POST /query`` serves
-    JSON query requests (per-request ``budget``/``workers`` overrides),
-    ``GET /metrics`` exposes the merged front+worker Prometheus
-    exposition, ``GET /stats`` and ``GET /healthz`` report state.
-    Stop with Ctrl-C.
+    admission control, a shared memory-budget scheduler, and an
+    invalidating result cache (``--cache-size``, 0 disables), dispatching
+    to worker processes that multiplex ``--worker-concurrency`` requests
+    over each pipe.  ``POST /query`` serves JSON query requests
+    (per-request ``budget``/``workers`` overrides, ``--request-timeout``
+    deadline → 504), ``POST /mutate`` replaces a relation's rows and
+    invalidates cached results that read it, ``GET /metrics`` exposes
+    the merged front+worker Prometheus exposition, ``GET /stats`` and
+    ``GET /healthz`` report state.  Stop with Ctrl-C.
 
 Formulas are written in the textual syntax of
 :func:`repro.sat.parse_formula` (``|`` or ``+`` inside clauses, ``&`` between
@@ -505,6 +508,12 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         raise SystemExit("--session-budget must be a positive row count")
     if arguments.total_budget_rows is not None and arguments.total_budget_rows <= 0:
         raise SystemExit("--total-budget-rows must be a positive row count")
+    if arguments.worker_concurrency < 1:
+        raise SystemExit("--worker-concurrency must be >= 1")
+    if arguments.cache_size < 0:
+        raise SystemExit("--cache-size must be >= 0 (0 disables the cache)")
+    if arguments.request_timeout is not None and arguments.request_timeout <= 0:
+        raise SystemExit("--request-timeout must be a positive number of seconds")
     relations = serving_relations(rows=arguments.rows)
     server = ReproServer(
         relations,
@@ -515,6 +524,9 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         total_budget_rows=arguments.total_budget_rows,
         session_budget=arguments.session_budget,
         engine_workers=arguments.workers,
+        worker_concurrency=arguments.worker_concurrency,
+        result_cache_size=arguments.cache_size,
+        request_timeout_seconds=arguments.request_timeout,
         events_dir=arguments.events_dir,
         trace=arguments.trace,
     )
@@ -778,6 +790,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=600,
         help="rows per relation of the demo serving database (default 600)",
+    )
+    serve_parser.add_argument(
+        "--worker-concurrency",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent requests multiplexed per worker pipe (default 4; "
+        "1 restores the serialized one-at-a-time protocol)",
+    )
+    serve_parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        metavar="ENTRIES",
+        help="result-cache capacity in entries (default 256; 0 disables it)",
+    )
+    serve_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request worker deadline; past it the request fails 504 "
+        "and its budget lease is released (default: no deadline)",
     )
     serve_parser.add_argument(
         "--events-dir",

@@ -30,6 +30,10 @@ Event kinds emitted by the engine today:
     Parallel-execution degradations.
 ``degradation``
     Anything the engine also appends to ``UnifiedTrace.degradations``.
+``cache_hit`` / ``cache_invalidate``
+    The serving tier's result cache answered a query without a worker
+    dispatch, or swept the entries reading a mutated relation name
+    (see :mod:`repro.server.cache`); emitted on the front's event log.
 
 The locking/fork discipline matches ``repro.perf.counters``: one module
 lock, reinstalled in fork children via ``os.register_at_fork``.

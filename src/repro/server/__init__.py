@@ -8,7 +8,12 @@ an engine memory budget from a cross-session
 :class:`~repro.server.worker.WorkerPool` of processes holding warm
 :class:`~repro.api.Session`\\ s — pinned plans, forked probe pools, and
 per-request ``budget``/``workers`` overrides served from a small LRU of
-session configs.  Observability is wired end-to-end: ``GET /metrics``
+session configs.  Each worker's pipe is *multiplexed* (tagged request
+ids), so one worker serves many requests at once and a slow spilling
+execute never head-of-line-blocks fast queries; the front adds an
+*invalidating* :class:`ResultCache` over pure read-only queries, kept
+honest by ``POST /mutate``'s pool-first-then-invalidate ordering.
+Observability is wired end-to-end: ``GET /metrics``
 merges the front's and every worker's registries into one Prometheus
 exposition, workers mirror event logs to per-worker JSONL files, and
 requests can opt into front span traces.
@@ -26,9 +31,11 @@ or from the shell: ``repro serve --port 8080``.  See ``docs/SERVER.md``.
 
 from .app import ReproServer, ServerConfig
 from .budget import BudgetLease, BudgetScheduler
+from .cache import ResultCache
 from .errors import (
     BadRequestError,
     BudgetExhaustedError,
+    RequestTimeoutError,
     ServerClosedError,
     ServerError,
     ServerOverloadedError,
@@ -44,6 +51,8 @@ __all__ = [
     "BudgetScheduler",
     "LoadReport",
     "ReproServer",
+    "RequestTimeoutError",
+    "ResultCache",
     "ServerClosedError",
     "ServerConfig",
     "ServerError",

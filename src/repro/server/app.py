@@ -20,11 +20,23 @@ exposition, workers mirror their event logs to per-worker JSONL files,
 and a request carrying ``"trace": true`` gets the front's span
 summaries (admit → lease → dispatch) in its response body.
 
+Two serving-tier scale-out mechanisms sit on that pipeline.  Each
+worker's pipe is *multiplexed* (tagged request ids, see
+:mod:`repro.server.worker`), so one worker serves several requests
+concurrently and a slow spilling execute no longer head-of-line-blocks
+fast queries; dispatch picks the least-loaded worker.  And the front
+keeps an *invalidating result cache* (:mod:`repro.server.cache`): pure
+read-only queries repeat without leasing budget or touching a worker,
+``POST /mutate`` replaces a relation's rows across every worker and
+sweeps the cache entries that read it — in that order, so a stale
+result can never be re-learned.
+
 Routes::
 
     POST /query    {"query": "project[A](R * S)", "budget": 64, ...}
+    POST /mutate   {"name": "R", "rows": [[1, 2], [3, 4], ...]}
     GET  /metrics  Prometheus text exposition (front + all workers)
-    GET  /stats    JSON: front counters, budget scheduler, worker pool
+    GET  /stats    JSON: front counters, budget scheduler, cache, pool
     GET  /healthz  liveness probe
 
 Use :meth:`ReproServer.start` for a daemon-thread server (tests, the
@@ -41,6 +53,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
+from ..algebra.errors import AlgebraError
 from ..algebra.relation import Relation
 from ..api.config import BACKENDS, BackendConfig
 from ..engine.physical import MemoryBudget
@@ -55,6 +68,7 @@ from .errors import (
     ServerOverloadedError,
 )
 from .http import HttpError, HttpRequest, read_request, split_target, write_response
+from .cache import CacheKey, ResultCache
 from .worker import WorkerPool
 
 __all__ = ["ReproServer", "ServerConfig"]
@@ -104,6 +118,19 @@ class ServerConfig:
         in per call with ``"trace": true`` for front spans).
     ``max_sessions_per_worker``
         LRU cap on distinct (budget, workers) sessions a worker keeps.
+    ``worker_concurrency``
+        How many query frames one worker serves at a time over its
+        multiplexed pipe; ``1`` restores the pre-multiplex serialised
+        worker (the head-of-line benchmark baseline).
+    ``result_cache_size``
+        Entry cap of the front's invalidating result cache
+        (:class:`~repro.server.cache.ResultCache`); ``0`` disables
+        caching entirely.
+    ``request_timeout_seconds``
+        Per-dispatch deadline: a worker that does not answer a request
+        id in time fails that request with the typed 504
+        :class:`~repro.server.errors.RequestTimeoutError` (lease
+        released, pipe untouched).  ``None`` waits forever.
     """
 
     host: str = "127.0.0.1"
@@ -120,6 +147,9 @@ class ServerConfig:
     events_dir: Optional[str] = None
     trace: bool = False
     max_sessions_per_worker: int = 4
+    worker_concurrency: int = 4
+    result_cache_size: int = 256
+    request_timeout_seconds: Optional[float] = None
 
     def __post_init__(self):
         """Validate the serving-side knobs (backend is checked downstream)."""
@@ -127,6 +157,22 @@ class ServerConfig:
             raise ValueError(f"pool_size must be >= 1, got {self.pool_size}")
         if self.max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.worker_concurrency < 1:
+            raise ValueError(
+                f"worker_concurrency must be >= 1, got {self.worker_concurrency}"
+            )
+        if self.result_cache_size < 0:
+            raise ValueError(
+                f"result_cache_size must be >= 0, got {self.result_cache_size}"
+            )
+        if (
+            self.request_timeout_seconds is not None
+            and self.request_timeout_seconds <= 0
+        ):
+            raise ValueError(
+                "request_timeout_seconds must be positive or None, got "
+                f"{self.request_timeout_seconds}"
+            )
 
     def override(self, **changes) -> "ServerConfig":
         """A copy with ``changes`` applied (validated like the constructor)."""
@@ -168,20 +214,31 @@ class ReproServer:
             worker_backend=base.worker_backend,
             events_dir=base.events_dir,
             max_sessions=base.max_sessions_per_worker,
+            concurrency=base.worker_concurrency,
         )
         self._scheduler = BudgetScheduler(
             total_rows=base.total_budget_rows,
             default_request_rows=base.default_request_rows,
             max_wait_seconds=base.max_budget_wait_seconds,
         )
-        self._observer = Observer(ObserveConfig(metrics=True))
+        self._observer = Observer(ObserveConfig(metrics=True, events=True))
         self._metrics = self._observer.metrics
+        self._cache: Optional[ResultCache] = (
+            ResultCache(
+                base.result_cache_size,
+                metrics=self._metrics,
+                events=self._observer.events,
+            )
+            if base.result_cache_size > 0
+            else None
+        )
         self._state_lock = threading.Lock()
         self._inflight = 0
         self._closed = False
         self._counters = {
             "requests": 0,
             "queries": 0,
+            "mutations": 0,
             "shed_overload": 0,
             "shed_budget": 0,
             "client_errors": 0,
@@ -346,6 +403,12 @@ class ReproServer:
                     "BadRequestError", "use POST /query"
                 )
             return await self._route_query(request)
+        if path == "/mutate":
+            if request.method != "POST":
+                return 405, "application/json", _error_body(
+                    "BadRequestError", "use POST /mutate"
+                )
+            return await self._route_mutate(request)
         if request.method != "GET":
             return 405, "application/json", _error_body(
                 "BadRequestError", f"use GET {path}"
@@ -398,6 +461,19 @@ class ReproServer:
             ).observe(perf_counter() - start)
         return self._encode_query_response(response)
 
+    async def _route_mutate(self, request: HttpRequest) -> Tuple[int, str, bytes]:
+        try:
+            payload = request.json()
+        except HttpError as error:
+            self._count("client_errors")
+            return error.status, "application/json", _error_body(
+                type(error).__name__, str(error)
+            )
+        response = await asyncio.get_running_loop().run_in_executor(
+            None, self._serve_mutate, payload
+        )
+        return self._encode_query_response(response)
+
     # -- the query pipeline (runs on an executor thread) ----------------
 
     def _admit(self) -> None:
@@ -422,10 +498,40 @@ class ReproServer:
             ).set(self._inflight)
 
     def _serve_query(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Validate, lease a budget, dispatch to a worker; always typed."""
+        """Validate, consult the result cache, lease, dispatch; always typed.
+
+        Cache lookups happen *after* admission (a cache hit still counts
+        against ``max_inflight`` — shedding stays load-based, not
+        hit-rate-based) but *before* budget leasing: a hit consumes no
+        engine budget at all.  Traced requests bypass the cache entirely
+        — their span trees describe a real execution.
+        """
         tracer = Tracer() if payload.get("trace") else None
+        cache = self._cache if tracer is None else None
+        key: Optional[CacheKey] = None
+        snapshot = 0
         try:
             message = self._validate_query(payload)
+            if cache is not None:
+                key = (
+                    message["query"],
+                    message["backend"],
+                    (
+                        message["budget_request"]
+                        if message["budget_request"] is not None
+                        else self._scheduler.default_request_rows
+                    ),
+                    message["workers"],
+                    message["count_only"],
+                )
+                cached, snapshot = cache.lookup(key)
+                if cached is not None:
+                    cached["cached"] = True
+                    self._count("queries")
+                    self._metrics.counter(
+                        "repro_http_queries_total", help="queries served"
+                    ).inc()
+                    return cached
             span = tracer.span("serve", "lease") if tracer else _NULL_SPAN
             with span:
                 lease = self._scheduler.acquire(rows=message.pop("budget_request"))
@@ -434,7 +540,13 @@ class ReproServer:
                     message["budget"] = lease.rows
                 span = tracer.span("serve", "dispatch") if tracer else _NULL_SPAN
                 with span:
-                    response = self._pool.dispatch(message)
+                    response = self._pool.dispatch(
+                        message, timeout=self.config.request_timeout_seconds
+                    )
+            if response.get("ok") and cache is not None and key is not None:
+                names = response.get("relations", ())
+                cache.fill(key, names, response, snapshot)
+                response["cached"] = False
         except ServerError as error:
             if isinstance(error, ServerOverloadedError):
                 self._count("shed_budget")
@@ -455,6 +567,51 @@ class ReproServer:
         if tracer is not None:
             response["front_spans"] = [s.summary() for s in tracer.finish()]
         return response
+
+    def _serve_mutate(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Replace one relation's rows across the pool, then invalidate.
+
+        The order is the invalidation contract's linchpin: workers see
+        the new data *before* the cache drops the name's entries, so a
+        concurrent miss that executed against the old data carries a
+        pre-invalidation generation snapshot and its fill is rejected —
+        the cache can never re-learn a stale result.
+        """
+        try:
+            name = payload.get("name")
+            if not isinstance(name, str) or not name:
+                raise BadRequestError('the "name" field must be a non-empty string')
+            rows = payload.get("rows")
+            if not isinstance(rows, list):
+                raise BadRequestError('the "rows" field must be a list of rows')
+            current = self._pool.relation(name)
+            if current is None:
+                raise BadRequestError(f"no relation named {name!r} is being served")
+            try:
+                relation = Relation.from_rows(
+                    current.scheme, [tuple(row) for row in rows], name=name
+                )
+            except (TypeError, ValueError, AlgebraError) as error:
+                raise BadRequestError(f"rows do not fit {name!r}'s scheme: {error}")
+            acks = self._pool.mutate(name, relation)
+            evicted = self._cache.invalidate(name) if self._cache else 0
+            self._count("mutations")
+            self._metrics.counter(
+                "repro_http_mutations_total", help="relation mutations applied"
+            ).inc()
+            return {
+                "ok": True,
+                "name": name,
+                "rowcount": len(relation),
+                "workers_updated": sum(1 for ack in acks if ack.get("ok")),
+                "cache_evicted": evicted,
+            }
+        except ServerError as error:
+            return {
+                "ok": False,
+                "error": type(error).__name__,
+                "message": str(error),
+            }
 
     def _validate_query(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         query = payload.get("query")
@@ -492,6 +649,13 @@ class ReproServer:
         elif name in ("ServerOverloadedError", "BudgetExhaustedError",
                       "ServerClosedError"):
             status = 503
+        elif name == "RequestTimeoutError":
+            self._count("server_errors")
+            self._metrics.counter(
+                "repro_http_timeouts_total",
+                help="requests that outlived their worker deadline",
+            ).inc()
+            status = 504
         else:
             self._count("server_errors")
             self._metrics.counter(
@@ -524,6 +688,11 @@ class ReproServer:
         return {
             "front": front,
             "budget": self._scheduler.stats(),
+            "cache": (
+                self._cache.stats()
+                if self._cache is not None
+                else {"enabled": False}
+            ),
             "pool": self._pool.stats(),
         }
 

@@ -50,6 +50,17 @@ class BudgetLease:
         self._scheduler = scheduler
         self._released = False
 
+    @property
+    def released(self) -> bool:
+        """Whether this lease has already been returned to the pool.
+
+        The lease-lifecycle tests pin the contract that *every* request
+        outcome — completion, worker crash, request timeout, server
+        close — ends with its lease released; this property is how they
+        observe it without reaching into the scheduler.
+        """
+        return self._released
+
     def release(self) -> None:
         """Return the leased rows to the pool (idempotent)."""
         if not self._released:

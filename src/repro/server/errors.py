@@ -14,6 +14,7 @@ from __future__ import annotations
 __all__ = [
     "BadRequestError",
     "BudgetExhaustedError",
+    "RequestTimeoutError",
     "ServerClosedError",
     "ServerError",
     "ServerOverloadedError",
@@ -50,6 +51,18 @@ class WorkerCrashedError(ServerError):
     """A worker process died while serving the request (HTTP 500)."""
 
     status = 500
+
+
+class RequestTimeoutError(ServerError):
+    """The worker did not answer an in-flight request id in time (HTTP 504).
+
+    The multiplexed pipe stays healthy: the front drops the pending
+    future (a late response for that id is discarded on arrival) and the
+    request's budget lease is released — the worker may still be
+    computing, but nothing upstream waits on it.
+    """
+
+    status = 504
 
 
 class ServerClosedError(ServerError):

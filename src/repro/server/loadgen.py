@@ -63,16 +63,32 @@ def percentile(latencies: Sequence[float], q: float) -> float:
 
 @dataclass
 class LoadReport:
-    """One load run's outcome: counts, throughput, latency percentiles."""
+    """One load run's outcome: counts, throughput, latency percentiles.
+
+    The population split is exact and disjoint: ``ok`` (HTTP 200),
+    ``rejected`` (HTTP 503 — load shed by admission control or the
+    budget scheduler), ``errors`` (everything else, including transport
+    failures).  ``latencies_ms`` holds **completed (200) requests
+    only** — a shed request turns around in microseconds, and folding
+    those near-zero samples into the percentiles would make an
+    overloaded server look *faster* as it rejects more.  The regression
+    test pins this: p50/p99 must not move when rejections are added to a
+    run.
+    """
 
     clients: int
     requests: int
     ok: int
     errors: int
-    shed: int
+    rejected: int
     seconds: float
     latencies_ms: List[float] = field(default_factory=list)
     status_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def shed(self) -> int:
+        """Alias of ``rejected`` (the pre-PR-10 field name)."""
+        return self.rejected
 
     @property
     def throughput_rps(self) -> float:
@@ -80,11 +96,11 @@ class LoadReport:
         return self.ok / self.seconds if self.seconds > 0 else 0.0
 
     def p50_ms(self) -> float:
-        """Median request latency in milliseconds."""
+        """Median completed-request latency in milliseconds."""
         return percentile(self.latencies_ms, 50)
 
     def p99_ms(self) -> float:
-        """99th-percentile request latency in milliseconds."""
+        """99th-percentile completed-request latency in milliseconds."""
         return percentile(self.latencies_ms, 99)
 
     def summary(self) -> Dict[str, Any]:
@@ -94,7 +110,8 @@ class LoadReport:
             "requests": self.requests,
             "ok": self.ok,
             "errors": self.errors,
-            "shed": self.shed,
+            "rejected": self.rejected,
+            "shed": self.rejected,
             "seconds": round(self.seconds, 4),
             "throughput_rps": round(self.throughput_rps, 2),
             "p50_ms": round(self.p50_ms(), 3) if self.latencies_ms else None,
@@ -221,13 +238,13 @@ def run_load(
     for status in statuses:
         status_counts[status] = status_counts.get(status, 0) + 1
     ok = status_counts.get(200, 0)
-    shed = status_counts.get(503, 0)
+    rejected = status_counts.get(503, 0)
     return LoadReport(
         clients=clients,
         requests=len(statuses),
         ok=ok,
-        errors=len(statuses) - ok - shed,
-        shed=shed,
+        errors=len(statuses) - ok - rejected,
+        rejected=rejected,
         seconds=seconds,
         latencies_ms=latencies,
         status_counts=status_counts,

@@ -2,9 +2,29 @@
 
 Each worker is one OS process (forked where available, a thread
 otherwise) holding warm sessions over the server's relations.  The front
-talks to it over a duplex :func:`multiprocessing.Pipe` with one plain
-dict per message; a worker serves one request at a time, so the pipe
-doubles as its queue and the pool provides the fan-out.
+talks to it over a duplex :func:`multiprocessing.Pipe` carrying **tagged
+frames**: every request dict travels with a monotonic ``id`` and every
+response echoes it, so one worker serves *many* requests concurrently —
+a slow budget-64 spilling execute no longer head-of-line-blocks the fast
+cached-session queries sharing its pipe.  The moving parts:
+
+* **In the worker** a dispatcher loop receives frames and hands ``query``
+  frames to a small thread pool (``concurrency`` threads); control
+  frames (``ping`` / ``metrics`` / ``stats`` / ``mutate`` / ``shutdown``)
+  are answered inline on the loop so telemetry and mutation stay prompt
+  under query load.  Responses are sent back under one lock, so frames
+  never interleave on the pipe.
+* **In the front** each :class:`Worker` runs a receiver thread that
+  resolves a pending-futures map keyed by request id.
+  :meth:`Worker.request` registers a future, sends the tagged frame, and
+  blocks on its own future only — callers on other threads proceed
+  independently.  When the pipe dies, **every** in-flight id fails with
+  the typed :class:`WorkerCrashedError` (or :class:`ServerClosedError`
+  after :meth:`Worker.stop`), which is what lets the pool respawn and
+  retry each read-only request safely.
+* A request that outlives ``timeout`` raises the typed
+  :class:`RequestTimeoutError` and *abandons* its id: the late response
+  is dropped on arrival, the pipe keeps serving.
 
 Warmth is the point.  A worker parses each distinct query text once
 (expression cache), prepares it once per session (the session's
@@ -15,6 +35,13 @@ query squeezed to 64 rows" each hit a pinned plan in the steady state.
 That session cache is what closes PR 4's fixed-at-construction budget
 follow-up at the serving tier: the ``BackendConfig`` stays immutable,
 and per-request budgets choose *which* warm config serves.
+
+Mutation rides the same frames: a ``mutate`` frame installs a fresh
+relation under a name via every cached session's
+:meth:`~repro.api.Session.set_relation` (and in the worker's binding map
+for sessions warmed later), so the serving tier's result-cache
+invalidation contract (see :mod:`repro.server.cache`) has an
+authoritative end-to-end mutation path.
 
 Observability: every session of worker *i* shares one
 :class:`~repro.obs.events.EventLog` mirrored to ``worker-i.jsonl`` when
@@ -27,10 +54,13 @@ front merges into ``/metrics`` scrapes.
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import traceback
 from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from time import perf_counter
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -38,7 +68,12 @@ from ..algebra.relation import Relation
 from ..api.config import BackendConfig
 from ..api.session import Session
 from ..obs.config import Observer, ObserveConfig
-from .errors import ServerClosedError, ServerError, WorkerCrashedError
+from .errors import (
+    RequestTimeoutError,
+    ServerClosedError,
+    ServerError,
+    WorkerCrashedError,
+)
 
 __all__ = ["Worker", "WorkerPool", "worker_main"]
 
@@ -47,9 +82,20 @@ __all__ = ["Worker", "WorkerPool", "worker_main"]
 #: and pinned plans with it) exactly like the engine's pool LRU.
 MAX_SESSIONS_PER_WORKER = 4
 
+#: Concurrent query frames one worker serves at a time (its multiplexing
+#: width).  ``1`` restores the pre-multiplex serialised behaviour — the
+#: head-of-line benchmark leg uses exactly that as its baseline.
+DEFAULT_WORKER_CONCURRENCY = 4
+
 
 class _WorkerRuntime:
-    """The in-child request loop state: session cache + expression cache."""
+    """The in-child request state: session cache + expression cache.
+
+    Query frames are served from several dispatcher threads at once, so
+    the two caches are guarded by one runtime lock; the sessions
+    themselves are thread-safe (the facade's concurrent-serving
+    contract) and executes run outside the lock.
+    """
 
     def __init__(
         self,
@@ -63,6 +109,7 @@ class _WorkerRuntime:
         self._base_config = base_config
         self.index = index
         self._max_sessions = max(1, max_sessions)
+        self._lock = threading.Lock()
         # One observer for every session this worker opens: the event log
         # (JSONL-mirrored per worker) and metrics registry aggregate the
         # worker's whole traffic, while tracers are minted per execution.
@@ -88,25 +135,31 @@ class _WorkerRuntime:
 
     def _session_for(self, budget: Optional[int], workers: Optional[int]) -> Session:
         key = self._session_key(budget, workers)
-        session = self._sessions.get(key)
-        if session is not None:
-            self._sessions.move_to_end(key)
-            return session
-        config = self._base_config.override(
-            budget=key[0], workers=key[1], observe=self._observer
-        )
-        session = Session(self._relations, config)
-        self._sessions[key] = session
-        while len(self._sessions) > self._max_sessions:
-            _stale_key, stale = self._sessions.popitem(last=False)
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self._sessions.move_to_end(key)
+                return session
+            config = self._base_config.override(
+                budget=key[0], workers=key[1], observe=self._observer
+            )
+            session = Session(self._relations, config)
+            self._sessions[key] = session
+            stale_sessions = []
+            while len(self._sessions) > self._max_sessions:
+                _stale_key, stale = self._sessions.popitem(last=False)
+                stale_sessions.append(stale)
+        for stale in stale_sessions:
             stale.close()
         return session
 
     def _expression_for(self, session: Session, text: str):
-        expression = self._expressions.get(text)
+        with self._lock:
+            expression = self._expressions.get(text)
         if expression is None:
             expression = session._parse(text)
-            self._expressions[text] = expression
+            with self._lock:
+                self._expressions[text] = expression
         return expression
 
     def handle(self, message: Dict[str, Any]) -> Dict[str, Any]:
@@ -115,6 +168,8 @@ class _WorkerRuntime:
         try:
             if op == "query":
                 return self._handle_query(message)
+            if op == "mutate":
+                return self._handle_mutate(message)
             if op == "metrics":
                 return {"ok": True, "collected": self._collect_metrics()}
             if op == "stats":
@@ -153,6 +208,7 @@ class _WorkerRuntime:
             "worker": self.index,
             "backend": result.backend,
             "columns": list(result.scheme.names),
+            "relations": sorted(expression.operand_schemes()),
             "rowcount": len(result),
             "elapsed_ms": elapsed * 1000.0,
             "budget": self._session_key(
@@ -169,27 +225,59 @@ class _WorkerRuntime:
             response["rows"] = [list(row) for row in result.relation.sorted_rows()]
         return response
 
+    def _handle_mutate(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Install a fresh relation under a name, in every warm session.
+
+        The new binding applies to executes that start after this frame
+        is answered; executes already in flight bound the previous
+        relation atomically (the session snapshots bindings under its
+        lock), so concurrent traffic sees *either* generation, never a
+        mix.
+        """
+        name = message["name"]
+        relation = message["relation"]
+        if not isinstance(relation, Relation):  # pragma: no cover - front checks
+            raise ServerError("mutate frames must carry a Relation")
+        with self._lock:
+            self._relations[name] = relation
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.set_relation(name, relation)
+        return {
+            "ok": True,
+            "worker": self.index,
+            "name": name,
+            "rowcount": len(relation),
+            "sessions_invalidated": len(sessions),
+        }
+
     def _collect_metrics(self) -> Dict[str, Dict[str, Any]]:
         registry = self._observer.metrics
         return registry.collect() if registry is not None else {}
 
     def _stats(self) -> Dict[str, Any]:
+        with self._lock:
+            items = list(self._sessions.items())
+            expressions_cached = len(self._expressions)
         sessions = {}
-        for key, session in self._sessions.items():
+        for key, session in items:
             sessions[f"budget={key[0]} workers={key[1]}"] = session.stats()
         events = self._observer.events
         return {
             "pid": os.getpid(),
             "worker": self.index,
             "sessions": sessions,
-            "expressions_cached": len(self._expressions),
+            "expressions_cached": expressions_cached,
             "event_counts": events.counts() if events is not None else {},
         }
 
     def close(self) -> None:
         """Close every warm session (pools, temp dirs) before exit."""
-        while self._sessions:
-            _key, session = self._sessions.popitem(last=False)
+        while True:
+            with self._lock:
+                if not self._sessions:
+                    break
+                _key, session = self._sessions.popitem(last=False)
             session.close()
 
 
@@ -205,16 +293,38 @@ def worker_main(
     index: int,
     events_path: Optional[str] = None,
     max_sessions: int = MAX_SESSIONS_PER_WORKER,
+    concurrency: int = DEFAULT_WORKER_CONCURRENCY,
 ) -> None:
-    """The worker loop: recv one request dict, send one response dict.
+    """The worker loop: recv tagged request frames, send tagged responses.
 
-    Runs until a ``shutdown`` message or the parent's end of the pipe
-    closes; either way every warm session is closed on the way out so no
-    probe pools or spill directories outlive the worker.
+    ``query`` frames fan out onto ``concurrency`` dispatcher threads so a
+    slow execute never blocks the pipe; everything else (telemetry,
+    mutation, shutdown) is handled inline in frame order.  Runs until a
+    ``shutdown`` message or the parent's end of the pipe closes; either
+    way every warm session is closed on the way out so no probe pools or
+    spill directories outlive the worker.
     """
     runtime = _WorkerRuntime(
         relations, base_config, index, events_path, max_sessions
     )
+    send_lock = threading.Lock()
+    executor = ThreadPoolExecutor(
+        max_workers=max(1, concurrency),
+        thread_name_prefix=f"repro-worker-{index}",
+    )
+
+    def respond(response: Dict[str, Any], request_id: Optional[int]) -> None:
+        if request_id is not None:
+            response["id"] = request_id
+        with send_lock:
+            try:
+                conn.send(response)
+            except (BrokenPipeError, OSError, ValueError):
+                pass  # the front went away; nothing to answer
+
+    def serve(message: Dict[str, Any], request_id: Optional[int]) -> None:
+        respond(runtime.handle(message), request_id)
+
     try:
         while True:
             try:
@@ -223,11 +333,17 @@ def worker_main(
                 break
             if not isinstance(message, dict) or message.get("op") == "shutdown":
                 break
-            try:
-                conn.send(runtime.handle(message))
-            except (BrokenPipeError, OSError):
-                break
+            request_id = message.get("id")
+            if message.get("op") == "query" and request_id is not None:
+                executor.submit(serve, message, request_id)
+            else:
+                serve(message, request_id)
     finally:
+        # Don't wait for stuck executes: close the sessions (in-flight
+        # threads get the typed SessionClosedError and their responses
+        # are dropped with the pipe) so pools and spill dirs never
+        # outlive the worker.
+        executor.shutdown(wait=False)
         runtime.close()
         try:
             conn.close()
@@ -238,10 +354,11 @@ def worker_main(
 class Worker:
     """The parent-side handle of one worker: pipe + process (or thread).
 
-    ``request`` is synchronous and serialised per worker (one request in
-    flight per process); the async front calls it from executor threads.
-    A dead worker raises :class:`WorkerCrashedError` so the pool can
-    respawn and retry.
+    :meth:`request` is safe to call from many threads at once — each
+    call sends one tagged frame and blocks on its own pending future
+    while the shared receiver thread demultiplexes responses by id.  A
+    dead worker fails **all** of its in-flight ids with
+    :class:`WorkerCrashedError` so the pool can respawn and retry each.
     """
 
     def __init__(
@@ -252,16 +369,36 @@ class Worker:
         backend: str,
         events_path: Optional[str] = None,
         max_sessions: int = MAX_SESSIONS_PER_WORKER,
+        concurrency: int = DEFAULT_WORKER_CONCURRENCY,
     ):
         self.index = index
         self.backend = backend
-        self._lock = threading.Lock()
+        self.concurrency = max(1, concurrency)
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: Dict[int, Future] = {}
+        self._ids = itertools.count(1)
         self._closed = False
+        #: Set (under the pending lock) when the receiver loop exits: the
+        #: typed error every subsequent request fails with immediately.
+        #: Checking it under the same lock that registers futures closes
+        #: the race where ``process.is_alive()`` lags the pipe's death —
+        #: a request registered after the receiver exits would otherwise
+        #: wait on a future nothing will ever resolve.
+        self._dead_error: Optional[ServerError] = None
         import multiprocessing
 
         parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
         self._conn = parent_conn
-        args = (child_conn, relations, base_config, index, events_path, max_sessions)
+        args = (
+            child_conn,
+            relations,
+            base_config,
+            index,
+            events_path,
+            max_sessions,
+            self.concurrency,
+        )
         if backend == "fork":
             context = multiprocessing.get_context("fork")
             self._process = context.Process(
@@ -274,37 +411,120 @@ class Worker:
             self._process = None
             self._thread = threading.Thread(target=worker_main, args=args, daemon=True)
             self._thread.start()
+        self._receiver = threading.Thread(
+            target=self._receive_loop,
+            name=f"repro-worker-{index}-recv",
+            daemon=True,
+        )
+        self._receiver.start()
+
+    # -- the demultiplexer ---------------------------------------------
+
+    def _receive_loop(self) -> None:
+        while True:
+            try:
+                response = self._conn.recv()
+            except (EOFError, OSError, ValueError):
+                break
+            request_id = (
+                response.pop("id", None) if isinstance(response, dict) else None
+            )
+            with self._pending_lock:
+                future = self._pending.pop(request_id, None)
+            if future is not None:
+                # A timed-out caller already abandoned its future
+                # (set_exception); set_result would raise — skip done ones.
+                if not future.done():
+                    future.set_result(response)
+        if self._closed:
+            self._fail_pending(
+                ServerClosedError(f"worker {self.index} is closed")
+            )
+        else:
+            self._fail_pending(
+                WorkerCrashedError(
+                    f"worker {self.index} died with requests in flight"
+                )
+            )
+
+    def _fail_pending(self, error: ServerError) -> None:
+        """Fail every in-flight id with one typed error (crash contract)."""
+        with self._pending_lock:
+            self._dead_error = error
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(error)
+
+    @property
+    def inflight(self) -> int:
+        """How many requests this worker currently has in flight."""
+        with self._pending_lock:
+            return len(self._pending)
 
     def alive(self) -> bool:
-        """Whether the worker can still take requests."""
-        if self._closed:
+        """Whether the worker can still take requests.
+
+        The dead-flag check comes first: the pipe's death (receiver EOF)
+        is the authoritative signal, and ``process.is_alive()`` can lag
+        it by the length of a SIGTERM delivery.
+        """
+        if self._closed or self._dead_error is not None:
             return False
         if self._process is not None:
             return self._process.is_alive()
         return self._thread is not None and self._thread.is_alive()
 
-    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request and block for its response (serialised per worker)."""
-        with self._lock:
-            if self._closed:
-                raise ServerClosedError(f"worker {self.index} is closed")
-            try:
-                self._conn.send(message)
-                return self._conn.recv()
-            except (EOFError, BrokenPipeError, OSError) as error:
-                raise WorkerCrashedError(
-                    f"worker {self.index} died mid-request ({type(error).__name__})"
-                ) from error
+    def request(
+        self, message: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Send one tagged frame and block for *its* response.
+
+        Concurrent callers multiplex over the one pipe.  ``timeout``
+        bounds the wait: expiry abandons the id (the late response is
+        discarded by the receiver) and raises the typed
+        :class:`RequestTimeoutError`.
+        """
+        if self._closed:
+            raise ServerClosedError(f"worker {self.index} is closed")
+        request_id = next(self._ids)
+        future: Future = Future()
+        with self._pending_lock:
+            if self._dead_error is not None:
+                raise self._dead_error
+            self._pending[request_id] = future
+        frame = dict(message)
+        frame["id"] = request_id
+        try:
+            with self._send_lock:
+                self._conn.send(frame)
+        except (BrokenPipeError, OSError, ValueError) as error:
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+            raise WorkerCrashedError(
+                f"worker {self.index} died mid-request ({type(error).__name__})"
+            ) from error
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+            future.cancel()
+            raise RequestTimeoutError(
+                f"worker {self.index} did not answer request {request_id} "
+                f"within {timeout}s"
+            ) from None
 
     def stop(self, timeout: float = 5.0) -> None:
         """Shut the worker down: shutdown message, join, then terminate."""
-        with self._lock:
+        with self._send_lock:
             if self._closed:
                 return
             self._closed = True
             try:
                 self._conn.send({"op": "shutdown"})
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, OSError, ValueError):
                 pass
         if self._process is not None:
             self._process.join(timeout)
@@ -317,6 +537,10 @@ class Worker:
             self._conn.close()
         except OSError:
             pass
+        # Closing the pipe wakes the receiver, which fails any still
+        # in-flight ids with the typed closed error.
+        self._receiver.join(timeout)
+        self._fail_pending(ServerClosedError(f"worker {self.index} is closed"))
 
     def kill(self) -> None:
         """Hard-kill the worker process (crash-recovery tests only)."""
@@ -326,14 +550,19 @@ class Worker:
 
 
 class WorkerPool:
-    """A fixed-size pool of workers with round-robin dispatch and respawn.
+    """A fixed-size pool of multiplexing workers with respawn-and-retry.
 
-    Dispatch prefers an idle worker (falling back to strict round-robin
-    when all are busy, which queues on that worker's pipe lock).  A
-    request that finds its worker dead respawns it once and retries —
-    queries are pure reads, so the retry is safe — counting the rebuild
-    in ``worker_restarts`` (the serving-tier analogue of the probe
-    pool's rebuild-or-loud-serial contract).
+    Dispatch picks the worker with the fewest requests in flight
+    (round-robin among ties), so a worker chewing on a slow spilling
+    execute keeps receiving *only* its fair share while idle workers
+    absorb the rest — and thanks to per-worker multiplexing, even the
+    busy worker's other sessions stay reachable.  A request that finds
+    its worker dead respawns it once and retries — queries are pure
+    reads, so the retry is safe — counting the rebuild in
+    ``worker_restarts`` (the serving-tier analogue of the probe pool's
+    rebuild-or-loud-serial contract).  When a crash fails many in-flight
+    ids at once, each dispatch retries independently against the one
+    respawned worker.
     """
 
     def __init__(
@@ -344,9 +573,12 @@ class WorkerPool:
         worker_backend: Optional[str] = None,
         events_dir: Optional[str] = None,
         max_sessions: int = MAX_SESSIONS_PER_WORKER,
+        concurrency: int = DEFAULT_WORKER_CONCURRENCY,
     ):
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size}")
+        if concurrency < 1:
+            raise ValueError(f"worker concurrency must be >= 1, got {concurrency}")
         if worker_backend is None:
             worker_backend = "fork" if hasattr(os, "fork") else "thread"
         if worker_backend not in ("fork", "thread"):
@@ -359,10 +591,10 @@ class WorkerPool:
         self._max_sessions = max_sessions
         self.backend = worker_backend
         self.size = size
+        self.concurrency = concurrency
         self._lock = threading.Lock()
         self._closed = False
         self._next = 0
-        self._busy = [False] * size
         self.worker_restarts = 0
         self._workers = [self._spawn(index) for index in range(size)]
 
@@ -380,22 +612,29 @@ class WorkerPool:
             self.backend,
             events_path=self._events_path(index),
             max_sessions=self._max_sessions,
+            concurrency=self.concurrency,
         )
+
+    def relation(self, name: str) -> Optional[Relation]:
+        """The pool's current binding for ``name`` (what a respawn serves)."""
+        with self._lock:
+            return self._relations.get(name)
 
     def _pick(self) -> int:
         with self._lock:
             if self._closed:
                 raise ServerClosedError("the worker pool is closed")
+            best = self._next
+            best_load = None
             for offset in range(self.size):
                 index = (self._next + offset) % self.size
-                if not self._busy[index]:
-                    self._next = (index + 1) % self.size
-                    self._busy[index] = True
-                    return index
-            index = self._next
-            self._next = (index + 1) % self.size
-            self._busy[index] = True
-            return index
+                load = self._workers[index].inflight
+                if best_load is None or load < best_load:
+                    best, best_load = index, load
+                    if load == 0:
+                        break
+            self._next = (best + 1) % self.size
+            return best
 
     def _ensure_alive(self, index: int) -> Worker:
         with self._lock:
@@ -409,19 +648,35 @@ class WorkerPool:
             self._workers[index] = worker
             return worker
 
-    def dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Send ``message`` to one worker; respawn and retry once on a crash."""
+    def dispatch(
+        self, message: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Send ``message`` to one worker; respawn and retry once on a crash.
+
+        A :class:`RequestTimeoutError` is *not* retried — the caller's
+        deadline already expired and the worker is healthy, just slow.
+        """
         index = self._pick()
+        worker = self._ensure_alive(index)
         try:
+            return worker.request(message, timeout=timeout)
+        except WorkerCrashedError:
             worker = self._ensure_alive(index)
-            try:
-                return worker.request(message)
-            except WorkerCrashedError:
-                worker = self._ensure_alive(index)
-                return worker.request(message)
-        finally:
-            with self._lock:
-                self._busy[index] = False
+            return worker.request(message, timeout=timeout)
+
+    def mutate(self, name: str, relation: Relation) -> list:
+        """Install ``relation`` under ``name`` across the whole pool.
+
+        Updates the pool's own binding map first — a worker respawned
+        *after* the mutation must warm its sessions over the new data —
+        then broadcasts a ``mutate`` frame to every live worker and
+        returns their responses.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServerClosedError("the worker pool is closed")
+            self._relations[name] = relation
+        return self.broadcast({"op": "mutate", "name": name, "relation": relation})
 
     def broadcast(self, message: Dict[str, Any]) -> list:
         """Send ``message`` to every live worker and collect the responses."""
@@ -447,10 +702,14 @@ class WorkerPool:
 
     def stats(self) -> Dict[str, Any]:
         """Pool shape plus each worker's session/expression/event stats."""
+        with self._lock:
+            inflight = [worker.inflight for worker in self._workers]
         return {
             "size": self.size,
             "backend": self.backend,
+            "concurrency": self.concurrency,
             "worker_restarts": self.worker_restarts,
+            "inflight": inflight,
             "workers": [
                 response["stats"]
                 for response in self.broadcast({"op": "stats"})

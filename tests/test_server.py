@@ -24,7 +24,10 @@ from repro.engine.physical import _ACTIVE_SPILL_DIRS
 from repro.server import (
     BudgetExhaustedError,
     BudgetScheduler,
+    LoadReport,
     ReproServer,
+    RequestTimeoutError,
+    ResultCache,
     ServerClosedError,
     ServerConfig,
     WorkerPool,
@@ -36,6 +39,11 @@ from repro.workloads import serving_queries, serving_relations
 RELATIONS = serving_relations(rows=200)
 QUERIES = serving_queries()
 HEAVY_QUERY = "project[A, C, D](R * S * T)"
+#: Larger relations for the timing-sensitive multiplexing tests: the
+#: budget-64 spilling execute takes ~1s here while warm fast queries
+#: stay under 10ms, so "the slow query is still running" assertions
+#: have two orders of magnitude of margin.
+HEAVY_RELATIONS = serving_relations(rows=600)
 
 
 def _post(conn, body):
@@ -520,3 +528,632 @@ class TestSessionShutdownUnderLoad:
             session.prepare("project[A](R * S)")
         with pytest.raises(SessionClosedError):
             prepared.execute()
+
+
+class TestMultiplexedWorkers:
+    """The tentpole pin: one worker serves many requests over one pipe."""
+
+    def test_fast_queries_complete_while_a_slow_spill_is_in_flight(self):
+        # The head-of-line regression: a single worker (pool of one)
+        # chewing on a budget-64 spilling execute must keep answering
+        # fast queries on its other dispatcher threads.  Pre-multiplex,
+        # the fast queries queued behind the slow one on the pipe.
+        pool = WorkerPool(
+            HEAVY_RELATIONS, BackendConfig(budget=50_000), size=1, concurrency=4
+        )
+        try:
+            # Warm both sessions so timings reflect serving, not setup:
+            # the default-budget session for the fast mix, the budget-64
+            # session for the slow spilling execute.
+            fast = pool.dispatch(
+                {"op": "query", "query": QUERIES[0], "count_only": True}
+            )
+            warm = pool.dispatch(
+                {"op": "query", "query": HEAVY_QUERY, "budget": 64,
+                 "count_only": True}
+            )
+            assert fast["ok"] and warm["ok"] and warm["spilled_rows"] > 0
+
+            slow_done = threading.Event()
+            slow_box = {}
+
+            def run_slow():
+                slow_box["response"] = pool.dispatch(
+                    {"op": "query", "query": HEAVY_QUERY, "budget": 64,
+                     "count_only": True}
+                )
+                slow_done.set()
+
+            slow = threading.Thread(target=run_slow)
+            slow.start()
+            deadline = time.perf_counter() + 10.0
+            while (
+                pool._workers[0].inflight < 1
+                and not slow_done.is_set()
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.001)
+            assert not slow_done.is_set(), "slow query must still be running"
+
+            # Five fast queries against the SAME worker, all while the
+            # spilling execute holds one dispatcher thread.
+            for _ in range(5):
+                response = pool.dispatch(
+                    {"op": "query", "query": QUERIES[0], "count_only": True}
+                )
+                assert response["ok"], response
+            assert not slow_done.is_set(), (
+                "all five fast queries finished, yet the slow spilling "
+                "execute must still be in flight — head-of-line blocking "
+                "would have serialised them behind it"
+            )
+            slow.join(timeout=30)
+            assert slow_box["response"]["ok"]
+            assert slow_box["response"]["rowcount"] == warm["rowcount"]
+        finally:
+            pool.close()
+
+    def test_control_frames_answer_during_a_slow_query(self):
+        # ping/stats/metrics are handled inline on the worker's recv
+        # loop, so telemetry stays live even with every dispatcher
+        # thread busy.
+        pool = WorkerPool(
+            HEAVY_RELATIONS, BackendConfig(budget=50_000), size=1, concurrency=1
+        )
+        try:
+            warm = pool.dispatch(
+                {"op": "query", "query": HEAVY_QUERY, "budget": 64,
+                 "count_only": True}
+            )
+            assert warm["ok"]
+            slow_done = threading.Event()
+            slow = threading.Thread(
+                target=lambda: (
+                    pool.dispatch(
+                        {"op": "query", "query": HEAVY_QUERY, "budget": 64,
+                         "count_only": True}
+                    ),
+                    slow_done.set(),
+                )
+            )
+            slow.start()
+            deadline = time.perf_counter() + 10.0
+            while (
+                pool._workers[0].inflight < 1
+                and not slow_done.is_set()
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.001)
+            ping = pool._workers[0].request({"op": "ping"})
+            assert ping["ok"]
+            assert not slow_done.is_set(), (
+                "the ping answered inline must not wait for the query"
+            )
+            slow.join(timeout=30)
+        finally:
+            pool.close()
+
+    def test_dispatch_prefers_the_least_loaded_worker(self):
+        pool = WorkerPool(
+            HEAVY_RELATIONS, BackendConfig(budget=50_000), size=2, concurrency=4
+        )
+        try:
+            for index in range(2):
+                warm = pool._workers[index].request(
+                    {"op": "query", "query": HEAVY_QUERY, "budget": 64,
+                     "count_only": True}
+                )
+                assert warm["ok"]
+            slow_done = threading.Event()
+
+            def run_slow():
+                pool.dispatch(
+                    {"op": "query", "query": HEAVY_QUERY, "budget": 64,
+                     "count_only": True}
+                )
+                slow_done.set()
+
+            slow = threading.Thread(target=run_slow)
+            slow.start()
+            deadline = time.perf_counter() + 10.0
+            while (
+                max(w.inflight for w in pool._workers) < 1
+                and not slow_done.is_set()
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.001)
+            busy = max(range(2), key=lambda i: pool._workers[i].inflight)
+            if not slow_done.is_set():
+                # While one worker is busy, dispatch must route to the
+                # idle one.
+                assert pool._pick() != busy
+            slow.join(timeout=30)
+        finally:
+            pool.close()
+
+
+class TestLeaseLifecycleUnderMultiplexing:
+    """Every request outcome returns its budget lease — no leaks."""
+
+    def _budget(self, server):
+        return server.stats()["budget"]
+
+    def test_completed_requests_return_their_leases(self):
+        with ReproServer(
+            RELATIONS, pool_size=1, total_budget_rows=10_000
+        ) as running:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", running.port, timeout=30
+            )
+            try:
+                for query in QUERIES[:3]:
+                    status, _body = _post(
+                        conn, {"query": query, "count_only": True}
+                    )
+                    assert status == 200
+            finally:
+                conn.close()
+            budget = self._budget(running)
+            assert budget["leased_rows"] == 0
+            assert budget["active_leases"] == 0
+            assert budget["grants"] >= 3
+
+    def test_timed_out_request_releases_its_lease_and_worker_survives(self):
+        with ReproServer(
+            HEAVY_RELATIONS,
+            pool_size=1,
+            total_budget_rows=10_000,
+            request_timeout_seconds=0.25,
+            result_cache_size=0,
+        ) as running:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", running.port, timeout=30
+            )
+            try:
+                # Warm the fast path first so its later requests beat the
+                # 250ms deadline comfortably.
+                status, _body = _post(
+                    conn, {"query": QUERIES[0], "count_only": True}
+                )
+                assert status == 200
+                # The budget-64 spilling execute takes hundreds of ms —
+                # far past the deadline.
+                status, body = _post(
+                    conn,
+                    {"query": HEAVY_QUERY, "budget": 64, "count_only": True},
+                )
+                assert status == 504
+                assert body["error"] == "RequestTimeoutError"
+                budget = self._budget(running)
+                assert budget["leased_rows"] == 0, budget
+                assert budget["active_leases"] == 0, budget
+                # The pipe stayed healthy: the same worker keeps serving
+                # (the late response for the abandoned id is dropped).
+                status, body = _post(
+                    conn, {"query": QUERIES[0], "count_only": True}
+                )
+                assert status == 200 and body["ok"]
+                assert running.stats()["pool"]["worker_restarts"] == 0
+            finally:
+                conn.close()
+
+    def test_mid_flight_worker_kill_with_two_outstanding_ids(self):
+        with ReproServer(
+            RELATIONS,
+            pool_size=1,
+            total_budget_rows=10_000,
+            result_cache_size=0,
+        ) as running:
+            if running._pool.backend != "fork":
+                pytest.skip("crash recovery needs process workers")
+            # Warm the spilling session so both requests are mid-execute
+            # when the kill lands.
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", running.port, timeout=60
+            )
+            try:
+                status, _body = _post(
+                    conn,
+                    {"query": HEAVY_QUERY, "budget": 64, "count_only": True},
+                )
+                assert status == 200
+            finally:
+                conn.close()
+
+            results = []
+            lock = threading.Lock()
+            barrier = threading.Barrier(3)
+
+            def fire():
+                inner = http.client.HTTPConnection(
+                    "127.0.0.1", running.port, timeout=60
+                )
+                try:
+                    barrier.wait(timeout=10)
+                    status, body = _post(
+                        inner,
+                        {"query": HEAVY_QUERY, "budget": 64,
+                         "count_only": True},
+                    )
+                    with lock:
+                        results.append((status, body))
+                finally:
+                    inner.close()
+
+            threads = [threading.Thread(target=fire) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            barrier.wait(timeout=10)
+            worker = running._pool._workers[0]
+            deadline = time.perf_counter() + 10.0
+            while worker.inflight < 2 and time.perf_counter() < deadline:
+                time.sleep(0.001)
+            assert worker.inflight >= 2, "two ids must be in flight"
+            worker.kill()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert len(results) == 2
+            for status, body in results:
+                # Each in-flight id failed over: the pool respawned the
+                # worker and retried (200), or surfaced the typed error.
+                assert status in (200, 500, 503), (status, body)
+                if status != 200:
+                    assert body["error"] in (
+                        "WorkerCrashedError",
+                        "ServerClosedError",
+                    ), body
+            stats = running.stats()
+            assert stats["pool"]["worker_restarts"] >= 1
+            # The linchpin: both leases came back, whatever the outcome.
+            assert stats["budget"]["leased_rows"] == 0, stats["budget"]
+            assert stats["budget"]["active_leases"] == 0, stats["budget"]
+
+    def test_pool_close_fails_inflight_requests_typed(self):
+        pool = WorkerPool(
+            RELATIONS, BackendConfig(budget=50_000), size=1, concurrency=4
+        )
+        warm = pool.dispatch(
+            {"op": "query", "query": HEAVY_QUERY, "budget": 64,
+             "count_only": True}
+        )
+        assert warm["ok"]
+        outcome = {}
+        started = threading.Event()
+
+        def run_slow():
+            started.set()
+            try:
+                outcome["response"] = pool.dispatch(
+                    {"op": "query", "query": HEAVY_QUERY, "budget": 64,
+                     "count_only": True}
+                )
+            except ServerClosedError as error:
+                outcome["raised"] = error
+
+        slow = threading.Thread(target=run_slow)
+        slow.start()
+        started.wait(timeout=10)
+        deadline = time.perf_counter() + 10.0
+        while pool._workers[0].inflight < 1 and time.perf_counter() < deadline:
+            time.sleep(0.001)
+        pool.close()
+        slow.join(timeout=30)
+        assert not slow.is_alive()
+        if "raised" not in outcome:
+            # The worker may have finished (or typed-failed) the execute
+            # before the shutdown frame closed its sessions; either way
+            # the outcome is typed, never a hang.
+            response = outcome["response"]
+            assert response["ok"] or response["error"] in (
+                "SessionClosedError",
+                "ServerClosedError",
+                "WorkerCrashedError",
+            ), response
+
+
+class TestResultCache:
+    """Unit contracts of the front's invalidating LRU."""
+
+    KEY = ("project[A](R * S)", None, 2500, None, True)
+
+    def _response(self, rowcount=40):
+        return {"ok": True, "rowcount": rowcount, "relations": ["R", "S"]}
+
+    def test_miss_then_fill_then_hit(self):
+        cache = ResultCache(4)
+        hit, snapshot = cache.lookup(self.KEY)
+        assert hit is None
+        assert cache.fill(self.KEY, ["R", "S"], self._response(), snapshot)
+        hit, _snapshot = cache.lookup(self.KEY)
+        assert hit is not None and hit["rowcount"] == 40
+        stats = cache.stats()
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_hit_returns_a_copy(self):
+        cache = ResultCache(4)
+        _miss, snapshot = cache.lookup(self.KEY)
+        cache.fill(self.KEY, ["R", "S"], self._response(), snapshot)
+        first, _ = cache.lookup(self.KEY)
+        first["rowcount"] = -1
+        second, _ = cache.lookup(self.KEY)
+        assert second["rowcount"] == 40
+
+    def test_lru_eviction_at_capacity(self):
+        cache = ResultCache(2)
+        for index in range(3):
+            key = (f"q{index}", None, None, None, True)
+            _miss, snapshot = cache.lookup(key)
+            cache.fill(key, ["R"], self._response(index), snapshot)
+        assert len(cache) == 2
+        gone, _ = cache.lookup(("q0", None, None, None, True))
+        assert gone is None
+        kept, _ = cache.lookup(("q2", None, None, None, True))
+        assert kept is not None
+        assert cache.stats()["cache_evictions"] == 1
+
+    def test_invalidate_evicts_only_entries_reading_the_name(self):
+        cache = ResultCache(8)
+        key_rs = ("a", None, None, None, True)
+        key_t = ("b", None, None, None, True)
+        _m, snap = cache.lookup(key_rs)
+        cache.fill(key_rs, ["R", "S"], self._response(), snap)
+        _m, snap = cache.lookup(key_t)
+        cache.fill(key_t, ["T"], self._response(7), snap)
+        assert cache.invalidate("R") == 1
+        assert cache.lookup(key_rs)[0] is None
+        assert cache.lookup(key_t)[0] is not None
+        assert cache.stats()["cache_invalidations"] == 1
+        assert cache.stats()["cache_stale_served"] == 0
+
+    def test_stale_fill_is_dropped_when_invalidation_races_the_miss(self):
+        # The generational race: lookup misses, the execute runs against
+        # pre-mutation data, the mutation lands, THEN the fill arrives.
+        # Accepting it would cache a stale result forever.
+        cache = ResultCache(4)
+        _miss, snapshot = cache.lookup(self.KEY)
+        cache.invalidate("R")
+        assert not cache.fill(self.KEY, ["R", "S"], self._response(), snapshot)
+        assert cache.lookup(self.KEY)[0] is None
+        assert cache.stats()["cache_stale_fill_drops"] == 1
+
+    def test_fill_after_the_invalidation_is_accepted(self):
+        # The other half of the race's contract: a miss whose lookup
+        # happened AT the invalidation's generation executed against the
+        # new data (the pool is mutated before the cache invalidates),
+        # so its fill must be accepted — the cache recovers immediately.
+        cache = ResultCache(4)
+        cache.invalidate("R")
+        _miss, snapshot = cache.lookup(self.KEY)
+        assert cache.fill(self.KEY, ["R", "S"], self._response(1), snapshot)
+        hit, _ = cache.lookup(self.KEY)
+        assert hit is not None and hit["rowcount"] == 1
+        assert cache.stats()["cache_stale_fill_drops"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(0)
+
+
+class TestResultCacheOverHttp:
+    """The cache and ``POST /mutate`` end to end through the front."""
+
+    @pytest.fixture()
+    def cached_server(self):
+        with ReproServer(
+            RELATIONS,
+            pool_size=2,
+            total_budget_rows=50_000,
+            session_budget=10_000,
+        ) as running:
+            yield running
+
+    def _conn(self, running):
+        return http.client.HTTPConnection(
+            "127.0.0.1", running.port, timeout=30
+        )
+
+    def _mutate(self, conn, name, rows):
+        conn.request(
+            "POST",
+            "/mutate",
+            body=json.dumps({"name": name, "rows": rows}),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+
+    def test_repeat_query_is_served_from_the_cache(self, cached_server):
+        conn = self._conn(cached_server)
+        try:
+            status, first = _post(conn, {"query": QUERIES[1]})
+            assert status == 200 and first["cached"] is False
+            status, second = _post(conn, {"query": QUERIES[1]})
+            assert status == 200 and second["cached"] is True
+            assert second["rowcount"] == first["rowcount"]
+            assert second["rows"] == first["rows"]
+            stats = json.loads(_get(conn, "/stats")[1])
+            assert stats["cache"]["cache_hits"] == 1
+            assert stats["cache"]["cache_misses"] == 1
+            # A hit leases no budget: exactly one grant for two queries.
+            assert stats["budget"]["grants"] == 1
+        finally:
+            conn.close()
+
+    def test_cache_key_separates_budget_backend_and_count_only(
+        self, cached_server
+    ):
+        conn = self._conn(cached_server)
+        try:
+            base = {"query": HEAVY_QUERY, "count_only": True}
+            _post(conn, base)
+            status, tight = _post(conn, dict(base, budget=64))
+            assert status == 200 and tight["cached"] is False
+            status, optimized = _post(conn, dict(base, backend="optimized"))
+            assert status == 200 and optimized["cached"] is False
+            status, rows = _post(conn, {"query": HEAVY_QUERY})
+            assert status == 200 and rows["cached"] is False
+            # ... but each exact shape repeats from the cache.
+            status, again = _post(conn, dict(base, budget=64))
+            assert status == 200 and again["cached"] is True
+        finally:
+            conn.close()
+
+    def test_traced_requests_bypass_the_cache(self, cached_server):
+        conn = self._conn(cached_server)
+        try:
+            _post(conn, {"query": QUERIES[2], "count_only": True})
+            status, traced = _post(
+                conn, {"query": QUERIES[2], "count_only": True, "trace": True}
+            )
+            assert status == 200
+            assert "cached" not in traced
+            labels = [span["label"] for span in traced["front_spans"]]
+            assert labels == ["lease", "dispatch"]
+        finally:
+            conn.close()
+
+    def test_mutate_invalidates_and_requeries_see_new_data(self, cached_server):
+        conn = self._conn(cached_server)
+        try:
+            query = "project[A, B](R)"
+            status, before = _post(conn, {"query": query})
+            assert status == 200
+            status, hit = _post(conn, {"query": query})
+            assert hit["cached"] is True
+
+            status, ack = self._mutate(conn, "R", [[1, 2], [3, 4]])
+            assert status == 200, ack
+            assert ack["ok"] and ack["rowcount"] == 2
+            assert ack["workers_updated"] == 2
+            assert ack["cache_evicted"] >= 1
+
+            status, after = _post(conn, {"query": query})
+            assert status == 200
+            assert after["cached"] is False
+            assert after["rows"] == [[1, 2], [3, 4]]
+            assert after["rows"] != before["rows"]
+
+            stats = json.loads(_get(conn, "/stats")[1])
+            assert stats["front"]["mutations"] == 1
+            assert stats["cache"]["cache_invalidations"] == 1
+            assert stats["cache"]["cache_stale_served"] == 0
+        finally:
+            conn.close()
+
+    def test_mutate_rejects_unknown_names_and_bad_rows(self, cached_server):
+        conn = self._conn(cached_server)
+        try:
+            status, body = self._mutate(conn, "NOPE", [[1, 2]])
+            assert status == 400 and body["error"] == "BadRequestError"
+            status, body = self._mutate(conn, "R", [[1, 2, 3]])
+            assert status == 400 and body["error"] == "BadRequestError"
+            status, body = self._mutate(conn, "R", "not rows")
+            assert status == 400
+            conn.request("GET", "/mutate")
+            assert conn.getresponse().status == 405
+        finally:
+            conn.close()
+
+    def test_cache_metrics_render_in_the_exposition(self, cached_server):
+        conn = self._conn(cached_server)
+        try:
+            _post(conn, {"query": QUERIES[0], "count_only": True})
+            _post(conn, {"query": QUERIES[0], "count_only": True})
+            text = _get(conn, "/metrics")[1].decode("utf-8")
+            samples = {}
+            for line in text.splitlines():
+                if not line.startswith("#"):
+                    name, _, value = line.rpartition(" ")
+                    samples[name.split("{")[0]] = value
+            assert samples["repro_server_cache_hits_total"] == "1"
+            assert samples["repro_server_cache_misses_total"] == "1"
+            assert samples["repro_server_cache_stale_served_total"] == "0"
+            assert samples["repro_server_cache_entries"] == "1"
+        finally:
+            conn.close()
+
+    def test_cache_events_are_emitted(self, cached_server):
+        conn = self._conn(cached_server)
+        try:
+            _post(conn, {"query": QUERIES[3], "count_only": True})
+            _post(conn, {"query": QUERIES[3], "count_only": True})
+            self._mutate(conn, "T", [[1, 2]])
+        finally:
+            conn.close()
+        events = cached_server._observer.events
+        assert events is not None
+        assert len(events.events("cache_hit")) == 1
+        invalidations = events.events("cache_invalidate")
+        assert [event["name"] for event in invalidations] == ["T"]
+
+    def test_disabled_cache_never_marks_responses(self):
+        with ReproServer(
+            RELATIONS, pool_size=1, result_cache_size=0
+        ) as plain:
+            conn = self._conn(plain)
+            try:
+                for _ in range(2):
+                    status, body = _post(
+                        conn, {"query": QUERIES[0], "count_only": True}
+                    )
+                    assert status == 200
+                    assert "cached" not in body
+                stats = json.loads(_get(conn, "/stats")[1])
+                assert stats["cache"] == {"enabled": False}
+            finally:
+                conn.close()
+
+
+class TestLoadReportRejections:
+    """The loadgen fix: rejections are reported, never sampled."""
+
+    def test_rejected_is_separate_and_percentiles_ignore_it(self):
+        completed = [100.0, 110.0, 120.0, 130.0, 140.0]
+        clean = LoadReport(
+            clients=1, requests=5, ok=5, errors=0, rejected=0,
+            seconds=1.0, latencies_ms=list(completed),
+            status_counts={200: 5},
+        )
+        shed_heavy = LoadReport(
+            clients=1, requests=10, ok=5, errors=0, rejected=5,
+            seconds=1.0, latencies_ms=list(completed),
+            status_counts={200: 5, 503: 5},
+        )
+        # Adding rejections must not move the latency percentiles: a
+        # 503 turns around in microseconds, and folding those samples
+        # in would make an overloaded server look *faster*.
+        assert shed_heavy.p50_ms() == clean.p50_ms()
+        assert shed_heavy.p99_ms() == clean.p99_ms()
+        summary = shed_heavy.summary()
+        assert summary["rejected"] == 5
+        assert summary["shed"] == 5  # the pre-PR-10 alias stays
+        assert summary["ok"] == 5 and summary["errors"] == 0
+        assert shed_heavy.shed == 5
+        # Throughput counts completed requests only.
+        assert shed_heavy.throughput_rps == clean.throughput_rps
+
+    def test_run_load_counts_rejections_under_real_shedding(self):
+        with ReproServer(
+            RELATIONS,
+            pool_size=1,
+            max_inflight=1,
+            result_cache_size=0,
+        ) as tight:
+            report = run_load(
+                "127.0.0.1",
+                tight.port,
+                [HEAVY_QUERY],
+                clients=6,
+                requests_per_client=2,
+                budget=64,
+                timeout=120.0,
+            )
+        assert report.requests == 12
+        assert report.ok + report.rejected + report.errors == report.requests
+        assert report.errors == 0, report.summary()
+        assert report.rejected > 0, "max_inflight=1 under 6 clients must shed"
+        # Every latency sample belongs to a completed request.
+        assert len(report.latencies_ms) == report.ok
+        assert report.status_counts.get(503, 0) == report.rejected
